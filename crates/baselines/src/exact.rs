@@ -1,0 +1,97 @@
+//! Exact ground-truth oracle: BFS on `G ∖ F` per query.
+//!
+//! This is the comparator for every stretch measurement, and also the
+//! "no preprocessing" baseline for query-time comparisons: `O(m)` per query
+//! with full access to the graph, versus the labeling scheme's
+//! `O(1+ε⁻¹)^{2α}|F|² log n` from `|F| + 2` labels.
+
+use fsdl_graph::{bfs, Dist, FaultSet, Graph, NodeId};
+
+/// The exact forbidden-set distance oracle (stretch 1, full graph access).
+///
+/// # Examples
+///
+/// ```
+/// use fsdl_baselines::ExactOracle;
+/// use fsdl_graph::{generators, FaultSet, NodeId};
+///
+/// let g = generators::cycle(10);
+/// let oracle = ExactOracle::new(&g);
+/// let f = FaultSet::from_vertices([NodeId::new(1)]);
+/// assert_eq!(
+///     oracle.distance(NodeId::new(0), NodeId::new(2), &f).finite(),
+///     Some(8)
+/// );
+/// ```
+#[derive(Clone, Debug)]
+pub struct ExactOracle {
+    graph: Graph,
+}
+
+impl ExactOracle {
+    /// Wraps a graph (clones the CSR arrays).
+    pub fn new(g: &Graph) -> Self {
+        ExactOracle { graph: g.clone() }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Exact `d_{G∖F}(s, t)` by early-exit BFS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `t` is out of range.
+    pub fn distance(&self, s: NodeId, t: NodeId, faults: &FaultSet) -> Dist {
+        bfs::pair_distance_avoiding(&self.graph, s, t, faults)
+    }
+
+    /// Exact distances from `s` to every vertex in `G ∖ F`.
+    pub fn distances_from(&self, s: NodeId, faults: &FaultSet) -> Vec<Dist> {
+        bfs::distances_avoiding(&self.graph, s, faults)
+    }
+
+    /// Exact connectivity in `G ∖ F`.
+    pub fn connected(&self, s: NodeId, t: NodeId, faults: &FaultSet) -> bool {
+        self.distance(s, t, faults).is_finite()
+    }
+
+    /// One shortest `s → t` path in `G ∖ F`, if any.
+    pub fn shortest_path(&self, s: NodeId, t: NodeId, faults: &FaultSet) -> Option<Vec<NodeId>> {
+        bfs::shortest_path_avoiding(&self.graph, s, t, faults)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsdl_graph::generators;
+
+    #[test]
+    fn matches_direct_bfs() {
+        let g = generators::grid2d(5, 5);
+        let oracle = ExactOracle::new(&g);
+        let f = FaultSet::from_vertices([NodeId::new(12)]);
+        let all = oracle.distances_from(NodeId::new(0), &f);
+        for t in g.vertices() {
+            assert_eq!(oracle.distance(NodeId::new(0), t, &f), all[t.index()]);
+        }
+    }
+
+    #[test]
+    fn connectivity_and_paths() {
+        let g = generators::path(7);
+        let oracle = ExactOracle::new(&g);
+        let f = FaultSet::from_vertices([NodeId::new(3)]);
+        assert!(!oracle.connected(NodeId::new(0), NodeId::new(6), &f));
+        assert!(oracle
+            .shortest_path(NodeId::new(0), NodeId::new(6), &f)
+            .is_none());
+        let p = oracle
+            .shortest_path(NodeId::new(0), NodeId::new(2), &f)
+            .unwrap();
+        assert_eq!(p.len(), 3);
+    }
+}

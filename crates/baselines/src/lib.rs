@@ -1,0 +1,43 @@
+//! # fsdl-baselines — comparators for the fsdl evaluation
+//!
+//! Every experiment in the workspace compares the forbidden-set labeling
+//! scheme against at least one of:
+//!
+//! * [`ExactOracle`] — ground truth `d_{G∖F}` by BFS (stretch 1, full graph
+//!   access, `O(m)` per query);
+//! * [`FaultObliviousBaseline`] — failure-free labels that ignore `F`
+//!   (fast and small, but answers are wrong under faults);
+//! * [`RebuildOracle`] — rebuild-the-labeling-on-every-failure (correct,
+//!   but pays full preprocessing per fault-set change — the recovery delay
+//!   the paper's scheme eliminates);
+//! * [`TreeLabeling`] — exact forbidden-set labels for trees via centroid
+//!   decomposition: the treewidth-1 case of Courcelle–Twigg (STACS 2007),
+//!   the predecessor the paper generalizes;
+//! * [`HubLabeling`] — exact failure-free 2-hop labels via pruned landmark
+//!   labeling: the road-network state of the art the paper's applications
+//!   section wants to make fault-tolerant.
+//!
+//! ## Example
+//!
+//! ```
+//! use fsdl_baselines::ExactOracle;
+//! use fsdl_graph::{generators, FaultSet, NodeId};
+//!
+//! let g = generators::grid2d(4, 4);
+//! let exact = ExactOracle::new(&g);
+//! let f = FaultSet::from_vertices([NodeId::new(5)]);
+//! assert_eq!(exact.distance(NodeId::new(0), NodeId::new(15), &f).finite(), Some(6));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exact;
+mod hub_labels;
+mod naive;
+mod tree_labels;
+
+pub use exact::ExactOracle;
+pub use hub_labels::{HubLabel, HubLabeling};
+pub use naive::{FaultObliviousBaseline, RebuildOracle};
+pub use tree_labels::{TreeLabel, TreeLabeling, TreeOracle};

@@ -1,0 +1,154 @@
+//! Negative and cost-model baselines.
+//!
+//! * [`FaultObliviousBaseline`] — failure-free `(1+ε)` labels that simply
+//!   *ignore* the forbidden set: demonstrates why fault-oblivious labels
+//!   are not enough (their answers can undershoot `d_{G∖F}` by an unbounded
+//!   factor — experiment `exp_t1` quantifies this).
+//! * [`RebuildOracle`] — the "recompute on failure" strawman: on every
+//!   change of the forbidden set, rebuild a failure-free labeling of
+//!   `G ∖ F` from scratch, then answer at stretch `1+ε`. Answers are as good
+//!   as the forbidden-set scheme's, but each fault-set change costs a full
+//!   preprocessing pass — exactly the recovery delay the paper's scheme
+//!   eliminates.
+
+use fsdl_graph::subgraph::{self, Subgraph};
+use fsdl_graph::{Dist, FaultSet, Graph, NodeId};
+use fsdl_labels::failure_free::{query_failure_free, FailureFreeLabeling};
+
+/// Failure-free labels that ignore `F` (returns `d_G`-based estimates, not
+/// `d_{G∖F}`): the negative baseline.
+#[derive(Clone, Debug)]
+pub struct FaultObliviousBaseline {
+    graph: Graph,
+    epsilon: f64,
+}
+
+impl FaultObliviousBaseline {
+    /// Builds the oblivious baseline at precision `epsilon`.
+    pub fn new(g: &Graph, epsilon: f64) -> Self {
+        FaultObliviousBaseline {
+            graph: g.clone(),
+            epsilon,
+        }
+    }
+
+    /// Answers the query while *ignoring* the forbidden set — a
+    /// `(1+ε)`-approximation of `d_G(s,t)`, which can be arbitrarily smaller
+    /// than `d_{G∖F}(s,t)`.
+    pub fn distance_ignoring_faults(&self, s: NodeId, t: NodeId, _faults: &FaultSet) -> Dist {
+        let ff = FailureFreeLabeling::build(&self.graph, self.epsilon);
+        query_failure_free(&ff.label_of(s), &ff.label_of(t))
+    }
+}
+
+/// The rebuild-on-failure strawman: stretch-`(1+ε)` answers, but every
+/// fault-set change triggers a full relabeling of `G ∖ F`.
+#[derive(Debug)]
+pub struct RebuildOracle {
+    graph: Graph,
+    epsilon: f64,
+    /// The fault set the cached labeling was built for.
+    cached_faults: Option<FaultSet>,
+    cached_base: Option<Subgraph>,
+    rebuilds: usize,
+}
+
+impl RebuildOracle {
+    /// Creates the oracle at precision `epsilon`.
+    pub fn new(g: &Graph, epsilon: f64) -> Self {
+        RebuildOracle {
+            graph: g.clone(),
+            epsilon,
+            cached_faults: None,
+            cached_base: None,
+            rebuilds: 0,
+        }
+    }
+
+    /// Number of full rebuilds performed so far (the cost this baseline
+    /// pays and the forbidden-set scheme avoids).
+    pub fn rebuilds(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// Answers `(s, t, F)`: rebuilds the failure-free labeling of `G ∖ F`
+    /// if `F` differs from the cached fault set, then queries it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `t` is out of range.
+    pub fn distance(&mut self, s: NodeId, t: NodeId, faults: &FaultSet) -> Dist {
+        assert!(
+            self.graph.contains(s) && self.graph.contains(t),
+            "query vertex out of range"
+        );
+        if self.cached_faults.as_ref() != Some(faults) {
+            self.cached_base = Some(subgraph::remove_faults(&self.graph, faults));
+            self.cached_faults = Some(faults.clone());
+            self.rebuilds += 1;
+        }
+        let base = self.cached_base.as_ref().expect("cached above");
+        let (Some(bs), Some(bt)) = (base.map(s), base.map(t)) else {
+            return Dist::INFINITE;
+        };
+        if base.graph.num_vertices() == 0 {
+            return Dist::INFINITE;
+        }
+        let ff = FailureFreeLabeling::build(&base.graph, self.epsilon);
+        query_failure_free(&ff.label_of(bs), &ff.label_of(bt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsdl_graph::generators;
+
+    #[test]
+    fn oblivious_baseline_underestimates_under_faults() {
+        let g = generators::cycle(30);
+        let baseline = FaultObliviousBaseline::new(&g, 0.5);
+        let f = FaultSet::from_vertices([NodeId::new(1)]);
+        let wrong = baseline
+            .distance_ignoring_faults(NodeId::new(0), NodeId::new(2), &f)
+            .finite()
+            .unwrap();
+        // Truth in G \ F is 28 (the long way); the oblivious answer stays
+        // near d_G = 2.
+        assert!(wrong <= 3, "oblivious baseline should ignore the fault");
+    }
+
+    #[test]
+    fn rebuild_oracle_is_correct_but_rebuilds() {
+        let g = generators::cycle(20);
+        let mut oracle = RebuildOracle::new(&g, 0.5);
+        let f1 = FaultSet::from_vertices([NodeId::new(1)]);
+        let d = oracle
+            .distance(NodeId::new(0), NodeId::new(2), &f1)
+            .finite()
+            .unwrap();
+        assert!(d >= 18);
+        assert!(f64::from(d) <= 18.0 * 1.5 + 1e-9);
+        assert_eq!(oracle.rebuilds(), 1);
+        // Same fault set: no rebuild.
+        let _ = oracle.distance(NodeId::new(0), NodeId::new(5), &f1);
+        assert_eq!(oracle.rebuilds(), 1);
+        // New fault set: rebuild.
+        let f2 = FaultSet::from_vertices([NodeId::new(3)]);
+        let _ = oracle.distance(NodeId::new(0), NodeId::new(5), &f2);
+        assert_eq!(oracle.rebuilds(), 2);
+    }
+
+    #[test]
+    fn rebuild_oracle_detects_disconnection() {
+        let g = generators::path(9);
+        let mut oracle = RebuildOracle::new(&g, 1.0);
+        let f = FaultSet::from_vertices([NodeId::new(4)]);
+        assert!(oracle
+            .distance(NodeId::new(0), NodeId::new(8), &f)
+            .is_infinite());
+        assert!(oracle
+            .distance(NodeId::new(4), NodeId::new(8), &f)
+            .is_infinite());
+    }
+}

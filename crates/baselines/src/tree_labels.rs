@@ -1,0 +1,452 @@
+//! Exact forbidden-set distance labels for **trees** — the
+//! Courcelle–Twigg comparison point.
+//!
+//! The paper extends the forbidden-set paradigm of Courcelle & Twigg
+//! (STACS 2007) from *exact distances on bounded treewidth* to *approximate
+//! distances on bounded doubling dimension*. This module implements the
+//! treewidth-1 case of the predecessor exactly, as a concrete related-work
+//! baseline: on a tree, centroid-decomposition labels of `O(log² n)` bits
+//! answer forbidden-set distance queries *exactly*:
+//!
+//! * every vertex stores its `O(log n)` centroid ancestors with exact
+//!   distances;
+//! * `d_T(u, v) = min over shared centroids c of d(u,c) + d(c,v)` (every
+//!   `u–v` path crosses their topmost common centroid);
+//! * a vertex `f` lies on the unique `s–t` path iff
+//!   `d(s,f) + d(f,t) = d(s,t)`, and an edge `(a,b)` lies on it iff both
+//!   endpoints do — all computable from the labels of `s`, `t`, `F` alone,
+//!   so `d_{T∖F}(s,t)` is `d_T(s,t)` when no forbidden element lies on the
+//!   path and `∞` otherwise.
+//!
+//! The `exp_t9_related` experiment compares these (tiny, exact) labels with
+//! the doubling-dimension scheme on tree workloads.
+
+use fsdl_graph::{connectivity, Dist, FaultSet, Graph, NodeId};
+
+/// A centroid-decomposition label: the vertex's centroid ancestors with
+/// exact distances, ordered from the topmost (whole-tree) centroid down.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeLabel {
+    /// The vertex this label belongs to.
+    pub owner: NodeId,
+    /// `(centroid, d_T(owner, centroid))` pairs, topmost first.
+    pub ancestors: Vec<(NodeId, u32)>,
+}
+
+impl TreeLabel {
+    /// Label size in bits: each entry is a `⌈log n⌉`-bit id plus a
+    /// `⌈log n⌉`-bit distance.
+    pub fn bits(&self, n: usize) -> usize {
+        let w = fsdl_nets_ceil_log2(n).max(1) as usize;
+        self.ancestors.len() * 2 * w
+    }
+}
+
+// Local copy to avoid a dependency edge just for one helper.
+fn fsdl_nets_ceil_log2(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+/// The exact forbidden-set distance labeling for trees.
+///
+/// # Examples
+///
+/// ```
+/// use fsdl_baselines::TreeLabeling;
+/// use fsdl_graph::{generators, FaultSet, NodeId};
+///
+/// let t = generators::balanced_tree(2, 3);
+/// let scheme = TreeLabeling::build(&t);
+/// let ls = scheme.label_of(NodeId::new(7));
+/// let lt = scheme.label_of(NodeId::new(8));
+/// let d = TreeLabeling::query(&ls, &lt, &[]);
+/// assert_eq!(d.finite(), Some(2)); // siblings under vertex 3
+/// ```
+#[derive(Clone, Debug)]
+pub struct TreeLabeling {
+    labels: Vec<TreeLabel>,
+}
+
+impl TreeLabeling {
+    /// Builds the centroid decomposition of `tree` and all labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tree` is not a tree (connected, `m = n − 1`) or is empty.
+    pub fn build(tree: &Graph) -> Self {
+        let n = tree.num_vertices();
+        assert!(n > 0, "tree must be nonempty");
+        assert!(
+            tree.num_edges() == n - 1 && connectivity::is_connected(tree),
+            "input must be a connected tree"
+        );
+        let mut labels: Vec<TreeLabel> = tree
+            .vertices()
+            .map(|v| TreeLabel {
+                owner: v,
+                ancestors: Vec::new(),
+            })
+            .collect();
+        // Iterative centroid decomposition over the "alive" subforest.
+        let mut alive = vec![true; n];
+        let mut stack: Vec<NodeId> = vec![NodeId::new(0)];
+        let mut subtree = vec![0u32; n];
+        while let Some(root) = stack.pop() {
+            if !alive[root.index()] {
+                continue;
+            }
+            let component = collect_component(tree, root, &alive);
+            let centroid = find_centroid(tree, &component, &alive, &mut subtree);
+            // BFS from the centroid within the alive component records the
+            // (centroid, distance) entry for every member.
+            let dists = bfs_within(tree, centroid, &alive);
+            for &(v, d) in &dists {
+                labels[v.index()].ancestors.push((centroid, d));
+            }
+            alive[centroid.index()] = false;
+            for w in tree.neighbor_ids(centroid) {
+                if alive[w.index()] {
+                    stack.push(w);
+                }
+            }
+        }
+        TreeLabeling { labels }
+    }
+
+    /// The label of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn label_of(&self, v: NodeId) -> TreeLabel {
+        self.labels[v.index()].clone()
+    }
+
+    /// Exact `d_T(u, v)` from two labels.
+    pub fn distance(a: &TreeLabel, b: &TreeLabel) -> Dist {
+        if a.owner == b.owner {
+            return Dist::ZERO;
+        }
+        let mut best = Dist::INFINITE;
+        for &(c, da) in &a.ancestors {
+            for &(c2, db) in &b.ancestors {
+                if c == c2 {
+                    let sum = Dist::new(da).saturating_add_raw(db);
+                    if sum < best {
+                        best = sum;
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Exact forbidden-set query: `d_{T∖F}(s, t)` from the labels of `s`,
+    /// `t`, and the forbidden vertices (edge faults are given as endpoint
+    /// label pairs through [`TreeLabeling::query_with_edges`]).
+    pub fn query(s: &TreeLabel, t: &TreeLabel, forbidden: &[&TreeLabel]) -> Dist {
+        Self::query_with_edges(s, t, forbidden, &[])
+    }
+
+    /// Like [`TreeLabeling::query`] with forbidden edges as label pairs.
+    pub fn query_with_edges(
+        s: &TreeLabel,
+        t: &TreeLabel,
+        forbidden: &[&TreeLabel],
+        forbidden_edges: &[(&TreeLabel, &TreeLabel)],
+    ) -> Dist {
+        for f in forbidden {
+            if f.owner == s.owner || f.owner == t.owner {
+                return Dist::INFINITE;
+            }
+        }
+        let d_st = Self::distance(s, t);
+        let Some(dst) = d_st.finite() else {
+            return Dist::INFINITE;
+        };
+        let on_path = |x: &TreeLabel| -> bool {
+            let dsx = Self::distance(s, x).finite();
+            let dxt = Self::distance(x, t).finite();
+            matches!((dsx, dxt), (Some(a), Some(b)) if a + b == dst)
+        };
+        for f in forbidden {
+            if on_path(f) {
+                return Dist::INFINITE;
+            }
+        }
+        for (a, b) in forbidden_edges {
+            if on_path(a) && on_path(b) {
+                return Dist::INFINITE;
+            }
+        }
+        d_st
+    }
+
+    /// Mean and max label bits over all vertices.
+    pub fn size_stats(&self, n: usize) -> (f64, usize) {
+        let total: usize = self.labels.iter().map(|l| l.bits(n)).sum();
+        let max = self.labels.iter().map(|l| l.bits(n)).max().unwrap_or(0);
+        (total as f64 / self.labels.len() as f64, max)
+    }
+}
+
+/// All alive vertices reachable from `root`.
+fn collect_component(tree: &Graph, root: NodeId, alive: &[bool]) -> Vec<NodeId> {
+    let mut seen = vec![root];
+    let mut visited: std::collections::HashSet<NodeId> = seen.iter().copied().collect();
+    let mut k = 0;
+    while k < seen.len() {
+        let v = seen[k];
+        k += 1;
+        for w in tree.neighbor_ids(v) {
+            if alive[w.index()] && visited.insert(w) {
+                seen.push(w);
+            }
+        }
+    }
+    seen
+}
+
+/// The centroid of an alive component: a vertex whose removal leaves parts
+/// of size `≤ |component| / 2`.
+fn find_centroid(
+    tree: &Graph,
+    component: &[NodeId],
+    alive: &[bool],
+    subtree: &mut [u32],
+) -> NodeId {
+    let total = component.len() as u32;
+    let root = component[0];
+    // Iterative post-order subtree sizes within the alive component.
+    let mut order = Vec::with_capacity(component.len());
+    let mut parent: std::collections::HashMap<NodeId, NodeId> = std::collections::HashMap::new();
+    let mut stack = vec![root];
+    parent.insert(root, root);
+    while let Some(v) = stack.pop() {
+        order.push(v);
+        for w in tree.neighbor_ids(v) {
+            if alive[w.index()] && !parent.contains_key(&w) {
+                parent.insert(w, v);
+                stack.push(w);
+            }
+        }
+    }
+    for &v in order.iter().rev() {
+        subtree[v.index()] = 1;
+    }
+    for &v in order.iter().rev() {
+        let p = parent[&v];
+        if p != v {
+            subtree[p.index()] += subtree[v.index()];
+        }
+    }
+    // The centroid: max part size <= total / 2.
+    for &v in &order {
+        let mut max_part = total - subtree[v.index()];
+        for w in tree.neighbor_ids(v) {
+            if alive[w.index()] && parent.get(&w) == Some(&v) {
+                max_part = max_part.max(subtree[w.index()]);
+            }
+        }
+        if max_part <= total / 2 {
+            return v;
+        }
+    }
+    unreachable!("every tree has a centroid")
+}
+
+/// BFS distances from `src` within the alive component.
+fn bfs_within(tree: &Graph, src: NodeId, alive: &[bool]) -> Vec<(NodeId, u32)> {
+    let mut out = vec![(src, 0u32)];
+    let mut dist: std::collections::HashMap<NodeId, u32> = std::collections::HashMap::new();
+    dist.insert(src, 0);
+    let mut k = 0;
+    while k < out.len() {
+        let (v, d) = out[k];
+        k += 1;
+        for w in tree.neighbor_ids(v) {
+            if alive[w.index()] && !dist.contains_key(&w) {
+                dist.insert(w, d + 1);
+                out.push((w, d + 1));
+            }
+        }
+    }
+    out
+}
+
+/// Convenience wrapper answering queries by vertex id against a stored
+/// labeling (the oracle form).
+#[derive(Clone, Debug)]
+pub struct TreeOracle {
+    labeling: TreeLabeling,
+    graph: Graph,
+}
+
+impl TreeOracle {
+    /// Builds the oracle for a tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not a tree.
+    pub fn new(tree: &Graph) -> Self {
+        TreeOracle {
+            labeling: TreeLabeling::build(tree),
+            graph: tree.clone(),
+        }
+    }
+
+    /// The underlying labeling.
+    pub fn labeling(&self) -> &TreeLabeling {
+        &self.labeling
+    }
+
+    /// Exact `d_{T∖F}(s, t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a vertex is out of range or an edge fault is not an edge.
+    pub fn distance(&self, s: NodeId, t: NodeId, faults: &FaultSet) -> Dist {
+        let ls = self.labeling.label_of(s);
+        let lt = self.labeling.label_of(t);
+        let fls: Vec<TreeLabel> = faults
+            .vertices()
+            .map(|f| self.labeling.label_of(f))
+            .collect();
+        let fl_refs: Vec<&TreeLabel> = fls.iter().collect();
+        let els: Vec<(TreeLabel, TreeLabel)> = faults
+            .edges()
+            .map(|e| {
+                assert!(self.graph.has_edge(e.lo(), e.hi()), "{e} is not an edge");
+                (
+                    self.labeling.label_of(e.lo()),
+                    self.labeling.label_of(e.hi()),
+                )
+            })
+            .collect();
+        let el_refs: Vec<(&TreeLabel, &TreeLabel)> = els.iter().map(|(a, b)| (a, b)).collect();
+        TreeLabeling::query_with_edges(&ls, &lt, &fl_refs, &el_refs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsdl_graph::{bfs, generators};
+
+    fn check_tree(tree: &Graph) {
+        let oracle = TreeOracle::new(tree);
+        let n = tree.num_vertices();
+        // Failure-free distances are exact.
+        for s in (0..n as u32).step_by(3) {
+            let truth = bfs::distances(tree, NodeId::new(s));
+            for t in 0..n as u32 {
+                let d = oracle.distance(NodeId::new(s), NodeId::new(t), &FaultSet::empty());
+                assert_eq!(d, truth[t as usize], "{s}->{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_paths_and_trees() {
+        check_tree(&generators::path(17));
+        check_tree(&generators::balanced_tree(2, 4));
+        check_tree(&generators::balanced_tree(3, 3));
+        check_tree(&generators::caterpillar(6, 2));
+        check_tree(&generators::random_tree(40, 7));
+        check_tree(&generators::star(12));
+    }
+
+    #[test]
+    fn label_count_is_logarithmic() {
+        let tree = generators::path(1024);
+        let scheme = TreeLabeling::build(&tree);
+        for v in tree.vertices() {
+            let l = scheme.label_of(v);
+            assert!(
+                l.ancestors.len() <= 11,
+                "centroid depth {} too large at {v}",
+                l.ancestors.len()
+            );
+        }
+    }
+
+    #[test]
+    fn vertex_faults_exact() {
+        let tree = generators::balanced_tree(2, 4);
+        let oracle = TreeOracle::new(&tree);
+        for f in [0u32, 1, 5, 14] {
+            let faults = FaultSet::from_vertices([NodeId::new(f)]);
+            for s in 0..31u32 {
+                for t in 0..31u32 {
+                    if s == f || t == f {
+                        continue;
+                    }
+                    let d = oracle.distance(NodeId::new(s), NodeId::new(t), &faults);
+                    let truth =
+                        bfs::pair_distance_avoiding(&tree, NodeId::new(s), NodeId::new(t), &faults);
+                    assert_eq!(d, truth, "s={s} t={t} f={f}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_faults_exact() {
+        let tree = generators::random_tree(30, 11);
+        let oracle = TreeOracle::new(&tree);
+        let edges: Vec<_> = tree.edges().collect();
+        for e in edges.iter().step_by(3) {
+            let faults = FaultSet::from_edges(&tree, [(e.lo(), e.hi())]);
+            for s in (0..30u32).step_by(2) {
+                for t in (0..30u32).step_by(3) {
+                    let d = oracle.distance(NodeId::new(s), NodeId::new(t), &faults);
+                    let truth =
+                        bfs::pair_distance_avoiding(&tree, NodeId::new(s), NodeId::new(t), &faults);
+                    assert_eq!(d, truth, "s={s} t={t} e={e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_endpoint_infinite() {
+        let tree = generators::path(5);
+        let oracle = TreeOracle::new(&tree);
+        let faults = FaultSet::from_vertices([NodeId::new(0)]);
+        assert!(oracle
+            .distance(NodeId::new(0), NodeId::new(3), &faults)
+            .is_infinite());
+    }
+
+    #[test]
+    fn single_vertex_tree() {
+        let g = fsdl_graph::GraphBuilder::new(1).build();
+        let oracle = TreeOracle::new(&g);
+        assert_eq!(
+            oracle
+                .distance(NodeId::new(0), NodeId::new(0), &FaultSet::empty())
+                .finite(),
+            Some(0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "connected tree")]
+    fn rejects_non_trees() {
+        let g = generators::cycle(5);
+        let _ = TreeLabeling::build(&g);
+    }
+
+    #[test]
+    fn size_stats_reasonable() {
+        let tree = generators::balanced_tree(2, 7); // 255 vertices
+        let scheme = TreeLabeling::build(&tree);
+        let (mean, max) = scheme.size_stats(255);
+        // O(log^2 n) bits: ~8 ancestors x 16 bits = ~128.
+        assert!(mean > 0.0 && max <= 16 * 9 * 2, "mean {mean}, max {max}");
+    }
+}

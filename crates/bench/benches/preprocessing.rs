@@ -1,0 +1,51 @@
+//! Criterion bench: preprocessing cost (the paper's "all labels can be
+//! computed in polynomial time").
+//!
+//! Measures (a) `Labeling::build` — net hierarchy construction, the shared
+//! preprocessing — and (b) per-label materialization, across graph sizes
+//! and families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsdl_graph::{generators, NodeId};
+use fsdl_labels::{Labeling, SchemeParams};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("labeling_build");
+    group.sample_size(10);
+    for n in [256usize, 1024, 4096] {
+        let g = generators::path(n);
+        group.bench_with_input(BenchmarkId::new("path", n), &g, |b, g| {
+            b.iter(|| Labeling::build(g, SchemeParams::new(1.0, g.num_vertices())))
+        });
+    }
+    for side in [8usize, 16, 24] {
+        let g = generators::grid2d(side, side);
+        group.bench_with_input(BenchmarkId::new("grid2d", side * side), &g, |b, g| {
+            b.iter(|| Labeling::build(g, SchemeParams::new(1.0, g.num_vertices())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_materialize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("label_materialize");
+    group.sample_size(10);
+    for n in [256usize, 1024, 4096] {
+        let g = generators::path(n);
+        let labeling = Labeling::build(&g, SchemeParams::new(1.0, n));
+        group.bench_with_input(BenchmarkId::new("path", n), &labeling, |b, l| {
+            b.iter(|| l.label_of(NodeId::from_index(n / 2)))
+        });
+    }
+    {
+        let g = generators::grid2d(16, 16);
+        let labeling = Labeling::build(&g, SchemeParams::new(1.0, 256));
+        group.bench_with_input(BenchmarkId::new("grid2d", 256), &labeling, |b, l| {
+            b.iter(|| l.label_of(NodeId::new(120)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_materialize);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Criterion bench: decoder query time (Lemma 2.6) versus the exact-BFS
+//! baseline.
+//!
+//! * `query_vs_faults` — decoder time as `|F|` doubles (expected `~|F|²`
+//!   asymptote);
+//! * `query_vs_eps` — decoder time as `ε` shrinks (label growth);
+//! * `baseline_exact_bfs` — ground-truth BFS per query for scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsdl_baselines::ExactOracle;
+use fsdl_bench::measure::random_faults;
+use fsdl_graph::{generators, FaultSet, Graph, NodeId};
+use fsdl_labels::ForbiddenSetOracle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fixed_cases(g: &Graph, nf: usize, rounds: usize) -> Vec<(NodeId, NodeId, FaultSet)> {
+    let mut rng = StdRng::seed_from_u64(42);
+    let n = g.num_vertices();
+    (0..rounds)
+        .map(|k| {
+            let s = NodeId::from_index((k * 13) % n);
+            let t = NodeId::from_index((k * 29 + n / 2) % n);
+            let f = random_faults(g, nf, s, t, &mut rng);
+            (s, t, f)
+        })
+        .collect()
+}
+
+fn bench_query_vs_faults(c: &mut Criterion) {
+    let g = generators::grid2d(12, 12);
+    let oracle = ForbiddenSetOracle::new(&g, 1.0);
+    // Pre-materialize all labels so only decoding is measured.
+    for v in g.vertices() {
+        let _ = oracle.label(v);
+    }
+    let mut group = c.benchmark_group("query_vs_faults");
+    group.sample_size(10);
+    for nf in [1usize, 4, 16] {
+        let cases = fixed_cases(&g, nf, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(nf), &cases, |b, cases| {
+            b.iter(|| {
+                for (s, t, f) in cases {
+                    let _ = oracle.distance(*s, *t, f);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_vs_eps(c: &mut Criterion) {
+    let g = generators::path(1024);
+    let mut group = c.benchmark_group("query_vs_eps");
+    group.sample_size(10);
+    for eps in [2.0f64, 1.0, 0.5] {
+        let oracle = ForbiddenSetOracle::new(&g, eps);
+        for v in g.vertices() {
+            let _ = oracle.label(v);
+        }
+        let cases = fixed_cases(&g, 4, 8);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("eps-{eps}")),
+            &cases,
+            |b, cases| {
+                b.iter(|| {
+                    for (s, t, f) in cases {
+                        let _ = oracle.distance(*s, *t, f);
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_exact_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_exact_bfs");
+    group.sample_size(10);
+    for n in [1024usize, 4096, 16384] {
+        let g = generators::cycle(n);
+        let exact = ExactOracle::new(&g);
+        let cases = fixed_cases(&g, 4, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cases, |b, cases| {
+            b.iter(|| {
+                for (s, t, f) in cases {
+                    let _ = exact.distance(*s, *t, f);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_query_vs_faults,
+    bench_query_vs_eps,
+    bench_exact_baseline
+);
+criterion_main!(benches);

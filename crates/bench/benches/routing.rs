@@ -1,0 +1,50 @@
+//! Criterion bench: routing-scheme costs (Theorem 2.7).
+//!
+//! * `routing_table_build` — per-vertex table materialization;
+//! * `routing_hops` — full packet delivery (header computation + hop-by-hop
+//!   forwarding) under a fixed fault set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsdl_graph::{generators, FaultSet, NodeId};
+use fsdl_labels::{Labeling, SchemeParams};
+use fsdl_routing::{Network, RoutingScheme};
+
+fn bench_table_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing_table_build");
+    group.sample_size(10);
+    for side in [8usize, 12, 16] {
+        let g = generators::grid2d(side, side);
+        let labeling = Labeling::build(&g, SchemeParams::new(1.0, side * side));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(side * side),
+            &labeling,
+            |b, l| {
+                let scheme = RoutingScheme::new(l);
+                b.iter(|| scheme.table_of(NodeId::from_index(side * side / 2)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_routing_hops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing_hops");
+    group.sample_size(10);
+    let g = generators::grid2d(12, 12);
+    let net = Network::new(&g, 1.0);
+    // Warm the table cache so steady-state forwarding is measured.
+    for v in g.vertices() {
+        let _ = net.table(v);
+    }
+    let faults = FaultSet::from_vertices([NodeId::new(66), NodeId::new(67)]);
+    group.bench_function(BenchmarkId::from_parameter("grid-12x12-2faults"), |b| {
+        b.iter(|| {
+            net.route(NodeId::new(0), NodeId::new(143), &faults)
+                .expect("connected")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table_build, bench_routing_hops);
+criterion_main!(benches);

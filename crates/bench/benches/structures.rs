@@ -1,0 +1,51 @@
+//! Criterion bench: companion-structure construction costs — the net
+//! spanner, hub labels (PLL), and exact tree labels, for scale against the
+//! forbidden-set labeling itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsdl_baselines::{HubLabeling, TreeLabeling};
+use fsdl_graph::generators;
+use fsdl_nets::Spanner;
+
+fn bench_spanner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spanner_build");
+    group.sample_size(10);
+    for side in [8usize, 16] {
+        let g = generators::grid2d(side, side);
+        group.bench_with_input(BenchmarkId::from_parameter(side * side), &g, |b, g| {
+            b.iter(|| Spanner::build(g, 1.0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hub_labels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hub_labels_build");
+    group.sample_size(10);
+    for n in [256usize, 1024] {
+        let g = generators::path(n);
+        group.bench_with_input(BenchmarkId::new("path", n), &g, |b, g| {
+            b.iter(|| HubLabeling::build(g))
+        });
+    }
+    let g = generators::grid2d(16, 16);
+    group.bench_with_input(BenchmarkId::new("grid2d", 256), &g, |b, g| {
+        b.iter(|| HubLabeling::build(g))
+    });
+    group.finish();
+}
+
+fn bench_tree_labels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_labels_build");
+    group.sample_size(10);
+    for n in [255usize, 1023] {
+        let g = generators::balanced_tree(2, if n == 255 { 7 } else { 9 });
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| TreeLabeling::build(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spanner, bench_hub_labels, bench_tree_labels);
+criterion_main!(benches);

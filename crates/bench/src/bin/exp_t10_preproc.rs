@@ -1,0 +1,67 @@
+//! Experiment T10 — preprocessing cost ("all labels can be computed in
+//! polynomial time").
+//!
+//! Tables the wall-clock cost of the two preprocessing phases as `n` grows:
+//! the shared net-hierarchy construction (`Labeling::build`, parallelized
+//! over levels) and per-label materialization, plus the derived full-oracle
+//! build estimate `n ×` label cost. Expected shape: both phases scale
+//! near-linearly in `n · polylog` on paths and meshes — the polynomial
+//! claim, made concrete.
+
+use std::time::Instant;
+
+use fsdl_bench::tables::{f1, Table};
+use fsdl_graph::{generators, Graph, NodeId};
+use fsdl_labels::{Labeling, SchemeParams};
+
+fn time_build(g: &Graph) -> (f64, Labeling) {
+    let start = Instant::now();
+    let labeling = Labeling::build(g, SchemeParams::new(1.0, g.num_vertices()));
+    (start.elapsed().as_secs_f64() * 1e3, labeling)
+}
+
+fn time_labels(labeling: &Labeling, samples: usize) -> f64 {
+    let n = labeling.graph().num_vertices();
+    let stride = (n / samples).max(1);
+    let start = Instant::now();
+    let mut count = 0usize;
+    let mut v = 0usize;
+    while v < n && count < samples {
+        let _ = labeling.label_of(NodeId::from_index(v));
+        v += stride;
+        count += 1;
+    }
+    start.elapsed().as_secs_f64() * 1e3 / count as f64
+}
+
+fn main() {
+    println!("Experiment T10: preprocessing cost (eps = 1)\n");
+
+    let mut table = Table::new(
+        "build + per-label materialization vs n",
+        &["family", "n", "build ms", "ms/label", "est. full oracle s"],
+    );
+    let workloads: Vec<(String, Graph)> = vec![
+        ("path".into(), generators::path(1024)),
+        ("path".into(), generators::path(4096)),
+        ("path".into(), generators::path(16384)),
+        ("grid2d".into(), generators::grid2d(16, 16)),
+        ("grid2d".into(), generators::grid2d(32, 32)),
+        ("udg".into(), generators::random_geometric(1000, 0.055, 1)),
+    ];
+    for (name, g) in workloads {
+        let n = g.num_vertices();
+        let (build_ms, labeling) = time_build(&g);
+        let per_label_ms = time_labels(&labeling, 8);
+        table.row(&[
+            name,
+            n.to_string(),
+            f1(build_ms),
+            f1(per_label_ms),
+            f1(per_label_ms * n as f64 / 1e3),
+        ]);
+    }
+    table.print();
+    println!("Expected shape: near-linear growth in n (times polylog) for both phases;");
+    println!("the full-oracle estimate is what a centralized deployment pays once.");
+}

@@ -1,0 +1,92 @@
+//! Experiment T11 — the paper's fast-recovery protocol, fleet-level.
+//!
+//! Simulates the applications-section scenario end to end: a network runs
+//! steady traffic; a batch of routers fails with *nobody informed*;
+//! knowledge spreads only by probing and piggybacking on packets, and every
+//! better-informed router reroutes in flight. The table tracks, per traffic
+//! epoch: fleet awareness, delivery rate, mean reroutes per packet, and
+//! mean hop stretch vs the omniscient optimum. Expected shape: awareness
+//! climbs toward 1.0 under traffic alone, reroutes spike right after the
+//! failure and decay to 0, and stretch converges to the steady-state
+//! (1+ε-bounded) value — recovery without any global recomputation.
+
+use fsdl_bench::tables::{f1, f3, Table};
+use fsdl_graph::{bfs, generators, NodeId};
+use fsdl_routing::{Network, RecoverySim, RouteFailure};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    println!("Experiment T11: fast recovery by probing + piggybacking\n");
+
+    let g = generators::grid2d(10, 10);
+    let n = g.num_vertices();
+    let mut sim = RecoverySim::new(Network::new(&g, 1.0));
+    let mut rng = StdRng::seed_from_u64(0x11EC);
+
+    let mut table = Table::new(
+        "grid-10x10: 8 epochs x 25 packets; 4 routers fail after epoch 2",
+        &[
+            "epoch",
+            "awareness",
+            "delivered",
+            "dropped",
+            "mean reroutes",
+            "mean stretch",
+        ],
+    );
+
+    for epoch in 0..8 {
+        if epoch == 2 {
+            for f in [44u32, 45, 54, 55] {
+                sim.fail_vertex(NodeId::new(f));
+            }
+            println!("(epoch 2: center block v44,v45,v54,v55 fails — nobody informed)\n");
+        }
+        let mut delivered = 0usize;
+        let mut dropped = 0usize;
+        let mut reroutes = 0usize;
+        let mut stretch_sum = 0.0f64;
+        let mut stretch_count = 0usize;
+        for _ in 0..25 {
+            let s = NodeId::from_index(rng.gen_range(0..n));
+            let t = NodeId::from_index(rng.gen_range(0..n));
+            if sim.ground_truth().is_vertex_faulty(s) || sim.ground_truth().is_vertex_faulty(t) {
+                continue;
+            }
+            let truth = bfs::pair_distance_avoiding(&g, s, t, sim.ground_truth());
+            match sim.send(s, t) {
+                Ok(out) => {
+                    delivered += 1;
+                    reroutes += out.reroutes;
+                    if let Some(td) = truth.finite() {
+                        if td > 0 {
+                            stretch_sum += out.hops as f64 / f64::from(td);
+                            stretch_count += 1;
+                        }
+                    }
+                }
+                Err(RouteFailure::Unreachable) => {
+                    assert!(truth.is_infinite(), "dropped a deliverable packet");
+                    dropped += 1;
+                }
+                Err(e) => panic!("recovery invariant violated: {e}"),
+            }
+        }
+        table.row(&[
+            epoch.to_string(),
+            f3(sim.awareness()),
+            delivered.to_string(),
+            dropped.to_string(),
+            f1(reroutes as f64 / delivered.max(1) as f64),
+            if stretch_count > 0 {
+                f3(stretch_sum / stretch_count as f64)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    table.print();
+    println!("Expected shape: awareness 0 -> ~1 under traffic alone; reroutes spike at the");
+    println!("failure epoch and decay; stretch transiently above 1 then back to ~1.0.");
+}

@@ -1,0 +1,121 @@
+//! Experiment T1 — Theorem 2.1 stretch validation.
+//!
+//! For every workload family, precision `ε`, and fault-set size `|F|`, runs
+//! randomized queries and reports realized stretch against exact ground
+//! truth, plus the fault-oblivious baseline's violation rate (how often
+//! ignoring `F` under-reports the true surviving distance). Expected shape:
+//! `max stretch ≤ 1 + ε` always, usually far below; the oblivious baseline
+//! violates frequently as soon as `|F| > 0`.
+
+use fsdl_baselines::{ExactOracle, FaultObliviousBaseline};
+use fsdl_bench::measure::{measure_stretch, measure_stretch_adversarial, random_faults};
+use fsdl_bench::tables::{f3, Table};
+use fsdl_bench::workloads::{audit, stretch_suite};
+use fsdl_graph::NodeId;
+use fsdl_labels::ForbiddenSetOracle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    println!("Experiment T1: forbidden-set (1+eps) stretch (Theorem 2.1)\n");
+
+    let mut table = Table::new(
+        "stretch vs family, eps, |F| (random faults, 60 queries each)",
+        &[
+            "family", "n", "alpha~", "eps", "|F|", "max", "mean", "exact%", "disconn",
+        ],
+    );
+    for w in stretch_suite() {
+        let alpha = audit(&w);
+        for &eps in &[0.5, 1.0, 2.0] {
+            let oracle = ForbiddenSetOracle::new(&w.graph, eps);
+            for &nf in &[0usize, 1, 4, 8] {
+                let stats = measure_stretch(&w.graph, &oracle, nf, 60, 0xF00D + nf as u64);
+                assert!(
+                    stats.max_stretch <= 1.0 + eps + 1e-9,
+                    "stretch guarantee violated on {}",
+                    w.name
+                );
+                table.row(&[
+                    w.name.clone(),
+                    w.n().to_string(),
+                    alpha.to_string(),
+                    format!("{eps}"),
+                    nf.to_string(),
+                    f3(stats.max_stretch),
+                    f3(stats.mean_stretch),
+                    format!("{:.0}%", stats.exact_fraction * 100.0),
+                    stats.disconnected.to_string(),
+                ]);
+            }
+        }
+    }
+    table.print();
+
+    // Adversarial fault sets: articulation points, bridges, hubs.
+    let mut adversarial = Table::new(
+        "adversarial (cut-structure) faults, eps = 1, 40 queries each",
+        &["family", "|F|", "max", "mean", "exact%", "disconn"],
+    );
+    for w in stretch_suite() {
+        let oracle = ForbiddenSetOracle::new(&w.graph, 1.0);
+        for &nf in &[2usize, 6] {
+            let stats = measure_stretch_adversarial(&w.graph, &oracle, nf, 40, 0xAD);
+            assert!(
+                stats.max_stretch <= 2.0 + 1e-9,
+                "adversarial stretch violated"
+            );
+            adversarial.row(&[
+                w.name.clone(),
+                nf.to_string(),
+                f3(stats.max_stretch),
+                f3(stats.mean_stretch),
+                format!("{:.0}%", stats.exact_fraction * 100.0),
+                stats.disconnected.to_string(),
+            ]);
+        }
+    }
+    adversarial.print();
+
+    // Fault-oblivious baseline: how often does ignoring F under-report the
+    // surviving distance?
+    let mut baseline_table = Table::new(
+        "fault-oblivious baseline violation rate (answers < d_{G\\F})",
+        &["family", "|F|", "violations", "queries"],
+    );
+    for w in stretch_suite() {
+        let exact = ExactOracle::new(&w.graph);
+        let oblivious = FaultObliviousBaseline::new(&w.graph, 1.0);
+        let mut rng = StdRng::seed_from_u64(0xBAD);
+        for &nf in &[1usize, 4] {
+            let mut violations = 0usize;
+            let rounds = 40usize;
+            for _ in 0..rounds {
+                let s = NodeId::from_index(rng.gen_range(0..w.n()));
+                let t = NodeId::from_index(rng.gen_range(0..w.n()));
+                let f = random_faults(&w.graph, nf, s, t, &mut rng);
+                let truth = exact.distance(s, t, &f);
+                let naive = oblivious.distance_ignoring_faults(s, t, &f);
+                let violated = match (naive.finite(), truth.finite()) {
+                    (Some(nd), Some(td)) => nd < td,
+                    (Some(_), None) => true, // claims a path that does not exist
+                    _ => false,
+                };
+                if violated {
+                    violations += 1;
+                }
+            }
+            baseline_table.row(&[
+                w.name.clone(),
+                nf.to_string(),
+                violations.to_string(),
+                rounds.to_string(),
+            ]);
+        }
+    }
+    baseline_table.print();
+
+    println!(
+        "PASS: all queries within the 1+eps guarantee; oblivious baseline violates as expected."
+    );
+}

@@ -1,0 +1,59 @@
+//! Experiment T3 — Lemma 2.6 query time `O(1+ε⁻¹)^{2α}·|F|² log n`.
+//!
+//! Sweeps `|F|` on a fixed graph and times the decoder (labels
+//! pre-materialized so only decoding is measured), reporting microseconds
+//! per query, sketch sizes, and the ratio to the previous row — for an
+//! `|F|²` law the time ratio should approach 4 as `|F|` doubles (it is
+//! below 4 while the `|F|`-linear sketch-construction term dominates).
+//! The exact-BFS baseline is timed for comparison: its cost is flat in
+//! `|F|` but proportional to the whole graph.
+
+use fsdl_bench::measure::{measure_exact_time, measure_query_time};
+use fsdl_bench::tables::{f1, f3, Table};
+use fsdl_graph::generators;
+use fsdl_labels::ForbiddenSetOracle;
+
+fn main() {
+    println!("Experiment T3: query time vs |F| (Lemma 2.6)\n");
+
+    for (name, g) in [
+        ("cycle-1024", generators::cycle(1024)),
+        ("grid-16x16", generators::grid2d(16, 16)),
+    ] {
+        let oracle = ForbiddenSetOracle::new(&g, 1.0);
+        let mut table = Table::new(
+            format!("{name}: decoder time vs |F| (eps = 1, 30 queries/row)"),
+            &[
+                "|F|",
+                "us/query",
+                "ratio",
+                "sketch V",
+                "sketch E",
+                "exact BFS us",
+            ],
+        );
+        let mut prev = 0.0f64;
+        for &nf in &[1usize, 2, 4, 8, 16, 32] {
+            let (micros, sv, se) = measure_query_time(&g, &oracle, nf, 30, 77);
+            let exact_us = measure_exact_time(&g, nf, 30, 77);
+            let ratio = if prev > 0.0 { micros / prev } else { f64::NAN };
+            table.row(&[
+                nf.to_string(),
+                f1(micros),
+                if ratio.is_nan() {
+                    "-".into()
+                } else {
+                    f3(ratio)
+                },
+                f1(sv),
+                f1(se),
+                f1(exact_us),
+            ]);
+            prev = micros;
+        }
+        table.print();
+    }
+
+    println!("Expected shape: us/query grows superlinearly in |F| (toward x4 per doubling);");
+    println!("exact BFS is flat in |F| but scales with graph size, not label size.");
+}

@@ -1,0 +1,87 @@
+//! Experiment T5 — Theorem 3.1 lower bound `Ω(2^{α/2} + log n)`.
+//!
+//! Three parts:
+//!
+//! 1. the counting bound for the family `F_{n,α}` at several `(p, d)`:
+//!    per-label bits `(|E(G_{p,d})| − |E(H_{p,d})|)/n` versus `2^{α/2}` and
+//!    versus our scheme's *measured* label bits on a random member —
+//!    bracketing the scheme between the bound and its upper-bound law;
+//! 2. the everywhere-failure adjacency attack run end-to-end through our
+//!    labeling oracle: exact reconstruction of a random member (the
+//!    information really is in the labels);
+//! 3. the path-distinctness check (`≥ n − 2` distinct labels on `P_n`).
+
+use fsdl_bench::measure::measure_label_sizes;
+use fsdl_bench::tables::{f1, Table};
+use fsdl_bounds::{find_path_label_collision, reconstruct_graph, LowerBoundFamily};
+use fsdl_graph::{generators, NodeId};
+use fsdl_labels::ForbiddenSetOracle;
+
+fn main() {
+    println!("Experiment T5: connectivity lower bound (Theorem 3.1)\n");
+
+    let mut t = Table::new(
+        "counting bound vs measured label bits (eps = 3 connectivity regime)",
+        &[
+            "family",
+            "n",
+            "alpha=2d",
+            "2^(a/2)",
+            "free edges",
+            "LB bits/label",
+            "measured bits",
+        ],
+    );
+    for (p, d) in [(4usize, 2usize), (6, 2), (8, 2), (3, 4)] {
+        let fam = LowerBoundFamily::new(p, d);
+        let member = fam.random_member(1234);
+        let oracle = ForbiddenSetOracle::new(&member, 3.0);
+        let s = measure_label_sizes(&oracle, 6);
+        t.row(&[
+            format!("F(p={p},d={d})"),
+            fam.num_vertices().to_string(),
+            fam.alpha().to_string(),
+            (1u64 << (fam.alpha() / 2)).to_string(),
+            fam.log2_size().to_string(),
+            f1(fam.per_label_lower_bound_bits()),
+            f1(s.mean_bits),
+        ]);
+        assert!(
+            s.mean_bits >= fam.per_label_lower_bound_bits() / 64.0,
+            "scheme labels implausibly below the counting bound"
+        );
+    }
+    t.print();
+
+    // Part 2: the attack, through our labels.
+    let fam = LowerBoundFamily::new(3, 2);
+    let member = fam.random_member(99);
+    let oracle = ForbiddenSetOracle::new(&member, 3.0);
+    let rebuilt = reconstruct_graph(&oracle);
+    let ok = rebuilt == member;
+    println!(
+        "adjacency attack on F(p=3,d=2) member ({} vertices, {} edges): reconstruction {}",
+        member.num_vertices(),
+        member.num_edges(),
+        if ok { "EXACT" } else { "FAILED" }
+    );
+    assert!(ok, "attack failed: labels did not determine the graph");
+
+    // Part 3: path label distinctness.
+    let n = 24;
+    let g = generators::path(n);
+    let oracle = ForbiddenSetOracle::new(&g, 2.0);
+    let labels: Vec<Vec<u8>> = (0..n as u32)
+        .map(|v| {
+            let l = oracle.label(NodeId::new(v));
+            fsdl_labels::codec::encode(&l, n).as_bytes().to_vec()
+        })
+        .collect();
+    match find_path_label_collision(&labels) {
+        None => println!("path P_{n}: all labels distinct (>= n-2 requirement satisfied)"),
+        Some((x, y)) => panic!("label collision on path at ({x}, {y})"),
+    }
+
+    println!("\nExpected shape: LB bits/label grows ~2^(alpha/2); measured bits sit above it");
+    println!("(up to the scheme's polylog factor), and the attack always reconstructs exactly.");
+}

@@ -1,0 +1,102 @@
+//! Experiment T6 — the fully-dynamic oracle byproduct (STOC'12 transform).
+//!
+//! Streams random vertex/edge deletions and restorations through
+//! [`DynamicOracle`] at several rebuild thresholds, reporting rebuild
+//! counts, mean update time, and mean query time, with spot-checked
+//! correctness against exact BFS on the live graph. Expected shape: a
+//! `√n`-flavoured threshold balances update cost (rebuilds) against query
+//! cost (`|F|²` decoding) — tiny thresholds rebuild constantly, huge ones
+//! decode slowly.
+
+use std::time::Instant;
+
+use fsdl_baselines::ExactOracle;
+use fsdl_bench::tables::{f1, Table};
+use fsdl_graph::{generators, NodeId};
+use fsdl_labels::DynamicOracle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    println!("Experiment T6: fully dynamic oracle (buffer + rebuild)\n");
+
+    let g = generators::cycle(256);
+    let exact = ExactOracle::new(&g);
+    let n = g.num_vertices();
+    let sqrt_n = (n as f64).sqrt().ceil() as usize;
+
+    let mut table = Table::new(
+        format!("cycle-256 (sqrt(n) = {sqrt_n}): 60 updates + 120 queries per threshold"),
+        &[
+            "threshold",
+            "rebuilds",
+            "mean update us",
+            "mean query us",
+            "checked",
+        ],
+    );
+
+    for &threshold in &[1usize, 4, 16, sqrt_n, 64] {
+        let mut oracle = DynamicOracle::with_threshold(&g, 1.0, threshold);
+        let mut rng = StdRng::seed_from_u64(0xD1CE);
+        let mut update_time = 0.0f64;
+        let mut deleted: Vec<NodeId> = Vec::new();
+        let updates = 60usize;
+        for _ in 0..updates {
+            let start = Instant::now();
+            if !deleted.is_empty() && rng.gen_bool(0.3) {
+                let k = rng.gen_range(0..deleted.len());
+                let v = deleted.swap_remove(k);
+                oracle.restore_vertex(v);
+            } else {
+                let v = NodeId::from_index(rng.gen_range(0..n));
+                if !deleted.contains(&v) {
+                    oracle.delete_vertex(v);
+                    deleted.push(v);
+                }
+            }
+            update_time += start.elapsed().as_secs_f64();
+        }
+        // Queries with correctness spot checks against the live graph.
+        let faults = oracle.current_faults();
+        let mut query_time = 0.0f64;
+        let mut checked = 0usize;
+        let queries = 120usize;
+        for _ in 0..queries {
+            let s = NodeId::from_index(rng.gen_range(0..n));
+            let t = NodeId::from_index(rng.gen_range(0..n));
+            let start = Instant::now();
+            let d = oracle.distance(s, t);
+            query_time += start.elapsed().as_secs_f64();
+            let truth = exact.distance(s, t, &faults);
+            match (d.finite(), truth.finite()) {
+                (None, None) => {}
+                (Some(dd), Some(td)) => {
+                    assert!(dd >= td, "unsound dynamic answer");
+                    assert!(
+                        f64::from(dd) <= 2.0 * f64::from(td) + 1e-9,
+                        "dynamic stretch violated"
+                    );
+                }
+                (a, b) => {
+                    // Endpoint deleted: both sides must agree.
+                    assert!(
+                        faults.is_vertex_faulty(s) || faults.is_vertex_faulty(t),
+                        "connectivity disagreement: {a:?} vs {b:?}"
+                    );
+                }
+            }
+            checked += 1;
+        }
+        table.row(&[
+            threshold.to_string(),
+            oracle.rebuilds().to_string(),
+            f1(update_time * 1e6 / updates as f64),
+            f1(query_time * 1e6 / queries as f64),
+            checked.to_string(),
+        ]);
+    }
+    table.print();
+    println!("Expected shape: rebuilds fall as the threshold grows; query time rises with");
+    println!("the buffered |F|; the sqrt(n) row balances the two (the STOC'12 tradeoff).");
+}

@@ -1,0 +1,94 @@
+//! Experiment T8 — ablations of the design choices DESIGN.md calls out.
+//!
+//! Two ablations:
+//!
+//! 1. **Waypoint pruning** (our deviation 2): storing only virtual pairs
+//!    with a waypoint-level endpoint vs. the paper's literal all-pairs
+//!    `E(H_i(v))` — same stretch (asserted), labels several times smaller.
+//! 2. **Precision offset `c`** below the guarantee threshold
+//!    `⌈log₂(6/ε)⌉`: labels shrink while the *measured* stretch stays far
+//!    below the now-voided guarantee — quantifying how conservative the
+//!    worst-case schedule is on non-adversarial inputs.
+
+use fsdl_bench::measure::{measure_label_sizes, measure_stretch};
+use fsdl_bench::tables::{f1, f3, Table};
+use fsdl_graph::generators;
+use fsdl_labels::{ForbiddenSetOracle, Labeling, LabelingOptions, SchemeParams};
+
+fn main() {
+    println!("Experiment T8: ablations\n");
+
+    // Ablation 1: waypoint pruning vs all-pairs labels.
+    let mut t1 = Table::new(
+        "waypoint pruning vs paper-literal all-pairs (eps = 1)",
+        &[
+            "family",
+            "variant",
+            "mean bits",
+            "max stretch",
+            "mean stretch",
+        ],
+    );
+    for (name, g) in [
+        ("grid-9x9", generators::grid2d(9, 9)),
+        ("cycle-96", generators::cycle(96)),
+    ] {
+        for (variant, all_pairs) in [("pruned (ours)", false), ("all-pairs (paper)", true)] {
+            let params = SchemeParams::new(1.0, g.num_vertices());
+            let labeling = Labeling::build_with_options(&g, params, LabelingOptions { all_pairs });
+            let oracle = oracle_from(labeling);
+            let sizes = measure_label_sizes(&oracle, 8);
+            let stats = measure_stretch(&g, &oracle, 4, 40, 0xAB1);
+            assert!(
+                stats.max_stretch <= 2.0 + 1e-9,
+                "stretch broke under ablation"
+            );
+            t1.row(&[
+                name.to_string(),
+                variant.to_string(),
+                f1(sizes.mean_bits),
+                f3(stats.max_stretch),
+                f3(stats.mean_stretch),
+            ]);
+        }
+    }
+    t1.print();
+
+    // Ablation 2: c below the guarantee threshold.
+    let mut t2 = Table::new(
+        "precision offset c below the eps = 0.5 threshold (needs c >= 4) on cycle-128",
+        &[
+            "c",
+            "guaranteed",
+            "mean bits",
+            "max stretch",
+            "mean stretch",
+        ],
+    );
+    let g = generators::cycle(128);
+    for c in [2u32, 3, 4, 5] {
+        let params = SchemeParams::with_c(0.5, c, g.num_vertices());
+        let guaranteed = params.stretch_guaranteed();
+        let oracle = ForbiddenSetOracle::with_params(&g, params);
+        let sizes = measure_label_sizes(&oracle, 8);
+        let stats = measure_stretch(&g, &oracle, 4, 40, 0xAB2);
+        t2.row(&[
+            c.to_string(),
+            if guaranteed { "yes" } else { "no" }.to_string(),
+            f1(sizes.mean_bits),
+            f3(stats.max_stretch),
+            f3(stats.mean_stretch),
+        ]);
+    }
+    t2.print();
+
+    println!("Expected shape: pruning shrinks labels materially at identical stretch;");
+    println!("sub-threshold c shrinks labels further while measured stretch stays near 1 —");
+    println!("the schedule's constants are worst-case, not typical-case.");
+}
+
+fn oracle_from(labeling: Labeling) -> ForbiddenSetOracle {
+    // ForbiddenSetOracle::with_params rebuilds; expose a direct path via the
+    // labeling-owning constructor.
+    ForbiddenSetOracle::from_labeling(labeling)
+}

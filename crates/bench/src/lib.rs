@@ -1,0 +1,20 @@
+//! # fsdl-bench — experiment harness shared plumbing
+//!
+//! The paper is theory-only, so the "tables and figures" this workspace
+//! regenerates are the quantitative behaviours its theorems predict (see
+//! `EXPERIMENTS.md` at the repository root for the full index). This crate
+//! holds what every `exp_*` binary shares:
+//!
+//! * [`workloads`] — the named graph families with their advertised
+//!   doubling dimensions (audited by the estimator before use);
+//! * [`measure`] — stretch/size/time measurement runners against the exact
+//!   baseline;
+//! * [`tables`] — plain-text table rendering so every experiment prints the
+//!   same way.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod measure;
+pub mod tables;
+pub mod workloads;

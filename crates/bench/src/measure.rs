@@ -1,0 +1,380 @@
+//! Measurement runners shared by the experiment binaries.
+
+use std::time::Instant;
+
+use fsdl_baselines::ExactOracle;
+use fsdl_graph::{FaultSet, Graph, NodeId};
+use fsdl_labels::ForbiddenSetOracle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Aggregated stretch statistics over a batch of queries.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StretchStats {
+    /// Number of connected (finite-truth) queries measured.
+    pub queries: usize,
+    /// Number of disconnected queries (decoder must agree; counted
+    /// separately).
+    pub disconnected: usize,
+    /// Maximum realized stretch.
+    pub max_stretch: f64,
+    /// Mean realized stretch.
+    pub mean_stretch: f64,
+    /// Fraction of queries answered exactly (stretch = 1).
+    pub exact_fraction: f64,
+}
+
+/// Samples a fault set of `size` elements (`vertex_bias` fraction vertices,
+/// rest edges) avoiding `s`/`t` as fault vertices.
+pub fn random_faults(g: &Graph, size: usize, s: NodeId, t: NodeId, rng: &mut StdRng) -> FaultSet {
+    let n = g.num_vertices();
+    let mut f = FaultSet::empty();
+    let mut attempts = 0;
+    while f.len() < size && attempts < size * 50 + 100 {
+        attempts += 1;
+        if rng.gen_bool(0.7) {
+            let v = NodeId::from_index(rng.gen_range(0..n));
+            if v != s && v != t {
+                f.forbid_vertex(v);
+            }
+        } else {
+            let v = NodeId::from_index(rng.gen_range(0..n));
+            let nbrs = g.neighbors(v);
+            if !nbrs.is_empty() {
+                let w = NodeId::new(nbrs[rng.gen_range(0..nbrs.len())]);
+                f.forbid_edge_unchecked(v, w);
+            }
+        }
+    }
+    f
+}
+
+/// Runs `rounds` random queries with `fault_count` random faults each,
+/// comparing the labeling oracle against exact ground truth.
+///
+/// # Panics
+///
+/// Panics if the decoder ever reports a spurious disconnection or a
+/// distance below the truth (soundness violations).
+pub fn measure_stretch(
+    g: &Graph,
+    oracle: &ForbiddenSetOracle,
+    fault_count: usize,
+    rounds: usize,
+    seed: u64,
+) -> StretchStats {
+    let exact = ExactOracle::new(g);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.num_vertices();
+    let mut stats = StretchStats {
+        max_stretch: 1.0,
+        ..StretchStats::default()
+    };
+    let mut sum = 0.0;
+    let mut exact_hits = 0usize;
+    for _ in 0..rounds {
+        let s = NodeId::from_index(rng.gen_range(0..n));
+        let t = NodeId::from_index(rng.gen_range(0..n));
+        let f = random_faults(g, fault_count, s, t, &mut rng);
+        let answer = oracle.distance(s, t, &f);
+        let truth = exact.distance(s, t, &f);
+        match truth.finite() {
+            None => {
+                assert!(answer.is_infinite(), "decoder invented a path {s}->{t}");
+                stats.disconnected += 1;
+            }
+            Some(0) => {
+                assert_eq!(answer.finite(), Some(0));
+                stats.queries += 1;
+                sum += 1.0;
+                exact_hits += 1;
+            }
+            Some(td) => {
+                let ad = answer
+                    .finite()
+                    .expect("decoder reported spurious disconnection");
+                assert!(ad >= td, "unsound answer {ad} < truth {td}");
+                let stretch = f64::from(ad) / f64::from(td);
+                stats.queries += 1;
+                sum += stretch;
+                if ad == td {
+                    exact_hits += 1;
+                }
+                if stretch > stats.max_stretch {
+                    stats.max_stretch = stretch;
+                }
+            }
+        }
+    }
+    if stats.queries > 0 {
+        stats.mean_stretch = sum / stats.queries as f64;
+        stats.exact_fraction = exact_hits as f64 / stats.queries as f64;
+    }
+    stats
+}
+
+/// Builds an adversarial fault set from the graph's cut structure:
+/// articulation points first (maximal detours/disconnections), then
+/// bridges, then the highest-degree vertices — skipping `s`/`t`.
+pub fn adversarial_faults(g: &Graph, size: usize, s: NodeId, t: NodeId) -> FaultSet {
+    let cs = fsdl_graph::cut::cut_structure(g);
+    let mut f = FaultSet::empty();
+    for ap in cs.articulation_points {
+        if f.len() >= size {
+            return f;
+        }
+        if ap != s && ap != t {
+            f.forbid_vertex(ap);
+        }
+    }
+    for e in cs.bridges {
+        if f.len() >= size {
+            return f;
+        }
+        f.forbid_edge_unchecked(e.lo(), e.hi());
+    }
+    let mut by_degree: Vec<NodeId> = g.vertices().collect();
+    by_degree.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    for v in by_degree {
+        if f.len() >= size {
+            break;
+        }
+        if v != s && v != t && !f.is_vertex_faulty(v) {
+            f.forbid_vertex(v);
+        }
+    }
+    f
+}
+
+/// Like [`measure_stretch`] but with adversarial (cut-structure) fault sets
+/// instead of random ones.
+///
+/// # Panics
+///
+/// Panics on any soundness violation (as [`measure_stretch`]).
+pub fn measure_stretch_adversarial(
+    g: &Graph,
+    oracle: &ForbiddenSetOracle,
+    fault_count: usize,
+    rounds: usize,
+    seed: u64,
+) -> StretchStats {
+    let exact = ExactOracle::new(g);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.num_vertices();
+    let mut stats = StretchStats {
+        max_stretch: 1.0,
+        ..StretchStats::default()
+    };
+    let mut sum = 0.0;
+    let mut exact_hits = 0usize;
+    for _ in 0..rounds {
+        let s = NodeId::from_index(rng.gen_range(0..n));
+        let t = NodeId::from_index(rng.gen_range(0..n));
+        let f = adversarial_faults(g, fault_count, s, t);
+        let answer = oracle.distance(s, t, &f);
+        let truth = exact.distance(s, t, &f);
+        match truth.finite() {
+            None => {
+                assert!(answer.is_infinite(), "decoder invented a path {s}->{t}");
+                stats.disconnected += 1;
+            }
+            Some(0) => {
+                assert_eq!(answer.finite(), Some(0));
+                stats.queries += 1;
+                sum += 1.0;
+                exact_hits += 1;
+            }
+            Some(td) => {
+                let ad = answer.finite().expect("spurious disconnection");
+                assert!(ad >= td, "unsound answer {ad} < truth {td}");
+                let stretch = f64::from(ad) / f64::from(td);
+                stats.queries += 1;
+                sum += stretch;
+                if ad == td {
+                    exact_hits += 1;
+                }
+                if stretch > stats.max_stretch {
+                    stats.max_stretch = stretch;
+                }
+            }
+        }
+    }
+    if stats.queries > 0 {
+        stats.mean_stretch = sum / stats.queries as f64;
+        stats.exact_fraction = exact_hits as f64 / stats.queries as f64;
+    }
+    stats
+}
+
+/// Label-size statistics over sampled vertices.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SizeStats {
+    /// Number of labels sampled.
+    pub samples: usize,
+    /// Mean encoded bits per label.
+    pub mean_bits: f64,
+    /// Maximum encoded bits.
+    pub max_bits: usize,
+    /// Mean stored entries (points + edges) per label.
+    pub mean_entries: f64,
+}
+
+/// Samples `samples` vertex labels uniformly (deterministic stride) and
+/// reports size statistics.
+pub fn measure_label_sizes(oracle: &ForbiddenSetOracle, samples: usize) -> SizeStats {
+    let n = oracle.labeling().graph().num_vertices();
+    let samples = samples.min(n).max(1);
+    let stride = (n / samples).max(1);
+    let mut total_bits = 0usize;
+    let mut total_entries = 0usize;
+    let mut max_bits = 0usize;
+    let mut count = 0usize;
+    let mut v = 0usize;
+    while v < n && count < samples {
+        let id = NodeId::from_index(v);
+        let label = oracle.labeling().label_of(id);
+        let bits = fsdl_labels::codec::encoded_bits(&label, n);
+        total_bits += bits;
+        total_entries += label.stats().entries();
+        max_bits = max_bits.max(bits);
+        count += 1;
+        v += stride;
+    }
+    SizeStats {
+        samples: count,
+        mean_bits: total_bits as f64 / count as f64,
+        max_bits,
+        mean_entries: total_entries as f64 / count as f64,
+    }
+}
+
+/// Times `rounds` decoder queries (labels pre-materialized) and returns the
+/// mean microseconds per query plus mean sketch sizes.
+pub fn measure_query_time(
+    g: &Graph,
+    oracle: &ForbiddenSetOracle,
+    fault_count: usize,
+    rounds: usize,
+    seed: u64,
+) -> (f64, f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.num_vertices();
+    // Pre-materialize every label we'll use so only decoding is timed.
+    let cases: Vec<(NodeId, NodeId, FaultSet)> = (0..rounds)
+        .map(|_| {
+            let s = NodeId::from_index(rng.gen_range(0..n));
+            let t = NodeId::from_index(rng.gen_range(0..n));
+            let f = random_faults(g, fault_count, s, t, &mut rng);
+            (s, t, f)
+        })
+        .collect();
+    for (s, t, f) in &cases {
+        let _ = oracle.label(*s);
+        let _ = oracle.label(*t);
+        for v in f.vertices() {
+            let _ = oracle.label(v);
+        }
+        for e in f.edges() {
+            let _ = oracle.label(e.lo());
+            let _ = oracle.label(e.hi());
+        }
+    }
+    let mut sketch_v = 0usize;
+    let mut sketch_e = 0usize;
+    let start = Instant::now();
+    for (s, t, f) in &cases {
+        let a = oracle.query(*s, *t, f);
+        sketch_v += a.sketch_vertices;
+        sketch_e += a.sketch_edges;
+    }
+    let micros = start.elapsed().as_secs_f64() * 1e6 / rounds as f64;
+    (
+        micros,
+        sketch_v as f64 / rounds as f64,
+        sketch_e as f64 / rounds as f64,
+    )
+}
+
+/// Times `rounds` exact BFS queries for comparison; returns mean
+/// microseconds per query.
+pub fn measure_exact_time(g: &Graph, fault_count: usize, rounds: usize, seed: u64) -> f64 {
+    let exact = ExactOracle::new(g);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.num_vertices();
+    let cases: Vec<(NodeId, NodeId, FaultSet)> = (0..rounds)
+        .map(|_| {
+            let s = NodeId::from_index(rng.gen_range(0..n));
+            let t = NodeId::from_index(rng.gen_range(0..n));
+            let f = random_faults(g, fault_count, s, t, &mut rng);
+            (s, t, f)
+        })
+        .collect();
+    let start = Instant::now();
+    for (s, t, f) in &cases {
+        let _ = exact.distance(*s, *t, f);
+    }
+    start.elapsed().as_secs_f64() * 1e6 / rounds as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsdl_graph::generators;
+
+    #[test]
+    fn stretch_stats_within_guarantee() {
+        let g = generators::grid2d(7, 7);
+        let oracle = ForbiddenSetOracle::new(&g, 1.0);
+        let stats = measure_stretch(&g, &oracle, 3, 30, 5);
+        assert!(stats.queries + stats.disconnected == 30);
+        assert!(stats.max_stretch <= 2.0 + 1e-9);
+        assert!(stats.mean_stretch >= 1.0);
+    }
+
+    #[test]
+    fn adversarial_stretch_within_guarantee() {
+        let g = generators::caterpillar(12, 2);
+        let oracle = ForbiddenSetOracle::new(&g, 1.0);
+        let stats = measure_stretch_adversarial(&g, &oracle, 3, 20, 7);
+        assert!(stats.max_stretch <= 2.0 + 1e-9);
+        assert!(stats.queries + stats.disconnected == 20);
+    }
+
+    #[test]
+    fn adversarial_faults_prefer_cuts() {
+        let g = generators::barbell(4, 3);
+        let f = adversarial_faults(&g, 2, NodeId::new(0), NodeId::new(10));
+        // The bridge path vertices are articulation points; they go first.
+        assert!(f.vertices().any(|v| (4..7).contains(&v.raw())), "{f:?}");
+    }
+
+    #[test]
+    fn size_stats_sampled() {
+        let g = generators::path(128);
+        let oracle = ForbiddenSetOracle::new(&g, 1.0);
+        let s = measure_label_sizes(&oracle, 8);
+        assert_eq!(s.samples, 8);
+        assert!(s.mean_bits > 0.0);
+        assert!(s.max_bits as f64 >= s.mean_bits);
+    }
+
+    #[test]
+    fn timing_runs() {
+        let g = generators::cycle(48);
+        let oracle = ForbiddenSetOracle::new(&g, 1.0);
+        let (micros, sv, se) = measure_query_time(&g, &oracle, 2, 5, 1);
+        assert!(micros > 0.0);
+        assert!(sv > 0.0 && se > 0.0);
+        assert!(measure_exact_time(&g, 2, 5, 1) > 0.0);
+    }
+
+    #[test]
+    fn random_faults_avoid_endpoints() {
+        let g = generators::path(30);
+        let mut rng = StdRng::seed_from_u64(9);
+        let f = random_faults(&g, 5, NodeId::new(0), NodeId::new(29), &mut rng);
+        assert!(!f.is_vertex_faulty(NodeId::new(0)));
+        assert!(!f.is_vertex_faulty(NodeId::new(29)));
+    }
+}

@@ -1,0 +1,179 @@
+//! Plain-text table rendering for the experiment binaries.
+//!
+//! Every `exp_*` binary prints through [`Table`], so the output format is
+//! uniform: a title line, a header row, a rule, and right-padded cells.
+
+use std::fmt::Write as _;
+
+/// A simple text table accumulated row by row.
+///
+/// # Examples
+///
+/// ```
+/// use fsdl_bench::tables::Table;
+///
+/// let mut t = Table::new("demo", &["x", "y"]);
+/// t.row(&["1", "2"]);
+/// let s = t.render();
+/// assert!(s.contains("demo"));
+/// assert!(s.contains("| 1"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header.
+    pub fn row(&mut self, cells: &[impl AsRef<str>]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows
+            .push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (k, cell) in row.iter().enumerate() {
+                widths[k] = widths[k].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for k in 0..cols {
+                let _ = write!(line, " {:<width$} |", cells[k], width = widths[k]);
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let rule_len = widths.iter().sum::<usize>() + 3 * cols + 1;
+        let _ = writeln!(out, "{}", "-".repeat(rule_len));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders and prints to stdout. When the `FSDL_CSV` environment
+    /// variable is set, prints machine-readable CSV instead.
+    pub fn print(&self) {
+        if std::env::var_os("FSDL_CSV").is_some() {
+            print!("{}", self.render_csv());
+        } else {
+            print!("{}", self.render());
+        }
+        println!();
+    }
+
+    /// Renders the table as CSV (title as a comment line; cells quoted when
+    /// they contain commas or quotes).
+    pub fn render_csv(&self) -> String {
+        fn cell(c: &str) -> String {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        }
+        let mut out = format!("# {}\n", self.title);
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header
+                .iter()
+                .map(|h| cell(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Formats a float with 3 decimal places.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 1 decimal place.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("t", &["name", "value"]);
+        t.row(&["short", "1"]);
+        t.row(&["a-much-longer-name", "2"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains("== t =="));
+        // Header and data rows have equal width.
+        assert_eq!(lines[1].len(), lines[3].len());
+        assert_eq!(lines[3].len(), lines[4].len());
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = Table::new("ti,tle", &["a", "b"]);
+        t.row(&["1,5", "plain"]);
+        let csv = t.render_csv();
+        assert!(csv.starts_with("# ti,tle\n"));
+        assert!(csv.contains("a,b\n"));
+        assert!(csv.contains("\"1,5\",plain\n"));
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f1(2.0), "2.0");
+    }
+}

@@ -1,0 +1,105 @@
+//! Named workloads for the evaluation.
+//!
+//! Each workload is a graph family instance with the doubling dimension its
+//! generator advertises. The experiment binaries audit that claim with the
+//! empirical estimator ([`audit`]) before attributing measurements to `α`.
+
+use fsdl_graph::doubling::{estimate_dimension, DoublingConfig};
+use fsdl_graph::{generators, Graph};
+
+/// A named evaluation workload.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Human-readable family name (appears in every table).
+    pub name: String,
+    /// The graph instance.
+    pub graph: Graph,
+    /// The doubling dimension the generator advertises (approximate).
+    pub advertised_alpha: u32,
+}
+
+impl Workload {
+    /// Wraps a graph with its metadata.
+    pub fn new(name: impl Into<String>, graph: Graph, advertised_alpha: u32) -> Self {
+        Workload {
+            name: name.into(),
+            graph,
+            advertised_alpha,
+        }
+    }
+
+    /// `n` for this workload.
+    pub fn n(&self) -> usize {
+        self.graph.num_vertices()
+    }
+}
+
+/// The standard small suite used by the stretch and routing experiments
+/// (sizes chosen so exhaustive ground truth stays fast).
+pub fn stretch_suite() -> Vec<Workload> {
+    vec![
+        Workload::new("path-64", generators::path(64), 1),
+        Workload::new("cycle-64", generators::cycle(64), 1),
+        Workload::new("tree-3x4", generators::balanced_tree(3, 4), 1),
+        Workload::new("grid-9x9", generators::grid2d(9, 9), 2),
+        Workload::new("king-8x8", generators::king_grid(8, 8), 2),
+        Workload::new("udg-120", generators::random_geometric(120, 0.16, 2024), 2),
+        Workload::new("road-10x10", generators::road_network(10, 10, 0.15, 7), 2),
+    ]
+}
+
+/// The label-size `n`-sweep family (paths: `α = 1`, sizes grow geometrically).
+pub fn size_sweep_paths() -> Vec<Workload> {
+    [64usize, 128, 256, 512, 1024, 2048, 4096, 8192, 16384]
+        .into_iter()
+        .map(|n| Workload::new(format!("path-{n}"), generators::path(n), 1))
+        .collect()
+}
+
+/// The dimension sweep at matched `n ≈ 1760`, for the label-size-vs-α
+/// experiment: a path (`α = 1`), a 2-D mesh (`α ≈ 2`), and a 3-D mesh
+/// (`α ≈ 3`).
+pub fn dimension_sweep() -> Vec<Workload> {
+    vec![
+        Workload::new("path-1764", generators::path(1764), 1),
+        Workload::new("grid2d-42x42", generators::grid2d(42, 42), 2),
+        Workload::new("grid3d-12^3", generators::grid3d(12, 12, 12), 3),
+    ]
+}
+
+/// Audits a workload's advertised doubling dimension with the empirical
+/// estimator; returns the estimate.
+pub fn audit(w: &Workload) -> u32 {
+    estimate_dimension(&w.graph, &DoublingConfig::default()).alpha
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_are_nonempty_and_named() {
+        for w in stretch_suite() {
+            assert!(!w.name.is_empty());
+            assert!(w.n() > 0);
+        }
+        assert_eq!(size_sweep_paths().len(), 9);
+        assert_eq!(dimension_sweep().len(), 3);
+    }
+
+    #[test]
+    fn audits_are_sane() {
+        // The advertised alphas should be within a small constant of the
+        // estimate for the small suite (the greedy estimator overshoots by
+        // up to ~2x in the exponent).
+        for w in stretch_suite() {
+            let est = audit(&w);
+            assert!(
+                est <= 2 * w.advertised_alpha + 2,
+                "{}: estimated {est}, advertised {}",
+                w.name,
+                w.advertised_alpha
+            );
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! The adjacency-reconstruction "attack" at the heart of Theorem 3.1.
+//!
+//! The counting argument rests on one observation: querying a forbidden-set
+//! connectivity oracle with the *everywhere failure* set
+//! `F(i,j) = V ∖ {i,j}` answers exactly "are `i` and `j` adjacent?" — so
+//! the oracle's state determines the entire graph, and oracles for a family
+//! `F` need `log₂|F|` bits in the worst case. This module implements the
+//! attack generically over any [`ConnectivityOracle`] and verifies (in tests
+//! and in experiment `exp_t5`) that it reconstructs family members exactly
+//! — including through our own labeling scheme, confirming the labels carry
+//! the information the bound says they must.
+
+use fsdl_graph::{FaultSet, Graph, GraphBuilder, NodeId};
+
+/// Anything that answers forbidden-set connectivity queries on a fixed
+/// `n`-vertex graph.
+pub trait ConnectivityOracle {
+    /// Number of vertices of the underlying graph.
+    fn num_vertices(&self) -> usize;
+
+    /// Are `u` and `v` connected in `G ∖ F`?
+    fn connected(&self, u: NodeId, v: NodeId, faults: &FaultSet) -> bool;
+}
+
+impl ConnectivityOracle for fsdl_labels::ForbiddenSetOracle {
+    fn num_vertices(&self) -> usize {
+        self.labeling().graph().num_vertices()
+    }
+
+    fn connected(&self, u: NodeId, v: NodeId, faults: &FaultSet) -> bool {
+        fsdl_labels::ForbiddenSetOracle::connected(self, u, v, faults)
+    }
+}
+
+/// The everywhere-failure set `F(i, j) = V ∖ {i, j}`.
+pub fn everywhere_failure(n: usize, i: NodeId, j: NodeId) -> FaultSet {
+    FaultSet::from_vertices((0..n as u32).map(NodeId::new).filter(|&v| v != i && v != j))
+}
+
+/// Reconstructs the oracle's graph by issuing one everywhere-failure query
+/// per vertex pair (`O(n²)` queries, each with `|F| = n − 2`).
+pub fn reconstruct_graph<O: ConnectivityOracle>(oracle: &O) -> Graph {
+    let n = oracle.num_vertices();
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            let (vi, vj) = (NodeId::new(i), NodeId::new(j));
+            let f = everywhere_failure(n, vi, vj);
+            if oracle.connected(vi, vj, &f) {
+                b.add_edge(i, j).expect("valid edge");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Verifies the paper's "at least `n − 2` distinct labels on `P_n`"
+/// argument operationally: given a label assignment (as byte strings) for
+/// the path `P_n`, finds two *non-adjacent* vertices with identical labels
+/// such that one is internal — exactly the pair the proof uses to derive a
+/// contradiction. A correct scheme therefore never lets this return `Some`.
+pub fn find_path_label_collision(labels: &[Vec<u8>]) -> Option<(usize, usize)> {
+    let n = labels.len();
+    for x in 0..n {
+        for y in (x + 2)..n {
+            // Non-adjacent on the path (|x - y| >= 2); y < n-1 or x > 0
+            // guarantees one of them is internal; with y >= x+2 >= 2, if
+            // y == n-1 and x == 0 both are endpoints, which the proof
+            // sidesteps by picking among >= 3 same-labelled vertices — for
+            // the operational check we simply require an internal one.
+            let internal = x > 0 || y < n - 1;
+            if internal && labels[x] == labels[y] {
+                return Some((x, y));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::LowerBoundFamily;
+    use fsdl_graph::{bfs, generators};
+
+    /// Ground-truth oracle: BFS on `G ∖ F`.
+    struct ExactConnectivity {
+        g: Graph,
+    }
+
+    impl ConnectivityOracle for ExactConnectivity {
+        fn num_vertices(&self) -> usize {
+            self.g.num_vertices()
+        }
+
+        fn connected(&self, u: NodeId, v: NodeId, faults: &FaultSet) -> bool {
+            bfs::pair_distance_avoiding(&self.g, u, v, faults).is_finite()
+        }
+    }
+
+    #[test]
+    fn everywhere_failure_isolates_pair() {
+        let f = everywhere_failure(5, NodeId::new(1), NodeId::new(3));
+        assert_eq!(f.len(), 3);
+        assert!(!f.is_vertex_faulty(NodeId::new(1)));
+        assert!(!f.is_vertex_faulty(NodeId::new(3)));
+        assert!(f.is_vertex_faulty(NodeId::new(0)));
+    }
+
+    #[test]
+    fn attack_reconstructs_exact_oracle() {
+        let fam = LowerBoundFamily::new(3, 2);
+        let member = fam.random_member(7);
+        let oracle = ExactConnectivity { g: member.clone() };
+        let rebuilt = reconstruct_graph(&oracle);
+        assert_eq!(rebuilt, member);
+    }
+
+    #[test]
+    fn attack_reconstructs_label_oracle() {
+        // The labeling scheme *is* a connectivity oracle; the attack must
+        // recover the graph exactly from queries that only touch labels.
+        let g = generators::cycle(8);
+        let oracle = fsdl_labels::ForbiddenSetOracle::new(&g, 2.0);
+        let rebuilt = reconstruct_graph(&oracle);
+        assert_eq!(rebuilt, g);
+    }
+
+    #[test]
+    fn attack_reconstructs_label_oracle_on_family_member() {
+        let fam = LowerBoundFamily::new(3, 2);
+        let member = fam.random_member(3);
+        let oracle = fsdl_labels::ForbiddenSetOracle::new(&member, 3.0);
+        let rebuilt = reconstruct_graph(&oracle);
+        assert_eq!(rebuilt, member);
+    }
+
+    #[test]
+    fn label_collision_detector() {
+        // Distinct labels: no collision.
+        let labels: Vec<Vec<u8>> = (0..6u8).map(|k| vec![k]).collect();
+        assert_eq!(find_path_label_collision(&labels), None);
+        // Same label at positions 1 and 4 (non-adjacent, internal).
+        let mut labels = labels;
+        labels[4] = labels[1].clone();
+        assert_eq!(find_path_label_collision(&labels), Some((1, 4)));
+        // Adjacent duplicates don't count.
+        let labels = vec![vec![1], vec![1], vec![2]];
+        assert_eq!(find_path_label_collision(&labels), None);
+    }
+
+    #[test]
+    fn our_scheme_has_distinct_path_labels() {
+        let g = generators::path(12);
+        let oracle = fsdl_labels::ForbiddenSetOracle::new(&g, 2.0);
+        let n = g.num_vertices();
+        let labels: Vec<Vec<u8>> = (0..n as u32)
+            .map(|v| {
+                let l = oracle.label(NodeId::new(v));
+                let w = fsdl_labels::codec::encode(&l, n);
+                w.as_bytes().to_vec()
+            })
+            .collect();
+        assert_eq!(find_path_label_collision(&labels), None);
+    }
+}

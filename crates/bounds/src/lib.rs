@@ -1,0 +1,35 @@
+//! # fsdl-bounds — the Ω(2^{α/2} + log n) lower bound (Theorem 3.1)
+//!
+//! Machinery for the paper's lower bound on forbidden-set *connectivity*
+//! labels (and hence on any approximate-distance labels):
+//!
+//! * [`LowerBoundFamily`] — the family `F_{n,α}` of all graphs between the
+//!   spanner `H_{p,d}` and the `ℓ∞` grid `G_{p,d}`, with its exact counting
+//!   bound `log₂|F| = |E(G)| − |E(H)|`;
+//! * [`reconstruct_graph`] — the everywhere-failure adjacency attack showing
+//!   any [`ConnectivityOracle`] encodes its whole graph;
+//! * [`find_path_label_collision`] — the operational form of the paper's
+//!   "`n − 2` distinct labels on `P_n`" argument.
+//!
+//! ## Example
+//!
+//! ```
+//! use fsdl_bounds::{LowerBoundFamily, reconstruct_graph, ConnectivityOracle};
+//! use fsdl_labels::ForbiddenSetOracle;
+//!
+//! let fam = LowerBoundFamily::new(3, 2);
+//! let member = fam.random_member(1);
+//! let oracle = ForbiddenSetOracle::new(&member, 3.0);
+//! assert_eq!(reconstruct_graph(&oracle), member); // labels encode the graph
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attack;
+mod family;
+
+pub use attack::{
+    everywhere_failure, find_path_label_collision, reconstruct_graph, ConnectivityOracle,
+};
+pub use family::LowerBoundFamily;

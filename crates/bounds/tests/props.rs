@@ -1,0 +1,89 @@
+//! Property-based tests for the lower-bound machinery.
+
+use fsdl_bounds::{everywhere_failure, find_path_label_collision, LowerBoundFamily};
+use fsdl_graph::{bfs, FaultSet, NodeId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn family_members_are_2_spanners(p in 2usize..4, seed in 0u64..50) {
+        // Every member contains H_{p,d}, a 2-spanner of G_{p,d}; so member
+        // distances are within 2x of G distances.
+        let fam = LowerBoundFamily::new(p, 2);
+        let member = fam.random_member(seed);
+        let g = fam.full_graph();
+        for e in g.edges() {
+            let d = bfs::pair_distance_avoiding(&member, e.lo(), e.hi(), &FaultSet::empty());
+            prop_assert!(d.finite().unwrap_or(u32::MAX) <= 2, "edge {} stretched", e);
+        }
+    }
+
+    #[test]
+    fn member_bits_bijection(p in 2usize..4, mask in 0u64..256) {
+        // Distinct bit patterns give distinct members (the counting
+        // argument's injection).
+        let fam = LowerBoundFamily::new(p, 2);
+        let k = fam.log2_size().min(8);
+        let m1 = fam.member_from_bits(|i| i < k && (mask >> i) & 1 == 1);
+        let m2 = fam.member_from_bits(|i| i < k && (mask >> i) & 1 == 0);
+        if k > 0 {
+            prop_assert_ne!(&m1, &m2);
+        }
+        prop_assert!(fam.contains(&m1));
+        prop_assert!(fam.contains(&m2));
+    }
+
+    #[test]
+    fn everywhere_failure_query_decides_adjacency(
+        p in 2usize..4,
+        seed in 0u64..20,
+        i in 0u32..9,
+        j in 0u32..9,
+    ) {
+        let fam = LowerBoundFamily::new(p, 2);
+        let n = fam.num_vertices() as u32;
+        let (i, j) = (i % n, j % n);
+        if i == j {
+            return Ok(());
+        }
+        let member = fam.random_member(seed);
+        let f = everywhere_failure(n as usize, NodeId::new(i), NodeId::new(j));
+        let connected = bfs::pair_distance_avoiding(
+            &member,
+            NodeId::new(i),
+            NodeId::new(j),
+            &f,
+        )
+        .is_finite();
+        prop_assert_eq!(connected, member.has_edge(NodeId::new(i), NodeId::new(j)));
+    }
+
+    #[test]
+    fn collision_detector_finds_planted_collisions(
+        n in 4usize..20,
+        x in 0usize..20,
+        gap in 2usize..6,
+    ) {
+        let x = x % n;
+        let y = x + gap;
+        if y >= n {
+            return Ok(());
+        }
+        let mut labels: Vec<Vec<u8>> = (0..n).map(|k| vec![k as u8, 1]).collect();
+        labels[y] = labels[x].clone();
+        // The planted pair is non-adjacent; at least one is internal unless
+        // (x, y) = (0, n-1).
+        if x == 0 && y == n - 1 {
+            return Ok(());
+        }
+        prop_assert!(find_path_label_collision(&labels).is_some());
+    }
+
+    #[test]
+    fn no_false_collisions(n in 2usize..30) {
+        let labels: Vec<Vec<u8>> = (0..n).map(|k| vec![(k / 256) as u8, (k % 256) as u8]).collect();
+        prop_assert_eq!(find_path_label_collision(&labels), None);
+    }
+}

@@ -1,0 +1,667 @@
+//! Implementations of the `fsdl` CLI commands.
+//!
+//! Each command takes parsed arguments and a writer (so tests can capture
+//! output), returning `Result<(), ArgError>` with user-facing messages.
+
+use std::fs;
+use std::io::Write;
+
+use fsdl_baselines::ExactOracle;
+use fsdl_graph::doubling::{estimate_dimension, DoublingConfig};
+use fsdl_graph::{generators, io as gio, FaultSet, Graph, GraphStats, NodeId};
+use fsdl_labels::ForbiddenSetOracle;
+use fsdl_routing::Network;
+
+use crate::args::{parse_edge_list, parse_vertex_list, ArgError, ParsedArgs};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+fsdl — forbidden-set distance labels toolbox
+
+USAGE:
+  fsdl gen <family> <params...> [--out FILE] [--seed N]
+      families: path N | cycle N | grid W H | king W H | grid3d X Y Z |
+                linf P D | halfgrid P D | tree ARITY DEPTH | udg N RADIUS |
+                er N PROB | hypercube D | road W H REMOVAL
+  fsdl stats <graph-file>
+  fsdl label <graph-file> [--eps E] [--vertex V | --sample K]
+  fsdl query <graph-file> --source S --target T [--eps E]
+             [--forbid v1,v2,...] [--forbid-edge a-b,c-d,...] [--exact yes]
+  fsdl route <graph-file> --source S --target T [--eps E]
+             [--forbid ...] [--forbid-edge ...]
+  fsdl batch <graph-file> --source S --targets t1,t2,... [--eps E]
+             [--forbid ...] [--forbid-edge ...]
+  fsdl spanner <graph-file> [--eps E]
+  fsdl trace <graph-file> --source S --target T [--eps E]
+             [--forbid ...] [--forbid-edge ...]
+  fsdl audit <graph-file> [--eps E] [--sample K]
+  (query/route/batch/trace also accept --forbid-file FILE with
+   \"v <id>\" / \"f <u> <v>\" lines)
+  fsdl help
+";
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Returns an [`ArgError`] with a user-facing message on any failure.
+pub fn run<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    match args.command.as_str() {
+        "gen" => cmd_gen(args, out),
+        "stats" => cmd_stats(args, out),
+        "label" => cmd_label(args, out),
+        "query" => cmd_query(args, out),
+        "route" => cmd_route(args, out),
+        "batch" => cmd_batch(args, out),
+        "spanner" => cmd_spanner(args, out),
+        "trace" => cmd_trace(args, out),
+        "audit" => cmd_audit(args, out),
+        "help" | "--help" | "-h" => {
+            write_out(out, USAGE)?;
+            Ok(())
+        }
+        other => Err(ArgError(format!(
+            "unknown command '{other}' (try `fsdl help`)"
+        ))),
+    }
+}
+
+fn write_out<W: Write>(out: &mut W, text: &str) -> Result<(), ArgError> {
+    out.write_all(text.as_bytes())
+        .map_err(|e| ArgError(format!("write failed: {e}")))
+}
+
+fn load_graph(path: &str) -> Result<Graph, ArgError> {
+    let content =
+        fs::read_to_string(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    gio::from_str(&content).map_err(|e| ArgError(format!("cannot parse {path}: {e}")))
+}
+
+fn faults_from(args: &ParsedArgs, g: &Graph) -> Result<FaultSet, ArgError> {
+    let mut f = FaultSet::empty();
+    if let Some(path) = args.option("forbid-file") {
+        let content =
+            fs::read_to_string(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+        let parsed = gio::faults_from_str(&content, g)
+            .map_err(|e| ArgError(format!("cannot parse {path}: {e}")))?;
+        for v in parsed.vertices() {
+            f.forbid_vertex(v);
+        }
+        for e in parsed.edges() {
+            f.forbid_edge_unchecked(e.lo(), e.hi());
+        }
+    }
+    if let Some(raw) = args.option("forbid") {
+        for v in parse_vertex_list(raw)? {
+            if v as usize >= g.num_vertices() {
+                return Err(ArgError(format!("forbidden vertex {v} out of range")));
+            }
+            f.forbid_vertex(NodeId::new(v));
+        }
+    }
+    if let Some(raw) = args.option("forbid-edge") {
+        for (a, b) in parse_edge_list(raw)? {
+            let (na, nb) = (NodeId::new(a), NodeId::new(b));
+            if !g.contains(na) || !g.contains(nb) || !g.has_edge(na, nb) {
+                return Err(ArgError(format!(
+                    "forbidden edge {a}-{b} is not in the graph"
+                )));
+            }
+            f.forbid_edge_unchecked(na, nb);
+        }
+    }
+    Ok(f)
+}
+
+fn cmd_gen<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    let family = args.positional(0, "family")?;
+    let seed: u64 = args.parse_option("seed", 42u64)?;
+    let num = |k: usize, name: &str| -> Result<usize, ArgError> {
+        args.positional(k, name)?
+            .parse()
+            .map_err(|_| ArgError(format!("invalid <{name}>")))
+    };
+    let g = match family {
+        "path" => generators::path(num(1, "N")?),
+        "cycle" => generators::cycle(num(1, "N")?),
+        "grid" => generators::grid2d(num(1, "W")?, num(2, "H")?),
+        "king" => generators::king_grid(num(1, "W")?, num(2, "H")?),
+        "grid3d" => generators::grid3d(num(1, "X")?, num(2, "Y")?, num(3, "Z")?),
+        "linf" => generators::grid_linf(num(1, "P")?, num(2, "D")?),
+        "halfgrid" => generators::half_grid(num(1, "P")?, num(2, "D")?),
+        "tree" => generators::balanced_tree(num(1, "ARITY")?, num(2, "DEPTH")?),
+        "hypercube" => generators::hypercube(num(1, "D")?),
+        "udg" => {
+            let n = num(1, "N")?;
+            let r: f64 = args
+                .positional(2, "RADIUS")?
+                .parse()
+                .map_err(|_| ArgError("invalid <RADIUS>".into()))?;
+            generators::random_geometric(n, r, seed)
+        }
+        "road" => {
+            let w = num(1, "W")?;
+            let h = num(2, "H")?;
+            let r: f64 = args
+                .positional(3, "REMOVAL")?
+                .parse()
+                .map_err(|_| ArgError("invalid <REMOVAL>".into()))?;
+            generators::road_network(w, h, r, seed)
+        }
+        "er" => {
+            let n = num(1, "N")?;
+            let p: f64 = args
+                .positional(2, "PROB")?
+                .parse()
+                .map_err(|_| ArgError("invalid <PROB>".into()))?;
+            generators::erdos_renyi(n, p, seed)
+        }
+        other => return Err(ArgError(format!("unknown family '{other}'"))),
+    };
+    let text = gio::to_string(&g);
+    match args.option("out") {
+        Some(path) => {
+            fs::write(path, &text).map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+            write_out(
+                out,
+                &format!(
+                    "wrote {family} graph ({} vertices, {} edges) to {path}\n",
+                    g.num_vertices(),
+                    g.num_edges()
+                ),
+            )
+        }
+        None => write_out(out, &text),
+    }
+}
+
+fn cmd_stats<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    let g = load_graph(args.positional(0, "graph-file")?)?;
+    let mut text = GraphStats::compute(&g).to_string();
+    if g.num_vertices() > 1 {
+        let est = estimate_dimension(&g, &DoublingConfig::default());
+        text.push_str(&format!(
+            "doubling:    alpha ~ {} (worst cover {} at ({}, r={}))\n",
+            est.alpha, est.worst_cover, est.worst_case.0, est.worst_case.1
+        ));
+    }
+    write_out(out, &text)
+}
+
+fn cmd_label<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    let g = load_graph(args.positional(0, "graph-file")?)?;
+    let eps: f64 = args.parse_option("eps", 1.0)?;
+    let oracle = ForbiddenSetOracle::new(&g, eps);
+    let n = g.num_vertices();
+    let mut text = format!(
+        "scheme: eps = {eps}, c = {}, levels {}..={}\n",
+        oracle.params().c(),
+        oracle.params().c() + 1,
+        oracle.params().top_level()
+    );
+    if let Some(v) = args.option("vertex") {
+        let v: u32 = v
+            .parse()
+            .map_err(|_| ArgError(format!("invalid --vertex '{v}'")))?;
+        if v as usize >= n {
+            return Err(ArgError(format!("vertex {v} out of range")));
+        }
+        let label = oracle.label(NodeId::new(v));
+        let stats = label.stats();
+        let bits = fsdl_labels::codec::encoded_bits(&label, n);
+        text.push_str(&format!(
+            "label of v{v}: {} levels, {} points, {} virtual edges, {} real edges, {} bits\n",
+            stats.levels, stats.points, stats.virtual_edges, stats.real_edges, bits
+        ));
+        for (i, level) in label.levels_iter() {
+            text.push_str(&format!(
+                "  level {i}: {} points, {} virtual, {} real\n",
+                level.points.len(),
+                level.virtual_edges.len(),
+                level.real_edges.len()
+            ));
+        }
+    } else {
+        let sample: usize = args.parse_option("sample", 8usize)?;
+        let sample = sample.clamp(1, n);
+        let stride = (n / sample).max(1);
+        let mut total = 0usize;
+        let mut max = 0usize;
+        let mut count = 0usize;
+        let mut v = 0usize;
+        while v < n {
+            let bits = oracle.labeling().label_bits(NodeId::from_index(v));
+            total += bits;
+            max = max.max(bits);
+            count += 1;
+            v += stride;
+        }
+        text.push_str(&format!(
+            "sampled {count} labels: mean {} bits, max {max} bits, est. oracle {} KiB\n",
+            total / count,
+            (total / count) * n / 8192
+        ));
+    }
+    write_out(out, &text)
+}
+
+fn cmd_query<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    let g = load_graph(args.positional(0, "graph-file")?)?;
+    let eps: f64 = args.parse_option("eps", 1.0)?;
+    let s: u32 = args.parse_required("source")?;
+    let t: u32 = args.parse_required("target")?;
+    for v in [s, t] {
+        if v as usize >= g.num_vertices() {
+            return Err(ArgError(format!("vertex {v} out of range")));
+        }
+    }
+    let faults = faults_from(args, &g)?;
+    let oracle = ForbiddenSetOracle::new(&g, eps);
+    let answer = oracle.query(NodeId::new(s), NodeId::new(t), &faults);
+    let mut text = format!(
+        "delta(v{s}, v{t}, |F|={}) = {} (sketch: {} vertices, {} edges)\n",
+        faults.len(),
+        answer.distance,
+        answer.sketch_vertices,
+        answer.sketch_edges
+    );
+    if !answer.path.is_empty() {
+        text.push_str("witness: ");
+        text.push_str(
+            &answer
+                .path
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(" -> "),
+        );
+        text.push('\n');
+    }
+    if args.option("exact").is_some() {
+        let exact = ExactOracle::new(&g).distance(NodeId::new(s), NodeId::new(t), &faults);
+        text.push_str(&format!("exact:   {exact}\n"));
+    }
+    write_out(out, &text)
+}
+
+fn cmd_route<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    let g = load_graph(args.positional(0, "graph-file")?)?;
+    let eps: f64 = args.parse_option("eps", 1.0)?;
+    let s: u32 = args.parse_required("source")?;
+    let t: u32 = args.parse_required("target")?;
+    for v in [s, t] {
+        if v as usize >= g.num_vertices() {
+            return Err(ArgError(format!("vertex {v} out of range")));
+        }
+    }
+    let faults = faults_from(args, &g)?;
+    let net = Network::new(&g, eps);
+    match net.route(NodeId::new(s), NodeId::new(t), &faults) {
+        Ok(d) => {
+            let text = format!(
+                "delivered in {} hops ({} header waypoints, {} header bits)\npath: {}\n",
+                d.hops,
+                d.header.len(),
+                d.header_bits,
+                d.path
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" -> ")
+            );
+            write_out(out, &text)
+        }
+        Err(e) => write_out(out, &format!("not delivered: {e}\n")),
+    }
+}
+
+fn cmd_batch<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    let g = load_graph(args.positional(0, "graph-file")?)?;
+    let eps: f64 = args.parse_option("eps", 1.0)?;
+    let s: u32 = args.parse_required("source")?;
+    if s as usize >= g.num_vertices() {
+        return Err(ArgError(format!("vertex {s} out of range")));
+    }
+    let targets: Vec<NodeId> = parse_vertex_list(args.required("targets")?)?
+        .into_iter()
+        .map(NodeId::new)
+        .collect();
+    for t in &targets {
+        if !g.contains(*t) {
+            return Err(ArgError(format!("target {t} out of range")));
+        }
+    }
+    let faults = faults_from(args, &g)?;
+    let oracle = ForbiddenSetOracle::new(&g, eps);
+    let distances = oracle.distances_to(NodeId::new(s), &targets, &faults);
+    let mut text = format!(
+        "batch from v{s} (|F| = {}):
+",
+        faults.len()
+    );
+    for (k, t) in targets.iter().enumerate() {
+        text.push_str(&format!(
+            "  {t}: {}
+",
+            distances[k]
+        ));
+    }
+    write_out(out, &text)
+}
+
+fn cmd_spanner<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    let g = load_graph(args.positional(0, "graph-file")?)?;
+    let eps: f64 = args.parse_option("eps", 1.0)?;
+    let s = fsdl_nets::Spanner::build(&g, eps);
+    let text = format!(
+        "(1+{eps})-spanner: {} vertices, {} weighted edges ({}x the graph's {})
+",
+        s.num_vertices(),
+        s.num_edges(),
+        s.num_edges() / g.num_edges().max(1),
+        g.num_edges()
+    );
+    write_out(out, &text)
+}
+
+fn cmd_trace<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    let g = load_graph(args.positional(0, "graph-file")?)?;
+    let eps: f64 = args.parse_option("eps", 1.0)?;
+    let s: u32 = args.parse_required("source")?;
+    let t: u32 = args.parse_required("target")?;
+    for v in [s, t] {
+        if v as usize >= g.num_vertices() {
+            return Err(ArgError(format!("vertex {v} out of range")));
+        }
+    }
+    let faults = faults_from(args, &g)?;
+    let oracle = ForbiddenSetOracle::new(&g, eps);
+    let source = oracle.label(NodeId::new(s));
+    let target = oracle.label(NodeId::new(t));
+    let fault_labels: Vec<_> = faults.vertices().map(|f| oracle.label(f)).collect();
+    let edge_labels: Vec<_> = faults
+        .edges()
+        .map(|e| (oracle.label(e.lo()), oracle.label(e.hi())))
+        .collect();
+    let ql = fsdl_labels::QueryLabels {
+        fault_vertices: fault_labels.iter().map(|l| l.as_ref()).collect(),
+        fault_edges: edge_labels
+            .iter()
+            .map(|(a, b)| (a.as_ref(), b.as_ref()))
+            .collect(),
+    };
+    let trace = fsdl_labels::trace_query(oracle.params(), &source, &target, &ql);
+    let mut text = format!(
+        "delta(v{s}, v{t}, |F|={}) = {} (sketch {}x{})\n",
+        faults.len(),
+        trace.distance,
+        trace.sketch_size.0,
+        trace.sketch_size.1
+    );
+    for h in &trace.hops {
+        text.push_str(&format!(
+            "  {} -> {}  level {}  weight {}  {}\n",
+            h.from,
+            h.to,
+            h.level,
+            h.weight,
+            if h.real { "real" } else { "virtual" }
+        ));
+    }
+    write_out(out, &text)
+}
+
+fn cmd_audit<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    let g = load_graph(args.positional(0, "graph-file")?)?;
+    let eps: f64 = args.parse_option("eps", 1.0)?;
+    let sample: usize = args.parse_option("sample", 6usize)?;
+    let labeling =
+        fsdl_labels::Labeling::try_build(&g, fsdl_labels::SchemeParams::new(eps, g.num_vertices()))
+            .map_err(|e| ArgError(format!("cannot build labeling: {e}")))?;
+    let report = fsdl_labels::audit::audit(&labeling, sample);
+    let mut text = format!(
+        "audited {} labels: {} points, {} virtual edges\n",
+        report.vertices_checked, report.points_checked, report.edges_checked
+    );
+    let sizes = labeling.nets().level_sizes();
+    text.push_str(&format!("net sizes |N_0..N_top|: {sizes:?}\n"));
+    if report.passed() {
+        text.push_str("PASS: all scheme invariants hold\n");
+    } else {
+        text.push_str("FAIL:\n");
+        for v in &report.violations {
+            text.push_str(&format!("  {v}\n"));
+        }
+        write_out(out, &text)?;
+        return Err(ArgError("audit found violations".into()));
+    }
+    write_out(out, &text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_args(args: &[&str]) -> Result<String, ArgError> {
+        let parsed = ParsedArgs::parse(args.iter().map(|s| s.to_string()))?;
+        let mut buf = Vec::new();
+        run(&parsed, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("utf8 output"))
+    }
+
+    /// Writes a graph to a unique temp file; the file is removed on drop.
+    struct TempGraph(std::path::PathBuf);
+
+    impl TempGraph {
+        fn new(g: &Graph) -> Self {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static COUNTER: AtomicU64 = AtomicU64::new(0);
+            let path = std::env::temp_dir().join(format!(
+                "fsdl-cli-test-{}-{}.txt",
+                std::process::id(),
+                COUNTER.fetch_add(1, Ordering::Relaxed)
+            ));
+            fs::write(&path, gio::to_string(g)).expect("write temp graph");
+            TempGraph(path)
+        }
+
+        fn path(&self) -> &str {
+            self.0.to_str().expect("utf8 temp path")
+        }
+    }
+
+    impl Drop for TempGraph {
+        fn drop(&mut self) {
+            let _ = fs::remove_file(&self.0);
+        }
+    }
+
+    fn temp_graph() -> TempGraph {
+        TempGraph::new(&generators::cycle(12))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_args(&["help"]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run_args(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn gen_to_stdout_parses_back() {
+        let out = run_args(&["gen", "grid", "3", "4"]).unwrap();
+        let g = gio::from_str(&out).unwrap();
+        assert_eq!(g.num_vertices(), 12);
+    }
+
+    #[test]
+    fn gen_unknown_family() {
+        assert!(run_args(&["gen", "klein-bottle", "4"]).is_err());
+    }
+
+    #[test]
+    fn stats_on_cycle() {
+        let path = temp_graph();
+        let out = run_args(&["stats", path.path()]).unwrap();
+        assert!(out.contains("vertices:    12"));
+        assert!(out.contains("components:  1"));
+        assert!(out.contains("doubling"));
+    }
+
+    #[test]
+    fn label_summary_and_single_vertex() {
+        let path = temp_graph();
+        let p = path.path();
+        let out = run_args(&["label", p, "--sample", "4"]).unwrap();
+        assert!(out.contains("mean"));
+        let out = run_args(&["label", p, "--vertex", "3"]).unwrap();
+        assert!(out.contains("label of v3"));
+        assert!(run_args(&["label", p, "--vertex", "99"]).is_err());
+    }
+
+    #[test]
+    fn query_with_fault_and_exact() {
+        let path = temp_graph();
+        let p = path.path();
+        let out = run_args(&[
+            "query", p, "--source", "0", "--target", "2", "--forbid", "1", "--exact", "yes",
+        ])
+        .unwrap();
+        assert!(out.contains("delta(v0, v2, |F|=1)"), "{out}");
+        assert!(out.contains("exact:   10"), "{out}");
+    }
+
+    #[test]
+    fn query_rejects_bad_input() {
+        let path = temp_graph();
+        let p = path.path();
+        assert!(run_args(&["query", p, "--source", "0"]).is_err());
+        assert!(run_args(&["query", p, "--source", "0", "--target", "99"]).is_err());
+        assert!(run_args(&[
+            "query",
+            p,
+            "--source",
+            "0",
+            "--target",
+            "2",
+            "--forbid-edge",
+            "0-5"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn batch_command() {
+        let path = temp_graph();
+        let out = run_args(&[
+            "batch",
+            path.path(),
+            "--source",
+            "0",
+            "--targets",
+            "2,6,11",
+            "--forbid",
+            "1",
+        ])
+        .unwrap();
+        assert!(out.contains("v2: 10"), "{out}");
+        assert!(out.contains("v6: 6"), "{out}");
+        assert!(run_args(&["batch", path.path(), "--source", "0", "--targets", "99"]).is_err());
+    }
+
+    #[test]
+    fn spanner_command() {
+        let path = temp_graph();
+        let out = run_args(&["spanner", path.path(), "--eps", "2"]).unwrap();
+        assert!(out.contains("spanner"), "{out}");
+    }
+
+    #[test]
+    fn gen_road_family() {
+        let out = run_args(&["gen", "road", "6", "6", "0.1", "--seed", "3"]).unwrap();
+        let g = gio::from_str(&out).unwrap();
+        assert_eq!(g.num_vertices(), 36);
+    }
+
+    #[test]
+    fn trace_command() {
+        let path = temp_graph();
+        let out = run_args(&[
+            "trace",
+            path.path(),
+            "--source",
+            "0",
+            "--target",
+            "4",
+            "--forbid",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("delta(v0, v4, |F|=1)"), "{out}");
+        assert!(out.contains("real"), "{out}");
+    }
+
+    #[test]
+    fn forbid_file_support() {
+        let path = temp_graph();
+        let faults_path =
+            std::env::temp_dir().join(format!("fsdl-cli-faults-{}.txt", std::process::id()));
+        fs::write(&faults_path, "v 1\n").unwrap();
+        let out = run_args(&[
+            "query",
+            path.path(),
+            "--source",
+            "0",
+            "--target",
+            "2",
+            "--forbid-file",
+            faults_path.to_str().unwrap(),
+            "--exact",
+            "yes",
+        ])
+        .unwrap();
+        let _ = fs::remove_file(&faults_path);
+        assert!(out.contains("|F|=1"), "{out}");
+        assert!(out.contains("exact:   10"), "{out}");
+    }
+
+    #[test]
+    fn audit_command_passes_on_healthy_graph() {
+        let path = temp_graph();
+        let out = run_args(&["audit", path.path(), "--sample", "3"]).unwrap();
+        assert!(out.contains("PASS"), "{out}");
+        assert!(out.contains("net sizes"), "{out}");
+    }
+
+    #[test]
+    fn route_delivers() {
+        let path = temp_graph();
+        let p = path.path();
+        let out = run_args(&[
+            "route", p, "--source", "0", "--target", "6", "--forbid", "3",
+        ])
+        .unwrap();
+        assert!(out.contains("delivered in 6 hops"), "{out}");
+    }
+
+    #[test]
+    fn route_unreachable() {
+        let path = TempGraph::new(&generators::path(5));
+        let out = run_args(&[
+            "route",
+            path.path(),
+            "--source",
+            "0",
+            "--target",
+            "4",
+            "--forbid",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("not delivered"));
+    }
+}

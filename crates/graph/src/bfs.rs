@@ -1,0 +1,507 @@
+//! Breadth-first search primitives.
+//!
+//! Everything the paper needs from the substrate reduces to BFS on an
+//! unweighted graph: exact distances (ground truth `d_G`), truncated balls
+//! `B(v, r)` (net hierarchies and label construction), and searches that
+//! avoid a forbidden set (the exact oracle for `d_{G∖F}`).
+
+use std::collections::VecDeque;
+
+use crate::csr::Graph;
+use crate::faults::FaultSet;
+use crate::ids::{Dist, NodeId};
+
+/// Full single-source BFS; returns the distance from `src` to every vertex
+/// ([`Dist::INFINITE`] for unreachable vertices).
+///
+/// # Examples
+///
+/// ```
+/// use fsdl_graph::{generators, bfs, NodeId, Dist};
+///
+/// let g = generators::path(5);
+/// let d = bfs::distances(&g, NodeId::new(0));
+/// assert_eq!(d[4], Dist::new(4));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `src` is not a vertex of `g`.
+pub fn distances(g: &Graph, src: NodeId) -> Vec<Dist> {
+    assert!(g.contains(src), "source vertex out of range");
+    let mut dist = vec![Dist::INFINITE; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    dist[src.index()] = Dist::ZERO;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for w in g.neighbor_ids(u) {
+            if dist[w.index()].is_infinite() {
+                dist[w.index()] = du.saturating_add_raw(1);
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Single-source BFS in `G ∖ F`: forbidden vertices are never visited,
+/// forbidden edges are never crossed.
+///
+/// Returns [`Dist::INFINITE`] for every vertex unreachable in the surviving
+/// graph. If `src` itself is forbidden, every entry is infinite.
+///
+/// # Examples
+///
+/// ```
+/// use fsdl_graph::{generators, bfs, FaultSet, NodeId, Dist};
+///
+/// let g = generators::cycle(6);
+/// let f = FaultSet::from_vertices([NodeId::new(1)]);
+/// let d = bfs::distances_avoiding(&g, NodeId::new(0), &f);
+/// assert_eq!(d[2], Dist::new(4)); // around the other side
+/// assert!(d[1].is_infinite());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `src` is not a vertex of `g`.
+pub fn distances_avoiding(g: &Graph, src: NodeId, faults: &FaultSet) -> Vec<Dist> {
+    assert!(g.contains(src), "source vertex out of range");
+    let mut dist = vec![Dist::INFINITE; g.num_vertices()];
+    if faults.is_vertex_faulty(src) {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[src.index()] = Dist::ZERO;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for w in g.neighbor_ids(u) {
+            if dist[w.index()].is_infinite()
+                && !faults.is_vertex_faulty(w)
+                && !faults.is_edge_faulty(u, w)
+            {
+                dist[w.index()] = du.saturating_add_raw(1);
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Exact distance between a single pair in `G ∖ F` (early-exit BFS).
+///
+/// This is the ground-truth comparator for every stretch measurement:
+/// `d_{G∖F}(s, t)`.
+///
+/// # Examples
+///
+/// ```
+/// use fsdl_graph::{generators, bfs, FaultSet, NodeId};
+///
+/// let g = generators::path(5);
+/// let f = FaultSet::from_vertices([NodeId::new(2)]);
+/// assert!(bfs::pair_distance_avoiding(&g, NodeId::new(0), NodeId::new(4), &f).is_infinite());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `s` or `t` is out of range.
+pub fn pair_distance_avoiding(g: &Graph, s: NodeId, t: NodeId, faults: &FaultSet) -> Dist {
+    assert!(g.contains(s) && g.contains(t), "query vertex out of range");
+    if faults.is_vertex_faulty(s) || faults.is_vertex_faulty(t) {
+        return Dist::INFINITE;
+    }
+    if s == t {
+        return Dist::ZERO;
+    }
+    let mut dist = vec![Dist::INFINITE; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    dist[s.index()] = Dist::ZERO;
+    queue.push_back(s);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for w in g.neighbor_ids(u) {
+            if dist[w.index()].is_infinite()
+                && !faults.is_vertex_faulty(w)
+                && !faults.is_edge_faulty(u, w)
+            {
+                if w == t {
+                    return du.saturating_add_raw(1);
+                }
+                dist[w.index()] = du.saturating_add_raw(1);
+                queue.push_back(w);
+            }
+        }
+    }
+    Dist::INFINITE
+}
+
+/// A vertex visited by a truncated BFS, with its exact distance from the
+/// source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BallMember {
+    /// The visited vertex.
+    pub vertex: NodeId,
+    /// Exact hop distance from the BFS source.
+    pub dist: u32,
+}
+
+/// Reusable scratch space for [`ball`] so that running many truncated
+/// searches (one per net-point per level during preprocessing) does not
+/// re-allocate or re-clear an `O(n)` buffer each time.
+///
+/// Uses version stamps: a vertex is "visited in this run" iff its stamp
+/// equals the current epoch.
+#[derive(Clone, Debug)]
+pub struct BfsScratch {
+    stamp: Vec<u32>,
+    dist: Vec<u32>,
+    epoch: u32,
+    queue: VecDeque<NodeId>,
+}
+
+impl BfsScratch {
+    /// Creates scratch space for graphs with up to `n` vertices.
+    pub fn new(n: usize) -> Self {
+        BfsScratch {
+            stamp: vec![0; n],
+            dist: vec![0; n],
+            epoch: 0,
+            queue: VecDeque::new(),
+        }
+    }
+
+    fn begin(&mut self, n: usize) {
+        assert!(self.stamp.len() >= n, "scratch too small for graph");
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: clear stamps so stale epochs cannot collide.
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+        self.queue.clear();
+    }
+
+    /// Distance of `v` recorded by the most recent [`ball`] call using this
+    /// scratch, or `None` if `v` was not reached within the radius.
+    pub fn last_dist(&self, v: NodeId) -> Option<u32> {
+        if self.stamp[v.index()] == self.epoch {
+            Some(self.dist[v.index()])
+        } else {
+            None
+        }
+    }
+}
+
+/// Truncated BFS: returns every vertex of `B(src, radius)` (distance
+/// `<= radius`) with its exact distance, in nondecreasing distance order.
+///
+/// The visited set is also queryable through `scratch` (see
+/// [`BfsScratch::last_dist`]) until the scratch is reused.
+///
+/// # Examples
+///
+/// ```
+/// use fsdl_graph::{generators, NodeId};
+/// use fsdl_graph::bfs::{ball, BfsScratch};
+///
+/// let g = generators::path(10);
+/// let mut scratch = BfsScratch::new(10);
+/// let members = ball(&g, NodeId::new(5), 2, &mut scratch);
+/// assert_eq!(members.len(), 5); // v3..=v7
+/// ```
+///
+/// # Panics
+///
+/// Panics if `src` is out of range or `scratch` is smaller than the graph.
+pub fn ball(g: &Graph, src: NodeId, radius: u32, scratch: &mut BfsScratch) -> Vec<BallMember> {
+    assert!(g.contains(src), "source vertex out of range");
+    scratch.begin(g.num_vertices());
+    let epoch = scratch.epoch;
+    let mut out = Vec::new();
+    scratch.stamp[src.index()] = epoch;
+    scratch.dist[src.index()] = 0;
+    scratch.queue.push_back(src);
+    out.push(BallMember {
+        vertex: src,
+        dist: 0,
+    });
+    while let Some(u) = scratch.queue.pop_front() {
+        let du = scratch.dist[u.index()];
+        if du == radius {
+            continue;
+        }
+        for w in g.neighbor_ids(u) {
+            if scratch.stamp[w.index()] != epoch {
+                scratch.stamp[w.index()] = epoch;
+                scratch.dist[w.index()] = du + 1;
+                scratch.queue.push_back(w);
+                out.push(BallMember {
+                    vertex: w,
+                    dist: du + 1,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Multi-source BFS: distance from every vertex to the nearest source.
+///
+/// Used to compute `M_i(v)` (nearest net-point maps): pass the net `N_i` as
+/// `sources` and read off both the distance and (via `owner`) which source is
+/// nearest. Ties are broken toward the smallest source id (deterministic).
+///
+/// # Examples
+///
+/// ```
+/// use fsdl_graph::{generators, bfs, NodeId};
+///
+/// let g = generators::path(10);
+/// let (dist, owner) = bfs::multi_source(&g, &[NodeId::new(0), NodeId::new(9)]);
+/// assert_eq!(dist[6].finite(), Some(3));
+/// assert_eq!(owner[6], Some(NodeId::new(9)));
+/// ```
+///
+/// Returns `(dist, owner)` where `owner[v]` is the nearest source to `v`
+/// (`None` if unreachable).
+///
+/// # Panics
+///
+/// Panics if any source is out of range.
+pub fn multi_source(g: &Graph, sources: &[NodeId]) -> (Vec<Dist>, Vec<Option<NodeId>>) {
+    let n = g.num_vertices();
+    let mut dist = vec![Dist::INFINITE; n];
+    let mut owner: Vec<Option<NodeId>> = vec![None; n];
+    let mut queue = VecDeque::new();
+    // Seed in sorted order so the smallest-id source wins ties at distance 0
+    // and, because BFS explores in FIFO order, at every distance.
+    let mut seeds: Vec<NodeId> = sources.to_vec();
+    seeds.sort_unstable();
+    seeds.dedup();
+    for &s in &seeds {
+        assert!(g.contains(s), "source vertex out of range");
+        dist[s.index()] = Dist::ZERO;
+        owner[s.index()] = Some(s);
+        queue.push_back(s);
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for w in g.neighbor_ids(u) {
+            if dist[w.index()].is_infinite() {
+                dist[w.index()] = du.saturating_add_raw(1);
+                owner[w.index()] = owner[u.index()];
+                queue.push_back(w);
+            }
+        }
+    }
+    (dist, owner)
+}
+
+/// Reconstructs one shortest path from `s` to `t` in `G ∖ F`, inclusive of
+/// both endpoints. Returns `None` when `t` is unreachable.
+///
+/// Deterministic: among equally short parents the smallest id is chosen.
+pub fn shortest_path_avoiding(
+    g: &Graph,
+    s: NodeId,
+    t: NodeId,
+    faults: &FaultSet,
+) -> Option<Vec<NodeId>> {
+    let dist = distances_avoiding(g, s, faults);
+    if dist[t.index()].is_infinite() {
+        return None;
+    }
+    let mut path = vec![t];
+    let mut cur = t;
+    while cur != s {
+        let dc = dist[cur.index()].raw();
+        let prev = g
+            .neighbor_ids(cur)
+            .filter(|&w| {
+                dist[w.index()].is_finite()
+                    && dist[w.index()].raw() + 1 == dc
+                    && !faults.is_edge_faulty(cur, w)
+            })
+            .min()
+            .expect("finite BFS distance must have a parent");
+        path.push(prev);
+        cur = prev;
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Eccentricity of `src`: the maximum finite BFS distance from it, or `None`
+/// if the graph rooted at `src` is empty. Unreachable vertices are ignored.
+pub fn eccentricity(g: &Graph, src: NodeId) -> Option<u32> {
+    distances(g, src).into_iter().filter_map(Dist::finite).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_distances() {
+        let g = generators::path(6);
+        let d = distances(&g, NodeId::new(2));
+        assert_eq!(d[0], Dist::new(2));
+        assert_eq!(d[5], Dist::new(3));
+    }
+
+    #[test]
+    fn disconnected_is_infinite() {
+        let g = crate::GraphBuilder::new(4).build();
+        let d = distances(&g, NodeId::new(0));
+        assert_eq!(d[0], Dist::ZERO);
+        assert!(d[1].is_infinite());
+    }
+
+    #[test]
+    fn avoiding_vertex_fault_detours() {
+        // Cycle of 6: removing one vertex forces the long way round.
+        let g = generators::cycle(6);
+        let faults = FaultSet::from_vertices([NodeId::new(1)]);
+        let d = distances_avoiding(&g, NodeId::new(0), &faults);
+        assert_eq!(d[2], Dist::new(4)); // 0-5-4-3-2 instead of 0-1-2
+        assert!(d[1].is_infinite());
+    }
+
+    #[test]
+    fn avoiding_edge_fault_detours() {
+        let g = generators::cycle(5);
+        let faults = FaultSet::from_edges(&g, [(NodeId::new(0), NodeId::new(1))]);
+        let d = distances_avoiding(&g, NodeId::new(0), &faults);
+        assert_eq!(d[1], Dist::new(4));
+    }
+
+    #[test]
+    fn avoiding_with_faulty_source() {
+        let g = generators::path(3);
+        let faults = FaultSet::from_vertices([NodeId::new(0)]);
+        let d = distances_avoiding(&g, NodeId::new(0), &faults);
+        assert!(d.iter().all(|x| x.is_infinite()));
+    }
+
+    #[test]
+    fn pair_distance_matches_full_bfs() {
+        let g = generators::grid2d(5, 5);
+        let faults = FaultSet::from_vertices([NodeId::new(12)]);
+        let full = distances_avoiding(&g, NodeId::new(0), &faults);
+        for t in g.vertices() {
+            assert_eq!(
+                pair_distance_avoiding(&g, NodeId::new(0), t, &faults),
+                full[t.index()],
+                "mismatch at {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn pair_distance_same_vertex() {
+        let g = generators::path(3);
+        let d = pair_distance_avoiding(&g, NodeId::new(1), NodeId::new(1), &FaultSet::empty());
+        assert_eq!(d, Dist::ZERO);
+    }
+
+    #[test]
+    fn ball_contents_and_order() {
+        let g = generators::path(10);
+        let mut scratch = BfsScratch::new(10);
+        let members = ball(&g, NodeId::new(5), 2, &mut scratch);
+        let verts: Vec<u32> = members.iter().map(|m| m.vertex.raw()).collect();
+        assert_eq!(members.len(), 5);
+        assert!(verts.contains(&3) && verts.contains(&7));
+        // Nondecreasing distances.
+        assert!(members.windows(2).all(|w| w[0].dist <= w[1].dist));
+        // Scratch queries agree.
+        assert_eq!(scratch.last_dist(NodeId::new(7)), Some(2));
+        assert_eq!(scratch.last_dist(NodeId::new(8)), None);
+    }
+
+    #[test]
+    fn ball_radius_zero() {
+        let g = generators::cycle(4);
+        let mut scratch = BfsScratch::new(4);
+        let members = ball(&g, NodeId::new(0), 0, &mut scratch);
+        assert_eq!(members.len(), 1);
+        assert_eq!(members[0].vertex, NodeId::new(0));
+    }
+
+    #[test]
+    fn scratch_is_reusable() {
+        let g = generators::path(8);
+        let mut scratch = BfsScratch::new(8);
+        let _ = ball(&g, NodeId::new(0), 3, &mut scratch);
+        let m2 = ball(&g, NodeId::new(7), 1, &mut scratch);
+        assert_eq!(m2.len(), 2);
+        assert_eq!(scratch.last_dist(NodeId::new(0)), None);
+    }
+
+    #[test]
+    fn ball_matches_full_bfs() {
+        let g = generators::grid2d(6, 6);
+        let mut scratch = BfsScratch::new(36);
+        let src = NodeId::new(14);
+        let d = distances(&g, src);
+        let members = ball(&g, src, 3, &mut scratch);
+        let expected: usize = d.iter().filter(|x| x.is_finite() && x.raw() <= 3).count();
+        assert_eq!(members.len(), expected);
+        for m in members {
+            assert_eq!(Dist::new(m.dist), d[m.vertex.index()]);
+        }
+    }
+
+    #[test]
+    fn multi_source_nearest() {
+        let g = generators::path(10);
+        let (d, owner) = multi_source(&g, &[NodeId::new(0), NodeId::new(9)]);
+        assert_eq!(d[4], Dist::new(4));
+        assert_eq!(owner[4], Some(NodeId::new(0)));
+        assert_eq!(owner[6], Some(NodeId::new(9)));
+        // Tie at 4.5 -> vertex 4 is closer to 0, vertex 5 to 9; no exact tie here.
+        let (_, owner2) = multi_source(&g, &[NodeId::new(2), NodeId::new(6)]);
+        // vertex 4 is at distance 2 from both; smallest id wins.
+        assert_eq!(owner2[4], Some(NodeId::new(2)));
+    }
+
+    #[test]
+    fn multi_source_empty_sources() {
+        let g = generators::path(3);
+        let (d, owner) = multi_source(&g, &[]);
+        assert!(d.iter().all(|x| x.is_infinite()));
+        assert!(owner.iter().all(|o| o.is_none()));
+    }
+
+    #[test]
+    fn shortest_path_reconstruction() {
+        let g = generators::cycle(8);
+        let faults = FaultSet::from_vertices([NodeId::new(1)]);
+        let p = shortest_path_avoiding(&g, NodeId::new(0), NodeId::new(3), &faults).unwrap();
+        assert_eq!(p.first(), Some(&NodeId::new(0)));
+        assert_eq!(p.last(), Some(&NodeId::new(3)));
+        assert_eq!(p.len(), 6); // 0-7-6-5-4-3
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+            assert!(!faults.is_vertex_faulty(w[0]));
+        }
+    }
+
+    #[test]
+    fn shortest_path_unreachable() {
+        let g = generators::path(4);
+        let faults = FaultSet::from_vertices([NodeId::new(2)]);
+        assert!(shortest_path_avoiding(&g, NodeId::new(0), NodeId::new(3), &faults).is_none());
+    }
+
+    #[test]
+    fn eccentricity_of_path_end() {
+        let g = generators::path(7);
+        assert_eq!(eccentricity(&g, NodeId::new(0)), Some(6));
+        assert_eq!(eccentricity(&g, NodeId::new(3)), Some(3));
+    }
+}

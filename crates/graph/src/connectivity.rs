@@ -1,0 +1,165 @@
+//! Connectivity utilities: union–find, connected components, and
+//! connectivity queries under forbidden sets.
+
+use crate::bfs;
+use crate::csr::Graph;
+use crate::faults::FaultSet;
+use crate::ids::NodeId;
+
+/// A classic union–find (disjoint set union) structure with path halving and
+/// union by size.
+///
+/// # Examples
+///
+/// ```
+/// use fsdl_graph::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// uf.union(2, 3);
+/// assert!(uf.same(0, 1));
+/// assert!(!uf.same(1, 2));
+/// assert_eq!(uf.num_sets(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            sets: n,
+        }
+    }
+
+    /// Returns the representative of `x`'s set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            // Path halving.
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x as usize
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        self.sets -= 1;
+        true
+    }
+
+    /// Returns `true` if `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn num_sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+}
+
+/// Returns `true` if `g` is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    num_components(g) <= 1
+}
+
+/// Number of connected components of `g`.
+pub fn num_components(g: &Graph) -> usize {
+    let mut uf = UnionFind::new(g.num_vertices());
+    for e in g.edges() {
+        uf.union(e.lo().index(), e.hi().index());
+    }
+    uf.num_sets()
+}
+
+/// Component label of every vertex (labels are arbitrary but consistent).
+pub fn component_labels(g: &Graph) -> Vec<usize> {
+    let mut uf = UnionFind::new(g.num_vertices());
+    for e in g.edges() {
+        uf.union(e.lo().index(), e.hi().index());
+    }
+    (0..g.num_vertices()).map(|v| uf.find(v)).collect()
+}
+
+/// Ground-truth forbidden-set connectivity: are `s` and `t` connected in
+/// `G ∖ F`? Returns `false` if either endpoint is itself forbidden.
+pub fn connected_avoiding(g: &Graph, s: NodeId, t: NodeId, faults: &FaultSet) -> bool {
+    bfs::pair_distance_avoiding(g, s, t, faults).is_finite()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_sets(), 5);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(1, 2));
+        assert!(uf.same(0, 2));
+        assert_eq!(uf.num_sets(), 3);
+        assert_eq!(uf.set_size(2), 3);
+        assert_eq!(uf.set_size(4), 1);
+    }
+
+    #[test]
+    fn connected_families() {
+        assert!(is_connected(&generators::path(10)));
+        assert!(is_connected(&generators::grid2d(4, 4)));
+        assert!(!is_connected(&crate::GraphBuilder::new(3).build()));
+        assert!(is_connected(&crate::GraphBuilder::new(0).build()));
+        assert!(is_connected(&crate::GraphBuilder::new(1).build()));
+    }
+
+    #[test]
+    fn component_counts() {
+        let mut b = crate::GraphBuilder::new(6);
+        b.add_edges([(0, 1), (2, 3)]).unwrap();
+        let g = b.build();
+        assert_eq!(num_components(&g), 4); // {0,1}, {2,3}, {4}, {5}
+        let labels = component_labels(&g);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert_ne!(labels[4], labels[5]);
+    }
+
+    #[test]
+    fn connectivity_under_faults() {
+        let g = generators::path(5);
+        let f = FaultSet::from_vertices([NodeId::new(2)]);
+        assert!(!connected_avoiding(&g, NodeId::new(0), NodeId::new(4), &f));
+        assert!(connected_avoiding(&g, NodeId::new(0), NodeId::new(1), &f));
+        assert!(!connected_avoiding(&g, NodeId::new(0), NodeId::new(2), &f));
+    }
+}

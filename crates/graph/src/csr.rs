@@ -1,0 +1,403 @@
+//! Immutable compressed-sparse-row (CSR) representation of an undirected,
+//! unweighted graph, plus its builder.
+//!
+//! The paper's algorithms only ever traverse a fixed input graph, so the
+//! representation is frozen after construction: adjacency is two flat arrays
+//! (`offsets`, `targets`), neighbors are sorted, and the position of a
+//! neighbor within a vertex's sorted adjacency list doubles as the *port
+//! number* used by the routing scheme (Theorem 2.7).
+
+use crate::error::GraphError;
+use crate::ids::{Edge, NodeId};
+
+/// An immutable undirected, unweighted graph in CSR form.
+///
+/// Build one with [`GraphBuilder`] or a generator from
+/// [`generators`](crate::generators).
+///
+/// # Examples
+///
+/// ```
+/// use fsdl_graph::{GraphBuilder, NodeId};
+///
+/// # fn main() -> Result<(), fsdl_graph::GraphError> {
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(1, 2)?;
+/// b.add_edge(2, 3)?;
+/// let g = b.build();
+/// assert_eq!(g.num_vertices(), 4);
+/// assert_eq!(g.num_edges(), 3);
+/// assert_eq!(g.degree(NodeId::new(1)), 2);
+/// assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+/// assert!(!g.has_edge(NodeId::new(0), NodeId::new(3)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes `targets` for vertex `v`.
+    offsets: Vec<u32>,
+    /// Concatenated sorted neighbor lists.
+    targets: Vec<u32>,
+}
+
+impl Graph {
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Returns `true` if the graph has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.num_vertices() == 0
+    }
+
+    /// Iterates over all vertices in increasing id order.
+    pub fn vertices(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_vertices() as u32).map(NodeId::new)
+    }
+
+    /// The sorted neighbors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[u32] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Iterates over the neighbors of `v` as [`NodeId`]s.
+    pub fn neighbor_ids(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.neighbors(v).iter().copied().map(NodeId::new)
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Tests adjacency by binary search on the sorted neighbor list.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v.raw()).is_ok()
+    }
+
+    /// The *port* of neighbor `w` at vertex `v`: the index of `w` in `v`'s
+    /// sorted adjacency list, or `None` if `w` is not adjacent to `v`.
+    ///
+    /// Ports are how the routing scheme names outgoing links; they are stable
+    /// because the graph is immutable.
+    pub fn port_of(&self, v: NodeId, w: NodeId) -> Option<usize> {
+        self.neighbors(v).binary_search(&w.raw()).ok()
+    }
+
+    /// The neighbor of `v` reached through `port`, or `None` if the port is
+    /// out of range.
+    pub fn neighbor_at_port(&self, v: NodeId, port: usize) -> Option<NodeId> {
+        self.neighbors(v).get(port).copied().map(NodeId::new)
+    }
+
+    /// Iterates over every undirected edge exactly once (as `lo < hi` pairs).
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&w| w > u.raw())
+                .map(move |w| Edge::new(u, NodeId::new(w)))
+        })
+    }
+
+    /// Returns `true` if `v` is a valid vertex of this graph.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        v.index() < self.num_vertices()
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Duplicate edges are deduplicated; self-loops and out-of-range endpoints are
+/// rejected eagerly ([C-VALIDATE]).
+///
+/// # Examples
+///
+/// ```
+/// use fsdl_graph::GraphBuilder;
+///
+/// # fn main() -> Result<(), fsdl_graph::GraphError> {
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(1, 0)?; // duplicate, ignored
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: u32,
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Starts building a graph with `n` isolated vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= u32::MAX` (indices must fit in `u32`).
+    pub fn new(n: usize) -> Self {
+        let n = u32::try_from(n).expect("vertex count exceeds u32 indexing");
+        assert!(n != u32::MAX, "vertex count exceeds u32 indexing");
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of vertices the graph will have.
+    pub fn num_vertices(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Adds the undirected edge `{a, b}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] if `a == b` and
+    /// [`GraphError::VertexOutOfRange`] if either endpoint is `>= n`.
+    pub fn add_edge(&mut self, a: u32, b: u32) -> Result<(), GraphError> {
+        if a == b {
+            return Err(GraphError::SelfLoop { vertex: a });
+        }
+        for v in [a, b] {
+            if v >= self.n {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: v,
+                    n: self.n,
+                });
+            }
+        }
+        self.edges.push((a.min(b), a.max(b)));
+        Ok(())
+    }
+
+    /// Adds every edge from an iterator of `(u, v)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first invalid edge.
+    pub fn add_edges<I: IntoIterator<Item = (u32, u32)>>(
+        &mut self,
+        iter: I,
+    ) -> Result<(), GraphError> {
+        for (a, b) in iter {
+            self.add_edge(a, b)?;
+        }
+        Ok(())
+    }
+
+    /// Finalizes the CSR representation: deduplicates edges, sorts adjacency
+    /// lists, and freezes the graph.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let n = self.n as usize;
+        let mut degrees = vec![0u32; n];
+        for &(a, b) in &self.edges {
+            degrees[a as usize] += 1;
+            degrees[b as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut acc = 0u32;
+        for &d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut targets = vec![0u32; acc as usize];
+        for &(a, b) in &self.edges {
+            targets[cursor[a as usize] as usize] = b;
+            cursor[a as usize] += 1;
+            targets[cursor[b as usize] as usize] = a;
+            cursor[b as usize] += 1;
+        }
+        // Each list was filled in increasing order of the *other* endpoint for
+        // the `a` side, but the `b` side interleaves; sort each list to make
+        // ports canonical.
+        for v in 0..n {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            targets[lo..hi].sort_unstable();
+        }
+        Graph { offsets, targets }
+    }
+}
+
+impl FromIterator<(u32, u32)> for GraphBuilder {
+    /// Collects edges into a builder sized to the largest endpoint + 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops (use [`GraphBuilder::add_edge`] for fallible
+    /// insertion).
+    fn from_iter<I: IntoIterator<Item = (u32, u32)>>(iter: I) -> Self {
+        let edges: Vec<(u32, u32)> = iter.into_iter().collect();
+        let n = edges
+            .iter()
+            .map(|&(a, b)| a.max(b) as u64 + 1)
+            .max()
+            .unwrap_or(0);
+        let mut b = GraphBuilder::new(n as usize);
+        for (x, y) in edges {
+            b.add_edge(x, y).expect("invalid edge in FromIterator");
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edges([(0, 1), (1, 2), (2, 0)]).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert!(g.is_empty());
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.vertices().count(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = GraphBuilder::new(5).build();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 0);
+        }
+    }
+
+    #[test]
+    fn triangle_structure() {
+        let g = triangle();
+        assert_eq!(g.num_edges(), 3);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(2)));
+        assert_eq!(g.edges().count(), 3);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edges([(2, 4), (2, 0), (2, 3), (2, 1)]).unwrap();
+        let g = b.build();
+        assert_eq!(g.neighbors(NodeId::new(2)), &[0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn duplicate_edges_removed() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 0).unwrap();
+        b.add_edge(0, 1).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(NodeId::new(0)), 1);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(b.add_edge(1, 1), Err(GraphError::SelfLoop { vertex: 1 }));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(
+            b.add_edge(0, 2),
+            Err(GraphError::VertexOutOfRange { vertex: 2, n: 2 })
+        );
+    }
+
+    #[test]
+    fn ports_roundtrip() {
+        let g = triangle();
+        let v = NodeId::new(1);
+        for (port, &w) in g.neighbors(v).iter().enumerate() {
+            assert_eq!(g.port_of(v, NodeId::new(w)), Some(port));
+            assert_eq!(g.neighbor_at_port(v, port), Some(NodeId::new(w)));
+        }
+        assert_eq!(g.neighbor_at_port(v, 99), None);
+        assert_eq!(g.port_of(v, v), None);
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+            .unwrap();
+        let g = b.build();
+        let edges: Vec<Edge> = g.edges().collect();
+        assert_eq!(edges.len(), 5);
+        let mut sorted = edges.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+    }
+
+    #[test]
+    fn from_iterator_sizes_graph() {
+        let b: GraphBuilder = [(0u32, 5u32), (5, 2)].into_iter().collect();
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn contains_checks_range() {
+        let g = triangle();
+        assert!(g.contains(NodeId::new(2)));
+        assert!(!g.contains(NodeId::new(3)));
+    }
+
+    #[test]
+    fn max_degree_star() {
+        let mut b = GraphBuilder::new(6);
+        for i in 1..6 {
+            b.add_edge(0, i).unwrap();
+        }
+        let g = b.build();
+        assert_eq!(g.max_degree(), 5);
+    }
+}

@@ -1,0 +1,208 @@
+//! Articulation points and bridges (Tarjan's low-link algorithm,
+//! iterative).
+//!
+//! The evaluation uses these as *adversarial fault generators*: failing an
+//! articulation point disconnects the graph, and failing vertices next to
+//! one forces maximal detours — the hardest inputs for a forbidden-set
+//! scheme, complementing the random fault sets.
+
+use crate::csr::Graph;
+use crate::ids::{Edge, NodeId};
+
+/// The cut structure of a graph: articulation points and bridges.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CutStructure {
+    /// Vertices whose removal increases the number of components.
+    pub articulation_points: Vec<NodeId>,
+    /// Edges whose removal increases the number of components.
+    pub bridges: Vec<Edge>,
+}
+
+/// Computes articulation points and bridges with an iterative DFS
+/// (no recursion, so deep paths do not overflow the stack).
+///
+/// # Examples
+///
+/// ```
+/// use fsdl_graph::{generators, NodeId};
+/// use fsdl_graph::cut::cut_structure;
+///
+/// // A path: every internal vertex is an articulation point.
+/// let cs = cut_structure(&generators::path(5));
+/// assert_eq!(cs.articulation_points, vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)]);
+/// assert_eq!(cs.bridges.len(), 4);
+/// ```
+pub fn cut_structure(g: &Graph) -> CutStructure {
+    let n = g.num_vertices();
+    let mut disc = vec![u32::MAX; n]; // discovery times
+    let mut low = vec![u32::MAX; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut is_articulation = vec![false; n];
+    let mut bridges = Vec::new();
+    let mut timer = 0u32;
+
+    // Iterative DFS frame: (vertex, index into its neighbor list).
+    let mut stack: Vec<(NodeId, usize)> = Vec::new();
+    for root in g.vertices() {
+        if disc[root.index()] != u32::MAX {
+            continue;
+        }
+        let mut root_children = 0usize;
+        disc[root.index()] = timer;
+        low[root.index()] = timer;
+        timer += 1;
+        stack.push((root, 0));
+        while let Some(&mut (v, ref mut idx)) = stack.last_mut() {
+            let nbrs = g.neighbors(v);
+            if *idx < nbrs.len() {
+                let w = NodeId::new(nbrs[*idx]);
+                *idx += 1;
+                if disc[w.index()] == u32::MAX {
+                    parent[w.index()] = v.raw();
+                    if v == root {
+                        root_children += 1;
+                    }
+                    disc[w.index()] = timer;
+                    low[w.index()] = timer;
+                    timer += 1;
+                    stack.push((w, 0));
+                } else if w.raw() != parent[v.index()] {
+                    // Back edge.
+                    low[v.index()] = low[v.index()].min(disc[w.index()]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    low[p.index()] = low[p.index()].min(low[v.index()]);
+                    if low[v.index()] > disc[p.index()] {
+                        bridges.push(Edge::new(p, v));
+                    }
+                    if p != root && low[v.index()] >= disc[p.index()] {
+                        is_articulation[p.index()] = true;
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            is_articulation[root.index()] = true;
+        }
+    }
+
+    let articulation_points = (0..n)
+        .filter(|&v| is_articulation[v])
+        .map(NodeId::from_index)
+        .collect();
+    bridges.sort();
+    CutStructure {
+        articulation_points,
+        bridges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs;
+    use crate::connectivity;
+    use crate::faults::FaultSet;
+    use crate::generators;
+
+    /// Brute-force articulation check: removal increases component count
+    /// among the surviving vertices.
+    fn is_articulation_brute(g: &Graph, v: NodeId) -> bool {
+        let before = connectivity::num_components(g);
+        let sub = crate::subgraph::remove_faults(g, &FaultSet::from_vertices([v]));
+        let after = connectivity::num_components(&sub.graph);
+        // Removing v removes one vertex; if components grew beyond the
+        // trivial accounting, v is an articulation point.
+        after > before.saturating_sub(if g.degree(v) == 0 { 1 } else { 0 })
+    }
+
+    fn check_against_bruteforce(g: &Graph) {
+        let cs = cut_structure(g);
+        for v in g.vertices() {
+            let expected = is_articulation_brute(g, v);
+            let got = cs.articulation_points.contains(&v);
+            assert_eq!(got, expected, "articulation mismatch at {v}");
+        }
+        for e in g.edges() {
+            let f = FaultSet::from_edges(g, [(e.lo(), e.hi())]);
+            let disconnects = !bfs::pair_distance_avoiding(g, e.lo(), e.hi(), &f).is_finite();
+            assert_eq!(
+                cs.bridges.contains(&e),
+                disconnects,
+                "bridge mismatch at {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn path_all_internal_are_articulation() {
+        let g = generators::path(8);
+        let cs = cut_structure(&g);
+        assert_eq!(cs.articulation_points.len(), 6); // all but the ends
+        assert_eq!(cs.bridges.len(), 7); // every edge
+        check_against_bruteforce(&g);
+    }
+
+    #[test]
+    fn cycle_has_no_cuts() {
+        let g = generators::cycle(9);
+        let cs = cut_structure(&g);
+        assert!(cs.articulation_points.is_empty());
+        assert!(cs.bridges.is_empty());
+    }
+
+    #[test]
+    fn trees_are_all_bridges() {
+        let g = generators::balanced_tree(2, 3);
+        let cs = cut_structure(&g);
+        assert_eq!(cs.bridges.len(), g.num_edges());
+        check_against_bruteforce(&g);
+    }
+
+    #[test]
+    fn barbell_bridge_detected() {
+        let g = generators::barbell(4, 1);
+        let cs = cut_structure(&g);
+        assert!(!cs.bridges.is_empty());
+        assert!(!cs.articulation_points.is_empty());
+        check_against_bruteforce(&g);
+    }
+
+    #[test]
+    fn lollipop_and_caterpillar() {
+        check_against_bruteforce(&generators::lollipop(4, 3));
+        check_against_bruteforce(&generators::caterpillar(5, 2));
+    }
+
+    #[test]
+    fn grid_interior_is_biconnected() {
+        let g = generators::grid2d(5, 5);
+        let cs = cut_structure(&g);
+        assert!(cs.articulation_points.is_empty());
+        assert!(cs.bridges.is_empty());
+    }
+
+    #[test]
+    fn disconnected_graphs_handled() {
+        let mut b = crate::GraphBuilder::new(7);
+        b.add_edges([(0, 1), (1, 2), (4, 5), (5, 6)]).unwrap();
+        let g = b.build();
+        let cs = cut_structure(&g);
+        let mut pts = cs.articulation_points.clone();
+        pts.sort();
+        assert_eq!(pts, vec![NodeId::new(1), NodeId::new(5)]);
+        check_against_bruteforce(&g);
+    }
+
+    #[test]
+    fn random_graphs_match_bruteforce() {
+        for seed in 0..6 {
+            let g = generators::random_tree(25, seed);
+            check_against_bruteforce(&g);
+            let g = generators::random_geometric(40, 0.2, seed);
+            check_against_bruteforce(&g);
+        }
+    }
+}

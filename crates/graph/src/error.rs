@@ -1,0 +1,87 @@
+//! Error types for graph construction and I/O.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or parsing a [`Graph`](crate::Graph).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge referenced a vertex index `>= n`.
+    VertexOutOfRange {
+        /// The offending vertex index.
+        vertex: u32,
+        /// Number of vertices in the graph under construction.
+        n: u32,
+    },
+    /// An edge joined a vertex to itself.
+    SelfLoop {
+        /// The vertex with the self-loop.
+        vertex: u32,
+    },
+    /// The requested graph would exceed `u32` vertex indexing.
+    TooManyVertices {
+        /// The requested vertex count.
+        requested: u64,
+    },
+    /// A parse error in the text graph format.
+    Parse {
+        /// 1-based line number of the malformed input.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(
+                    f,
+                    "vertex index {vertex} out of range for graph with {n} vertices"
+                )
+            }
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop at vertex {vertex} is not allowed")
+            }
+            GraphError::TooManyVertices { requested } => {
+                write!(
+                    f,
+                    "requested {requested} vertices, which exceeds u32 indexing"
+                )
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::VertexOutOfRange { vertex: 9, n: 5 };
+        assert!(e.to_string().contains("out of range"));
+        let e = GraphError::SelfLoop { vertex: 3 };
+        assert!(e.to_string().contains("self-loop"));
+        let e = GraphError::TooManyVertices { requested: 1 << 40 };
+        assert!(e.to_string().contains("exceeds"));
+        let e = GraphError::Parse {
+            line: 7,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<GraphError>();
+    }
+}

@@ -1,0 +1,359 @@
+//! Strongly-typed identifiers and distances.
+//!
+//! The whole workspace manipulates vertices through [`NodeId`] and unweighted
+//! shortest-path distances through [`Dist`]. Both are thin `u32` newtypes
+//! (C-NEWTYPE): they cost nothing at runtime but prevent mixing up vertex
+//! indices, distances, and level numbers in the label machinery.
+
+use std::fmt;
+
+/// Identifier of a vertex in a [`Graph`](crate::Graph).
+///
+/// Vertices of an `n`-vertex graph are numbered `0..n`. A `NodeId` is only
+/// meaningful relative to the graph it was taken from.
+///
+/// # Examples
+///
+/// ```
+/// use fsdl_graph::NodeId;
+///
+/// let v = NodeId::new(7);
+/// assert_eq!(v.index(), 7);
+/// assert_eq!(format!("{v}"), "v7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a `NodeId` from a raw index.
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        NodeId(raw)
+    }
+
+    /// Creates a `NodeId` from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("vertex index exceeds u32::MAX"))
+    }
+
+    /// Returns the vertex index as a `usize`, suitable for slice indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(raw: u32) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl From<NodeId> for u32 {
+    #[inline]
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An unweighted shortest-path distance (hop count), possibly infinite.
+///
+/// `Dist` is a saturating distance type: [`Dist::INFINITE`] represents
+/// "unreachable" and is absorbing under [`Dist::saturating_add`]. All finite
+/// distances in an `n`-vertex unweighted graph are `< n`, far below the
+/// sentinel.
+///
+/// # Examples
+///
+/// ```
+/// use fsdl_graph::Dist;
+///
+/// let d = Dist::new(3).saturating_add(Dist::new(4));
+/// assert_eq!(d, Dist::new(7));
+/// assert!(Dist::INFINITE.saturating_add(Dist::new(1)).is_infinite());
+/// assert!(Dist::new(2) < Dist::INFINITE);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Dist(u32);
+
+impl Dist {
+    /// The zero distance.
+    pub const ZERO: Dist = Dist(0);
+
+    /// The "unreachable" sentinel; larger than every finite distance.
+    pub const INFINITE: Dist = Dist(u32::MAX);
+
+    /// Creates a finite distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value == u32::MAX` (reserved for [`Dist::INFINITE`]).
+    #[inline]
+    pub const fn new(value: u32) -> Self {
+        assert!(value != u32::MAX, "u32::MAX is reserved for Dist::INFINITE");
+        Dist(value)
+    }
+
+    /// Returns the raw value; `u32::MAX` encodes infinity.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns `true` for the infinite (unreachable) distance.
+    #[inline]
+    pub const fn is_infinite(self) -> bool {
+        self.0 == u32::MAX
+    }
+
+    /// Returns `true` for any finite distance.
+    #[inline]
+    pub const fn is_finite(self) -> bool {
+        self.0 != u32::MAX
+    }
+
+    /// Returns the finite value, or `None` when infinite.
+    #[inline]
+    pub const fn finite(self) -> Option<u32> {
+        if self.is_infinite() {
+            None
+        } else {
+            Some(self.0)
+        }
+    }
+
+    /// Adds two distances, saturating at [`Dist::INFINITE`].
+    #[inline]
+    pub const fn saturating_add(self, other: Dist) -> Dist {
+        if self.is_infinite() || other.is_infinite() {
+            Dist::INFINITE
+        } else {
+            match self.0.checked_add(other.0) {
+                Some(v) if v != u32::MAX => Dist(v),
+                _ => Dist::INFINITE,
+            }
+        }
+    }
+
+    /// Adds a raw hop count, saturating at [`Dist::INFINITE`].
+    #[inline]
+    pub const fn saturating_add_raw(self, hops: u32) -> Dist {
+        if self.is_infinite() {
+            Dist::INFINITE
+        } else {
+            match self.0.checked_add(hops) {
+                Some(v) if v != u32::MAX => Dist(v),
+                _ => Dist::INFINITE,
+            }
+        }
+    }
+}
+
+impl Default for Dist {
+    /// The default distance is [`Dist::INFINITE`] ("not yet reached"), which
+    /// is the natural fill value for distance arrays.
+    fn default() -> Self {
+        Dist::INFINITE
+    }
+}
+
+impl fmt::Display for Dist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "inf")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// An undirected edge, stored with endpoints in canonical (sorted) order.
+///
+/// Two `Edge` values compare equal iff they join the same pair of vertices,
+/// regardless of the order the endpoints were given in.
+///
+/// # Examples
+///
+/// ```
+/// use fsdl_graph::{Edge, NodeId};
+///
+/// let e1 = Edge::new(NodeId::new(3), NodeId::new(1));
+/// let e2 = Edge::new(NodeId::new(1), NodeId::new(3));
+/// assert_eq!(e1, e2);
+/// assert_eq!(e1.endpoints(), (NodeId::new(1), NodeId::new(3)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Edge {
+    lo: NodeId,
+    hi: NodeId,
+}
+
+impl Edge {
+    /// Creates an edge between `a` and `b`, canonicalizing endpoint order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` (self-loops are not representable).
+    #[inline]
+    pub fn new(a: NodeId, b: NodeId) -> Self {
+        assert!(a != b, "self-loops are not allowed");
+        if a < b {
+            Edge { lo: a, hi: b }
+        } else {
+            Edge { lo: b, hi: a }
+        }
+    }
+
+    /// The smaller endpoint.
+    #[inline]
+    pub const fn lo(self) -> NodeId {
+        self.lo
+    }
+
+    /// The larger endpoint.
+    #[inline]
+    pub const fn hi(self) -> NodeId {
+        self.hi
+    }
+
+    /// Both endpoints, smaller first.
+    #[inline]
+    pub const fn endpoints(self) -> (NodeId, NodeId) {
+        (self.lo, self.hi)
+    }
+
+    /// Returns the endpoint different from `v`, or `None` if `v` is not an
+    /// endpoint.
+    #[inline]
+    pub fn other(self, v: NodeId) -> Option<NodeId> {
+        if v == self.lo {
+            Some(self.hi)
+        } else if v == self.hi {
+            Some(self.lo)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let v = NodeId::new(42);
+        assert_eq!(v.raw(), 42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(NodeId::from(42u32), v);
+        assert_eq!(u32::from(v), 42);
+        assert_eq!(NodeId::from_index(42), v);
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId::new(0).to_string(), "v0");
+        assert_eq!(NodeId::new(12).to_string(), "v12");
+    }
+
+    #[test]
+    fn node_id_ordering_matches_raw() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::default(), NodeId::new(0));
+    }
+
+    #[test]
+    fn dist_finite_and_infinite() {
+        assert!(Dist::new(0).is_finite());
+        assert!(Dist::INFINITE.is_infinite());
+        assert_eq!(Dist::new(5).finite(), Some(5));
+        assert_eq!(Dist::INFINITE.finite(), None);
+    }
+
+    #[test]
+    fn dist_saturating_add() {
+        assert_eq!(Dist::new(2).saturating_add(Dist::new(3)), Dist::new(5));
+        assert!(Dist::INFINITE.saturating_add(Dist::new(1)).is_infinite());
+        assert!(Dist::new(1).saturating_add(Dist::INFINITE).is_infinite());
+        assert!(Dist::new(u32::MAX - 1)
+            .saturating_add(Dist::new(u32::MAX - 1))
+            .is_infinite());
+        assert_eq!(Dist::new(7).saturating_add_raw(4), Dist::new(11));
+        assert!(Dist::INFINITE.saturating_add_raw(0).is_infinite());
+    }
+
+    #[test]
+    fn dist_ordering() {
+        assert!(Dist::ZERO < Dist::new(1));
+        assert!(Dist::new(1_000_000) < Dist::INFINITE);
+    }
+
+    #[test]
+    fn dist_default_is_infinite() {
+        assert!(Dist::default().is_infinite());
+    }
+
+    #[test]
+    fn dist_display() {
+        assert_eq!(Dist::new(9).to_string(), "9");
+        assert_eq!(Dist::INFINITE.to_string(), "inf");
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn dist_new_rejects_sentinel() {
+        let _ = Dist::new(u32::MAX);
+    }
+
+    #[test]
+    fn edge_canonicalizes() {
+        let e = Edge::new(NodeId::new(9), NodeId::new(2));
+        assert_eq!(e.lo(), NodeId::new(2));
+        assert_eq!(e.hi(), NodeId::new(9));
+        assert_eq!(e, Edge::new(NodeId::new(2), NodeId::new(9)));
+    }
+
+    #[test]
+    fn edge_other() {
+        let e = Edge::new(NodeId::new(1), NodeId::new(4));
+        assert_eq!(e.other(NodeId::new(1)), Some(NodeId::new(4)));
+        assert_eq!(e.other(NodeId::new(4)), Some(NodeId::new(1)));
+        assert_eq!(e.other(NodeId::new(2)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn edge_rejects_self_loop() {
+        let _ = Edge::new(NodeId::new(3), NodeId::new(3));
+    }
+
+    #[test]
+    fn edge_display() {
+        let e = Edge::new(NodeId::new(5), NodeId::new(1));
+        assert_eq!(e.to_string(), "(v1, v5)");
+    }
+}

@@ -1,0 +1,335 @@
+//! Plain-text graph serialization.
+//!
+//! Format (DIMACS-flavoured, whitespace-separated):
+//!
+//! ```text
+//! # comment lines start with '#'
+//! p <num_vertices> <num_edges>
+//! e <u> <v>
+//! e <u> <v>
+//! ...
+//! ```
+//!
+//! Used by the benchmark harness to snapshot workloads and by the examples
+//! to load user-provided networks.
+
+use std::io::{BufRead, Write};
+
+use crate::csr::{Graph, GraphBuilder};
+use crate::error::GraphError;
+
+/// Writes `g` in the text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_graph<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "p {} {}", g.num_vertices(), g.num_edges())?;
+    for e in g.edges() {
+        writeln!(w, "e {} {}", e.lo().raw(), e.hi().raw())?;
+    }
+    Ok(())
+}
+
+/// Serializes `g` to a `String` in the text format.
+pub fn to_string(g: &Graph) -> String {
+    let mut buf = Vec::new();
+    write_graph(g, &mut buf).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("format is ASCII")
+}
+
+/// Parses a graph from the text format.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed input, and the usual builder
+/// errors for invalid edges.
+pub fn read_graph<R: BufRead>(r: R) -> Result<Graph, GraphError> {
+    let mut builder: Option<GraphBuilder> = None;
+    let mut declared_edges: Option<usize> = None;
+    let mut seen_edges = 0usize;
+    for (idx, line) in r.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.map_err(|e| GraphError::Parse {
+            line: lineno,
+            message: format!("I/O error: {e}"),
+        })?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        match tokens.next() {
+            Some("p") => {
+                if builder.is_some() {
+                    return Err(GraphError::Parse {
+                        line: lineno,
+                        message: "duplicate problem line".into(),
+                    });
+                }
+                let n: usize = parse_token(tokens.next(), lineno, "vertex count")?;
+                let m: usize = parse_token(tokens.next(), lineno, "edge count")?;
+                builder = Some(GraphBuilder::new(n));
+                declared_edges = Some(m);
+            }
+            Some("e") => {
+                let b = builder.as_mut().ok_or_else(|| GraphError::Parse {
+                    line: lineno,
+                    message: "edge before problem line".into(),
+                })?;
+                let u: u32 = parse_token(tokens.next(), lineno, "edge endpoint")?;
+                let v: u32 = parse_token(tokens.next(), lineno, "edge endpoint")?;
+                b.add_edge(u, v)?;
+                seen_edges += 1;
+            }
+            Some(other) => {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    message: format!("unknown record type '{other}'"),
+                });
+            }
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+    let builder = builder.ok_or(GraphError::Parse {
+        line: 0,
+        message: "missing problem line".into(),
+    })?;
+    if let Some(m) = declared_edges {
+        if m != seen_edges {
+            return Err(GraphError::Parse {
+                line: 0,
+                message: format!("declared {m} edges but found {seen_edges}"),
+            });
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Parses a graph from a string in the text format.
+///
+/// # Errors
+///
+/// Same as [`read_graph`].
+pub fn from_str(s: &str) -> Result<Graph, GraphError> {
+    read_graph(s.as_bytes())
+}
+
+/// Writes a fault set in the text format:
+///
+/// ```text
+/// # comments allowed
+/// v <vertex>
+/// f <u> <v>
+/// ```
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_faults<W: Write>(faults: &crate::FaultSet, mut w: W) -> std::io::Result<()> {
+    let mut vs: Vec<u32> = faults.vertices().map(crate::NodeId::raw).collect();
+    vs.sort_unstable();
+    for v in vs {
+        writeln!(w, "v {v}")?;
+    }
+    let mut es: Vec<(u32, u32)> = faults
+        .edges()
+        .map(|e| (e.lo().raw(), e.hi().raw()))
+        .collect();
+    es.sort_unstable();
+    for (a, b) in es {
+        writeln!(w, "f {a} {b}")?;
+    }
+    Ok(())
+}
+
+/// Serializes a fault set to a `String`.
+pub fn faults_to_string(faults: &crate::FaultSet) -> String {
+    let mut buf = Vec::new();
+    write_faults(faults, &mut buf).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("format is ASCII")
+}
+
+/// Parses a fault set, validating endpoints and edges against `g`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed input, out-of-range vertices,
+/// or edges not present in `g`.
+pub fn faults_from_str(s: &str, g: &Graph) -> Result<crate::FaultSet, GraphError> {
+    let mut faults = crate::FaultSet::empty();
+    for (idx, line) in s.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        match tokens.next() {
+            Some("v") => {
+                let v: u32 = parse_token(tokens.next(), lineno, "fault vertex")?;
+                if v as usize >= g.num_vertices() {
+                    return Err(GraphError::Parse {
+                        line: lineno,
+                        message: format!("fault vertex {v} out of range"),
+                    });
+                }
+                faults.forbid_vertex(crate::NodeId::new(v));
+            }
+            Some("f") => {
+                let a: u32 = parse_token(tokens.next(), lineno, "fault edge endpoint")?;
+                let b: u32 = parse_token(tokens.next(), lineno, "fault edge endpoint")?;
+                let (na, nb) = (crate::NodeId::new(a), crate::NodeId::new(b));
+                if !g.contains(na) || !g.contains(nb) || !g.has_edge(na, nb) {
+                    return Err(GraphError::Parse {
+                        line: lineno,
+                        message: format!("fault edge {a}-{b} is not in the graph"),
+                    });
+                }
+                faults.forbid_edge_unchecked(na, nb);
+            }
+            Some(other) => {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    message: format!("unknown fault record '{other}'"),
+                });
+            }
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+    Ok(faults)
+}
+
+fn parse_token<T: std::str::FromStr>(
+    token: Option<&str>,
+    line: usize,
+    what: &str,
+) -> Result<T, GraphError> {
+    let tok = token.ok_or_else(|| GraphError::Parse {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    tok.parse().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid {what} '{tok}'"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn roundtrip() {
+        let g = generators::grid2d(4, 3);
+        let s = to_string(&g);
+        let g2 = from_str(&s).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn roundtrip_empty_graph() {
+        let g = GraphBuilder::new(3).build();
+        let g2 = from_str(&to_string(&g)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let s = "# hello\n\np 3 1\n# middle\ne 0 2\n";
+        let g = from_str(s).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn edge_count_mismatch() {
+        let s = "p 3 2\ne 0 1\n";
+        assert!(matches!(from_str(s), Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn missing_problem_line() {
+        assert!(matches!(from_str("e 0 1\n"), Err(GraphError::Parse { .. })));
+        assert!(matches!(from_str(""), Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn duplicate_problem_line() {
+        let s = "p 2 0\np 2 0\n";
+        assert!(matches!(from_str(s), Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn bad_tokens() {
+        assert!(matches!(from_str("p x 0\n"), Err(GraphError::Parse { .. })));
+        assert!(matches!(
+            from_str("p 2 0\nq 1 2\n"),
+            Err(GraphError::Parse { .. })
+        ));
+        assert!(matches!(
+            from_str("p 2 1\ne 0\n"),
+            Err(GraphError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn fault_roundtrip() {
+        let g = generators::cycle(6);
+        let mut f = crate::FaultSet::from_vertices([crate::NodeId::new(2), crate::NodeId::new(5)]);
+        f.forbid_edge_unchecked(crate::NodeId::new(0), crate::NodeId::new(1));
+        let s = faults_to_string(&f);
+        let back = faults_from_str(&s, &g).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn fault_parse_errors() {
+        let g = generators::path(4);
+        assert!(faults_from_str(
+            "v 9
+", &g
+        )
+        .is_err());
+        assert!(faults_from_str(
+            "f 0 2
+", &g
+        )
+        .is_err()); // not an edge
+        assert!(faults_from_str(
+            "q 1
+", &g
+        )
+        .is_err());
+        assert!(faults_from_str(
+            "v x
+", &g
+        )
+        .is_err());
+        let ok = faults_from_str(
+            "# note
+
+v 1
+f 2 3
+",
+            &g,
+        )
+        .unwrap();
+        assert_eq!(ok.len(), 2);
+    }
+
+    #[test]
+    fn invalid_edges_reported() {
+        let s = "p 2 1\ne 0 5\n";
+        assert!(matches!(
+            from_str(s),
+            Err(GraphError::VertexOutOfRange { vertex: 5, n: 2 })
+        ));
+        let s = "p 2 1\ne 1 1\n";
+        assert!(matches!(
+            from_str(s),
+            Err(GraphError::SelfLoop { vertex: 1 })
+        ));
+    }
+}

@@ -1,0 +1,128 @@
+//! ASCII rendering of grid-shaped graphs — used by examples and the figure
+//! experiments to make fault sets and witness paths visible in a terminal.
+
+use crate::faults::FaultSet;
+use crate::ids::NodeId;
+
+/// Renders a `w × h` grid of cells via a character-chooser callback
+/// (row-major ids, `id = y * w + x`, row 0 printed first).
+///
+/// # Examples
+///
+/// ```
+/// use fsdl_graph::render::render_grid;
+///
+/// let art = render_grid(3, 2, |x, y| if x == y { '#' } else { '.' });
+/// assert_eq!(art, "# . .\n. # .\n");
+/// ```
+pub fn render_grid<F: Fn(usize, usize) -> char>(w: usize, h: usize, cell: F) -> String {
+    let mut out = String::with_capacity(h * (2 * w));
+    for y in 0..h {
+        for x in 0..w {
+            if x > 0 {
+                out.push(' ');
+            }
+            out.push(cell(x, y));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a grid-graph scenario: `S`/`T` endpoints, `X` faults, `*` path
+/// vertices, `.` everything else. Ids are row-major over `w × h`.
+///
+/// # Examples
+///
+/// ```
+/// use fsdl_graph::render::render_scenario;
+/// use fsdl_graph::{FaultSet, NodeId};
+///
+/// let f = FaultSet::from_vertices([NodeId::new(4)]);
+/// let art = render_scenario(
+///     3,
+///     3,
+///     NodeId::new(0),
+///     NodeId::new(8),
+///     &f,
+///     &[NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(5), NodeId::new(8)],
+/// );
+/// assert!(art.starts_with("S * *\n"));
+/// assert!(art.contains("X"));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `s` or `t` is outside the grid.
+pub fn render_scenario(
+    w: usize,
+    h: usize,
+    s: NodeId,
+    t: NodeId,
+    faults: &FaultSet,
+    path: &[NodeId],
+) -> String {
+    assert!(
+        s.index() < w * h && t.index() < w * h,
+        "endpoint outside grid"
+    );
+    render_grid(w, h, |x, y| {
+        let id = NodeId::from_index(y * w + x);
+        if id == s {
+            'S'
+        } else if id == t {
+            'T'
+        } else if faults.is_vertex_faulty(id) {
+            'X'
+        } else if path.contains(&id) {
+            '*'
+        } else {
+            '.'
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_grid_shapes() {
+        let art = render_grid(4, 1, |x, _| char::from_digit(x as u32, 10).unwrap());
+        assert_eq!(art, "0 1 2 3\n");
+        assert_eq!(render_grid(2, 2, |_, _| '.').lines().count(), 2);
+    }
+
+    #[test]
+    fn scenario_markers() {
+        let f = FaultSet::from_vertices([NodeId::new(1)]);
+        let art = render_scenario(2, 2, NodeId::new(0), NodeId::new(3), &f, &[]);
+        assert_eq!(art, "S X\n. T\n");
+    }
+
+    #[test]
+    fn path_overrides_dots_not_endpoints() {
+        let art = render_scenario(
+            3,
+            1,
+            NodeId::new(0),
+            NodeId::new(2),
+            &FaultSet::empty(),
+            &[NodeId::new(0), NodeId::new(1), NodeId::new(2)],
+        );
+        assert_eq!(art, "S * T\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside grid")]
+    fn endpoint_bounds_checked() {
+        let _ = render_scenario(
+            2,
+            2,
+            NodeId::new(0),
+            NodeId::new(9),
+            &FaultSet::empty(),
+            &[],
+        );
+    }
+}

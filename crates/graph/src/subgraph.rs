@@ -1,0 +1,144 @@
+//! Surviving-subgraph extraction `G ∖ F` with vertex re-indexing.
+//!
+//! Used by the fully-dynamic oracle byproduct (Abraham–Chechik–Gavoille,
+//! STOC 2012): when the buffered fault set grows past the rebuild threshold,
+//! the labeling is recomputed on the surviving graph, which requires
+//! materializing `G ∖ F` as a standalone [`Graph`] plus the id mappings.
+
+use crate::csr::{Graph, GraphBuilder};
+use crate::faults::FaultSet;
+use crate::ids::NodeId;
+
+/// The surviving graph `G ∖ F` together with vertex id mappings.
+#[derive(Clone, Debug)]
+pub struct Subgraph {
+    /// The surviving graph, with vertices renumbered `0..n'`.
+    pub graph: Graph,
+    /// `to_original[new] = old`: maps surviving ids back to `G`'s ids.
+    pub to_original: Vec<NodeId>,
+    /// `to_new[old] = Some(new)` for surviving vertices, `None` for removed.
+    pub to_new: Vec<Option<NodeId>>,
+}
+
+impl Subgraph {
+    /// Maps an original vertex to its surviving id, or `None` if removed.
+    pub fn map(&self, v: NodeId) -> Option<NodeId> {
+        self.to_new.get(v.index()).copied().flatten()
+    }
+
+    /// Maps a surviving vertex back to its original id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for the surviving graph.
+    pub fn unmap(&self, v: NodeId) -> NodeId {
+        self.to_original[v.index()]
+    }
+}
+
+/// Builds `G ∖ F`: removes forbidden vertices (with their incident edges)
+/// and forbidden edges, renumbering the survivors densely.
+///
+/// # Examples
+///
+/// ```
+/// use fsdl_graph::{generators, subgraph, FaultSet, NodeId};
+///
+/// let g = generators::path(5);
+/// let f = FaultSet::from_vertices([NodeId::new(2)]);
+/// let s = subgraph::remove_faults(&g, &f);
+/// assert_eq!(s.graph.num_vertices(), 4);
+/// assert_eq!(s.map(NodeId::new(4)), Some(NodeId::new(3)));
+/// assert_eq!(s.map(NodeId::new(2)), None);
+/// ```
+pub fn remove_faults(g: &Graph, faults: &FaultSet) -> Subgraph {
+    let n = g.num_vertices();
+    let mut to_new: Vec<Option<NodeId>> = vec![None; n];
+    let mut to_original = Vec::new();
+    for v in g.vertices() {
+        if !faults.is_vertex_faulty(v) {
+            to_new[v.index()] = Some(NodeId::from_index(to_original.len()));
+            to_original.push(v);
+        }
+    }
+    let mut b = GraphBuilder::new(to_original.len());
+    for e in g.edges() {
+        if faults.blocks_traversal(e.lo(), e.hi()) {
+            continue;
+        }
+        let (Some(a), Some(bb)) = (to_new[e.lo().index()], to_new[e.hi().index()]) else {
+            continue;
+        };
+        b.add_edge(a.raw(), bb.raw()).expect("mapped edge is valid");
+    }
+    Subgraph {
+        graph: b.build(),
+        to_original,
+        to_new,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs;
+    use crate::generators;
+
+    #[test]
+    fn empty_fault_set_is_identity_shape() {
+        let g = generators::grid2d(4, 4);
+        let s = remove_faults(&g, &FaultSet::empty());
+        assert_eq!(s.graph.num_vertices(), 16);
+        assert_eq!(s.graph.num_edges(), g.num_edges());
+        for v in g.vertices() {
+            assert_eq!(s.map(v), Some(v));
+            assert_eq!(s.unmap(v), v);
+        }
+    }
+
+    #[test]
+    fn vertex_removal() {
+        let g = generators::path(5);
+        let f = FaultSet::from_vertices([NodeId::new(2)]);
+        let s = remove_faults(&g, &f);
+        assert_eq!(s.graph.num_vertices(), 4);
+        assert_eq!(s.graph.num_edges(), 2); // 0-1 and 3-4 survive
+        assert_eq!(s.map(NodeId::new(2)), None);
+        assert_eq!(s.map(NodeId::new(3)), Some(NodeId::new(2)));
+        assert_eq!(s.unmap(NodeId::new(2)), NodeId::new(3));
+    }
+
+    #[test]
+    fn edge_removal() {
+        let g = generators::cycle(5);
+        let f = FaultSet::from_edges(&g, [(NodeId::new(0), NodeId::new(1))]);
+        let s = remove_faults(&g, &f);
+        assert_eq!(s.graph.num_vertices(), 5);
+        assert_eq!(s.graph.num_edges(), 4);
+        assert!(!s.graph.has_edge(NodeId::new(0), NodeId::new(1)));
+    }
+
+    #[test]
+    fn distances_agree_with_bfs_avoiding() {
+        let g = generators::grid2d(6, 6);
+        let mut f = FaultSet::from_vertices([NodeId::new(7), NodeId::new(14)]);
+        f.forbid_edge_unchecked(NodeId::new(0), NodeId::new(1));
+        let s = remove_faults(&g, &f);
+        let direct = bfs::distances_avoiding(&g, NodeId::new(0), &f);
+        let mapped = bfs::distances(&s.graph, s.map(NodeId::new(0)).unwrap());
+        for v in g.vertices() {
+            match s.map(v) {
+                Some(nv) => assert_eq!(direct[v.index()], mapped[nv.index()], "at {v}"),
+                None => assert!(f.is_vertex_faulty(v)),
+            }
+        }
+    }
+
+    #[test]
+    fn all_vertices_removed() {
+        let g = generators::path(3);
+        let f = FaultSet::from_vertices(g.vertices());
+        let s = remove_faults(&g, &f);
+        assert_eq!(s.graph.num_vertices(), 0);
+    }
+}

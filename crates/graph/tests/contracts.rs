@@ -1,0 +1,102 @@
+//! Panic-contract tests: every documented `# Panics` section of the public
+//! API is exercised, so the contracts stay honest as the code evolves.
+
+use fsdl_graph::bfs::{self, BfsScratch};
+use fsdl_graph::{generators, FaultSet, GraphBuilder, NodeId};
+
+#[test]
+#[should_panic(expected = "at least one vertex")]
+fn path_zero() {
+    let _ = generators::path(0);
+}
+
+#[test]
+#[should_panic(expected = "at least three")]
+fn cycle_too_small() {
+    let _ = generators::cycle(2);
+}
+
+#[test]
+#[should_panic(expected = "positive")]
+fn grid_zero_dimension() {
+    let _ = generators::grid2d(0, 5);
+}
+
+#[test]
+#[should_panic(expected = "at least 3")]
+fn torus_too_small() {
+    let _ = generators::torus2d(2, 5);
+}
+
+#[test]
+#[should_panic(expected = "side must be at least 2")]
+fn linf_grid_side_one() {
+    let _ = generators::grid_linf(1, 2);
+}
+
+#[test]
+#[should_panic(expected = "radius must be in")]
+fn geometric_bad_radius() {
+    let _ = generators::random_geometric(10, 0.7, 1);
+}
+
+#[test]
+#[should_panic(expected = "probability out of range")]
+fn er_bad_probability() {
+    let _ = generators::erdos_renyi(10, 1.5, 1);
+}
+
+#[test]
+#[should_panic(expected = "removal rate out of range")]
+fn road_bad_removal() {
+    let _ = generators::road_network(4, 4, 0.9, 1);
+}
+
+#[test]
+#[should_panic(expected = "dimension out of supported range")]
+fn hypercube_too_big() {
+    let _ = generators::hypercube(25);
+}
+
+#[test]
+#[should_panic(expected = "spider needs legs")]
+fn spider_no_legs() {
+    let _ = generators::spider(0, 3);
+}
+
+#[test]
+#[should_panic(expected = "lollipop needs a clique")]
+fn lollipop_tiny_clique() {
+    let _ = generators::lollipop(1, 3);
+}
+
+#[test]
+#[should_panic(expected = "source vertex out of range")]
+fn bfs_source_out_of_range() {
+    let g = generators::path(3);
+    let _ = bfs::distances(&g, NodeId::new(9));
+}
+
+#[test]
+#[should_panic(expected = "query vertex out of range")]
+fn pair_distance_out_of_range() {
+    let g = generators::path(3);
+    let _ = bfs::pair_distance_avoiding(&g, NodeId::new(0), NodeId::new(9), &FaultSet::empty());
+}
+
+#[test]
+#[should_panic(expected = "scratch too small")]
+fn ball_scratch_too_small() {
+    let g = generators::path(10);
+    let mut scratch = BfsScratch::new(3);
+    let _ = bfs::ball(&g, NodeId::new(0), 2, &mut scratch);
+}
+
+#[test]
+#[should_panic(expected = "VertexOutOfRange")]
+fn builder_vertex_count_overflow_guard() {
+    // Adding an edge beyond n must fail eagerly (Result), and unwrapping it
+    // panics — the documented contract of the example code paths.
+    let mut b = GraphBuilder::new(2);
+    b.add_edge(0, 5).unwrap();
+}

@@ -1,0 +1,612 @@
+//! Label construction (the scheme's *marker* algorithm).
+//!
+//! [`Labeling::build`] preprocesses the graph once: it constructs the net
+//! hierarchy and verifies the parameter schedule. Individual labels are then
+//! *materialized on demand* by [`Labeling::label_of`] — semantically the
+//! label is a fixed per-vertex artifact (encode it with [`crate::codec`] to
+//! get its canonical bit string), but holding all `n` labels in memory
+//! simultaneously is pointless for a *distributed* data structure in which
+//! each node stores only its own label. Materialization is deterministic,
+//! so repeated calls yield identical labels.
+//!
+//! Per level `i`, `L_i(v)` is built from truncated BFS only:
+//!
+//! 1. `B(v, rᵢ)` from `v` gives the stored points
+//!    `N_{i−c−1} ∩ B(v, rᵢ)` with exact distances — the paper's vertex set
+//!    of `H_i(v)` (plus the implicit owner edges);
+//! 2. for every stored point `x` at waypoint net level (`x ∈ N_{i−c}`), a
+//!    BFS truncated at `λᵢ` enumerates its virtual-edge partners;
+//! 3. at the lowest level, the real edges of `G` inside the ball are read
+//!    off the adjacency lists.
+//!
+//! Total preprocessing per materialized label is `O(Σ_i |B(v, rᵢ)| +
+//! Σ_{x high} |B(x, λᵢ)|)` BFS work — polynomial, and measured by the
+//! `preprocessing` bench.
+
+use fsdl_graph::bfs::{self, BfsScratch};
+use fsdl_graph::{Graph, NodeId};
+use fsdl_nets::NetHierarchy;
+
+use crate::label::{Label, LabelPoint, LevelLabel, RealEdge, VirtualEdge};
+use crate::params::SchemeParams;
+
+/// Errors from [`Labeling::try_build`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// The graph has no vertices.
+    EmptyGraph,
+    /// `params.n()` does not match the graph's vertex count.
+    VertexCountMismatch {
+        /// Vertex count the schedule was derived for.
+        params_n: usize,
+        /// The graph's actual vertex count.
+        graph_n: usize,
+    },
+    /// The parameter schedule violates its invariants (only possible with
+    /// hand-built schedules).
+    InvalidSchedule(String),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::EmptyGraph => write!(f, "labeling needs a nonempty graph"),
+            BuildError::VertexCountMismatch { params_n, graph_n } => write!(
+                f,
+                "params were derived for {params_n} vertices but the graph has {graph_n}"
+            ),
+            BuildError::InvalidSchedule(e) => write!(f, "parameter schedule invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Mean per-level label contents over sampled vertices (see
+/// [`Labeling::level_report`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LevelReport {
+    /// The label level `i`.
+    pub level: u32,
+    /// Mean stored points at this level.
+    pub mean_points: f64,
+    /// Mean virtual edges at this level.
+    pub mean_virtual_edges: f64,
+    /// Mean real edges at this level (lowest level only).
+    pub mean_real_edges: f64,
+}
+
+/// The preprocessed labeling of a graph: parameters + net hierarchy, from
+/// which any vertex's label can be materialized.
+///
+/// # Examples
+///
+/// ```
+/// use fsdl_graph::{generators, NodeId};
+/// use fsdl_labels::{Labeling, SchemeParams};
+///
+/// let g = generators::path(64);
+/// let labeling = Labeling::build(&g, SchemeParams::new(1.0, 64));
+/// let label = labeling.label_of(NodeId::new(10));
+/// assert_eq!(label.owner, NodeId::new(10));
+/// assert!(label.stats().points > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Labeling {
+    graph: Graph,
+    params: SchemeParams,
+    nets: NetHierarchy,
+    all_pairs: bool,
+}
+
+/// Construction options for [`Labeling::build_with_options`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LabelingOptions {
+    /// Store *every* virtual-edge pair of stored points (the paper's
+    /// literal `E(H_i(v))`), instead of only pairs with at least one
+    /// endpoint at waypoint net level `N_{i−c}`. The pruned default keeps
+    /// every edge the existence proof uses (see the module docs) and is
+    /// roughly a `2^α` factor smaller; this flag exists for the ablation
+    /// experiment that measures the difference.
+    pub all_pairs: bool,
+}
+
+impl Labeling {
+    /// Preprocesses `g`: builds the net hierarchy and validates the
+    /// schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is empty, if `params.n()` does not match the graph, or
+    /// if the schedule violates its invariants (cannot happen for schedules
+    /// from [`SchemeParams::new`]).
+    pub fn build(g: &Graph, params: SchemeParams) -> Self {
+        Self::build_with_options(g, params, LabelingOptions::default())
+    }
+
+    /// Like [`Labeling::build`] with explicit [`LabelingOptions`].
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Labeling::build`].
+    pub fn build_with_options(g: &Graph, params: SchemeParams, options: LabelingOptions) -> Self {
+        match Self::try_build_with_options(g, params, options) {
+            Ok(labeling) => labeling,
+            Err(BuildError::EmptyGraph) => panic!("labeling needs a nonempty graph"),
+            Err(BuildError::VertexCountMismatch { .. }) => {
+                panic!("params were derived for a different vertex count")
+            }
+            Err(BuildError::InvalidSchedule(e)) => {
+                panic!("parameter schedule violates its invariants: {e}")
+            }
+        }
+    }
+
+    /// Fallible variant of [`Labeling::build`] for callers that prefer
+    /// `Result` over panics (e.g. when parameters come from user input).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] for an empty graph, a vertex-count
+    /// mismatch, or an invalid hand-built schedule.
+    pub fn try_build(g: &Graph, params: SchemeParams) -> Result<Self, BuildError> {
+        Self::try_build_with_options(g, params, LabelingOptions::default())
+    }
+
+    /// Fallible variant of [`Labeling::build_with_options`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Labeling::try_build`].
+    pub fn try_build_with_options(
+        g: &Graph,
+        params: SchemeParams,
+        options: LabelingOptions,
+    ) -> Result<Self, BuildError> {
+        if g.num_vertices() == 0 {
+            return Err(BuildError::EmptyGraph);
+        }
+        if params.n() != g.num_vertices() {
+            return Err(BuildError::VertexCountMismatch {
+                params_n: params.n(),
+                graph_n: g.num_vertices(),
+            });
+        }
+        params
+            .verify_invariants()
+            .map_err(BuildError::InvalidSchedule)?;
+        let nets = NetHierarchy::build(g);
+        Ok(Labeling {
+            graph: g.clone(),
+            params,
+            nets,
+            all_pairs: options.all_pairs,
+        })
+    }
+
+    /// The parameter schedule in force.
+    pub fn params(&self) -> &SchemeParams {
+        &self.params
+    }
+
+    /// The underlying net hierarchy.
+    pub fn nets(&self) -> &NetHierarchy {
+        &self.nets
+    }
+
+    /// The graph this labeling was built for (an owned copy of the input;
+    /// the CSR representation is cheap to clone relative to preprocessing).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Net level whose points are stored at label level `i`, clamped to the
+    /// hierarchy's top (relevant only for graphs smaller than `2^{c+1}`).
+    fn stored_net(&self, i: u32) -> u32 {
+        self.params.stored_net_level(i).min(self.nets.top_level())
+    }
+
+    /// Waypoint net level at label level `i`, clamped likewise.
+    fn waypoint_net(&self, i: u32) -> u32 {
+        self.params.waypoint_net_level(i).min(self.nets.top_level())
+    }
+
+    /// Materializes the label `L(v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of the graph.
+    pub fn label_of(&self, v: NodeId) -> Label {
+        assert!(self.graph.contains(v), "vertex out of range");
+        let n = self.graph.num_vertices();
+        let mut scratch = BfsScratch::new(n);
+        let mut partner_scratch = BfsScratch::new(n);
+        let first_level = self.params.c() + 1;
+        let mut levels = Vec::with_capacity(self.params.num_levels());
+        for i in self.params.levels() {
+            levels.push(self.build_level(v, i, &mut scratch, &mut partner_scratch));
+        }
+        Label {
+            owner: v,
+            owner_net_level: self.nets.level_of(v),
+            first_level,
+            levels,
+        }
+    }
+
+    fn build_level(
+        &self,
+        v: NodeId,
+        i: u32,
+        scratch: &mut BfsScratch,
+        partner_scratch: &mut BfsScratch,
+    ) -> LevelLabel {
+        let r_i = clamp_radius(self.params.r(i), self.graph.num_vertices());
+        let lambda_i = clamp_radius(self.params.lambda(i), self.graph.num_vertices());
+        let stored_net = self.stored_net(i);
+        let waypoint_net = self.waypoint_net(i);
+
+        // 1. Stored points: N_{i-c-1} ∩ B(v, r_i), sorted by vertex id.
+        let ball = bfs::ball(&self.graph, v, r_i, scratch);
+        let mut points: Vec<LabelPoint> = ball
+            .iter()
+            .filter(|m| self.nets.is_in_net(m.vertex, stored_net))
+            .map(|m| LabelPoint {
+                vertex: m.vertex,
+                dist: m.dist,
+                net_level: self.nets.level_of(m.vertex),
+            })
+            .collect();
+        points.sort_unstable_by_key(|p| p.vertex);
+        let index_of = |w: NodeId| -> Option<u32> {
+            points
+                .binary_search_by_key(&w, |p| p.vertex)
+                .ok()
+                .map(|k| k as u32)
+        };
+
+        // 2. Virtual edges: pairs (x, y) of stored points with
+        //    d_G(x, y) <= lambda_i and at least one endpoint at waypoint net
+        //    level. Enumerated by a lambda-truncated BFS from each high
+        //    endpoint.
+        let is_high = |net_level: u32| self.all_pairs || net_level >= waypoint_net;
+        let mut virtual_edges: Vec<VirtualEdge> = Vec::new();
+        for (ax, p) in points.iter().enumerate() {
+            if !is_high(p.net_level) {
+                continue;
+            }
+            for m in bfs::ball(&self.graph, p.vertex, lambda_i, partner_scratch) {
+                if m.vertex == p.vertex {
+                    continue;
+                }
+                let Some(ay) = index_of(m.vertex) else {
+                    continue;
+                };
+                let q = &points[ay as usize];
+                // Canonical orientation: when both endpoints are high the
+                // pair would be found twice; keep the (low index -> high
+                // index) copy discovered from the lower-indexed endpoint.
+                if is_high(q.net_level) && ay < ax as u32 {
+                    continue;
+                }
+                let (a, b) = if (ax as u32) < ay {
+                    (ax as u32, ay)
+                } else {
+                    (ay, ax as u32)
+                };
+                virtual_edges.push(VirtualEdge { a, b, dist: m.dist });
+            }
+        }
+        virtual_edges.sort_unstable_by_key(|e| (e.a, e.b));
+        virtual_edges.dedup_by_key(|e| (e.a, e.b));
+
+        // 3. Real edges, lowest level only: edges of G inside B(v, r_i).
+        let mut real_edges = Vec::new();
+        if i == self.params.c() + 1 {
+            for (au, p) in points.iter().enumerate() {
+                for w in self.graph.neighbor_ids(p.vertex) {
+                    if w <= p.vertex {
+                        continue;
+                    }
+                    if let Some(aw) = index_of(w) {
+                        real_edges.push(RealEdge {
+                            a: au as u32,
+                            b: aw,
+                        });
+                    }
+                }
+            }
+        }
+
+        LevelLabel {
+            points,
+            virtual_edges,
+            real_edges,
+        }
+    }
+
+    /// Convenience: materializes and bit-encodes `L(v)`, returning its
+    /// length in bits under the canonical codec.
+    pub fn label_bits(&self, v: NodeId) -> usize {
+        crate::codec::encoded_bits(&self.label_of(v), self.graph.num_vertices())
+    }
+
+    /// Per-level size breakdown averaged over `samples` evenly-spaced
+    /// vertices: for each label level `i`, the mean number of stored
+    /// points, virtual edges, and real edges. Shows *where* the label
+    /// bits live (the low levels dominate — the `(O(1)/ε)^{2α}` constant).
+    pub fn level_report(&self, samples: usize) -> Vec<LevelReport> {
+        let n = self.graph.num_vertices();
+        let samples = samples.clamp(1, n);
+        let stride = (n / samples).max(1);
+        let mut reports: Vec<LevelReport> = self
+            .params
+            .levels()
+            .map(|level| LevelReport {
+                level,
+                mean_points: 0.0,
+                mean_virtual_edges: 0.0,
+                mean_real_edges: 0.0,
+            })
+            .collect();
+        let mut count = 0usize;
+        let mut v = 0usize;
+        while v < n && count < samples {
+            let label = self.label_of(NodeId::from_index(v));
+            for (k, (_, level)) in label.levels_iter().enumerate() {
+                reports[k].mean_points += level.points.len() as f64;
+                reports[k].mean_virtual_edges += level.virtual_edges.len() as f64;
+                reports[k].mean_real_edges += level.real_edges.len() as f64;
+            }
+            count += 1;
+            v += stride;
+        }
+        for r in &mut reports {
+            r.mean_points /= count as f64;
+            r.mean_virtual_edges /= count as f64;
+            r.mean_real_edges /= count as f64;
+        }
+        reports
+    }
+}
+
+/// Radii from the schedule are `u64` and can exceed any graph distance;
+/// clamp to `n` (distances are `< n`).
+fn clamp_radius(r: u64, n: usize) -> u32 {
+    u32::try_from(r.min(n as u64)).expect("n fits in u32")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsdl_graph::generators;
+
+    fn build_path() -> (fsdl_graph::Graph, SchemeParams) {
+        let g = generators::path(40);
+        let p = SchemeParams::new(1.0, 40);
+        (g, p)
+    }
+
+    #[test]
+    fn owner_and_levels() {
+        let (g, p) = build_path();
+        let labeling = Labeling::build(&g, p.clone());
+        let l = labeling.label_of(NodeId::new(7));
+        assert_eq!(l.owner, NodeId::new(7));
+        assert_eq!(l.first_level, p.c() + 1);
+        assert_eq!(l.levels.len(), p.num_levels());
+    }
+
+    #[test]
+    fn points_are_sorted_with_exact_distances() {
+        let (g, p) = build_path();
+        let labeling = Labeling::build(&g, p);
+        let v = NodeId::new(20);
+        let l = labeling.label_of(v);
+        for (_, level) in l.levels_iter() {
+            for w in level.points.windows(2) {
+                assert!(w[0].vertex < w[1].vertex);
+            }
+            for pt in &level.points {
+                // On a path the distance is |id difference|.
+                assert_eq!(pt.dist, v.raw().abs_diff(pt.vertex.raw()));
+            }
+        }
+    }
+
+    #[test]
+    fn stored_points_respect_net_and_radius() {
+        let g = generators::grid2d(8, 8);
+        let p = SchemeParams::new(2.0, 64);
+        let labeling = Labeling::build(&g, p.clone());
+        let v = NodeId::new(27);
+        let l = labeling.label_of(v);
+        for (i, level) in l.levels_iter() {
+            let r_i = p.r(i).min(64);
+            let stored = p.stored_net_level(i).min(labeling.nets().top_level());
+            for pt in &level.points {
+                assert!(u64::from(pt.dist) <= r_i, "point outside ball at level {i}");
+                assert!(
+                    labeling.nets().is_in_net(pt.vertex, stored),
+                    "point below stored net at level {i}"
+                );
+                assert_eq!(pt.net_level, labeling.nets().level_of(pt.vertex));
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_edges_are_short_exact_and_have_high_endpoint() {
+        let g = generators::grid2d(8, 8);
+        let p = SchemeParams::new(2.0, 64);
+        let labeling = Labeling::build(&g, p.clone());
+        let l = labeling.label_of(NodeId::new(0));
+        for (i, level) in l.levels_iter() {
+            let wp = p.waypoint_net_level(i).min(labeling.nets().top_level());
+            for e in &level.virtual_edges {
+                let x = &level.points[e.a as usize];
+                let y = &level.points[e.b as usize];
+                assert!(e.a < e.b, "canonical orientation");
+                assert!(u64::from(e.dist) <= p.lambda(i));
+                assert!(
+                    x.net_level >= wp || y.net_level >= wp,
+                    "no waypoint endpoint at level {i}"
+                );
+                // Exact weight.
+                let d = fsdl_graph::bfs::pair_distance_avoiding(
+                    &g,
+                    x.vertex,
+                    y.vertex,
+                    &fsdl_graph::FaultSet::empty(),
+                );
+                assert_eq!(d.finite(), Some(e.dist));
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_edges_deduplicated() {
+        let g = generators::grid2d(6, 6);
+        let labeling = Labeling::build(&g, SchemeParams::new(2.0, 36));
+        let l = labeling.label_of(NodeId::new(14));
+        for (_, level) in l.levels_iter() {
+            let mut keys: Vec<(u32, u32)> =
+                level.virtual_edges.iter().map(|e| (e.a, e.b)).collect();
+            let before = keys.len();
+            keys.sort_unstable();
+            keys.dedup();
+            assert_eq!(keys.len(), before, "duplicate virtual edges");
+        }
+    }
+
+    #[test]
+    fn real_edges_only_at_lowest_level_and_match_graph() {
+        let g = generators::grid2d(8, 8);
+        let p = SchemeParams::new(2.0, 64);
+        let labeling = Labeling::build(&g, p.clone());
+        let l = labeling.label_of(NodeId::new(9));
+        for (i, level) in l.levels_iter() {
+            if i == p.c() + 1 {
+                assert!(!level.real_edges.is_empty());
+                for e in &level.real_edges {
+                    let u = level.points[e.a as usize].vertex;
+                    let w = level.points[e.b as usize].vertex;
+                    assert!(g.has_edge(u, w), "stored non-edge at lowest level");
+                }
+            } else {
+                assert!(level.real_edges.is_empty(), "real edges at level {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn lowest_level_contains_whole_ball_with_all_edges() {
+        // At level c+1 the stored net is N_0 = V, so all edges of G inside
+        // the ball must be present.
+        let g = generators::cycle(20);
+        let p = SchemeParams::new(2.0, 20);
+        let labeling = Labeling::build(&g, p.clone());
+        let v = NodeId::new(5);
+        let l = labeling.label_of(v);
+        let low = l.level(p.c() + 1).unwrap();
+        let ids: std::collections::HashSet<NodeId> =
+            low.points.iter().map(|pt| pt.vertex).collect();
+        let mut expected = 0usize;
+        for e in g.edges() {
+            if ids.contains(&e.lo()) && ids.contains(&e.hi()) {
+                expected += 1;
+            }
+        }
+        assert_eq!(low.real_edges.len(), expected);
+    }
+
+    #[test]
+    fn materialization_is_deterministic() {
+        let g = generators::random_geometric(120, 0.12, 17);
+        let labeling = Labeling::build(&g, SchemeParams::new(2.0, 120));
+        let a = labeling.label_of(NodeId::new(60));
+        let b = labeling.label_of(NodeId::new(60));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nearest_waypoint_is_stored() {
+        // The certificate needs M_{i-c}(v) present among v's stored points
+        // at every level.
+        let g = generators::grid2d(10, 10);
+        let p = SchemeParams::new(1.0, 100);
+        let labeling = Labeling::build(&g, p.clone());
+        for vr in [0u32, 33, 99] {
+            let v = NodeId::new(vr);
+            let l = labeling.label_of(v);
+            for (i, level) in l.levels_iter() {
+                let wp = p.waypoint_net_level(i).min(labeling.nets().top_level());
+                let best = level
+                    .points
+                    .iter()
+                    .filter(|pt| pt.net_level >= wp)
+                    .map(|pt| pt.dist)
+                    .min();
+                let (_, d) = labeling.nets().nearest(v, wp).expect("connected");
+                assert_eq!(best, Some(d), "waypoint missing at level {i} for v{vr}");
+            }
+        }
+    }
+
+    #[test]
+    fn try_build_errors() {
+        let g = generators::path(10);
+        assert!(matches!(
+            Labeling::try_build(&g, SchemeParams::new(1.0, 11)),
+            Err(BuildError::VertexCountMismatch {
+                params_n: 11,
+                graph_n: 10
+            })
+        ));
+        assert!(Labeling::try_build(&g, SchemeParams::new(1.0, 10)).is_ok());
+        let empty = fsdl_graph::GraphBuilder::new(0).build();
+        assert!(matches!(
+            Labeling::try_build(&empty, SchemeParams::new(1.0, 10)),
+            Err(BuildError::EmptyGraph)
+        ));
+        let err = BuildError::InvalidSchedule("x".into());
+        assert!(err.to_string().contains("invalid"));
+    }
+
+    #[test]
+    fn level_report_shape() {
+        let g = generators::grid2d(8, 8);
+        let p = SchemeParams::new(1.0, 64);
+        let labeling = Labeling::build(&g, p.clone());
+        let report = labeling.level_report(4);
+        assert_eq!(report.len(), p.num_levels());
+        assert_eq!(report[0].level, p.c() + 1);
+        // Only the lowest level has real edges.
+        assert!(report[0].mean_real_edges > 0.0);
+        for r in &report[1..] {
+            assert_eq!(r.mean_real_edges, 0.0);
+        }
+        // The low levels dominate point counts on a small graph.
+        assert!(report[0].mean_points >= report.last().unwrap().mean_points);
+    }
+
+    #[test]
+    #[should_panic(expected = "different vertex count")]
+    fn mismatched_params_rejected() {
+        let g = generators::path(10);
+        let _ = Labeling::build(&g, SchemeParams::new(1.0, 11));
+    }
+
+    #[test]
+    fn single_vertex_graph_labels() {
+        let g = fsdl_graph::GraphBuilder::new(1).build();
+        let labeling = Labeling::build(&g, SchemeParams::new(1.0, 1));
+        let l = labeling.label_of(NodeId::new(0));
+        assert_eq!(l.owner, NodeId::new(0));
+        for (_, level) in l.levels_iter() {
+            assert_eq!(level.points.len(), 1);
+            assert!(level.virtual_edges.is_empty());
+        }
+    }
+}

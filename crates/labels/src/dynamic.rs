@@ -1,0 +1,351 @@
+//! The fully-dynamic distance oracle byproduct.
+//!
+//! Abraham, Chechik & Gavoille (STOC 2012) observed that any `(1+ε)`
+//! forbidden-set labeling scheme yields a fully dynamic `(1+ε)` distance
+//! oracle: buffer deletions in a forbidden set `F` answered at query time,
+//! and when `|F|` exceeds a threshold (`√n` balances the `|F|²` query cost
+//! against the rebuild cost), rebuild the labeling on the surviving graph.
+//! The paper cites this combination explicitly as giving, for doubling
+//! dimension `α`, a dynamic oracle of size `Õ((1+ε⁻¹)^{2α} n)` with
+//! `Õ(n^{1/2})` worst-case query/update time.
+//!
+//! [`DynamicOracle`] implements deletions and re-insertions of vertices and
+//! edges of the original graph `G` (the supported update model: the live
+//! graph is always `G ∖ F` for the current buffer `F`).
+
+use fsdl_graph::subgraph::{self, Subgraph};
+use fsdl_graph::{Dist, FaultSet, Graph, NodeId};
+
+use crate::oracle::ForbiddenSetOracle;
+use crate::params::SchemeParams;
+
+/// A fully dynamic `(1+ε)` distance oracle over `G ∖ F` with buffered
+/// updates and periodic rebuilds.
+///
+/// # Examples
+///
+/// ```
+/// use fsdl_graph::{generators, NodeId};
+/// use fsdl_labels::DynamicOracle;
+///
+/// let g = generators::cycle(24);
+/// let mut oracle = DynamicOracle::new(&g, 1.0);
+/// oracle.delete_vertex(NodeId::new(1));
+/// let d = oracle.distance(NodeId::new(0), NodeId::new(2)).finite().unwrap();
+/// assert!(d >= 22); // forced the long way around
+/// oracle.restore_vertex(NodeId::new(1));
+/// assert_eq!(oracle.distance(NodeId::new(0), NodeId::new(2)).finite(), Some(2));
+/// ```
+#[derive(Debug)]
+pub struct DynamicOracle {
+    original: Graph,
+    epsilon: f64,
+    /// Faults already folded into the current base labeling.
+    baked: FaultSet,
+    /// Faults buffered since the last rebuild (answered via the decoder).
+    buffer: FaultSet,
+    /// Rebuild when the buffer exceeds this many elements.
+    threshold: usize,
+    /// The surviving graph the current labeling was built on, plus the id
+    /// mappings from original ids.
+    base: Subgraph,
+    oracle: ForbiddenSetOracle,
+    rebuilds: usize,
+}
+
+impl DynamicOracle {
+    /// Creates the oracle over `g` with precision `epsilon` and the default
+    /// `⌈√n⌉` rebuild threshold.
+    pub fn new(g: &Graph, epsilon: f64) -> Self {
+        let threshold = (g.num_vertices() as f64).sqrt().ceil() as usize;
+        Self::with_threshold(g, epsilon, threshold.max(1))
+    }
+
+    /// Creates the oracle with an explicit rebuild threshold (the harness
+    /// sweeps this to show the `√n` balance point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold == 0`, `g` is empty, or `epsilon` is invalid.
+    pub fn with_threshold(g: &Graph, epsilon: f64, threshold: usize) -> Self {
+        assert!(threshold > 0, "rebuild threshold must be positive");
+        let base = subgraph::remove_faults(g, &FaultSet::empty());
+        let params = SchemeParams::new(epsilon, base.graph.num_vertices());
+        let oracle = ForbiddenSetOracle::with_params(&base.graph, params);
+        DynamicOracle {
+            original: g.clone(),
+            epsilon,
+            baked: FaultSet::empty(),
+            buffer: FaultSet::empty(),
+            threshold,
+            base,
+            oracle,
+            rebuilds: 0,
+        }
+    }
+
+    /// Number of buffered (not yet baked) faults.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Number of rebuilds performed so far.
+    pub fn rebuilds(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// The current full fault set (baked + buffered).
+    pub fn current_faults(&self) -> FaultSet {
+        let mut f = self.baked.clone();
+        for v in self.buffer.vertices() {
+            f.forbid_vertex(v);
+        }
+        for e in self.buffer.edges() {
+            f.forbid_edge_unchecked(e.lo(), e.hi());
+        }
+        f
+    }
+
+    /// Deletes a vertex of `G` (no-op if already deleted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of the original graph.
+    pub fn delete_vertex(&mut self, v: NodeId) {
+        assert!(self.original.contains(v), "vertex out of range");
+        if self.baked.is_vertex_faulty(v) || self.buffer.is_vertex_faulty(v) {
+            return;
+        }
+        self.buffer.forbid_vertex(v);
+        self.maybe_rebuild();
+    }
+
+    /// Deletes an edge of `G` (no-op if already deleted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `{a, b}` is not an edge of the original graph.
+    pub fn delete_edge(&mut self, a: NodeId, b: NodeId) {
+        assert!(
+            self.original.has_edge(a, b),
+            "not an edge of the original graph"
+        );
+        if self.baked.is_edge_faulty(a, b) || self.buffer.is_edge_faulty(a, b) {
+            return;
+        }
+        self.buffer.forbid_edge_unchecked(a, b);
+        self.maybe_rebuild();
+    }
+
+    /// Restores a previously deleted vertex of `G`. Restorations of baked
+    /// deletions force a rebuild (the labeling no longer matches).
+    pub fn restore_vertex(&mut self, v: NodeId) {
+        if self.buffer.permit_vertex(v) {
+            return;
+        }
+        if self.baked.permit_vertex(v) {
+            self.rebuild();
+        }
+    }
+
+    /// Restores a previously deleted edge of `G`.
+    pub fn restore_edge(&mut self, a: NodeId, b: NodeId) {
+        if self.buffer.permit_edge(a, b) {
+            return;
+        }
+        if self.baked.permit_edge(a, b) {
+            self.rebuild();
+        }
+    }
+
+    /// The `(1+ε)`-approximate distance between `s` and `t` (original ids)
+    /// in the current graph `G ∖ F`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `t` is out of range for the original graph.
+    pub fn distance(&self, s: NodeId, t: NodeId) -> Dist {
+        assert!(
+            self.original.contains(s) && self.original.contains(t),
+            "query vertex out of range"
+        );
+        // Deleted endpoints are unreachable by definition.
+        let (Some(bs), Some(bt)) = (self.base.map(s), self.base.map(t)) else {
+            return Dist::INFINITE;
+        };
+        if self.buffer.is_vertex_faulty(s) || self.buffer.is_vertex_faulty(t) {
+            return Dist::INFINITE;
+        }
+        // Translate buffered faults into base-graph ids.
+        let mut f = FaultSet::empty();
+        for v in self.buffer.vertices() {
+            if let Some(bv) = self.base.map(v) {
+                f.forbid_vertex(bv);
+            }
+        }
+        for e in self.buffer.edges() {
+            if let (Some(a), Some(b)) = (self.base.map(e.lo()), self.base.map(e.hi())) {
+                if self.base.graph.has_edge(a, b) {
+                    f.forbid_edge_unchecked(a, b);
+                }
+            }
+        }
+        self.oracle.distance(bs, bt, &f)
+    }
+
+    /// Connectivity in the current graph.
+    pub fn connected(&self, s: NodeId, t: NodeId) -> bool {
+        self.distance(s, t).is_finite()
+    }
+
+    fn maybe_rebuild(&mut self) {
+        if self.buffer.len() > self.threshold {
+            self.rebuild();
+        }
+    }
+
+    /// Folds the buffer into the baked set and rebuilds the labeling on the
+    /// surviving graph.
+    pub fn rebuild(&mut self) {
+        for v in self.buffer.vertices().collect::<Vec<_>>() {
+            self.baked.forbid_vertex(v);
+        }
+        for e in self.buffer.edges().collect::<Vec<_>>() {
+            self.baked.forbid_edge_unchecked(e.lo(), e.hi());
+        }
+        self.buffer = FaultSet::empty();
+        self.base = subgraph::remove_faults(&self.original, &self.baked);
+        let n = self.base.graph.num_vertices().max(1);
+        // Degenerate case: everything deleted; keep a 1-vertex placeholder
+        // graph (queries all return INFINITE via the mapping checks).
+        if self.base.graph.num_vertices() == 0 {
+            let placeholder = fsdl_graph::GraphBuilder::new(1).build();
+            let params = SchemeParams::new(self.epsilon, 1);
+            self.oracle = ForbiddenSetOracle::with_params(&placeholder, params);
+        } else {
+            let params = SchemeParams::new(self.epsilon, n);
+            self.oracle = ForbiddenSetOracle::with_params(&self.base.graph, params);
+        }
+        self.rebuilds += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsdl_graph::{bfs, generators};
+
+    fn check_against_truth(oracle: &DynamicOracle, g: &Graph, faults: &FaultSet, eps: f64) {
+        for s in (0..g.num_vertices() as u32).step_by(5) {
+            for t in (0..g.num_vertices() as u32).step_by(7) {
+                let d = oracle.distance(NodeId::new(s), NodeId::new(t));
+                let truth = bfs::pair_distance_avoiding(g, NodeId::new(s), NodeId::new(t), faults);
+                match truth.finite() {
+                    None => assert!(d.is_infinite(), "{s}->{t} should be disconnected"),
+                    Some(0) => assert_eq!(d.finite(), Some(0)),
+                    Some(td) => {
+                        let dd = d.finite().expect("should be connected");
+                        assert!(dd >= td);
+                        assert!(
+                            f64::from(dd) <= (1.0 + eps) * f64::from(td) + 1e-9,
+                            "{s}->{t}: {dd} vs {td}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deletions_and_queries_match_truth() {
+        let g = generators::grid2d(6, 6);
+        let mut oracle = DynamicOracle::with_threshold(&g, 1.0, 100);
+        let mut faults = FaultSet::empty();
+        for v in [7u32, 21, 28] {
+            oracle.delete_vertex(NodeId::new(v));
+            faults.forbid_vertex(NodeId::new(v));
+            check_against_truth(&oracle, &g, &faults, 1.0);
+        }
+        assert_eq!(oracle.rebuilds(), 0);
+    }
+
+    #[test]
+    fn rebuild_threshold_triggers() {
+        let g = generators::cycle(30);
+        let mut oracle = DynamicOracle::with_threshold(&g, 1.0, 2);
+        oracle.delete_vertex(NodeId::new(1));
+        oracle.delete_vertex(NodeId::new(2));
+        assert_eq!(oracle.rebuilds(), 0);
+        oracle.delete_vertex(NodeId::new(3));
+        assert_eq!(oracle.rebuilds(), 1);
+        assert_eq!(oracle.buffered(), 0);
+        // Queries still correct after the rebuild.
+        let faults = oracle.current_faults();
+        check_against_truth(&oracle, &g, &faults, 1.0);
+    }
+
+    #[test]
+    fn restore_buffered_and_baked() {
+        let g = generators::cycle(16);
+        let mut oracle = DynamicOracle::with_threshold(&g, 1.0, 1);
+        oracle.delete_vertex(NodeId::new(3));
+        oracle.restore_vertex(NodeId::new(3)); // buffered -> cheap
+        assert_eq!(oracle.rebuilds(), 0);
+        assert_eq!(
+            oracle.distance(NodeId::new(2), NodeId::new(4)).finite(),
+            Some(2)
+        );
+        oracle.delete_vertex(NodeId::new(3));
+        oracle.delete_vertex(NodeId::new(8)); // exceeds threshold -> baked
+        assert_eq!(oracle.rebuilds(), 1);
+        oracle.restore_vertex(NodeId::new(3)); // baked -> rebuild
+        assert_eq!(oracle.rebuilds(), 2);
+        assert_eq!(
+            oracle.distance(NodeId::new(2), NodeId::new(4)).finite(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn edge_deletions() {
+        let g = generators::cycle(12);
+        let mut oracle = DynamicOracle::with_threshold(&g, 1.0, 50);
+        oracle.delete_edge(NodeId::new(0), NodeId::new(1));
+        let d = oracle
+            .distance(NodeId::new(0), NodeId::new(1))
+            .finite()
+            .unwrap();
+        assert!(d >= 11);
+        oracle.restore_edge(NodeId::new(0), NodeId::new(1));
+        assert_eq!(
+            oracle.distance(NodeId::new(0), NodeId::new(1)).finite(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn duplicate_deletes_are_noops() {
+        let g = generators::path(8);
+        let mut oracle = DynamicOracle::with_threshold(&g, 1.0, 10);
+        oracle.delete_vertex(NodeId::new(4));
+        oracle.delete_vertex(NodeId::new(4));
+        assert_eq!(oracle.buffered(), 1);
+    }
+
+    #[test]
+    fn queries_to_deleted_vertices() {
+        let g = generators::path(8);
+        let mut oracle = DynamicOracle::with_threshold(&g, 1.0, 1);
+        oracle.delete_vertex(NodeId::new(4));
+        oracle.delete_vertex(NodeId::new(5)); // rebuild happens
+        assert!(oracle.rebuilds() >= 1);
+        assert!(oracle
+            .distance(NodeId::new(4), NodeId::new(0))
+            .is_infinite());
+        assert!(oracle
+            .distance(NodeId::new(0), NodeId::new(5))
+            .is_infinite());
+        assert!(!oracle.connected(NodeId::new(0), NodeId::new(7)));
+        assert!(oracle.connected(NodeId::new(0), NodeId::new(3)));
+    }
+}

@@ -1,0 +1,278 @@
+//! The failure-free `(1+ε)` distance labeling of the paper's Section 2.1
+//! overview.
+//!
+//! Label of `v`: for each level `i ∈ {c, …, ⌈log n⌉}` (with
+//! `c = max{0, ⌈log₂(2/ε)⌉}`), the net points of `N_{i−c} ∩ B(v, 2^{i+1}−1)`
+//! with their exact distances from `v`. A query finds the smallest `i` such
+//! that `M_{i−c}(t)` (read from `L(t)`) appears in `L_i(s)` and returns
+//! `d(s, M) + d(M, t)`, which the paper shows is a `1+ε` approximation.
+//!
+//! This scheme is both a baseline (what you get when you ignore faults —
+//! the harness shows its answers can be arbitrarily wrong under `F ≠ ∅`)
+//! and the conceptual skeleton the fault-tolerant labels extend.
+
+use fsdl_graph::bfs::{self, BfsScratch};
+use fsdl_graph::{Dist, Graph, NodeId};
+use fsdl_nets::{ceil_log2, NetHierarchy};
+
+use crate::codec::BitWriter;
+use crate::label::LabelPoint;
+
+/// A failure-free label: per-level net points with exact distances.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FailureFreeLabel {
+    /// The vertex this label belongs to.
+    pub owner: NodeId,
+    /// The lowest level `c`.
+    pub first_level: u32,
+    /// Point lists for levels `c, c+1, …, ⌈log n⌉` (sorted by vertex id).
+    pub levels: Vec<Vec<LabelPoint>>,
+}
+
+impl FailureFreeLabel {
+    /// Canonical encoded size in bits (same codec conventions as the
+    /// fault-tolerant labels).
+    pub fn encoded_bits(&self, n: usize) -> usize {
+        let mut w = BitWriter::new();
+        w.write_bits(u64::from(self.owner.raw()), ceil_log2(n).max(1));
+        w.write_varint(u64::from(self.first_level));
+        w.write_varint(self.levels.len() as u64);
+        for level in &self.levels {
+            w.write_varint(level.len() as u64);
+            let mut prev = 0u64;
+            for (k, p) in level.iter().enumerate() {
+                let id = u64::from(p.vertex.raw());
+                let delta = if k == 0 { id } else { id - prev };
+                prev = id;
+                w.write_varint(delta);
+                w.write_varint(u64::from(p.dist));
+            }
+        }
+        w.len_bits()
+    }
+}
+
+/// The failure-free labeling scheme: marker side.
+#[derive(Clone, Debug)]
+pub struct FailureFreeLabeling<'g> {
+    graph: &'g Graph,
+    nets: NetHierarchy,
+    c: u32,
+    top_level: u32,
+    epsilon: f64,
+}
+
+impl<'g> FailureFreeLabeling<'g> {
+    /// Preprocesses `g` for precision `epsilon`, with the paper's
+    /// `c = max{0, ⌈log₂(2/ε)⌉}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not positive finite or `g` is empty.
+    pub fn build(g: &'g Graph, epsilon: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "epsilon must be a positive finite number"
+        );
+        assert!(g.num_vertices() > 0, "labeling needs a nonempty graph");
+        let c = (2.0 / epsilon).log2().ceil().max(0.0) as u32;
+        let nets = NetHierarchy::build(g);
+        let top_level = nets.top_level().max(c);
+        FailureFreeLabeling {
+            graph: g,
+            nets,
+            c,
+            top_level,
+            epsilon,
+        }
+    }
+
+    /// The level offset `c(ε)`.
+    pub fn c(&self) -> u32 {
+        self.c
+    }
+
+    /// The precision `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Materializes the failure-free label of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn label_of(&self, v: NodeId) -> FailureFreeLabel {
+        assert!(self.graph.contains(v), "vertex out of range");
+        let n = self.graph.num_vertices();
+        let mut scratch = BfsScratch::new(n);
+        let mut levels = Vec::new();
+        for i in self.c..=self.top_level {
+            let radius = radius_at(i, n);
+            let net = (i - self.c).min(self.nets.top_level());
+            let mut pts: Vec<LabelPoint> = bfs::ball(self.graph, v, radius, &mut scratch)
+                .into_iter()
+                .filter(|m| self.nets.is_in_net(m.vertex, net))
+                .map(|m| LabelPoint {
+                    vertex: m.vertex,
+                    dist: m.dist,
+                    net_level: self.nets.level_of(m.vertex),
+                })
+                .collect();
+            pts.sort_unstable_by_key(|p| p.vertex);
+            levels.push(pts);
+        }
+        FailureFreeLabel {
+            owner: v,
+            first_level: self.c,
+            levels,
+        }
+    }
+
+    /// Encoded size in bits of `L(v)`.
+    pub fn label_bits(&self, v: NodeId) -> usize {
+        self.label_of(v).encoded_bits(self.graph.num_vertices())
+    }
+}
+
+/// Ball radius `2^{i+1} − 1`, clamped to graph scale.
+fn radius_at(i: u32, n: usize) -> u32 {
+    let r = (1u64 << (i + 1)) - 1;
+    u32::try_from(r.min(n as u64)).expect("n fits in u32")
+}
+
+/// Decodes a failure-free distance query from two labels alone: the
+/// smallest level `i` at which `t`'s nearest level-`i` net point appears in
+/// `L_i(s)` yields the estimate `d(s, M) + d(M, t)`.
+///
+/// Returns [`Dist::INFINITE`] when `s` and `t` are disconnected.
+///
+/// # Panics
+///
+/// Panics if the labels have inconsistent level ranges.
+pub fn query_failure_free(source: &FailureFreeLabel, target: &FailureFreeLabel) -> Dist {
+    assert_eq!(
+        source.first_level, target.first_level,
+        "labels come from different schemes"
+    );
+    if source.owner == target.owner {
+        return Dist::ZERO;
+    }
+    for (k, t_level) in target.levels.iter().enumerate() {
+        // M_{i-c}(t): the nearest stored point at this level.
+        let Some(m) = t_level.iter().min_by_key(|p| (p.dist, p.vertex)) else {
+            continue;
+        };
+        let Some(s_level) = source.levels.get(k) else {
+            break;
+        };
+        if let Ok(idx) = s_level.binary_search_by_key(&m.vertex, |p| p.vertex) {
+            let d = u64::from(s_level[idx].dist) + u64::from(m.dist);
+            return Dist::new(u32::try_from(d).expect("distance fits u32"));
+        }
+    }
+    Dist::INFINITE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsdl_graph::generators;
+
+    fn exact(g: &Graph, s: u32, t: u32) -> u32 {
+        bfs::pair_distance_avoiding(
+            g,
+            NodeId::new(s),
+            NodeId::new(t),
+            &fsdl_graph::FaultSet::empty(),
+        )
+        .finite()
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_on_small_path() {
+        let g = generators::path(32);
+        let ff = FailureFreeLabeling::build(&g, 0.5);
+        for s in [0u32, 7, 31] {
+            let ls = ff.label_of(NodeId::new(s));
+            for t in 0..32u32 {
+                let lt = ff.label_of(NodeId::new(t));
+                let d = query_failure_free(&ls, &lt);
+                let truth = exact(&g, s, t);
+                assert!(d.finite().unwrap() >= truth);
+                assert!(
+                    f64::from(d.finite().unwrap()) <= 1.5 * f64::from(truth) + 1e-9,
+                    "stretch violated: {s}->{t} got {d} vs {truth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stretch_bound_on_grid() {
+        let g = generators::grid2d(9, 9);
+        let eps = 1.0;
+        let ff = FailureFreeLabeling::build(&g, eps);
+        let mut worst: f64 = 1.0;
+        for s in (0..81).step_by(7) {
+            let ls = ff.label_of(NodeId::new(s));
+            for t in (0..81).step_by(5) {
+                if s == t {
+                    continue;
+                }
+                let lt = ff.label_of(NodeId::new(t));
+                let d = query_failure_free(&ls, &lt).finite().unwrap();
+                let truth = exact(&g, s, t);
+                assert!(d >= truth);
+                worst = worst.max(f64::from(d) / f64::from(truth));
+            }
+        }
+        assert!(worst <= 1.0 + eps + 1e-9, "worst stretch {worst}");
+    }
+
+    #[test]
+    fn same_vertex_is_zero() {
+        let g = generators::cycle(12);
+        let ff = FailureFreeLabeling::build(&g, 1.0);
+        let l = ff.label_of(NodeId::new(3));
+        assert_eq!(query_failure_free(&l, &l), Dist::ZERO);
+    }
+
+    #[test]
+    fn disconnected_is_infinite() {
+        let mut b = fsdl_graph::GraphBuilder::new(6);
+        b.add_edges([(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap();
+        let g = b.build();
+        let ff = FailureFreeLabeling::build(&g, 1.0);
+        let a = ff.label_of(NodeId::new(0));
+        let b2 = ff.label_of(NodeId::new(5));
+        assert!(query_failure_free(&a, &b2).is_infinite());
+    }
+
+    #[test]
+    fn c_values() {
+        let g = generators::path(8);
+        assert_eq!(FailureFreeLabeling::build(&g, 2.0).c(), 0);
+        assert_eq!(FailureFreeLabeling::build(&g, 1.0).c(), 1);
+        assert_eq!(FailureFreeLabeling::build(&g, 0.5).c(), 2);
+        assert_eq!(FailureFreeLabeling::build(&g, 0.25).c(), 3);
+    }
+
+    #[test]
+    fn label_bits_positive_and_deterministic() {
+        let g = generators::grid2d(6, 6);
+        let ff = FailureFreeLabeling::build(&g, 1.0);
+        let bits = ff.label_bits(NodeId::new(17));
+        assert!(bits > 0);
+        assert_eq!(bits, ff.label_bits(NodeId::new(17)));
+    }
+
+    #[test]
+    fn encoded_bits_roundtrip_consistency() {
+        let g = generators::grid2d(5, 5);
+        let ff = FailureFreeLabeling::build(&g, 0.5);
+        let l = ff.label_of(NodeId::new(12));
+        assert_eq!(l.encoded_bits(25), ff.label_bits(NodeId::new(12)));
+    }
+}

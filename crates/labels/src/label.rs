@@ -1,0 +1,341 @@
+//! The per-vertex label data structures.
+//!
+//! A vertex label `L(v)` is a list of level labels `L_i(v)`, `i ∈ I`; each
+//! level label encodes the weighted graph `H_i(v)`:
+//!
+//! * **points** — the vertices of `H_i(v)`: every net point of
+//!   `N_{i−c−1} ∩ B(v, rᵢ)`, stored with its exact distance from `v` and its
+//!   maximal net level. The implicit *owner edges* `(v, x)` of the paper are
+//!   exactly the points with `d_G(v, x) ≤ λᵢ`.
+//! * **virtual edges** — pairs `(x, y)` of stored points with
+//!   `d_G(x, y) ≤ λᵢ`, weighted by `d_G(x, y)`. Following the analysis (only
+//!   edges with a waypoint endpoint are ever used), we store a pair only
+//!   when at least one endpoint lies in `N_{i−c}` — an optimization that
+//!   keeps every edge the existence proof needs while shrinking labels by
+//!   roughly a `2^α` factor.
+//! * **real edges** — at the lowest level `c+1` only: the edges of `G`
+//!   inside `B(v, r_{c+1})`, stored as index pairs into the point list.
+
+use fsdl_graph::NodeId;
+
+/// One stored net point of a level label, with its exact distance from the
+/// label's owner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LabelPoint {
+    /// The net point (a vertex of `G`).
+    pub vertex: NodeId,
+    /// Exact `d_G(owner, vertex)`.
+    pub dist: u32,
+    /// The largest `j` with `vertex ∈ N_j` (its maximal net level).
+    pub net_level: u32,
+}
+
+/// A virtual edge between two stored points (indices into
+/// [`LevelLabel::points`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VirtualEdge {
+    /// Index of the first endpoint in the level's point list.
+    pub a: u32,
+    /// Index of the second endpoint in the level's point list.
+    pub b: u32,
+    /// Exact `d_G` between the endpoints (`≤ λᵢ`).
+    pub dist: u32,
+}
+
+/// A weight-1 edge of `G` stored at the lowest level (indices into
+/// [`LevelLabel::points`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RealEdge {
+    /// Index of the first endpoint in the level's point list.
+    pub a: u32,
+    /// Index of the second endpoint in the level's point list.
+    pub b: u32,
+}
+
+/// The level-`i` slice `L_i(v)` of a label, encoding `H_i(v)`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LevelLabel {
+    /// Stored points, sorted by vertex id (canonical order for encoding).
+    pub points: Vec<LabelPoint>,
+    /// Virtual edges between stored points.
+    pub virtual_edges: Vec<VirtualEdge>,
+    /// Real edges of `G` (lowest level only; empty at other levels).
+    pub real_edges: Vec<RealEdge>,
+}
+
+impl LevelLabel {
+    /// Looks up a stored point by vertex id (binary search: points are
+    /// sorted by id).
+    pub fn find_point(&self, v: NodeId) -> Option<&LabelPoint> {
+        self.points
+            .binary_search_by_key(&v, |p| p.vertex)
+            .ok()
+            .map(|idx| &self.points[idx])
+    }
+
+    /// Exact `d_G(owner, v)` if `v` is stored at this level.
+    pub fn dist_to(&self, v: NodeId) -> Option<u32> {
+        self.find_point(v).map(|p| p.dist)
+    }
+}
+
+/// A complete vertex label `L(v)`.
+///
+/// This is the *only* information about `G` the decoder may touch: queries
+/// are answered from labels alone ([`crate::decode`]), exactly as the
+/// distributed model demands.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Label {
+    /// The vertex this label belongs to.
+    pub owner: NodeId,
+    /// The owner's maximal net level (used by the protected-ball
+    /// certificate).
+    pub owner_net_level: u32,
+    /// The lowest level `c + 1` (levels are `first_level..first_level +
+    /// levels.len()`).
+    pub first_level: u32,
+    /// Level labels for `i = first_level, first_level+1, …`.
+    pub levels: Vec<LevelLabel>,
+}
+
+/// A structural problem found by [`Label::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LabelInvalid {
+    /// The level index (into [`Label::levels`]) of the problem.
+    pub level_index: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for LabelInvalid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid label (level {}): {}",
+            self.level_index, self.message
+        )
+    }
+}
+
+impl std::error::Error for LabelInvalid {}
+
+impl Label {
+    /// Structurally validates a label (e.g. one decoded from an untrusted
+    /// bit string): point lists sorted and duplicate-free, edge indices in
+    /// range, edges free of self-loops. The decoder assumes these
+    /// invariants, so callers receiving labels from outside should validate
+    /// first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`LabelInvalid`] found.
+    pub fn validate(&self) -> Result<(), LabelInvalid> {
+        for (k, level) in self.levels.iter().enumerate() {
+            let fail = |message: String| LabelInvalid {
+                level_index: k,
+                message,
+            };
+            for w in level.points.windows(2) {
+                if w[0].vertex >= w[1].vertex {
+                    return Err(fail(format!(
+                        "points not strictly sorted at {}",
+                        w[1].vertex
+                    )));
+                }
+            }
+            let np = level.points.len() as u32;
+            for e in &level.virtual_edges {
+                if e.a >= np || e.b >= np {
+                    return Err(fail("virtual edge index out of range".into()));
+                }
+                if e.a == e.b {
+                    return Err(fail("virtual self-loop".into()));
+                }
+            }
+            for e in &level.real_edges {
+                if e.a >= np || e.b >= np {
+                    return Err(fail("real edge index out of range".into()));
+                }
+                if e.a == e.b {
+                    return Err(fail("real self-loop".into()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The level label `L_i(owner)`, or `None` if `i` is outside `I`.
+    pub fn level(&self, i: u32) -> Option<&LevelLabel> {
+        let idx = i.checked_sub(self.first_level)? as usize;
+        self.levels.get(idx)
+    }
+
+    /// Iterates over `(i, L_i)` pairs.
+    pub fn levels_iter(&self) -> impl Iterator<Item = (u32, &LevelLabel)> {
+        self.levels
+            .iter()
+            .enumerate()
+            .map(move |(k, l)| (self.first_level + k as u32, l))
+    }
+
+    /// Size accounting used by the evaluation: numbers of stored points and
+    /// edges across all levels.
+    pub fn stats(&self) -> LabelStats {
+        let mut s = LabelStats::default();
+        for l in &self.levels {
+            s.points += l.points.len();
+            s.virtual_edges += l.virtual_edges.len();
+            s.real_edges += l.real_edges.len();
+            s.max_level_points = s.max_level_points.max(l.points.len());
+        }
+        s.levels = self.levels.len();
+        s
+    }
+}
+
+/// Size statistics of a [`Label`] (see [`Label::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LabelStats {
+    /// Number of levels `|I|`.
+    pub levels: usize,
+    /// Total stored points over all levels.
+    pub points: usize,
+    /// Total virtual edges over all levels.
+    pub virtual_edges: usize,
+    /// Total real edges (lowest level).
+    pub real_edges: usize,
+    /// Largest single-level point count.
+    pub max_level_points: usize,
+}
+
+impl LabelStats {
+    /// Total entries (points + edges), a codec-independent size proxy.
+    pub fn entries(&self) -> usize {
+        self.points + self.virtual_edges + self.real_edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_level() -> LevelLabel {
+        LevelLabel {
+            points: vec![
+                LabelPoint {
+                    vertex: NodeId::new(2),
+                    dist: 0,
+                    net_level: 4,
+                },
+                LabelPoint {
+                    vertex: NodeId::new(5),
+                    dist: 3,
+                    net_level: 1,
+                },
+                LabelPoint {
+                    vertex: NodeId::new(9),
+                    dist: 7,
+                    net_level: 2,
+                },
+            ],
+            virtual_edges: vec![VirtualEdge {
+                a: 0,
+                b: 2,
+                dist: 7,
+            }],
+            real_edges: vec![],
+        }
+    }
+
+    #[test]
+    fn find_point_binary_search() {
+        let l = sample_level();
+        assert_eq!(l.find_point(NodeId::new(5)).unwrap().dist, 3);
+        assert_eq!(l.dist_to(NodeId::new(9)), Some(7));
+        assert_eq!(l.dist_to(NodeId::new(4)), None);
+    }
+
+    #[test]
+    fn label_level_indexing() {
+        let label = Label {
+            owner: NodeId::new(2),
+            owner_net_level: 4,
+            first_level: 3,
+            levels: vec![sample_level(), LevelLabel::default()],
+        };
+        assert!(label.level(2).is_none());
+        assert!(label.level(3).is_some());
+        assert!(label.level(4).is_some());
+        assert!(label.level(5).is_none());
+        let collected: Vec<u32> = label.levels_iter().map(|(i, _)| i).collect();
+        assert_eq!(collected, vec![3, 4]);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        let label = Label {
+            owner: NodeId::new(2),
+            owner_net_level: 4,
+            first_level: 3,
+            levels: vec![sample_level()],
+        };
+        assert_eq!(label.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_unsorted_points() {
+        let mut level = sample_level();
+        level.points.swap(0, 2);
+        let label = Label {
+            owner: NodeId::new(2),
+            owner_net_level: 4,
+            first_level: 3,
+            levels: vec![level],
+        };
+        let err = label.validate().unwrap_err();
+        assert!(err.message.contains("sorted"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_edges() {
+        let mut level = sample_level();
+        level.virtual_edges.push(VirtualEdge {
+            a: 1,
+            b: 9,
+            dist: 2,
+        });
+        let label = Label {
+            owner: NodeId::new(2),
+            owner_net_level: 4,
+            first_level: 3,
+            levels: vec![level],
+        };
+        assert!(label.validate().is_err());
+        let mut level = sample_level();
+        level.real_edges.push(RealEdge { a: 1, b: 1 });
+        let label = Label {
+            owner: NodeId::new(2),
+            owner_net_level: 4,
+            first_level: 3,
+            levels: vec![level],
+        };
+        assert!(label.validate().unwrap_err().message.contains("self-loop"));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let label = Label {
+            owner: NodeId::new(0),
+            owner_net_level: 0,
+            first_level: 3,
+            levels: vec![sample_level(), sample_level()],
+        };
+        let s = label.stats();
+        assert_eq!(s.levels, 2);
+        assert_eq!(s.points, 6);
+        assert_eq!(s.virtual_edges, 2);
+        assert_eq!(s.real_edges, 0);
+        assert_eq!(s.max_level_points, 3);
+        assert_eq!(s.entries(), 8);
+    }
+}

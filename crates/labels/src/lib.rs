@@ -1,0 +1,73 @@
+//! # fsdl-labels — forbidden-set `(1+ε)` distance labels for doubling graphs
+//!
+//! The core contribution of *Forbidden-set distance labels for graphs of
+//! bounded doubling dimension* (Abraham, Chechik, Gavoille, Peleg; PODC 2010
+//! / TALG 2016), Theorem 2.1: every unweighted `n`-vertex graph of doubling
+//! dimension `α` admits per-vertex labels of `O(1+ε⁻¹)^{2α} log² n` bits
+//! such that, given the labels of `s`, `t` and of a forbidden set `F` of
+//! vertices and/or edges, a decoder computes a `(1+ε)`-approximation of
+//! `d_{G∖F}(s, t)` in `O(1+ε⁻¹)^{2α}·|F|² log n` time — with labels that do
+//! not depend on `F` or its size.
+//!
+//! ## Layout
+//!
+//! * [`SchemeParams`] — the parameter schedule `(c, ρᵢ, λᵢ, μᵢ, rᵢ)` with
+//!   the documented (and invariant-checked) deviation `μᵢ = λᵢ + 3ρᵢ` that
+//!   makes the protected-ball test computable from labels alone;
+//! * [`Labeling`] — the marker: preprocessing plus on-demand label
+//!   materialization;
+//! * [`Label`] — the per-vertex artifact, with a canonical bit encoding in
+//!   [`codec`] so label *length in bits* is measured honestly;
+//! * [`decode`] — the pure decoder: sketch graph + protected-ball
+//!   certificates + Dijkstra, touching nothing but labels;
+//! * [`ForbiddenSetOracle`] — the centralized `n ×` label table byproduct;
+//! * [`DynamicOracle`] — the fully-dynamic oracle byproduct (buffered
+//!   deletions, `√n` rebuild policy);
+//! * [`failure_free`] — the simpler Section 2.1 overview scheme, used as a
+//!   baseline and a special case;
+//! * [`WeightedOracle`] — integer-weighted graphs via exact edge
+//!   subdivision, extending the scheme beyond the paper's unweighted
+//!   setting.
+//!
+//! ## Example
+//!
+//! ```
+//! use fsdl_graph::{generators, FaultSet, NodeId};
+//! use fsdl_labels::ForbiddenSetOracle;
+//!
+//! // A ring network; router v1 fails.
+//! let g = generators::cycle(64);
+//! let oracle = ForbiddenSetOracle::new(&g, 0.5);
+//! let faults = FaultSet::from_vertices([NodeId::new(1)]);
+//! let d = oracle.distance(NodeId::new(0), NodeId::new(4), &faults);
+//! let exact = 60; // the long way around
+//! assert!(d.finite().unwrap() >= exact);
+//! assert!(f64::from(d.finite().unwrap()) <= 1.5 * f64::from(exact));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+mod builder;
+pub mod codec;
+pub mod decode;
+mod dynamic;
+pub mod failure_free;
+mod label;
+mod oracle;
+mod params;
+mod trace;
+mod weighted;
+
+pub use builder::{BuildError, Labeling, LabelingOptions, LevelReport};
+pub use decode::{
+    build_sketch, query, query_many, EdgeProvenance, QueryAnswer, QueryLabels, Sketch,
+};
+pub use dynamic::DynamicOracle;
+pub use failure_free::{query_failure_free, FailureFreeLabel, FailureFreeLabeling};
+pub use label::{Label, LabelInvalid, LabelPoint, LabelStats, LevelLabel, RealEdge, VirtualEdge};
+pub use oracle::ForbiddenSetOracle;
+pub use params::SchemeParams;
+pub use trace::{trace_query, QueryTrace, TraceHop};
+pub use weighted::{WeightedFaults, WeightedOracle};

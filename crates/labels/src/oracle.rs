@@ -1,0 +1,345 @@
+//! The aggregated forbidden-set distance oracle.
+//!
+//! The paper observes that storing every vertex's label in one table yields
+//! a centralized `(1+ε)` forbidden-set distance oracle of size `n ×` label
+//! length. [`ForbiddenSetOracle`] is that table, with labels materialized
+//! lazily and memoized: a query `(s, t, F)` loads the `|F| + 2` relevant
+//! labels and runs the pure label [decoder](crate::decode) — the graph is
+//! never consulted at query time, which tests assert by construction.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use fsdl_graph::{Dist, FaultSet, Graph, NodeId};
+
+use crate::builder::Labeling;
+use crate::decode::{self, QueryAnswer, QueryLabels};
+use crate::label::Label;
+use crate::params::SchemeParams;
+
+/// A centralized `(1+ε)`-approximate forbidden-set distance oracle backed by
+/// the labeling scheme.
+///
+/// # Examples
+///
+/// ```
+/// use fsdl_graph::{generators, FaultSet, NodeId};
+/// use fsdl_labels::ForbiddenSetOracle;
+///
+/// let g = generators::cycle(32);
+/// let oracle = ForbiddenSetOracle::new(&g, 1.0);
+/// let f = FaultSet::from_vertices([NodeId::new(1)]);
+/// let d = oracle.distance(NodeId::new(0), NodeId::new(2), &f);
+/// // The cycle detour 0-31-30-...-2 has length 30; the answer is a
+/// // (1+eps)-approximation of it.
+/// assert!(d.finite().unwrap() >= 30);
+/// assert!(d.finite().unwrap() <= 45);
+/// ```
+#[derive(Debug)]
+pub struct ForbiddenSetOracle {
+    labeling: Labeling,
+    cache: RefCell<HashMap<NodeId, Rc<Label>>>,
+}
+
+impl ForbiddenSetOracle {
+    /// Builds the oracle for `g` with precision `epsilon` (paper parameter
+    /// schedule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is empty or `epsilon` is not positive finite.
+    pub fn new(g: &Graph, epsilon: f64) -> Self {
+        let params = SchemeParams::new(epsilon, g.num_vertices());
+        Self::with_params(g, params)
+    }
+
+    /// Builds the oracle with an explicit parameter schedule.
+    pub fn with_params(g: &Graph, params: SchemeParams) -> Self {
+        Self::from_labeling(Labeling::build(g, params))
+    }
+
+    /// Wraps an existing labeling (e.g. one built with non-default
+    /// [`crate::LabelingOptions`]).
+    pub fn from_labeling(labeling: Labeling) -> Self {
+        ForbiddenSetOracle {
+            labeling,
+            cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying labeling (marker side).
+    pub fn labeling(&self) -> &Labeling {
+        &self.labeling
+    }
+
+    /// The parameter schedule in force.
+    pub fn params(&self) -> &SchemeParams {
+        self.labeling.params()
+    }
+
+    /// Returns (materializing and memoizing on first use) the label of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn label(&self, v: NodeId) -> Rc<Label> {
+        if let Some(l) = self.cache.borrow().get(&v) {
+            return Rc::clone(l);
+        }
+        let label = Rc::new(self.labeling.label_of(v));
+        self.cache.borrow_mut().insert(v, Rc::clone(&label));
+        label
+    }
+
+    /// Answers the forbidden-set distance query `(s, t, F)` with the full
+    /// decoder output (distance, witness path, sketch size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced vertex is out of range, or if an edge fault
+    /// in `F` is not an edge of the graph.
+    pub fn query(&self, s: NodeId, t: NodeId, faults: &FaultSet) -> QueryAnswer {
+        let source = self.label(s);
+        let target = self.label(t);
+        let vertex_labels: Vec<Rc<Label>> = faults.vertices().map(|f| self.label(f)).collect();
+        let edge_labels: Vec<(Rc<Label>, Rc<Label>)> = faults
+            .edges()
+            .map(|e| {
+                assert!(
+                    self.labeling.graph().has_edge(e.lo(), e.hi()),
+                    "forbidden edge {e} is not an edge of the graph"
+                );
+                (self.label(e.lo()), self.label(e.hi()))
+            })
+            .collect();
+        let query_labels = QueryLabels {
+            fault_vertices: vertex_labels.iter().map(Rc::as_ref).collect(),
+            fault_edges: edge_labels
+                .iter()
+                .map(|(a, b)| (a.as_ref(), b.as_ref()))
+                .collect(),
+        };
+        decode::query(self.params(), &source, &target, &query_labels)
+    }
+
+    /// The `(1+ε)`-approximate distance `δ(s, t, F)`.
+    pub fn distance(&self, s: NodeId, t: NodeId, faults: &FaultSet) -> Dist {
+        self.query(s, t, faults).distance
+    }
+
+    /// One-to-many distances: `δ(s, tᵢ, F)` for every target, computed with
+    /// a single sketch construction and Dijkstra pass (see
+    /// [`decode::query_many`]). Answers are still within `1 + ε` of
+    /// `d_{G∖F}(s, tᵢ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced vertex is out of range, or if an edge fault
+    /// is not an edge of the graph.
+    pub fn distances_to(&self, s: NodeId, targets: &[NodeId], faults: &FaultSet) -> Vec<Dist> {
+        let source = self.label(s);
+        let target_labels: Vec<Rc<Label>> = targets.iter().map(|&t| self.label(t)).collect();
+        let vertex_labels: Vec<Rc<Label>> = faults.vertices().map(|f| self.label(f)).collect();
+        let edge_labels: Vec<(Rc<Label>, Rc<Label>)> = faults
+            .edges()
+            .map(|e| {
+                assert!(
+                    self.labeling.graph().has_edge(e.lo(), e.hi()),
+                    "forbidden edge {e} is not an edge of the graph"
+                );
+                (self.label(e.lo()), self.label(e.hi()))
+            })
+            .collect();
+        let query_labels = QueryLabels {
+            fault_vertices: vertex_labels.iter().map(Rc::as_ref).collect(),
+            fault_edges: edge_labels
+                .iter()
+                .map(|(a, b)| (a.as_ref(), b.as_ref()))
+                .collect(),
+        };
+        let target_refs: Vec<&Label> = target_labels.iter().map(Rc::as_ref).collect();
+        decode::query_many(self.params(), &source, &target_refs, &query_labels)
+    }
+
+    /// Forbidden-set connectivity: are `s` and `t` connected in `G ∖ F`?
+    ///
+    /// This is the "very large ε" special case the paper's lower bound
+    /// (Theorem 3.1) applies to: any scheme answering these queries needs
+    /// `Ω(2^{α/2} + log n)`-bit labels.
+    pub fn connected(&self, s: NodeId, t: NodeId, faults: &FaultSet) -> bool {
+        self.distance(s, t, faults).is_finite()
+    }
+
+    /// Total oracle size in bits: the sum of all `n` encoded label lengths.
+    /// Expensive (materializes every label, fanned out over scoped threads);
+    /// used by the size experiments.
+    pub fn total_bits(&self) -> u64 {
+        let n = self.labeling.graph().num_vertices();
+        let labeling = &self.labeling;
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(n.max(1));
+        if workers <= 1 {
+            return (0..n as u32)
+                .map(|v| labeling.label_bits(NodeId::new(v)) as u64)
+                .sum();
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let total = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let v = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if v >= n {
+                        break;
+                    }
+                    let bits = labeling.label_bits(NodeId::from_index(v)) as u64;
+                    total.fetch_add(bits, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        });
+        total.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsdl_graph::{bfs, generators};
+
+    #[test]
+    fn failure_free_queries_are_upper_bounds_with_stretch() {
+        let g = generators::grid2d(6, 6);
+        let oracle = ForbiddenSetOracle::new(&g, 1.0);
+        let empty = FaultSet::empty();
+        for s in [0u32, 14, 35] {
+            for t in 0..36u32 {
+                let d = oracle.distance(NodeId::new(s), NodeId::new(t), &empty);
+                let truth = bfs::pair_distance_avoiding(&g, NodeId::new(s), NodeId::new(t), &empty)
+                    .finite()
+                    .unwrap();
+                let dd = d.finite().expect("connected graph");
+                assert!(dd >= truth, "{s}->{t}: {dd} < {truth}");
+                assert!(
+                    f64::from(dd) <= 2.0 * f64::from(truth) + 1e-9,
+                    "{s}->{t}: stretch {dd}/{truth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_endpoint_is_infinite() {
+        let g = generators::path(10);
+        let oracle = ForbiddenSetOracle::new(&g, 1.0);
+        let f = FaultSet::from_vertices([NodeId::new(0)]);
+        assert!(oracle
+            .distance(NodeId::new(0), NodeId::new(5), &f)
+            .is_infinite());
+        assert!(oracle
+            .distance(NodeId::new(5), NodeId::new(0), &f)
+            .is_infinite());
+    }
+
+    #[test]
+    fn disconnection_detected() {
+        let g = generators::path(9);
+        let oracle = ForbiddenSetOracle::new(&g, 1.0);
+        let f = FaultSet::from_vertices([NodeId::new(4)]);
+        assert!(!oracle.connected(NodeId::new(0), NodeId::new(8), &f));
+        assert!(oracle.connected(NodeId::new(0), NodeId::new(3), &f));
+        assert!(oracle.connected(NodeId::new(5), NodeId::new(8), &f));
+    }
+
+    #[test]
+    fn label_cache_returns_same_rc() {
+        let g = generators::cycle(8);
+        let oracle = ForbiddenSetOracle::new(&g, 2.0);
+        let a = oracle.label(NodeId::new(3));
+        let b = oracle.label(NodeId::new(3));
+        assert!(Rc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an edge")]
+    fn invalid_edge_fault_rejected() {
+        let g = generators::path(5);
+        let oracle = ForbiddenSetOracle::new(&g, 1.0);
+        let mut f = FaultSet::empty();
+        f.forbid_edge_unchecked(NodeId::new(0), NodeId::new(4));
+        let _ = oracle.query(NodeId::new(0), NodeId::new(4), &f);
+    }
+
+    #[test]
+    fn distances_to_matches_individual_queries_and_truth() {
+        let g = generators::grid2d(7, 7);
+        let oracle = ForbiddenSetOracle::new(&g, 1.0);
+        let f = FaultSet::from_vertices([NodeId::new(24), NodeId::new(10)]);
+        let s = NodeId::new(0);
+        let targets: Vec<NodeId> = (0..49u32).step_by(3).map(NodeId::new).collect();
+        let batch = oracle.distances_to(s, &targets, &f);
+        assert_eq!(batch.len(), targets.len());
+        for (k, &t) in targets.iter().enumerate() {
+            let single = oracle.distance(s, t, &f);
+            let truth = bfs::pair_distance_avoiding(&g, s, t, &f);
+            // Batch uses a superset sketch: at least as good as the single
+            // query, still sound.
+            match truth.finite() {
+                None => assert!(batch[k].is_infinite(), "t = {t}"),
+                Some(td) => {
+                    let bd = batch[k].finite().expect("connected");
+                    assert!(bd >= td, "unsound batch answer for {t}");
+                    assert!(
+                        bd <= single.finite().unwrap_or(u32::MAX),
+                        "batch worse than single for {t}"
+                    );
+                    assert!(f64::from(bd) <= 2.0 * f64::from(td) + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distances_to_handles_faulty_and_self_targets() {
+        let g = generators::path(12);
+        let oracle = ForbiddenSetOracle::new(&g, 1.0);
+        let f = FaultSet::from_vertices([NodeId::new(6)]);
+        let s = NodeId::new(2);
+        let out = oracle.distances_to(s, &[NodeId::new(2), NodeId::new(6), NodeId::new(11)], &f);
+        assert_eq!(out[0].finite(), Some(0)); // self
+        assert!(out[1].is_infinite()); // the fault itself
+        assert!(out[2].is_infinite()); // cut off by the fault
+    }
+
+    #[test]
+    fn distances_to_empty_targets() {
+        let g = generators::path(4);
+        let oracle = ForbiddenSetOracle::new(&g, 1.0);
+        assert!(oracle
+            .distances_to(NodeId::new(0), &[], &FaultSet::empty())
+            .is_empty());
+    }
+
+    #[test]
+    fn total_bits_positive() {
+        let g = generators::path(12);
+        let oracle = ForbiddenSetOracle::new(&g, 2.0);
+        let total = oracle.total_bits();
+        assert!(total > 0);
+        // Parallel sum equals the sequential sum.
+        let seq: u64 = (0..12u32)
+            .map(|v| oracle.labeling().label_bits(NodeId::new(v)) as u64)
+            .sum();
+        assert_eq!(total, seq);
+    }
+
+    #[test]
+    fn labeling_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Labeling>();
+        assert_send_sync::<crate::SchemeParams>();
+        assert_send_sync::<Label>();
+    }
+}

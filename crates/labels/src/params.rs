@@ -1,0 +1,323 @@
+//! The parameter schedule of the labeling scheme (paper Section 2.1).
+//!
+//! For precision `ε > 0` the paper fixes `c = max{⌈log₂(6/ε)⌉, 2}` and, for
+//! each level `i ∈ I = {c+1, …, ⌈log n⌉}`:
+//!
+//! * `ρᵢ = 2^{i−c}` — domination radius of the net `N_{i−c}` whose points
+//!   serve as waypoints at level `i`;
+//! * `λᵢ = 2^{i+1}` — maximum length of a virtual edge stored at level `i`,
+//!   and the radius of the *protected ball* `PBᵢ(f) = B(f, λᵢ)`;
+//! * `μᵢ` — fault-clearance radius defining `i(v)` (the largest level whose
+//!   clearance ball around `v` is fault-free);
+//! * `rᵢ = μ_{i+1} + 2^i + ρ_{i+1}` — radius of the label ball `Bᵢ(v)`.
+//!
+//! ## Deviation: `μᵢ = λᵢ + 3ρᵢ` instead of the paper's `λᵢ + ρᵢ`
+//!
+//! The paper's decoder must decide whether an endpoint `x` of a candidate
+//! edge lies in `PBᵢ(f)`, i.e. whether `d_G(x, f) ≤ λᵢ`. When `x` is a net
+//! point of `N_{i−c−1}` this is read off exactly from `f`'s label (which
+//! stores every such point within `rᵢ ≥ λᵢ`, with exact distance). But when
+//! `x` is one of the *special* vertices `s, t` (or another fault), no label
+//! stores the pair distance `d_G(x, f)`, so the check is not computable from
+//! labels alone — a gap in the paper's prose. We close it with a *certified
+//! lower bound*: let `x* = M_{i−c}(x)` be `x`'s nearest net point at level
+//! `i−c` (distance `< ρᵢ`, recorded in `x`'s own label). Then
+//!
+//! ```text
+//! est(x, f) = d_G(f, x*) − d_G(x, x*)  ≤  d_G(x, f)
+//! ```
+//!
+//! with `d_G(f, x*)` read from `f`'s label (`> rᵢ` when absent). Admitting
+//! an edge when `est > λᵢ` therefore never admits an unsafe edge (Lemma 2.3
+//! survives). For the *existence* side (Lemma 2.4) the certificate is weaker
+//! than the truth by up to `2ρᵢ`, so every case of the analysis that
+//! concluded "`d_G(x, F) > μᵢ` hence `x` is certifiably outside every
+//! `PBᵢ(f)`" needs `μᵢ − 2ρᵢ > λᵢ`. Setting `μᵢ = λᵢ + 3ρᵢ` restores all of
+//! them with room to spare; the re-derived chain of inequalities is encoded
+//! in [`SchemeParams::verify_invariants`] and checked by tests for every
+//! `(ε, n)` the harness uses:
+//!
+//! * Claim 1(a): `λᵢ ≥ ρᵢ + ρ_{i+1} + 2^i` (needs `c ≥ 2`);
+//! * level drift (Claim 2): `μ_{i−1} < μᵢ − 2^i` and `μ_{i+1} + 2^i < μ_{i+2}`;
+//! * certificate slack: `μᵢ − 2ρᵢ > λᵢ` and `μᵢ − ρᵢ > λᵢ`;
+//! * per-hop stretch: `ρᵢ + ρ_{i+1} ≤ (ε/2)·2^i` (needs `c ≥ log₂(6/ε)`);
+//! * label-ball growth: `rᵢ < 2^{i+3}` (so Lemma 2.5's count is unchanged).
+//!
+//! With `c ≥ 2`: `rᵢ = μ_{i+1} + 2^i + ρ_{i+1} = 5·2^i + 2^{i+3−c} ≤ 7·2^i`,
+//! strictly below the paper's `2^{i+3}` bound, so the label-length theorem
+//! `O(1+ε⁻¹)^{2α} log² n` holds verbatim.
+
+use fsdl_nets::ceil_log2;
+
+/// The complete parameter schedule for one `(ε, n)` instance of the scheme.
+///
+/// # Examples
+///
+/// ```
+/// use fsdl_labels::SchemeParams;
+///
+/// let p = SchemeParams::new(1.0, 1000);
+/// assert_eq!(p.c(), 3); // max{ceil(log2 6), 2}
+/// assert_eq!(p.top_level(), 10); // ceil(log2 1000)
+/// assert!(p.verify_invariants().is_ok());
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SchemeParams {
+    epsilon: f64,
+    c: u32,
+    top_level: u32,
+    n: usize,
+}
+
+impl SchemeParams {
+    /// Builds the schedule for precision `epsilon` on an `n`-vertex graph,
+    /// with the paper's `c = max{⌈log₂(6/ε)⌉, 2}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon <= 0`, is not finite, or `n == 0`.
+    pub fn new(epsilon: f64, n: usize) -> Self {
+        Self::with_c(epsilon, Self::paper_c(epsilon), n)
+    }
+
+    /// The paper's setting `c(ε) = max{⌈log₂(6/ε)⌉, 2}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon <= 0` or is not finite.
+    pub fn paper_c(epsilon: f64) -> u32 {
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "epsilon must be a positive finite number"
+        );
+        let c = (6.0 / epsilon).log2().ceil();
+        (c.max(2.0)) as u32
+    }
+
+    /// Builds a schedule with an explicit `c` (precision knob for
+    /// experiments). The guaranteed stretch is `1 + ε` only when
+    /// `c ≥ max{⌈log₂(6/ε)⌉, 2}`; smaller `c` trades the guarantee for
+    /// smaller labels (an ablation the harness measures).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c < 2`, `n == 0`, or `epsilon` is not positive finite.
+    pub fn with_c(epsilon: f64, c: u32, n: usize) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "epsilon must be a positive finite number"
+        );
+        assert!(c >= 2, "the analysis requires c >= 2");
+        assert!(n > 0, "graph must be nonempty");
+        let top_level = ceil_log2(n).max(c + 1);
+        SchemeParams {
+            epsilon,
+            c,
+            top_level,
+            n,
+        }
+    }
+
+    /// The precision parameter `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The level offset `c`.
+    pub fn c(&self) -> u32 {
+        self.c
+    }
+
+    /// The top level `⌈log₂ n⌉` (raised to `c+1` for tiny graphs so that
+    /// the level range `I` is never empty).
+    pub fn top_level(&self) -> u32 {
+        self.top_level
+    }
+
+    /// Number of vertices this schedule was derived for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The level range `I = {c+1, …, top}`.
+    pub fn levels(&self) -> impl Iterator<Item = u32> {
+        (self.c + 1)..=self.top_level
+    }
+
+    /// Number of levels `|I|`.
+    pub fn num_levels(&self) -> usize {
+        (self.top_level - self.c) as usize
+    }
+
+    /// `ρᵢ = 2^{i−c}`: waypoint-net domination radius at level `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `i ≤ c`.
+    pub fn rho(&self, i: u32) -> u64 {
+        debug_assert!(i > self.c, "rho is defined for i > c");
+        1u64 << (i - self.c)
+    }
+
+    /// `λᵢ = 2^{i+1}`: maximum virtual-edge length / protected-ball radius.
+    pub fn lambda(&self, i: u32) -> u64 {
+        1u64 << (i + 1)
+    }
+
+    /// `μᵢ = λᵢ + 3ρᵢ`: fault-clearance radius (see the module docs for why
+    /// this deviates from the paper's `λᵢ + ρᵢ`).
+    pub fn mu(&self, i: u32) -> u64 {
+        self.lambda(i) + 3 * self.rho(i)
+    }
+
+    /// `rᵢ = μ_{i+1} + 2^i + ρ_{i+1}`: label-ball radius at level `i`.
+    pub fn r(&self, i: u32) -> u64 {
+        self.mu(i + 1) + (1u64 << i) + self.rho(i + 1)
+    }
+
+    /// The net level whose points are *stored* at label level `i`
+    /// (`N_{i−c−1}`).
+    pub fn stored_net_level(&self, i: u32) -> u32 {
+        i - self.c - 1
+    }
+
+    /// The net level of the *waypoints* `M̂` used at level `i` (`N_{i−c}`);
+    /// virtual edges must have at least one endpoint at this net level or
+    /// higher (see the builder docs).
+    pub fn waypoint_net_level(&self, i: u32) -> u32 {
+        i - self.c
+    }
+
+    /// Checks the full chain of schedule inequalities listed in the module
+    /// docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated inequality. With the
+    /// shipped schedule this never fails (property-tested); it exists so
+    /// that experimental schedules (ablations) are checked before use.
+    pub fn verify_invariants(&self) -> Result<(), String> {
+        for i in self.levels() {
+            let (rho_i, lam_i, mu_i, r_i) = (self.rho(i), self.lambda(i), self.mu(i), self.r(i));
+            let pow = 1u64 << i;
+            if lam_i < rho_i + self.rho(i + 1) + pow {
+                return Err(format!("Claim 1(a) fails at level {i}"));
+            }
+            if i > self.c + 1 && self.mu(i - 1) >= mu_i - pow {
+                return Err(format!("level drift (down) fails at level {i}"));
+            }
+            if self.mu(i + 1) + pow >= self.mu(i + 2) {
+                return Err(format!("level drift (up) fails at level {i}"));
+            }
+            if mu_i <= lam_i + 2 * rho_i {
+                return Err(format!("certificate slack fails at level {i}"));
+            }
+            if r_i < self.mu(i + 1) + pow + self.rho(i + 1) {
+                return Err(format!("label ball too small at level {i}"));
+            }
+            if r_i >= 1u64 << (i + 3) {
+                return Err(format!("label ball exceeds 2^(i+3) at level {i}"));
+            }
+        }
+        // Per-hop stretch: rho_i + rho_{i+1} <= (eps/2) * 2^i, i.e.
+        // 3 * 2^{-c} <= eps / 2. Only guaranteed when c >= log2(6/eps).
+        if (self.c as f64) >= (6.0 / self.epsilon).log2() {
+            let lhs = 3.0 * (0.5f64).powi(self.c as i32);
+            if lhs > self.epsilon / 2.0 + 1e-12 {
+                return Err("per-hop stretch bound fails".into());
+            }
+        }
+        // Claim 1(b): the top-level ball must cover every vertex; distances
+        // are < n <= 2^top, and r_top >= 2^{top+2} > n.
+        if self.r(self.top_level) < self.n as u64 {
+            return Err("top-level ball does not cover the graph".into());
+        }
+        Ok(())
+    }
+
+    /// `true` when `c` meets the paper's threshold for the `1+ε` guarantee.
+    pub fn stretch_guaranteed(&self) -> bool {
+        self.c >= Self::paper_c(self.epsilon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_c_values() {
+        assert_eq!(SchemeParams::paper_c(3.0), 2); // ceil(log2 2) = 1 -> max 2
+        assert_eq!(SchemeParams::paper_c(2.0), 2); // ceil(log2 3) = 2
+        assert_eq!(SchemeParams::paper_c(1.0), 3); // ceil(log2 6) = 3
+        assert_eq!(SchemeParams::paper_c(0.5), 4); // ceil(log2 12) = 4
+        assert_eq!(SchemeParams::paper_c(0.1), 6); // ceil(log2 60) = 6
+        assert_eq!(SchemeParams::paper_c(100.0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_epsilon() {
+        let _ = SchemeParams::new(0.0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "c >= 2")]
+    fn rejects_small_c() {
+        let _ = SchemeParams::with_c(1.0, 1, 10);
+    }
+
+    #[test]
+    fn schedule_values() {
+        let p = SchemeParams::new(1.0, 1 << 12); // c = 3, top = 12
+        assert_eq!(p.c(), 3);
+        assert_eq!(p.top_level(), 12);
+        let i = 5;
+        assert_eq!(p.rho(i), 4); // 2^{5-3}
+        assert_eq!(p.lambda(i), 64); // 2^6
+        assert_eq!(p.mu(i), 64 + 12);
+        assert_eq!(p.r(i), p.mu(6) + 32 + p.rho(6));
+        assert!(p.r(i) < 1 << 8);
+    }
+
+    #[test]
+    fn levels_range() {
+        let p = SchemeParams::new(2.0, 100); // c = 2, top = 7
+        let levels: Vec<u32> = p.levels().collect();
+        assert_eq!(levels, vec![3, 4, 5, 6, 7]);
+        assert_eq!(p.num_levels(), 5);
+    }
+
+    #[test]
+    fn tiny_graph_has_nonempty_level_range() {
+        let p = SchemeParams::new(0.5, 2); // c = 4, ceil_log2(2) = 1 < c+1
+        assert_eq!(p.top_level(), 5);
+        assert_eq!(p.levels().count(), 1);
+        assert!(p.verify_invariants().is_ok());
+    }
+
+    #[test]
+    fn invariants_hold_for_harness_grid() {
+        for &eps in &[0.25, 0.5, 1.0, 2.0, 3.0, 8.0] {
+            for &n in &[2usize, 10, 100, 1000, 100_000, 1 << 20] {
+                let p = SchemeParams::new(eps, n);
+                assert_eq!(p.verify_invariants(), Ok(()), "eps={eps} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn stretch_guarantee_flag() {
+        assert!(SchemeParams::new(1.0, 100).stretch_guaranteed());
+        assert!(!SchemeParams::with_c(0.5, 2, 100).stretch_guaranteed());
+        assert!(SchemeParams::with_c(0.5, 4, 100).stretch_guaranteed());
+    }
+
+    #[test]
+    fn net_level_offsets() {
+        let p = SchemeParams::new(2.0, 64); // c = 2
+        assert_eq!(p.stored_net_level(3), 0);
+        assert_eq!(p.waypoint_net_level(3), 1);
+        assert_eq!(p.stored_net_level(6), 3);
+    }
+}

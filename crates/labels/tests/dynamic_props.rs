@@ -1,0 +1,188 @@
+//! Property tests for the extension layers: the dynamic oracle under random
+//! update/query interleavings, the weighted oracle against Dijkstra, and
+//! the pruned-vs-all-pairs label equivalence.
+
+use fsdl_graph::{bfs, FaultSet, Graph, GraphBuilder, NodeId};
+use fsdl_labels::{
+    DynamicOracle, ForbiddenSetOracle, Labeling, LabelingOptions, SchemeParams, WeightedFaults,
+    WeightedOracle,
+};
+use proptest::prelude::*;
+
+fn arb_connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (3usize..max_n).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0usize..n, n - 1),
+            proptest::collection::vec((0..n as u32, 0..n as u32), 0..14),
+        )
+            .prop_map(move |(parents, extra)| {
+                let mut b = GraphBuilder::new(n);
+                for (i, p) in parents.iter().enumerate().skip(1) {
+                    b.add_edge((p % i) as u32, i as u32).expect("in range");
+                }
+                for (a, c) in extra {
+                    if a != c {
+                        b.add_edge(a, c).expect("in range");
+                    }
+                }
+                b.build()
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn dynamic_oracle_tracks_truth(
+        g in arb_connected_graph(18),
+        script in proptest::collection::vec((0u8..4, 0u32..18, 0u32..18), 1..20),
+        threshold in 1usize..6,
+    ) {
+        let n = g.num_vertices() as u32;
+        let mut oracle = DynamicOracle::with_threshold(&g, 1.0, threshold);
+        let mut live_faults = FaultSet::empty();
+        for (op, a, b) in script {
+            let a = NodeId::new(a % n);
+            let b = NodeId::new(b % n);
+            match op {
+                0 => {
+                    oracle.delete_vertex(a);
+                    live_faults.forbid_vertex(a);
+                }
+                1 => {
+                    oracle.restore_vertex(a);
+                    live_faults.permit_vertex(a);
+                }
+                2 => {
+                    if g.has_edge(a, b) {
+                        oracle.delete_edge(a, b);
+                        live_faults.forbid_edge_unchecked(a, b);
+                    }
+                }
+                _ => {
+                    // Query and verify against truth.
+                    let got = oracle.distance(a, b);
+                    let truth = bfs::pair_distance_avoiding(&g, a, b, &live_faults);
+                    match truth.finite() {
+                        None => prop_assert!(got.is_infinite(), "invented path {a}->{b}"),
+                        Some(td) => {
+                            let gd = got.finite().expect("missed path");
+                            prop_assert!(gd >= td);
+                            prop_assert!(f64::from(gd) <= 2.0 * f64::from(td) + 1e-9);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_oracle_matches_dijkstra(
+        g in arb_connected_graph(14),
+        weights_seed in 0u64..1000,
+        fault_pick in 0u32..14,
+        s_pick in 0u32..14,
+        t_pick in 0u32..14,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let n = g.num_vertices();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(weights_seed);
+        let edges: Vec<(u32, u32, u32)> = g
+            .edges()
+            .map(|e| (e.lo().raw(), e.hi().raw(), rng.gen_range(1..=3u32)))
+            .collect();
+        let oracle = WeightedOracle::new(n, &edges, 1.0);
+        let s = NodeId::new(s_pick % n as u32);
+        let t = NodeId::new(t_pick % n as u32);
+        let fv = NodeId::new(fault_pick % n as u32);
+        let faults = if fv == s || fv == t {
+            WeightedFaults::none()
+        } else {
+            WeightedFaults { vertices: vec![fv], edges: vec![] }
+        };
+        // Ground truth: Dijkstra over the triples.
+        let truth = {
+            use std::cmp::Reverse;
+            use std::collections::BinaryHeap;
+            let mut adj: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+            for &(u, v, w) in &edges {
+                if faults.vertices.contains(&NodeId::new(u))
+                    || faults.vertices.contains(&NodeId::new(v))
+                {
+                    continue;
+                }
+                adj[u as usize].push((v as usize, u64::from(w)));
+                adj[v as usize].push((u as usize, u64::from(w)));
+            }
+            let mut dist = vec![u64::MAX; n];
+            let mut heap = BinaryHeap::new();
+            dist[s.index()] = 0;
+            heap.push(Reverse((0u64, s.index())));
+            while let Some(Reverse((d, u))) = heap.pop() {
+                if d > dist[u] { continue; }
+                for &(v, w) in &adj[u] {
+                    if d + w < dist[v] {
+                        dist[v] = d + w;
+                        heap.push(Reverse((d + w, v)));
+                    }
+                }
+            }
+            dist[t.index()]
+        };
+        let got = oracle.distance(s, t, &faults);
+        match truth {
+            u64::MAX => prop_assert!(got.is_infinite()),
+            td => {
+                let gd = got.finite().expect("missed weighted path");
+                prop_assert!(u64::from(gd) >= td);
+                prop_assert!(f64::from(gd) <= 2.0 * td as f64 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_labels_never_worse(
+        g in arb_connected_graph(14),
+        fault_pick in 0u32..14,
+        s_pick in 0u32..14,
+        t_pick in 0u32..14,
+    ) {
+        // The paper-literal all-pairs labels produce a superset sketch, so
+        // their answers are <= the pruned answers, and both stay sound.
+        let n = g.num_vertices() as u32;
+        let params = SchemeParams::new(1.0, n as usize);
+        let pruned = ForbiddenSetOracle::from_labeling(Labeling::build_with_options(
+            &g,
+            params.clone(),
+            LabelingOptions { all_pairs: false },
+        ));
+        let full = ForbiddenSetOracle::from_labeling(Labeling::build_with_options(
+            &g,
+            params,
+            LabelingOptions { all_pairs: true },
+        ));
+        let s = NodeId::new(s_pick % n);
+        let t = NodeId::new(t_pick % n);
+        let fv = NodeId::new(fault_pick % n);
+        let faults = if fv == s || fv == t {
+            FaultSet::empty()
+        } else {
+            FaultSet::from_vertices([fv])
+        };
+        let dp = pruned.distance(s, t, &faults);
+        let df = full.distance(s, t, &faults);
+        prop_assert!(df <= dp, "all-pairs answer {df} worse than pruned {dp}");
+        let truth = bfs::pair_distance_avoiding(&g, s, t, &faults);
+        match truth.finite() {
+            None => {
+                prop_assert!(dp.is_infinite());
+                prop_assert!(df.is_infinite());
+            }
+            Some(td) => {
+                prop_assert!(df.finite().expect("sound") >= td);
+                prop_assert!(f64::from(dp.finite().expect("sound")) <= 2.0 * f64::from(td) + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Exhaustive verification on tiny graphs: every labeled graph on up to 4
+//! vertices (and a sample of the 1024 graphs on 5), every query pair, and
+//! every fault set of size ≤ 2 — the decoder must be sound and within
+//! stretch on *all* of them, including disconnected and degenerate shapes
+//! the random suites rarely hit.
+
+use fsdl_graph::{bfs, FaultSet, Graph, GraphBuilder, NodeId};
+use fsdl_labels::ForbiddenSetOracle;
+
+/// Builds the graph on `n` vertices selected by `mask` over the `n(n-1)/2`
+/// possible edges (lexicographic pair order).
+fn graph_from_mask(n: usize, mask: u64) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    let mut bit = 0;
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            if (mask >> bit) & 1 == 1 {
+                b.add_edge(i, j).expect("valid edge");
+            }
+            bit += 1;
+        }
+    }
+    b.build()
+}
+
+/// Checks every (s, t, F) combination with |F| <= 2 vertex faults and every
+/// single edge fault on `g`.
+fn verify_graph(g: &Graph, eps: f64) {
+    let oracle = ForbiddenSetOracle::new(g, eps);
+    let check = |s: NodeId, t: NodeId, f: &FaultSet| {
+        let answer = oracle.distance(s, t, f);
+        let truth = bfs::pair_distance_avoiding(g, s, t, f);
+        match truth.finite() {
+            None => assert!(
+                answer.is_infinite(),
+                "invented path {s}->{t} with F={f:?} on {g:?}"
+            ),
+            Some(td) => {
+                let ad = answer
+                    .finite()
+                    .unwrap_or_else(|| panic!("missed path {s}->{t} with F={f:?} on {g:?}"));
+                assert!(ad >= td, "unsound {ad} < {td} for {s}->{t} on {g:?}");
+                assert!(
+                    f64::from(ad) <= (1.0 + eps) * f64::from(td) + 1e-9,
+                    "stretch {ad}/{td} for {s}->{t} with F={f:?} on {g:?}"
+                );
+            }
+        }
+    };
+    let vertices: Vec<NodeId> = g.vertices().collect();
+    for &s in &vertices {
+        for &t in &vertices {
+            // |F| = 0.
+            check(s, t, &FaultSet::empty());
+            // |F| = 1 and 2 vertex faults.
+            for &f1 in &vertices {
+                if f1 == s || f1 == t {
+                    continue;
+                }
+                check(s, t, &FaultSet::from_vertices([f1]));
+                for &f2 in &vertices {
+                    if f2 == s || f2 == t || f2 == f1 {
+                        continue;
+                    }
+                    check(s, t, &FaultSet::from_vertices([f1, f2]));
+                }
+            }
+            // Single edge faults.
+            for e in g.edges() {
+                check(s, t, &FaultSet::from_edges(g, [(e.lo(), e.hi())]));
+            }
+        }
+    }
+}
+
+#[test]
+fn all_graphs_on_three_vertices() {
+    for mask in 0..8u64 {
+        verify_graph(&graph_from_mask(3, mask), 1.0);
+    }
+}
+
+#[test]
+fn all_graphs_on_four_vertices() {
+    for mask in 0..64u64 {
+        verify_graph(&graph_from_mask(4, mask), 1.0);
+    }
+}
+
+#[test]
+fn sampled_graphs_on_five_vertices() {
+    // Every 7th of the 1024 graphs on 5 labeled vertices, plus the extremes.
+    for mask in (0..1024u64).step_by(7).chain([0, 1023]) {
+        verify_graph(&graph_from_mask(5, mask), 1.0);
+    }
+}
+
+#[test]
+#[ignore = "full 5-vertex enumeration; run with --ignored"]
+fn all_graphs_on_five_vertices() {
+    for mask in 0..1024u64 {
+        verify_graph(&graph_from_mask(5, mask), 1.0);
+    }
+}
+
+#[test]
+fn all_graphs_on_four_vertices_tight_eps() {
+    // The tightest schedule anyone would run (c = 6).
+    for mask in (0..64u64).step_by(3) {
+        verify_graph(&graph_from_mask(4, mask), 0.1);
+    }
+}

@@ -1,0 +1,276 @@
+//! End-to-end stretch validation of the forbidden-set labeling scheme:
+//! for every query `(s, t, F)`, the decoder's answer must satisfy
+//! `d_{G∖F}(s,t) <= answer <= (1+eps) * d_{G∖F}(s,t)` (Theorem 2.1), and
+//! disconnections must be reported exactly (safety implies no
+//! under-reporting; existence implies no spurious disconnections).
+
+use fsdl_graph::{bfs, generators, FaultSet, Graph, NodeId};
+use fsdl_labels::ForbiddenSetOracle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Checks one query against ground truth; returns the realized stretch (1.0
+/// for exact / trivial answers).
+fn check_query(
+    g: &Graph,
+    oracle: &ForbiddenSetOracle,
+    s: NodeId,
+    t: NodeId,
+    f: &FaultSet,
+    eps: f64,
+) -> f64 {
+    let answer = oracle.distance(s, t, f);
+    let truth = bfs::pair_distance_avoiding(g, s, t, f);
+    match truth.finite() {
+        None => {
+            assert!(
+                answer.is_infinite(),
+                "decoder reported distance {answer} for disconnected pair {s}->{t} (F size {})",
+                f.len()
+            );
+            1.0
+        }
+        Some(0) => {
+            assert_eq!(answer.finite(), Some(0), "self distance must be 0");
+            1.0
+        }
+        Some(td) => {
+            let ad = answer
+                .finite()
+                .unwrap_or_else(|| panic!("spurious disconnection {s}->{t} (truth {td})"));
+            assert!(ad >= td, "{s}->{t}: answer {ad} below truth {td}");
+            let stretch = f64::from(ad) / f64::from(td);
+            assert!(
+                stretch <= 1.0 + eps + 1e-9,
+                "{s}->{t}: stretch {stretch:.4} exceeds 1+{eps} (answer {ad}, truth {td}, |F|={})",
+                f.len()
+            );
+            stretch
+        }
+    }
+}
+
+/// Runs randomized queries with random fault sets on `g`.
+fn fuzz_graph(g: &Graph, eps: f64, max_faults: usize, rounds: usize, seed: u64) {
+    let n = g.num_vertices();
+    let oracle = ForbiddenSetOracle::new(g, eps);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for round in 0..rounds {
+        let nf = rng.gen_range(0..=max_faults);
+        let mut f = FaultSet::empty();
+        while f.len() < nf {
+            if rng.gen_bool(0.7) {
+                f.forbid_vertex(NodeId::from_index(rng.gen_range(0..n)));
+            } else {
+                // Random edge fault.
+                let v = NodeId::from_index(rng.gen_range(0..n));
+                let nbrs = g.neighbors(v);
+                if !nbrs.is_empty() {
+                    let w = NodeId::new(nbrs[rng.gen_range(0..nbrs.len())]);
+                    f.forbid_edge_unchecked(v, w);
+                }
+            }
+        }
+        let s = loop {
+            let s = NodeId::from_index(rng.gen_range(0..n));
+            if !f.is_vertex_faulty(s) {
+                break s;
+            }
+        };
+        let t = loop {
+            let t = NodeId::from_index(rng.gen_range(0..n));
+            if !f.is_vertex_faulty(t) {
+                break t;
+            }
+        };
+        let _ = check_query(g, &oracle, s, t, &f, eps);
+        let _ = round;
+    }
+}
+
+#[test]
+fn path_exhaustive_single_vertex_fault() {
+    let g = generators::path(24);
+    let eps = 1.0;
+    let oracle = ForbiddenSetOracle::new(&g, eps);
+    for fv in 0..24u32 {
+        let f = FaultSet::from_vertices([NodeId::new(fv)]);
+        for s in 0..24u32 {
+            for t in 0..24u32 {
+                if s == fv || t == fv {
+                    continue;
+                }
+                check_query(&g, &oracle, NodeId::new(s), NodeId::new(t), &f, eps);
+            }
+        }
+    }
+}
+
+#[test]
+fn cycle_exhaustive_single_fault() {
+    let g = generators::cycle(20);
+    let eps = 1.0;
+    let oracle = ForbiddenSetOracle::new(&g, eps);
+    for fv in 0..20u32 {
+        let f = FaultSet::from_vertices([NodeId::new(fv)]);
+        for s in 0..20u32 {
+            for t in 0..20u32 {
+                if s == fv || t == fv {
+                    continue;
+                }
+                check_query(&g, &oracle, NodeId::new(s), NodeId::new(t), &f, eps);
+            }
+        }
+    }
+}
+
+#[test]
+fn grid_random_faults_eps_1() {
+    fuzz_graph(&generators::grid2d(8, 8), 1.0, 6, 60, 0xA11CE);
+}
+
+#[test]
+fn grid_random_faults_eps_half() {
+    fuzz_graph(&generators::grid2d(7, 7), 0.5, 4, 40, 0xB0B);
+}
+
+#[test]
+fn grid_random_faults_eps_3() {
+    fuzz_graph(&generators::grid2d(9, 9), 3.0, 8, 60, 0xC0FFEE);
+}
+
+#[test]
+fn king_grid_random_faults() {
+    fuzz_graph(&generators::king_grid(7, 7), 1.0, 5, 40, 7);
+}
+
+#[test]
+fn tree_random_faults() {
+    fuzz_graph(&generators::balanced_tree(3, 4), 1.0, 6, 60, 42);
+}
+
+#[test]
+fn caterpillar_random_faults() {
+    fuzz_graph(&generators::caterpillar(20, 2), 1.0, 6, 60, 99);
+}
+
+#[test]
+fn geometric_random_faults() {
+    let g = generators::random_geometric(100, 0.17, 11);
+    fuzz_graph(&g, 1.0, 5, 40, 0xD00D);
+}
+
+#[test]
+fn cycle_edge_faults_exhaustive() {
+    let g = generators::cycle(16);
+    let eps = 1.0;
+    let oracle = ForbiddenSetOracle::new(&g, eps);
+    for e in 0..16u32 {
+        let f = FaultSet::from_edges(&g, [(NodeId::new(e), NodeId::new((e + 1) % 16))]);
+        for s in 0..16u32 {
+            for t in 0..16u32 {
+                check_query(&g, &oracle, NodeId::new(s), NodeId::new(t), &f, eps);
+            }
+        }
+    }
+}
+
+#[test]
+fn grid_cut_line_fault_cluster() {
+    // An adversarial fault set: a vertical wall with one gap forces long
+    // detours.
+    let w = 9;
+    let g = generators::grid2d(w, 9);
+    let eps = 1.0;
+    let oracle = ForbiddenSetOracle::new(&g, eps);
+    let mut f = FaultSet::empty();
+    for y in 0..8u32 {
+        f.forbid_vertex(NodeId::new(y * w as u32 + 4));
+    }
+    for s in [0u32, 36, 72] {
+        for t in [8u32, 44, 80] {
+            check_query(&g, &oracle, NodeId::new(s), NodeId::new(t), &f, eps);
+        }
+    }
+}
+
+#[test]
+fn disconnecting_fault_wall() {
+    let w = 7;
+    let g = generators::grid2d(w, 7);
+    let oracle = ForbiddenSetOracle::new(&g, 1.0);
+    let mut f = FaultSet::empty();
+    for y in 0..7u32 {
+        f.forbid_vertex(NodeId::new(y * w as u32 + 3));
+    }
+    // Left and right halves are fully disconnected.
+    assert!(!oracle.connected(NodeId::new(0), NodeId::new(6), &f));
+    assert!(oracle.connected(NodeId::new(0), NodeId::new(2), &f));
+}
+
+#[test]
+fn adversarial_articulation_faults() {
+    // Fault the neighborhoods of articulation points: worst-case detours
+    // and disconnections.
+    for g in [
+        fsdl_graph::generators::barbell(5, 3),
+        fsdl_graph::generators::lollipop(5, 6),
+        fsdl_graph::generators::caterpillar(12, 2),
+        fsdl_graph::generators::spider(4, 6),
+    ] {
+        let eps = 1.0;
+        let oracle = ForbiddenSetOracle::new(&g, eps);
+        let cs = fsdl_graph::cut::cut_structure(&g);
+        for &ap in cs.articulation_points.iter().take(6) {
+            // Fault the articulation point itself.
+            let f = FaultSet::from_vertices([ap]);
+            for s in (0..g.num_vertices() as u32).step_by(3) {
+                for t in (0..g.num_vertices() as u32).step_by(4) {
+                    let (s, t) = (NodeId::new(s), NodeId::new(t));
+                    if s == ap || t == ap {
+                        continue;
+                    }
+                    check_query(&g, &oracle, s, t, &f, eps);
+                }
+            }
+            // Fault its neighborhood (without the endpoints).
+            let ring: FaultSet = g.neighbor_ids(ap).collect();
+            for s in (0..g.num_vertices() as u32).step_by(5) {
+                let (s, t) = (NodeId::new(s), ap);
+                if ring.is_vertex_faulty(s) || ring.is_vertex_faulty(t) {
+                    continue;
+                }
+                check_query(&g, &oracle, s, t, &ring, eps);
+            }
+        }
+        // Fault every bridge.
+        for e in cs.bridges.iter().take(8) {
+            let f = FaultSet::from_edges(&g, [(e.lo(), e.hi())]);
+            check_query(&g, &oracle, e.lo(), e.hi(), &f, eps);
+            check_query(
+                &g,
+                &oracle,
+                NodeId::new(0),
+                NodeId::new(g.num_vertices() as u32 - 1),
+                &f,
+                eps,
+            );
+        }
+    }
+}
+
+#[test]
+fn mixed_vertex_and_edge_faults() {
+    let g = generators::grid2d(7, 7);
+    let eps = 1.0;
+    let oracle = ForbiddenSetOracle::new(&g, eps);
+    let mut f = FaultSet::from_vertices([NodeId::new(24)]);
+    f.forbid_edge_unchecked(NodeId::new(10), NodeId::new(11));
+    f.forbid_edge_unchecked(NodeId::new(30), NodeId::new(37));
+    for s in 0..49u32 {
+        if f.is_vertex_faulty(NodeId::new(s)) {
+            continue;
+        }
+        check_query(&g, &oracle, NodeId::new(s), NodeId::new(48 - s), &f, eps);
+    }
+}

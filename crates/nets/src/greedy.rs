@@ -1,0 +1,205 @@
+//! Greedy `r`-net construction (the paper's Fact 1, after Gupta,
+//! Krauthgamer & Lee).
+//!
+//! `W(r)` is built by iterating over the vertices in id order: whenever an
+//! uncovered vertex `v` is met it joins `W(r)` and every vertex at distance
+//! `< r` from it becomes covered. The resulting set is
+//!
+//! * an `(r−1)`-dominating set for unweighted graphs and integral `r ≥ 1`
+//!   (every vertex is within `r−1` of some net point), and
+//! * an `r`-packing (net points are pairwise at distance `≥ r`),
+//!
+//! which together give the packing bound `|B(v, R) ∩ W(r)| ≤ (4R/r)^α` in a
+//! graph of doubling dimension `α`.
+
+use fsdl_graph::bfs::{self, BfsScratch};
+use fsdl_graph::{Graph, NodeId};
+
+/// Computes the greedy `r`-net `W(r)` of `g`, iterating vertices in id
+/// order (deterministic).
+///
+/// # Panics
+///
+/// Panics if `r == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use fsdl_graph::generators;
+/// use fsdl_nets::greedy_net;
+///
+/// let g = generators::path(10);
+/// let w = greedy_net(&g, 3);
+/// // Path vertices 0..10, each chosen point covers { u : d(u, v) < 3 }.
+/// assert_eq!(w, vec![0, 3, 6, 9].into_iter().map(fsdl_graph::NodeId::new).collect::<Vec<_>>());
+/// ```
+pub fn greedy_net(g: &Graph, r: u32) -> Vec<NodeId> {
+    assert!(r >= 1, "net radius must be at least 1");
+    let n = g.num_vertices();
+    let mut covered = vec![false; n];
+    let mut net = Vec::new();
+    if r == 1 {
+        // W(1) = V(G): every vertex covers only itself.
+        return g.vertices().collect();
+    }
+    let mut scratch = BfsScratch::new(n);
+    for v in g.vertices() {
+        if covered[v.index()] {
+            continue;
+        }
+        net.push(v);
+        // Cover all u with d_G(u, v) < r, i.e. <= r - 1.
+        for m in bfs::ball(g, v, r - 1, &mut scratch) {
+            covered[m.vertex.index()] = true;
+        }
+    }
+    net
+}
+
+/// Checks that `net` is an `(r−1)`-dominating `r`-packing of `g`:
+/// every vertex is within `r−1` of the net *within its own component*, and
+/// net points are pairwise at distance `≥ r`.
+///
+/// Returns the first violation found, or `None` if the net is valid. Used by
+/// tests and the packing audit.
+pub fn validate_net(g: &Graph, net: &[NodeId], r: u32) -> Option<NetViolation> {
+    let (dist, _) = bfs::multi_source(g, net);
+    for v in g.vertices() {
+        match dist[v.index()].finite() {
+            Some(d) if d <= r.saturating_sub(1) => {}
+            Some(d) => {
+                return Some(NetViolation::NotDominated { vertex: v, dist: d });
+            }
+            None => {
+                // Unreachable from the net entirely: only acceptable if v's
+                // component contains no net point at all, which the greedy
+                // construction never produces — every component's first
+                // vertex joins the net.
+                return Some(NetViolation::NotDominated {
+                    vertex: v,
+                    dist: u32::MAX,
+                });
+            }
+        }
+    }
+    // Packing: BFS from each net point truncated at r-1 must meet no other
+    // net point.
+    let mut is_net = vec![false; g.num_vertices()];
+    for &p in net {
+        is_net[p.index()] = true;
+    }
+    let mut scratch = BfsScratch::new(g.num_vertices());
+    for &p in net {
+        for m in bfs::ball(g, p, r - 1, &mut scratch) {
+            if m.vertex != p && is_net[m.vertex.index()] {
+                return Some(NetViolation::TooClose {
+                    a: p,
+                    b: m.vertex,
+                    dist: m.dist,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// A violation reported by [`validate_net`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetViolation {
+    /// A vertex farther than `r−1` from every net point (`u32::MAX` when in
+    /// a component without net points).
+    NotDominated {
+        /// The undominated vertex.
+        vertex: NodeId,
+        /// Its distance to the nearest net point.
+        dist: u32,
+    },
+    /// Two net points closer than `r`.
+    TooClose {
+        /// First net point.
+        a: NodeId,
+        /// Second net point.
+        b: NodeId,
+        /// Their distance (`< r`).
+        dist: u32,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsdl_graph::generators;
+
+    #[test]
+    fn net_radius_one_is_everything() {
+        let g = generators::cycle(6);
+        let w = greedy_net(&g, 1);
+        assert_eq!(w.len(), 6);
+        assert_eq!(validate_net(&g, &w, 1), None);
+    }
+
+    #[test]
+    fn path_net_spacing() {
+        let g = generators::path(20);
+        for r in [2u32, 3, 4, 8] {
+            let w = greedy_net(&g, r);
+            assert_eq!(validate_net(&g, &w, r), None, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn grid_net_valid() {
+        let g = generators::grid2d(9, 9);
+        for r in [2u32, 4, 8, 16] {
+            let w = greedy_net(&g, r);
+            assert_eq!(validate_net(&g, &w, r), None, "r = {r}");
+            assert!(!w.is_empty());
+        }
+    }
+
+    #[test]
+    fn large_radius_single_point_per_component() {
+        let g = generators::grid2d(5, 5);
+        let w = greedy_net(&g, 100);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0], NodeId::new(0));
+    }
+
+    #[test]
+    fn disconnected_components_each_get_points() {
+        let mut b = fsdl_graph::GraphBuilder::new(6);
+        b.add_edges([(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap();
+        let g = b.build();
+        let w = greedy_net(&g, 10);
+        assert_eq!(w.len(), 2);
+        assert_eq!(validate_net(&g, &w, 10), None);
+    }
+
+    #[test]
+    fn validate_detects_bad_nets() {
+        let g = generators::path(10);
+        // Too sparse: single point with small radius.
+        let bad = vec![NodeId::new(0)];
+        assert!(matches!(
+            validate_net(&g, &bad, 3),
+            Some(NetViolation::NotDominated { .. })
+        ));
+        // Too dense: adjacent points with radius 3.
+        let bad = vec![
+            NodeId::new(0),
+            NodeId::new(1),
+            NodeId::new(4),
+            NodeId::new(7),
+        ];
+        assert!(matches!(
+            validate_net(&g, &bad, 3),
+            Some(NetViolation::TooClose { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = generators::random_geometric(200, 0.1, 5);
+        assert_eq!(greedy_net(&g, 4), greedy_net(&g, 4));
+    }
+}

@@ -1,0 +1,393 @@
+//! The hierarchy of nets `N_0 ⊇ N_1 ⊇ ⋯ ⊇ N_{⌈log n⌉}` (paper Section 2.1,
+//! Lemma 2.2).
+//!
+//! `N_i = ∪_{j=i}^{⌈log n⌉} W(2^j)` where `W(r)` is the greedy `r`-net, so
+//! the hierarchy satisfies:
+//!
+//! 1. `N_i` is a `(2^i − 1)`-dominating set (property 1);
+//! 2. `N_i ⊆ N_{i−1}` (property 2);
+//! 3. the packing bound `|B(v, R) ∩ N_i| ≤ 2·(4R/2^i)^α` (Lemma 2.2).
+//!
+//! A vertex is summarized by its *net level* — the largest `i` with
+//! `v ∈ N_i` — which is all the decoder needs to know about net membership
+//! (and costs `O(log log n)` bits per stored point).
+
+use fsdl_graph::bfs;
+use fsdl_graph::{Dist, Graph, NodeId};
+
+use crate::greedy::greedy_net;
+
+/// Ceiling of `log₂ n` for `n ≥ 1` (`0` for `n ≤ 1`).
+pub fn ceil_log2(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+/// The hierarchy of nets over a graph, with precomputed nearest-net-point
+/// maps `M_i(v)`.
+///
+/// # Examples
+///
+/// ```
+/// use fsdl_graph::generators;
+/// use fsdl_nets::NetHierarchy;
+///
+/// let g = generators::grid2d(8, 8);
+/// let nets = NetHierarchy::build(&g);
+/// // N_0 = V(G); higher levels thin out.
+/// assert_eq!(nets.net_points(0).count(), 64);
+/// assert!(nets.net_points(nets.top_level()).count() >= 1);
+/// // Every vertex has a nearest net point within 2^i - 1.
+/// let (m, d) = nets.nearest(fsdl_graph::NodeId::new(27), 2).unwrap();
+/// assert!(d <= 3);
+/// # let _ = m;
+/// ```
+#[derive(Clone, Debug)]
+pub struct NetHierarchy {
+    top_level: u32,
+    /// `net_level[v]` = largest `i` with `v ∈ N_i` (every vertex is in
+    /// `N_0`).
+    net_level: Vec<u32>,
+    /// Per level `i`: distance from each vertex to `N_i` and the nearest
+    /// net point (`M_i(v)`), ties broken toward the smallest id.
+    nearest: Vec<(Vec<Dist>, Vec<Option<NodeId>>)>,
+}
+
+impl NetHierarchy {
+    /// Builds the hierarchy for `g` by computing `W(2^j)` for every
+    /// `j ≤ ⌈log n⌉` and the per-level nearest-point maps.
+    ///
+    /// Runs in `O(Σ_j Σ_{x∈W(2^j)} |B(x, 2^j)|)` = polynomial time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` has no vertices.
+    pub fn build(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        assert!(n > 0, "hierarchy needs a nonempty graph");
+        let top_level = ceil_log2(n);
+        // net_level[v] = max j with v ∈ W(2^j); N_i membership is
+        // net_level[v] >= i. W(2^0) = V so the default 0 is correct.
+        //
+        // The per-level greedy nets are independent of each other, as are
+        // the per-level nearest maps, so both phases fan out over scoped
+        // threads; results are merged in level order, so the hierarchy is
+        // bit-identical to a sequential build.
+        let nets_by_level: Vec<Vec<NodeId>> = run_levels(top_level as usize, |k| {
+            greedy_net(g, 1u32 << (k as u32 + 1))
+        });
+        let mut net_level = vec![0u32; n];
+        for (k, w) in nets_by_level.iter().enumerate() {
+            // Levels in increasing order, so later (sparser) nets overwrite.
+            for p in w {
+                net_level[p.index()] = k as u32 + 1;
+            }
+        }
+        let net_level_ref = &net_level;
+        let nearest = run_levels(top_level as usize + 1, |i| {
+            let pts: Vec<NodeId> = (0..n as u32)
+                .map(NodeId::new)
+                .filter(|v| net_level_ref[v.index()] >= i as u32)
+                .collect();
+            bfs::multi_source(g, &pts)
+        });
+        NetHierarchy {
+            top_level,
+            net_level,
+            nearest,
+        }
+    }
+
+    /// The top level `⌈log n⌉`.
+    pub fn top_level(&self) -> u32 {
+        self.top_level
+    }
+
+    /// Number of vertices of the underlying graph.
+    pub fn num_vertices(&self) -> usize {
+        self.net_level.len()
+    }
+
+    /// The largest `i` with `v ∈ N_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn level_of(&self, v: NodeId) -> u32 {
+        self.net_level[v.index()]
+    }
+
+    /// Is `v ∈ N_i`?
+    pub fn is_in_net(&self, v: NodeId, i: u32) -> bool {
+        self.net_level[v.index()] >= i
+    }
+
+    /// Iterates over the points of `N_i` in increasing id order.
+    ///
+    /// Levels above [`NetHierarchy::top_level`] are empty.
+    pub fn net_points(&self, i: u32) -> impl Iterator<Item = NodeId> + '_ {
+        self.net_level
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &l)| l >= i)
+            .map(|(v, _)| NodeId::from_index(v))
+    }
+
+    /// `M_i(v)`: the net point of `N_i` nearest to `v`, with its distance.
+    ///
+    /// Returns `None` only when `v`'s connected component contains no point
+    /// of `N_i`, which the greedy construction never produces for `i ≤`
+    /// [`NetHierarchy::top_level`]. Levels above the top return `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn nearest(&self, v: NodeId, i: u32) -> Option<(NodeId, u32)> {
+        let (dist, owner) = self.nearest.get(i as usize)?;
+        let m = (*owner.get(v.index())?)?;
+        Some((m, dist[v.index()].finite().expect("owner implies finite")))
+    }
+
+    /// `d_G(v, N_i)`, or `None` when unreachable / level out of range.
+    pub fn distance_to_net(&self, v: NodeId, i: u32) -> Option<u32> {
+        let (dist, _) = self.nearest.get(i as usize)?;
+        dist[v.index()].finite()
+    }
+
+    /// `|N_i|` for every level `0..=top` — how the hierarchy thins out.
+    pub fn level_sizes(&self) -> Vec<usize> {
+        (0..=self.top_level)
+            .map(|i| self.net_level.iter().filter(|&&l| l >= i).count())
+            .collect()
+    }
+
+    /// Audits the packing bound of Lemma 2.2 on sampled balls: checks
+    /// `|B(v, R) ∩ N_i| ≤ 2·(4R/2^i)^alpha` for the given `alpha`, returning
+    /// the first violating `(v, i, R, count, bound)` if any.
+    ///
+    /// `samples` are `(v, i, R)` triples to test.
+    pub fn audit_packing(
+        &self,
+        g: &Graph,
+        alpha: u32,
+        samples: &[(NodeId, u32, u32)],
+    ) -> Option<PackingViolation> {
+        let mut scratch = fsdl_graph::bfs::BfsScratch::new(g.num_vertices());
+        for &(v, i, radius) in samples {
+            if i > self.top_level || radius == 0 {
+                continue;
+            }
+            let count = bfs::ball(g, v, radius, &mut scratch)
+                .iter()
+                .filter(|m| self.is_in_net(m.vertex, i))
+                .count();
+            let ratio = 4.0 * radius as f64 / (1u64 << i) as f64;
+            let bound = 2.0 * ratio.powi(alpha as i32);
+            if (count as f64) > bound {
+                return Some(PackingViolation {
+                    center: v,
+                    level: i,
+                    radius,
+                    count,
+                    bound,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// Runs `job(0), …, job(count-1)` across up to `available_parallelism`
+/// scoped threads and returns the results in index order. Falls back to a
+/// sequential loop for small counts.
+fn run_levels<T: Send, F: Fn(usize) -> T + Sync>(count: usize, job: F) -> Vec<T> {
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(count.max(1));
+    if workers <= 1 || count <= 1 {
+        return (0..count).map(job).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots = std::sync::Mutex::new(&mut out);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if k >= count {
+                    break;
+                }
+                let result = job(k);
+                let mut guard = slots.lock().expect("no poisoned workers");
+                guard[k] = Some(result);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every level computed"))
+        .collect()
+}
+
+/// A violation of the Lemma 2.2 packing bound found by
+/// [`NetHierarchy::audit_packing`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PackingViolation {
+    /// Ball center.
+    pub center: NodeId,
+    /// Net level `i`.
+    pub level: u32,
+    /// Ball radius `R`.
+    pub radius: u32,
+    /// Observed `|B(center, R) ∩ N_i|`.
+    pub count: usize,
+    /// The bound `2·(4R/2^i)^α` that was exceeded.
+    pub bound: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsdl_graph::generators;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn level_zero_is_everything() {
+        let g = generators::cycle(10);
+        let nets = NetHierarchy::build(&g);
+        assert_eq!(nets.net_points(0).count(), 10);
+        for v in g.vertices() {
+            assert!(nets.is_in_net(v, 0));
+            let (m, d) = nets.nearest(v, 0).unwrap();
+            assert_eq!(m, v);
+            assert_eq!(d, 0);
+        }
+    }
+
+    #[test]
+    fn nesting_property() {
+        let g = generators::grid2d(10, 10);
+        let nets = NetHierarchy::build(&g);
+        for i in 1..=nets.top_level() {
+            let upper: Vec<NodeId> = nets.net_points(i).collect();
+            for p in upper {
+                assert!(nets.is_in_net(p, i - 1), "N_{i} ⊄ N_{}", i - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn domination_property() {
+        // Property (1): N_i is (2^i - 1)-dominating.
+        let g = generators::grid2d(12, 7);
+        let nets = NetHierarchy::build(&g);
+        for i in 0..=nets.top_level() {
+            for v in g.vertices() {
+                let d = nets.distance_to_net(v, i).expect("connected graph");
+                assert!(d < (1u32 << i), "v{} at distance {d} from N_{i}", v.raw());
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_is_truly_nearest() {
+        let g = generators::path(33);
+        let nets = NetHierarchy::build(&g);
+        for i in 0..=nets.top_level() {
+            let pts: Vec<NodeId> = nets.net_points(i).collect();
+            for v in g.vertices() {
+                let (_, d) = nets.nearest(v, i).unwrap();
+                let brute = pts
+                    .iter()
+                    .map(|&p| v.raw().abs_diff(p.raw()))
+                    .min()
+                    .unwrap();
+                assert_eq!(d, brute);
+            }
+        }
+    }
+
+    #[test]
+    fn top_level_singletonish() {
+        // N_top is a (n-1)-dominating set; on a connected graph one point
+        // per graph suffices (greedy picks exactly one).
+        let g = generators::grid2d(6, 6);
+        let nets = NetHierarchy::build(&g);
+        let top: Vec<NodeId> = nets.net_points(nets.top_level()).collect();
+        assert_eq!(top.len(), 1);
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = fsdl_graph::GraphBuilder::new(1).build();
+        let nets = NetHierarchy::build(&g);
+        assert_eq!(nets.top_level(), 0);
+        assert_eq!(nets.nearest(NodeId::new(0), 0), Some((NodeId::new(0), 0)));
+    }
+
+    #[test]
+    fn levels_beyond_top_are_empty() {
+        let g = generators::path(4);
+        let nets = NetHierarchy::build(&g);
+        assert_eq!(nets.net_points(nets.top_level() + 1).count(), 0);
+        assert_eq!(nets.nearest(NodeId::new(0), nets.top_level() + 5), None);
+    }
+
+    #[test]
+    fn packing_audit_grid() {
+        let g = generators::grid2d(16, 16);
+        let nets = NetHierarchy::build(&g);
+        // A 2-D mesh has doubling dimension ~2; audit with alpha = 2.
+        let mut samples = Vec::new();
+        for v in [0u32, 17, 130, 255] {
+            for i in 1..=nets.top_level() {
+                for radius in [1u32 << i, 2u32 << i] {
+                    samples.push((NodeId::new(v), i, radius));
+                }
+            }
+        }
+        assert_eq!(nets.audit_packing(&g, 2, &samples), None);
+    }
+
+    #[test]
+    fn packing_audit_catches_absurd_alpha() {
+        // With alpha = 0 the bound 2·(4R/2^i)^0 = 2 is violated on any
+        // nontrivial graph at level 0 (N_0 = V).
+        let g = generators::grid2d(8, 8);
+        let nets = NetHierarchy::build(&g);
+        let samples = vec![(NodeId::new(27), 0u32, 2u32)];
+        assert!(nets.audit_packing(&g, 0, &samples).is_some());
+    }
+
+    #[test]
+    fn level_sizes_decreasing() {
+        let g = generators::grid2d(10, 10);
+        let nets = NetHierarchy::build(&g);
+        let sizes = nets.level_sizes();
+        assert_eq!(sizes[0], 100);
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(*sizes.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let g = generators::random_geometric(150, 0.11, 9);
+        let a = NetHierarchy::build(&g);
+        let b = NetHierarchy::build(&g);
+        assert_eq!(a.net_level, b.net_level);
+    }
+}

@@ -1,0 +1,44 @@
+//! # fsdl-nets — hierarchical nets for doubling-dimension algorithms
+//!
+//! Implements the net machinery of Section 2.1 of *Forbidden-set distance
+//! labels for graphs of bounded doubling dimension*:
+//!
+//! * [`greedy_net`] — the greedy `r`-net `W(r)` of Fact 1 (an
+//!   `(r−1)`-dominating `r`-packing);
+//! * [`NetHierarchy`] — the nested hierarchy
+//!   `N_i = ∪_{j≥i} W(2^j)` with properties (1) & (2) of the paper and the
+//!   Lemma 2.2 packing bound, plus precomputed nearest-net-point maps
+//!   `M_i(v)`;
+//! * validation and audit hooks ([`validate_net`],
+//!   [`NetHierarchy::audit_packing`]) used by the test-suite and the
+//!   evaluation harness to certify the theory-side invariants on every
+//!   workload;
+//! * [`Spanner`] — the classic `(1+ε)`-spanner built from the same
+//!   hierarchy (cross edges between net points at every scale), a
+//!   companion artifact and sanity mirror for the labels.
+//!
+//! ## Example
+//!
+//! ```
+//! use fsdl_graph::{generators, NodeId};
+//! use fsdl_nets::NetHierarchy;
+//!
+//! let g = generators::grid2d(10, 10);
+//! let nets = NetHierarchy::build(&g);
+//! let v = NodeId::new(55);
+//! for i in 0..=nets.top_level() {
+//!     let (_, d) = nets.nearest(v, i).expect("connected");
+//!     assert!(d <= (1 << i) - 1, "N_i must be (2^i - 1)-dominating");
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod greedy;
+mod hierarchy;
+mod spanner;
+
+pub use greedy::{greedy_net, validate_net, NetViolation};
+pub use hierarchy::{ceil_log2, NetHierarchy, PackingViolation};
+pub use spanner::Spanner;

@@ -1,0 +1,224 @@
+//! `(1+ε)`-spanners from the net hierarchy.
+//!
+//! A classic companion construction on the same machinery the labels use
+//! (and a useful sanity mirror for them): connect every pair of `N_i` net
+//! points at distance `≤ γ·2^i` with a weighted edge carrying their exact
+//! graph distance, for `γ = 3 + 32/ε`. The resulting weighted graph `S`
+//! satisfies `d_G(u,v) ≤ d_S(u,v) ≤ (1+ε)·d_G(u,v)` for every pair:
+//!
+//! * *climbing*: `d(M_k(u), M_{k+1}(u)) < 3·2^k ≤ γ·2^k`, so the chain
+//!   `u = M_0(u), M_1(u), …, M_j(u)` exists in `S` and costs `< 3·2^j`;
+//! * *crossing*: for `j` with `ε·d/32 ≤ 2^j ≤ ε·d/16`, the cross edge
+//!   `(M_j(u), M_j(v))` exists (`d(M_j(u), M_j(v)) < d + 2·2^j ≤ γ·2^j`);
+//! * total: `d_S ≤ d + 8·2^j ≤ (1 + ε/2)·d`; for `d < 16/ε` the level-0
+//!   direct edge `(u, v)` already exists.
+//!
+//! By the packing bound the spanner has `n · (O(1)/ε)^α · log n` edges —
+//! the same exponential-in-`α` constants as the labels, measured honestly
+//! by [`Spanner::num_edges`].
+
+use fsdl_graph::bfs::{self, BfsScratch};
+use fsdl_graph::{Dist, Graph, NodeId, SketchGraph};
+
+use crate::hierarchy::NetHierarchy;
+
+/// A weighted `(1+ε)`-spanner of a graph's shortest-path metric.
+///
+/// # Examples
+///
+/// ```
+/// use fsdl_graph::{generators, NodeId};
+/// use fsdl_nets::Spanner;
+///
+/// let g = generators::grid2d(6, 6);
+/// let s = Spanner::build(&g, 1.0);
+/// let d = s.distance(NodeId::new(0), NodeId::new(35)).finite().unwrap();
+/// assert!(d >= 10 && d <= 20); // within (1+eps) of the true 10
+/// ```
+#[derive(Clone, Debug)]
+pub struct Spanner {
+    n: usize,
+    epsilon: f64,
+    edges: Vec<(NodeId, NodeId, u32)>,
+    sketch: SketchGraph,
+}
+
+impl Spanner {
+    /// Builds the spanner of `g` at precision `epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is empty or `epsilon` is not positive finite.
+    pub fn build(g: &Graph, epsilon: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "epsilon must be a positive finite number"
+        );
+        let n = g.num_vertices();
+        assert!(n > 0, "spanner needs a nonempty graph");
+        let nets = NetHierarchy::build(g);
+        let gamma = 3.0 + 32.0 / epsilon;
+        let mut edges = Vec::new();
+        let mut scratch = BfsScratch::new(n);
+        for i in 0..=nets.top_level() {
+            let radius_f = gamma * (1u64 << i) as f64;
+            let radius = radius_f.min(n as f64) as u32;
+            for x in nets.net_points(i).collect::<Vec<_>>() {
+                for m in bfs::ball(g, x, radius, &mut scratch) {
+                    // Each cross pair once (y > x); level-i requires both
+                    // endpoints in N_i.
+                    if m.vertex > x && nets.is_in_net(m.vertex, i) {
+                        edges.push((x, m.vertex, m.dist));
+                    }
+                }
+            }
+        }
+        edges.sort_unstable_by_key(|&(a, b, _)| (a, b));
+        edges.dedup_by_key(|&mut (a, b, _)| (a, b));
+        let mut sketch = SketchGraph::new();
+        for v in g.vertices() {
+            sketch.intern(v);
+        }
+        for &(a, b, w) in &edges {
+            sketch.add_edge(a, b, u64::from(w));
+        }
+        Spanner {
+            n,
+            epsilon,
+            edges,
+            sketch,
+        }
+    }
+
+    /// Number of vertices of the spanned graph.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (deduplicated) weighted spanner edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The precision this spanner was built for.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Iterates over the weighted edges `(x, y, d_G(x, y))`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, u32)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// The spanner distance `d_S(u, v)`: between `d_G(u, v)` and
+    /// `(1+ε)·d_G(u, v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> Dist {
+        assert!(
+            u.index() < self.n && v.index() < self.n,
+            "vertex out of range"
+        );
+        match self.sketch.shortest_distance(u, v) {
+            Some(d) => Dist::new(u32::try_from(d.min(u64::from(u32::MAX - 1))).expect("clamped")),
+            None => Dist::INFINITE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsdl_graph::{generators, FaultSet};
+
+    fn check_stretch(g: &Graph, eps: f64, pairs: &[(u32, u32)]) {
+        let s = Spanner::build(g, eps);
+        for &(u, v) in pairs {
+            let (u, v) = (NodeId::new(u), NodeId::new(v));
+            let truth = bfs::pair_distance_avoiding(g, u, v, &FaultSet::empty());
+            let ds = s.distance(u, v);
+            match truth.finite() {
+                Some(td) => {
+                    let sd = ds.finite().expect("spanner preserves connectivity");
+                    assert!(sd >= td, "spanner shortcut {u}->{v}: {sd} < {td}");
+                    assert!(
+                        f64::from(sd) <= (1.0 + eps) * f64::from(td) + 1e-9,
+                        "stretch violated {u}->{v}: {sd} vs {td}"
+                    );
+                }
+                None => assert!(ds.is_infinite()),
+            }
+        }
+    }
+
+    #[test]
+    fn path_spanner_exact() {
+        let g = generators::path(64);
+        let pairs: Vec<(u32, u32)> = (0..64).map(|k| (0, k)).collect();
+        check_stretch(&g, 1.0, &pairs);
+    }
+
+    #[test]
+    fn grid_spanner_stretch() {
+        let g = generators::grid2d(9, 9);
+        let mut pairs = Vec::new();
+        for s in (0..81).step_by(7) {
+            for t in (0..81).step_by(5) {
+                pairs.push((s, t));
+            }
+        }
+        check_stretch(&g, 1.0, &pairs);
+        check_stretch(&g, 0.5, &pairs);
+    }
+
+    #[test]
+    fn tree_spanner_stretch() {
+        let g = generators::balanced_tree(3, 4);
+        let pairs: Vec<(u32, u32)> = (0..121).map(|k| (k, 120 - k)).collect();
+        check_stretch(&g, 2.0, &pairs);
+    }
+
+    #[test]
+    fn disconnected_graph_preserved() {
+        let mut b = fsdl_graph::GraphBuilder::new(6);
+        b.add_edges([(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap();
+        let g = b.build();
+        let s = Spanner::build(&g, 1.0);
+        assert!(s.distance(NodeId::new(0), NodeId::new(5)).is_infinite());
+        assert_eq!(s.distance(NodeId::new(0), NodeId::new(2)).finite(), Some(2));
+    }
+
+    #[test]
+    fn spanner_size_grows_with_precision() {
+        let g = generators::grid2d(10, 10);
+        let loose = Spanner::build(&g, 4.0);
+        let tight = Spanner::build(&g, 0.5);
+        assert!(tight.num_edges() >= loose.num_edges());
+        assert!(loose.num_edges() > 0);
+    }
+
+    #[test]
+    fn level_zero_includes_graph_edges() {
+        // gamma >= 3, so every adjacent pair (distance 1) gets a level-0
+        // edge: the spanner contains G itself.
+        let g = generators::cycle(12);
+        let s = Spanner::build(&g, 1.0);
+        for e in g.edges() {
+            assert!(
+                s.edges()
+                    .any(|(a, b, w)| a == e.lo() && b == e.hi() && w == 1),
+                "missing graph edge {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_vertex() {
+        let g = fsdl_graph::GraphBuilder::new(1).build();
+        let s = Spanner::build(&g, 1.0);
+        assert_eq!(s.num_edges(), 0);
+        assert_eq!(s.distance(NodeId::new(0), NodeId::new(0)).finite(), Some(0));
+    }
+}

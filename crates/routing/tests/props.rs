@@ -1,0 +1,121 @@
+//! Property-based tests for the routing scheme on arbitrary connected
+//! graphs: delivery correctness, fault avoidance, and the hops == decoder
+//! estimate identity.
+
+use fsdl_graph::{bfs, FaultSet, Graph, GraphBuilder, NodeId};
+use fsdl_routing::{Network, RouteFailure};
+use proptest::prelude::*;
+
+fn arb_connected_graph() -> impl Strategy<Value = Graph> {
+    (2usize..20).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0usize..n, n - 1),
+            proptest::collection::vec((0..n as u32, 0..n as u32), 0..16),
+        )
+            .prop_map(move |(parents, extra)| {
+                let mut b = GraphBuilder::new(n);
+                for (i, p) in parents.iter().enumerate().skip(1) {
+                    b.add_edge((p % i) as u32, i as u32).expect("in range");
+                }
+                for (a, c) in extra {
+                    if a != c {
+                        b.add_edge(a, c).expect("in range");
+                    }
+                }
+                b.build()
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn routed_packets_are_valid_walks(
+        g in arb_connected_graph(),
+        s_pick in 0u32..20,
+        t_pick in 0u32..20,
+        fault_picks in proptest::collection::vec(0u32..20, 0..3),
+    ) {
+        let n = g.num_vertices() as u32;
+        let s = NodeId::new(s_pick % n);
+        let t = NodeId::new(t_pick % n);
+        let mut faults = FaultSet::empty();
+        for f in fault_picks {
+            let f = NodeId::new(f % n);
+            if f != s && f != t {
+                faults.forbid_vertex(f);
+            }
+        }
+        let net = Network::new(&g, 1.0);
+        let truth = bfs::pair_distance_avoiding(&g, s, t, &faults);
+        match net.route(s, t, &faults) {
+            Ok(d) => {
+                prop_assert_eq!(d.path.first(), Some(&s));
+                prop_assert_eq!(d.path.last(), Some(&t));
+                for w in d.path.windows(2) {
+                    prop_assert!(g.has_edge(w[0], w[1]), "non-edge hop");
+                    prop_assert!(!faults.blocks_traversal(w[0], w[1]), "fault traversed");
+                }
+                // Hop count equals the decoder estimate exactly.
+                let est = net.oracle().distance(s, t, &faults);
+                prop_assert_eq!(d.hops as u32, est.finite().expect("delivered"));
+                // And is within stretch of the truth.
+                let td = truth.finite().expect("delivered implies connected");
+                if td > 0 {
+                    prop_assert!(d.hops as f64 <= 2.0 * f64::from(td) + 1e-9);
+                }
+            }
+            Err(RouteFailure::Unreachable) => prop_assert!(truth.is_infinite()),
+            Err(RouteFailure::ForbiddenEndpoint) => {
+                prop_assert!(faults.is_vertex_faulty(s) || faults.is_vertex_faulty(t));
+            }
+            Err(e) => prop_assert!(false, "invariant violated: {e}"),
+        }
+    }
+
+    #[test]
+    fn adaptive_routing_always_consistent(
+        g in arb_connected_graph(),
+        s_pick in 0u32..20,
+        t_pick in 0u32..20,
+        fault_picks in proptest::collection::vec(0u32..20, 0..3),
+        known_count in 0usize..2,
+    ) {
+        let n = g.num_vertices() as u32;
+        let s = NodeId::new(s_pick % n);
+        let t = NodeId::new(t_pick % n);
+        let mut truth_faults = FaultSet::empty();
+        for f in fault_picks {
+            let f = NodeId::new(f % n);
+            if f != s && f != t {
+                truth_faults.forbid_vertex(f);
+            }
+        }
+        // The source initially knows a prefix of the faults.
+        let mut known = FaultSet::empty();
+        for v in truth_faults.vertices().take(known_count) {
+            known.forbid_vertex(v);
+        }
+        let net = Network::new(&g, 1.0);
+        let reachable =
+            bfs::pair_distance_avoiding(&g, s, t, &truth_faults).is_finite();
+        match net.route_adaptive(s, t, &known, &truth_faults) {
+            Ok(d) => {
+                prop_assert!(reachable, "delivered to unreachable target");
+                prop_assert_eq!(d.path.last(), Some(&t));
+                for w in d.path.windows(2) {
+                    prop_assert!(!truth_faults.blocks_traversal(w[0], w[1]));
+                }
+                prop_assert!(d.discovered <= truth_faults.len());
+            }
+            Err(RouteFailure::Unreachable) => prop_assert!(!reachable),
+            Err(RouteFailure::ForbiddenEndpoint) => {
+                prop_assert!(
+                    truth_faults.is_vertex_faulty(s) || truth_faults.is_vertex_faulty(t)
+                );
+            }
+            Err(e) => prop_assert!(false, "invariant violated: {e}"),
+        }
+    }
+}

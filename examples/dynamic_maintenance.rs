@@ -1,0 +1,72 @@
+//! Fully dynamic distance oracle: a maintenance window on a ring network.
+//!
+//! Demonstrates the STOC'12 byproduct the paper cites: buffering deletions
+//! in the forbidden set gives a fully dynamic `(1+ε)` distance oracle with
+//! periodic rebuilds. A ring of servers is taken down one by one for
+//! maintenance and brought back; distance queries stay live (and correct)
+//! throughout, and the oracle rebuilds itself only when the buffered fault
+//! set crosses the `√n` threshold.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example dynamic_maintenance
+//! ```
+
+use fsdl::graph::{generators, NodeId};
+use fsdl::labels::DynamicOracle;
+
+fn main() {
+    let n = 64usize;
+    let g = generators::cycle(n);
+    let mut oracle = DynamicOracle::new(&g, 1.0);
+    println!(
+        "ring of {n} servers; dynamic oracle with rebuild threshold ~ sqrt(n) = {}",
+        (n as f64).sqrt().ceil()
+    );
+
+    let probe = (NodeId::new(2), NodeId::new(34));
+    println!(
+        "\nbaseline distance {} -> {}: {}",
+        probe.0,
+        probe.1,
+        oracle.distance(probe.0, probe.1)
+    );
+
+    // Maintenance wave: take down every 7th server, then bring them back.
+    let wave: Vec<NodeId> = (0..n as u32).step_by(7).map(NodeId::new).collect();
+    for &v in &wave {
+        if v == probe.0 || v == probe.1 {
+            continue;
+        }
+        oracle.delete_vertex(v);
+        println!(
+            "down {v}: buffered |F| = {}, rebuilds = {}, d({}, {}) = {}",
+            oracle.buffered(),
+            oracle.rebuilds(),
+            probe.0,
+            probe.1,
+            oracle.distance(probe.0, probe.1)
+        );
+    }
+
+    println!("\nmaintenance done; bringing servers back");
+    for &v in wave.iter().rev() {
+        if v == probe.0 || v == probe.1 {
+            continue;
+        }
+        oracle.restore_vertex(v);
+    }
+    println!(
+        "all restored: d({}, {}) = {} (rebuilds performed: {})",
+        probe.0,
+        probe.1,
+        oracle.distance(probe.0, probe.1),
+        oracle.rebuilds()
+    );
+    assert_eq!(
+        oracle.distance(probe.0, probe.1).finite(),
+        Some(32),
+        "ring distance must be restored exactly"
+    );
+}

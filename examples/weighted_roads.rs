@@ -1,0 +1,78 @@
+//! Weighted road network via the subdivision adapter.
+//!
+//! Real road segments have lengths; the paper's scheme is unweighted. This
+//! example uses [`WeightedOracle`] — exact edge subdivision into the
+//! unweighted scheme — to answer `(1+ε)` forbidden-set queries on a small
+//! weighted highway map, with closures on both junctions and road segments.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example weighted_roads
+//! ```
+
+use fsdl::graph::NodeId;
+use fsdl::labels::{WeightedFaults, WeightedOracle};
+
+fn main() {
+    // A small highway map: 8 junctions, segments weighted by length (km,
+    // rounded). Two routes from 0 to 7: the fast northern corridor
+    // (0-1-2-7) and the slower southern loop (0-3-4-5-6-7).
+    let edges: &[(u32, u32, u32)] = &[
+        (0, 1, 2), // northern corridor
+        (1, 2, 3),
+        (2, 7, 2),
+        (0, 3, 3), // southern loop
+        (3, 4, 2),
+        (4, 5, 2),
+        (5, 6, 3),
+        (6, 7, 2),
+        (1, 4, 4), // connector
+        (2, 5, 5), // connector
+    ];
+    let oracle = WeightedOracle::new(8, edges, 1.0);
+    println!(
+        "highway map: 8 junctions, {} segments; subdivision has {} vertices",
+        edges.len(),
+        oracle.subdivision().num_vertices()
+    );
+
+    let s = NodeId::new(0);
+    let t = NodeId::new(7);
+    let open = WeightedFaults::none();
+    println!(
+        "\nall roads open:   0 -> 7 = {} km",
+        oracle.distance(s, t, &open)
+    );
+
+    // The northern corridor's middle segment closes.
+    let closure = WeightedFaults {
+        vertices: vec![],
+        edges: vec![(NodeId::new(1), NodeId::new(2))],
+    };
+    println!(
+        "segment 1-2 shut: 0 -> 7 = {} km (rerouted south or via connectors)",
+        oracle.distance(s, t, &closure)
+    );
+
+    // Junction 2 itself closes (roadworks).
+    let junction = WeightedFaults {
+        vertices: vec![NodeId::new(2)],
+        edges: vec![],
+    };
+    println!(
+        "junction 2 shut:  0 -> 7 = {} km",
+        oracle.distance(s, t, &junction)
+    );
+
+    // Catastrophe: both connectors AND the corridor break.
+    let multi = WeightedFaults {
+        vertices: vec![NodeId::new(2)],
+        edges: vec![(NodeId::new(1), NodeId::new(4))],
+    };
+    println!(
+        "junction 2 + connector 1-4 shut: 0 -> 7 = {} km",
+        oracle.distance(s, t, &multi)
+    );
+    assert!(oracle.connected(s, t, &multi), "southern loop still works");
+}

@@ -1,0 +1,15 @@
+//! Facade crate re-exporting the whole `fsdl` workspace. See README.md.
+#![forbid(unsafe_code)]
+
+// Compile-check every snippet in the tutorial as doctests.
+#[cfg(doctest)]
+mod tutorial {
+    #![doc = include_str!("../docs/TUTORIAL.md")]
+}
+
+pub use fsdl_baselines as baselines;
+pub use fsdl_bounds as bounds;
+pub use fsdl_graph as graph;
+pub use fsdl_labels as labels;
+pub use fsdl_nets as nets;
+pub use fsdl_routing as routing;

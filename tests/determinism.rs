@@ -1,0 +1,81 @@
+//! Determinism guarantees: EXPERIMENTS.md promises that fixed seeds
+//! reproduce every table exactly. That requires the whole pipeline —
+//! generators, nets, labels, tables, routes — to be bit-stable across runs
+//! (including across the parallel net construction).
+
+use fsdl::graph::{generators, FaultSet, NodeId};
+use fsdl::labels::{ForbiddenSetOracle, Labeling, SchemeParams};
+use fsdl::routing::{Network, RoutingScheme};
+
+#[test]
+fn labels_are_bit_stable_across_builds() {
+    let g = generators::random_geometric(150, 0.13, 99);
+    let n = g.num_vertices();
+    let a = Labeling::build(&g, SchemeParams::new(1.0, n));
+    let b = Labeling::build(&g, SchemeParams::new(1.0, n));
+    for v in (0..n as u32).step_by(17) {
+        let la = a.label_of(NodeId::new(v));
+        let lb = b.label_of(NodeId::new(v));
+        assert_eq!(la, lb, "label divergence at v{v}");
+        let ea = fsdl::labels::codec::encode(&la, n);
+        let eb = fsdl::labels::codec::encode(&lb, n);
+        assert_eq!(ea.as_bytes(), eb.as_bytes(), "bit divergence at v{v}");
+    }
+}
+
+#[test]
+fn parallel_net_hierarchy_matches_itself() {
+    // The scoped-thread fan-out must be order-independent.
+    let g = generators::grid2d(14, 14);
+    let a = fsdl::nets::NetHierarchy::build(&g);
+    let b = fsdl::nets::NetHierarchy::build(&g);
+    assert_eq!(a.level_sizes(), b.level_sizes());
+    for v in g.vertices() {
+        assert_eq!(a.level_of(v), b.level_of(v));
+        for i in 0..=a.top_level() {
+            assert_eq!(a.nearest(v, i), b.nearest(v, i));
+        }
+    }
+}
+
+#[test]
+fn query_answers_and_paths_are_stable() {
+    let g = generators::road_network(9, 9, 0.15, 4);
+    let o1 = ForbiddenSetOracle::new(&g, 1.0);
+    let o2 = ForbiddenSetOracle::new(&g, 1.0);
+    let f = FaultSet::from_vertices([NodeId::new(40), NodeId::new(41)]);
+    for s in (0..81u32).step_by(7) {
+        for t in (0..81u32).step_by(11) {
+            let (s, t) = (NodeId::new(s), NodeId::new(t));
+            if f.is_vertex_faulty(s) || f.is_vertex_faulty(t) {
+                continue;
+            }
+            let a1 = o1.query(s, t, &f);
+            let a2 = o2.query(s, t, &f);
+            assert_eq!(a1.distance, a2.distance);
+            assert_eq!(a1.path, a2.path, "witness divergence {s}->{t}");
+        }
+    }
+}
+
+#[test]
+fn routing_tables_and_routes_are_stable() {
+    let g = generators::grid2d(7, 7);
+    let l1 = Labeling::build(&g, SchemeParams::new(1.0, 49));
+    let l2 = Labeling::build(&g, SchemeParams::new(1.0, 49));
+    let (s1, s2) = (RoutingScheme::new(&l1), RoutingScheme::new(&l2));
+    for v in (0..49u32).step_by(5) {
+        let mut a: Vec<_> = s1.table_of(NodeId::new(v)).entries().collect();
+        let mut b: Vec<_> = s2.table_of(NodeId::new(v)).entries().collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "table divergence at v{v}");
+    }
+    let n1 = Network::new(&g, 1.0);
+    let n2 = Network::new(&g, 1.0);
+    let f = FaultSet::from_vertices([NodeId::new(24)]);
+    let d1 = n1.route(NodeId::new(0), NodeId::new(48), &f).unwrap();
+    let d2 = n2.route(NodeId::new(0), NodeId::new(48), &f).unwrap();
+    assert_eq!(d1.path, d2.path);
+    assert_eq!(d1.header, d2.header);
+}

@@ -1,0 +1,141 @@
+//! Cross-crate integration tests: the full pipeline (generators → nets →
+//! labels → decoder → routing → bounds) exercised through the `fsdl`
+//! facade.
+
+use fsdl::baselines::ExactOracle;
+use fsdl::bounds::{reconstruct_graph, LowerBoundFamily};
+use fsdl::graph::{generators, FaultSet, NodeId};
+use fsdl::labels::ForbiddenSetOracle;
+use fsdl::routing::Network;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Routing hop counts must equal the decoder's distance estimate exactly:
+/// each sketch edge of weight `w` is realized by exactly `w` physical hops
+/// along a shortest path.
+#[test]
+fn routing_hops_equal_decoder_distance() {
+    let g = generators::grid2d(8, 8);
+    let net = Network::new(&g, 1.0);
+    let mut rng = StdRng::seed_from_u64(31337);
+    for _ in 0..30 {
+        let s = NodeId::from_index(rng.gen_range(0..64));
+        let t = NodeId::from_index(rng.gen_range(0..64));
+        let mut f = FaultSet::empty();
+        for _ in 0..3 {
+            let v = NodeId::from_index(rng.gen_range(0..64));
+            if v != s && v != t {
+                f.forbid_vertex(v);
+            }
+        }
+        let answer = net.oracle().query(s, t, &f);
+        match net.route(s, t, &f) {
+            Ok(d) => {
+                assert_eq!(
+                    d.hops as u32,
+                    answer.distance.finite().expect("delivered implies finite"),
+                    "hops must equal the decoder estimate for {s}->{t}"
+                );
+            }
+            Err(_) => assert!(answer.distance.is_infinite()),
+        }
+    }
+}
+
+/// The decoder, the exact oracle, and the routing simulator must agree on
+/// connectivity for every query.
+#[test]
+fn connectivity_agreement_across_components() {
+    let g = generators::random_geometric(90, 0.16, 5);
+    let oracle = ForbiddenSetOracle::new(&g, 1.0);
+    let exact = ExactOracle::new(&g);
+    let net = Network::new(&g, 1.0);
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..25 {
+        let s = NodeId::from_index(rng.gen_range(0..90));
+        let t = NodeId::from_index(rng.gen_range(0..90));
+        let mut f = FaultSet::empty();
+        for _ in 0..4 {
+            let v = NodeId::from_index(rng.gen_range(0..90));
+            if v != s && v != t {
+                f.forbid_vertex(v);
+            }
+        }
+        let label_says = oracle.connected(s, t, &f);
+        let exact_says = exact.connected(s, t, &f);
+        let route_says = net.route(s, t, &f).is_ok();
+        assert_eq!(label_says, exact_says, "decoder vs exact on {s}->{t}");
+        assert_eq!(route_says, exact_says, "routing vs exact on {s}->{t}");
+    }
+}
+
+/// The lower-bound attack works through the full labeling stack on a
+/// family member, round-tripping graph -> labels -> queries -> graph.
+#[test]
+fn attack_roundtrip_through_labels() {
+    let fam = LowerBoundFamily::new(3, 2);
+    for seed in [0u64, 1, 2] {
+        let member = fam.random_member(seed);
+        let oracle = ForbiddenSetOracle::new(&member, 3.0);
+        assert_eq!(reconstruct_graph(&oracle), member, "seed {seed}");
+    }
+}
+
+/// Labels survive a bit-level encode/decode round trip and the decoded
+/// labels answer queries identically.
+#[test]
+fn serialized_labels_answer_queries() {
+    let g = generators::cycle(40);
+    let oracle = ForbiddenSetOracle::new(&g, 1.0);
+    let n = g.num_vertices();
+    let s = NodeId::new(0);
+    let t = NodeId::new(17);
+    let fv = NodeId::new(5);
+
+    // Serialize the three labels to bit strings and decode them back.
+    let round_trip = |v: NodeId| {
+        let label = oracle.label(v);
+        let w = fsdl::labels::codec::encode(&label, n);
+        let decoded = fsdl::labels::codec::decode(w.as_bytes(), w.len_bits(), n).expect("decodes");
+        assert_eq!(&decoded, label.as_ref());
+        decoded
+    };
+    let ls = round_trip(s);
+    let lt = round_trip(t);
+    let lf = round_trip(fv);
+
+    let ql = fsdl::labels::QueryLabels {
+        fault_vertices: vec![&lf],
+        fault_edges: vec![],
+    };
+    let from_decoded = fsdl::labels::query(oracle.params(), &ls, &lt, &ql);
+    let direct = oracle.query(s, t, &FaultSet::from_vertices([fv]));
+    assert_eq!(from_decoded.distance, direct.distance);
+    assert_eq!(from_decoded.path, direct.path);
+}
+
+/// The whole pipeline on the paper's own lower-bound graph: labels on
+/// G_{p,d} answer fault queries within stretch.
+#[test]
+fn linf_grid_full_pipeline() {
+    let g = generators::grid_linf(5, 2);
+    let oracle = ForbiddenSetOracle::new(&g, 2.0);
+    let exact = ExactOracle::new(&g);
+    let f = FaultSet::from_vertices([NodeId::new(12)]); // center
+    for s in 0..25u32 {
+        for t in 0..25u32 {
+            if s == 12 || t == 12 {
+                continue;
+            }
+            let est = oracle.distance(NodeId::new(s), NodeId::new(t), &f);
+            let truth = exact.distance(NodeId::new(s), NodeId::new(t), &f);
+            match truth.finite() {
+                Some(td) => {
+                    let e = est.finite().expect("connected");
+                    assert!(e >= td && f64::from(e) <= 3.0 * f64::from(td) + 1e-9);
+                }
+                None => assert!(est.is_infinite()),
+            }
+        }
+    }
+}

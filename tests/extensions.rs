@@ -1,0 +1,128 @@
+//! Cross-crate integration tests for the extension layers: the weighted
+//! adapter, the recovery simulation, and the baseline labelings working
+//! over the same substrate.
+
+use fsdl::baselines::{HubLabeling, TreeOracle};
+use fsdl::graph::{bfs, generators, FaultSet, NodeId};
+use fsdl::labels::{ForbiddenSetOracle, WeightedFaults, WeightedOracle};
+use fsdl::routing::{Network, RecoverySim};
+
+/// The weighted oracle with all-unit weights must agree with the plain
+/// unweighted oracle on every query.
+#[test]
+fn weighted_unit_matches_unweighted() {
+    let g = generators::grid2d(5, 5);
+    let edges: Vec<(u32, u32, u32)> = g.edges().map(|e| (e.lo().raw(), e.hi().raw(), 1)).collect();
+    let weighted = WeightedOracle::new(25, &edges, 1.0);
+    let plain = ForbiddenSetOracle::new(&g, 1.0);
+    for s in (0..25u32).step_by(3) {
+        for t in (0..25u32).step_by(4) {
+            for f in [None, Some(12u32)] {
+                let (wf, pf) = match f {
+                    None => (WeightedFaults::none(), FaultSet::empty()),
+                    Some(v) => (
+                        WeightedFaults {
+                            vertices: vec![NodeId::new(v)],
+                            edges: vec![],
+                        },
+                        FaultSet::from_vertices([NodeId::new(v)]),
+                    ),
+                };
+                if pf.is_vertex_faulty(NodeId::new(s)) || pf.is_vertex_faulty(NodeId::new(t)) {
+                    continue;
+                }
+                assert_eq!(
+                    weighted.distance(NodeId::new(s), NodeId::new(t), &wf),
+                    plain.distance(NodeId::new(s), NodeId::new(t), &pf),
+                    "unit-weight mismatch {s}->{t}"
+                );
+            }
+        }
+    }
+}
+
+/// After enough traffic, the recovery simulation's answers match the
+/// omniscient network's.
+#[test]
+fn recovery_converges_to_omniscient_routing() {
+    let g = generators::cycle(20);
+    let mut sim = RecoverySim::new(Network::new(&g, 1.0));
+    sim.fail_vertex(NodeId::new(5));
+    // Drive traffic until the fleet mostly knows.
+    for k in 0..40u32 {
+        let s = NodeId::new((k * 3) % 20);
+        let t = NodeId::new((k * 7 + 1) % 20);
+        if s == NodeId::new(5) || t == NodeId::new(5) {
+            continue;
+        }
+        let _ = sim.send(s, t);
+    }
+    assert!(sim.awareness() > 0.8, "awareness {}", sim.awareness());
+    // An informed sender routes identically to an omniscient one.
+    let omniscient = Network::new(&g, 1.0);
+    let truth_faults = sim.ground_truth().clone();
+    let direct = omniscient
+        .route(NodeId::new(3), NodeId::new(8), &truth_faults)
+        .unwrap();
+    let via_sim = sim.send(NodeId::new(3), NodeId::new(8)).unwrap();
+    assert_eq!(via_sim.reroutes, 0, "informed sender must not reroute");
+    assert_eq!(via_sim.hops, direct.hops);
+}
+
+/// On trees, three independent exact systems (BFS, centroid tree labels,
+/// hub labels) and the (1+eps) scheme must be mutually consistent.
+#[test]
+fn four_systems_agree_on_trees() {
+    let tree = generators::balanced_tree(3, 3); // 40 vertices
+    let ct = TreeOracle::new(&tree);
+    let hl = HubLabeling::build(&tree);
+    let fs = ForbiddenSetOracle::new(&tree, 1.0);
+    for s in (0..40u32).step_by(3) {
+        for t in (0..40u32).step_by(5) {
+            let (s, t) = (NodeId::new(s), NodeId::new(t));
+            let exact = bfs::pair_distance_avoiding(&tree, s, t, &FaultSet::empty());
+            assert_eq!(ct.distance(s, t, &FaultSet::empty()), exact);
+            assert_eq!(HubLabeling::query(&hl.label_of(s), &hl.label_of(t)), exact);
+            let approx = fs.distance(s, t, &FaultSet::empty());
+            let (Some(a), Some(e)) = (approx.finite(), exact.finite()) else {
+                panic!("tree is connected");
+            };
+            assert!(a >= e && f64::from(a) <= 2.0 * f64::from(e));
+        }
+    }
+}
+
+/// Weighted fault semantics: failing a weighted edge must not affect other
+/// edges sharing its endpoints.
+#[test]
+fn weighted_edge_fault_is_isolated() {
+    // Multigraph-like shape: two distinct weighted routes between the same
+    // endpoints through different middle vertices.
+    let edges = &[(0u32, 1u32, 2u32), (1, 3, 2), (0, 2, 3), (2, 3, 3)];
+    let oracle = WeightedOracle::new(4, edges, 1.0);
+    let f = WeightedFaults {
+        vertices: vec![],
+        edges: vec![(NodeId::new(0), NodeId::new(1))],
+    };
+    let d = oracle.distance(NodeId::new(0), NodeId::new(3), &f);
+    assert_eq!(d.finite(), Some(6), "the 0-2-3 route must survive intact");
+}
+
+/// Adversarial faults from the cut structure: disconnections are always
+/// detected across the stack (labels, routing).
+#[test]
+fn bridge_faults_disconnect_consistently() {
+    let g = generators::barbell(4, 2);
+    let cs = fsdl::graph::cut::cut_structure(&g);
+    assert!(!cs.bridges.is_empty());
+    let oracle = ForbiddenSetOracle::new(&g, 1.0);
+    let net = Network::new(&g, 1.0);
+    for e in &cs.bridges {
+        let f = FaultSet::from_edges(&g, [(e.lo(), e.hi())]);
+        // Endpoints of the bridge land in different components.
+        let truth = bfs::pair_distance_avoiding(&g, e.lo(), e.hi(), &f);
+        assert!(truth.is_infinite());
+        assert!(!oracle.connected(e.lo(), e.hi(), &f));
+        assert!(net.route(e.lo(), e.hi(), &f).is_err());
+    }
+}

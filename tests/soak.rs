@@ -1,0 +1,105 @@
+//! Long-running randomized soak tests (run with `cargo test -- --ignored`).
+//!
+//! These extend the per-crate property tests with larger instances and more
+//! rounds; they are `#[ignore]`d so the default `cargo test` stays fast, and
+//! they run in the pre-release checklist.
+
+use fsdl::baselines::ExactOracle;
+use fsdl::graph::{generators, FaultSet, Graph, NodeId};
+use fsdl::labels::ForbiddenSetOracle;
+use fsdl::routing::Network;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn soak_one(g: &Graph, eps: f64, rounds: usize, max_faults: usize, seed: u64) {
+    let n = g.num_vertices();
+    let oracle = ForbiddenSetOracle::new(g, eps);
+    let exact = ExactOracle::new(g);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for round in 0..rounds {
+        let s = NodeId::from_index(rng.gen_range(0..n));
+        let t = NodeId::from_index(rng.gen_range(0..n));
+        let mut f = FaultSet::empty();
+        let budget = rng.gen_range(0..=max_faults);
+        while f.len() < budget {
+            if rng.gen_bool(0.75) {
+                let v = NodeId::from_index(rng.gen_range(0..n));
+                if v != s && v != t {
+                    f.forbid_vertex(v);
+                }
+            } else {
+                let v = NodeId::from_index(rng.gen_range(0..n));
+                let nbrs = g.neighbors(v);
+                if !nbrs.is_empty() {
+                    let w = NodeId::new(nbrs[rng.gen_range(0..nbrs.len())]);
+                    f.forbid_edge_unchecked(v, w);
+                }
+            }
+        }
+        let answer = oracle.distance(s, t, &f);
+        let truth = exact.distance(s, t, &f);
+        match truth.finite() {
+            None => assert!(answer.is_infinite(), "round {round}: invented path"),
+            Some(td) => {
+                let ad = answer
+                    .finite()
+                    .unwrap_or_else(|| panic!("round {round}: spurious disconnection {s}->{t}"));
+                assert!(ad >= td, "round {round}: unsound {ad} < {td}");
+                assert!(
+                    f64::from(ad) <= (1.0 + eps) * f64::from(td) + 1e-9,
+                    "round {round}: stretch {ad}/{td}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+#[ignore = "soak test; run with --ignored"]
+fn soak_grid_20x20() {
+    soak_one(&generators::grid2d(20, 20), 1.0, 300, 12, 0x50AC)
+}
+
+#[test]
+#[ignore = "soak test; run with --ignored"]
+fn soak_cycle_512() {
+    soak_one(&generators::cycle(512), 0.5, 300, 10, 2)
+}
+
+#[test]
+#[ignore = "soak test; run with --ignored"]
+fn soak_udg_400() {
+    let g = generators::random_geometric(400, 0.085, 77);
+    soak_one(&g, 1.0, 200, 8, 3)
+}
+
+#[test]
+#[ignore = "soak test; run with --ignored"]
+fn soak_tree_781() {
+    soak_one(&generators::balanced_tree(5, 4), 2.0, 200, 10, 4)
+}
+
+#[test]
+#[ignore = "soak test; run with --ignored"]
+fn soak_routing_grid() {
+    let g = generators::grid2d(12, 12);
+    let net = Network::new(&g, 1.0);
+    let mut rng = StdRng::seed_from_u64(9);
+    for _ in 0..150 {
+        let s = NodeId::from_index(rng.gen_range(0..144));
+        let t = NodeId::from_index(rng.gen_range(0..144));
+        let mut f = FaultSet::empty();
+        for _ in 0..rng.gen_range(0..8) {
+            let v = NodeId::from_index(rng.gen_range(0..144));
+            if v != s && v != t {
+                f.forbid_vertex(v);
+            }
+        }
+        if let Ok(d) = net.route(s, t, &f) {
+            for w in d.path.windows(2) {
+                assert!(g.has_edge(w[0], w[1]));
+                assert!(!f.blocks_traversal(w[0], w[1]));
+            }
+        }
+    }
+}
