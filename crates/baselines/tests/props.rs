@@ -4,58 +4,53 @@
 
 use fsdl_baselines::{HubLabeling, TreeOracle};
 use fsdl_graph::{bfs, FaultSet, Graph, GraphBuilder, NodeId};
-use proptest::prelude::*;
+use fsdl_testkit::Rng;
 
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    (1usize..24).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..40).prop_map(move |pairs| {
-            let mut b = GraphBuilder::new(n);
-            for (a, c) in pairs {
-                if a != c {
-                    b.add_edge(a, c).expect("in range");
-                }
-            }
-            b.build()
-        })
-    })
+fn random_graph(rng: &mut Rng) -> Graph {
+    let n = rng.gen_range(1usize..24);
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..rng.gen_range(0..40usize) {
+        let a = rng.gen_range(0..n as u32);
+        let c = rng.gen_range(0..n as u32);
+        if a != c {
+            b.add_edge(a, c).expect("in range");
+        }
+    }
+    b.build()
 }
 
-fn arb_tree() -> impl Strategy<Value = Graph> {
-    (1usize..30).prop_flat_map(|n| {
-        proptest::collection::vec(0usize..30, n.saturating_sub(1)).prop_map(move |parents| {
-            let mut b = GraphBuilder::new(n);
-            for (i, p) in parents.iter().enumerate().take(n - 1) {
-                let child = i + 1;
-                b.add_edge((p % child) as u32, child as u32)
-                    .expect("in range");
-            }
-            b.build()
-        })
-    })
+fn random_tree(rng: &mut Rng) -> Graph {
+    let n = rng.gen_range(1usize..30);
+    let mut b = GraphBuilder::new(n);
+    for child in 1..n {
+        let p = rng.gen_range(0..child);
+        b.add_edge(p as u32, child as u32).expect("in range");
+    }
+    b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn hub_labels_exact_on_arbitrary_graphs(g in arb_graph(), s in 0u32..24, t in 0u32..24) {
+#[test]
+fn hub_labels_exact_on_arbitrary_graphs() {
+    fsdl_testkit::check("hub_labels_exact_on_arbitrary_graphs", 32, |rng| {
+        let g = random_graph(rng);
         let n = g.num_vertices() as u32;
-        let (s, t) = (NodeId::new(s % n), NodeId::new(t % n));
+        let s = NodeId::new(rng.gen_range(0..n));
+        let t = NodeId::new(rng.gen_range(0..n));
         let hl = HubLabeling::build(&g);
         let got = HubLabeling::query(&hl.label_of(s), &hl.label_of(t));
         let truth = bfs::pair_distance_avoiding(&g, s, t, &FaultSet::empty());
-        prop_assert_eq!(got, truth);
-    }
+        assert_eq!(got, truth);
+    });
+}
 
-    #[test]
-    fn tree_labels_exact_under_any_single_fault(
-        tree in arb_tree(),
-        s in 0u32..30,
-        t in 0u32..30,
-        f in 0u32..30,
-    ) {
+#[test]
+fn tree_labels_exact_under_any_single_fault() {
+    fsdl_testkit::check("tree_labels_exact_under_any_single_fault", 32, |rng| {
+        let tree = random_tree(rng);
         let n = tree.num_vertices() as u32;
-        let (s, t, f) = (NodeId::new(s % n), NodeId::new(t % n), NodeId::new(f % n));
+        let s = NodeId::new(rng.gen_range(0..n));
+        let t = NodeId::new(rng.gen_range(0..n));
+        let f = NodeId::new(rng.gen_range(0..n));
         let oracle = TreeOracle::new(&tree);
         let faults = FaultSet::from_vertices([f]);
         let got = oracle.distance(s, t, &faults);
@@ -64,35 +59,37 @@ proptest! {
         } else {
             bfs::pair_distance_avoiding(&tree, s, t, &faults)
         };
-        prop_assert_eq!(got, truth);
-    }
+        assert_eq!(got, truth);
+    });
+}
 
-    #[test]
-    fn tree_labels_exact_under_edge_fault(
-        tree in arb_tree(),
-        s in 0u32..30,
-        t in 0u32..30,
-        e_pick in 0usize..40,
-    ) {
+#[test]
+fn tree_labels_exact_under_edge_fault() {
+    fsdl_testkit::check("tree_labels_exact_under_edge_fault", 32, |rng| {
+        let tree = random_tree(rng);
         let edges: Vec<_> = tree.edges().collect();
         if edges.is_empty() {
-            return Ok(());
+            return;
         }
         let n = tree.num_vertices() as u32;
-        let (s, t) = (NodeId::new(s % n), NodeId::new(t % n));
-        let e = edges[e_pick % edges.len()];
+        let s = NodeId::new(rng.gen_range(0..n));
+        let t = NodeId::new(rng.gen_range(0..n));
+        let e = edges[rng.gen_range(0..edges.len())];
         let oracle = TreeOracle::new(&tree);
         let faults = FaultSet::from_edges(&tree, [(e.lo(), e.hi())]);
         let got = oracle.distance(s, t, &faults);
         let truth = bfs::pair_distance_avoiding(&tree, s, t, &faults);
-        prop_assert_eq!(got, truth);
-    }
+        assert_eq!(got, truth);
+    });
+}
 
-    #[test]
-    fn hub_label_sizes_bounded_by_n(g in arb_graph()) {
+#[test]
+fn hub_label_sizes_bounded_by_n() {
+    fsdl_testkit::check("hub_label_sizes_bounded_by_n", 32, |rng| {
         // Sanity: no label ever exceeds n entries (every hub distinct).
+        let g = random_graph(rng);
         let hl = HubLabeling::build(&g);
         let (_, max) = hl.size_stats();
-        prop_assert!(max <= g.num_vertices());
-    }
+        assert!(max <= g.num_vertices());
+    });
 }

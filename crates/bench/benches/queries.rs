@@ -11,11 +11,10 @@ use fsdl_baselines::ExactOracle;
 use fsdl_bench::measure::random_faults;
 use fsdl_graph::{generators, FaultSet, Graph, NodeId};
 use fsdl_labels::ForbiddenSetOracle;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fsdl_testkit::Rng;
 
 fn fixed_cases(g: &Graph, nf: usize, rounds: usize) -> Vec<(NodeId, NodeId, FaultSet)> {
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = Rng::seed_from_u64(42);
     let n = g.num_vertices();
     (0..rounds)
         .map(|k| {

@@ -13,8 +13,7 @@
 use fsdl_bench::tables::{f1, f3, Table};
 use fsdl_graph::{bfs, generators, NodeId};
 use fsdl_routing::{Network, RecoverySim, RouteFailure};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fsdl_testkit::Rng;
 
 fn main() {
     println!("Experiment T11: fast recovery by probing + piggybacking\n");
@@ -22,7 +21,7 @@ fn main() {
     let g = generators::grid2d(10, 10);
     let n = g.num_vertices();
     let mut sim = RecoverySim::new(Network::new(&g, 1.0));
-    let mut rng = StdRng::seed_from_u64(0x11EC);
+    let mut rng = Rng::seed_from_u64(0x11EC);
 
     let mut table = Table::new(
         "grid-10x10: 8 epochs x 25 packets; 4 routers fail after epoch 2",

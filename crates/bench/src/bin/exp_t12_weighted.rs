@@ -13,13 +13,12 @@ use std::collections::BinaryHeap;
 use fsdl_bench::tables::{f3, Table};
 use fsdl_graph::{generators, NodeId};
 use fsdl_labels::{WeightedFaults, WeightedOracle};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fsdl_testkit::Rng;
 
 /// Weighted grid: the `w × h` mesh with uniform random weights in `1..=max_w`.
 fn weighted_grid(w: usize, h: usize, max_w: u32, seed: u64) -> (usize, Vec<(u32, u32, u32)>) {
     let g = generators::grid2d(w, h);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let edges = g
         .edges()
         .map(|e| (e.lo().raw(), e.hi().raw(), rng.gen_range(1..=max_w)))
@@ -74,7 +73,7 @@ fn main() {
     for max_w in [1u32, 2, 3, 4] {
         let (n, edges) = weighted_grid(8, 8, max_w, 0xE16);
         let oracle = WeightedOracle::new(n, &edges, 1.0);
-        let mut rng = StdRng::seed_from_u64(max_w as u64);
+        let mut rng = Rng::seed_from_u64(max_w as u64);
         let mut max_stretch: f64 = 1.0;
         let mut sum = 0.0;
         let mut checked = 0usize;

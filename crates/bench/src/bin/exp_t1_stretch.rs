@@ -13,8 +13,7 @@ use fsdl_bench::tables::{f3, Table};
 use fsdl_bench::workloads::{audit, stretch_suite};
 use fsdl_graph::NodeId;
 use fsdl_labels::ForbiddenSetOracle;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fsdl_testkit::Rng;
 
 fn main() {
     println!("Experiment T1: forbidden-set (1+eps) stretch (Theorem 2.1)\n");
@@ -86,7 +85,7 @@ fn main() {
     for w in stretch_suite() {
         let exact = ExactOracle::new(&w.graph);
         let oblivious = FaultObliviousBaseline::new(&w.graph, 1.0);
-        let mut rng = StdRng::seed_from_u64(0xBAD);
+        let mut rng = Rng::seed_from_u64(0xBAD);
         for &nf in &[1usize, 4] {
             let mut violations = 0usize;
             let rounds = 40usize;

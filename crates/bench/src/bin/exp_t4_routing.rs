@@ -12,8 +12,7 @@ use fsdl_bench::tables::{f1, f3, Table};
 use fsdl_bench::workloads::stretch_suite;
 use fsdl_graph::{bfs, NodeId};
 use fsdl_routing::{Network, RouteFailure};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fsdl_testkit::Rng;
 
 fn main() {
     println!("Experiment T4: forbidden-set routing (Theorem 2.7)\n");
@@ -33,7 +32,7 @@ fn main() {
     );
     for w in stretch_suite() {
         let net = Network::new(&w.graph, eps);
-        let mut rng = StdRng::seed_from_u64(0x2077);
+        let mut rng = Rng::seed_from_u64(0x2077);
         for &nf in &[0usize, 2, 6] {
             let mut delivered = 0usize;
             let mut unreachable = 0usize;

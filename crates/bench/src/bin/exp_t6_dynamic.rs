@@ -14,8 +14,7 @@ use fsdl_baselines::ExactOracle;
 use fsdl_bench::tables::{f1, Table};
 use fsdl_graph::{generators, NodeId};
 use fsdl_labels::DynamicOracle;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fsdl_testkit::Rng;
 
 fn main() {
     println!("Experiment T6: fully dynamic oracle (buffer + rebuild)\n");
@@ -38,7 +37,7 @@ fn main() {
 
     for &threshold in &[1usize, 4, 16, sqrt_n, 64] {
         let mut oracle = DynamicOracle::with_threshold(&g, 1.0, threshold);
-        let mut rng = StdRng::seed_from_u64(0xD1CE);
+        let mut rng = Rng::seed_from_u64(0xD1CE);
         let mut update_time = 0.0f64;
         let mut deleted: Vec<NodeId> = Vec::new();
         let updates = 60usize;
@@ -47,11 +46,11 @@ fn main() {
             if !deleted.is_empty() && rng.gen_bool(0.3) {
                 let k = rng.gen_range(0..deleted.len());
                 let v = deleted.swap_remove(k);
-                oracle.restore_vertex(v);
+                oracle.restore_vertex(v).expect("v was deleted");
             } else {
                 let v = NodeId::from_index(rng.gen_range(0..n));
                 if !deleted.contains(&v) {
-                    oracle.delete_vertex(v);
+                    oracle.delete_vertex(v).expect("v in range");
                     deleted.push(v);
                 }
             }

@@ -19,8 +19,7 @@ use fsdl_bench::tables::{f1, f3, Table};
 use fsdl_graph::{bfs, generators, FaultSet, NodeId, SketchGraph};
 use fsdl_labels::ForbiddenSetOracle;
 use fsdl_nets::Spanner;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fsdl_testkit::Rng;
 
 fn main() {
     println!("Experiment T9: related-work comparison\n");
@@ -46,7 +45,7 @@ fn main() {
         let ct = TreeOracle::new(&tree);
         let (ct_mean, _) = ct.labeling().size_stats(n);
         // Spot-check CT exactness under faults.
-        let mut rng = StdRng::seed_from_u64(0x7E57);
+        let mut rng = Rng::seed_from_u64(0x7E57);
         let mut all_exact = true;
         for _ in 0..30 {
             let s = NodeId::from_index(rng.gen_range(0..n));
@@ -84,7 +83,7 @@ fn main() {
     let g = generators::grid2d(9, 9);
     let spanner = Spanner::build(&g, 1.0);
     let oracle = ForbiddenSetOracle::new(&g, 1.0);
-    let mut rng = StdRng::seed_from_u64(0x5A);
+    let mut rng = Rng::seed_from_u64(0x5A);
     for &nf in &[1usize, 4] {
         let mut spanner_worst: f64 = 1.0;
         let mut label_worst: f64 = 1.0;
@@ -138,7 +137,7 @@ fn main() {
         let n = g.num_vertices();
         let hl = HubLabeling::build(&g);
         // Spot-check exactness.
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let mut exact_ok = true;
         for _ in 0..40 {
             let s = NodeId::from_index(rng.gen_range(0..n));

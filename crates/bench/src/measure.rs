@@ -5,8 +5,7 @@ use std::time::Instant;
 use fsdl_baselines::ExactOracle;
 use fsdl_graph::{FaultSet, Graph, NodeId};
 use fsdl_labels::ForbiddenSetOracle;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fsdl_testkit::Rng;
 
 /// Aggregated stretch statistics over a batch of queries.
 #[derive(Clone, Copy, Debug, Default)]
@@ -26,7 +25,7 @@ pub struct StretchStats {
 
 /// Samples a fault set of `size` elements (`vertex_bias` fraction vertices,
 /// rest edges) avoiding `s`/`t` as fault vertices.
-pub fn random_faults(g: &Graph, size: usize, s: NodeId, t: NodeId, rng: &mut StdRng) -> FaultSet {
+pub fn random_faults(g: &Graph, size: usize, s: NodeId, t: NodeId, rng: &mut Rng) -> FaultSet {
     let n = g.num_vertices();
     let mut f = FaultSet::empty();
     let mut attempts = 0;
@@ -64,7 +63,7 @@ pub fn measure_stretch(
     seed: u64,
 ) -> StretchStats {
     let exact = ExactOracle::new(g);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let n = g.num_vertices();
     let mut stats = StretchStats {
         max_stretch: 1.0,
@@ -160,7 +159,7 @@ pub fn measure_stretch_adversarial(
     seed: u64,
 ) -> StretchStats {
     let exact = ExactOracle::new(g);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let n = g.num_vertices();
     let mut stats = StretchStats {
         max_stretch: 1.0,
@@ -258,7 +257,7 @@ pub fn measure_query_time(
     rounds: usize,
     seed: u64,
 ) -> (f64, f64, f64) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let n = g.num_vertices();
     // Pre-materialize every label we'll use so only decoding is timed.
     let cases: Vec<(NodeId, NodeId, FaultSet)> = (0..rounds)
@@ -300,7 +299,7 @@ pub fn measure_query_time(
 /// microseconds per query.
 pub fn measure_exact_time(g: &Graph, fault_count: usize, rounds: usize, seed: u64) -> f64 {
     let exact = ExactOracle::new(g);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let n = g.num_vertices();
     let cases: Vec<(NodeId, NodeId, FaultSet)> = (0..rounds)
         .map(|_| {
@@ -372,7 +371,7 @@ mod tests {
     #[test]
     fn random_faults_avoid_endpoints() {
         let g = generators::path(30);
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Rng::seed_from_u64(9);
         let f = random_faults(&g, 5, NodeId::new(0), NodeId::new(29), &mut rng);
         assert!(!f.is_vertex_faulty(NodeId::new(0)));
         assert!(!f.is_vertex_faulty(NodeId::new(29)));

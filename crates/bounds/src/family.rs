@@ -9,8 +9,7 @@
 //! `Ω(2^{α/2})`-bit labels for forbidden-set connectivity.
 
 use fsdl_graph::{generators, Graph, GraphBuilder, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fsdl_testkit::Rng;
 
 /// The lower-bound family `F_{n,α}` with parameters `(p, d)`.
 ///
@@ -117,7 +116,7 @@ impl LowerBoundFamily {
 
     /// Samples a uniform member: `H` plus an independent coin per free edge.
     pub fn random_member(&self, seed: u64) -> Graph {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         self.member_from_bits(|_| rng.gen_bool(0.5))
     }
 

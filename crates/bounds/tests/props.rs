@@ -2,88 +2,91 @@
 
 use fsdl_bounds::{everywhere_failure, find_path_label_collision, LowerBoundFamily};
 use fsdl_graph::{bfs, FaultSet, NodeId};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn family_members_are_2_spanners(p in 2usize..4, seed in 0u64..50) {
+#[test]
+fn family_members_are_2_spanners() {
+    fsdl_testkit::check("family_members_are_2_spanners", 16, |rng| {
         // Every member contains H_{p,d}, a 2-spanner of G_{p,d}; so member
         // distances are within 2x of G distances.
+        let p = rng.gen_range(2usize..4);
+        let seed = rng.gen_range(0u64..50);
         let fam = LowerBoundFamily::new(p, 2);
         let member = fam.random_member(seed);
         let g = fam.full_graph();
         for e in g.edges() {
             let d = bfs::pair_distance_avoiding(&member, e.lo(), e.hi(), &FaultSet::empty());
-            prop_assert!(d.finite().unwrap_or(u32::MAX) <= 2, "edge {} stretched", e);
+            assert!(d.finite().unwrap_or(u32::MAX) <= 2, "edge {e} stretched");
         }
-    }
+    });
+}
 
-    #[test]
-    fn member_bits_bijection(p in 2usize..4, mask in 0u64..256) {
+#[test]
+fn member_bits_bijection() {
+    fsdl_testkit::check("member_bits_bijection", 16, |rng| {
         // Distinct bit patterns give distinct members (the counting
         // argument's injection).
+        let p = rng.gen_range(2usize..4);
+        let mask = rng.gen_range(0u64..256);
         let fam = LowerBoundFamily::new(p, 2);
         let k = fam.log2_size().min(8);
         let m1 = fam.member_from_bits(|i| i < k && (mask >> i) & 1 == 1);
         let m2 = fam.member_from_bits(|i| i < k && (mask >> i) & 1 == 0);
         if k > 0 {
-            prop_assert_ne!(&m1, &m2);
+            assert_ne!(&m1, &m2);
         }
-        prop_assert!(fam.contains(&m1));
-        prop_assert!(fam.contains(&m2));
-    }
+        assert!(fam.contains(&m1));
+        assert!(fam.contains(&m2));
+    });
+}
 
-    #[test]
-    fn everywhere_failure_query_decides_adjacency(
-        p in 2usize..4,
-        seed in 0u64..20,
-        i in 0u32..9,
-        j in 0u32..9,
-    ) {
+#[test]
+fn everywhere_failure_query_decides_adjacency() {
+    fsdl_testkit::check("everywhere_failure_query_decides_adjacency", 16, |rng| {
+        let p = rng.gen_range(2usize..4);
+        let seed = rng.gen_range(0u64..20);
         let fam = LowerBoundFamily::new(p, 2);
         let n = fam.num_vertices() as u32;
-        let (i, j) = (i % n, j % n);
+        let i = rng.gen_range(0u32..9) % n;
+        let j = rng.gen_range(0u32..9) % n;
         if i == j {
-            return Ok(());
+            return;
         }
         let member = fam.random_member(seed);
         let f = everywhere_failure(n as usize, NodeId::new(i), NodeId::new(j));
-        let connected = bfs::pair_distance_avoiding(
-            &member,
-            NodeId::new(i),
-            NodeId::new(j),
-            &f,
-        )
-        .is_finite();
-        prop_assert_eq!(connected, member.has_edge(NodeId::new(i), NodeId::new(j)));
-    }
+        let connected =
+            bfs::pair_distance_avoiding(&member, NodeId::new(i), NodeId::new(j), &f).is_finite();
+        assert_eq!(connected, member.has_edge(NodeId::new(i), NodeId::new(j)));
+    });
+}
 
-    #[test]
-    fn collision_detector_finds_planted_collisions(
-        n in 4usize..20,
-        x in 0usize..20,
-        gap in 2usize..6,
-    ) {
-        let x = x % n;
+#[test]
+fn collision_detector_finds_planted_collisions() {
+    fsdl_testkit::check("collision_detector_finds_planted_collisions", 16, |rng| {
+        let n = rng.gen_range(4usize..20);
+        let x = rng.gen_range(0usize..20) % n;
+        let gap = rng.gen_range(2usize..6);
         let y = x + gap;
         if y >= n {
-            return Ok(());
+            return;
         }
         let mut labels: Vec<Vec<u8>> = (0..n).map(|k| vec![k as u8, 1]).collect();
         labels[y] = labels[x].clone();
         // The planted pair is non-adjacent; at least one is internal unless
         // (x, y) = (0, n-1).
         if x == 0 && y == n - 1 {
-            return Ok(());
+            return;
         }
-        prop_assert!(find_path_label_collision(&labels).is_some());
-    }
+        assert!(find_path_label_collision(&labels).is_some());
+    });
+}
 
-    #[test]
-    fn no_false_collisions(n in 2usize..30) {
-        let labels: Vec<Vec<u8>> = (0..n).map(|k| vec![(k / 256) as u8, (k % 256) as u8]).collect();
-        prop_assert_eq!(find_path_label_collision(&labels), None);
-    }
+#[test]
+fn no_false_collisions() {
+    fsdl_testkit::check("no_false_collisions", 16, |rng| {
+        let n = rng.gen_range(2usize..30);
+        let labels: Vec<Vec<u8>> = (0..n)
+            .map(|k| vec![(k / 256) as u8, (k % 256) as u8])
+            .collect();
+        assert_eq!(find_path_label_collision(&labels), None);
+    });
 }

@@ -11,8 +11,7 @@
 //! really has the doubling dimension its generator advertises before
 //! attributing measured label sizes to `α`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fsdl_testkit::Rng;
 
 use crate::bfs::{self, BfsScratch};
 use crate::csr::Graph;
@@ -111,7 +110,7 @@ pub fn estimate_dimension(g: &Graph, config: &DoublingConfig) -> DoublingEstimat
             samples: 0,
         };
     }
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let mut scratch = BfsScratch::new(n);
     let ecc = bfs::eccentricity(g, NodeId::new(0)).unwrap_or(0).max(1);
     let mut worst_cover = 1usize;

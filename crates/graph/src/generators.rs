@@ -11,8 +11,7 @@
 //! All randomized generators take an explicit seed and are fully
 //! deterministic.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fsdl_testkit::Rng;
 
 use crate::csr::{Graph, GraphBuilder};
 
@@ -160,7 +159,7 @@ pub fn caterpillar(spine: usize, legs: usize) -> Graph {
 /// Panics if `n == 0`.
 pub fn random_tree(n: usize, seed: u64) -> Graph {
     assert!(n > 0, "tree needs at least one vertex");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     for i in 1..n {
         let parent = rng.gen_range(0..i);
@@ -418,7 +417,7 @@ pub fn hypercube(d: usize) -> Graph {
 pub fn erdos_renyi(n: usize, prob: f64, seed: u64) -> Graph {
     assert!(n > 0, "graph needs at least one vertex");
     assert!((0.0..=1.0).contains(&prob), "probability out of range");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     for i in 0..n {
         for j in (i + 1)..n {
@@ -454,10 +453,8 @@ pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
         radius > 0.0 && radius <= 0.5,
         "radius must be in (0, 0.5] on the unit torus"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
-    let pts: Vec<(f64, f64)> = (0..n)
-        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
-        .collect();
+    let mut rng = Rng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen_f64(), rng.gen_f64())).collect();
     // Cell list: cells of side >= radius so neighbors are within one ring.
     let cells_per_side = ((1.0 / radius).floor() as usize).max(1);
     let cell_of = |x: f64, y: f64| -> (usize, usize) {
@@ -634,7 +631,7 @@ pub fn road_network(w: usize, h: usize, removal_rate: f64, seed: u64) -> Graph {
         (0.0..=0.5).contains(&removal_rate),
         "removal rate out of range"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let base = grid2d(w, h);
     // Tentatively drop each edge with the given probability, keeping the
     // graph connected by checking each removal against a union-find over
@@ -937,10 +934,8 @@ mod tests {
         let r = 0.12;
         let g = random_geometric(n, r, 99);
         // Rebuild by brute force with the same point sequence.
-        let mut rng = StdRng::seed_from_u64(99);
-        let pts: Vec<(f64, f64)> = (0..n)
-            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
-            .collect();
+        let mut rng = Rng::seed_from_u64(99);
+        let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen_f64(), rng.gen_f64())).collect();
         let torus_d2 = |a: (f64, f64), b: (f64, f64)| -> f64 {
             let dx = (a.0 - b.0).abs();
             let dy = (a.1 - b.1).abs();

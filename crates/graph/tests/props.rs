@@ -4,239 +4,277 @@ use std::collections::HashSet;
 
 use fsdl_graph::bfs::{self, BfsScratch};
 use fsdl_graph::{connectivity, generators, io, Dist, FaultSet, Graph, GraphBuilder, NodeId};
-use proptest::prelude::*;
+use fsdl_testkit::Rng;
 
-/// Strategy: a random graph as (n, edge list) with n in [1, 40].
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    (1usize..40).prop_flat_map(|n| {
-        let max_edges = n * (n.saturating_sub(1)) / 2;
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges.min(80)).prop_map(
-            move |pairs| {
-                let mut b = GraphBuilder::new(n);
-                for (a, c) in pairs {
-                    if a != c {
-                        b.add_edge(a, c).expect("in range");
-                    }
-                }
-                b.build()
-            },
-        )
-    })
+/// A random graph as (n, edge list) with n in [1, 40].
+fn random_graph(rng: &mut Rng) -> Graph {
+    let n = rng.gen_range(1usize..40);
+    let max_edges = (n * n.saturating_sub(1) / 2).min(80);
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..rng.gen_range(0..=max_edges) {
+        let a = rng.gen_range(0..n as u32);
+        let c = rng.gen_range(0..n as u32);
+        if a != c {
+            b.add_edge(a, c).expect("in range");
+        }
+    }
+    b.build()
 }
 
-proptest! {
-    #[test]
-    fn csr_adjacency_is_symmetric(g in arb_graph()) {
+#[test]
+fn csr_adjacency_is_symmetric() {
+    fsdl_testkit::check("csr_adjacency_is_symmetric", 256, |rng| {
+        let g = random_graph(rng);
         for v in g.vertices() {
             for w in g.neighbor_ids(v) {
-                prop_assert!(g.has_edge(w, v), "asymmetric edge {v}-{w}");
+                assert!(g.has_edge(w, v), "asymmetric edge {v}-{w}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn csr_degree_sums_to_twice_edges(g in arb_graph()) {
+#[test]
+fn csr_degree_sums_to_twice_edges() {
+    fsdl_testkit::check("csr_degree_sums_to_twice_edges", 256, |rng| {
+        let g = random_graph(rng);
         let sum: usize = g.vertices().map(|v| g.degree(v)).sum();
-        prop_assert_eq!(sum, 2 * g.num_edges());
-    }
+        assert_eq!(sum, 2 * g.num_edges());
+    });
+}
 
-    #[test]
-    fn neighbors_sorted_and_unique(g in arb_graph()) {
+#[test]
+fn neighbors_sorted_and_unique() {
+    fsdl_testkit::check("neighbors_sorted_and_unique", 256, |rng| {
+        let g = random_graph(rng);
         for v in g.vertices() {
             let nbrs = g.neighbors(v);
-            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
+            assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
         }
-    }
+    });
+}
 
-    #[test]
-    fn ports_bijective(g in arb_graph()) {
+#[test]
+fn ports_bijective() {
+    fsdl_testkit::check("ports_bijective", 256, |rng| {
+        let g = random_graph(rng);
         for v in g.vertices() {
             for (port, w) in g.neighbor_ids(v).enumerate() {
-                prop_assert_eq!(g.port_of(v, w), Some(port));
-                prop_assert_eq!(g.neighbor_at_port(v, port), Some(w));
+                assert_eq!(g.port_of(v, w), Some(port));
+                assert_eq!(g.neighbor_at_port(v, port), Some(w));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn bfs_distances_satisfy_edge_lipschitz(g in arb_graph()) {
+#[test]
+fn bfs_distances_satisfy_edge_lipschitz() {
+    fsdl_testkit::check("bfs_distances_satisfy_edge_lipschitz", 256, |rng| {
         // |d(s,u) - d(s,w)| <= 1 for every edge (u, w).
+        let g = random_graph(rng);
         let s = NodeId::new(0);
         let d = bfs::distances(&g, s);
         for e in g.edges() {
             match (d[e.lo().index()].finite(), d[e.hi().index()].finite()) {
-                (Some(a), Some(b)) => prop_assert!(a.abs_diff(b) <= 1),
+                (Some(a), Some(b)) => assert!(a.abs_diff(b) <= 1),
                 (None, None) => {}
-                _ => prop_assert!(false, "edge spans reachable/unreachable"),
+                _ => panic!("edge spans reachable/unreachable"),
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn bfs_symmetry(g in arb_graph()) {
+#[test]
+fn bfs_symmetry() {
+    fsdl_testkit::check("bfs_symmetry", 256, |rng| {
         // d(u, v) == d(v, u) on undirected graphs.
+        let g = random_graph(rng);
         let n = g.num_vertices();
         let u = NodeId::new(0);
         let v = NodeId::from_index(n - 1);
         let duv = bfs::pair_distance_avoiding(&g, u, v, &FaultSet::empty());
         let dvu = bfs::pair_distance_avoiding(&g, v, u, &FaultSet::empty());
-        prop_assert_eq!(duv, dvu);
-    }
+        assert_eq!(duv, dvu);
+    });
+}
 
-    #[test]
-    fn bfs_triangle_inequality(g in arb_graph(), seed in 0u64..1000) {
-        let n = g.num_vertices() as u64;
-        let a = NodeId::from_index((seed % n) as usize);
-        let b = NodeId::from_index(((seed / 7) % n) as usize);
-        let c = NodeId::from_index(((seed / 49) % n) as usize);
+#[test]
+fn bfs_triangle_inequality() {
+    fsdl_testkit::check("bfs_triangle_inequality", 256, |rng| {
+        let g = random_graph(rng);
+        let n = g.num_vertices();
+        let a = NodeId::from_index(rng.gen_range(0..n));
+        let b = NodeId::from_index(rng.gen_range(0..n));
+        let c = NodeId::from_index(rng.gen_range(0..n));
         let dab = bfs::pair_distance_avoiding(&g, a, b, &FaultSet::empty());
         let dbc = bfs::pair_distance_avoiding(&g, b, c, &FaultSet::empty());
         let dac = bfs::pair_distance_avoiding(&g, a, c, &FaultSet::empty());
-        prop_assert!(dac <= dab.saturating_add(dbc));
-    }
+        assert!(dac <= dab.saturating_add(dbc));
+    });
+}
 
-    #[test]
-    fn ball_equals_filtered_distances(g in arb_graph(), radius in 0u32..10) {
+#[test]
+fn ball_equals_filtered_distances() {
+    fsdl_testkit::check("ball_equals_filtered_distances", 256, |rng| {
+        let g = random_graph(rng);
+        let radius = rng.gen_range(0u32..10);
         let src = NodeId::new(0);
         let d = bfs::distances(&g, src);
         let mut scratch = BfsScratch::new(g.num_vertices());
         let members = bfs::ball(&g, src, radius, &mut scratch);
-        let got: HashSet<(u32, u32)> =
-            members.iter().map(|m| (m.vertex.raw(), m.dist)).collect();
+        let got: HashSet<(u32, u32)> = members.iter().map(|m| (m.vertex.raw(), m.dist)).collect();
         let expected: HashSet<(u32, u32)> = g
             .vertices()
             .filter_map(|v| d[v.index()].finite().map(|dd| (v.raw(), dd)))
             .filter(|&(_, dd)| dd <= radius)
             .collect();
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected);
+    });
+}
 
-    #[test]
-    fn distances_avoiding_dominate_plain(g in arb_graph(), fault in 0u32..40) {
+#[test]
+fn distances_avoiding_dominate_plain() {
+    fsdl_testkit::check("distances_avoiding_dominate_plain", 256, |rng| {
         // Removing things never shortens distances.
+        let g = random_graph(rng);
         let n = g.num_vertices() as u32;
-        let f = NodeId::new(fault % n);
+        let f = NodeId::new(rng.gen_range(0..n));
         let s = NodeId::new(0);
         if f == s {
-            return Ok(());
+            return;
         }
         let faults = FaultSet::from_vertices([f]);
         let plain = bfs::distances(&g, s);
         let avoiding = bfs::distances_avoiding(&g, s, &faults);
         for v in g.vertices() {
-            prop_assert!(avoiding[v.index()] >= plain[v.index()]);
+            assert!(avoiding[v.index()] >= plain[v.index()]);
         }
-    }
+    });
+}
 
-    #[test]
-    fn shortest_path_has_correct_length(g in arb_graph(), t in 0u32..40) {
+#[test]
+fn shortest_path_has_correct_length() {
+    fsdl_testkit::check("shortest_path_has_correct_length", 256, |rng| {
+        let g = random_graph(rng);
         let n = g.num_vertices() as u32;
         let s = NodeId::new(0);
-        let t = NodeId::new(t % n);
+        let t = NodeId::new(rng.gen_range(0..n));
         let empty = FaultSet::empty();
         let d = bfs::pair_distance_avoiding(&g, s, t, &empty);
         match bfs::shortest_path_avoiding(&g, s, t, &empty) {
             Some(p) => {
-                prop_assert_eq!(Dist::new((p.len() - 1) as u32), d);
+                assert_eq!(Dist::new((p.len() - 1) as u32), d);
                 for w in p.windows(2) {
-                    prop_assert!(g.has_edge(w[0], w[1]));
+                    assert!(g.has_edge(w[0], w[1]));
                 }
             }
-            None => prop_assert!(d.is_infinite()),
+            None => assert!(d.is_infinite()),
         }
-    }
+    });
+}
 
-    #[test]
-    fn io_roundtrip(g in arb_graph()) {
+#[test]
+fn io_roundtrip() {
+    fsdl_testkit::check("io_roundtrip", 256, |rng| {
+        let g = random_graph(rng);
         let s = io::to_string(&g);
         let g2 = io::from_str(&s).expect("roundtrip parse");
-        prop_assert_eq!(g, g2);
-    }
+        assert_eq!(g, g2);
+    });
+}
 
-    #[test]
-    fn union_find_matches_bfs_components(g in arb_graph()) {
+#[test]
+fn union_find_matches_bfs_components() {
+    fsdl_testkit::check("union_find_matches_bfs_components", 256, |rng| {
+        let g = random_graph(rng);
         let labels = connectivity::component_labels(&g);
         let s = NodeId::new(0);
         let d = bfs::distances(&g, s);
         for v in g.vertices() {
-            prop_assert_eq!(
+            assert_eq!(
                 labels[v.index()] == labels[0],
                 d[v.index()].is_finite(),
-                "component disagreement at {}", v
+                "component disagreement at {v}"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn subgraph_preserves_surviving_distances(g in arb_graph(), fault in 0u32..40) {
+#[test]
+fn subgraph_preserves_surviving_distances() {
+    fsdl_testkit::check("subgraph_preserves_surviving_distances", 256, |rng| {
+        let g = random_graph(rng);
         let n = g.num_vertices() as u32;
-        let f = NodeId::new(fault % n);
+        let f = NodeId::new(rng.gen_range(0..n));
         let faults = FaultSet::from_vertices([f]);
         let sub = fsdl_graph::subgraph::remove_faults(&g, &faults);
         let s = NodeId::new(if f.raw() == 0 { n - 1 } else { 0 });
         if sub.map(s).is_none() {
-            return Ok(());
+            return;
         }
         let direct = bfs::distances_avoiding(&g, s, &faults);
         let mapped = bfs::distances(&sub.graph, sub.map(s).expect("survives"));
         for v in g.vertices() {
             if let Some(nv) = sub.map(v) {
-                prop_assert_eq!(direct[v.index()], mapped[nv.index()]);
+                assert_eq!(direct[v.index()], mapped[nv.index()]);
             }
         }
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+#[test]
+fn generators_are_connected() {
+    fsdl_testkit::check("generators_are_connected", 16, |rng| {
+        let n = rng.gen_range(3usize..40);
+        let seed = rng.gen_range(0u64..100);
+        assert!(connectivity::is_connected(&generators::path(n)));
+        assert!(connectivity::is_connected(&generators::cycle(n)));
+        assert!(connectivity::is_connected(&generators::random_tree(
+            n, seed
+        )));
+        assert!(connectivity::is_connected(&generators::star(n)));
+    });
+}
 
-    #[test]
-    fn generators_are_connected(
-        n in 3usize..40,
-        seed in 0u64..100,
-    ) {
-        prop_assert!(connectivity::is_connected(&generators::path(n)));
-        prop_assert!(connectivity::is_connected(&generators::cycle(n)));
-        prop_assert!(connectivity::is_connected(&generators::random_tree(n, seed)));
-        prop_assert!(connectivity::is_connected(&generators::star(n)));
-    }
-
-    #[test]
-    fn grid_distance_is_manhattan(w in 2usize..8, h in 2usize..8) {
+#[test]
+fn grid_distance_is_manhattan() {
+    fsdl_testkit::check("grid_distance_is_manhattan", 16, |rng| {
+        let w = rng.gen_range(2usize..8);
+        let h = rng.gen_range(2usize..8);
         let g = generators::grid2d(w, h);
         let d = bfs::distances(&g, NodeId::new(0));
         for y in 0..h {
             for x in 0..w {
-                prop_assert_eq!(
-                    d[y * w + x].finite(),
-                    Some((x + y) as u32)
-                );
+                assert_eq!(d[y * w + x].finite(), Some((x + y) as u32));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn king_grid_distance_is_chebyshev(w in 2usize..8, h in 2usize..8) {
+#[test]
+fn king_grid_distance_is_chebyshev() {
+    fsdl_testkit::check("king_grid_distance_is_chebyshev", 16, |rng| {
+        let w = rng.gen_range(2usize..8);
+        let h = rng.gen_range(2usize..8);
         let g = generators::king_grid(w, h);
         let d = bfs::distances(&g, NodeId::new(0));
         for y in 0..h {
             for x in 0..w {
-                prop_assert_eq!(
-                    d[y * w + x].finite(),
-                    Some(x.max(y) as u32)
-                );
+                assert_eq!(d[y * w + x].finite(), Some(x.max(y) as u32));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn linf_grid_distance_is_chebyshev_3d(p in 2usize..5) {
+#[test]
+fn linf_grid_distance_is_chebyshev_3d() {
+    fsdl_testkit::check("linf_grid_distance_is_chebyshev_3d", 16, |rng| {
+        let p = rng.gen_range(2usize..5);
         let g = generators::grid_linf(p, 3);
         let d = bfs::distances(&g, NodeId::new(0));
         for (v, dv) in d.iter().enumerate() {
             let coords = generators::grid_coords(v, p, 3);
             let cheb = coords.iter().copied().max().unwrap() as u32;
-            prop_assert_eq!(dv.finite(), Some(cheb));
+            assert_eq!(dv.finite(), Some(cheb));
         }
-    }
+    });
 }

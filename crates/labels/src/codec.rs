@@ -10,29 +10,52 @@
 //!   length code;
 //! * distances, net levels, counts, and edge endpoint indices use the same
 //!   variable-length code (4-bit groups with a continuation bit, LEB128
-//!   style at bit granularity).
+//!   style at bit granularity);
+//! * the payload is followed by a 32-bit FNV-1a checksum over the payload
+//!   bits, and decoding requires the input to end exactly after it.
 //!
 //! `encode → decode` is the identity (property-tested), so reported sizes
 //! are honest: every bit needed to reconstruct the label is counted.
+//!
+//! # Robustness contract
+//!
+//! Labels are a *wire format*: the decoder treats its input as untrusted
+//! bytes. [`decode`] never panics, never loops unboundedly, and never
+//! returns a label that refers to vertices outside the declared graph —
+//! corrupt, truncated, or trailing-garbage inputs yield a typed
+//! [`CodecError`]. The checksum makes silent single-field corruption
+//! (e.g. a flipped distance bit that still parses) vanishingly unlikely;
+//! the structural checks make it impossible for a decoded label to index
+//! out of bounds downstream. This contract is enforced by the corruption
+//! chaos harness (`labels/tests/chaos.rs` and [`crate::corrupt`]).
 
 use fsdl_graph::NodeId;
 
 use crate::label::{Label, LabelPoint, LevelLabel, RealEdge, VirtualEdge};
 
-/// Errors produced when decoding a corrupt or truncated bit string.
+/// Errors produced when encoding to or decoding from a bit string.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CodecError {
-    /// Bit offset at which decoding failed.
+    /// Bit offset at which the operation failed.
     pub bit_offset: usize,
     /// Description of the failure.
     pub message: String,
+}
+
+impl CodecError {
+    fn new(bit_offset: usize, message: impl Into<String>) -> Self {
+        CodecError {
+            bit_offset,
+            message: message.into(),
+        }
+    }
 }
 
 impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "label decode error at bit {}: {}",
+            "label codec error at bit {}: {}",
             self.bit_offset, self.message
         )
     }
@@ -48,7 +71,7 @@ impl std::error::Error for CodecError {}
 /// use fsdl_labels::codec::{BitReader, BitWriter};
 ///
 /// let mut w = BitWriter::new();
-/// w.write_bits(0b101, 3);
+/// w.write_bits(0b101, 3).unwrap();
 /// w.write_varint(300);
 /// let bits = w.len_bits();
 /// let mut r = BitReader::new(w.as_bytes(), bits);
@@ -79,15 +102,34 @@ impl BitWriter {
 
     /// Appends the low `width` bits of `value`, LSB first.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `width > 64` or `value` has bits above `width`.
-    pub fn write_bits(&mut self, value: u64, width: u32) {
-        assert!(width <= 64, "width out of range");
-        assert!(
-            width == 64 || value < (1u64 << width),
-            "value {value} does not fit in {width} bits"
-        );
+    /// Returns a [`CodecError`] (and writes nothing) when `width > 64`
+    /// or `value` has set bits at or above position `width`. This is a
+    /// fallible contract rather than an assertion so encoders handling
+    /// externally supplied field values can surface the problem as a
+    /// typed error instead of a panic.
+    pub fn write_bits(&mut self, value: u64, width: u32) -> Result<(), CodecError> {
+        if width > 64 {
+            return Err(CodecError::new(
+                self.bit_len,
+                format!("write width {width} out of range (max 64)"),
+            ));
+        }
+        if width < 64 && value >= (1u64 << width) {
+            return Err(CodecError::new(
+                self.bit_len,
+                format!("value {value} does not fit in {width} bits"),
+            ));
+        }
+        self.push_bits(value, width);
+        Ok(())
+    }
+
+    /// Appends the low `width` bits of `value` (callers guarantee
+    /// `width <= 64` and that `value` fits).
+    fn push_bits(&mut self, value: u64, width: u32) {
+        debug_assert!(width <= 64);
         for k in 0..width {
             let bit = (value >> k) & 1;
             let pos = self.bit_len;
@@ -102,14 +144,15 @@ impl BitWriter {
     }
 
     /// Appends a variable-length unsigned integer: groups of 4 value bits
-    /// preceded by a continuation bit (5 bits per group).
+    /// preceded by a continuation bit (5 bits per group). Infallible —
+    /// every `u64` has a valid encoding.
     pub fn write_varint(&mut self, mut value: u64) {
         loop {
             let group = value & 0xF;
             value >>= 4;
             let cont = u64::from(value != 0);
-            self.write_bits(cont, 1);
-            self.write_bits(group, 4);
+            self.push_bits(cont, 1);
+            self.push_bits(group, 4);
             if value == 0 {
                 break;
             }
@@ -130,17 +173,30 @@ impl<'a> BitReader<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `bytes` is shorter than `bit_len` bits.
+    /// Panics if `bytes` is shorter than `bit_len` bits. Decoders
+    /// handling untrusted lengths should validate first (as [`decode`]
+    /// does) or use [`BitReader::try_new`].
     pub fn new(bytes: &'a [u8], bit_len: usize) -> Self {
-        assert!(
-            bytes.len() * 8 >= bit_len,
-            "byte slice shorter than bit length"
-        );
-        BitReader {
+        BitReader::try_new(bytes, bit_len).expect("byte slice shorter than bit length")
+    }
+
+    /// Fallible constructor: errors (instead of panicking) when `bytes`
+    /// holds fewer than `bit_len` bits.
+    pub fn try_new(bytes: &'a [u8], bit_len: usize) -> Result<Self, CodecError> {
+        if bytes.len().saturating_mul(8) < bit_len {
+            return Err(CodecError::new(
+                0,
+                format!(
+                    "byte slice holds {} bits but {bit_len} were declared",
+                    bytes.len().saturating_mul(8)
+                ),
+            ));
+        }
+        Ok(BitReader {
             bytes,
             bit_len,
             pos: 0,
-        }
+        })
     }
 
     /// Current read position in bits.
@@ -153,17 +209,25 @@ impl<'a> BitReader<'a> {
         self.bit_len - self.pos
     }
 
-    /// Reads `width` bits (LSB first).
+    /// Reads `width` bits (LSB first). `read_bits(0)` succeeds, reads
+    /// nothing, and returns 0.
     ///
     /// # Errors
     ///
-    /// Returns a [`CodecError`] when fewer than `width` bits remain.
+    /// Returns a [`CodecError`] when `width > 64` or fewer than `width`
+    /// bits remain.
     pub fn read_bits(&mut self, width: u32) -> Result<u64, CodecError> {
+        if width > 64 {
+            return Err(CodecError::new(
+                self.pos,
+                format!("read width {width} out of range (max 64)"),
+            ));
+        }
         if (self.remaining() as u64) < u64::from(width) {
-            return Err(CodecError {
-                bit_offset: self.pos,
-                message: format!("need {width} bits, {} remain", self.remaining()),
-            });
+            return Err(CodecError::new(
+                self.pos,
+                format!("need {width} bits, {} remain", self.remaining()),
+            ));
         }
         let mut value = 0u64;
         for k in 0..width {
@@ -187,10 +251,7 @@ impl<'a> BitReader<'a> {
             let cont = self.read_bits(1)?;
             let group = self.read_bits(4)?;
             if shift >= 64 {
-                return Err(CodecError {
-                    bit_offset: self.pos,
-                    message: "varint overflow".into(),
-                });
+                return Err(CodecError::new(self.pos, "varint overflow"));
             }
             value |= group << shift;
             shift += 4;
@@ -206,18 +267,59 @@ fn id_width(n: usize) -> u32 {
     fsdl_nets::ceil_log2(n).max(1)
 }
 
+/// Width of the checksum trailer appended by [`encode`].
+pub const CHECKSUM_BITS: u32 = 32;
+
+/// FNV-1a over the first `bit_len` bits of `bytes` (read in 8-bit
+/// chunks so the value is independent of byte alignment), folded to 32
+/// bits. The payload length is mixed in, so truncations that happen to
+/// end on a self-consistent prefix still fail verification.
+fn prefix_checksum(bytes: &[u8], bit_len: usize) -> u32 {
+    let mut r = BitReader::new(bytes, bytes.len().saturating_mul(8));
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut left = bit_len;
+    while left > 0 {
+        let take = left.min(8) as u32;
+        let chunk = r.read_bits(take).expect("prefix bits in range");
+        h ^= chunk;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        left -= take as usize;
+    }
+    h ^= bit_len as u64;
+    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    ((h >> 32) ^ h) as u32
+}
+
 /// Encodes a label into its canonical bit string; returns the writer.
-pub fn encode(label: &Label, n: usize) -> BitWriter {
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] when a label field cannot be represented —
+/// in practice only when `label.owner` is not a vertex id of an
+/// `n`-vertex graph (it does not fit the `⌈log₂ n⌉`-bit id field).
+pub fn try_encode(label: &Label, n: usize) -> Result<BitWriter, CodecError> {
     let w_id = id_width(n);
     let mut w = BitWriter::new();
-    w.write_bits(u64::from(label.owner.raw()), w_id);
+    w.write_bits(u64::from(label.owner.raw()), w_id)?;
     w.write_varint(u64::from(label.owner_net_level));
     w.write_varint(u64::from(label.first_level));
     w.write_varint(label.levels.len() as u64);
     for level in &label.levels {
         encode_level(level, &mut w);
     }
-    w
+    let checksum = prefix_checksum(w.as_bytes(), w.len_bits());
+    w.write_bits(u64::from(checksum), CHECKSUM_BITS)?;
+    Ok(w)
+}
+
+/// Encodes a label into its canonical bit string; returns the writer.
+///
+/// # Panics
+///
+/// Panics when the label's owner id does not fit the id field for an
+/// `n`-vertex graph; use [`try_encode`] to handle that as an error.
+pub fn encode(label: &Label, n: usize) -> BitWriter {
+    try_encode(label, n).expect("label fields fit the codec for this n")
 }
 
 fn encode_level(level: &LevelLabel, w: &mut BitWriter) {
@@ -245,7 +347,8 @@ fn encode_level(level: &LevelLabel, w: &mut BitWriter) {
     }
 }
 
-/// Length in bits of the canonical encoding of `label`.
+/// Length in bits of the canonical encoding of `label` (checksum
+/// trailer included).
 pub fn encoded_bits(label: &Label, n: usize) -> usize {
     encode(label, n).len_bits()
 }
@@ -274,27 +377,63 @@ pub fn encoded_bits_fixed(label: &Label, n: usize) -> usize {
     bits
 }
 
+/// Upper bound on plausible net levels; mirrors the 64-level cap
+/// enforced on encode paths (level indices are `O(log n)` and `n` fits
+/// in 32 bits, so anything past 64 is corruption).
+const MAX_PLAUSIBLE_LEVEL: u64 = 64;
+
 /// Decodes a label from its canonical bit string.
+///
+/// The input is treated as untrusted: this function never panics.
+/// Beyond structural parsing, it verifies that
+///
+/// * every vertex id (owner and points) is `< n`,
+/// * distances fit `u32` and net levels are plausible (`<= 64`),
+/// * declared element counts fit in the remaining input,
+/// * the checksum trailer matches and no bits trail it.
 ///
 /// # Errors
 ///
-/// Returns a [`CodecError`] on truncated or malformed input.
+/// Returns a [`CodecError`] on truncated, malformed, corrupt, or
+/// oversized input.
 pub fn decode(bytes: &[u8], bit_len: usize, n: usize) -> Result<Label, CodecError> {
     let w_id = id_width(n);
-    let mut r = BitReader::new(bytes, bit_len);
-    let owner = NodeId::new(r.read_bits(w_id)? as u32);
-    let owner_net_level = r.read_varint()? as u32;
-    let first_level = r.read_varint()? as u32;
+    let mut r = BitReader::try_new(bytes, bit_len)?;
+    let owner_raw = r.read_bits(w_id)?;
+    if owner_raw >= n as u64 {
+        return Err(CodecError::new(
+            r.position(),
+            format!("owner id {owner_raw} out of range for n={n}"),
+        ));
+    }
+    let owner = NodeId::new(owner_raw as u32);
+    let owner_net_level = read_level(&mut r, "owner net level")?;
+    let first_level = read_level(&mut r, "first level")?;
     let num_levels = r.read_varint()? as usize;
-    if num_levels > 64 {
-        return Err(CodecError {
-            bit_offset: r.position(),
-            message: format!("implausible level count {num_levels}"),
-        });
+    if num_levels as u64 > MAX_PLAUSIBLE_LEVEL {
+        return Err(CodecError::new(
+            r.position(),
+            format!("implausible level count {num_levels}"),
+        ));
     }
     let mut levels = Vec::with_capacity(num_levels);
     for _ in 0..num_levels {
-        levels.push(decode_level(&mut r)?);
+        levels.push(decode_level(&mut r, n)?);
+    }
+    let payload_bits = r.position();
+    let expected = prefix_checksum(bytes, payload_bits);
+    let stored = r.read_bits(CHECKSUM_BITS)? as u32;
+    if stored != expected {
+        return Err(CodecError::new(
+            payload_bits,
+            format!("checksum mismatch (stored {stored:#010x}, computed {expected:#010x})"),
+        ));
+    }
+    if r.remaining() != 0 {
+        return Err(CodecError::new(
+            r.position(),
+            format!("{} trailing bits after checksum", r.remaining()),
+        ));
     }
     Ok(Label {
         owner,
@@ -304,46 +443,90 @@ pub fn decode(bytes: &[u8], bit_len: usize, n: usize) -> Result<Label, CodecErro
     })
 }
 
-fn decode_level(r: &mut BitReader<'_>) -> Result<LevelLabel, CodecError> {
-    let num_points = r.read_varint()? as usize;
-    let mut points = Vec::with_capacity(num_points.min(1 << 20));
+/// Reads a varint that must be a plausible net/scale level (`<= 64`).
+fn read_level(r: &mut BitReader<'_>, what: &str) -> Result<u32, CodecError> {
+    let v = r.read_varint()?;
+    if v > MAX_PLAUSIBLE_LEVEL {
+        return Err(CodecError::new(
+            r.position(),
+            format!("implausible {what} {v}"),
+        ));
+    }
+    Ok(v as u32)
+}
+
+/// Reads a varint count and rejects values that could not possibly fit
+/// in the remaining input (each element consumes at least
+/// `min_bits_per_elem` bits), bounding both decode time and allocation.
+fn read_count(
+    r: &mut BitReader<'_>,
+    min_bits_per_elem: usize,
+    what: &str,
+) -> Result<usize, CodecError> {
+    let v = r.read_varint()?;
+    let cap = (r.remaining() / min_bits_per_elem.max(1)) as u64;
+    if v > cap {
+        return Err(CodecError::new(
+            r.position(),
+            format!("{what} count {v} exceeds what the remaining input can hold ({cap})"),
+        ));
+    }
+    Ok(v as usize)
+}
+
+fn decode_level(r: &mut BitReader<'_>, n: usize) -> Result<LevelLabel, CodecError> {
+    // A point is three varints (>= 15 bits), a virtual edge three
+    // (>= 15), a real edge two (>= 10).
+    let num_points = read_count(r, 15, "point")?;
+    let mut points = Vec::with_capacity(num_points);
     let mut prev = 0u64;
     for k in 0..num_points {
         let delta = r.read_varint()?;
-        let id = if k == 0 { delta } else { prev + delta };
+        let id = if k == 0 {
+            delta
+        } else {
+            prev.checked_add(delta)
+                .ok_or_else(|| CodecError::new(r.position(), "point id delta overflows"))?
+        };
         prev = id;
-        let dist = r.read_varint()? as u32;
-        let net_level = r.read_varint()? as u32;
+        if id >= n as u64 {
+            return Err(CodecError::new(
+                r.position(),
+                format!("point id {id} out of range for n={n}"),
+            ));
+        }
+        let dist = read_u32(r, "point distance")?;
+        let net_level = read_level(r, "point net level")?;
         points.push(LabelPoint {
             vertex: NodeId::new(id as u32),
             dist,
             net_level,
         });
     }
-    let num_virtual = r.read_varint()? as usize;
-    let mut virtual_edges = Vec::with_capacity(num_virtual.min(1 << 20));
+    let num_virtual = read_count(r, 15, "virtual edge")?;
+    let mut virtual_edges = Vec::with_capacity(num_virtual);
     for _ in 0..num_virtual {
-        let a = r.read_varint()? as u32;
-        let b = r.read_varint()? as u32;
-        let dist = r.read_varint()? as u32;
+        let a = read_u32(r, "virtual edge endpoint")?;
+        let b = read_u32(r, "virtual edge endpoint")?;
+        let dist = read_u32(r, "virtual edge distance")?;
         if a as usize >= points.len() || b as usize >= points.len() {
-            return Err(CodecError {
-                bit_offset: r.position(),
-                message: "virtual edge index out of range".into(),
-            });
+            return Err(CodecError::new(
+                r.position(),
+                "virtual edge index out of range",
+            ));
         }
         virtual_edges.push(VirtualEdge { a, b, dist });
     }
-    let num_real = r.read_varint()? as usize;
-    let mut real_edges = Vec::with_capacity(num_real.min(1 << 20));
+    let num_real = read_count(r, 10, "real edge")?;
+    let mut real_edges = Vec::with_capacity(num_real);
     for _ in 0..num_real {
-        let a = r.read_varint()? as u32;
-        let b = r.read_varint()? as u32;
+        let a = read_u32(r, "real edge endpoint")?;
+        let b = read_u32(r, "real edge endpoint")?;
         if a as usize >= points.len() || b as usize >= points.len() {
-            return Err(CodecError {
-                bit_offset: r.position(),
-                message: "real edge index out of range".into(),
-            });
+            return Err(CodecError::new(
+                r.position(),
+                "real edge index out of range",
+            ));
         }
         real_edges.push(RealEdge { a, b });
     }
@@ -354,6 +537,13 @@ fn decode_level(r: &mut BitReader<'_>) -> Result<LevelLabel, CodecError> {
     })
 }
 
+/// Reads a varint that must fit in `u32` (ids, distances, indices).
+fn read_u32(r: &mut BitReader<'_>, what: &str) -> Result<u32, CodecError> {
+    let v = r.read_varint()?;
+    u32::try_from(v)
+        .map_err(|_| CodecError::new(r.position(), format!("{what} {v} exceeds u32 range")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,11 +551,11 @@ mod tests {
     #[test]
     fn bit_roundtrip_fixed_widths() {
         let mut w = BitWriter::new();
-        w.write_bits(0, 1);
-        w.write_bits(1, 1);
-        w.write_bits(0b1011, 4);
-        w.write_bits(u64::MAX, 64);
-        w.write_bits(12345, 17);
+        w.write_bits(0, 1).unwrap();
+        w.write_bits(1, 1).unwrap();
+        w.write_bits(0b1011, 4).unwrap();
+        w.write_bits(u64::MAX, 64).unwrap();
+        w.write_bits(12345, 17).unwrap();
         let mut r = BitReader::new(w.as_bytes(), w.len_bits());
         assert_eq!(r.read_bits(1).unwrap(), 0);
         assert_eq!(r.read_bits(1).unwrap(), 1);
@@ -411,7 +601,7 @@ mod tests {
     #[test]
     fn truncated_read_errors() {
         let mut w = BitWriter::new();
-        w.write_bits(0b11, 2);
+        w.write_bits(0b11, 2).unwrap();
         let mut r = BitReader::new(w.as_bytes(), w.len_bits());
         assert!(r.read_bits(3).is_err());
         assert_eq!(r.read_bits(2).unwrap(), 0b11);
@@ -419,10 +609,62 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "does not fit")]
-    fn write_bits_validates_value() {
+    fn write_bits_rejects_oversized_value() {
         let mut w = BitWriter::new();
-        w.write_bits(8, 3);
+        let err = w.write_bits(8, 3).unwrap_err();
+        assert!(err.message.contains("does not fit"), "{err}");
+        // Nothing was written.
+        assert_eq!(w.len_bits(), 0);
+    }
+
+    #[test]
+    fn write_bits_rejects_width_above_64() {
+        let mut w = BitWriter::new();
+        let err = w.write_bits(0, 65).unwrap_err();
+        assert!(err.message.contains("out of range"), "{err}");
+        assert_eq!(w.len_bits(), 0);
+        // Width 64 is the documented maximum and works for any value.
+        w.write_bits(u64::MAX, 64).unwrap();
+        assert_eq!(w.len_bits(), 64);
+    }
+
+    #[test]
+    fn write_bits_zero_width_is_a_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 0).unwrap();
+        assert_eq!(w.len_bits(), 0);
+        // Nonzero value cannot fit in zero bits.
+        assert!(w.write_bits(1, 0).is_err());
+    }
+
+    #[test]
+    fn read_bits_zero_width_reads_nothing() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1).unwrap();
+        let mut r = BitReader::new(w.as_bytes(), w.len_bits());
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+        assert_eq!(r.position(), 0);
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+        // read_bits(0) also succeeds on an exhausted reader.
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn read_bits_rejects_width_above_64() {
+        let bytes = [0xFFu8; 16];
+        let mut r = BitReader::new(&bytes, 128);
+        let err = r.read_bits(65).unwrap_err();
+        assert!(err.message.contains("out of range"), "{err}");
+        // Position unchanged; valid reads still work.
+        assert_eq!(r.position(), 0);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn reader_try_new_rejects_short_slice() {
+        assert!(BitReader::try_new(&[0u8; 2], 17).is_err());
+        assert!(BitReader::try_new(&[0u8; 2], 16).is_ok());
+        assert!(BitReader::try_new(&[], usize::MAX).is_err());
     }
 
     fn sample_label() -> Label {
@@ -476,6 +718,13 @@ mod tests {
     }
 
     #[test]
+    fn try_encode_rejects_owner_out_of_field() {
+        // Owner 40 does not fit the 3-bit id field of an 8-vertex graph.
+        let label = sample_label();
+        assert!(try_encode(&label, 8).is_err());
+    }
+
+    #[test]
     fn fixed_width_bits_upper_bound_varint_on_dense_labels() {
         // Fixed-width is codec-independent accounting; for realistic labels
         // (small deltas, small distances) the varint form is smaller.
@@ -505,5 +754,60 @@ mod tests {
         let label = sample_label();
         let w = encode(&label, 50);
         assert!(decode(w.as_bytes(), w.len_bits() - 8, 50).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_declared_length_beyond_buffer() {
+        let label = sample_label();
+        let w = encode(&label, 50);
+        // Claiming more bits than the buffer holds must be a typed error,
+        // not a panic.
+        assert!(decode(w.as_bytes(), w.as_bytes().len() * 8 + 1, 50).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let label = sample_label();
+        let mut w = encode(&label, 50);
+        w.write_bits(0b1, 1).unwrap();
+        assert!(decode(w.as_bytes(), w.len_bits(), 50).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_single_bit_flips() {
+        let label = sample_label();
+        let w = encode(&label, 50);
+        let bits = w.len_bits();
+        for flip in 0..bits {
+            let mut bytes = w.as_bytes().to_vec();
+            bytes[flip / 8] ^= 1 << (flip % 8);
+            match decode(&bytes, bits, 50) {
+                Err(_) => {}
+                Ok(decoded) => panic!(
+                    "flip of bit {flip} decoded to a label (owner {:?}) despite checksum",
+                    decoded.owner
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_owner() {
+        // Encode for a large graph, decode claiming a smaller one: the
+        // owner and point ids no longer fit and must be rejected (never
+        // returned as out-of-range NodeIds).
+        let label = sample_label();
+        let w = encode(&label, 50);
+        assert!(decode(w.as_bytes(), w.len_bits(), 50).is_ok());
+        assert!(decode(w.as_bytes(), w.len_bits(), 5).is_err());
+    }
+
+    #[test]
+    fn checksum_depends_on_length() {
+        // Two payloads that are bit-identical prefixes must not share a
+        // checksum (length is mixed in).
+        let a = prefix_checksum(&[0u8; 4], 9);
+        let b = prefix_checksum(&[0u8; 4], 10);
+        assert_ne!(a, b);
     }
 }

@@ -1,0 +1,358 @@
+//! Label-corruption chaos harness: systematic mutation of encoded label
+//! bit strings, plus a sweep that drives every mutation through the
+//! decoder and checks the robustness contract end to end.
+//!
+//! Labels are a wire format (`O(1+ε⁻¹)^{2α} log² n` bits exchanged
+//! between parties, per the paper), so a production decoder must treat
+//! them as untrusted bytes. The contract enforced here, for *any*
+//! mutation of an encoded label:
+//!
+//! 1. [`crate::codec::decode`] returns `Err(CodecError)` or `Ok(label)`
+//!    — it never panics and never loops;
+//! 2. if it decodes, running the query with the decoded label in the
+//!    fault set never *underestimates* `d_{G∖F'}(s,t)`, where `F'` is
+//!    the fault set actually decoded (safety is relative to the labels
+//!    received: a corruption that survives the checksum is
+//!    indistinguishable from an honestly different query).
+//!
+//! [`Mutation`] enumerates the corruption classes (bit flips,
+//! truncations, extensions, splices between two encodings, and
+//! varint-boundary flips); [`mutation_schedule`] derives a deterministic
+//! mix of all classes from a seed; [`corruption_sweep`] runs the whole
+//! check against ground truth and panics with the reproducing seed and
+//! mutation on any violation.
+
+use fsdl_graph::{bfs, FaultSet, NodeId};
+use fsdl_testkit::rng::splitmix64;
+use fsdl_testkit::Rng;
+
+use crate::codec;
+use crate::decode::{query, QueryLabels};
+use crate::oracle::ForbiddenSetOracle;
+
+/// One corruption applied to an encoded label bit string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Flip the bit at this position.
+    FlipBit(usize),
+    /// Keep only the first `new_bits` bits.
+    Truncate(usize),
+    /// Append `extra_bits` pseudo-random bits derived from `seed`.
+    Extend {
+        /// Number of bits appended.
+        extra_bits: usize,
+        /// Seed for the appended bits.
+        seed: u64,
+    },
+    /// Replace everything from `prefix_bits` on with the donor encoding's
+    /// bits starting at `donor_skip` (cross-breeding two valid labels).
+    Splice {
+        /// Bits of the victim kept.
+        prefix_bits: usize,
+        /// Bits of the donor skipped before copying the rest.
+        donor_skip: usize,
+    },
+    /// Flip the bit at `field_offset + 5 * group` — with `field_offset`
+    /// at the first varint, this targets the continuation/value boundary
+    /// structure of the leading varint groups directly.
+    VarintBoundary {
+        /// Bit offset where varint groups begin (after the fixed-width
+        /// owner id).
+        field_offset: usize,
+        /// Which 5-bit group to hit.
+        group: usize,
+    },
+}
+
+/// Extracts bit `i` (LSB-first within bytes) from a bit string.
+fn get_bit(bytes: &[u8], i: usize) -> bool {
+    bytes[i / 8] & (1 << (i % 8)) != 0
+}
+
+/// Sets bit `i`, growing the byte vector as needed.
+fn set_bit(bytes: &mut Vec<u8>, i: usize, value: bool) {
+    while bytes.len() <= i / 8 {
+        bytes.push(0);
+    }
+    if value {
+        bytes[i / 8] |= 1 << (i % 8);
+    } else {
+        bytes[i / 8] &= !(1 << (i % 8));
+    }
+}
+
+impl Mutation {
+    /// Applies the mutation to `(bytes, bit_len)`, returning the mutated
+    /// bit string. `donor` supplies the bits for [`Mutation::Splice`]
+    /// (ignored otherwise); mutations out of range for the input are
+    /// clamped rather than skipped, so every call mutates *something*
+    /// whenever the input is non-empty.
+    pub fn apply(
+        &self,
+        bytes: &[u8],
+        bit_len: usize,
+        donor: Option<(&[u8], usize)>,
+    ) -> (Vec<u8>, usize) {
+        match *self {
+            Mutation::FlipBit(i) => {
+                let mut out = bytes.to_vec();
+                if bit_len > 0 {
+                    let i = i.min(bit_len - 1);
+                    out[i / 8] ^= 1 << (i % 8);
+                }
+                (out, bit_len)
+            }
+            Mutation::Truncate(new_bits) => {
+                let new_bits = new_bits.min(bit_len.saturating_sub(1));
+                let mut out = bytes[..new_bits.div_ceil(8)].to_vec();
+                // Zero the dead bits of the final partial byte so equal
+                // prefixes compare equal.
+                if !new_bits.is_multiple_of(8) {
+                    if let Some(last) = out.last_mut() {
+                        *last &= (1u16 << (new_bits % 8)) as u8 - 1;
+                    }
+                }
+                (out, new_bits)
+            }
+            Mutation::Extend { extra_bits, seed } => {
+                let mut out = bytes.to_vec();
+                let mut rng = Rng::seed_from_u64(seed);
+                for k in 0..extra_bits {
+                    set_bit(&mut out, bit_len + k, rng.gen_bool(0.5));
+                }
+                (out, bit_len + extra_bits)
+            }
+            Mutation::Splice {
+                prefix_bits,
+                donor_skip,
+            } => {
+                let (dbytes, dbits) = donor.unwrap_or((bytes, bit_len));
+                let prefix_bits = prefix_bits.min(bit_len);
+                let donor_skip = donor_skip.min(dbits);
+                let total = prefix_bits + (dbits - donor_skip);
+                let mut out = Vec::with_capacity(total.div_ceil(8));
+                for k in 0..prefix_bits {
+                    set_bit(&mut out, k, get_bit(bytes, k));
+                }
+                for k in donor_skip..dbits {
+                    set_bit(&mut out, prefix_bits + k - donor_skip, get_bit(dbytes, k));
+                }
+                (out, total)
+            }
+            Mutation::VarintBoundary {
+                field_offset,
+                group,
+            } => Mutation::FlipBit(field_offset + 5 * group).apply(bytes, bit_len, donor),
+        }
+    }
+}
+
+/// A deterministic schedule of `count` mutations covering every class:
+/// all single-bit flips first (exhaustive when `count` allows), then
+/// truncations at every varint-group stride, then varint-boundary flips,
+/// then seeded random splices/extensions/flips for the remainder.
+/// `field_offset` should be the width of the fixed owner-id field.
+pub fn mutation_schedule(
+    bit_len: usize,
+    field_offset: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<Mutation> {
+    let mut out = Vec::with_capacity(count);
+    for i in 0..bit_len.min(count) {
+        out.push(Mutation::FlipBit(i));
+    }
+    let mut cut = 0;
+    while out.len() < count && cut < bit_len {
+        out.push(Mutation::Truncate(cut));
+        cut += 5;
+    }
+    let mut group = 0;
+    while out.len() < count && field_offset + 5 * group + 1 < bit_len {
+        out.push(Mutation::VarintBoundary {
+            field_offset,
+            group,
+        });
+        group += 1;
+    }
+    let mut state = seed;
+    while out.len() < count {
+        let r = splitmix64(&mut state);
+        let len = bit_len.max(1);
+        out.push(match r % 4 {
+            0 => Mutation::Splice {
+                prefix_bits: (r >> 8) as usize % len,
+                donor_skip: (r >> 40) as usize % len,
+            },
+            1 => Mutation::Extend {
+                extra_bits: 1 + (r >> 8) as usize % 64,
+                seed: r,
+            },
+            2 => Mutation::Truncate((r >> 8) as usize % len),
+            _ => Mutation::FlipBit((r >> 8) as usize % len),
+        });
+    }
+    out
+}
+
+/// Outcome counts of one [`corruption_sweep`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Mutations applied.
+    pub attempted: usize,
+    /// Mutations rejected by the decoder with a typed `CodecError`.
+    pub rejected: usize,
+    /// Mutations that decoded to a (necessarily valid) label and whose
+    /// query answer was verified sound against ground truth.
+    pub decoded_sound: usize,
+}
+
+/// Runs a corruption sweep on the encoded label of `fault`: applies
+/// `count` scheduled mutations (donor bits come from `donor`'s label)
+/// and checks the decode-or-sound contract for the query `(s, t, ·)`.
+///
+/// # Panics
+///
+/// Panics — with the seed and the exact mutation in the message — when a
+/// mutated label decodes and the resulting query answer underestimates
+/// the true `d_{G∖F'}(s,t)` for the decoded fault set `F'`. Decoder
+/// panics propagate as-is (the chaos tests treat any panic as failure).
+pub fn corruption_sweep(
+    oracle: &ForbiddenSetOracle,
+    s: NodeId,
+    t: NodeId,
+    fault: NodeId,
+    donor: NodeId,
+    count: usize,
+    seed: u64,
+) -> SweepStats {
+    let g = oracle.labeling().graph();
+    let n = g.num_vertices();
+    let params = oracle.params();
+    let ls = oracle.label(s);
+    let lt = oracle.label(t);
+    let lf = oracle.label(fault);
+    let enc = codec::encode(&lf, n);
+    let donor_enc = codec::encode(&oracle.label(donor), n);
+    let field_offset = fsdl_nets::ceil_log2(n).max(1) as usize;
+
+    let mut stats = SweepStats::default();
+    for (idx, m) in mutation_schedule(enc.len_bits(), field_offset, count, seed)
+        .into_iter()
+        .enumerate()
+    {
+        let (bytes, bits) = m.apply(
+            enc.as_bytes(),
+            enc.len_bits(),
+            Some((donor_enc.as_bytes(), donor_enc.len_bits())),
+        );
+        if bytes == enc.as_bytes() && bits == enc.len_bits() {
+            continue; // identity (e.g. a splice that reassembled the input)
+        }
+        stats.attempted += 1;
+        match codec::decode(&bytes, bits, n) {
+            Err(_) => stats.rejected += 1,
+            Ok(decoded) => {
+                // The mutation survived the checksum: by construction this
+                // means it reassembled a valid encoding (e.g. a whole-label
+                // splice). The decoder must still be *sound relative to
+                // what it decoded*: no underestimate of d_{G∖F'}.
+                let fprime = decoded.owner;
+                let faults = QueryLabels {
+                    fault_vertices: vec![&decoded],
+                    fault_edges: vec![],
+                };
+                let answer = query(params, &ls, &lt, &faults);
+                let truth =
+                    bfs::pair_distance_avoiding(g, s, t, &FaultSet::from_vertices([fprime]));
+                let sound = match (answer.distance.finite(), truth.finite()) {
+                    // INFINITE never underestimates; disconnected truth
+                    // cannot be underestimated.
+                    (None, _) | (_, None) => true,
+                    (Some(a), Some(td)) => a >= td || s == fprime || t == fprime || s == t,
+                };
+                assert!(
+                    sound,
+                    "corruption sweep seed {seed:#x} mutation #{idx} {m:?}: decoded label \
+                     (owner {fprime}) led to answer {} below truth {} for {s}->{t}",
+                    answer.distance, truth
+                );
+                stats.decoded_sound += 1;
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsdl_graph::generators;
+
+    #[test]
+    fn flips_truncations_and_extensions_change_the_string() {
+        let bytes = [0b1010_1010u8, 0b0101_0101];
+        for m in [
+            Mutation::FlipBit(0),
+            Mutation::FlipBit(15),
+            Mutation::Truncate(7),
+            Mutation::Extend {
+                extra_bits: 3,
+                seed: 1,
+            },
+        ] {
+            let (out, bits) = m.apply(&bytes, 16, None);
+            assert!(
+                out != bytes.as_slice() || bits != 16,
+                "{m:?} left the input unchanged"
+            );
+        }
+    }
+
+    #[test]
+    fn splice_of_whole_donor_reproduces_donor() {
+        let victim = [0xFFu8];
+        let donor = [0x0Fu8, 0x01];
+        let m = Mutation::Splice {
+            prefix_bits: 0,
+            donor_skip: 0,
+        };
+        let (out, bits) = m.apply(&victim, 8, Some((&donor, 9)));
+        assert_eq!(bits, 9);
+        assert_eq!(out, vec![0x0F, 0x01]);
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_covers_classes() {
+        let a = mutation_schedule(200, 6, 500, 42);
+        let b = mutation_schedule(200, 6, 500, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        assert!(a.iter().any(|m| matches!(m, Mutation::FlipBit(_))));
+        assert!(a.iter().any(|m| matches!(m, Mutation::Truncate(_))));
+        assert!(a
+            .iter()
+            .any(|m| matches!(m, Mutation::VarintBoundary { .. })));
+        assert!(a.iter().any(|m| matches!(m, Mutation::Splice { .. })));
+        assert_ne!(a, mutation_schedule(200, 6, 500, 43));
+    }
+
+    #[test]
+    fn sweep_on_a_small_cycle_rejects_or_stays_sound() {
+        let g = generators::cycle(20);
+        let oracle = ForbiddenSetOracle::new(&g, 1.0);
+        let stats = corruption_sweep(
+            &oracle,
+            NodeId::new(0),
+            NodeId::new(9),
+            NodeId::new(4),
+            NodeId::new(13),
+            400,
+            0xC0FFEE,
+        );
+        assert!(stats.attempted >= 390);
+        // The checksum should reject essentially everything except
+        // whole-label splices.
+        assert!(stats.rejected * 10 >= stats.attempted * 9);
+    }
+}

@@ -123,10 +123,16 @@ pub struct QueryAnswer {
 /// assert_eq!(answer.distance.finite(), Some(13)); // the long way round
 /// ```
 ///
-/// # Panics
+/// # Robustness
 ///
-/// Panics if the labels disagree with `params` on the level range (mixing
-/// labels from different labelings).
+/// The decoder never panics on label *content*. Labels whose level range
+/// disagrees with `params` (mixing labelings, or hand-built labels) are
+/// handled conservatively and soundly: such a label contributes no sketch
+/// edges, and if it names a fault, every candidate edge is suppressed —
+/// the answer can only move toward `INFINITE`, never below
+/// `d_{G∖F}(s,t)`. Out-of-range edge endpoint indices (impossible for
+/// labels from [`crate::codec::decode`], which validates them) are
+/// skipped rather than indexed.
 pub fn query(
     params: &SchemeParams,
     source: &Label,
@@ -155,7 +161,8 @@ pub fn query(
     }
     match h.shortest_path(s, t) {
         Some((d, path)) => QueryAnswer {
-            distance: Dist::new(u32::try_from(d.min(u64::from(u32::MAX - 1))).expect("clamped")),
+            // The min makes the cast lossless.
+            distance: Dist::new(d.min(u64::from(u32::MAX - 1)) as u32),
             path,
             sketch_vertices: h.num_vertices(),
             sketch_edges: h.num_edges(),
@@ -179,11 +186,9 @@ pub fn query(
 /// (`≥ d_{G∖F}`). This is the paper's hand-held-device usage pattern:
 /// download the labels for your region once, then answer all local queries.
 ///
-/// Returns one distance per target, in order.
-///
-/// # Panics
-///
-/// Panics if the labels disagree with `params` on the level range.
+/// Returns one distance per target, in order. Inconsistent labels are
+/// handled as in [`query`]: conservatively, soundly, and without
+/// panicking.
 pub fn query_many(
     params: &SchemeParams,
     source: &Label,
@@ -216,7 +221,8 @@ pub fn query_many(
                     if d == u64::MAX {
                         Dist::INFINITE
                     } else {
-                        Dist::new(u32::try_from(d.min(u64::from(u32::MAX - 1))).expect("clamped"))
+                        // The min makes the cast lossless.
+                        Dist::new(d.min(u64::from(u32::MAX - 1)) as u32)
                     }
                 }
                 _ => Dist::INFINITE,
@@ -243,8 +249,14 @@ fn build_sketch_from(
     endpoints: &[&Label],
     faults: &QueryLabels<'_>,
 ) -> Sketch {
+    // A label is usable only when its level range agrees with `params`;
+    // anything else (a label from a different labeling, or hand-built
+    // data) must not feed edges into H.
+    let usable = |l: &Label| l.first_level == params.c() + 1;
+
     // Collect F-bar: all labels whose level graphs feed H, deduplicated by
-    // owner.
+    // owner. Unusable labels contribute no level graphs (sound: fewer
+    // sketch edges can only overestimate).
     let mut providers: Vec<&Label> = Vec::new();
     let mut seen: HashSet<NodeId> = HashSet::new();
     for l in endpoints
@@ -253,12 +265,7 @@ fn build_sketch_from(
         .chain(faults.fault_vertices.iter().copied())
         .chain(faults.fault_edges.iter().flat_map(|(a, b)| [*a, *b]))
     {
-        assert_eq!(
-            l.first_level,
-            params.c() + 1,
-            "label level range disagrees with params"
-        );
-        if seen.insert(l.owner) {
+        if seen.insert(l.owner) && usable(l) {
             providers.push(l);
         }
     }
@@ -286,19 +293,23 @@ fn build_sketch_from(
 
     for i in params.levels() {
         let lambda = params.lambda(i);
-        // Exact distance maps of each center at this level.
-        let center_maps: Vec<(NodeId, HashMap<NodeId, u32>)> = centers
+        // Exact distance maps of each center at this level. A center whose
+        // label is unusable gets `None`: its protected ball cannot be
+        // checked, so no edge may be admitted while it is present (the
+        // conservative, sound direction).
+        let center_maps: Vec<(NodeId, Option<HashMap<NodeId, u32>>)> = centers
             .iter()
             .map(|c| {
-                let map = c
-                    .level(i)
-                    .map(|lvl| {
-                        lvl.points
-                            .iter()
-                            .map(|p| (p.vertex, p.dist))
-                            .collect::<HashMap<_, _>>()
-                    })
-                    .unwrap_or_default();
+                let map = usable(c).then(|| {
+                    c.level(i)
+                        .map(|lvl| {
+                            lvl.points
+                                .iter()
+                                .map(|p| (p.vertex, p.dist))
+                                .collect::<HashMap<_, _>>()
+                        })
+                        .unwrap_or_default()
+                });
                 (c.owner, map)
             })
             .collect();
@@ -340,10 +351,17 @@ fn build_sketch_from(
                 }
             }
 
-            // Virtual edges between stored points.
+            // Virtual edges between stored points. Indices are validated
+            // by the codec and `Label::validate`; skip (never index past
+            // the point list) if a hand-built label violates that.
             for e in &level.virtual_edges {
-                let x = level.points[e.a as usize].vertex;
-                let y = level.points[e.b as usize].vertex;
+                let (Some(px), Some(py)) = (
+                    level.points.get(e.a as usize),
+                    level.points.get(e.b as usize),
+                ) else {
+                    continue;
+                };
+                let (x, y) = (px.vertex, py.vertex);
                 if edge_admitted(
                     Endpoint::NetPoint(x),
                     Endpoint::NetPoint(y),
@@ -357,8 +375,13 @@ fn build_sketch_from(
 
             // Lowest-level real edges: admitted when untouched by F.
             for e in &level.real_edges {
-                let u = level.points[e.a as usize].vertex;
-                let w = level.points[e.b as usize].vertex;
+                let (Some(pu), Some(pw)) = (
+                    level.points.get(e.a as usize),
+                    level.points.get(e.b as usize),
+                ) else {
+                    continue;
+                };
+                let (u, w) = (pu.vertex, pw.vertex);
                 if forbidden_vertices.contains(&u) || forbidden_vertices.contains(&w) {
                     continue;
                 }
@@ -420,15 +443,17 @@ enum Endpoint {
 
 /// Is the candidate edge `(x, y)` (of length `≤ λ`) admissible: for every
 /// protected-ball center, at least one endpoint certifiably outside
-/// `B(center, λ)`?
+/// `B(center, λ)`? A center with no usable point map (`None`) can never
+/// certify anything, so it vetoes every edge.
 fn edge_admitted(
     x: Endpoint,
     y: Endpoint,
     lambda: u64,
-    center_maps: &[(NodeId, HashMap<NodeId, u32>)],
+    center_maps: &[(NodeId, Option<HashMap<NodeId, u32>>)],
 ) -> bool {
-    center_maps.iter().all(|(center, map)| {
-        endpoint_far(x, *center, map, lambda) || endpoint_far(y, *center, map, lambda)
+    center_maps.iter().all(|(center, map)| match map {
+        None => false,
+        Some(map) => endpoint_far(x, *center, map, lambda) || endpoint_far(y, *center, map, lambda),
     })
 }
 
@@ -575,8 +600,8 @@ mod tests {
     #[test]
     fn admission_requires_one_far_endpoint_per_center() {
         let centers = vec![
-            (NodeId::new(100), map(&[(1, 3), (2, 20)])),
-            (NodeId::new(101), map(&[(1, 20), (2, 3)])),
+            (NodeId::new(100), Some(map(&[(1, 3), (2, 20)]))),
+            (NodeId::new(101), Some(map(&[(1, 20), (2, 3)]))),
         ];
         let x = Endpoint::NetPoint(NodeId::new(1));
         let y = Endpoint::NetPoint(NodeId::new(2));
@@ -587,5 +612,15 @@ mod tests {
         assert!(!edge_admitted(x, y, 25, &centers));
         // No centers -> always admitted.
         assert!(edge_admitted(x, y, 8, &[]));
+    }
+
+    #[test]
+    fn unverifiable_center_vetoes_every_edge() {
+        // A fault whose label cannot be checked (level-range mismatch)
+        // must suppress all edges: distances can only overestimate.
+        let centers = vec![(NodeId::new(100), None)];
+        let x = Endpoint::NetPoint(NodeId::new(1));
+        let y = Endpoint::NetPoint(NodeId::new(2));
+        assert!(!edge_admitted(x, y, 8, &centers));
     }
 }

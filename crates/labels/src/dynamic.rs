@@ -19,6 +19,64 @@ use fsdl_graph::{Dist, FaultSet, Graph, NodeId};
 use crate::oracle::ForbiddenSetOracle;
 use crate::params::SchemeParams;
 
+/// Typed errors for [`DynamicOracle`] update operations.
+///
+/// The update API is fallible rather than panicking: a production oracle
+/// receives deletions/restorations from callers it does not control, and
+/// an out-of-range id or a restore of something that was never deleted
+/// must be reportable without tearing the service down.
+#[non_exhaustive]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DynamicError {
+    /// The vertex id is not a vertex of the original graph.
+    VertexOutOfRange {
+        /// The offending id.
+        v: NodeId,
+        /// Number of vertices in the original graph.
+        n: usize,
+    },
+    /// The endpoint pair is not an edge of the original graph.
+    NotAnEdge {
+        /// First endpoint.
+        a: NodeId,
+        /// Second endpoint.
+        b: NodeId,
+    },
+    /// `restore_vertex` on a vertex that is not currently deleted.
+    VertexNotDeleted {
+        /// The vertex.
+        v: NodeId,
+    },
+    /// `restore_edge` on an edge that is not currently deleted.
+    EdgeNotDeleted {
+        /// First endpoint.
+        a: NodeId,
+        /// Second endpoint.
+        b: NodeId,
+    },
+}
+
+impl std::fmt::Display for DynamicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DynamicError::VertexOutOfRange { v, n } => {
+                write!(f, "vertex {v} out of range for an {n}-vertex graph")
+            }
+            DynamicError::NotAnEdge { a, b } => {
+                write!(f, "{{{a}, {b}}} is not an edge of the original graph")
+            }
+            DynamicError::VertexNotDeleted { v } => {
+                write!(f, "vertex {v} is not currently deleted")
+            }
+            DynamicError::EdgeNotDeleted { a, b } => {
+                write!(f, "edge {{{a}, {b}}} is not currently deleted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DynamicError {}
+
 /// A fully dynamic `(1+ε)` distance oracle over `G ∖ F` with buffered
 /// updates and periodic rebuilds.
 ///
@@ -30,10 +88,10 @@ use crate::params::SchemeParams;
 ///
 /// let g = generators::cycle(24);
 /// let mut oracle = DynamicOracle::new(&g, 1.0);
-/// oracle.delete_vertex(NodeId::new(1));
+/// oracle.delete_vertex(NodeId::new(1)).unwrap();
 /// let d = oracle.distance(NodeId::new(0), NodeId::new(2)).finite().unwrap();
 /// assert!(d >= 22); // forced the long way around
-/// oracle.restore_vertex(NodeId::new(1));
+/// oracle.restore_vertex(NodeId::new(1)).unwrap();
 /// assert_eq!(oracle.distance(NodeId::new(0), NodeId::new(2)).finite(), Some(2));
 /// ```
 #[derive(Debug)]
@@ -106,55 +164,92 @@ impl DynamicOracle {
         f
     }
 
-    /// Deletes a vertex of `G` (no-op if already deleted).
+    /// Deletes a vertex of `G` (`Ok` no-op if already deleted).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `v` is not a vertex of the original graph.
-    pub fn delete_vertex(&mut self, v: NodeId) {
-        assert!(self.original.contains(v), "vertex out of range");
+    /// [`DynamicError::VertexOutOfRange`] when `v` is not a vertex of the
+    /// original graph.
+    pub fn delete_vertex(&mut self, v: NodeId) -> Result<(), DynamicError> {
+        self.check_vertex(v)?;
         if self.baked.is_vertex_faulty(v) || self.buffer.is_vertex_faulty(v) {
-            return;
+            return Ok(());
         }
         self.buffer.forbid_vertex(v);
         self.maybe_rebuild();
+        Ok(())
     }
 
-    /// Deletes an edge of `G` (no-op if already deleted).
+    /// Deletes an edge of `G` (`Ok` no-op if already deleted).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `{a, b}` is not an edge of the original graph.
-    pub fn delete_edge(&mut self, a: NodeId, b: NodeId) {
-        assert!(
-            self.original.has_edge(a, b),
-            "not an edge of the original graph"
-        );
+    /// [`DynamicError::VertexOutOfRange`] for an out-of-range endpoint;
+    /// [`DynamicError::NotAnEdge`] when `{a, b}` is not an edge of the
+    /// original graph.
+    pub fn delete_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), DynamicError> {
+        self.check_vertex(a)?;
+        self.check_vertex(b)?;
+        if !self.original.has_edge(a, b) {
+            return Err(DynamicError::NotAnEdge { a, b });
+        }
         if self.baked.is_edge_faulty(a, b) || self.buffer.is_edge_faulty(a, b) {
-            return;
+            return Ok(());
         }
         self.buffer.forbid_edge_unchecked(a, b);
         self.maybe_rebuild();
+        Ok(())
     }
 
     /// Restores a previously deleted vertex of `G`. Restorations of baked
     /// deletions force a rebuild (the labeling no longer matches).
-    pub fn restore_vertex(&mut self, v: NodeId) {
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::VertexOutOfRange`] for an out-of-range id;
+    /// [`DynamicError::VertexNotDeleted`] when `v` is not currently
+    /// deleted (previously a silent no-op — surfacing it catches
+    /// desynchronized callers).
+    pub fn restore_vertex(&mut self, v: NodeId) -> Result<(), DynamicError> {
+        self.check_vertex(v)?;
         if self.buffer.permit_vertex(v) {
-            return;
+            return Ok(());
         }
         if self.baked.permit_vertex(v) {
             self.rebuild();
+            return Ok(());
         }
+        Err(DynamicError::VertexNotDeleted { v })
     }
 
     /// Restores a previously deleted edge of `G`.
-    pub fn restore_edge(&mut self, a: NodeId, b: NodeId) {
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::VertexOutOfRange`] for an out-of-range endpoint;
+    /// [`DynamicError::EdgeNotDeleted`] when `{a, b}` is not currently
+    /// deleted.
+    pub fn restore_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), DynamicError> {
+        self.check_vertex(a)?;
+        self.check_vertex(b)?;
         if self.buffer.permit_edge(a, b) {
-            return;
+            return Ok(());
         }
         if self.baked.permit_edge(a, b) {
             self.rebuild();
+            return Ok(());
+        }
+        Err(DynamicError::EdgeNotDeleted { a, b })
+    }
+
+    fn check_vertex(&self, v: NodeId) -> Result<(), DynamicError> {
+        if self.original.contains(v) {
+            Ok(())
+        } else {
+            Err(DynamicError::VertexOutOfRange {
+                v,
+                n: self.original.num_vertices(),
+            })
         }
     }
 
@@ -262,7 +357,7 @@ mod tests {
         let mut oracle = DynamicOracle::with_threshold(&g, 1.0, 100);
         let mut faults = FaultSet::empty();
         for v in [7u32, 21, 28] {
-            oracle.delete_vertex(NodeId::new(v));
+            oracle.delete_vertex(NodeId::new(v)).unwrap();
             faults.forbid_vertex(NodeId::new(v));
             check_against_truth(&oracle, &g, &faults, 1.0);
         }
@@ -273,10 +368,10 @@ mod tests {
     fn rebuild_threshold_triggers() {
         let g = generators::cycle(30);
         let mut oracle = DynamicOracle::with_threshold(&g, 1.0, 2);
-        oracle.delete_vertex(NodeId::new(1));
-        oracle.delete_vertex(NodeId::new(2));
+        oracle.delete_vertex(NodeId::new(1)).unwrap();
+        oracle.delete_vertex(NodeId::new(2)).unwrap();
         assert_eq!(oracle.rebuilds(), 0);
-        oracle.delete_vertex(NodeId::new(3));
+        oracle.delete_vertex(NodeId::new(3)).unwrap();
         assert_eq!(oracle.rebuilds(), 1);
         assert_eq!(oracle.buffered(), 0);
         // Queries still correct after the rebuild.
@@ -288,17 +383,17 @@ mod tests {
     fn restore_buffered_and_baked() {
         let g = generators::cycle(16);
         let mut oracle = DynamicOracle::with_threshold(&g, 1.0, 1);
-        oracle.delete_vertex(NodeId::new(3));
-        oracle.restore_vertex(NodeId::new(3)); // buffered -> cheap
+        oracle.delete_vertex(NodeId::new(3)).unwrap();
+        oracle.restore_vertex(NodeId::new(3)).unwrap(); // buffered -> cheap
         assert_eq!(oracle.rebuilds(), 0);
         assert_eq!(
             oracle.distance(NodeId::new(2), NodeId::new(4)).finite(),
             Some(2)
         );
-        oracle.delete_vertex(NodeId::new(3));
-        oracle.delete_vertex(NodeId::new(8)); // exceeds threshold -> baked
+        oracle.delete_vertex(NodeId::new(3)).unwrap();
+        oracle.delete_vertex(NodeId::new(8)).unwrap(); // exceeds threshold -> baked
         assert_eq!(oracle.rebuilds(), 1);
-        oracle.restore_vertex(NodeId::new(3)); // baked -> rebuild
+        oracle.restore_vertex(NodeId::new(3)).unwrap(); // baked -> rebuild
         assert_eq!(oracle.rebuilds(), 2);
         assert_eq!(
             oracle.distance(NodeId::new(2), NodeId::new(4)).finite(),
@@ -310,13 +405,13 @@ mod tests {
     fn edge_deletions() {
         let g = generators::cycle(12);
         let mut oracle = DynamicOracle::with_threshold(&g, 1.0, 50);
-        oracle.delete_edge(NodeId::new(0), NodeId::new(1));
+        oracle.delete_edge(NodeId::new(0), NodeId::new(1)).unwrap();
         let d = oracle
             .distance(NodeId::new(0), NodeId::new(1))
             .finite()
             .unwrap();
         assert!(d >= 11);
-        oracle.restore_edge(NodeId::new(0), NodeId::new(1));
+        oracle.restore_edge(NodeId::new(0), NodeId::new(1)).unwrap();
         assert_eq!(
             oracle.distance(NodeId::new(0), NodeId::new(1)).finite(),
             Some(1)
@@ -327,8 +422,8 @@ mod tests {
     fn duplicate_deletes_are_noops() {
         let g = generators::path(8);
         let mut oracle = DynamicOracle::with_threshold(&g, 1.0, 10);
-        oracle.delete_vertex(NodeId::new(4));
-        oracle.delete_vertex(NodeId::new(4));
+        oracle.delete_vertex(NodeId::new(4)).unwrap();
+        oracle.delete_vertex(NodeId::new(4)).unwrap();
         assert_eq!(oracle.buffered(), 1);
     }
 
@@ -336,8 +431,8 @@ mod tests {
     fn queries_to_deleted_vertices() {
         let g = generators::path(8);
         let mut oracle = DynamicOracle::with_threshold(&g, 1.0, 1);
-        oracle.delete_vertex(NodeId::new(4));
-        oracle.delete_vertex(NodeId::new(5)); // rebuild happens
+        oracle.delete_vertex(NodeId::new(4)).unwrap();
+        oracle.delete_vertex(NodeId::new(5)).unwrap(); // rebuild happens
         assert!(oracle.rebuilds() >= 1);
         assert!(oracle
             .distance(NodeId::new(4), NodeId::new(0))
@@ -347,5 +442,68 @@ mod tests {
             .is_infinite());
         assert!(!oracle.connected(NodeId::new(0), NodeId::new(7)));
         assert!(oracle.connected(NodeId::new(0), NodeId::new(3)));
+    }
+
+    #[test]
+    fn out_of_range_updates_are_typed_errors() {
+        let g = generators::path(8);
+        let mut oracle = DynamicOracle::with_threshold(&g, 1.0, 10);
+        assert_eq!(
+            oracle.delete_vertex(NodeId::new(8)),
+            Err(DynamicError::VertexOutOfRange {
+                v: NodeId::new(8),
+                n: 8
+            })
+        );
+        assert!(matches!(
+            oracle.restore_vertex(NodeId::new(99)),
+            Err(DynamicError::VertexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            oracle.delete_edge(NodeId::new(0), NodeId::new(42)),
+            Err(DynamicError::VertexOutOfRange { .. })
+        ));
+        // The failed updates must not have perturbed the oracle.
+        assert_eq!(oracle.buffered(), 0);
+        assert_eq!(
+            oracle.distance(NodeId::new(0), NodeId::new(7)).finite(),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn delete_non_edge_is_a_typed_error() {
+        let g = generators::path(8); // no edge {0, 2}
+        let mut oracle = DynamicOracle::with_threshold(&g, 1.0, 10);
+        assert_eq!(
+            oracle.delete_edge(NodeId::new(0), NodeId::new(2)),
+            Err(DynamicError::NotAnEdge {
+                a: NodeId::new(0),
+                b: NodeId::new(2)
+            })
+        );
+        assert_eq!(oracle.buffered(), 0);
+    }
+
+    #[test]
+    fn restore_of_never_deleted_fault_is_a_typed_error() {
+        let g = generators::cycle(12);
+        let mut oracle = DynamicOracle::with_threshold(&g, 1.0, 10);
+        assert_eq!(
+            oracle.restore_vertex(NodeId::new(3)),
+            Err(DynamicError::VertexNotDeleted { v: NodeId::new(3) })
+        );
+        assert_eq!(
+            oracle.restore_edge(NodeId::new(0), NodeId::new(1)),
+            Err(DynamicError::EdgeNotDeleted {
+                a: NodeId::new(0),
+                b: NodeId::new(1)
+            })
+        );
+        // A delete/restore pair brings the restore back to Ok, and a second
+        // restore errors again.
+        oracle.delete_vertex(NodeId::new(3)).unwrap();
+        oracle.restore_vertex(NodeId::new(3)).unwrap();
+        assert!(oracle.restore_vertex(NodeId::new(3)).is_err());
     }
 }

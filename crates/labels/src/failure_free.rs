@@ -34,7 +34,8 @@ impl FailureFreeLabel {
     /// fault-tolerant labels).
     pub fn encoded_bits(&self, n: usize) -> usize {
         let mut w = BitWriter::new();
-        w.write_bits(u64::from(self.owner.raw()), ceil_log2(n).max(1));
+        w.write_bits(u64::from(self.owner.raw()), ceil_log2(n).max(1))
+            .expect("owner id fits the id field");
         w.write_varint(u64::from(self.first_level));
         w.write_varint(self.levels.len() as u64);
         for level in &self.levels {

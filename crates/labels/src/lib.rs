@@ -51,6 +51,7 @@
 pub mod audit;
 mod builder;
 pub mod codec;
+pub mod corrupt;
 pub mod decode;
 mod dynamic;
 pub mod failure_free;
@@ -64,7 +65,7 @@ pub use builder::{BuildError, Labeling, LabelingOptions, LevelReport};
 pub use decode::{
     build_sketch, query, query_many, EdgeProvenance, QueryAnswer, QueryLabels, Sketch,
 };
-pub use dynamic::DynamicOracle;
+pub use dynamic::{DynamicError, DynamicOracle};
 pub use failure_free::{query_failure_free, FailureFreeLabel, FailureFreeLabeling};
 pub use label::{Label, LabelInvalid, LabelPoint, LabelStats, LevelLabel, RealEdge, VirtualEdge};
 pub use oracle::ForbiddenSetOracle;

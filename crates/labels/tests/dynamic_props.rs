@@ -4,59 +4,62 @@
 
 use fsdl_graph::{bfs, FaultSet, Graph, GraphBuilder, NodeId};
 use fsdl_labels::{
-    DynamicOracle, ForbiddenSetOracle, Labeling, LabelingOptions, SchemeParams, WeightedFaults,
-    WeightedOracle,
+    DynamicError, DynamicOracle, ForbiddenSetOracle, Labeling, LabelingOptions, SchemeParams,
+    WeightedFaults, WeightedOracle,
 };
-use proptest::prelude::*;
+use fsdl_testkit::Rng;
 
-fn arb_connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
-    (3usize..max_n).prop_flat_map(|n| {
-        (
-            proptest::collection::vec(0usize..n, n - 1),
-            proptest::collection::vec((0..n as u32, 0..n as u32), 0..14),
-        )
-            .prop_map(move |(parents, extra)| {
-                let mut b = GraphBuilder::new(n);
-                for (i, p) in parents.iter().enumerate().skip(1) {
-                    b.add_edge((p % i) as u32, i as u32).expect("in range");
-                }
-                for (a, c) in extra {
-                    if a != c {
-                        b.add_edge(a, c).expect("in range");
-                    }
-                }
-                b.build()
-            })
-    })
+/// A random connected graph on `3..max_n` vertices: a random spanning
+/// tree plus a handful of extra edges.
+fn random_connected_graph(rng: &mut Rng, max_n: usize) -> Graph {
+    let n = rng.gen_range(3..max_n);
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        let p = rng.gen_range(0..i);
+        b.add_edge(p as u32, i as u32).expect("in range");
+    }
+    let extra = rng.gen_range(0..14usize);
+    for _ in 0..extra {
+        let a = rng.gen_range(0..n as u32);
+        let c = rng.gen_range(0..n as u32);
+        if a != c {
+            b.add_edge(a, c).expect("in range");
+        }
+    }
+    b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn dynamic_oracle_tracks_truth(
-        g in arb_connected_graph(18),
-        script in proptest::collection::vec((0u8..4, 0u32..18, 0u32..18), 1..20),
-        threshold in 1usize..6,
-    ) {
+#[test]
+fn dynamic_oracle_tracks_truth() {
+    fsdl_testkit::check("dynamic_oracle_tracks_truth", 16, |rng| {
+        let g = random_connected_graph(rng, 18);
         let n = g.num_vertices() as u32;
+        let threshold = rng.gen_range(1usize..6);
         let mut oracle = DynamicOracle::with_threshold(&g, 1.0, threshold);
         let mut live_faults = FaultSet::empty();
-        for (op, a, b) in script {
-            let a = NodeId::new(a % n);
-            let b = NodeId::new(b % n);
+        let steps = rng.gen_range(1..20usize);
+        for _ in 0..steps {
+            let op = rng.gen_range(0u32..4);
+            let a = NodeId::new(rng.gen_range(0..n));
+            let b = NodeId::new(rng.gen_range(0..n));
             match op {
                 0 => {
-                    oracle.delete_vertex(a);
+                    oracle.delete_vertex(a).expect("in range");
                     live_faults.forbid_vertex(a);
                 }
                 1 => {
-                    oracle.restore_vertex(a);
-                    live_faults.permit_vertex(a);
+                    // Restoring a vertex that was never deleted is a typed
+                    // error; restoring a live fault must succeed.
+                    match oracle.restore_vertex(a) {
+                        Ok(()) => {
+                            live_faults.permit_vertex(a);
+                        }
+                        Err(e) => assert_eq!(e, DynamicError::VertexNotDeleted { v: a }),
+                    }
                 }
                 2 => {
                     if g.has_edge(a, b) {
-                        oracle.delete_edge(a, b);
+                        oracle.delete_edge(a, b).expect("edge exists");
                         live_faults.forbid_edge_unchecked(a, b);
                     }
                 }
@@ -65,41 +68,102 @@ proptest! {
                     let got = oracle.distance(a, b);
                     let truth = bfs::pair_distance_avoiding(&g, a, b, &live_faults);
                     match truth.finite() {
-                        None => prop_assert!(got.is_infinite(), "invented path {a}->{b}"),
+                        None => assert!(got.is_infinite(), "invented path {a}->{b}"),
                         Some(td) => {
                             let gd = got.finite().expect("missed path");
-                            prop_assert!(gd >= td);
-                            prop_assert!(f64::from(gd) <= 2.0 * f64::from(td) + 1e-9);
+                            assert!(gd >= td);
+                            assert!(f64::from(gd) <= 2.0 * f64::from(td) + 1e-9);
                         }
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn weighted_oracle_matches_dijkstra(
-        g in arb_connected_graph(14),
-        weights_seed in 0u64..1000,
-        fault_pick in 0u32..14,
-        s_pick in 0u32..14,
-        t_pick in 0u32..14,
-    ) {
-        use rand::{Rng, SeedableRng};
+/// The update API rejects garbage instead of panicking: out-of-range
+/// vertices, non-edges, and restores of never-deleted faults all come
+/// back as typed `DynamicError`s, and the oracle keeps answering
+/// correctly afterwards.
+#[test]
+fn dynamic_update_errors_leave_oracle_usable() {
+    fsdl_testkit::check("dynamic_update_errors_leave_oracle_usable", 8, |rng| {
+        let g = random_connected_graph(rng, 14);
+        let n = g.num_vertices() as u32;
+        let mut oracle = DynamicOracle::new(&g, 1.0);
+
+        let beyond = NodeId::new(n + rng.gen_range(0..5u32));
+        assert_eq!(
+            oracle.delete_vertex(beyond),
+            Err(DynamicError::VertexOutOfRange {
+                v: beyond,
+                n: n as usize
+            })
+        );
+        assert_eq!(
+            oracle.restore_vertex(beyond),
+            Err(DynamicError::VertexOutOfRange {
+                v: beyond,
+                n: n as usize
+            })
+        );
+
+        let a = NodeId::new(rng.gen_range(0..n));
+        assert_eq!(
+            oracle.restore_vertex(a),
+            Err(DynamicError::VertexNotDeleted { v: a })
+        );
+
+        // Find a non-edge if one exists.
+        let b = NodeId::new(rng.gen_range(0..n));
+        if a != b && !g.has_edge(a, b) {
+            assert_eq!(
+                oracle.delete_edge(a, b),
+                Err(DynamicError::NotAnEdge { a, b })
+            );
+            assert_eq!(
+                oracle.restore_edge(a, b),
+                Err(DynamicError::EdgeNotDeleted { a, b })
+            );
+        }
+
+        // After all the rejected updates, failure-free answers still match
+        // BFS soundness.
+        let s = NodeId::new(rng.gen_range(0..n));
+        let t = NodeId::new(rng.gen_range(0..n));
+        let got = oracle.distance(s, t);
+        let truth = bfs::pair_distance_avoiding(&g, s, t, &FaultSet::empty());
+        match truth.finite() {
+            None => assert!(got.is_infinite()),
+            Some(td) => {
+                let gd = got.finite().expect("missed path");
+                assert!(gd >= td);
+                assert!(f64::from(gd) <= 2.0 * f64::from(td) + 1e-9);
+            }
+        }
+    });
+}
+
+#[test]
+fn weighted_oracle_matches_dijkstra() {
+    fsdl_testkit::check("weighted_oracle_matches_dijkstra", 16, |rng| {
+        let g = random_connected_graph(rng, 14);
         let n = g.num_vertices();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(weights_seed);
         let edges: Vec<(u32, u32, u32)> = g
             .edges()
             .map(|e| (e.lo().raw(), e.hi().raw(), rng.gen_range(1..=3u32)))
             .collect();
         let oracle = WeightedOracle::new(n, &edges, 1.0);
-        let s = NodeId::new(s_pick % n as u32);
-        let t = NodeId::new(t_pick % n as u32);
-        let fv = NodeId::new(fault_pick % n as u32);
+        let s = NodeId::new(rng.gen_range(0..n as u32));
+        let t = NodeId::new(rng.gen_range(0..n as u32));
+        let fv = NodeId::new(rng.gen_range(0..n as u32));
         let faults = if fv == s || fv == t {
             WeightedFaults::none()
         } else {
-            WeightedFaults { vertices: vec![fv], edges: vec![] }
+            WeightedFaults {
+                vertices: vec![fv],
+                edges: vec![],
+            }
         };
         // Ground truth: Dijkstra over the triples.
         let truth = {
@@ -120,7 +184,9 @@ proptest! {
             dist[s.index()] = 0;
             heap.push(Reverse((0u64, s.index())));
             while let Some(Reverse((d, u))) = heap.pop() {
-                if d > dist[u] { continue; }
+                if d > dist[u] {
+                    continue;
+                }
                 for &(v, w) in &adj[u] {
                     if d + w < dist[v] {
                         dist[v] = d + w;
@@ -132,24 +198,22 @@ proptest! {
         };
         let got = oracle.distance(s, t, &faults);
         match truth {
-            u64::MAX => prop_assert!(got.is_infinite()),
+            u64::MAX => assert!(got.is_infinite()),
             td => {
                 let gd = got.finite().expect("missed weighted path");
-                prop_assert!(u64::from(gd) >= td);
-                prop_assert!(f64::from(gd) <= 2.0 * td as f64 + 1e-9);
+                assert!(u64::from(gd) >= td);
+                assert!(f64::from(gd) <= 2.0 * td as f64 + 1e-9);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn all_pairs_labels_never_worse(
-        g in arb_connected_graph(14),
-        fault_pick in 0u32..14,
-        s_pick in 0u32..14,
-        t_pick in 0u32..14,
-    ) {
+#[test]
+fn all_pairs_labels_never_worse() {
+    fsdl_testkit::check("all_pairs_labels_never_worse", 16, |rng| {
         // The paper-literal all-pairs labels produce a superset sketch, so
         // their answers are <= the pruned answers, and both stay sound.
+        let g = random_connected_graph(rng, 14);
         let n = g.num_vertices() as u32;
         let params = SchemeParams::new(1.0, n as usize);
         let pruned = ForbiddenSetOracle::from_labeling(Labeling::build_with_options(
@@ -162,9 +226,9 @@ proptest! {
             params,
             LabelingOptions { all_pairs: true },
         ));
-        let s = NodeId::new(s_pick % n);
-        let t = NodeId::new(t_pick % n);
-        let fv = NodeId::new(fault_pick % n);
+        let s = NodeId::new(rng.gen_range(0..n));
+        let t = NodeId::new(rng.gen_range(0..n));
+        let fv = NodeId::new(rng.gen_range(0..n));
         let faults = if fv == s || fv == t {
             FaultSet::empty()
         } else {
@@ -172,17 +236,17 @@ proptest! {
         };
         let dp = pruned.distance(s, t, &faults);
         let df = full.distance(s, t, &faults);
-        prop_assert!(df <= dp, "all-pairs answer {df} worse than pruned {dp}");
+        assert!(df <= dp, "all-pairs answer {df} worse than pruned {dp}");
         let truth = bfs::pair_distance_avoiding(&g, s, t, &faults);
         match truth.finite() {
             None => {
-                prop_assert!(dp.is_infinite());
-                prop_assert!(df.is_infinite());
+                assert!(dp.is_infinite());
+                assert!(df.is_infinite());
             }
             Some(td) => {
-                prop_assert!(df.finite().expect("sound") >= td);
-                prop_assert!(f64::from(dp.finite().expect("sound")) <= 2.0 * f64::from(td) + 1e-9);
+                assert!(df.finite().expect("sound") >= td);
+                assert!(f64::from(dp.finite().expect("sound")) <= 2.0 * f64::from(td) + 1e-9);
             }
         }
-    }
+    });
 }

@@ -4,7 +4,33 @@
 //! is "generate-only".
 
 use fsdl_graph::{bfs, generators, FaultSet, Graph, NodeId};
-use fsdl_labels::ForbiddenSetOracle;
+use fsdl_labels::{corrupt, ForbiddenSetOracle};
+
+/// Corruption sweep for one family: >= 1000 scheduled mutations of an
+/// encoded fault label, each of which must either fail decoding with a
+/// typed `CodecError` or decode to a valid label whose query answer is
+/// still sound. `corrupt::corruption_sweep` panics with the seed and the
+/// offending mutation on any violation.
+fn corrupt_family(g: &Graph, eps: f64, seed: u64) {
+    let oracle = ForbiddenSetOracle::new(g, eps);
+    let n = g.num_vertices();
+    assert!(n >= 4, "family too small for a corruption sweep");
+    let s = NodeId::new(0);
+    let t = NodeId::from_index(n / 2);
+    let fault = NodeId::from_index(n / 3);
+    let donor = NodeId::from_index(2 * n / 3);
+    let stats = corrupt::corruption_sweep(&oracle, s, t, fault, donor, 1000, seed);
+    assert!(
+        stats.attempted >= 990,
+        "sweep seed {seed:#x}: only {} mutations attempted",
+        stats.attempted
+    );
+    assert_eq!(
+        stats.attempted,
+        stats.rejected + stats.decoded_sound,
+        "sweep seed {seed:#x}: unaccounted outcomes in {stats:?}"
+    );
+}
 
 /// Shared checker: samples (s, t) pairs with the given fault set and
 /// asserts soundness + stretch + exact disconnection reporting.
@@ -41,6 +67,7 @@ fn center_fault(g: &Graph) -> FaultSet {
 #[test]
 fn torus2d_family() {
     let g = generators::torus2d(6, 6);
+    corrupt_family(&g, 1.0, 0xFA01);
     check_family(&g, 1.0, &FaultSet::empty(), 5, 7);
     check_family(&g, 1.0, &center_fault(&g), 5, 7);
 }
@@ -48,6 +75,7 @@ fn torus2d_family() {
 #[test]
 fn torus3d_family() {
     let g = generators::torus3d(3, 3, 4);
+    corrupt_family(&g, 2.0, 0xFA02);
     check_family(&g, 2.0, &FaultSet::empty(), 3, 5);
     check_family(&g, 2.0, &center_fault(&g), 3, 5);
 }
@@ -55,6 +83,7 @@ fn torus3d_family() {
 #[test]
 fn road_network_family() {
     let g = generators::road_network(8, 8, 0.2, 3);
+    corrupt_family(&g, 1.0, 0xFA03);
     check_family(&g, 1.0, &FaultSet::empty(), 5, 7);
     check_family(&g, 1.0, &center_fault(&g), 5, 7);
 }
@@ -63,6 +92,7 @@ fn road_network_family() {
 fn grid_with_holes_family() {
     // A courtyard: the 2x2 center block is missing.
     let g = generators::grid2d_with_holes(8, 8, |x, y| (3..5).contains(&x) && (3..5).contains(&y));
+    corrupt_family(&g, 1.0, 0xFA04);
     // Skip hole cells as endpoints (they are isolated).
     let oracle = ForbiddenSetOracle::new(&g, 1.0);
     let f = FaultSet::from_vertices([NodeId::new(11)]);
@@ -85,6 +115,7 @@ fn grid_with_holes_family() {
 #[test]
 fn spider_family() {
     let g = generators::spider(5, 8);
+    corrupt_family(&g, 1.0, 0xFA05);
     check_family(&g, 1.0, &FaultSet::empty(), 3, 4);
     // Fault the hub: everything disconnects across legs.
     let hub = FaultSet::from_vertices([NodeId::new(0)]);
@@ -94,6 +125,7 @@ fn spider_family() {
 #[test]
 fn ladder_family() {
     let g = generators::ladder(16);
+    corrupt_family(&g, 0.5, 0xFA06);
     check_family(&g, 0.5, &FaultSet::empty(), 3, 5);
     check_family(&g, 0.5, &center_fault(&g), 3, 5);
 }
@@ -101,6 +133,7 @@ fn ladder_family() {
 #[test]
 fn lollipop_family() {
     let g = generators::lollipop(6, 10);
+    corrupt_family(&g, 1.0, 0xFA07);
     check_family(&g, 1.0, &FaultSet::empty(), 2, 3);
     // Fault the clique-tail joint.
     check_family(&g, 1.0, &FaultSet::from_vertices([NodeId::new(5)]), 2, 3);
@@ -109,6 +142,7 @@ fn lollipop_family() {
 #[test]
 fn barbell_family() {
     let g = generators::barbell(5, 4);
+    corrupt_family(&g, 1.0, 0xFA08);
     check_family(&g, 1.0, &FaultSet::empty(), 2, 3);
     // Fault the middle of the bridge.
     check_family(&g, 1.0, &FaultSet::from_vertices([NodeId::new(7)]), 2, 3);
@@ -117,6 +151,7 @@ fn barbell_family() {
 #[test]
 fn linf_grid_family() {
     let g = generators::grid_linf(4, 3);
+    corrupt_family(&g, 2.0, 0xFA09);
     check_family(&g, 2.0, &FaultSet::empty(), 5, 7);
     check_family(&g, 2.0, &center_fault(&g), 5, 7);
 }
@@ -124,6 +159,7 @@ fn linf_grid_family() {
 #[test]
 fn half_grid_family() {
     let g = generators::half_grid(4, 4);
+    corrupt_family(&g, 3.0, 0xFA0A);
     check_family(&g, 3.0, &FaultSet::empty(), 17, 23);
     check_family(&g, 3.0, &center_fault(&g), 17, 23);
 }
@@ -132,6 +168,7 @@ fn half_grid_family() {
 fn hypercube_contrast_family() {
     // alpha ~ log n: still correct, just expensive — tiny instance.
     let g = generators::hypercube(4);
+    corrupt_family(&g, 2.0, 0xFA0B);
     check_family(&g, 2.0, &FaultSet::empty(), 3, 5);
     check_family(&g, 2.0, &center_fault(&g), 3, 5);
 }
@@ -139,6 +176,7 @@ fn hypercube_contrast_family() {
 #[test]
 fn star_contrast_family() {
     let g = generators::star(24);
+    corrupt_family(&g, 1.0, 0xFA0C);
     check_family(&g, 1.0, &FaultSet::empty(), 3, 5);
     // Fault the hub: everything disconnects.
     let hub = FaultSet::from_vertices([NodeId::new(0)]);
@@ -151,6 +189,7 @@ fn erdos_renyi_contrast_family() {
     // Not doubling-bounded; the scheme stays correct, only its size bound
     // is void.
     let g = generators::erdos_renyi(40, 0.12, 5);
+    corrupt_family(&g, 1.0, 0xFA0D);
     check_family(&g, 1.0, &FaultSet::empty(), 3, 5);
     check_family(&g, 1.0, &center_fault(&g), 3, 5);
 }

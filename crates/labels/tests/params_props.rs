@@ -2,59 +2,58 @@
 //! DESIGN.md 2.4 must hold for every `(eps, c, n)` a caller can construct.
 
 use fsdl_labels::SchemeParams;
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn paper_schedules_always_valid(
-        eps_milli in 50u32..10_000, // eps in [0.05, 10]
-        n in 1usize..2_000_000,
-    ) {
-        let eps = f64::from(eps_milli) / 1000.0;
+#[test]
+fn paper_schedules_always_valid() {
+    fsdl_testkit::check("paper_schedules_always_valid", 256, |rng| {
+        let eps = f64::from(rng.gen_range(50u32..10_000)) / 1000.0; // eps in [0.05, 10]
+        let n = rng.gen_range(1usize..2_000_000);
         let p = SchemeParams::new(eps, n);
-        prop_assert_eq!(p.verify_invariants(), Ok(()));
-        prop_assert!(p.stretch_guaranteed());
+        assert_eq!(p.verify_invariants(), Ok(()));
+        assert!(p.stretch_guaranteed());
         // The level range is never empty and starts above c.
-        prop_assert!(p.levels().count() >= 1);
-        prop_assert!(p.levels().next().unwrap() == p.c() + 1);
-    }
+        assert!(p.levels().count() >= 1);
+        assert!(p.levels().next().unwrap() == p.c() + 1);
+    });
+}
 
-    #[test]
-    fn explicit_c_schedules_valid(
-        eps_milli in 50u32..10_000,
-        c in 2u32..10,
-        n in 1usize..100_000,
-    ) {
-        let eps = f64::from(eps_milli) / 1000.0;
+#[test]
+fn explicit_c_schedules_valid() {
+    fsdl_testkit::check("explicit_c_schedules_valid", 256, |rng| {
+        let eps = f64::from(rng.gen_range(50u32..10_000)) / 1000.0;
+        let c = rng.gen_range(2u32..10);
+        let n = rng.gen_range(1usize..100_000);
         let p = SchemeParams::with_c(eps, c, n);
         // The structural inequalities hold for any c >= 2 (only the stretch
         // guarantee needs the paper threshold).
-        prop_assert_eq!(p.verify_invariants(), Ok(()));
-    }
+        assert_eq!(p.verify_invariants(), Ok(()));
+    });
+}
 
-    #[test]
-    fn schedule_monotonicity(
-        eps_milli in 100u32..5_000,
-        n in 2usize..1_000_000,
-    ) {
-        let eps = f64::from(eps_milli) / 1000.0;
+#[test]
+fn schedule_monotonicity() {
+    fsdl_testkit::check("schedule_monotonicity", 256, |rng| {
+        let eps = f64::from(rng.gen_range(100u32..5_000)) / 1000.0;
+        let n = rng.gen_range(2usize..1_000_000);
         let p = SchemeParams::new(eps, n);
         for i in p.levels() {
             // rho < lambda < mu < r, and everything doubles per level.
-            prop_assert!(p.rho(i) < p.lambda(i));
-            prop_assert!(p.lambda(i) < p.mu(i));
-            prop_assert!(p.mu(i) < p.r(i));
-            prop_assert_eq!(p.rho(i + 1), 2 * p.rho(i));
-            prop_assert_eq!(p.lambda(i + 1), 2 * p.lambda(i));
-            prop_assert_eq!(p.mu(i + 1), 2 * p.mu(i));
+            assert!(p.rho(i) < p.lambda(i));
+            assert!(p.lambda(i) < p.mu(i));
+            assert!(p.mu(i) < p.r(i));
+            assert_eq!(p.rho(i + 1), 2 * p.rho(i));
+            assert_eq!(p.lambda(i + 1), 2 * p.lambda(i));
+            assert_eq!(p.mu(i + 1), 2 * p.mu(i));
         }
-    }
+    });
+}
 
-    #[test]
-    fn paper_c_matches_formula(eps_milli in 10u32..100_000) {
-        let eps = f64::from(eps_milli) / 1000.0;
+#[test]
+fn paper_c_matches_formula() {
+    fsdl_testkit::check("paper_c_matches_formula", 256, |rng| {
+        let eps = f64::from(rng.gen_range(10u32..100_000)) / 1000.0;
         let c = SchemeParams::paper_c(eps);
         let formula = (6.0 / eps).log2().ceil().max(2.0) as u32;
-        prop_assert_eq!(c, formula);
-    }
+        assert_eq!(c, formula);
+    });
 }

@@ -6,104 +6,100 @@ use fsdl_graph::{bfs, FaultSet, Graph, GraphBuilder, NodeId};
 use fsdl_labels::codec::{decode, encode};
 use fsdl_labels::failure_free::{query_failure_free, FailureFreeLabeling};
 use fsdl_labels::{ForbiddenSetOracle, Label, LabelPoint, LevelLabel, RealEdge, VirtualEdge};
-use proptest::prelude::*;
+use fsdl_testkit::Rng;
 
-/// Strategy: an arbitrary structurally-valid label (edge indices in range,
-/// points sorted by id) for codec round-trip testing.
-fn arb_label(n: u32) -> impl Strategy<Value = Label> {
-    let point = (0..n, 0u32..1000, 0u32..20).prop_map(|(v, dist, net_level)| LabelPoint {
-        vertex: NodeId::new(v),
-        dist,
-        net_level,
-    });
-    let level = proptest::collection::vec(point, 0..12).prop_flat_map(move |mut points| {
-        points.sort_by_key(|p| p.vertex);
-        points.dedup_by_key(|p| p.vertex);
-        let k = points.len() as u32;
-        let edges = if k >= 2 {
-            proptest::collection::vec((0..k, 0..k, 0u32..1000), 0..10).boxed()
-        } else {
-            Just(Vec::new()).boxed()
-        };
-        let reals = if k >= 2 {
-            proptest::collection::vec((0..k, 0..k), 0..6).boxed()
-        } else {
-            Just(Vec::new()).boxed()
-        };
-        (Just(points), edges, reals).prop_map(|(points, edges, reals)| LevelLabel {
-            virtual_edges: edges
-                .into_iter()
-                .map(|(a, b, dist)| VirtualEdge { a, b, dist })
-                .collect(),
-            real_edges: reals.into_iter().map(|(a, b)| RealEdge { a, b }).collect(),
-            points,
+/// An arbitrary structurally-valid label (edge indices in range, points
+/// sorted by id) for codec round-trip testing.
+fn random_label(rng: &mut Rng, n: u32) -> Label {
+    let num_levels = rng.gen_range(1..5usize);
+    let levels = (0..num_levels)
+        .map(|_| {
+            let mut points: Vec<LabelPoint> = (0..rng.gen_range(0..12usize))
+                .map(|_| LabelPoint {
+                    vertex: NodeId::new(rng.gen_range(0..n)),
+                    dist: rng.gen_range(0..1000u32),
+                    net_level: rng.gen_range(0..20u32),
+                })
+                .collect();
+            points.sort_by_key(|p| p.vertex);
+            points.dedup_by_key(|p| p.vertex);
+            let k = points.len() as u32;
+            let virtual_edges = if k >= 2 {
+                (0..rng.gen_range(0..10usize))
+                    .map(|_| VirtualEdge {
+                        a: rng.gen_range(0..k),
+                        b: rng.gen_range(0..k),
+                        dist: rng.gen_range(0..1000u32),
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let real_edges = if k >= 2 {
+                (0..rng.gen_range(0..6usize))
+                    .map(|_| RealEdge {
+                        a: rng.gen_range(0..k),
+                        b: rng.gen_range(0..k),
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            LevelLabel {
+                virtual_edges,
+                real_edges,
+                points,
+            }
         })
-    });
-    (
-        0..n,
-        0u32..20,
-        2u32..6,
-        proptest::collection::vec(level, 1..5),
-    )
-        .prop_map(|(owner, owner_net_level, first_level, levels)| Label {
-            owner: NodeId::new(owner),
-            owner_net_level,
-            first_level,
-            levels,
-        })
-}
-
-fn arb_connectedish_graph() -> impl Strategy<Value = Graph> {
-    // A random tree plus random extra edges: connected, arbitrary shape.
-    (2usize..24).prop_flat_map(|n| {
-        (
-            proptest::collection::vec(0usize..n, n - 1),
-            proptest::collection::vec((0..n as u32, 0..n as u32), 0..20),
-        )
-            .prop_map(move |(parents, extra)| {
-                let mut b = GraphBuilder::new(n);
-                for (i, p) in parents.iter().enumerate().skip(1) {
-                    b.add_edge((p % i) as u32, i as u32).expect("in range");
-                }
-                for (a, c) in extra {
-                    if a != c {
-                        b.add_edge(a, c).expect("in range");
-                    }
-                }
-                b.build()
-            })
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn codec_roundtrip_arbitrary_labels(label in arb_label(500)) {
-        let w = encode(&label, 500);
-        let back = decode(w.as_bytes(), w.len_bits(), 500).expect("roundtrip");
-        prop_assert_eq!(back, label);
+        .collect();
+    Label {
+        owner: NodeId::new(rng.gen_range(0..n)),
+        owner_net_level: rng.gen_range(0..20u32),
+        first_level: rng.gen_range(2..6u32),
+        levels,
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// A random tree plus random extra edges: connected, arbitrary shape.
+fn random_connectedish_graph(rng: &mut Rng) -> Graph {
+    let n = rng.gen_range(2..24usize);
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        let p = rng.gen_range(0..i);
+        b.add_edge(p as u32, i as u32).expect("in range");
+    }
+    for _ in 0..rng.gen_range(0..20usize) {
+        let a = rng.gen_range(0..n as u32);
+        let c = rng.gen_range(0..n as u32);
+        if a != c {
+            b.add_edge(a, c).expect("in range");
+        }
+    }
+    b.build()
+}
 
-    #[test]
-    fn decoder_sound_and_within_stretch(
-        g in arb_connectedish_graph(),
-        fault_picks in proptest::collection::vec(0u32..24, 0..4),
-        s_pick in 0u32..24,
-        t_pick in 0u32..24,
-    ) {
+#[test]
+fn codec_roundtrip_arbitrary_labels() {
+    fsdl_testkit::check("codec_roundtrip_arbitrary_labels", 64, |rng| {
+        let label = random_label(rng, 500);
+        let w = encode(&label, 500);
+        let back = decode(w.as_bytes(), w.len_bits(), 500).expect("roundtrip");
+        assert_eq!(back, label);
+    });
+}
+
+#[test]
+fn decoder_sound_and_within_stretch() {
+    fsdl_testkit::check("decoder_sound_and_within_stretch", 24, |rng| {
+        let g = random_connectedish_graph(rng);
         let n = g.num_vertices() as u32;
         let eps = 1.0;
         let oracle = ForbiddenSetOracle::new(&g, eps);
-        let s = NodeId::new(s_pick % n);
-        let t = NodeId::new(t_pick % n);
+        let s = NodeId::new(rng.gen_range(0..n));
+        let t = NodeId::new(rng.gen_range(0..n));
         let mut faults = FaultSet::empty();
-        for f in fault_picks {
-            let f = NodeId::new(f % n);
+        for _ in 0..rng.gen_range(0..4usize) {
+            let f = NodeId::new(rng.gen_range(0..n));
             if f != s && f != t {
                 faults.forbid_vertex(f);
             }
@@ -111,110 +107,106 @@ proptest! {
         let answer = oracle.distance(s, t, &faults);
         let truth = bfs::pair_distance_avoiding(&g, s, t, &faults);
         match truth.finite() {
-            None => prop_assert!(answer.is_infinite(), "invented a path"),
-            Some(0) => prop_assert_eq!(answer.finite(), Some(0)),
+            None => assert!(answer.is_infinite(), "invented a path"),
+            Some(0) => assert_eq!(answer.finite(), Some(0)),
             Some(td) => {
                 let ad = answer.finite().expect("spurious disconnection");
-                prop_assert!(ad >= td, "unsound: {} < {}", ad, td);
-                prop_assert!(
+                assert!(ad >= td, "unsound: {ad} < {td}");
+                assert!(
                     f64::from(ad) <= (1.0 + eps) * f64::from(td) + 1e-9,
-                    "stretch: {} vs {}", ad, td
+                    "stretch: {ad} vs {td}"
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn decoder_edge_faults_sound(
-        g in arb_connectedish_graph(),
-        edge_pick in 0usize..50,
-        s_pick in 0u32..24,
-        t_pick in 0u32..24,
-    ) {
+#[test]
+fn decoder_edge_faults_sound() {
+    fsdl_testkit::check("decoder_edge_faults_sound", 24, |rng| {
+        let g = random_connectedish_graph(rng);
         let n = g.num_vertices() as u32;
         let edges: Vec<_> = g.edges().collect();
         if edges.is_empty() {
-            return Ok(());
+            return;
         }
-        let e = edges[edge_pick % edges.len()];
+        let e = edges[rng.gen_range(0..edges.len())];
         let faults = FaultSet::from_edges(&g, [(e.lo(), e.hi())]);
         let oracle = ForbiddenSetOracle::new(&g, 1.0);
-        let s = NodeId::new(s_pick % n);
-        let t = NodeId::new(t_pick % n);
+        let s = NodeId::new(rng.gen_range(0..n));
+        let t = NodeId::new(rng.gen_range(0..n));
         let answer = oracle.distance(s, t, &faults);
         let truth = bfs::pair_distance_avoiding(&g, s, t, &faults);
         match truth.finite() {
-            None => prop_assert!(answer.is_infinite()),
+            None => assert!(answer.is_infinite()),
             Some(td) => {
                 let ad = answer.finite().expect("spurious disconnection");
-                prop_assert!(ad >= td);
-                prop_assert!(f64::from(ad) <= 2.0 * f64::from(td) + 1e-9);
+                assert!(ad >= td);
+                assert!(f64::from(ad) <= 2.0 * f64::from(td) + 1e-9);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn failure_free_scheme_within_stretch(
-        g in arb_connectedish_graph(),
-        s_pick in 0u32..24,
-        t_pick in 0u32..24,
-        eps_scale in 1u32..5,
-    ) {
-        let eps = f64::from(eps_scale) * 0.5;
+#[test]
+fn failure_free_scheme_within_stretch() {
+    fsdl_testkit::check("failure_free_scheme_within_stretch", 24, |rng| {
+        let g = random_connectedish_graph(rng);
+        let eps = f64::from(rng.gen_range(1..5u32)) * 0.5;
         let n = g.num_vertices() as u32;
         let ff = FailureFreeLabeling::build(&g, eps);
-        let s = NodeId::new(s_pick % n);
-        let t = NodeId::new(t_pick % n);
+        let s = NodeId::new(rng.gen_range(0..n));
+        let t = NodeId::new(rng.gen_range(0..n));
         let answer = query_failure_free(&ff.label_of(s), &ff.label_of(t));
         let truth = bfs::pair_distance_avoiding(&g, s, t, &FaultSet::empty());
         match truth.finite() {
-            None => prop_assert!(answer.is_infinite()),
+            None => assert!(answer.is_infinite()),
             Some(td) => {
                 let ad = answer.finite().expect("connected pair");
-                prop_assert!(ad >= td);
-                prop_assert!(
+                assert!(ad >= td);
+                assert!(
                     f64::from(ad) <= (1.0 + eps) * f64::from(td) + 1e-9,
-                    "ff stretch {} vs {} at eps {}", ad, td, eps
+                    "ff stretch {ad} vs {td} at eps {eps}"
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn decoded_labels_always_validate(
-        g in arb_connectedish_graph(),
-        v_pick in 0u32..24,
-    ) {
+#[test]
+fn decoded_labels_always_validate() {
+    fsdl_testkit::check("decoded_labels_always_validate", 24, |rng| {
+        let g = random_connectedish_graph(rng);
         let n = g.num_vertices();
         let oracle = ForbiddenSetOracle::new(&g, 1.0);
-        let v = NodeId::new(v_pick % n as u32);
+        let v = NodeId::new(rng.gen_range(0..n as u32));
         let label = oracle.label(v);
-        prop_assert_eq!(label.validate(), Ok(()));
+        assert_eq!(label.validate(), Ok(()));
         let w = encode(&label, n);
         let back = decode(w.as_bytes(), w.len_bits(), n).expect("roundtrip");
-        prop_assert_eq!(back.validate(), Ok(()));
-    }
+        assert_eq!(back.validate(), Ok(()));
+    });
+}
 
-    #[test]
-    fn sketch_edges_are_safe(
-        g in arb_connectedish_graph(),
-        fault_picks in proptest::collection::vec(0u32..24, 1..3),
-    ) {
+#[test]
+fn sketch_edges_are_safe() {
+    fsdl_testkit::check("sketch_edges_are_safe", 24, |rng| {
         // Lemma 2.3 operationally: every admitted sketch edge (x, y) has
         // d_{G\F}(x, y) == its weight.
+        let g = random_connectedish_graph(rng);
         let n = g.num_vertices() as u32;
         let oracle = ForbiddenSetOracle::new(&g, 1.0);
         let s = NodeId::new(0);
         let t = NodeId::new(n - 1);
         let mut faults = FaultSet::empty();
-        for f in fault_picks {
-            let f = NodeId::new(f % n);
+        for _ in 0..rng.gen_range(1..3usize) {
+            let f = NodeId::new(rng.gen_range(0..n));
             if f != s && f != t {
                 faults.forbid_vertex(f);
             }
         }
         if faults.is_empty() {
-            return Ok(());
+            return;
         }
         let sl = oracle.label(s);
         let tl = oracle.label(t);
@@ -225,15 +217,16 @@ proptest! {
         };
         let sketch = fsdl_labels::build_sketch(oracle.params(), &sl, &tl, &ql);
         for (a, b, w) in sketch.graph.edges() {
-            if faults.is_vertex_faulty(a) || faults.is_vertex_faulty(b) {
-                // Edges incident to faults cannot be admitted.
-                prop_assert!(false, "edge incident to a fault admitted: {a}-{b}");
-            }
+            assert!(
+                !faults.is_vertex_faulty(a) && !faults.is_vertex_faulty(b),
+                "edge incident to a fault admitted: {a}-{b}"
+            );
             let d = bfs::pair_distance_avoiding(&g, a, b, &faults);
-            prop_assert_eq!(
-                d.finite(), Some(w as u32),
-                "unsafe sketch edge {}-{} weight {}", a, b, w
+            assert_eq!(
+                d.finite(),
+                Some(w as u32),
+                "unsafe sketch edge {a}-{b} weight {w}"
             );
         }
-    }
+    });
 }

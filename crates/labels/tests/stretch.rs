@@ -6,8 +6,7 @@
 
 use fsdl_graph::{bfs, generators, FaultSet, Graph, NodeId};
 use fsdl_labels::ForbiddenSetOracle;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fsdl_testkit::Rng;
 
 /// Checks one query against ground truth; returns the realized stretch (1.0
 /// for exact / trivial answers).
@@ -54,7 +53,7 @@ fn check_query(
 fn fuzz_graph(g: &Graph, eps: f64, max_faults: usize, rounds: usize, seed: u64) {
     let n = g.num_vertices();
     let oracle = ForbiddenSetOracle::new(g, eps);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     for round in 0..rounds {
         let nf = rng.gen_range(0..=max_faults);
         let mut f = FaultSet::empty();

@@ -3,91 +3,105 @@
 
 use fsdl_graph::{bfs, FaultSet, Graph, GraphBuilder, NodeId};
 use fsdl_nets::{greedy_net, validate_net, NetHierarchy};
-use proptest::prelude::*;
+use fsdl_testkit::Rng;
 
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    (1usize..32).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..60).prop_map(move |pairs| {
-            let mut b = GraphBuilder::new(n);
-            for (a, c) in pairs {
-                if a != c {
-                    b.add_edge(a, c).expect("in range");
-                }
-            }
-            b.build()
-        })
-    })
+fn random_graph(rng: &mut Rng) -> Graph {
+    let n = rng.gen_range(1usize..32);
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..rng.gen_range(0..60usize) {
+        let a = rng.gen_range(0..n as u32);
+        let c = rng.gen_range(0..n as u32);
+        if a != c {
+            b.add_edge(a, c).expect("in range");
+        }
+    }
+    b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn greedy_net_is_valid(g in arb_graph(), r in 1u32..12) {
+#[test]
+fn greedy_net_is_valid() {
+    fsdl_testkit::check("greedy_net_is_valid", 48, |rng| {
+        let g = random_graph(rng);
+        let r = rng.gen_range(1u32..12);
         let net = greedy_net(&g, r);
-        prop_assert_eq!(validate_net(&g, &net, r), None);
-    }
+        assert_eq!(validate_net(&g, &net, r), None);
+    });
+}
 
-    #[test]
-    fn greedy_net_contains_vertex_zero(g in arb_graph(), r in 1u32..12) {
+#[test]
+fn greedy_net_contains_vertex_zero() {
+    fsdl_testkit::check("greedy_net_contains_vertex_zero", 48, |rng| {
         // Vertex 0 is always uncovered first, so it joins every net.
+        let g = random_graph(rng);
+        let r = rng.gen_range(1u32..12);
         let net = greedy_net(&g, r);
-        prop_assert!(net.contains(&NodeId::new(0)));
-    }
+        assert!(net.contains(&NodeId::new(0)));
+    });
+}
 
-    #[test]
-    fn hierarchy_nesting_and_domination(g in arb_graph()) {
+#[test]
+fn hierarchy_nesting_and_domination() {
+    fsdl_testkit::check("hierarchy_nesting_and_domination", 48, |rng| {
+        let g = random_graph(rng);
         let nets = NetHierarchy::build(&g);
         for i in 0..=nets.top_level() {
             // Nesting.
             if i > 0 {
                 for p in nets.net_points(i) {
-                    prop_assert!(nets.is_in_net(p, i - 1));
+                    assert!(nets.is_in_net(p, i - 1));
                 }
             }
             // (2^i - 1)-domination within components.
             for v in g.vertices() {
-                let d = nets.distance_to_net(v, i).expect("greedy covers components");
-                prop_assert!(d < (1u32 << i), "v{} at {} from N_{}", v.raw(), d, i);
+                let d = nets
+                    .distance_to_net(v, i)
+                    .expect("greedy covers components");
+                assert!(d < (1u32 << i), "v{} at {} from N_{}", v.raw(), d, i);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn nearest_matches_exhaustive(g in arb_graph(), level in 0u32..6) {
+#[test]
+fn nearest_matches_exhaustive() {
+    fsdl_testkit::check("nearest_matches_exhaustive", 48, |rng| {
+        let g = random_graph(rng);
+        let level = rng.gen_range(0u32..6);
         let nets = NetHierarchy::build(&g);
         let i = level.min(nets.top_level());
         let pts: Vec<NodeId> = nets.net_points(i).collect();
         for v in g.vertices() {
             let (m, d) = nets.nearest(v, i).expect("covered");
             // m really is a net point at the claimed distance.
-            prop_assert!(nets.is_in_net(m, i));
+            assert!(nets.is_in_net(m, i));
             let dm = bfs::pair_distance_avoiding(&g, v, m, &FaultSet::empty());
-            prop_assert_eq!(dm.finite(), Some(d));
+            assert_eq!(dm.finite(), Some(d));
             // No closer net point exists.
             for &p in &pts {
                 let dp = bfs::pair_distance_avoiding(&g, v, p, &FaultSet::empty());
                 if let Some(dp) = dp.finite() {
-                    prop_assert!(dp >= d, "closer net point {} at {}", p, dp);
+                    assert!(dp >= d, "closer net point {p} at {dp}");
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn net_points_pairwise_separated(g in arb_graph(), j in 1u32..5) {
-        // Points of W(2^j) are pairwise >= 2^j apart; the union N_i only
-        // guarantees separation per W, but level_of encodes the max j, and
-        // points with level_of >= j that entered at W(2^j)... the public
-        // invariant worth checking: N_top has at most one point per
-        // component.
-        let _ = j;
+#[test]
+fn net_points_pairwise_separated() {
+    fsdl_testkit::check("net_points_pairwise_separated", 48, |rng| {
+        // The public invariant worth checking at the top of the hierarchy:
+        // N_top has at most one point per component.
+        let g = random_graph(rng);
         let nets = NetHierarchy::build(&g);
         let top: Vec<NodeId> = nets.net_points(nets.top_level()).collect();
         let comps = fsdl_graph::connectivity::component_labels(&g);
         let mut seen = std::collections::HashSet::new();
         for p in top {
-            prop_assert!(seen.insert(comps[p.index()]), "two top points in one component");
+            assert!(
+                seen.insert(comps[p.index()]),
+                "two top points in one component"
+            );
         }
-    }
+    });
 }

@@ -138,7 +138,9 @@ impl RecoverySim {
     ///
     /// `Unreachable` when `t` cannot be reached given what was learned
     /// (which equals true unreachability once awareness suffices);
-    /// `ForbiddenEndpoint` for failed endpoints.
+    /// `ForbiddenEndpoint` for failed endpoints;
+    /// [`RouteFailure::NoProgress`] / [`RouteFailure::InvalidPort`] when a
+    /// scheme invariant is violated (surfaced rather than panicking).
     ///
     /// # Panics
     ///
@@ -171,16 +173,21 @@ impl RecoverySim {
                         // Better-informed router: recompute immediately
                         // (the paper's "make a new query" step).
                         reroutes += 1;
-                        assert!(reroutes <= budget, "recovery failed to make progress");
+                        if reroutes > budget {
+                            return Err(RouteFailure::NoProgress { at: cur, reroutes });
+                        }
                         continue 'replan;
                     }
                     let table = self.network.table(cur);
                     let Some(port) = table.port_toward(waypoint) else {
                         return Err(RouteFailure::MissingTableEntry { at: cur, waypoint });
                     };
-                    let next = g
-                        .neighbor_at_port(cur, port as usize)
-                        .expect("table ports are valid");
+                    let Some(next) = g.neighbor_at_port(cur, port as usize) else {
+                        return Err(RouteFailure::InvalidPort {
+                            at: cur,
+                            port: port as usize,
+                        });
+                    };
                     if self.ground_truth.blocks_traversal(cur, next) {
                         // Probe failed: discover and replan from here.
                         if self.ground_truth.is_vertex_faulty(next) {
@@ -191,7 +198,9 @@ impl RecoverySim {
                         }
                         self.merge_into_router(cur, &carried.clone(), &mut informed);
                         reroutes += 1;
-                        assert!(reroutes <= budget, "recovery failed to make progress");
+                        if reroutes > budget {
+                            return Err(RouteFailure::NoProgress { at: cur, reroutes });
+                        }
                         continue 'replan;
                     }
                     path.push(next);

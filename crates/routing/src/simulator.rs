@@ -45,6 +45,23 @@ pub enum RouteFailure {
         /// The forbidden next hop.
         to: NodeId,
     },
+    /// A routing table named a port with no corresponding neighbour (a
+    /// corrupted or stale table; surfaced for auditability).
+    InvalidPort {
+        /// The forwarding vertex.
+        at: NodeId,
+        /// The dangling port number.
+        port: usize,
+    },
+    /// Rerouting stopped making progress: either a reroute was triggered
+    /// without learning a new fault, or the reroute budget (each reroute
+    /// must discover at least one new fault) was exhausted.
+    NoProgress {
+        /// The vertex where progress stalled.
+        at: NodeId,
+        /// Reroutes performed before stalling.
+        reroutes: usize,
+    },
 }
 
 impl std::fmt::Display for RouteFailure {
@@ -57,6 +74,12 @@ impl std::fmt::Display for RouteFailure {
             }
             RouteFailure::TraversedFault { from, to } => {
                 write!(f, "forwarding {from} -> {to} would traverse a fault")
+            }
+            RouteFailure::InvalidPort { at, port } => {
+                write!(f, "table at {at} names invalid port {port}")
+            }
+            RouteFailure::NoProgress { at, reroutes } => {
+                write!(f, "rerouting stalled at {at} after {reroutes} reroutes")
             }
         }
     }
@@ -182,9 +205,12 @@ impl Network {
                 let Some(port) = table.port_toward(waypoint) else {
                     return Err(RouteFailure::MissingTableEntry { at: cur, waypoint });
                 };
-                let next = g
-                    .neighbor_at_port(cur, port as usize)
-                    .expect("table ports are valid");
+                let Some(next) = g.neighbor_at_port(cur, port as usize) else {
+                    return Err(RouteFailure::InvalidPort {
+                        at: cur,
+                        port: port as usize,
+                    });
+                };
                 if faults.blocks_traversal(cur, next) {
                     return Err(RouteFailure::TraversedFault {
                         from: cur,
@@ -217,12 +243,14 @@ impl Network {
     ///
     /// Returns the realized walk; `Err` mirrors [`Network::route`]:
     /// `Unreachable` when no surviving path exists (possibly discovered
-    /// mid-route), `ForbiddenEndpoint` for failed endpoints.
+    /// mid-route), `ForbiddenEndpoint` for failed endpoints, and
+    /// [`RouteFailure::NoProgress`] when discovery stops learning new
+    /// faults (a scheme-invariant violation, surfaced as a typed error
+    /// rather than a panic).
     ///
     /// # Panics
     ///
-    /// Panics if `s` or `t` is out of range, or if discovery fails to make
-    /// progress (a scheme-invariant violation).
+    /// Panics if `s` or `t` is out of range.
     pub fn route_adaptive(
         &self,
         s: NodeId,
@@ -254,9 +282,12 @@ impl Network {
                     let Some(port) = table.port_toward(waypoint) else {
                         return Err(RouteFailure::MissingTableEntry { at: cur, waypoint });
                     };
-                    let next = g
-                        .neighbor_at_port(cur, port as usize)
-                        .expect("table ports are valid");
+                    let Some(next) = g.neighbor_at_port(cur, port as usize) else {
+                        return Err(RouteFailure::InvalidPort {
+                            at: cur,
+                            port: port as usize,
+                        });
+                    };
                     if ground_truth.blocks_traversal(cur, next) {
                         // Discover what blocked us and replan from here.
                         let mut learned = false;
@@ -270,16 +301,16 @@ impl Network {
                             known.forbid_edge_unchecked(cur, next);
                             learned = true;
                         }
-                        assert!(
-                            learned,
-                            "forwarding into a fault that was already known: {cur} -> {next}"
-                        );
+                        if !learned {
+                            // Forwarding into a fault that was already known:
+                            // replanning would repeat the same step forever.
+                            return Err(RouteFailure::NoProgress { at: cur, reroutes });
+                        }
                         discovered += 1;
                         reroutes += 1;
-                        assert!(
-                            reroutes <= max_reroutes,
-                            "discovery failed to make progress"
-                        );
+                        if reroutes > max_reroutes {
+                            return Err(RouteFailure::NoProgress { at: cur, reroutes });
+                        }
                         continue 'replan;
                     }
                     path.push(next);

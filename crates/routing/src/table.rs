@@ -69,7 +69,8 @@ impl RoutingTable {
         let mut entries: Vec<(NodeId, u32)> = self.ports.iter().map(|(&t, &p)| (t, p)).collect();
         entries.sort_unstable();
         let mut w = BitWriter::new();
-        w.write_bits(u64::from(self.owner.raw()), id_w);
+        w.write_bits(u64::from(self.owner.raw()), id_w)
+            .expect("owner id fits the id field");
         w.write_varint(entries.len() as u64);
         let mut prev = 0u64;
         for (k, (target, port)) in entries.iter().enumerate() {
@@ -77,7 +78,8 @@ impl RoutingTable {
             let delta = if k == 0 { id } else { id - prev };
             prev = id;
             w.write_varint(delta);
-            w.write_bits(u64::from(*port), port_w);
+            w.write_bits(u64::from(*port), port_w)
+                .expect("port fits the port field");
         }
         w
     }

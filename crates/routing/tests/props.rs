@@ -4,45 +4,35 @@
 
 use fsdl_graph::{bfs, FaultSet, Graph, GraphBuilder, NodeId};
 use fsdl_routing::{Network, RouteFailure};
-use proptest::prelude::*;
+use fsdl_testkit::Rng;
 
-fn arb_connected_graph() -> impl Strategy<Value = Graph> {
-    (2usize..20).prop_flat_map(|n| {
-        (
-            proptest::collection::vec(0usize..n, n - 1),
-            proptest::collection::vec((0..n as u32, 0..n as u32), 0..16),
-        )
-            .prop_map(move |(parents, extra)| {
-                let mut b = GraphBuilder::new(n);
-                for (i, p) in parents.iter().enumerate().skip(1) {
-                    b.add_edge((p % i) as u32, i as u32).expect("in range");
-                }
-                for (a, c) in extra {
-                    if a != c {
-                        b.add_edge(a, c).expect("in range");
-                    }
-                }
-                b.build()
-            })
-    })
+fn random_connected_graph(rng: &mut Rng) -> Graph {
+    let n = rng.gen_range(2usize..20);
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        let p = rng.gen_range(0..i);
+        b.add_edge(p as u32, i as u32).expect("in range");
+    }
+    for _ in 0..rng.gen_range(0..16usize) {
+        let a = rng.gen_range(0..n as u32);
+        let c = rng.gen_range(0..n as u32);
+        if a != c {
+            b.add_edge(a, c).expect("in range");
+        }
+    }
+    b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(20))]
-
-    #[test]
-    fn routed_packets_are_valid_walks(
-        g in arb_connected_graph(),
-        s_pick in 0u32..20,
-        t_pick in 0u32..20,
-        fault_picks in proptest::collection::vec(0u32..20, 0..3),
-    ) {
+#[test]
+fn routed_packets_are_valid_walks() {
+    fsdl_testkit::check("routed_packets_are_valid_walks", 20, |rng| {
+        let g = random_connected_graph(rng);
         let n = g.num_vertices() as u32;
-        let s = NodeId::new(s_pick % n);
-        let t = NodeId::new(t_pick % n);
+        let s = NodeId::new(rng.gen_range(0..n));
+        let t = NodeId::new(rng.gen_range(0..n));
         let mut faults = FaultSet::empty();
-        for f in fault_picks {
-            let f = NodeId::new(f % n);
+        for _ in 0..rng.gen_range(0..3usize) {
+            let f = NodeId::new(rng.gen_range(0..n));
             if f != s && f != t {
                 faults.forbid_vertex(f);
             }
@@ -51,71 +41,66 @@ proptest! {
         let truth = bfs::pair_distance_avoiding(&g, s, t, &faults);
         match net.route(s, t, &faults) {
             Ok(d) => {
-                prop_assert_eq!(d.path.first(), Some(&s));
-                prop_assert_eq!(d.path.last(), Some(&t));
+                assert_eq!(d.path.first(), Some(&s));
+                assert_eq!(d.path.last(), Some(&t));
                 for w in d.path.windows(2) {
-                    prop_assert!(g.has_edge(w[0], w[1]), "non-edge hop");
-                    prop_assert!(!faults.blocks_traversal(w[0], w[1]), "fault traversed");
+                    assert!(g.has_edge(w[0], w[1]), "non-edge hop");
+                    assert!(!faults.blocks_traversal(w[0], w[1]), "fault traversed");
                 }
                 // Hop count equals the decoder estimate exactly.
                 let est = net.oracle().distance(s, t, &faults);
-                prop_assert_eq!(d.hops as u32, est.finite().expect("delivered"));
+                assert_eq!(d.hops as u32, est.finite().expect("delivered"));
                 // And is within stretch of the truth.
                 let td = truth.finite().expect("delivered implies connected");
                 if td > 0 {
-                    prop_assert!(d.hops as f64 <= 2.0 * f64::from(td) + 1e-9);
+                    assert!(d.hops as f64 <= 2.0 * f64::from(td) + 1e-9);
                 }
             }
-            Err(RouteFailure::Unreachable) => prop_assert!(truth.is_infinite()),
+            Err(RouteFailure::Unreachable) => assert!(truth.is_infinite()),
             Err(RouteFailure::ForbiddenEndpoint) => {
-                prop_assert!(faults.is_vertex_faulty(s) || faults.is_vertex_faulty(t));
+                assert!(faults.is_vertex_faulty(s) || faults.is_vertex_faulty(t));
             }
-            Err(e) => prop_assert!(false, "invariant violated: {e}"),
+            Err(e) => panic!("invariant violated: {e}"),
         }
-    }
+    });
+}
 
-    #[test]
-    fn adaptive_routing_always_consistent(
-        g in arb_connected_graph(),
-        s_pick in 0u32..20,
-        t_pick in 0u32..20,
-        fault_picks in proptest::collection::vec(0u32..20, 0..3),
-        known_count in 0usize..2,
-    ) {
+#[test]
+fn adaptive_routing_always_consistent() {
+    fsdl_testkit::check("adaptive_routing_always_consistent", 20, |rng| {
+        let g = random_connected_graph(rng);
         let n = g.num_vertices() as u32;
-        let s = NodeId::new(s_pick % n);
-        let t = NodeId::new(t_pick % n);
+        let s = NodeId::new(rng.gen_range(0..n));
+        let t = NodeId::new(rng.gen_range(0..n));
         let mut truth_faults = FaultSet::empty();
-        for f in fault_picks {
-            let f = NodeId::new(f % n);
+        for _ in 0..rng.gen_range(0..3usize) {
+            let f = NodeId::new(rng.gen_range(0..n));
             if f != s && f != t {
                 truth_faults.forbid_vertex(f);
             }
         }
         // The source initially knows a prefix of the faults.
+        let known_count = rng.gen_range(0usize..2);
         let mut known = FaultSet::empty();
         for v in truth_faults.vertices().take(known_count) {
             known.forbid_vertex(v);
         }
         let net = Network::new(&g, 1.0);
-        let reachable =
-            bfs::pair_distance_avoiding(&g, s, t, &truth_faults).is_finite();
+        let reachable = bfs::pair_distance_avoiding(&g, s, t, &truth_faults).is_finite();
         match net.route_adaptive(s, t, &known, &truth_faults) {
             Ok(d) => {
-                prop_assert!(reachable, "delivered to unreachable target");
-                prop_assert_eq!(d.path.last(), Some(&t));
+                assert!(reachable, "delivered to unreachable target");
+                assert_eq!(d.path.last(), Some(&t));
                 for w in d.path.windows(2) {
-                    prop_assert!(!truth_faults.blocks_traversal(w[0], w[1]));
+                    assert!(!truth_faults.blocks_traversal(w[0], w[1]));
                 }
-                prop_assert!(d.discovered <= truth_faults.len());
+                assert!(d.discovered <= truth_faults.len());
             }
-            Err(RouteFailure::Unreachable) => prop_assert!(!reachable),
+            Err(RouteFailure::Unreachable) => assert!(!reachable),
             Err(RouteFailure::ForbiddenEndpoint) => {
-                prop_assert!(
-                    truth_faults.is_vertex_faulty(s) || truth_faults.is_vertex_faulty(t)
-                );
+                assert!(truth_faults.is_vertex_faulty(s) || truth_faults.is_vertex_faulty(t));
             }
-            Err(e) => prop_assert!(false, "invariant violated: {e}"),
+            Err(e) => panic!("invariant violated: {e}"),
         }
-    }
+    });
 }

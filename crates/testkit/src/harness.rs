@@ -1,0 +1,147 @@
+//! A minimal deterministic property-test harness.
+//!
+//! Replaces `proptest` for this workspace's needs: run a closure over
+//! many pseudo-random cases, each driven by its own seeded [`Rng`],
+//! with the reproducing seed printed on failure. Unlike `proptest`
+//! there is no shrinking — cases are cheap and fully determined by a
+//! seed, so "re-run with this seed" is the whole reproduction story.
+//!
+//! Environment knobs (all optional):
+//!
+//! - `FSDL_TESTKIT_CASES`: overrides the case count of every `check`
+//!   call (e.g. `FSDL_TESTKIT_CASES=10000` for a soak run).
+//! - `FSDL_TESTKIT_SOAK`: multiplies each `check`'s case count (used by
+//!   the CI soak job; `soak_multiplier` exposes it to `#[ignore]`d soak
+//!   tests that scale their own loops).
+//! - `FSDL_TESTKIT_SEED`: overrides the base seed, re-randomizing every
+//!   derived case while staying reproducible.
+//! - `FSDL_TESTKIT_REPRO`: run only the single case with this seed
+//!   (decimal or `0x`-prefixed hex) — paste the seed from a failure
+//!   report to replay exactly that case.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::rng::{splitmix64, Rng};
+
+/// Default base seed when neither the test nor the environment chooses
+/// one. Arbitrary but fixed: determinism matters, the value does not.
+pub const DEFAULT_BASE_SEED: u64 = 0x5EED_F5D1_2010_0001;
+
+/// FNV-1a over `name`, used to give every named check an independent
+/// seed lane so two tests with the same base seed do not replay each
+/// other's cases.
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    let raw = std::env::var(key).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{key}={raw:?} is not a valid u64"),
+    }
+}
+
+/// Multiplier applied to soak-style loops, from `FSDL_TESTKIT_SOAK`
+/// (default 1). `#[ignore]`d soak tests multiply their round counts by
+/// this so CI can scale them without a recompile.
+#[must_use]
+pub fn soak_multiplier() -> usize {
+    env_u64("FSDL_TESTKIT_SOAK").map_or(1, |v| v.max(1) as usize)
+}
+
+/// Runs `body` over `cases` pseudo-random cases derived from a fixed
+/// per-test seed; see the module docs for the environment knobs.
+///
+/// On a failing case the harness prints the test name, case index, and
+/// the *case seed*; replay exactly that case with
+/// `FSDL_TESTKIT_REPRO=<seed> cargo test <name>`.
+///
+/// # Panics
+///
+/// Re-raises the panic of the first failing case (after reporting).
+pub fn check<F: FnMut(&mut Rng)>(name: &str, cases: usize, body: F) {
+    check_seeded(name, cases, DEFAULT_BASE_SEED, body);
+}
+
+/// [`check`] with an explicit base seed (rarely needed; prefer `check`
+/// so the whole suite shares one seed lane scheme).
+pub fn check_seeded<F: FnMut(&mut Rng)>(name: &str, cases: usize, base_seed: u64, mut body: F) {
+    if let Some(repro) = env_u64("FSDL_TESTKIT_REPRO") {
+        eprintln!("[fsdl-testkit] {name}: replaying single case seed {repro:#018x}");
+        let mut rng = Rng::seed_from_u64(repro);
+        body(&mut rng);
+        return;
+    }
+    let base = env_u64("FSDL_TESTKIT_SEED").unwrap_or(base_seed);
+    let cases = env_u64("FSDL_TESTKIT_CASES")
+        .map_or(cases, |v| v as usize)
+        .saturating_mul(soak_multiplier());
+    let mut lane = base ^ fnv1a(name);
+    for case in 0..cases {
+        let case_seed = splitmix64(&mut lane);
+        let mut rng = Rng::seed_from_u64(case_seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "[fsdl-testkit] {name}: case {case}/{cases} FAILED; reproduce with \
+                 FSDL_TESTKIT_REPRO={case_seed:#018x}"
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_runs_all_cases() {
+        let mut count = 0usize;
+        check("check_runs_all_cases", 17, |_| count += 1);
+        // FSDL_TESTKIT_CASES / _SOAK may scale the count in CI; it must
+        // be at least the requested number of cases.
+        assert!(count >= 17 || std::env::var("FSDL_TESTKIT_CASES").is_ok());
+    }
+
+    #[test]
+    fn check_is_deterministic() {
+        let collect = |label: &str| {
+            let mut vals = Vec::new();
+            check_seeded(label, 20, 42, |rng| vals.push(rng.next_u64()));
+            vals
+        };
+        assert_eq!(collect("det"), collect("det"));
+        // Different names sample different lanes.
+        assert_ne!(collect("det"), collect("det2"));
+    }
+
+    #[test]
+    fn failing_case_reports_and_reraises() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check_seeded("fails_on_third", 10, 1, |rng| {
+                // Fail deterministically on some cases.
+                assert!(rng.next_u64() % 3 != 0, "synthetic failure");
+            });
+        }));
+        assert!(result.is_err(), "failure must propagate out of check");
+    }
+
+    #[test]
+    fn fnv_distinguishes_names() {
+        assert_ne!(fnv1a("a"), fnv1a("b"));
+        assert_ne!(fnv1a(""), fnv1a("a"));
+    }
+}

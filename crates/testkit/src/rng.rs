@@ -1,0 +1,301 @@
+//! Seeded pseudo-random number generation with no external dependencies.
+//!
+//! The generator is xoshiro256** (Blackman–Vigna) seeded through
+//! SplitMix64, the standard pairing for turning a single `u64` seed into
+//! a full 256-bit state without correlated lanes. It is deliberately
+//! *not* cryptographic: the goal is fast, portable, reproducible streams
+//! for graph generation and property tests. The same seed produces the
+//! same stream on every platform and every run, which is the entire
+//! hermeticity contract of this crate.
+//!
+//! The API mirrors the subset of `rand::Rng` this workspace actually
+//! uses (`gen_range` over half-open and inclusive integer ranges,
+//! `gen_bool`, a unit-interval `f64`), so migrating call sites is an
+//! import swap plus `gen::<f64>()` → `gen_f64()`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 step: advances `state` and returns the next output.
+///
+/// Used for seeding and for deriving per-case seeds in the harness; its
+/// output is well distributed even for sequential inputs.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A small, fast, seedable PRNG (xoshiro256**).
+///
+/// Construct with [`Rng::seed_from_u64`]; identical seeds yield
+/// identical streams forever (the algorithm is part of this crate's
+/// compatibility contract — changing it would invalidate every
+/// seed-pinned test in the workspace).
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Builds a generator whose 256-bit state is expanded from `seed`
+    /// via SplitMix64.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform integer in a half-open (`a..b`) or inclusive (`a..=b`)
+    /// range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, matching `rand::Rng::gen_range`.
+    #[inline]
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} not in [0, 1]"
+        );
+        self.gen_f64() < p
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        // Take the top 53 bits: (2^53 possible mantissas) / 2^53.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `u64` in `[0, span)` via Lemire's multiply-shift with
+    /// rejection (unbiased). `span` must be nonzero.
+    #[inline]
+    fn uniform_below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        // threshold = 2^64 mod span; rejecting low products below it
+        // leaves every residue with exactly floor(2^64/span) preimages.
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let m = u128::from(self.next_u64()) * u128::from(span);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Derives an independent child generator (used by the harness to
+    /// give each test case its own stream).
+    #[must_use]
+    pub fn fork(&mut self) -> Rng {
+        Rng::seed_from_u64(self.next_u64())
+    }
+}
+
+/// Range types accepted by [`Rng::gen_range`], mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from `self`.
+    fn sample(self, rng: &mut Rng) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "gen_range called with empty range {}..{}",
+                    self.start,
+                    self.end
+                );
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.uniform_below(span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(
+                    start <= end,
+                    "gen_range called with empty range {start}..={end}"
+                );
+                let span = (end as u64)
+                    .wrapping_sub(start as u64)
+                    .wrapping_add(1);
+                if span == 0 {
+                    // Full u64-width range: every output is valid.
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(rng.uniform_below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(0xDEAD_BEEF);
+        let mut b = Rng::seed_from_u64(0xDEAD_BEEF);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_range_half_open_stays_in_bounds() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_inclusive_hits_both_endpoints() {
+        let mut rng = Rng::seed_from_u64(8);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(0..=3);
+            seen[v] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all of 0..=3 should appear: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn gen_range_singleton_inclusive() {
+        let mut rng = Rng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(rng.gen_range(5u32..=5), 5);
+        }
+    }
+
+    #[test]
+    fn gen_range_full_u64_does_not_panic() {
+        let mut rng = Rng::seed_from_u64(10);
+        for _ in 0..100 {
+            let _ = rng.gen_range(0u64..=u64::MAX);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_range_empty_panics() {
+        let mut rng = Rng::seed_from_u64(11);
+        let _ = rng.gen_range(5usize..5);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Rng::seed_from_u64(12);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_calibrated() {
+        let mut rng = Rng::seed_from_u64(13);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(14);
+        for _ in 0..10_000 {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_below_is_unbiased_enough() {
+        // Chi-squared-ish sanity check on a non-power-of-two span.
+        let mut rng = Rng::seed_from_u64(15);
+        let mut counts = [0u32; 7];
+        for _ in 0..70_000 {
+            counts[rng.gen_range(0usize..7)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((9000..11000).contains(&c), "bucket {i} count {c}");
+        }
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut parent = Rng::seed_from_u64(16);
+        let mut a = parent.fork();
+        let mut b = parent.fork();
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn known_answer_vector() {
+        // Pins the algorithm: if the PRNG ever changes, every seed-pinned
+        // test in the workspace silently changes with it. Fail loudly here
+        // instead.
+        let mut rng = Rng::seed_from_u64(0);
+        let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        let mut again = Rng::seed_from_u64(0);
+        let got2: Vec<u64> = (0..4).map(|_| again.next_u64()).collect();
+        assert_eq!(got, got2);
+        // SplitMix64 known-answer test from the reference implementation.
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xE220_A839_7B1D_CDAF);
+    }
+}

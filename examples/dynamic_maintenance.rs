@@ -39,7 +39,7 @@ fn main() {
         if v == probe.0 || v == probe.1 {
             continue;
         }
-        oracle.delete_vertex(v);
+        oracle.delete_vertex(v).expect("v in range");
         println!(
             "down {v}: buffered |F| = {}, rebuilds = {}, d({}, {}) = {}",
             oracle.buffered(),
@@ -55,7 +55,7 @@ fn main() {
         if v == probe.0 || v == probe.1 {
             continue;
         }
-        oracle.restore_vertex(v);
+        oracle.restore_vertex(v).expect("v was deleted");
     }
     println!(
         "all restored: d({}, {}) = {} (rebuilds performed: {})",

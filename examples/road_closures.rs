@@ -18,8 +18,7 @@
 use fsdl::baselines::ExactOracle;
 use fsdl::graph::{generators, FaultSet, NodeId};
 use fsdl::labels::ForbiddenSetOracle;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fsdl_testkit::Rng;
 
 fn main() {
     // A 12x12 downtown street grid with diagonal avenues (king moves).
@@ -39,7 +38,7 @@ fn main() {
         1.0 + eps
     );
 
-    let mut rng = StdRng::seed_from_u64(20260707);
+    let mut rng = Rng::seed_from_u64(20260707);
     let mut closures = FaultSet::empty();
     let mut worst_stretch: f64 = 1.0;
     let mut answered = 0usize;

@@ -7,8 +7,7 @@ use fsdl::bounds::{reconstruct_graph, LowerBoundFamily};
 use fsdl::graph::{generators, FaultSet, NodeId};
 use fsdl::labels::ForbiddenSetOracle;
 use fsdl::routing::Network;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fsdl_testkit::Rng;
 
 /// Routing hop counts must equal the decoder's distance estimate exactly:
 /// each sketch edge of weight `w` is realized by exactly `w` physical hops
@@ -17,7 +16,7 @@ use rand::{Rng, SeedableRng};
 fn routing_hops_equal_decoder_distance() {
     let g = generators::grid2d(8, 8);
     let net = Network::new(&g, 1.0);
-    let mut rng = StdRng::seed_from_u64(31337);
+    let mut rng = Rng::seed_from_u64(31337);
     for _ in 0..30 {
         let s = NodeId::from_index(rng.gen_range(0..64));
         let t = NodeId::from_index(rng.gen_range(0..64));
@@ -50,7 +49,7 @@ fn connectivity_agreement_across_components() {
     let oracle = ForbiddenSetOracle::new(&g, 1.0);
     let exact = ExactOracle::new(&g);
     let net = Network::new(&g, 1.0);
-    let mut rng = StdRng::seed_from_u64(2);
+    let mut rng = Rng::seed_from_u64(2);
     for _ in 0..25 {
         let s = NodeId::from_index(rng.gen_range(0..90));
         let t = NodeId::from_index(rng.gen_range(0..90));

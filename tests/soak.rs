@@ -8,14 +8,14 @@ use fsdl::baselines::ExactOracle;
 use fsdl::graph::{generators, FaultSet, Graph, NodeId};
 use fsdl::labels::ForbiddenSetOracle;
 use fsdl::routing::Network;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fsdl_testkit::{soak_multiplier, Rng};
 
 fn soak_one(g: &Graph, eps: f64, rounds: usize, max_faults: usize, seed: u64) {
     let n = g.num_vertices();
     let oracle = ForbiddenSetOracle::new(g, eps);
     let exact = ExactOracle::new(g);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
+    let rounds = rounds * soak_multiplier();
     for round in 0..rounds {
         let s = NodeId::from_index(rng.gen_range(0..n));
         let t = NodeId::from_index(rng.gen_range(0..n));
@@ -84,12 +84,12 @@ fn soak_tree_781() {
 fn soak_routing_grid() {
     let g = generators::grid2d(12, 12);
     let net = Network::new(&g, 1.0);
-    let mut rng = StdRng::seed_from_u64(9);
-    for _ in 0..150 {
+    let mut rng = Rng::seed_from_u64(9);
+    for _ in 0..150 * soak_multiplier() {
         let s = NodeId::from_index(rng.gen_range(0..144));
         let t = NodeId::from_index(rng.gen_range(0..144));
         let mut f = FaultSet::empty();
-        for _ in 0..rng.gen_range(0..8) {
+        for _ in 0..rng.gen_range(0..8u32) {
             let v = NodeId::from_index(rng.gen_range(0..144));
             if v != s && v != t {
                 f.forbid_vertex(v);
