@@ -1,0 +1,2 @@
+//! Empty library crate: the package exists solely for its criterion
+//! benches (see `benches/`), kept out of the hermetic build graph.

@@ -21,6 +21,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_t10_preproc",
     "exp_t11_recovery",
     "exp_t12_weighted",
+    "exp_t13_throughput",
     "exp_f1_trace",
     "exp_f2_lowlevel",
 ];

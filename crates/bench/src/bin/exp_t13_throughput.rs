@@ -1,0 +1,214 @@
+//! Experiment T13 — build/serve throughput of the concurrent oracle engine.
+//!
+//! The oracle is `Send + Sync`: labels live in a lock-free `OnceLock` arena
+//! behind `Arc`s, so one shared instance can serve queries from many
+//! threads. This experiment measures, on the standard graph families,
+//!
+//! * **build**: wall-clock to materialize every label with 1 worker vs.
+//!   all available workers (`Labeling::materialize_all_workers`);
+//! * **serve**: queries/second for a mixed fault workload answered
+//!   sequentially vs. `query_batch` fanned across worker threads —
+//!   asserting the parallel answers are bit-identical to the sequential
+//!   ones before trusting the timing.
+//!
+//! Results are printed as tables and written to `BENCH_throughput.json`
+//! (`--quick` shrinks the workload for CI smoke runs; `--out PATH`
+//! redirects the JSON artifact).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fsdl_bench::tables::{f1, Table};
+use fsdl_graph::{generators, FaultSet, Graph, NodeId};
+use fsdl_labels::{ForbiddenSetOracle, Labeling, SchemeParams};
+use fsdl_nets::parallel;
+use fsdl_testkit::Rng;
+
+struct FamilyResult {
+    family: String,
+    n: usize,
+    workers: usize,
+    build_1_ms: f64,
+    build_p_ms: f64,
+    queries: usize,
+    qps_1: f64,
+    qps_p: f64,
+}
+
+impl FamilyResult {
+    fn build_speedup(&self) -> f64 {
+        self.build_1_ms / self.build_p_ms.max(1e-9)
+    }
+
+    fn serve_speedup(&self) -> f64 {
+        self.qps_p / self.qps_1.max(1e-9)
+    }
+}
+
+/// A deterministic mixed workload of `(s, t, F)` queries with 0–2 vertex
+/// faults each.
+fn workload(n: usize, queries: usize, seed: u64) -> Vec<(NodeId, NodeId, FaultSet)> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..queries)
+        .map(|_| {
+            let s = NodeId::from_index(rng.gen_range(0..n));
+            let t = NodeId::from_index(rng.gen_range(0..n));
+            let mut f = FaultSet::empty();
+            for _ in 0..rng.gen_range(0..3usize) {
+                let v = NodeId::from_index(rng.gen_range(0..n));
+                if v != s && v != t {
+                    f.forbid_vertex(v);
+                }
+            }
+            (s, t, f)
+        })
+        .collect()
+}
+
+fn measure_family(family: &str, g: Graph, queries: usize, workers: usize) -> FamilyResult {
+    let n = g.num_vertices();
+    let labeling = Labeling::build(&g, SchemeParams::new(1.0, n));
+
+    let start = Instant::now();
+    let seq_labels = labeling.materialize_all_workers(1);
+    let build_1_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let start = Instant::now();
+    let par_labels = labeling.materialize_all_workers(workers);
+    let build_p_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        seq_labels, par_labels,
+        "parallel build must be bit-identical to sequential"
+    );
+    drop((seq_labels, par_labels));
+
+    let oracle = ForbiddenSetOracle::from_labeling(labeling);
+    oracle.prewarm_workers(workers);
+    let batch = workload(n, queries, 0x7137);
+
+    let start = Instant::now();
+    let sequential = oracle.query_batch_workers(&batch, 1);
+    let qps_1 = batch.len() as f64 / start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let parallel_answers = oracle.query_batch_workers(&batch, workers);
+    let qps_p = batch.len() as f64 / start.elapsed().as_secs_f64();
+    assert_eq!(
+        sequential, parallel_answers,
+        "query_batch must be bit-identical to sequential"
+    );
+
+    FamilyResult {
+        family: family.to_string(),
+        n,
+        workers,
+        build_1_ms,
+        build_p_ms,
+        queries: batch.len(),
+        qps_1,
+        qps_p,
+    }
+}
+
+fn json_artifact(results: &[FamilyResult]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"t13_throughput\",\n  \"families\": [\n");
+    for (k, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"family\": \"{}\", \"n\": {}, \"workers\": {}, \
+             \"build_ms_1\": {:.3}, \"build_ms_p\": {:.3}, \"build_speedup\": {:.3}, \
+             \"queries\": {}, \"qps_1\": {:.1}, \"qps_p\": {:.1}, \"serve_speedup\": {:.3}}}{}",
+            r.family,
+            r.n,
+            r.workers,
+            r.build_1_ms,
+            r.build_p_ms,
+            r.build_speedup(),
+            r.queries,
+            r.qps_1,
+            r.qps_p,
+            r.serve_speedup(),
+            if k + 1 < results.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_throughput.json")
+        .to_string();
+
+    let workers = parallel::default_workers(usize::MAX);
+    println!("Experiment T13: build/serve throughput, 1 vs {workers} workers (eps = 1)\n");
+
+    let (scale, queries) = if quick { (1, 64) } else { (4, 512) };
+    let families: Vec<(&str, Graph)> = vec![
+        ("path", generators::path(1024 * scale)),
+        ("grid2d", generators::grid2d(16 * scale, 16 * scale)),
+        (
+            "udg",
+            generators::random_geometric(250 * scale, 0.11 / (scale as f64).sqrt(), 1),
+        ),
+    ];
+
+    let mut results = Vec::new();
+    for (family, g) in families {
+        results.push(measure_family(family, g, queries, workers));
+    }
+
+    let mut table = Table::new(
+        "label build: 1 worker vs all",
+        &["family", "n", "1w ms", "Pw ms", "speedup"],
+    );
+    for r in &results {
+        table.row(&[
+            r.family.clone(),
+            r.n.to_string(),
+            f1(r.build_1_ms),
+            f1(r.build_p_ms),
+            format!("{:.2}x", r.build_speedup()),
+        ]);
+    }
+    table.print();
+
+    let mut table = Table::new(
+        "query serving: sequential vs query_batch",
+        &["family", "queries", "1w q/s", "Pw q/s", "speedup"],
+    );
+    for r in &results {
+        table.row(&[
+            r.family.clone(),
+            r.queries.to_string(),
+            f1(r.qps_1),
+            f1(r.qps_p),
+            format!("{:.2}x", r.serve_speedup()),
+        ]);
+    }
+    table.print();
+
+    let artifact = json_artifact(&results);
+    std::fs::write(&out_path, &artifact).expect("write BENCH_throughput.json");
+    println!("wrote {out_path}");
+    println!("\nExpected shape: answers bit-identical (asserted); with >= 4 cores the");
+    println!("serve speedup clears 2x — queries are embarrassingly parallel over a");
+    println!("shared read-only label arena.");
+
+    if workers >= 4 && !quick {
+        let worst = results
+            .iter()
+            .map(FamilyResult::serve_speedup)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            worst >= 2.0,
+            "serve speedup {worst:.2}x below the 2x acceptance bar"
+        );
+    }
+}

@@ -24,7 +24,9 @@ USAGE:
                 linf P D | halfgrid P D | tree ARITY DEPTH | udg N RADIUS |
                 er N PROB | hypercube D | road W H REMOVAL
   fsdl stats <graph-file>
-  fsdl label <graph-file> [--eps E] [--vertex V | --sample K]
+  fsdl label <graph-file> [--eps E] [--vertex V | --sample K | --threads P]
+      (--threads P materializes every label with P parallel workers —
+       0 = all cores — and reports exact totals instead of a sample)
   fsdl query <graph-file> --source S --target T [--eps E]
              [--forbid v1,v2,...] [--forbid-edge a-b,c-d,...] [--exact yes]
   fsdl route <graph-file> --source S --target T [--eps E]
@@ -221,6 +223,25 @@ fn cmd_label<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
                 level.real_edges.len()
             ));
         }
+    } else if let Some(raw) = args.option("threads") {
+        let threads: usize = raw
+            .parse()
+            .map_err(|_| ArgError(format!("invalid --threads '{raw}'")))?;
+        let workers = if threads == 0 {
+            fsdl_nets::parallel::default_workers(n)
+        } else {
+            threads
+        };
+        let start = std::time::Instant::now();
+        oracle.prewarm_workers(workers);
+        let elapsed = start.elapsed().as_secs_f64();
+        let total_bits = oracle.total_bits();
+        text.push_str(&format!(
+            "materialized all {n} labels with {workers} workers in {elapsed:.2}s: \
+             {total_bits} bits total, mean {} bits, {} KiB oracle\n",
+            total_bits / n as u64,
+            total_bits / 8192
+        ));
     } else {
         let sample: usize = args.parse_option("sample", 8usize)?;
         let sample = sample.clamp(1, n);
@@ -521,6 +542,20 @@ mod tests {
         let out = run_args(&["label", p, "--vertex", "3"]).unwrap();
         assert!(out.contains("label of v3"));
         assert!(run_args(&["label", p, "--vertex", "99"]).is_err());
+    }
+
+    #[test]
+    fn label_parallel_materialization() {
+        let path = temp_graph();
+        let p = path.path();
+        let out = run_args(&["label", p, "--threads", "4"]).unwrap();
+        assert!(
+            out.contains("materialized all 12 labels with 4 workers"),
+            "{out}"
+        );
+        let auto = run_args(&["label", p, "--threads", "0"]).unwrap();
+        assert!(auto.contains("bits total"), "{auto}");
+        assert!(run_args(&["label", p, "--threads", "nope"]).is_err());
     }
 
     #[test]

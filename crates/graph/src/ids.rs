@@ -112,6 +112,33 @@ impl Dist {
         Dist(value)
     }
 
+    /// Checked construction from a (possibly wide) `u64` distance.
+    ///
+    /// Returns `None` when `value` cannot be represented as a finite
+    /// distance (`value >= u32::MAX`). This is the sound way to narrow a
+    /// 64-bit sketch-graph distance: an unrepresentable finite distance must
+    /// widen to [`Dist::INFINITE`] (an overestimate is still an upper
+    /// bound), never shrink to a finite underestimate.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fsdl_graph::Dist;
+    ///
+    /// assert_eq!(Dist::try_new(7), Some(Dist::new(7)));
+    /// assert_eq!(Dist::try_new(u64::from(u32::MAX)), None);
+    /// assert_eq!(Dist::try_new(u64::MAX), None);
+    /// assert_eq!(Dist::try_new(9).unwrap_or(Dist::INFINITE), Dist::new(9));
+    /// ```
+    #[inline]
+    pub const fn try_new(value: u64) -> Option<Self> {
+        if value >= u32::MAX as u64 {
+            None
+        } else {
+            Some(Dist(value as u32))
+        }
+    }
+
     /// Returns the raw value; `u32::MAX` encodes infinity.
     #[inline]
     pub const fn raw(self) -> u32 {
@@ -304,6 +331,18 @@ mod tests {
             .is_infinite());
         assert_eq!(Dist::new(7).saturating_add_raw(4), Dist::new(11));
         assert!(Dist::INFINITE.saturating_add_raw(0).is_infinite());
+    }
+
+    #[test]
+    fn dist_try_new_boundaries() {
+        assert_eq!(Dist::try_new(0), Some(Dist::ZERO));
+        assert_eq!(
+            Dist::try_new(u64::from(u32::MAX - 1)),
+            Some(Dist::new(u32::MAX - 1))
+        );
+        assert_eq!(Dist::try_new(u64::from(u32::MAX)), None);
+        assert_eq!(Dist::try_new(u64::from(u32::MAX) + 1), None);
+        assert_eq!(Dist::try_new(u64::MAX), None);
     }
 
     #[test]

@@ -53,5 +53,5 @@ pub use csr::{Graph, GraphBuilder};
 pub use error::GraphError;
 pub use faults::FaultSet;
 pub use ids::{Dist, Edge, NodeId};
-pub use sketch::SketchGraph;
+pub use sketch::{DijkstraScratch, SketchGraph};
 pub use stats::GraphStats;

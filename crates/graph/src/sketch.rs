@@ -36,6 +36,54 @@ pub struct SketchGraph {
     adj: Vec<Vec<(u32, u64)>>,
 }
 
+/// Reusable buffers for [`SketchGraph`] Dijkstra runs, so a worker serving
+/// many queries allocates nothing per query once the buffers have grown to
+/// the working-set size.
+///
+/// # Examples
+///
+/// ```
+/// use fsdl_graph::{DijkstraScratch, NodeId, SketchGraph};
+///
+/// let mut h = SketchGraph::new();
+/// h.add_edge(NodeId::new(0), NodeId::new(1), 2);
+/// let mut scratch = DijkstraScratch::new();
+/// let (d, _) = h.shortest_path_with(NodeId::new(0), NodeId::new(1), &mut scratch).unwrap();
+/// assert_eq!(d, 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DijkstraScratch {
+    dist: Vec<u64>,
+    prev: Vec<u32>,
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+}
+
+impl DijkstraScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        DijkstraScratch::default()
+    }
+
+    /// The distance computed by the last
+    /// [`SketchGraph::distances_from_with`] run for dense intern index
+    /// `idx`, or `None` when unreachable (or `idx` out of range).
+    pub fn distance_at(&self, idx: usize) -> Option<u64> {
+        match self.dist.get(idx) {
+            Some(&d) if d != u64::MAX => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Resets the buffers for a graph of `n` interned vertices.
+    fn reset(&mut self, n: usize) {
+        self.dist.clear();
+        self.dist.resize(n, u64::MAX);
+        self.prev.clear();
+        self.prev.resize(n, u32::MAX);
+        self.heap.clear();
+    }
+}
+
 impl SketchGraph {
     /// Creates an empty sketch graph.
     pub fn new() -> Self {
@@ -113,12 +161,22 @@ impl SketchGraph {
     /// Deterministic: ties are broken by smaller dense index, which follows
     /// insertion order.
     pub fn shortest_path(&self, s: NodeId, t: NodeId) -> Option<(u64, Vec<NodeId>)> {
+        self.shortest_path_with(s, t, &mut DijkstraScratch::new())
+    }
+
+    /// [`SketchGraph::shortest_path`] with caller-provided scratch buffers,
+    /// for hot paths that answer many queries (same result, no per-call
+    /// `dist`/`prev`/heap allocation after warm-up).
+    pub fn shortest_path_with(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        scratch: &mut DijkstraScratch,
+    ) -> Option<(u64, Vec<NodeId>)> {
         let is = self.index_of(s)?;
         let it = self.index_of(t)?;
-        let n = self.names.len();
-        let mut dist = vec![u64::MAX; n];
-        let mut prev = vec![u32::MAX; n];
-        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        scratch.reset(self.names.len());
+        let DijkstraScratch { dist, prev, heap } = scratch;
         dist[is as usize] = 0;
         heap.push(Reverse((0, is)));
         while let Some(Reverse((d, u))) = heap.pop() {
@@ -174,6 +232,33 @@ impl SketchGraph {
             }
         }
         Some(dist)
+    }
+
+    /// [`SketchGraph::distances_from`] into caller-provided scratch: fills
+    /// `scratch.dist` (indexed by dense intern index) and returns `true`, or
+    /// returns `false` when `s` was never interned. The caller reads
+    /// distances via [`DijkstraScratch::distance_at`].
+    pub fn distances_from_with(&self, s: NodeId, scratch: &mut DijkstraScratch) -> bool {
+        let Some(is) = self.index_of(s) else {
+            return false;
+        };
+        scratch.reset(self.names.len());
+        let DijkstraScratch { dist, heap, .. } = scratch;
+        dist[is as usize] = 0;
+        heap.push(Reverse((0, is)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            for &(w, weight) in &self.adj[u as usize] {
+                let nd = d.saturating_add(weight);
+                if nd < dist[w as usize] {
+                    dist[w as usize] = nd;
+                    heap.push(Reverse((nd, w)));
+                }
+            }
+        }
+        true
     }
 
     /// Iterates over all edges as `(a, b, weight)` with each undirected edge
@@ -283,6 +368,33 @@ mod tests {
             }
         }
         assert!(h.distances_from(v(42)).is_none());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let mut h = SketchGraph::new();
+        h.add_edge(v(0), v(1), 2);
+        h.add_edge(v(1), v(2), 3);
+        h.add_edge(v(0), v(2), 10);
+        h.intern(v(9)); // isolated
+        let mut scratch = DijkstraScratch::new();
+        // Reuse across pairs: every run must match the allocating API.
+        for (s, t) in [(0u32, 2u32), (2, 0), (0, 9), (1, 2), (0, 0)] {
+            assert_eq!(
+                h.shortest_path_with(v(s), v(t), &mut scratch),
+                h.shortest_path(v(s), v(t)),
+                "{s}->{t}"
+            );
+        }
+        // Single-source variant agrees too.
+        assert!(h.distances_from_with(v(0), &mut scratch));
+        let table = h.distances_from(v(0)).unwrap();
+        for (idx, &d) in table.iter().enumerate() {
+            let expected = if d == u64::MAX { None } else { Some(d) };
+            assert_eq!(scratch.distance_at(idx), expected);
+        }
+        assert_eq!(scratch.distance_at(99), None);
+        assert!(!h.distances_from_with(v(42), &mut scratch));
     }
 
     #[test]

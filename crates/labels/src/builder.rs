@@ -25,7 +25,7 @@
 
 use fsdl_graph::bfs::{self, BfsScratch};
 use fsdl_graph::{Graph, NodeId};
-use fsdl_nets::NetHierarchy;
+use fsdl_nets::{parallel, NetHierarchy};
 
 use crate::label::{Label, LabelPoint, LevelLabel, RealEdge, VirtualEdge};
 use crate::params::SchemeParams;
@@ -62,6 +62,26 @@ impl std::fmt::Display for BuildError {
 }
 
 impl std::error::Error for BuildError {}
+
+/// Reusable BFS buffers for label materialization: one ball scan plus one
+/// partner scan per level. A build worker creates one [`LabelScratch`] and
+/// amortizes it across every label it materializes
+/// ([`Labeling::label_of_with`], [`Labeling::materialize_all`]).
+#[derive(Clone, Debug)]
+pub struct LabelScratch {
+    ball: BfsScratch,
+    partner: BfsScratch,
+}
+
+impl LabelScratch {
+    /// Scratch sized for an `n`-vertex graph.
+    pub fn new(n: usize) -> Self {
+        LabelScratch {
+            ball: BfsScratch::new(n),
+            partner: BfsScratch::new(n),
+        }
+    }
+}
 
 /// Mean per-level label contents over sampled vertices (see
 /// [`Labeling::level_report`]).
@@ -218,14 +238,23 @@ impl Labeling {
     ///
     /// Panics if `v` is not a vertex of the graph.
     pub fn label_of(&self, v: NodeId) -> Label {
+        let mut scratch = LabelScratch::new(self.graph.num_vertices());
+        self.label_of_with(v, &mut scratch)
+    }
+
+    /// [`Labeling::label_of`] with caller-provided BFS scratch, so build
+    /// loops materializing many labels allocate the buffers once. The label
+    /// is identical to the one `label_of` returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of the graph.
+    pub fn label_of_with(&self, v: NodeId, scratch: &mut LabelScratch) -> Label {
         assert!(self.graph.contains(v), "vertex out of range");
-        let n = self.graph.num_vertices();
-        let mut scratch = BfsScratch::new(n);
-        let mut partner_scratch = BfsScratch::new(n);
         let first_level = self.params.c() + 1;
         let mut levels = Vec::with_capacity(self.params.num_levels());
         for i in self.params.levels() {
-            levels.push(self.build_level(v, i, &mut scratch, &mut partner_scratch));
+            levels.push(self.build_level(v, i, &mut scratch.ball, &mut scratch.partner));
         }
         Label {
             owner: v,
@@ -233,6 +262,28 @@ impl Labeling {
             first_level,
             levels,
         }
+    }
+
+    /// Materializes the labels of *all* vertices, fanned out over
+    /// `available_parallelism` scoped threads with per-worker BFS scratch.
+    /// Labels are returned in vertex-index order and are bit-identical to
+    /// `n` sequential [`Labeling::label_of`] calls (materialization is
+    /// deterministic and per-vertex independent).
+    pub fn materialize_all(&self) -> Vec<Label> {
+        self.materialize_all_workers(parallel::default_workers(self.graph.num_vertices()))
+    }
+
+    /// [`Labeling::materialize_all`] with an explicit worker count
+    /// (`workers <= 1` builds sequentially on the calling thread) — the
+    /// knob the throughput experiment sweeps.
+    pub fn materialize_all_workers(&self, workers: usize) -> Vec<Label> {
+        let n = self.graph.num_vertices();
+        parallel::run_indexed_with(
+            n,
+            workers,
+            || LabelScratch::new(n),
+            |scratch, v| self.label_of_with(NodeId::from_index(v), scratch),
+        )
     }
 
     fn build_level(
@@ -528,6 +579,40 @@ mod tests {
         let a = labeling.label_of(NodeId::new(60));
         let b = labeling.label_of(NodeId::new(60));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_materialization() {
+        let g = generators::grid2d(7, 7);
+        let labeling = Labeling::build(&g, SchemeParams::new(1.0, 49));
+        let mut scratch = LabelScratch::new(49);
+        for v in [0u32, 13, 24, 48] {
+            assert_eq!(
+                labeling.label_of_with(NodeId::new(v), &mut scratch),
+                labeling.label_of(NodeId::new(v)),
+                "v{v}"
+            );
+        }
+    }
+
+    #[test]
+    fn materialize_all_is_bit_identical_across_worker_counts() {
+        let g = generators::random_geometric(90, 0.14, 5);
+        let labeling = Labeling::build(&g, SchemeParams::new(2.0, 90));
+        let seq = labeling.materialize_all_workers(1);
+        assert_eq!(seq.len(), 90);
+        for workers in [2, 4, 8] {
+            assert_eq!(
+                labeling.materialize_all_workers(workers),
+                seq,
+                "workers = {workers}"
+            );
+        }
+        // Index order: labels[v] belongs to vertex v.
+        for (v, l) in seq.iter().enumerate() {
+            assert_eq!(l.owner, NodeId::from_index(v));
+        }
+        assert_eq!(seq[31], labeling.label_of(NodeId::new(31)));
     }
 
     #[test]

@@ -29,7 +29,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use fsdl_graph::{Dist, Edge, NodeId, SketchGraph};
+use fsdl_graph::{DijkstraScratch, Dist, Edge, NodeId, SketchGraph};
 
 use crate::label::Label;
 use crate::params::SchemeParams;
@@ -139,6 +139,20 @@ pub fn query(
     target: &Label,
     faults: &QueryLabels<'_>,
 ) -> QueryAnswer {
+    query_with(params, source, target, faults, &mut DijkstraScratch::new())
+}
+
+/// [`query`] with caller-provided Dijkstra scratch buffers — the entry
+/// point for serving loops ([`crate::ForbiddenSetOracle::query_batch`])
+/// where each worker reuses one scratch across many queries. Same answer,
+/// bit for bit.
+pub fn query_with(
+    params: &SchemeParams,
+    source: &Label,
+    target: &Label,
+    faults: &QueryLabels<'_>,
+    scratch: &mut DijkstraScratch,
+) -> QueryAnswer {
     let sketch = build_sketch(params, source, target, faults);
     let (h, forbidden) = (&sketch.graph, &sketch.forbidden);
     let s = source.owner;
@@ -159,10 +173,13 @@ pub fn query(
             sketch_edges: h.num_edges(),
         };
     }
-    match h.shortest_path(s, t) {
+    match h.shortest_path_with(s, t, scratch) {
         Some((d, path)) => QueryAnswer {
-            // The min makes the cast lossless.
-            distance: Dist::new(d.min(u64::from(u32::MAX - 1)) as u32),
+            // A finite sketch distance that does not fit in `Dist` must
+            // widen to INFINITE (an overestimate stays sound); clamping
+            // down would return a finite underestimate and break the
+            // Theorem 2.1 lower-bound guarantee.
+            distance: Dist::try_new(d).unwrap_or(Dist::INFINITE),
             path,
             sketch_vertices: h.num_vertices(),
             sketch_edges: h.num_edges(),
@@ -195,13 +212,24 @@ pub fn query_many(
     targets: &[&Label],
     faults: &QueryLabels<'_>,
 ) -> Vec<Dist> {
+    let s = source.owner;
+    // Dedupe repeated target labels by owner before sketch assembly: a
+    // batch often names the same region repeatedly, and each duplicate
+    // would otherwise be carried through provider collection.
     let mut endpoints: Vec<&Label> = Vec::with_capacity(targets.len() + 1);
+    let mut distinct: HashSet<NodeId> = HashSet::with_capacity(targets.len() + 1);
+    distinct.insert(s);
     endpoints.push(source);
-    endpoints.extend(targets.iter().copied());
+    for t in targets {
+        if distinct.insert(t.owner) {
+            endpoints.push(t);
+        }
+    }
     let sketch = build_sketch_from(params, &endpoints, faults);
     let (h, forbidden) = (&sketch.graph, &sketch.forbidden);
-    let s = source.owner;
-    let dist_table = if forbidden.contains(&s) {
+    // Loop-invariant over targets: hoisted out of the per-target closure.
+    let source_forbidden = forbidden.contains(&s);
+    let dist_table = if source_forbidden {
         None
     } else {
         h.distances_from(s)
@@ -209,7 +237,7 @@ pub fn query_many(
     targets
         .iter()
         .map(|t| {
-            if forbidden.contains(&t.owner) || forbidden.contains(&s) {
+            if source_forbidden || forbidden.contains(&t.owner) {
                 return Dist::INFINITE;
             }
             if t.owner == s {
@@ -221,8 +249,9 @@ pub fn query_many(
                     if d == u64::MAX {
                         Dist::INFINITE
                     } else {
-                        // The min makes the cast lossless.
-                        Dist::new(d.min(u64::from(u32::MAX - 1)) as u32)
+                        // Widen unrepresentable finite distances to
+                        // INFINITE (sound overestimate), never clamp down.
+                        Dist::try_new(d).unwrap_or(Dist::INFINITE)
                     }
                 }
                 _ => Dist::INFINITE,

@@ -1,25 +1,93 @@
-//! The aggregated forbidden-set distance oracle.
+//! The aggregated forbidden-set distance oracle — a concurrent serving
+//! engine.
 //!
 //! The paper observes that storing every vertex's label in one table yields
 //! a centralized `(1+ε)` forbidden-set distance oracle of size `n ×` label
 //! length. [`ForbiddenSetOracle`] is that table, with labels materialized
-//! lazily and memoized: a query `(s, t, F)` loads the `|F| + 2` relevant
-//! labels and runs the pure label [decoder](crate::decode) — the graph is
-//! never consulted at query time, which tests assert by construction.
+//! lazily into a lock-free arena of `OnceLock` slots: a query `(s, t, F)`
+//! loads the `|F| + 2` relevant labels and runs the pure label
+//! [decoder](crate::decode) — the graph is consulted only to *validate* the
+//! fault set, never to answer, which tests assert by construction.
+//!
+//! ## Concurrency model
+//!
+//! The oracle is `Send + Sync` and is designed to be shared (`&oracle` or
+//! `Arc<oracle>`) across serving threads:
+//!
+//! * each vertex's label lives in a dedicated `OnceLock<Arc<Label>>` slot —
+//!   first use materializes it (at most once, even under races), later uses
+//!   are lock-free pointer loads;
+//! * materialization is deterministic, so whichever thread wins the race
+//!   stores the same bytes a sequential run would;
+//! * [`ForbiddenSetOracle::query_batch`] fans a query batch across scoped
+//!   threads with per-worker Dijkstra scratch and merges answers in input
+//!   order, so the batch output is bit-identical to a sequential loop.
 
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, OnceLock};
 
-use fsdl_graph::{Dist, FaultSet, Graph, NodeId};
+use fsdl_graph::{DijkstraScratch, Dist, FaultSet, Graph, NodeId};
 
 use crate::builder::Labeling;
 use crate::decode::{self, QueryAnswer, QueryLabels};
 use crate::label::Label;
 use crate::params::SchemeParams;
 
+/// A malformed query handed to the strict oracle entry points
+/// ([`ForbiddenSetOracle::try_query`],
+/// [`ForbiddenSetOracle::try_distances_to`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OracleError {
+    /// A referenced vertex (endpoint, target, or fault) is not a vertex of
+    /// the graph.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        v: NodeId,
+        /// The graph's vertex count.
+        n: usize,
+    },
+    /// A forbidden edge is not an edge of the graph.
+    FaultEdgeNotInGraph {
+        /// Smaller endpoint.
+        a: NodeId,
+        /// Larger endpoint.
+        b: NodeId,
+    },
+}
+
+impl std::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleError::VertexOutOfRange { v, n } => {
+                write!(f, "{v} is out of range for a graph with {n} vertices")
+            }
+            OracleError::FaultEdgeNotInGraph { a, b } => {
+                write!(f, "forbidden edge ({a}, {b}) is not an edge of the graph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+/// Fault labels for one query: vertex-fault labels and edge-fault endpoint
+/// label pairs, in fault-set iteration order.
+type FaultLabels = (Vec<Arc<Label>>, Vec<(Arc<Label>, Arc<Label>)>);
+
 /// A centralized `(1+ε)`-approximate forbidden-set distance oracle backed by
 /// the labeling scheme.
+///
+/// # Malformed fault sets
+///
+/// The lenient entry points ([`ForbiddenSetOracle::query`],
+/// [`ForbiddenSetOracle::distance`], [`ForbiddenSetOracle::distances_to`])
+/// never panic on a malformed `FaultSet`: a forbidden vertex outside the
+/// graph, or a forbidden edge that is not an edge of the graph, names
+/// nothing in `G` — removing it cannot change `G ∖ F` — so such elements
+/// are ignored and the answer is *exactly* the answer for the well-formed
+/// subset of `F`. Use [`ForbiddenSetOracle::try_query`] /
+/// [`ForbiddenSetOracle::try_distances_to`] to reject malformed input with
+/// a typed [`OracleError`] instead.
 ///
 /// # Examples
 ///
@@ -39,7 +107,7 @@ use crate::params::SchemeParams;
 #[derive(Debug)]
 pub struct ForbiddenSetOracle {
     labeling: Labeling,
-    cache: RefCell<HashMap<NodeId, Rc<Label>>>,
+    slots: Box<[OnceLock<Arc<Label>>]>,
 }
 
 impl ForbiddenSetOracle {
@@ -62,9 +130,10 @@ impl ForbiddenSetOracle {
     /// Wraps an existing labeling (e.g. one built with non-default
     /// [`crate::LabelingOptions`]).
     pub fn from_labeling(labeling: Labeling) -> Self {
+        let n = labeling.graph().num_vertices();
         ForbiddenSetOracle {
             labeling,
-            cache: RefCell::new(HashMap::new()),
+            slots: (0..n).map(|_| OnceLock::new()).collect(),
         }
     }
 
@@ -80,86 +149,227 @@ impl ForbiddenSetOracle {
 
     /// Returns (materializing and memoizing on first use) the label of `v`.
     ///
+    /// Thread-safe: under concurrent first use the label is materialized at
+    /// most once; every later call is a lock-free pointer clone.
+    ///
     /// # Panics
     ///
     /// Panics if `v` is out of range.
-    pub fn label(&self, v: NodeId) -> Rc<Label> {
-        if let Some(l) = self.cache.borrow().get(&v) {
-            return Rc::clone(l);
+    pub fn label(&self, v: NodeId) -> Arc<Label> {
+        assert!(
+            v.index() < self.slots.len(),
+            "{v} is out of range for a graph with {} vertices",
+            self.slots.len()
+        );
+        self.slots[v.index()]
+            .get_or_init(|| Arc::new(self.labeling.label_of(v)))
+            .clone()
+    }
+
+    /// Eagerly materializes every label into the arena over
+    /// `available_parallelism` scoped threads (idempotent; already-filled
+    /// slots are kept). Serving threads then never pay materialization
+    /// latency.
+    pub fn prewarm(&self) {
+        let n = self.slots.len();
+        self.prewarm_workers(fsdl_nets::parallel::default_workers(n));
+    }
+
+    /// [`ForbiddenSetOracle::prewarm`] with an explicit worker count
+    /// (`workers <= 1` materializes sequentially) — the knob the throughput
+    /// experiment sweeps. The arena contents are independent of the worker
+    /// count because materialization is deterministic per vertex.
+    pub fn prewarm_workers(&self, workers: usize) {
+        let n = self.slots.len();
+        fsdl_nets::parallel::run_indexed_with(
+            n,
+            workers,
+            || crate::builder::LabelScratch::new(n),
+            |scratch, v| {
+                self.slots[v].get_or_init(|| {
+                    Arc::new(self.labeling.label_of_with(NodeId::from_index(v), scratch))
+                });
+            },
+        );
+    }
+
+    /// Collects the fault labels for the well-formed subset of `faults`
+    /// (see the type-level docs on malformed fault sets).
+    fn fault_labels(&self, faults: &FaultSet) -> FaultLabels {
+        let g = self.labeling.graph();
+        let vertex_labels: Vec<Arc<Label>> = faults
+            .vertices()
+            .filter(|&f| g.contains(f))
+            .map(|f| self.label(f))
+            .collect();
+        let edge_labels: Vec<(Arc<Label>, Arc<Label>)> = faults
+            .edges()
+            .filter(|e| g.contains(e.lo()) && g.contains(e.hi()) && g.has_edge(e.lo(), e.hi()))
+            .map(|e| (self.label(e.lo()), self.label(e.hi())))
+            .collect();
+        (vertex_labels, edge_labels)
+    }
+
+    /// Validates every vertex and edge of a query strictly, for the `try_*`
+    /// entry points.
+    fn validate(&self, endpoints: &[NodeId], faults: &FaultSet) -> Result<(), OracleError> {
+        let g = self.labeling.graph();
+        let n = g.num_vertices();
+        for &v in endpoints {
+            if !g.contains(v) {
+                return Err(OracleError::VertexOutOfRange { v, n });
+            }
         }
-        let label = Rc::new(self.labeling.label_of(v));
-        self.cache.borrow_mut().insert(v, Rc::clone(&label));
-        label
+        for f in faults.vertices() {
+            if !g.contains(f) {
+                return Err(OracleError::VertexOutOfRange { v: f, n });
+            }
+        }
+        for e in faults.edges() {
+            for v in [e.lo(), e.hi()] {
+                if !g.contains(v) {
+                    return Err(OracleError::VertexOutOfRange { v, n });
+                }
+            }
+            if !g.has_edge(e.lo(), e.hi()) {
+                return Err(OracleError::FaultEdgeNotInGraph {
+                    a: e.lo(),
+                    b: e.hi(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Answers the forbidden-set distance query `(s, t, F)` with the full
-    /// decoder output (distance, witness path, sketch size).
+    /// decoder output (distance, witness path, sketch size). Malformed
+    /// fault elements are ignored (exactly; see the type-level docs).
     ///
     /// # Panics
     ///
-    /// Panics if any referenced vertex is out of range, or if an edge fault
-    /// in `F` is not an edge of the graph.
+    /// Panics if `s` or `t` is out of range.
     pub fn query(&self, s: NodeId, t: NodeId, faults: &FaultSet) -> QueryAnswer {
+        self.query_with(s, t, faults, &mut DijkstraScratch::new())
+    }
+
+    /// Strict variant of [`ForbiddenSetOracle::query`]: rejects out-of-range
+    /// vertices and non-edge edge faults with a typed error instead of
+    /// panicking or ignoring.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`OracleError`] naming the first malformed element.
+    pub fn try_query(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        faults: &FaultSet,
+    ) -> Result<QueryAnswer, OracleError> {
+        self.validate(&[s, t], faults)?;
+        Ok(self.query(s, t, faults))
+    }
+
+    /// [`ForbiddenSetOracle::query`] with caller-provided Dijkstra scratch —
+    /// the per-worker hot path of [`ForbiddenSetOracle::query_batch`].
+    fn query_with(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        faults: &FaultSet,
+        scratch: &mut DijkstraScratch,
+    ) -> QueryAnswer {
         let source = self.label(s);
         let target = self.label(t);
-        let vertex_labels: Vec<Rc<Label>> = faults.vertices().map(|f| self.label(f)).collect();
-        let edge_labels: Vec<(Rc<Label>, Rc<Label>)> = faults
-            .edges()
-            .map(|e| {
-                assert!(
-                    self.labeling.graph().has_edge(e.lo(), e.hi()),
-                    "forbidden edge {e} is not an edge of the graph"
-                );
-                (self.label(e.lo()), self.label(e.hi()))
-            })
-            .collect();
+        let (vertex_labels, edge_labels) = self.fault_labels(faults);
         let query_labels = QueryLabels {
-            fault_vertices: vertex_labels.iter().map(Rc::as_ref).collect(),
+            fault_vertices: vertex_labels.iter().map(Arc::as_ref).collect(),
             fault_edges: edge_labels
                 .iter()
                 .map(|(a, b)| (a.as_ref(), b.as_ref()))
                 .collect(),
         };
-        decode::query(self.params(), &source, &target, &query_labels)
+        decode::query_with(self.params(), &source, &target, &query_labels, scratch)
     }
 
     /// The `(1+ε)`-approximate distance `δ(s, t, F)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `t` is out of range.
     pub fn distance(&self, s: NodeId, t: NodeId, faults: &FaultSet) -> Dist {
         self.query(s, t, faults).distance
+    }
+
+    /// Answers a batch of queries, fanning the work across
+    /// `available_parallelism` scoped threads with per-worker Dijkstra
+    /// scratch. Answers come back in input order and are bit-identical to a
+    /// sequential `query` loop (the only shared mutable state is the label
+    /// arena, whose fills are deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `s` or `t` is out of range (malformed fault elements
+    /// are ignored, as in [`ForbiddenSetOracle::query`]).
+    pub fn query_batch(&self, queries: &[(NodeId, NodeId, FaultSet)]) -> Vec<QueryAnswer> {
+        self.query_batch_workers(queries, fsdl_nets::parallel::default_workers(queries.len()))
+    }
+
+    /// [`ForbiddenSetOracle::query_batch`] with an explicit worker count
+    /// (`workers <= 1` answers sequentially on the calling thread).
+    pub fn query_batch_workers(
+        &self,
+        queries: &[(NodeId, NodeId, FaultSet)],
+        workers: usize,
+    ) -> Vec<QueryAnswer> {
+        fsdl_nets::parallel::run_indexed_with(
+            queries.len(),
+            workers,
+            DijkstraScratch::new,
+            |scratch, k| {
+                let (s, t, faults) = &queries[k];
+                self.query_with(*s, *t, faults, scratch)
+            },
+        )
     }
 
     /// One-to-many distances: `δ(s, tᵢ, F)` for every target, computed with
     /// a single sketch construction and Dijkstra pass (see
     /// [`decode::query_many`]). Answers are still within `1 + ε` of
-    /// `d_{G∖F}(s, tᵢ)`.
+    /// `d_{G∖F}(s, tᵢ)`. Malformed fault elements are ignored (exactly; see
+    /// the type-level docs).
     ///
     /// # Panics
     ///
-    /// Panics if any referenced vertex is out of range, or if an edge fault
-    /// is not an edge of the graph.
+    /// Panics if `s` or any target is out of range.
     pub fn distances_to(&self, s: NodeId, targets: &[NodeId], faults: &FaultSet) -> Vec<Dist> {
         let source = self.label(s);
-        let target_labels: Vec<Rc<Label>> = targets.iter().map(|&t| self.label(t)).collect();
-        let vertex_labels: Vec<Rc<Label>> = faults.vertices().map(|f| self.label(f)).collect();
-        let edge_labels: Vec<(Rc<Label>, Rc<Label>)> = faults
-            .edges()
-            .map(|e| {
-                assert!(
-                    self.labeling.graph().has_edge(e.lo(), e.hi()),
-                    "forbidden edge {e} is not an edge of the graph"
-                );
-                (self.label(e.lo()), self.label(e.hi()))
-            })
-            .collect();
+        let target_labels: Vec<Arc<Label>> = targets.iter().map(|&t| self.label(t)).collect();
+        let (vertex_labels, edge_labels) = self.fault_labels(faults);
         let query_labels = QueryLabels {
-            fault_vertices: vertex_labels.iter().map(Rc::as_ref).collect(),
+            fault_vertices: vertex_labels.iter().map(Arc::as_ref).collect(),
             fault_edges: edge_labels
                 .iter()
                 .map(|(a, b)| (a.as_ref(), b.as_ref()))
                 .collect(),
         };
-        let target_refs: Vec<&Label> = target_labels.iter().map(Rc::as_ref).collect();
+        let target_refs: Vec<&Label> = target_labels.iter().map(Arc::as_ref).collect();
         decode::query_many(self.params(), &source, &target_refs, &query_labels)
+    }
+
+    /// Strict variant of [`ForbiddenSetOracle::distances_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`OracleError`] naming the first malformed element.
+    pub fn try_distances_to(
+        &self,
+        s: NodeId,
+        targets: &[NodeId],
+        faults: &FaultSet,
+    ) -> Result<Vec<Dist>, OracleError> {
+        self.validate(&[s], faults)?;
+        self.validate(targets, faults)?;
+        Ok(self.distances_to(s, targets, faults))
     }
 
     /// Forbidden-set connectivity: are `s` and `t` connected in `G ∖ F`?
@@ -172,35 +382,15 @@ impl ForbiddenSetOracle {
     }
 
     /// Total oracle size in bits: the sum of all `n` encoded label lengths.
-    /// Expensive (materializes every label, fanned out over scoped threads);
-    /// used by the size experiments.
+    /// Expensive (encodes every label, fanned out over scoped threads
+    /// without touching the memoization arena); used by the size
+    /// experiments.
     pub fn total_bits(&self) -> u64 {
         let n = self.labeling.graph().num_vertices();
         let labeling = &self.labeling;
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(n.max(1));
-        if workers <= 1 {
-            return (0..n as u32)
-                .map(|v| labeling.label_bits(NodeId::new(v)) as u64)
-                .sum();
-        }
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let total = std::sync::atomic::AtomicU64::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let v = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if v >= n {
-                        break;
-                    }
-                    let bits = labeling.label_bits(NodeId::from_index(v)) as u64;
-                    total.fetch_add(bits, std::sync::atomic::Ordering::Relaxed);
-                });
-            }
-        });
-        total.into_inner()
+        fsdl_nets::parallel::run_indexed(n, |v| labeling.label_bits(NodeId::from_index(v)) as u64)
+            .into_iter()
+            .sum()
     }
 }
 
@@ -254,22 +444,153 @@ mod tests {
     }
 
     #[test]
-    fn label_cache_returns_same_rc() {
+    fn label_cache_returns_same_arc() {
         let g = generators::cycle(8);
         let oracle = ForbiddenSetOracle::new(&g, 2.0);
         let a = oracle.label(NodeId::new(3));
         let b = oracle.label(NodeId::new(3));
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]
-    #[should_panic(expected = "not an edge")]
-    fn invalid_edge_fault_rejected() {
+    fn prewarm_fills_the_arena_deterministically() {
+        let g = generators::grid2d(5, 5);
+        let oracle = ForbiddenSetOracle::new(&g, 1.0);
+        let early = oracle.label(NodeId::new(7));
+        oracle.prewarm_workers(4);
+        // Already-filled slots are kept; new slots match fresh
+        // materialization.
+        assert!(Arc::ptr_eq(&early, &oracle.label(NodeId::new(7))));
+        for v in 0..25u32 {
+            assert_eq!(
+                *oracle.label(NodeId::new(v)),
+                oracle.labeling().label_of(NodeId::new(v))
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_edge_fault_is_ignored_exactly() {
+        // (0, 4) is not an edge of the path, so forbidding it cannot change
+        // G \ F: the lenient API answers as if F were empty.
         let g = generators::path(5);
         let oracle = ForbiddenSetOracle::new(&g, 1.0);
         let mut f = FaultSet::empty();
         f.forbid_edge_unchecked(NodeId::new(0), NodeId::new(4));
-        let _ = oracle.query(NodeId::new(0), NodeId::new(4), &f);
+        let with = oracle.query(NodeId::new(0), NodeId::new(4), &f);
+        let without = oracle.query(NodeId::new(0), NodeId::new(4), &FaultSet::empty());
+        assert_eq!(with.distance, without.distance);
+    }
+
+    #[test]
+    fn out_of_range_fault_vertex_is_ignored_exactly() {
+        let g = generators::path(5);
+        let oracle = ForbiddenSetOracle::new(&g, 1.0);
+        let f = FaultSet::from_vertices([NodeId::new(77)]);
+        let d = oracle.distance(NodeId::new(0), NodeId::new(4), &f);
+        assert_eq!(
+            d,
+            oracle.distance(NodeId::new(0), NodeId::new(4), &FaultSet::empty())
+        );
+        assert_eq!(
+            oracle.distances_to(NodeId::new(0), &[NodeId::new(4)], &f),
+            vec![d]
+        );
+    }
+
+    #[test]
+    fn try_query_rejects_malformed_faults() {
+        let g = generators::path(5);
+        let oracle = ForbiddenSetOracle::new(&g, 1.0);
+        let mut f = FaultSet::empty();
+        f.forbid_edge_unchecked(NodeId::new(0), NodeId::new(4));
+        assert_eq!(
+            oracle.try_query(NodeId::new(0), NodeId::new(4), &f),
+            Err(OracleError::FaultEdgeNotInGraph {
+                a: NodeId::new(0),
+                b: NodeId::new(4)
+            })
+        );
+        let far = FaultSet::from_vertices([NodeId::new(99)]);
+        assert_eq!(
+            oracle.try_query(NodeId::new(0), NodeId::new(4), &far),
+            Err(OracleError::VertexOutOfRange {
+                v: NodeId::new(99),
+                n: 5
+            })
+        );
+        assert_eq!(
+            oracle.try_query(NodeId::new(0), NodeId::new(9), &FaultSet::empty()),
+            Err(OracleError::VertexOutOfRange {
+                v: NodeId::new(9),
+                n: 5
+            })
+        );
+        let ok = oracle
+            .try_query(NodeId::new(0), NodeId::new(4), &FaultSet::empty())
+            .unwrap();
+        assert_eq!(ok.distance.finite(), Some(4));
+    }
+
+    #[test]
+    fn try_distances_to_rejects_bad_targets() {
+        let g = generators::path(6);
+        let oracle = ForbiddenSetOracle::new(&g, 1.0);
+        assert_eq!(
+            oracle.try_distances_to(
+                NodeId::new(0),
+                &[NodeId::new(2), NodeId::new(42)],
+                &FaultSet::empty()
+            ),
+            Err(OracleError::VertexOutOfRange {
+                v: NodeId::new(42),
+                n: 6
+            })
+        );
+        let out = oracle
+            .try_distances_to(NodeId::new(0), &[NodeId::new(2)], &FaultSet::empty())
+            .unwrap();
+        assert_eq!(out[0].finite(), Some(2));
+    }
+
+    #[test]
+    fn oracle_error_display() {
+        let e = OracleError::VertexOutOfRange {
+            v: NodeId::new(9),
+            n: 4,
+        };
+        assert!(e.to_string().contains("out of range"));
+        let e = OracleError::FaultEdgeNotInGraph {
+            a: NodeId::new(1),
+            b: NodeId::new(3),
+        };
+        assert!(e.to_string().contains("not an edge"));
+    }
+
+    #[test]
+    fn query_batch_matches_sequential_bit_for_bit() {
+        let g = generators::grid2d(6, 6);
+        let oracle = ForbiddenSetOracle::new(&g, 1.0);
+        let mut queries = Vec::new();
+        for s in (0..36u32).step_by(5) {
+            for t in (0..36u32).step_by(7) {
+                let f = FaultSet::from_vertices([NodeId::new((s + t + 1) % 36)]);
+                queries.push((NodeId::new(s), NodeId::new(t), f));
+            }
+        }
+        let sequential: Vec<QueryAnswer> = queries
+            .iter()
+            .map(|(s, t, f)| oracle.query(*s, *t, f))
+            .collect();
+        for workers in [1, 2, 4, 8] {
+            assert_eq!(
+                oracle.query_batch_workers(&queries, workers),
+                sequential,
+                "workers = {workers}"
+            );
+        }
+        assert_eq!(oracle.query_batch(&queries), sequential);
+        assert!(oracle.query_batch(&[]).is_empty());
     }
 
     #[test]
@@ -323,6 +644,18 @@ mod tests {
     }
 
     #[test]
+    fn distances_to_dedupes_repeated_targets() {
+        let g = generators::cycle(16);
+        let oracle = ForbiddenSetOracle::new(&g, 1.0);
+        let f = FaultSet::from_vertices([NodeId::new(1)]);
+        let s = NodeId::new(0);
+        let t = NodeId::new(4);
+        let repeated = oracle.distances_to(s, &[t, t, t, s], &f);
+        let single = oracle.distances_to(s, &[t, s], &f);
+        assert_eq!(repeated, vec![single[0], single[0], single[0], single[1]]);
+    }
+
+    #[test]
     fn total_bits_positive() {
         let g = generators::path(12);
         let oracle = ForbiddenSetOracle::new(&g, 2.0);
@@ -336,10 +669,12 @@ mod tests {
     }
 
     #[test]
-    fn labeling_is_send_and_sync() {
+    fn oracle_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ForbiddenSetOracle>();
         assert_send_sync::<Labeling>();
         assert_send_sync::<crate::SchemeParams>();
         assert_send_sync::<Label>();
+        assert_send_sync::<OracleError>();
     }
 }

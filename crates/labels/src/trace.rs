@@ -109,6 +109,9 @@ pub fn trace_query(
         };
     }
     match sketch.graph.shortest_path(s, t) {
+        // A finite sketch distance that does not fit in `Dist` widens to
+        // INFINITE (sound, matching `decode::query`); the hops are still
+        // reported so the overflow is inspectable.
         Some((d, path)) => {
             let hops = path
                 .windows(2)
@@ -127,9 +130,7 @@ pub fn trace_query(
                 })
                 .collect();
             QueryTrace {
-                distance: Dist::new(
-                    u32::try_from(d.min(u64::from(u32::MAX - 1))).expect("clamped"),
-                ),
+                distance: Dist::try_new(d).unwrap_or(Dist::INFINITE),
                 hops,
                 sketch_size: (sketch.graph.num_vertices(), sketch.graph.num_edges()),
             }

@@ -21,7 +21,7 @@ use std::collections::HashMap;
 
 use fsdl_graph::{Dist, Edge, FaultSet, Graph, GraphBuilder, NodeId};
 
-use crate::oracle::ForbiddenSetOracle;
+use crate::oracle::{ForbiddenSetOracle, OracleError};
 use crate::params::SchemeParams;
 
 /// A forbidden set in the weighted world: original vertices and weighted
@@ -160,9 +160,54 @@ impl WeightedOracle {
             s.index() < self.original_n && t.index() < self.original_n,
             "query vertex out of range"
         );
+        let f = match self.lower_faults(faults) {
+            Ok(f) => f,
+            Err(OracleError::VertexOutOfRange { .. }) => panic!("fault vertex out of range"),
+            Err(OracleError::FaultEdgeNotInGraph { a, b }) => {
+                panic!("{} is not a weighted edge of the graph", Edge::new(a, b))
+            }
+        };
+        self.oracle.distance(s, t, &f)
+    }
+
+    /// Strict variant of [`WeightedOracle::distance`]: malformed queries
+    /// come back as a typed [`OracleError`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OracleError::VertexOutOfRange`] when `s`, `t`, or a fault
+    /// vertex is not an original vertex, and
+    /// [`OracleError::FaultEdgeNotInGraph`] when a fault edge is not a
+    /// weighted edge of the graph.
+    pub fn try_distance(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        faults: &WeightedFaults,
+    ) -> Result<Dist, OracleError> {
+        for v in [s, t] {
+            if v.index() >= self.original_n {
+                return Err(OracleError::VertexOutOfRange {
+                    v,
+                    n: self.original_n,
+                });
+            }
+        }
+        let f = self.lower_faults(faults)?;
+        Ok(self.oracle.distance(s, t, &f))
+    }
+
+    /// Translates weighted-world faults into subdivision faults, rejecting
+    /// anything that does not name an original vertex or weighted edge.
+    fn lower_faults(&self, faults: &WeightedFaults) -> Result<FaultSet, OracleError> {
         let mut f = FaultSet::empty();
         for &v in &faults.vertices {
-            assert!(v.index() < self.original_n, "fault vertex out of range");
+            if v.index() >= self.original_n {
+                return Err(OracleError::VertexOutOfRange {
+                    v,
+                    n: self.original_n,
+                });
+            }
             f.forbid_vertex(v);
         }
         for &(a, b) in &faults.edges {
@@ -174,10 +219,15 @@ impl WeightedOracle {
                 Some(FaultTarget::AuxVertex(x)) => {
                     f.forbid_vertex(*x);
                 }
-                None => panic!("{key} is not a weighted edge of the graph"),
+                None => {
+                    return Err(OracleError::FaultEdgeNotInGraph {
+                        a: key.lo(),
+                        b: key.hi(),
+                    })
+                }
             }
         }
-        self.oracle.distance(s, t, &f)
+        Ok(f)
     }
 
     /// Weighted forbidden-set connectivity.
@@ -357,5 +407,44 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_weight_rejected() {
         let _ = WeightedOracle::new(2, &[(0, 1, 0)], 1.0);
+    }
+
+    #[test]
+    fn try_distance_returns_typed_errors() {
+        let oracle = WeightedOracle::new(3, &[(0, 1, 2), (1, 2, 3)], 1.0);
+        let bad_edge = WeightedFaults {
+            vertices: vec![],
+            edges: vec![(NodeId::new(0), NodeId::new(2))],
+        };
+        assert_eq!(
+            oracle.try_distance(NodeId::new(0), NodeId::new(1), &bad_edge),
+            Err(OracleError::FaultEdgeNotInGraph {
+                a: NodeId::new(0),
+                b: NodeId::new(2)
+            })
+        );
+        // Auxiliary subdivision vertices are not part of the weighted world.
+        let aux = NodeId::new(3);
+        assert_eq!(
+            oracle.try_distance(NodeId::new(0), aux, &WeightedFaults::none()),
+            Err(OracleError::VertexOutOfRange { v: aux, n: 3 })
+        );
+        let bad_fault = WeightedFaults {
+            vertices: vec![aux],
+            edges: vec![],
+        };
+        assert_eq!(
+            oracle.try_distance(NodeId::new(0), NodeId::new(1), &bad_fault),
+            Err(OracleError::VertexOutOfRange { v: aux, n: 3 })
+        );
+        // Well-formed queries agree with the panicking API.
+        let good = WeightedFaults {
+            vertices: vec![],
+            edges: vec![(NodeId::new(0), NodeId::new(1))],
+        };
+        assert_eq!(
+            oracle.try_distance(NodeId::new(0), NodeId::new(1), &good),
+            Ok(oracle.distance(NodeId::new(0), NodeId::new(1), &good))
+        );
     }
 }

@@ -16,6 +16,7 @@ use fsdl_graph::bfs;
 use fsdl_graph::{Dist, Graph, NodeId};
 
 use crate::greedy::greedy_net;
+use crate::parallel;
 
 /// Ceiling of `log₂ n` for `n ≥ 1` (`0` for `n ≤ 1`).
 pub fn ceil_log2(n: usize) -> u32 {
@@ -76,7 +77,7 @@ impl NetHierarchy {
         // the per-level nearest maps, so both phases fan out over scoped
         // threads; results are merged in level order, so the hierarchy is
         // bit-identical to a sequential build.
-        let nets_by_level: Vec<Vec<NodeId>> = run_levels(top_level as usize, |k| {
+        let nets_by_level: Vec<Vec<NodeId>> = parallel::run_indexed(top_level as usize, |k| {
             greedy_net(g, 1u32 << (k as u32 + 1))
         });
         let mut net_level = vec![0u32; n];
@@ -87,7 +88,7 @@ impl NetHierarchy {
             }
         }
         let net_level_ref = &net_level;
-        let nearest = run_levels(top_level as usize + 1, |i| {
+        let nearest = parallel::run_indexed(top_level as usize + 1, |i| {
             let pts: Vec<NodeId> = (0..n as u32)
                 .map(NodeId::new)
                 .filter(|v| net_level_ref[v.index()] >= i as u32)
@@ -198,38 +199,6 @@ impl NetHierarchy {
         }
         None
     }
-}
-
-/// Runs `job(0), …, job(count-1)` across up to `available_parallelism`
-/// scoped threads and returns the results in index order. Falls back to a
-/// sequential loop for small counts.
-fn run_levels<T: Send, F: Fn(usize) -> T + Sync>(count: usize, job: F) -> Vec<T> {
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(count.max(1));
-    if workers <= 1 || count <= 1 {
-        return (0..count).map(job).collect();
-    }
-    let mut out: Vec<Option<T>> = (0..count).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots = std::sync::Mutex::new(&mut out);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if k >= count {
-                    break;
-                }
-                let result = job(k);
-                let mut guard = slots.lock().expect("no poisoned workers");
-                guard[k] = Some(result);
-            });
-        }
-    });
-    out.into_iter()
-        .map(|slot| slot.expect("every level computed"))
-        .collect()
 }
 
 /// A violation of the Lemma 2.2 packing bound found by

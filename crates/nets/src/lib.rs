@@ -15,7 +15,11 @@
 //!   workload;
 //! * [`Spanner`] — the classic `(1+ε)`-spanner built from the same
 //!   hierarchy (cross edges between net points at every scale), a
-//!   companion artifact and sanity mirror for the labels.
+//!   companion artifact and sanity mirror for the labels;
+//! * [`parallel`] — the deterministic indexed fan-out over scoped threads
+//!   that the hierarchy build uses, exported for the label builder and the
+//!   oracle's batched query engine (index-order merge keeps every parallel
+//!   run bit-identical to the sequential one).
 //!
 //! ## Example
 //!
@@ -37,6 +41,7 @@
 
 mod greedy;
 mod hierarchy;
+pub mod parallel;
 mod spanner;
 
 pub use greedy::{greedy_net, validate_net, NetViolation};

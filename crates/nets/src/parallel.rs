@@ -1,0 +1,168 @@
+//! Deterministic fan-out of independent indexed jobs over scoped threads.
+//!
+//! The net hierarchy, the label builder, and the oracle's batched query
+//! front-end all share the same shape of parallelism: `count` independent
+//! jobs, each identified by its index, whose results must be merged *in
+//! index order* so the parallel run is bit-identical to a sequential one.
+//! This module is that pattern, promoted from the private helper that
+//! [`crate::NetHierarchy::build`] started with.
+//!
+//! Work is distributed dynamically (an atomic cursor), so uneven job costs
+//! balance across workers; result order is fixed by index, so determinism
+//! never depends on scheduling.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The default worker count for `count` jobs: `available_parallelism`,
+/// capped by the job count (never 0).
+pub fn default_workers(count: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(count.max(1))
+}
+
+/// Runs `job(0), …, job(count-1)` across up to
+/// [`default_workers`]`(count)` scoped threads and returns the results in
+/// index order.
+///
+/// # Examples
+///
+/// ```
+/// let squares = fsdl_nets::parallel::run_indexed(8, |k| k * k);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn run_indexed<T, F>(count: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed_workers(count, default_workers(count), job)
+}
+
+/// [`run_indexed`] with an explicit worker count (`workers <= 1` runs the
+/// jobs sequentially on the calling thread). Results are in index order
+/// regardless of the worker count, so any two runs agree bit for bit.
+pub fn run_indexed_workers<T, F>(count: usize, workers: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed_with(count, workers, || (), |(), k| job(k))
+}
+
+/// The per-worker-state variant: each worker thread calls `init()` once to
+/// build its private scratch state (BFS buffers, Dijkstra heaps, …) and
+/// reuses it across every job it claims. Results are merged in index order;
+/// with `workers <= 1` a single state serves a sequential loop.
+///
+/// # Examples
+///
+/// ```
+/// // Each worker reuses one buffer across its share of the jobs.
+/// let out = fsdl_nets::parallel::run_indexed_with(
+///     4,
+///     2,
+///     Vec::new,
+///     |buf: &mut Vec<usize>, k| {
+///         buf.push(k);
+///         k + 10
+///     },
+/// );
+/// assert_eq!(out, vec![10, 11, 12, 13]);
+/// ```
+pub fn run_indexed_with<S, T, I, F>(count: usize, workers: usize, init: I, job: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    if workers <= 1 || count <= 1 {
+        let mut state = init();
+        return (0..count).map(|k| job(&mut state, k)).collect();
+    }
+    let workers = workers.min(count);
+    let mut out: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    let slots = Mutex::new(&mut out);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= count {
+                        break;
+                    }
+                    let result = job(&mut state, k);
+                    let mut guard = slots.lock().expect("no poisoned workers");
+                    guard[k] = Some(result);
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every job computed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single_counts() {
+        assert_eq!(run_indexed(0, |k| k), Vec::<usize>::new());
+        assert_eq!(run_indexed(1, |k| k + 5), vec![5]);
+        assert_eq!(run_indexed_workers(3, 0, |k| k), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn order_is_by_index_for_any_worker_count() {
+        let expected: Vec<usize> = (0..97).map(|k| k * 3).collect();
+        for workers in [1, 2, 4, 16, 200] {
+            assert_eq!(
+                run_indexed_workers(97, workers, |k| k * 3),
+                expected,
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_workers_bounds() {
+        assert_eq!(default_workers(0), 1);
+        assert_eq!(default_workers(1), 1);
+        assert!(default_workers(1000) >= 1);
+    }
+
+    #[test]
+    fn per_worker_state_is_private_and_reused() {
+        // Each worker's counter only ever grows; totals must cover all jobs
+        // exactly once.
+        let hits = Mutex::new(Vec::new());
+        let out = run_indexed_with(
+            64,
+            4,
+            || 0usize,
+            |claimed, k| {
+                *claimed += 1;
+                hits.lock().unwrap().push(k);
+                k
+            },
+        );
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+        let mut seen = hits.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_with_state() {
+        let seq = run_indexed_with(40, 1, || 7usize, |s, k| k * *s);
+        let par = run_indexed_with(40, 8, || 7usize, |s, k| k * *s);
+        assert_eq!(seq, par);
+    }
+}

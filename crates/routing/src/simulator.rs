@@ -11,9 +11,7 @@
 //! at every hop and reports the realized hop count, so routing stretch is
 //! measured end to end.
 
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, OnceLock};
 
 use fsdl_graph::{FaultSet, Graph, NodeId};
 use fsdl_labels::{ForbiddenSetOracle, Labeling};
@@ -132,12 +130,14 @@ pub struct Delivery {
 #[derive(Debug)]
 pub struct Network {
     oracle: ForbiddenSetOracle,
-    tables: RefCell<HashMap<NodeId, Rc<RoutingTable>>>,
+    tables: Box<[OnceLock<Arc<RoutingTable>>]>,
 }
 
 impl Network {
     /// Builds the network state (labels + routing tables) for `g` with
-    /// precision `epsilon`.
+    /// precision `epsilon`. The network is `Send + Sync` — one instance can
+    /// serve routing requests from many threads (tables, like labels, are
+    /// memoized in a per-vertex `OnceLock` arena).
     ///
     /// # Panics
     ///
@@ -145,7 +145,7 @@ impl Network {
     pub fn new(g: &Graph, epsilon: f64) -> Self {
         Network {
             oracle: ForbiddenSetOracle::new(g, epsilon),
-            tables: RefCell::new(HashMap::new()),
+            tables: (0..g.num_vertices()).map(|_| OnceLock::new()).collect(),
         }
     }
 
@@ -160,14 +160,20 @@ impl Network {
     }
 
     /// Returns (materializing and memoizing) the routing table of `v`.
-    pub fn table(&self, v: NodeId) -> Rc<RoutingTable> {
-        if let Some(t) = self.tables.borrow().get(&v) {
-            return Rc::clone(t);
-        }
-        let scheme = RoutingScheme::new(self.oracle.labeling());
-        let t = Rc::new(scheme.table_of(v));
-        self.tables.borrow_mut().insert(v, Rc::clone(&t));
-        t
+    ///
+    /// Thread-safe: the table is built at most once; later calls are
+    /// lock-free pointer clones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn table(&self, v: NodeId) -> Arc<RoutingTable> {
+        self.tables[v.index()]
+            .get_or_init(|| {
+                let scheme = RoutingScheme::new(self.oracle.labeling());
+                Arc::new(scheme.table_of(v))
+            })
+            .clone()
     }
 
     /// Routes a packet from `s` to `t` under forbidden set `F`.
@@ -535,6 +541,36 @@ mod tests {
         let net = Network::new(&g, 1.0);
         let a = net.table(NodeId::new(4));
         let b = net.table(NodeId::new(4));
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn network_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Network>();
+    }
+
+    #[test]
+    fn concurrent_routing_matches_sequential() {
+        let g = generators::grid2d(5, 5);
+        let net = Network::new(&g, 1.0);
+        let f = FaultSet::from_vertices([NodeId::new(12)]);
+        let pairs: Vec<(u32, u32)> = (0..25u32).step_by(3).map(|s| (s, 24 - s)).collect();
+        let sequential: Vec<_> = pairs
+            .iter()
+            .map(|&(s, t)| net.route(NodeId::new(s), NodeId::new(t), &f))
+            .collect();
+        let concurrent: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = pairs
+                .iter()
+                .map(|&(s, t)| {
+                    let net = &net;
+                    let f = &f;
+                    scope.spawn(move || net.route(NodeId::new(s), NodeId::new(t), f))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(concurrent, sequential);
     }
 }

@@ -47,7 +47,9 @@ fn main() {
         // Each hour: an incident closes an intersection or a road segment,
         // and sometimes an earlier closure clears.
         if closures.len() > 4 && rng.gen_bool(0.5) {
-            let reopened = closures.vertices().next();
+            // min, not iteration order: FaultSet's hash-set order varies
+            // per process and the run should be deterministic.
+            let reopened = closures.vertices().min();
             if let Some(v) = reopened {
                 closures.permit_vertex(v);
                 println!("[h{hour:02}] intersection {v} reopened");
