@@ -22,6 +22,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_t11_recovery",
     "exp_t12_weighted",
     "exp_t13_throughput",
+    "exp_t14_query_latency",
     "exp_f1_trace",
     "exp_f2_lowlevel",
 ];

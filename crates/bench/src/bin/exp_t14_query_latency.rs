@@ -1,0 +1,297 @@
+//! Experiment T14 — single-query decode latency of the zero-allocation
+//! fast path.
+//!
+//! Three decoders answer the same `(s, t, F)` workloads, with `|F| ∈
+//! {0, 1, 4, 16}` on the standard families:
+//!
+//! * **alloc** — the frozen allocating reference path
+//!   (`decode::query_with`): builds a fresh `HashMap`/`HashSet` sketch
+//!   per query;
+//! * **cold** — the sorted-slice fast path with a brand-new
+//!   [`DecodeScratch`] every query (measures the path itself, no buffer
+//!   reuse);
+//! * **reuse** — the fast path with one long-lived scratch per thread,
+//!   the intended serving configuration: after warm-up, zero allocations
+//!   per query.
+//!
+//! Every fast-path answer is asserted bit-identical (distance, witness
+//! path, sketch sizes) to the reference before any timing is trusted.
+//! The acceptance bar — enforced even under `--quick` so CI trips on a
+//! regression — is a `>= 1.5x` median speedup of **reuse** over
+//! **alloc** at `|F| = 4`.
+//!
+//! Results are printed as tables and written to
+//! `BENCH_query_latency.json` (`--out PATH` redirects).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use fsdl_bench::tables::{f1, Table};
+use fsdl_graph::{generators, DijkstraScratch, Graph, NodeId};
+use fsdl_labels::{
+    query_with, query_with_scratch, DecodeScratch, ForbiddenSetOracle, Label, QueryAnswer,
+    QueryLabels,
+};
+use fsdl_testkit::Rng;
+
+const FAULT_SIZES: [usize; 4] = [0, 1, 4, 16];
+
+/// One pre-materialized query: endpoint labels plus fault-vertex labels.
+struct PreparedQuery {
+    source: Arc<Label>,
+    target: Arc<Label>,
+    fault_vertices: Vec<Arc<Label>>,
+}
+
+impl PreparedQuery {
+    fn labels(&self) -> QueryLabels<'_> {
+        QueryLabels {
+            fault_vertices: self.fault_vertices.iter().map(|l| &**l).collect(),
+            fault_edges: vec![],
+        }
+    }
+}
+
+/// Latency distribution of one decoder on one workload.
+struct PathStats {
+    p50_ns: u64,
+    p99_ns: u64,
+    total_ns: u64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn stats_of(mut samples: Vec<u64>) -> PathStats {
+    let total_ns = samples.iter().sum();
+    samples.sort_unstable();
+    PathStats {
+        p50_ns: percentile(&samples, 0.50),
+        p99_ns: percentile(&samples, 0.99),
+        total_ns,
+    }
+}
+
+/// Times `decode(q)` for every query, returning per-query nanoseconds and
+/// the answers (for the bit-identity assertion).
+fn run_path<F: FnMut(&PreparedQuery) -> QueryAnswer>(
+    queries: &[PreparedQuery],
+    mut decode: F,
+) -> (Vec<u64>, Vec<QueryAnswer>) {
+    let mut ns = Vec::with_capacity(queries.len());
+    let mut answers = Vec::with_capacity(queries.len());
+    for q in queries {
+        let start = Instant::now();
+        let a = decode(q);
+        ns.push(start.elapsed().as_nanos() as u64);
+        answers.push(a);
+    }
+    (ns, answers)
+}
+
+struct Measurement {
+    family: String,
+    n: usize,
+    f: usize,
+    queries: usize,
+    alloc: PathStats,
+    cold: PathStats,
+    reuse: PathStats,
+}
+
+impl Measurement {
+    /// Median speedup of the reused-scratch path over the allocating
+    /// reference.
+    fn reuse_speedup(&self) -> f64 {
+        self.alloc.p50_ns as f64 / (self.reuse.p50_ns as f64).max(1.0)
+    }
+}
+
+/// Draws `count` queries with exactly `f` distinct fault vertices, none
+/// equal to `s` or `t`, and materializes every label up front so timing
+/// sees only decode work.
+fn prepare(oracle: &ForbiddenSetOracle, n: usize, f: usize, count: usize, seed: u64) -> Vec<PreparedQuery> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let s = NodeId::from_index(rng.gen_range(0..n));
+            let t = NodeId::from_index(rng.gen_range(0..n));
+            let mut owners: Vec<NodeId> = Vec::with_capacity(f);
+            while owners.len() < f {
+                let v = NodeId::from_index(rng.gen_range(0..n));
+                if v != s && v != t && !owners.contains(&v) {
+                    owners.push(v);
+                }
+            }
+            PreparedQuery {
+                source: oracle.label(s),
+                target: oracle.label(t),
+                fault_vertices: owners.iter().map(|&v| oracle.label(v)).collect(),
+            }
+        })
+        .collect()
+}
+
+fn measure(family: &str, oracle: &ForbiddenSetOracle, n: usize, f: usize, count: usize) -> Measurement {
+    let queries = prepare(oracle, n, f, count, 0x714 + f as u64);
+    let params = oracle.params();
+
+    // Warm-up pass (untimed): faults the labels into cache for all three
+    // timed passes and grows the reused scratch to working-set size.
+    let mut reused = DecodeScratch::new();
+    for q in &queries {
+        query_with_scratch(params, &q.source, &q.target, &q.labels(), &mut reused);
+    }
+
+    let (alloc_ns, reference) = run_path(&queries, |q| {
+        query_with(params, &q.source, &q.target, &q.labels(), &mut DijkstraScratch::new())
+    });
+    let (cold_ns, cold_answers) = run_path(&queries, |q| {
+        query_with_scratch(params, &q.source, &q.target, &q.labels(), &mut DecodeScratch::new())
+    });
+    let (reuse_ns, reuse_answers) = run_path(&queries, |q| {
+        query_with_scratch(params, &q.source, &q.target, &q.labels(), &mut reused)
+    });
+
+    assert_eq!(
+        reference, cold_answers,
+        "{family} |F|={f}: cold-scratch answers diverged from the reference path"
+    );
+    assert_eq!(
+        reference, reuse_answers,
+        "{family} |F|={f}: reused-scratch answers diverged from the reference path"
+    );
+
+    Measurement {
+        family: family.to_string(),
+        n,
+        f,
+        queries: queries.len(),
+        alloc: stats_of(alloc_ns),
+        cold: stats_of(cold_ns),
+        reuse: stats_of(reuse_ns),
+    }
+}
+
+fn json_artifact(results: &[Measurement]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"t14_query_latency\",\n  \"rows\": [\n");
+    for (k, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"family\": \"{}\", \"n\": {}, \"f\": {}, \"queries\": {}, \
+             \"alloc_p50_ns\": {}, \"alloc_p99_ns\": {}, \
+             \"cold_p50_ns\": {}, \"cold_p99_ns\": {}, \
+             \"reuse_p50_ns\": {}, \"reuse_p99_ns\": {}, \
+             \"reuse_speedup_p50\": {:.3}}}{}",
+            r.family,
+            r.n,
+            r.f,
+            r.queries,
+            r.alloc.p50_ns,
+            r.alloc.p99_ns,
+            r.cold.p50_ns,
+            r.cold.p99_ns,
+            r.reuse.p50_ns,
+            r.reuse.p99_ns,
+            r.reuse_speedup(),
+            if k + 1 < results.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_query_latency.json")
+        .to_string();
+
+    println!("Experiment T14: single-query decode latency, alloc vs cold vs reused scratch (eps = 1)\n");
+
+    let (scale, count) = if quick { (1, 48) } else { (2, 192) };
+    let families: Vec<(&str, Graph)> = vec![
+        ("path", generators::path(1024 * scale)),
+        ("grid2d", generators::grid2d(16 * scale, 16 * scale)),
+        (
+            "udg",
+            generators::random_geometric(250 * scale, 0.11 / (scale as f64).sqrt(), 1),
+        ),
+    ];
+
+    let mut results = Vec::new();
+    for (family, g) in &families {
+        let n = g.num_vertices();
+        let oracle = ForbiddenSetOracle::new(g, 1.0);
+        oracle.prewarm_workers(0);
+        for f in FAULT_SIZES {
+            results.push(measure(family, &oracle, n, f, count));
+        }
+    }
+
+    let mut table = Table::new(
+        "decode latency (ns/query): allocating reference vs scratch fast path",
+        &[
+            "family", "n", "|F|", "alloc p50", "alloc p99", "cold p50", "reuse p50", "reuse p99",
+            "speedup",
+        ],
+    );
+    for r in &results {
+        table.row(&[
+            r.family.clone(),
+            r.n.to_string(),
+            r.f.to_string(),
+            r.alloc.p50_ns.to_string(),
+            r.alloc.p99_ns.to_string(),
+            r.cold.p50_ns.to_string(),
+            r.reuse.p50_ns.to_string(),
+            r.reuse.p99_ns.to_string(),
+            format!("{:.2}x", r.reuse_speedup()),
+        ]);
+    }
+    table.print();
+
+    let mut table = Table::new(
+        "total decode time (ms) over the whole workload",
+        &["family", "|F|", "alloc", "cold", "reuse"],
+    );
+    for r in &results {
+        table.row(&[
+            r.family.clone(),
+            r.f.to_string(),
+            f1(r.alloc.total_ns as f64 / 1e6),
+            f1(r.cold.total_ns as f64 / 1e6),
+            f1(r.reuse.total_ns as f64 / 1e6),
+        ]);
+    }
+    table.print();
+
+    let artifact = json_artifact(&results);
+    std::fs::write(&out_path, &artifact).expect("write BENCH_query_latency.json");
+    println!("wrote {out_path}");
+    println!("\nExpected shape: answers bit-identical across all three paths (asserted);");
+    println!("the reused scratch allocates nothing per query, so its p50 clears 1.5x");
+    println!("over the allocating reference at |F| = 4, and its p99 stays close to");
+    println!("its p50 (no per-query allocator noise).");
+
+    // Acceptance bar — enforced in quick mode too, so the CI smoke run
+    // trips on a fast-path regression.
+    let worst = results
+        .iter()
+        .filter(|r| r.f == 4)
+        .map(Measurement::reuse_speedup)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        worst >= 1.5,
+        "reused-scratch median speedup {worst:.2}x at |F|=4 is below the 1.5x bar"
+    );
+    println!("\nacceptance: worst |F|=4 reuse speedup {worst:.2}x >= 1.5x");
+}

@@ -29,6 +29,8 @@ USAGE:
        0 = all cores — and reports exact totals instead of a sample)
   fsdl query <graph-file> --source S --target T [--eps E]
              [--forbid v1,v2,...] [--forbid-edge a-b,c-d,...] [--exact yes]
+             [--repeat N]  (re-runs the decode N times reusing one scratch
+              and reports the per-query latency)
   fsdl route <graph-file> --source S --target T [--eps E]
              [--forbid ...] [--forbid-edge ...]
   fsdl batch <graph-file> --source S --targets t1,t2,... [--eps E]
@@ -227,11 +229,7 @@ fn cmd_label<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
         let threads: usize = raw
             .parse()
             .map_err(|_| ArgError(format!("invalid --threads '{raw}'")))?;
-        let workers = if threads == 0 {
-            fsdl_nets::parallel::default_workers(n)
-        } else {
-            threads
-        };
+        let workers = fsdl_nets::parallel::resolve_workers(threads, n);
         let start = std::time::Instant::now();
         oracle.prewarm_workers(workers);
         let elapsed = start.elapsed().as_secs_f64();
@@ -277,8 +275,23 @@ fn cmd_query<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
         }
     }
     let faults = faults_from(args, &g)?;
+    let repeat: usize = args.parse_option("repeat", 1usize)?;
+    if repeat == 0 {
+        return Err(ArgError("--repeat must be at least 1".into()));
+    }
     let oracle = ForbiddenSetOracle::new(&g, eps);
-    let answer = oracle.query(NodeId::new(s), NodeId::new(t), &faults);
+    let mut scratch = fsdl_labels::DecodeScratch::new();
+    let start = std::time::Instant::now();
+    let answer = oracle.query_with(NodeId::new(s), NodeId::new(t), &faults, &mut scratch);
+    for _ in 1..repeat {
+        let again = oracle.query_with(NodeId::new(s), NodeId::new(t), &faults, &mut scratch);
+        if again != answer {
+            return Err(ArgError(
+                "internal error: repeated decode diverged from first answer".into(),
+            ));
+        }
+    }
+    let elapsed = start.elapsed();
     let mut text = format!(
         "delta(v{s}, v{t}, |F|={}) = {} (sketch: {} vertices, {} edges)\n",
         faults.len(),
@@ -286,6 +299,12 @@ fn cmd_query<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
         answer.sketch_vertices,
         answer.sketch_edges
     );
+    if repeat > 1 {
+        text.push_str(&format!(
+            "repeated {repeat}x (scratch reused, all answers identical): {} ns/query\n",
+            elapsed.as_nanos() / repeat as u128
+        ));
+    }
     if !answer.path.is_empty() {
         text.push_str("witness: ");
         text.push_str(
@@ -568,6 +587,25 @@ mod tests {
         .unwrap();
         assert!(out.contains("delta(v0, v2, |F|=1)"), "{out}");
         assert!(out.contains("exact:   10"), "{out}");
+    }
+
+    #[test]
+    fn query_repeat_reuses_scratch() {
+        let path = temp_graph();
+        let p = path.path();
+        let out = run_args(&[
+            "query", p, "--source", "0", "--target", "2", "--forbid", "1", "--repeat", "5",
+        ])
+        .unwrap();
+        assert!(out.contains("delta(v0, v2, |F|=1)"), "{out}");
+        assert!(out.contains("repeated 5x"), "{out}");
+        assert!(out.contains("ns/query"), "{out}");
+        assert!(
+            run_args(&["query", p, "--source", "0", "--target", "2", "--repeat", "nope"]).is_err()
+        );
+        assert!(
+            run_args(&["query", p, "--source", "0", "--target", "2", "--repeat", "0"]).is_err()
+        );
     }
 
     #[test]

@@ -9,8 +9,49 @@
 use std::cmp::Reverse;
 use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::ids::NodeId;
+
+/// Largest edge weight the Dial (bucket) queue accepts. Sketch-graph
+/// weights are level distances bounded by `λ(top)`, far below this for the
+/// parameter ranges the scheme targets; anything heavier (or a zero
+/// weight) falls back to the binary heap.
+const DIAL_MAX_WEIGHT: u64 = 1 << 14;
+
+/// Vertex ids below this bound are interned through a direct-indexed,
+/// epoch-stamped slot array (one array read, no hashing); larger ids —
+/// possible only from hand-built labels, since real graphs index vertices
+/// densely from zero — fall back to a spill map so a hostile id cannot
+/// force a multi-gigabyte allocation.
+const DENSE_INTERN_LIMIT: usize = 1 << 21;
+
+/// Multiply-xor hasher for the `u64` edge keys of the dedup index: the
+/// keys are already well-mixed pairs of dense indices, so a single
+/// multiply beats SipHash on the per-edge hot path. Not
+/// collision-resistant against adversaries — fine for a dedup cache whose
+/// collisions only cost probes, never correctness.
+#[derive(Default)]
+struct EdgeKeyHasher(u64);
+
+impl Hasher for EdgeKeyHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        self.0 = (self.0 ^ x).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 29;
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type EdgeIndex = HashMap<u64, (u32, u32), BuildHasherDefault<EdgeKeyHasher>>;
 
 /// A mutable, weighted, undirected multigraph over interned [`NodeId`]s.
 ///
@@ -29,11 +70,34 @@ use crate::ids::NodeId;
 /// assert_eq!(h.shortest_distance(NodeId::new(0), NodeId::new(9)), Some(7));
 /// assert_eq!(h.shortest_distance(NodeId::new(0), NodeId::new(77)), None);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct SketchGraph {
-    intern: HashMap<NodeId, u32>,
+    /// Direct-indexed intern table: `slots[id] = (stamp, idx)` is live only
+    /// when `stamp == epoch`, so [`SketchGraph::reset`] is O(1) — it bumps
+    /// the epoch instead of clearing the array.
+    slots: Vec<(u32, u32)>,
+    epoch: u32,
+    /// Intern spill for ids at or above [`DENSE_INTERN_LIMIT`].
+    spill: HashMap<NodeId, u32>,
+    /// Dedup index: canonical edge key → positions of the two directed
+    /// copies in `adj`, replacing a linear adjacency scan per insertion.
+    edge_slots: EdgeIndex,
     names: Vec<NodeId>,
     adj: Vec<Vec<(u32, u64)>>,
+}
+
+impl Default for SketchGraph {
+    fn default() -> Self {
+        SketchGraph {
+            slots: Vec::new(),
+            // Epoch 0 is reserved so zero-initialized slots are never live.
+            epoch: 1,
+            spill: HashMap::new(),
+            edge_slots: EdgeIndex::default(),
+            names: Vec::new(),
+            adj: Vec::new(),
+        }
+    }
 }
 
 /// Reusable buffers for [`SketchGraph`] Dijkstra runs, so a worker serving
@@ -56,6 +120,13 @@ pub struct DijkstraScratch {
     dist: Vec<u64>,
     prev: Vec<u32>,
     heap: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Circular Dial buckets, indexed by `distance % width`; sound because
+    /// every tentative distance in flight lies within one `width` window of
+    /// the sweep distance.
+    buckets: Vec<Vec<u32>>,
+    /// Bucket slots touched by the current Dial run, cleared afterwards so
+    /// the next run starts from empty buckets without a full sweep.
+    touched: Vec<u32>,
 }
 
 impl DijkstraScratch {
@@ -81,6 +152,13 @@ impl DijkstraScratch {
         self.prev.clear();
         self.prev.resize(n, u32::MAX);
         self.heap.clear();
+        // Dial runs clean their buckets on exit; drain defensively so a
+        // scratch poisoned mid-run (e.g. by a panic) cannot leak entries
+        // into the next query.
+        for &slot in &self.touched {
+            self.buckets[slot as usize].clear();
+        }
+        self.touched.clear();
     }
 }
 
@@ -90,23 +168,73 @@ impl SketchGraph {
         SketchGraph::default()
     }
 
+    /// Clears the graph for reuse, retaining every allocation: the intern
+    /// slot array (invalidated in O(1) by the epoch bump), the dedup
+    /// index's capacity, and the per-vertex adjacency vectors (which
+    /// [`SketchGraph::intern`] hands back out as vertices reappear).
+    pub fn reset(&mut self) {
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                // Epoch wrap: old stamps could alias, so pay one full clear.
+                self.slots.fill((0, 0));
+                1
+            }
+        };
+        self.spill.clear();
+        self.edge_slots.clear();
+        self.names.clear();
+        for nbrs in &mut self.adj {
+            nbrs.clear();
+        }
+    }
+
     /// Interns `v`, returning its dense index; inserts it if new.
     pub fn intern(&mut self, v: NodeId) -> u32 {
-        match self.intern.entry(v) {
-            Entry::Occupied(e) => *e.get(),
-            Entry::Vacant(e) => {
-                let idx = self.names.len() as u32;
-                e.insert(idx);
-                self.names.push(v);
-                self.adj.push(Vec::new());
-                idx
-            }
+        let i = v.index();
+        if i >= DENSE_INTERN_LIMIT {
+            return match self.spill.entry(v) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    let idx = Self::push_name(&mut self.names, &mut self.adj, v);
+                    e.insert(idx);
+                    idx
+                }
+            };
         }
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, (0, 0));
+        }
+        let (stamp, idx) = self.slots[i];
+        if stamp == self.epoch {
+            return idx;
+        }
+        let idx = Self::push_name(&mut self.names, &mut self.adj, v);
+        self.slots[i] = (self.epoch, idx);
+        idx
+    }
+
+    fn push_name(names: &mut Vec<NodeId>, adj: &mut Vec<Vec<(u32, u64)>>, v: NodeId) -> u32 {
+        let idx = names.len() as u32;
+        names.push(v);
+        // After `reset` the pool may already hold a cleared row for this
+        // index; only grow when the pool is exhausted.
+        if adj.len() < names.len() {
+            adj.push(Vec::new());
+        }
+        idx
     }
 
     /// Returns the dense index of `v` if it has been interned.
     pub fn index_of(&self, v: NodeId) -> Option<u32> {
-        self.intern.get(&v).copied()
+        let i = v.index();
+        if i >= DENSE_INTERN_LIMIT {
+            return self.spill.get(&v).copied();
+        }
+        match self.slots.get(i) {
+            Some(&(stamp, idx)) if stamp == self.epoch => Some(idx),
+            _ => None,
+        }
     }
 
     /// Number of interned vertices.
@@ -116,12 +244,16 @@ impl SketchGraph {
 
     /// Number of (deduplicated) undirected edges.
     pub fn num_edges(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+        self.adj[..self.names.len()]
+            .iter()
+            .map(Vec::len)
+            .sum::<usize>()
+            / 2
     }
 
     /// Returns `true` if `v` has been interned.
     pub fn contains(&self, v: NodeId) -> bool {
-        self.intern.contains_key(&v)
+        self.index_of(v).is_some()
     }
 
     /// Adds the undirected edge `{a, b}` with the given weight. Parallel
@@ -132,21 +264,29 @@ impl SketchGraph {
         }
         let ia = self.intern(a);
         let ib = self.intern(b);
-        // Collapse parallel edges to the min weight.
-        if let Some(slot) = self.adj[ia as usize].iter_mut().find(|(t, _)| *t == ib) {
-            if slot.1 <= weight {
-                return;
+        let (lo, hi) = if ia <= ib { (ia, ib) } else { (ib, ia) };
+        let key = (u64::from(lo) << 32) | u64::from(hi);
+        match self.edge_slots.entry(key) {
+            // Collapse parallel edges to the min weight, updating both
+            // directed copies in place so adjacency order is unchanged.
+            Entry::Occupied(e) => {
+                let (pos_lo, pos_hi) = *e.get();
+                let slot = &mut self.adj[lo as usize][pos_lo as usize].1;
+                if *slot <= weight {
+                    return;
+                }
+                *slot = weight;
+                self.adj[hi as usize][pos_hi as usize].1 = weight;
             }
-            slot.1 = weight;
-            let back = self.adj[ib as usize]
-                .iter_mut()
-                .find(|(t, _)| *t == ia)
-                .expect("sketch adjacency must be symmetric");
-            back.1 = weight;
-            return;
+            Entry::Vacant(e) => {
+                e.insert((
+                    self.adj[lo as usize].len() as u32,
+                    self.adj[hi as usize].len() as u32,
+                ));
+                self.adj[ia as usize].push((ib, weight));
+                self.adj[ib as usize].push((ia, weight));
+            }
         }
-        self.adj[ia as usize].push((ib, weight));
-        self.adj[ib as usize].push((ia, weight));
     }
 
     /// Single-pair Dijkstra; returns the shortest-path weight or `None` when
@@ -176,14 +316,59 @@ impl SketchGraph {
         let is = self.index_of(s)?;
         let it = self.index_of(t)?;
         scratch.reset(self.names.len());
-        let DijkstraScratch { dist, prev, heap } = scratch;
+        self.run_dijkstra(is, Some(it), scratch);
+        if scratch.dist[it as usize] == u64::MAX {
+            return None;
+        }
+        let mut path = vec![self.names[it as usize]];
+        let mut cur = it;
+        while cur != is {
+            cur = scratch.prev[cur as usize];
+            path.push(self.names[cur as usize]);
+        }
+        path.reverse();
+        Some((scratch.dist[it as usize], path))
+    }
+
+    /// Dispatches between the Dial bucket queue and the binary heap. Both
+    /// settle vertices in identical `(distance, dense index)` order, so
+    /// `dist`/`prev` — and therefore paths and answers — are bit-identical
+    /// whichever runs.
+    fn run_dijkstra(&self, is: u32, target: Option<u32>, scratch: &mut DijkstraScratch) {
+        match self.dial_width() {
+            Some(width) => self.run_dial(is, target, width, scratch),
+            None => self.run_heap(is, target, scratch),
+        }
+    }
+
+    /// Bucket count for a Dial run — `max_weight + 1`, so every tentative
+    /// distance in flight maps to a distinct circular slot — or `None`
+    /// (heap fallback) when any weight is zero or above
+    /// [`DIAL_MAX_WEIGHT`].
+    fn dial_width(&self) -> Option<u64> {
+        let mut max_w = 0u64;
+        for nbrs in &self.adj[..self.names.len()] {
+            for &(_, w) in nbrs {
+                if w == 0 || w > DIAL_MAX_WEIGHT {
+                    return None;
+                }
+                max_w = max_w.max(w);
+            }
+        }
+        Some(max_w + 1)
+    }
+
+    fn run_heap(&self, is: u32, target: Option<u32>, scratch: &mut DijkstraScratch) {
+        let DijkstraScratch {
+            dist, prev, heap, ..
+        } = scratch;
         dist[is as usize] = 0;
         heap.push(Reverse((0, is)));
         while let Some(Reverse((d, u))) = heap.pop() {
             if d > dist[u as usize] {
                 continue;
             }
-            if u == it {
+            if Some(u) == target {
                 break;
             }
             for &(w, weight) in &self.adj[u as usize] {
@@ -195,17 +380,73 @@ impl SketchGraph {
                 }
             }
         }
-        if dist[it as usize] == u64::MAX {
-            return None;
+    }
+
+    /// Dial's algorithm with `width` circular buckets. With every weight
+    /// `>= 1`, a relaxation out of the current bucket lands strictly later,
+    /// so each bucket can be drained in full; sorting the drained batch by
+    /// dense index reproduces the heap's lexicographic `(d, u)` pop order
+    /// exactly, including the early exit at `target`.
+    fn run_dial(&self, is: u32, target: Option<u32>, width: u64, scratch: &mut DijkstraScratch) {
+        let DijkstraScratch {
+            dist,
+            prev,
+            buckets,
+            touched,
+            ..
+        } = scratch;
+        if (buckets.len() as u64) < width {
+            buckets.resize_with(width as usize, Vec::new);
         }
-        let mut path = vec![self.names[it as usize]];
-        let mut cur = it;
-        while cur != is {
-            cur = prev[cur as usize];
-            path.push(self.names[cur as usize]);
+        dist[is as usize] = 0;
+        buckets[0].push(is);
+        touched.push(0);
+        let mut pending = 1usize;
+        let mut d = 0u64;
+        while pending > 0 {
+            let slot = (d % width) as usize;
+            if buckets[slot].is_empty() {
+                d += 1;
+                continue;
+            }
+            let mut batch = std::mem::take(&mut buckets[slot]);
+            pending -= batch.len();
+            batch.sort_unstable();
+            let mut done = false;
+            for &u in &batch {
+                if d > dist[u as usize] {
+                    continue; // superseded by a shorter route
+                }
+                if Some(u) == target {
+                    done = true;
+                    break;
+                }
+                for &(v, weight) in &self.adj[u as usize] {
+                    let nd = d + weight;
+                    if nd < dist[v as usize] {
+                        dist[v as usize] = nd;
+                        prev[v as usize] = u;
+                        let ns = (nd % width) as usize;
+                        if buckets[ns].is_empty() {
+                            touched.push(ns as u32);
+                        }
+                        buckets[ns].push(v);
+                        pending += 1;
+                    }
+                }
+            }
+            // Hand the drained vector back so its capacity is reused.
+            batch.clear();
+            buckets[slot] = batch;
+            if done {
+                break;
+            }
+            d += 1;
         }
-        path.reverse();
-        Some((dist[it as usize], path))
+        for &slot in touched.iter() {
+            buckets[slot as usize].clear();
+        }
+        touched.clear();
     }
 
     /// Single-source Dijkstra: the distance from `s` to every interned
@@ -213,25 +454,9 @@ impl SketchGraph {
     /// or `None` if `s` was never interned. Use [`SketchGraph::index_of`]
     /// to address the result.
     pub fn distances_from(&self, s: NodeId) -> Option<Vec<u64>> {
-        let is = self.index_of(s)?;
-        let n = self.names.len();
-        let mut dist = vec![u64::MAX; n];
-        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
-        dist[is as usize] = 0;
-        heap.push(Reverse((0, is)));
-        while let Some(Reverse((d, u))) = heap.pop() {
-            if d > dist[u as usize] {
-                continue;
-            }
-            for &(w, weight) in &self.adj[u as usize] {
-                let nd = d.saturating_add(weight);
-                if nd < dist[w as usize] {
-                    dist[w as usize] = nd;
-                    heap.push(Reverse((nd, w)));
-                }
-            }
-        }
-        Some(dist)
+        let mut scratch = DijkstraScratch::new();
+        self.distances_from_with(s, &mut scratch)
+            .then_some(scratch.dist)
     }
 
     /// [`SketchGraph::distances_from`] into caller-provided scratch: fills
@@ -243,32 +468,21 @@ impl SketchGraph {
             return false;
         };
         scratch.reset(self.names.len());
-        let DijkstraScratch { dist, heap, .. } = scratch;
-        dist[is as usize] = 0;
-        heap.push(Reverse((0, is)));
-        while let Some(Reverse((d, u))) = heap.pop() {
-            if d > dist[u as usize] {
-                continue;
-            }
-            for &(w, weight) in &self.adj[u as usize] {
-                let nd = d.saturating_add(weight);
-                if nd < dist[w as usize] {
-                    dist[w as usize] = nd;
-                    heap.push(Reverse((nd, w)));
-                }
-            }
-        }
+        self.run_dijkstra(is, None, scratch);
         true
     }
 
     /// Iterates over all edges as `(a, b, weight)` with each undirected edge
     /// reported once.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, u64)> + '_ {
-        self.adj.iter().enumerate().flat_map(move |(i, nbrs)| {
-            nbrs.iter()
-                .filter(move |&&(j, _)| j as usize > i)
-                .map(move |&(j, w)| (self.names[i], self.names[j as usize], w))
-        })
+        self.adj[..self.names.len()]
+            .iter()
+            .enumerate()
+            .flat_map(move |(i, nbrs)| {
+                nbrs.iter()
+                    .filter(move |&&(j, _)| j as usize > i)
+                    .map(move |&(j, w)| (self.names[i], self.names[j as usize], w))
+            })
     }
 }
 
@@ -395,6 +609,71 @@ mod tests {
         }
         assert_eq!(scratch.distance_at(99), None);
         assert!(!h.distances_from_with(v(42), &mut scratch));
+    }
+
+    #[test]
+    fn dial_and_heap_settle_identically() {
+        // Mixed small weights: the public API picks Dial; calling the heap
+        // directly on the same graph must reproduce dist and prev exactly,
+        // including tie-breaks by dense index.
+        let mut h = SketchGraph::new();
+        let edges = [
+            (0u32, 1u32, 2u64),
+            (0, 2, 2),
+            (1, 3, 1),
+            (2, 3, 1),
+            (3, 4, 5),
+            (0, 4, 9),
+            (2, 5, 7),
+            (5, 4, 1),
+        ];
+        for &(a, b, w) in &edges {
+            h.add_edge(v(a), v(b), w);
+        }
+        assert!(h.dial_width().is_some());
+        for target in [None, Some(h.index_of(v(4)).unwrap())] {
+            let mut dial = DijkstraScratch::new();
+            dial.reset(h.num_vertices());
+            h.run_dial(0, target, h.dial_width().unwrap(), &mut dial);
+            let mut heap = DijkstraScratch::new();
+            heap.reset(h.num_vertices());
+            h.run_heap(0, target, &mut heap);
+            assert_eq!(dial.dist, heap.dist, "target {target:?}");
+            // prev must agree wherever the vertex was settled before the
+            // early exit; both runs stop at the same point, so the whole
+            // array matches.
+            assert_eq!(dial.prev, heap.prev, "target {target:?}");
+        }
+    }
+
+    #[test]
+    fn heavy_weights_fall_back_to_heap() {
+        let mut h = SketchGraph::new();
+        h.add_edge(v(0), v(1), DIAL_MAX_WEIGHT + 1);
+        h.add_edge(v(1), v(2), 3);
+        assert!(h.dial_width().is_none());
+        assert_eq!(h.shortest_distance(v(0), v(2)), Some(DIAL_MAX_WEIGHT + 4));
+    }
+
+    #[test]
+    fn reset_reuses_capacity_and_clears_state() {
+        let mut h = SketchGraph::new();
+        h.add_edge(v(0), v(1), 2);
+        h.add_edge(v(1), v(2), 3);
+        h.reset();
+        assert_eq!(h.num_vertices(), 0);
+        assert_eq!(h.num_edges(), 0);
+        assert_eq!(h.edges().count(), 0);
+        assert!(!h.contains(v(0)));
+        // Rebuild with different vertices: pooled rows must start empty.
+        h.add_edge(v(7), v(8), 5);
+        assert_eq!(h.num_vertices(), 2);
+        assert_eq!(h.num_edges(), 1);
+        assert_eq!(h.shortest_distance(v(7), v(8)), Some(5));
+        assert_eq!(h.shortest_distance(v(7), v(0)), None);
+        // Fewer vertices than before the reset: stale pool rows beyond
+        // names.len() stay invisible to num_edges/edges.
+        assert_eq!(h.edges().collect::<Vec<_>>(), vec![(v(7), v(8), 5)]);
     }
 
     #[test]

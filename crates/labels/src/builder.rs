@@ -274,13 +274,14 @@ impl Labeling {
     }
 
     /// [`Labeling::materialize_all`] with an explicit worker count
-    /// (`workers <= 1` builds sequentially on the calling thread) — the
-    /// knob the throughput experiment sweeps.
+    /// (`workers == 0` means available parallelism, `1` builds sequentially
+    /// on the calling thread; see [`parallel::resolve_workers`]) — the knob
+    /// the throughput experiment sweeps.
     pub fn materialize_all_workers(&self, workers: usize) -> Vec<Label> {
         let n = self.graph.num_vertices();
         parallel::run_indexed_with(
             n,
-            workers,
+            parallel::resolve_workers(workers, n),
             || LabelScratch::new(n),
             |scratch, v| self.label_of_with(NodeId::from_index(v), scratch),
         )

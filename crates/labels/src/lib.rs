@@ -63,12 +63,13 @@ mod weighted;
 
 pub use builder::{BuildError, LabelScratch, Labeling, LabelingOptions, LevelReport};
 pub use decode::{
-    build_sketch, query, query_many, query_with, EdgeProvenance, QueryAnswer, QueryLabels, Sketch,
+    build_sketch, query, query_many, query_many_with_scratch, query_with, query_with_scratch,
+    DecodeScratch, EdgeProvenance, QueryAnswer, QueryLabels, Sketch,
 };
 pub use dynamic::{DynamicError, DynamicOracle};
 pub use failure_free::{query_failure_free, FailureFreeLabel, FailureFreeLabeling};
 pub use label::{Label, LabelInvalid, LabelPoint, LabelStats, LevelLabel, RealEdge, VirtualEdge};
 pub use oracle::{ForbiddenSetOracle, OracleError};
 pub use params::SchemeParams;
-pub use trace::{trace_query, QueryTrace, TraceHop};
+pub use trace::{trace_query, trace_query_with, QueryTrace, TraceHop};
 pub use weighted::{WeightedFaults, WeightedOracle};

@@ -20,15 +20,16 @@
 //! * materialization is deterministic, so whichever thread wins the race
 //!   stores the same bytes a sequential run would;
 //! * [`ForbiddenSetOracle::query_batch`] fans a query batch across scoped
-//!   threads with per-worker Dijkstra scratch and merges answers in input
-//!   order, so the batch output is bit-identical to a sequential loop.
+//!   threads, each worker reusing one [`DecodeScratch`] (the
+//!   allocation-free decode fast path), and merges answers in input order,
+//!   so the batch output is bit-identical to a sequential loop.
 
 use std::sync::{Arc, OnceLock};
 
-use fsdl_graph::{DijkstraScratch, Dist, FaultSet, Graph, NodeId};
+use fsdl_graph::{Dist, FaultSet, Graph, NodeId};
 
 use crate::builder::Labeling;
-use crate::decode::{self, QueryAnswer, QueryLabels};
+use crate::decode::{self, DecodeScratch, QueryAnswer, QueryLabels};
 use crate::label::Label;
 use crate::params::SchemeParams;
 
@@ -176,14 +177,16 @@ impl ForbiddenSetOracle {
     }
 
     /// [`ForbiddenSetOracle::prewarm`] with an explicit worker count
-    /// (`workers <= 1` materializes sequentially) — the knob the throughput
-    /// experiment sweeps. The arena contents are independent of the worker
-    /// count because materialization is deterministic per vertex.
+    /// (`workers == 0` means available parallelism, `1` materializes
+    /// sequentially; see [`fsdl_nets::parallel::resolve_workers`]) — the
+    /// knob the throughput experiment sweeps. The arena contents are
+    /// independent of the worker count because materialization is
+    /// deterministic per vertex.
     pub fn prewarm_workers(&self, workers: usize) {
         let n = self.slots.len();
         fsdl_nets::parallel::run_indexed_with(
             n,
-            workers,
+            fsdl_nets::parallel::resolve_workers(workers, n),
             || crate::builder::LabelScratch::new(n),
             |scratch, v| {
                 self.slots[v].get_or_init(|| {
@@ -249,7 +252,7 @@ impl ForbiddenSetOracle {
     ///
     /// Panics if `s` or `t` is out of range.
     pub fn query(&self, s: NodeId, t: NodeId, faults: &FaultSet) -> QueryAnswer {
-        self.query_with(s, t, faults, &mut DijkstraScratch::new())
+        self.query_with(s, t, faults, &mut DecodeScratch::new())
     }
 
     /// Strict variant of [`ForbiddenSetOracle::query`]: rejects out-of-range
@@ -269,14 +272,17 @@ impl ForbiddenSetOracle {
         Ok(self.query(s, t, faults))
     }
 
-    /// [`ForbiddenSetOracle::query`] with caller-provided Dijkstra scratch —
-    /// the per-worker hot path of [`ForbiddenSetOracle::query_batch`].
-    fn query_with(
+    /// [`ForbiddenSetOracle::query`] with a caller-provided
+    /// [`DecodeScratch`] — the per-worker hot path of
+    /// [`ForbiddenSetOracle::query_batch`], also usable directly by serving
+    /// loops that answer many queries on one thread. Same answer as
+    /// [`ForbiddenSetOracle::query`], bit for bit.
+    pub fn query_with(
         &self,
         s: NodeId,
         t: NodeId,
         faults: &FaultSet,
-        scratch: &mut DijkstraScratch,
+        scratch: &mut DecodeScratch,
     ) -> QueryAnswer {
         let source = self.label(s);
         let target = self.label(t);
@@ -288,7 +294,7 @@ impl ForbiddenSetOracle {
                 .map(|(a, b)| (a.as_ref(), b.as_ref()))
                 .collect(),
         };
-        decode::query_with(self.params(), &source, &target, &query_labels, scratch)
+        decode::query_with_scratch(self.params(), &source, &target, &query_labels, scratch)
     }
 
     /// The `(1+ε)`-approximate distance `δ(s, t, F)`.
@@ -315,7 +321,9 @@ impl ForbiddenSetOracle {
     }
 
     /// [`ForbiddenSetOracle::query_batch`] with an explicit worker count
-    /// (`workers <= 1` answers sequentially on the calling thread).
+    /// (`workers == 0` means available parallelism, `1` answers
+    /// sequentially on the calling thread; see
+    /// [`fsdl_nets::parallel::resolve_workers`]).
     pub fn query_batch_workers(
         &self,
         queries: &[(NodeId, NodeId, FaultSet)],
@@ -323,8 +331,8 @@ impl ForbiddenSetOracle {
     ) -> Vec<QueryAnswer> {
         fsdl_nets::parallel::run_indexed_with(
             queries.len(),
-            workers,
-            DijkstraScratch::new,
+            fsdl_nets::parallel::resolve_workers(workers, queries.len()),
+            DecodeScratch::new,
             |scratch, k| {
                 let (s, t, faults) = &queries[k];
                 self.query_with(*s, *t, faults, scratch)
@@ -342,6 +350,19 @@ impl ForbiddenSetOracle {
     ///
     /// Panics if `s` or any target is out of range.
     pub fn distances_to(&self, s: NodeId, targets: &[NodeId], faults: &FaultSet) -> Vec<Dist> {
+        self.distances_to_with(s, targets, faults, &mut DecodeScratch::new())
+    }
+
+    /// [`ForbiddenSetOracle::distances_to`] with a caller-provided
+    /// [`DecodeScratch`]; same answers, bit for bit, reusing the scratch's
+    /// buffers across calls.
+    pub fn distances_to_with(
+        &self,
+        s: NodeId,
+        targets: &[NodeId],
+        faults: &FaultSet,
+        scratch: &mut DecodeScratch,
+    ) -> Vec<Dist> {
         let source = self.label(s);
         let target_labels: Vec<Arc<Label>> = targets.iter().map(|&t| self.label(t)).collect();
         let (vertex_labels, edge_labels) = self.fault_labels(faults);
@@ -353,7 +374,13 @@ impl ForbiddenSetOracle {
                 .collect(),
         };
         let target_refs: Vec<&Label> = target_labels.iter().map(Arc::as_ref).collect();
-        decode::query_many(self.params(), &source, &target_refs, &query_labels)
+        decode::query_many_with_scratch(
+            self.params(),
+            &source,
+            &target_refs,
+            &query_labels,
+            scratch,
+        )
     }
 
     /// Strict variant of [`ForbiddenSetOracle::distances_to`].
@@ -666,6 +693,35 @@ mod tests {
             .map(|v| oracle.labeling().label_bits(NodeId::new(v)) as u64)
             .sum();
         assert_eq!(total, seq);
+    }
+
+    #[test]
+    fn reused_and_cross_oracle_scratch_match_fresh_queries() {
+        let g1 = generators::grid2d(5, 5);
+        let g2 = generators::cycle(30);
+        let o1 = ForbiddenSetOracle::new(&g1, 1.0);
+        let o2 = ForbiddenSetOracle::new(&g2, 0.5);
+        let mut scratch = DecodeScratch::new();
+        for k in 0..10u32 {
+            let f = FaultSet::from_vertices([NodeId::new((k + 3) % 25)]);
+            let (s, t) = (NodeId::new(k % 25), NodeId::new((k * 7) % 25));
+            assert_eq!(o1.query_with(s, t, &f, &mut scratch), o1.query(s, t, &f));
+            // Hand the same scratch to a different oracle mid-stream: no
+            // state may leak between labelings.
+            let (s2, t2) = (NodeId::new(k % 30), NodeId::new((k * 11) % 30));
+            let empty = FaultSet::empty();
+            assert_eq!(
+                o2.query_with(s2, t2, &empty, &mut scratch),
+                o2.query(s2, t2, &empty)
+            );
+            // distances_to through the same scratch as well.
+            let targets = [t, s, NodeId::new(24)];
+            assert_eq!(
+                o1.distances_to_with(s, &targets, &f, &mut scratch),
+                o1.distances_to(s, &targets, &f)
+            );
+        }
+        assert!(scratch.epoch() >= 30);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use fsdl_graph::{Dist, Edge, NodeId};
 
-use crate::decode::{build_sketch, QueryLabels};
+use crate::decode::{build_sketch_scratch, DecodeScratch, QueryLabels};
 use crate::label::Label;
 use crate::params::SchemeParams;
 
@@ -91,24 +91,43 @@ pub fn trace_query(
     target: &Label,
     faults: &QueryLabels<'_>,
 ) -> QueryTrace {
-    let sketch = build_sketch(params, source, target, faults);
+    trace_query_with(params, source, target, faults, &mut DecodeScratch::new())
+}
+
+/// [`trace_query`] with a caller-provided [`DecodeScratch`] — same trace,
+/// reusing the scratch's sketch arena, provenance map, and Dijkstra
+/// buffers across calls.
+pub fn trace_query_with(
+    params: &SchemeParams,
+    source: &Label,
+    target: &Label,
+    faults: &QueryLabels<'_>,
+    scratch: &mut DecodeScratch,
+) -> QueryTrace {
+    build_sketch_scratch(params, source, &[target], faults, true, scratch);
     let s = source.owner;
     let t = target.owner;
-    if sketch.forbidden.contains(&s) || sketch.forbidden.contains(&t) {
+    let sketch_size = (
+        scratch.sketch().num_vertices(),
+        scratch.sketch().num_edges(),
+    );
+    if scratch.is_forbidden(s) || scratch.is_forbidden(t) {
         return QueryTrace {
             distance: Dist::INFINITE,
             hops: Vec::new(),
-            sketch_size: (sketch.graph.num_vertices(), sketch.graph.num_edges()),
+            sketch_size,
         };
     }
     if s == t {
         return QueryTrace {
             distance: Dist::ZERO,
             hops: Vec::new(),
-            sketch_size: (sketch.graph.num_vertices(), sketch.graph.num_edges()),
+            sketch_size,
         };
     }
-    match sketch.graph.shortest_path(s, t) {
+    let (sketch, dijkstra) = scratch.sketch_and_dijkstra();
+    let found = sketch.shortest_path_with(s, t, dijkstra);
+    match found {
         // A finite sketch distance that does not fit in `Dist` widens to
         // INFINITE (sound, matching `decode::query`); the hops are still
         // reported so the overflow is inspectable.
@@ -116,8 +135,8 @@ pub fn trace_query(
             let hops = path
                 .windows(2)
                 .map(|w| {
-                    let info = sketch
-                        .edge_info
+                    let info = scratch
+                        .edge_info()
                         .get(&Edge::new(w[0], w[1]))
                         .expect("every witness hop has provenance");
                     TraceHop {
@@ -132,13 +151,13 @@ pub fn trace_query(
             QueryTrace {
                 distance: Dist::try_new(d).unwrap_or(Dist::INFINITE),
                 hops,
-                sketch_size: (sketch.graph.num_vertices(), sketch.graph.num_edges()),
+                sketch_size,
             }
         }
         None => QueryTrace {
             distance: Dist::INFINITE,
             hops: Vec::new(),
-            sketch_size: (sketch.graph.num_vertices(), sketch.graph.num_edges()),
+            sketch_size,
         },
     }
 }
@@ -215,6 +234,26 @@ mod tests {
             "far segment must use virtual hops"
         );
         assert!(trace.sketch_size.0 > 0 && trace.sketch_size.1 > 0);
+    }
+
+    #[test]
+    fn trace_with_reused_scratch_matches_fresh() {
+        let labeling = setup(48);
+        let mut scratch = DecodeScratch::new();
+        for (s, t, f) in [(2u32, 30u32, 10u32), (0, 17, 5), (1, 1, 3), (40, 8, 41)] {
+            let ls = labeling.label_of(NodeId::new(s));
+            let lt = labeling.label_of(NodeId::new(t));
+            let lf = labeling.label_of(NodeId::new(f));
+            let faults = QueryLabels {
+                fault_vertices: vec![&lf],
+                fault_edges: vec![],
+            };
+            assert_eq!(
+                trace_query_with(labeling.params(), &ls, &lt, &faults, &mut scratch),
+                trace_query(labeling.params(), &ls, &lt, &faults),
+                "{s}->{t} avoiding {f}"
+            );
+        }
     }
 
     #[test]

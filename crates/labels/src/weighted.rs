@@ -21,6 +21,7 @@ use std::collections::HashMap;
 
 use fsdl_graph::{Dist, Edge, FaultSet, Graph, GraphBuilder, NodeId};
 
+use crate::decode::DecodeScratch;
 use crate::oracle::{ForbiddenSetOracle, OracleError};
 use crate::params::SchemeParams;
 
@@ -156,6 +157,22 @@ impl WeightedOracle {
     /// Panics if `s`/`t`/a fault vertex is not an original vertex, or a
     /// fault edge is not a weighted edge of the graph.
     pub fn distance(&self, s: NodeId, t: NodeId, faults: &WeightedFaults) -> Dist {
+        self.distance_with(s, t, faults, &mut DecodeScratch::new())
+    }
+
+    /// [`WeightedOracle::distance`] with a caller-provided
+    /// [`DecodeScratch`], for serving loops; same answer, bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// As [`WeightedOracle::distance`].
+    pub fn distance_with(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        faults: &WeightedFaults,
+        scratch: &mut DecodeScratch,
+    ) -> Dist {
         assert!(
             s.index() < self.original_n && t.index() < self.original_n,
             "query vertex out of range"
@@ -167,7 +184,7 @@ impl WeightedOracle {
                 panic!("{} is not a weighted edge of the graph", Edge::new(a, b))
             }
         };
-        self.oracle.distance(s, t, &f)
+        self.oracle.query_with(s, t, &f, scratch).distance
     }
 
     /// Strict variant of [`WeightedOracle::distance`]: malformed queries
@@ -185,6 +202,22 @@ impl WeightedOracle {
         t: NodeId,
         faults: &WeightedFaults,
     ) -> Result<Dist, OracleError> {
+        self.try_distance_with(s, t, faults, &mut DecodeScratch::new())
+    }
+
+    /// [`WeightedOracle::try_distance`] with a caller-provided
+    /// [`DecodeScratch`]; same answers and errors, bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// As [`WeightedOracle::try_distance`].
+    pub fn try_distance_with(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        faults: &WeightedFaults,
+        scratch: &mut DecodeScratch,
+    ) -> Result<Dist, OracleError> {
         for v in [s, t] {
             if v.index() >= self.original_n {
                 return Err(OracleError::VertexOutOfRange {
@@ -194,7 +227,7 @@ impl WeightedOracle {
             }
         }
         let f = self.lower_faults(faults)?;
-        Ok(self.oracle.distance(s, t, &f))
+        Ok(self.oracle.query_with(s, t, &f, scratch).distance)
     }
 
     /// Translates weighted-world faults into subdivision faults, rejecting

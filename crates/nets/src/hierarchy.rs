@@ -55,6 +55,10 @@ pub struct NetHierarchy {
     /// Per level `i`: distance from each vertex to `N_i` and the nearest
     /// net point (`M_i(v)`), ties broken toward the smallest id.
     nearest: Vec<(Vec<Dist>, Vec<Option<NodeId>>)>,
+    /// Per level `i`: the points of `N_i` in increasing id order,
+    /// precomputed at build so [`NetHierarchy::net_points`] reads a slice
+    /// instead of filtering all `n` entries of `net_level`.
+    by_level: Vec<Vec<NodeId>>,
 }
 
 impl NetHierarchy {
@@ -87,18 +91,24 @@ impl NetHierarchy {
                 net_level[p.index()] = k as u32 + 1;
             }
         }
-        let net_level_ref = &net_level;
+        // One ascending pass over net_level materializes every level's
+        // point list (ascending vertex order per level, identical to the
+        // per-level filter it replaces).
+        let mut by_level: Vec<Vec<NodeId>> = vec![Vec::new(); top_level as usize + 1];
+        for (v, &l) in net_level.iter().enumerate() {
+            for level in &mut by_level[..=l as usize] {
+                level.push(NodeId::from_index(v));
+            }
+        }
+        let by_level_ref = &by_level;
         let nearest = parallel::run_indexed(top_level as usize + 1, |i| {
-            let pts: Vec<NodeId> = (0..n as u32)
-                .map(NodeId::new)
-                .filter(|v| net_level_ref[v.index()] >= i as u32)
-                .collect();
-            bfs::multi_source(g, &pts)
+            bfs::multi_source(g, &by_level_ref[i])
         });
         NetHierarchy {
             top_level,
             net_level,
             nearest,
+            by_level,
         }
     }
 
@@ -130,11 +140,12 @@ impl NetHierarchy {
     ///
     /// Levels above [`NetHierarchy::top_level`] are empty.
     pub fn net_points(&self, i: u32) -> impl Iterator<Item = NodeId> + '_ {
-        self.net_level
+        self.by_level
+            .get(i as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
             .iter()
-            .enumerate()
-            .filter(move |&(_, &l)| l >= i)
-            .map(|(v, _)| NodeId::from_index(v))
+            .copied()
     }
 
     /// `M_i(v)`: the net point of `N_i` nearest to `v`, with its distance.
@@ -159,10 +170,17 @@ impl NetHierarchy {
     }
 
     /// `|N_i|` for every level `0..=top` — how the hierarchy thins out.
+    /// Computed in a single pass over `net_level`: a histogram of maximal
+    /// levels, suffix-summed (since `v ∈ N_i ⟺ net_level[v] ≥ i`).
     pub fn level_sizes(&self) -> Vec<usize> {
-        (0..=self.top_level)
-            .map(|i| self.net_level.iter().filter(|&&l| l >= i).count())
-            .collect()
+        let mut sizes = vec![0usize; self.top_level as usize + 1];
+        for &l in &self.net_level {
+            sizes[l as usize] += 1;
+        }
+        for i in (0..self.top_level as usize).rev() {
+            sizes[i] += sizes[i + 1];
+        }
+        sizes
     }
 
     /// Audits the packing bound of Lemma 2.2 on sampled balls: checks
@@ -350,6 +368,23 @@ mod tests {
         assert_eq!(sizes[0], 100);
         assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
         assert_eq!(*sizes.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn level_sizes_and_net_points_match_naive_rescan() {
+        let g = generators::random_geometric(120, 0.13, 5);
+        let nets = NetHierarchy::build(&g);
+        let naive_sizes: Vec<usize> = (0..=nets.top_level())
+            .map(|i| nets.net_level.iter().filter(|&&l| l >= i).count())
+            .collect();
+        assert_eq!(nets.level_sizes(), naive_sizes);
+        for i in 0..=nets.top_level() + 1 {
+            let naive: Vec<NodeId> = (0..g.num_vertices())
+                .map(NodeId::from_index)
+                .filter(|v| nets.net_level[v.index()] >= i)
+                .collect();
+            assert_eq!(nets.net_points(i).collect::<Vec<_>>(), naive, "level {i}");
+        }
     }
 
     #[test]

@@ -24,6 +24,20 @@ pub fn default_workers(count: usize) -> usize {
         .min(count.max(1))
 }
 
+/// Normalizes a user-facing worker-count argument: `0` means "use
+/// [`default_workers`]" (available parallelism), anything else is taken
+/// literally but capped by the job count (never below 1). Every
+/// worker-count knob — `fsdl label --threads`, `prewarm_workers`,
+/// `query_batch_workers`, `materialize_all_workers` — resolves through
+/// this one helper so `0` behaves identically everywhere.
+pub fn resolve_workers(requested: usize, count: usize) -> usize {
+    if requested == 0 {
+        default_workers(count)
+    } else {
+        requested.min(count.max(1))
+    }
+}
+
 /// Runs `job(0), …, job(count-1)` across up to
 /// [`default_workers`]`(count)` scoped threads and returns the results in
 /// index order.
@@ -136,6 +150,19 @@ mod tests {
         assert_eq!(default_workers(0), 1);
         assert_eq!(default_workers(1), 1);
         assert!(default_workers(1000) >= 1);
+    }
+
+    #[test]
+    fn resolve_workers_normalizes_zero_and_caps() {
+        // 0 means available parallelism (capped by the job count).
+        assert_eq!(resolve_workers(0, 1000), default_workers(1000));
+        assert_eq!(resolve_workers(0, 1), 1);
+        assert_eq!(resolve_workers(0, 0), 1);
+        // Explicit counts are honored but capped by the job count.
+        assert_eq!(resolve_workers(3, 1000), 3);
+        assert_eq!(resolve_workers(8, 2), 2);
+        assert_eq!(resolve_workers(5, 0), 1);
+        assert_eq!(resolve_workers(1, 64), 1);
     }
 
     #[test]

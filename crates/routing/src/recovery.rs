@@ -15,6 +15,7 @@
 //! during the transient.
 
 use fsdl_graph::{FaultSet, NodeId};
+use fsdl_labels::DecodeScratch;
 
 use crate::simulator::{Network, RouteFailure};
 
@@ -39,6 +40,10 @@ pub struct RecoverySim {
     network: Network,
     ground_truth: FaultSet,
     knowledge: Vec<FaultSet>,
+    /// Decode buffers reused across every replan query the simulation
+    /// issues — the rerouting loop is exactly the serving-loop shape the
+    /// allocation-free fast path exists for.
+    scratch: DecodeScratch,
 }
 
 impl RecoverySim {
@@ -49,6 +54,7 @@ impl RecoverySim {
             network,
             ground_truth: FaultSet::empty(),
             knowledge: vec![FaultSet::empty(); n],
+            scratch: DecodeScratch::new(),
         }
     }
 
@@ -158,7 +164,10 @@ impl RecoverySim {
         let mut informed = 0usize;
         let budget = self.ground_truth.len() * 2 + 4;
         'replan: loop {
-            let answer = self.network.oracle().query(cur, t, &carried);
+            let answer = self
+                .network
+                .oracle()
+                .query_with(cur, t, &carried, &mut self.scratch);
             if answer.distance.is_infinite() {
                 // Share what the packet learned before dropping it.
                 self.merge_into_router(cur, &carried, &mut informed);
