@@ -23,6 +23,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_t12_weighted",
     "exp_t13_throughput",
     "exp_t14_query_latency",
+    "exp_t15_store",
     "exp_f1_trace",
     "exp_f2_lowlevel",
 ];

@@ -113,7 +113,13 @@ impl Measurement {
 /// Draws `count` queries with exactly `f` distinct fault vertices, none
 /// equal to `s` or `t`, and materializes every label up front so timing
 /// sees only decode work.
-fn prepare(oracle: &ForbiddenSetOracle, n: usize, f: usize, count: usize, seed: u64) -> Vec<PreparedQuery> {
+fn prepare(
+    oracle: &ForbiddenSetOracle,
+    n: usize,
+    f: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<PreparedQuery> {
     let mut rng = Rng::seed_from_u64(seed);
     (0..count)
         .map(|_| {
@@ -135,7 +141,13 @@ fn prepare(oracle: &ForbiddenSetOracle, n: usize, f: usize, count: usize, seed: 
         .collect()
 }
 
-fn measure(family: &str, oracle: &ForbiddenSetOracle, n: usize, f: usize, count: usize) -> Measurement {
+fn measure(
+    family: &str,
+    oracle: &ForbiddenSetOracle,
+    n: usize,
+    f: usize,
+    count: usize,
+) -> Measurement {
     let queries = prepare(oracle, n, f, count, 0x714 + f as u64);
     let params = oracle.params();
 
@@ -147,10 +159,22 @@ fn measure(family: &str, oracle: &ForbiddenSetOracle, n: usize, f: usize, count:
     }
 
     let (alloc_ns, reference) = run_path(&queries, |q| {
-        query_with(params, &q.source, &q.target, &q.labels(), &mut DijkstraScratch::new())
+        query_with(
+            params,
+            &q.source,
+            &q.target,
+            &q.labels(),
+            &mut DijkstraScratch::new(),
+        )
     });
     let (cold_ns, cold_answers) = run_path(&queries, |q| {
-        query_with_scratch(params, &q.source, &q.target, &q.labels(), &mut DecodeScratch::new())
+        query_with_scratch(
+            params,
+            &q.source,
+            &q.target,
+            &q.labels(),
+            &mut DecodeScratch::new(),
+        )
     });
     let (reuse_ns, reuse_answers) = run_path(&queries, |q| {
         query_with_scratch(params, &q.source, &q.target, &q.labels(), &mut reused)
@@ -215,7 +239,9 @@ fn main() {
         .unwrap_or("BENCH_query_latency.json")
         .to_string();
 
-    println!("Experiment T14: single-query decode latency, alloc vs cold vs reused scratch (eps = 1)\n");
+    println!(
+        "Experiment T14: single-query decode latency, alloc vs cold vs reused scratch (eps = 1)\n"
+    );
 
     let (scale, count) = if quick { (1, 48) } else { (2, 192) };
     let families: Vec<(&str, Graph)> = vec![
@@ -240,7 +266,14 @@ fn main() {
     let mut table = Table::new(
         "decode latency (ns/query): allocating reference vs scratch fast path",
         &[
-            "family", "n", "|F|", "alloc p50", "alloc p99", "cold p50", "reuse p50", "reuse p99",
+            "family",
+            "n",
+            "|F|",
+            "alloc p50",
+            "alloc p99",
+            "cold p50",
+            "reuse p50",
+            "reuse p99",
             "speedup",
         ],
     );

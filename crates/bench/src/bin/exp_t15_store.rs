@@ -1,0 +1,206 @@
+//! Experiment T15 — persistent label store: cold build vs warm open.
+//!
+//! For each standard family the experiment measures the two ways of
+//! getting a serving-ready oracle:
+//!
+//! * **cold** — build the oracle from the graph and materialize every
+//!   label (per-label BFS over the net hierarchy, the expensive path);
+//! * **warm** — `ForbiddenSetOracle::open` a store generation written by
+//!   a previous `save` and materialize every label by *decoding* it from
+//!   the checksummed segment.
+//!
+//! Both end fully materialized, so the comparison is fair. Before any
+//! timing is trusted, a probe matrix (with faults) is asserted
+//! bit-identical between the cold and warm oracles — the store must be
+//! a cache, never an approximation. The acceptance bar, enforced under
+//! `--quick` too so CI trips on a regression: warm open is at least
+//! 1.5x faster than the cold build on every family (1.2x at full
+//! scale, where multi-megabyte grid labels make the warm path memory-
+//! bandwidth-bound rather than BFS-bound).
+//!
+//! Results are printed as a table and written to `BENCH_store.json`
+//! (`--out PATH` redirects).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fsdl_bench::tables::{f1, Table};
+use fsdl_graph::{generators, FaultSet, Graph, NodeId};
+use fsdl_labels::ForbiddenSetOracle;
+
+struct Measurement {
+    family: String,
+    n: usize,
+    labels: usize,
+    cold_build_ms: f64,
+    save_ms: f64,
+    store_bytes: u64,
+    warm_open_ms: f64,
+    probes: usize,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.cold_build_ms / self.warm_open_ms.max(1e-6)
+    }
+}
+
+/// Compares the cold and warm oracles on a probe matrix with single-vertex
+/// faults; returns the number of probes checked.
+fn assert_probe_identity(cold: &ForbiddenSetOracle, warm: &ForbiddenSetOracle, n: usize) -> usize {
+    let mut probes = 0;
+    for s in (0..n).step_by((n / 12).max(1)) {
+        for t in (0..n).step_by((n / 8).max(1)) {
+            let (s, t) = (NodeId::from_index(s), NodeId::from_index(t));
+            let fault = NodeId::from_index((s.index() + t.index() + 1) % n);
+            let faults = FaultSet::from_vertices([fault]);
+            assert_eq!(
+                cold.query(s, t, &faults),
+                warm.query(s, t, &faults),
+                "warm-opened oracle diverged from cold build at {s}->{t} avoiding {fault}"
+            );
+            probes += 1;
+        }
+    }
+    probes
+}
+
+fn measure(family: &str, g: &Graph, dir: &std::path::Path) -> Measurement {
+    let n = g.num_vertices();
+
+    let start = Instant::now();
+    let cold = ForbiddenSetOracle::new(g, 1.0);
+    cold.prewarm_workers(0);
+    let cold_build_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let start = Instant::now();
+    let report = cold.save(dir).expect("save store generation");
+    let save_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let start = Instant::now();
+    let warm = ForbiddenSetOracle::open(dir, g).expect("open store generation");
+    warm.prewarm_workers(0);
+    let warm_open_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let probes = assert_probe_identity(&cold, &warm, n);
+
+    Measurement {
+        family: family.to_string(),
+        n,
+        labels: report.labels,
+        cold_build_ms,
+        save_ms,
+        store_bytes: report.segment_bytes,
+        warm_open_ms,
+        probes,
+    }
+}
+
+fn json_artifact(results: &[Measurement]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"t15_store\",\n  \"rows\": [\n");
+    for (k, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"family\": \"{}\", \"n\": {}, \"labels\": {}, \
+             \"cold_build_ms\": {:.3}, \"save_ms\": {:.3}, \"store_bytes\": {}, \
+             \"warm_open_ms\": {:.3}, \"warm_speedup\": {:.3}, \"probes\": {}}}{}",
+            r.family,
+            r.n,
+            r.labels,
+            r.cold_build_ms,
+            r.save_ms,
+            r.store_bytes,
+            r.warm_open_ms,
+            r.speedup(),
+            r.probes,
+            if k + 1 < results.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_store.json")
+        .to_string();
+
+    println!("Experiment T15: persistent label store, cold build vs warm open (eps = 1)\n");
+
+    let scale = if quick { 1 } else { 2 };
+    let families: Vec<(&str, Graph)> = vec![
+        ("path", generators::path(1024 * scale)),
+        ("grid2d", generators::grid2d(16 * scale, 16 * scale)),
+        (
+            "udg",
+            generators::random_geometric(250 * scale, 0.11 / (scale as f64).sqrt(), 1),
+        ),
+    ];
+
+    let base = std::env::temp_dir().join(format!("fsdl-exp-t15-{}", std::process::id()));
+    let mut results = Vec::new();
+    for (family, g) in &families {
+        let dir = base.join(family);
+        let _ = std::fs::remove_dir_all(&dir);
+        results.push(measure(family, g, &dir));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&base);
+
+    let mut table = Table::new(
+        "store round trip: cold build vs save vs warm open (all labels materialized)",
+        &[
+            "family",
+            "n",
+            "cold build ms",
+            "save ms",
+            "store KiB",
+            "warm open ms",
+            "speedup",
+            "probes",
+        ],
+    );
+    for r in &results {
+        table.row(&[
+            r.family.clone(),
+            r.n.to_string(),
+            f1(r.cold_build_ms),
+            f1(r.save_ms),
+            f1(r.store_bytes as f64 / 1024.0),
+            f1(r.warm_open_ms),
+            format!("{:.1}x", r.speedup()),
+            r.probes.to_string(),
+        ]);
+    }
+    table.print();
+
+    let artifact = json_artifact(&results);
+    std::fs::write(&out_path, &artifact).expect("write BENCH_store.json");
+    println!("wrote {out_path}");
+    println!("\nExpected shape: warm open skips the per-label BFS entirely — it pays");
+    println!("only segment read + checksum + decode — so it lands well above the");
+    println!("acceptance bar on every family, and the probe matrix is bit-identical");
+    println!("(asserted) between the cold-built and warm-opened oracles.");
+
+    // Acceptance bar — enforced in quick mode too, so the CI smoke run
+    // trips if warm opens stop being a clear win. Full scale uses a
+    // lower bar: grid2d labels there run to megabytes each, so the
+    // warm path is bound by decode memory bandwidth rather than the
+    // skipped per-label BFS, and the win narrows by design.
+    let bar = if quick { 1.5 } else { 1.2 };
+    let worst = results
+        .iter()
+        .map(Measurement::speedup)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        worst >= bar,
+        "warm open speedup {worst:.2}x is below the {bar}x bar"
+    );
+    println!("\nacceptance: worst warm-open speedup {worst:.2}x >= {bar}x");
+}

@@ -157,7 +157,8 @@ mod tests {
         let labels: Vec<Vec<u8>> = (0..n as u32)
             .map(|v| {
                 let l = oracle.label(NodeId::new(v));
-                let w = fsdl_labels::codec::encode(&l, n);
+                let w = fsdl_labels::codec::try_encode(&l, n)
+                    .expect("oracle-built labels have in-range owners");
                 w.as_bytes().to_vec()
             })
             .collect();

@@ -27,13 +27,16 @@ USAGE:
   fsdl label <graph-file> [--eps E] [--vertex V | --sample K | --threads P]
       (--threads P materializes every label with P parallel workers —
        0 = all cores — and reports exact totals instead of a sample)
-  fsdl query <graph-file> --source S --target T [--eps E]
+  fsdl build <graph-file> --store DIR [--eps E] [--threads P]
+      (materializes every label and persists them as an atomic store
+       generation; later commands warm-start from it with --store)
+  fsdl query <graph-file> --source S --target T [--eps E | --store DIR]
              [--forbid v1,v2,...] [--forbid-edge a-b,c-d,...] [--exact yes]
              [--repeat N]  (re-runs the decode N times reusing one scratch
               and reports the per-query latency)
-  fsdl route <graph-file> --source S --target T [--eps E]
+  fsdl route <graph-file> --source S --target T [--eps E | --store DIR]
              [--forbid ...] [--forbid-edge ...]
-  fsdl batch <graph-file> --source S --targets t1,t2,... [--eps E]
+  fsdl batch <graph-file> --source S --targets t1,t2,... [--eps E | --store DIR]
              [--forbid ...] [--forbid-edge ...]
   fsdl spanner <graph-file> [--eps E]
   fsdl trace <graph-file> --source S --target T [--eps E]
@@ -54,6 +57,7 @@ pub fn run<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
         "gen" => cmd_gen(args, out),
         "stats" => cmd_stats(args, out),
         "label" => cmd_label(args, out),
+        "build" => cmd_build(args, out),
         "query" => cmd_query(args, out),
         "route" => cmd_route(args, out),
         "batch" => cmd_batch(args, out),
@@ -115,6 +119,52 @@ fn faults_from(args: &ParsedArgs, g: &Graph) -> Result<FaultSet, ArgError> {
         }
     }
     Ok(f)
+}
+
+/// The oracle for a serving command: opened from `--store DIR` (labels
+/// come from the persisted generation, `--eps` is baked into the store)
+/// or built fresh from the graph with `--eps`.
+fn oracle_from(args: &ParsedArgs, g: &Graph) -> Result<ForbiddenSetOracle, ArgError> {
+    match args.option("store") {
+        Some(dir) => {
+            if args.option("eps").is_some() {
+                return Err(ArgError(
+                    "--eps conflicts with --store (epsilon is recorded in the store)".into(),
+                ));
+            }
+            ForbiddenSetOracle::open(std::path::Path::new(dir), g)
+                .map_err(|e| ArgError(format!("cannot open store {dir}: {e}")))
+        }
+        None => {
+            let eps: f64 = args.parse_option("eps", 1.0)?;
+            Ok(ForbiddenSetOracle::new(g, eps))
+        }
+    }
+}
+
+fn cmd_build<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    let g = load_graph(args.positional(0, "graph-file")?)?;
+    let eps: f64 = args.parse_option("eps", 1.0)?;
+    let dir = args.required("store")?;
+    let threads: usize = args.parse_option("threads", 0usize)?;
+    let workers = fsdl_nets::parallel::resolve_workers(threads, g.num_vertices());
+    let oracle = ForbiddenSetOracle::new(&g, eps);
+    let start = std::time::Instant::now();
+    oracle.prewarm_workers(workers);
+    let build_s = start.elapsed().as_secs_f64();
+    let start = std::time::Instant::now();
+    let report = oracle
+        .save(std::path::Path::new(dir))
+        .map_err(|e| ArgError(format!("cannot save store to {dir}: {e}")))?;
+    let save_s = start.elapsed().as_secs_f64();
+    write_out(
+        out,
+        &format!(
+            "built {} labels (eps = {eps}, {workers} workers) in {build_s:.2}s\n\
+             saved generation {} to {dir}: {} bytes in {save_s:.2}s\n",
+            report.labels, report.generation, report.segment_bytes
+        ),
+    )
 }
 
 fn cmd_gen<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
@@ -266,7 +316,6 @@ fn cmd_label<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
 
 fn cmd_query<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
     let g = load_graph(args.positional(0, "graph-file")?)?;
-    let eps: f64 = args.parse_option("eps", 1.0)?;
     let s: u32 = args.parse_required("source")?;
     let t: u32 = args.parse_required("target")?;
     for v in [s, t] {
@@ -279,7 +328,7 @@ fn cmd_query<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
     if repeat == 0 {
         return Err(ArgError("--repeat must be at least 1".into()));
     }
-    let oracle = ForbiddenSetOracle::new(&g, eps);
+    let oracle = oracle_from(args, &g)?;
     let mut scratch = fsdl_labels::DecodeScratch::new();
     let start = std::time::Instant::now();
     let answer = oracle.query_with(NodeId::new(s), NodeId::new(t), &faults, &mut scratch);
@@ -326,7 +375,6 @@ fn cmd_query<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
 
 fn cmd_route<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
     let g = load_graph(args.positional(0, "graph-file")?)?;
-    let eps: f64 = args.parse_option("eps", 1.0)?;
     let s: u32 = args.parse_required("source")?;
     let t: u32 = args.parse_required("target")?;
     for v in [s, t] {
@@ -335,7 +383,7 @@ fn cmd_route<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
         }
     }
     let faults = faults_from(args, &g)?;
-    let net = Network::new(&g, eps);
+    let net = Network::from_oracle(oracle_from(args, &g)?);
     match net.route(NodeId::new(s), NodeId::new(t), &faults) {
         Ok(d) => {
             let text = format!(
@@ -357,7 +405,6 @@ fn cmd_route<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
 
 fn cmd_batch<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
     let g = load_graph(args.positional(0, "graph-file")?)?;
-    let eps: f64 = args.parse_option("eps", 1.0)?;
     let s: u32 = args.parse_required("source")?;
     if s as usize >= g.num_vertices() {
         return Err(ArgError(format!("vertex {s} out of range")));
@@ -372,7 +419,7 @@ fn cmd_batch<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
         }
     }
     let faults = faults_from(args, &g)?;
-    let oracle = ForbiddenSetOracle::new(&g, eps);
+    let oracle = oracle_from(args, &g)?;
     let distances = oracle.distances_to(NodeId::new(s), &targets, &faults);
     let mut text = format!(
         "batch from v{s} (|F| = {}):
@@ -719,6 +766,114 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("delivered in 6 hops"), "{out}");
+    }
+
+    /// A unique temp directory for a label store, removed on drop.
+    struct TempStore(std::path::PathBuf);
+
+    impl TempStore {
+        fn new() -> Self {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static COUNTER: AtomicU64 = AtomicU64::new(0);
+            let path = std::env::temp_dir().join(format!(
+                "fsdl-cli-store-{}-{}",
+                std::process::id(),
+                COUNTER.fetch_add(1, Ordering::Relaxed)
+            ));
+            let _ = fs::remove_dir_all(&path);
+            TempStore(path)
+        }
+
+        fn path(&self) -> &str {
+            self.0.to_str().expect("utf8 temp path")
+        }
+    }
+
+    impl Drop for TempStore {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn build_then_query_route_batch_from_store() {
+        let graph = temp_graph();
+        let store = TempStore::new();
+        let (p, d) = (graph.path(), store.path());
+        let out = run_args(&["build", p, "--store", d, "--threads", "2"]).unwrap();
+        assert!(out.contains("saved generation 1"), "{out}");
+        assert!(out.contains("built 12 labels"), "{out}");
+
+        // Warm-started answers must match the cold-built ones exactly.
+        let cold = run_args(&[
+            "query", p, "--source", "0", "--target", "2", "--forbid", "1",
+        ])
+        .unwrap();
+        let warm = run_args(&[
+            "query", p, "--source", "0", "--target", "2", "--forbid", "1", "--store", d,
+        ])
+        .unwrap();
+        assert_eq!(cold, warm);
+
+        let out = run_args(&[
+            "batch",
+            p,
+            "--source",
+            "0",
+            "--targets",
+            "2,6",
+            "--store",
+            d,
+        ])
+        .unwrap();
+        assert!(out.contains("v6: 6"), "{out}");
+        let out = run_args(&[
+            "route", p, "--source", "0", "--target", "6", "--forbid", "3", "--store", d,
+        ])
+        .unwrap();
+        assert!(out.contains("delivered in 6 hops"), "{out}");
+    }
+
+    #[test]
+    fn store_misuse_is_a_typed_error() {
+        let graph = temp_graph();
+        let store = TempStore::new();
+        let (p, d) = (graph.path(), store.path());
+        // No store yet.
+        let err =
+            run_args(&["query", p, "--source", "0", "--target", "2", "--store", d]).unwrap_err();
+        assert!(err.0.contains("cannot open store"), "{err}");
+        run_args(&["build", p, "--store", d]).unwrap();
+        // --eps conflicts with --store.
+        let err = run_args(&[
+            "query", p, "--source", "0", "--target", "2", "--store", d, "--eps", "2.0",
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("conflicts"), "{err}");
+        // Store built for a different graph.
+        let other = TempGraph::new(&generators::path(12));
+        let err = run_args(&[
+            "query",
+            other.path(),
+            "--source",
+            "0",
+            "--target",
+            "2",
+            "--store",
+            d,
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("different graph"), "{err}");
+        // Corrupted segment surfaces as a typed message, not a panic.
+        let manifest = fsdl_labels::store::read_manifest(&store.0).unwrap();
+        let seg = store.0.join(&manifest.segment);
+        let mut bytes = fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&seg, &bytes).unwrap();
+        let err =
+            run_args(&["query", p, "--source", "0", "--target", "2", "--store", d]).unwrap_err();
+        assert!(err.0.contains("cannot open store"), "{err}");
     }
 
     #[test]

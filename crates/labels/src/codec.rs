@@ -43,7 +43,7 @@ pub struct CodecError {
 }
 
 impl CodecError {
-    fn new(bit_offset: usize, message: impl Into<String>) -> Self {
+    pub(crate) fn new(bit_offset: usize, message: impl Into<String>) -> Self {
         CodecError {
             bit_offset,
             message: message.into(),
@@ -127,19 +127,22 @@ impl BitWriter {
     }
 
     /// Appends the low `width` bits of `value` (callers guarantee
-    /// `width <= 64` and that `value` fits).
-    fn push_bits(&mut self, value: u64, width: u32) {
+    /// `width <= 64` and that `value` fits), filling up to a byte per
+    /// iteration rather than a bit.
+    fn push_bits(&mut self, mut value: u64, width: u32) {
         debug_assert!(width <= 64);
-        for k in 0..width {
-            let bit = (value >> k) & 1;
-            let pos = self.bit_len;
-            if pos.is_multiple_of(8) {
+        let mut remaining = width;
+        while remaining > 0 {
+            let off = (self.bit_len % 8) as u32;
+            if off == 0 {
                 self.bytes.push(0);
             }
-            if bit == 1 {
-                self.bytes[pos / 8] |= 1 << (pos % 8);
-            }
-            self.bit_len += 1;
+            let take = (8 - off).min(remaining);
+            let chunk = (value & ((1u64 << take) - 1)) as u8;
+            *self.bytes.last_mut().expect("byte pushed above") |= chunk << off;
+            value >>= take;
+            self.bit_len += take as usize;
+            remaining -= take;
         }
     }
 
@@ -151,8 +154,9 @@ impl BitWriter {
             let group = value & 0xF;
             value >>= 4;
             let cont = u64::from(value != 0);
-            self.push_bits(cont, 1);
-            self.push_bits(group, 4);
+            // Continuation bit then the group, fused into one 5-bit
+            // append — the same bit layout as writing them separately.
+            self.push_bits(cont | (group << 1), 5);
             if value == 0 {
                 break;
             }
@@ -229,13 +233,29 @@ impl<'a> BitReader<'a> {
                 format!("need {width} bits, {} remain", self.remaining()),
             ));
         }
-        let mut value = 0u64;
-        for k in 0..width {
-            let pos = self.pos;
-            let bit = (self.bytes[pos / 8] >> (pos % 8)) & 1;
-            value |= u64::from(bit) << k;
-            self.pos += 1;
-        }
+        // Bits `off..off + width` of the little-endian word starting at
+        // the current byte are exactly the next `width` bits (LSB-first
+        // within each byte); `off <= 7` and `width <= 64` always fit in
+        // a 16-byte window, gathered byte-wise only near the slice end.
+        let byte = self.pos / 8;
+        let off = (self.pos % 8) as u32;
+        let word = match self.bytes.get(byte..byte + 16) {
+            Some(window) => u128::from_le_bytes(window.try_into().expect("16-byte window")),
+            None => {
+                let mut word = 0u128;
+                for (k, &b) in self.bytes[byte..].iter().take(16).enumerate() {
+                    word |= u128::from(b) << (8 * k);
+                }
+                word
+            }
+        };
+        let wide = (word >> off) as u64;
+        let value = if width == 64 {
+            wide
+        } else {
+            wide & ((1u64 << width) - 1)
+        };
+        self.pos += width as usize;
         Ok(value)
     }
 
@@ -245,11 +265,47 @@ impl<'a> BitReader<'a> {
     ///
     /// Returns a [`CodecError`] on truncation or overlong encodings.
     pub fn read_varint(&mut self) -> Result<u64, CodecError> {
+        // Fast path: one unaligned 16-byte load yields 64 usable bits
+        // after the sub-byte shift — enough for 12 five-bit groups,
+        // which covers every varint below 2^48. Longer varints and
+        // reads near the end of the slice take the per-group loop.
+        let byte = self.pos / 8;
+        let off = (self.pos % 8) as u32;
+        if let Some(window) = self.bytes.get(byte..byte + 16) {
+            let word = u128::from_le_bytes(window.try_into().expect("16-byte window"));
+            let mut wide = (word >> off) as u64;
+            let mut value = 0u64;
+            let mut shift = 0u32;
+            let mut used = 0usize;
+            let avail = self.bit_len - self.pos;
+            while used + 5 <= 60 {
+                if used + 5 > avail {
+                    return Err(CodecError::new(
+                        self.pos + used,
+                        format!("need 5 bits, {} remain", avail - used),
+                    ));
+                }
+                let chunk = wide & 0x1F;
+                wide >>= 5;
+                used += 5;
+                value |= (chunk >> 1) << shift;
+                shift += 4;
+                if chunk & 1 == 0 {
+                    self.pos += used;
+                    return Ok(value);
+                }
+            }
+            // Still continuing after 12 groups: rare — decode from the
+            // original position with the general loop instead.
+        }
         let mut value = 0u64;
         let mut shift = 0u32;
         loop {
-            let cont = self.read_bits(1)?;
-            let group = self.read_bits(4)?;
+            // One 5-bit read per group: continuation bit, then 4 value
+            // bits — identical bit layout to the two-read formulation.
+            let chunk = self.read_bits(5)?;
+            let cont = chunk & 1;
+            let group = chunk >> 1;
             if shift >= 64 {
                 return Err(CodecError::new(self.pos, "varint overflow"));
             }
@@ -275,15 +331,19 @@ pub const CHECKSUM_BITS: u32 = 32;
 /// bits. The payload length is mixed in, so truncations that happen to
 /// end on a self-consistent prefix still fail verification.
 fn prefix_checksum(bytes: &[u8], bit_len: usize) -> u32 {
-    let mut r = BitReader::new(bytes, bytes.len().saturating_mul(8));
+    // Eight bits LSB-first are exactly the byte value, so the 8-bit
+    // chunked FNV is a plain byte-wise FNV over the whole bytes plus a
+    // masked final partial byte — no bit reader needed.
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-    let mut left = bit_len;
-    while left > 0 {
-        let take = left.min(8) as u32;
-        let chunk = r.read_bits(take).expect("prefix bits in range");
-        h ^= chunk;
+    let full = bit_len / 8;
+    for &b in &bytes[..full] {
+        h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        left -= take as usize;
+    }
+    let rem = (bit_len % 8) as u32;
+    if rem > 0 {
+        h ^= u64::from(bytes[full]) & ((1u64 << rem) - 1);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
     h ^= bit_len as u64;
     h = h.wrapping_mul(0x0000_0100_0000_01B3);

@@ -232,8 +232,10 @@ pub fn corruption_sweep(
     let ls = oracle.label(s);
     let lt = oracle.label(t);
     let lf = oracle.label(fault);
-    let enc = codec::encode(&lf, n);
-    let donor_enc = codec::encode(&oracle.label(donor), n);
+    // Infallible here: both labels were built by the oracle for this n,
+    // so their owners fit the id field by construction.
+    let enc = codec::try_encode(&lf, n).expect("oracle-built label encodes");
+    let donor_enc = codec::try_encode(&oracle.label(donor), n).expect("oracle-built label encodes");
     let field_offset = fsdl_nets::ceil_log2(n).max(1) as usize;
 
     let mut stats = SweepStats::default();
@@ -280,6 +282,160 @@ pub fn corruption_sweep(
                 stats.decoded_sound += 1;
             }
         }
+    }
+    stats
+}
+
+/// One corruption applied to an on-disk segment file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreMutation {
+    /// Flip one bit of one byte of the segment file.
+    FlipByteBit {
+        /// Byte offset into the file.
+        byte: usize,
+        /// Bit within the byte (0–7).
+        bit: u8,
+    },
+    /// Keep only the first `keep` bytes of the segment file.
+    Truncate {
+        /// Bytes kept.
+        keep: usize,
+    },
+    /// Append `extra` pseudo-random bytes derived from `seed`.
+    Extend {
+        /// Bytes appended.
+        extra: usize,
+        /// Seed for the appended bytes.
+        seed: u64,
+    },
+}
+
+impl StoreMutation {
+    /// Applies the mutation to a copy of `bytes`.
+    pub fn apply(&self, bytes: &[u8]) -> Vec<u8> {
+        let mut out = bytes.to_vec();
+        match *self {
+            StoreMutation::FlipByteBit { byte, bit } => {
+                if let Some(b) = out.get_mut(byte) {
+                    *b ^= 1 << (bit % 8);
+                }
+            }
+            StoreMutation::Truncate { keep } => out.truncate(keep),
+            StoreMutation::Extend { extra, seed } => {
+                let mut state = seed;
+                for _ in 0..extra {
+                    out.push(splitmix64(&mut state) as u8);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Derives a deterministic schedule of `count` segment-file mutations
+/// (bit flips across the whole file, truncations at every region —
+/// header, index, payload, checksum — and extensions) for a file of
+/// `len` bytes.
+pub fn store_mutation_schedule(len: usize, count: usize, seed: u64) -> Vec<StoreMutation> {
+    let mut rng = Rng::seed_from_u64(seed ^ 0x5e6_3417);
+    let mut out = Vec::with_capacity(count);
+    for k in 0..count {
+        let m = match k % 3 {
+            0 => StoreMutation::FlipByteBit {
+                byte: rng.gen_range(0..len.max(1)),
+                bit: (rng.next_u64() % 8) as u8,
+            },
+            1 => StoreMutation::Truncate {
+                keep: rng.gen_range(0..len.max(1)),
+            },
+            _ => StoreMutation::Extend {
+                extra: rng.gen_range(1..64usize),
+                seed: rng.next_u64(),
+            },
+        };
+        out.push(m);
+    }
+    out
+}
+
+/// Outcome counts of one [`store_corruption_sweep`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreSweepStats {
+    /// Mutations applied (identity mutations are skipped).
+    pub attempted: usize,
+    /// Mutations rejected at open time with a typed [`crate::StoreError`].
+    pub rejected: usize,
+    /// Mutations that still opened (e.g. a flip inside an ignored region
+    /// that survived the checksum — astronomically rare) whose probe
+    /// answers were verified bit-identical to the pristine store's.
+    pub opened_sound: usize,
+}
+
+/// Chaos sweep over an on-disk label store: applies `count` scheduled
+/// corruptions of the current segment file, each in a fresh copy of the
+/// store under `scratch`, and asserts the robustness contract:
+/// [`ForbiddenSetOracle::open`] either fails with a typed
+/// [`crate::StoreError`] — never a panic — or serves answers
+/// bit-identical to the pristine store's for every probe pair.
+///
+/// # Panics
+///
+/// Panics — naming the seed and the exact mutation — when a corrupted
+/// store opens and serves a different answer, and propagates any decoder
+/// panic (the chaos tests treat either as failure). Also panics when the
+/// pristine store at `dir` cannot be opened or scratch I/O fails, since
+/// the sweep cannot run at all then.
+pub fn store_corruption_sweep(
+    dir: &std::path::Path,
+    scratch: &std::path::Path,
+    g: &fsdl_graph::Graph,
+    probes: &[(NodeId, NodeId)],
+    count: usize,
+    seed: u64,
+) -> StoreSweepStats {
+    use crate::store;
+
+    let manifest = store::read_manifest(dir).expect("pristine store must have a manifest");
+    let segment_path = dir.join(&manifest.segment);
+    let segment_bytes = std::fs::read(&segment_path).expect("pristine segment must be readable");
+    let manifest_bytes =
+        std::fs::read(dir.join(store::MANIFEST_NAME)).expect("manifest must be readable");
+    let pristine = ForbiddenSetOracle::open(dir, g).expect("pristine store must open");
+    let empty = FaultSet::empty();
+    let reference: Vec<_> = probes
+        .iter()
+        .map(|&(s, t)| pristine.query(s, t, &empty))
+        .collect();
+
+    let mut stats = StoreSweepStats::default();
+    for (idx, m) in store_mutation_schedule(segment_bytes.len(), count, seed)
+        .into_iter()
+        .enumerate()
+    {
+        let mutated = m.apply(&segment_bytes);
+        if mutated == segment_bytes {
+            continue;
+        }
+        stats.attempted += 1;
+        let case_dir = scratch.join(format!("case-{idx}"));
+        std::fs::create_dir_all(&case_dir).expect("scratch dir");
+        std::fs::write(case_dir.join(store::MANIFEST_NAME), &manifest_bytes).expect("scratch io");
+        std::fs::write(case_dir.join(&manifest.segment), &mutated).expect("scratch io");
+        match ForbiddenSetOracle::open(&case_dir, g) {
+            Err(_) => stats.rejected += 1,
+            Ok(oracle) => {
+                for (&(s, t), expected) in probes.iter().zip(&reference) {
+                    let got = oracle.query(s, t, &empty);
+                    assert_eq!(
+                        got, *expected,
+                        "store sweep seed {seed:#x} mutation #{idx} {m:?}: corrupted store \
+                         opened and answered {s}->{t} differently"
+                    );
+                }
+                stats.opened_sound += 1;
+            }
+        }
+        let _ = std::fs::remove_dir_all(&case_dir);
     }
     stats
 }

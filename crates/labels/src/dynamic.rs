@@ -13,11 +13,15 @@
 //! edges of the original graph `G` (the supported update model: the live
 //! graph is always `G ∖ F` for the current buffer `F`).
 
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
 use fsdl_graph::subgraph::{self, Subgraph};
 use fsdl_graph::{Dist, FaultSet, Graph, NodeId};
 
 use crate::oracle::ForbiddenSetOracle;
 use crate::params::SchemeParams;
+use crate::store::{self, Segment, StoreError, StoreReport};
 
 /// Typed errors for [`DynamicOracle`] update operations.
 ///
@@ -54,6 +58,14 @@ pub enum DynamicError {
         /// Second endpoint.
         b: NodeId,
     },
+    /// An update succeeded in memory but persisting the resulting rebuild
+    /// to the attached store failed. The in-memory oracle is consistent
+    /// and the store still holds its previous (older but openable)
+    /// generation.
+    Persist {
+        /// The underlying [`crate::StoreError`], stringified.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for DynamicError {
@@ -70,6 +82,9 @@ impl std::fmt::Display for DynamicError {
             }
             DynamicError::EdgeNotDeleted { a, b } => {
                 write!(f, "edge {{{a}, {b}}} is not currently deleted")
+            }
+            DynamicError::Persist { message } => {
+                write!(f, "rebuild succeeded but persisting it failed: {message}")
             }
         }
     }
@@ -109,6 +124,9 @@ pub struct DynamicOracle {
     base: Subgraph,
     oracle: ForbiddenSetOracle,
     rebuilds: usize,
+    /// When attached ([`DynamicOracle::attach_store`]), every rebuild is
+    /// persisted here as a new store generation, LSM-style.
+    store_dir: Option<PathBuf>,
 }
 
 impl DynamicOracle {
@@ -139,6 +157,7 @@ impl DynamicOracle {
             base,
             oracle,
             rebuilds: 0,
+            store_dir: None,
         }
     }
 
@@ -176,7 +195,9 @@ impl DynamicOracle {
             return Ok(());
         }
         self.buffer.forbid_vertex(v);
-        self.maybe_rebuild();
+        if self.maybe_rebuild() {
+            self.persist_after_rebuild()?;
+        }
         Ok(())
     }
 
@@ -197,7 +218,9 @@ impl DynamicOracle {
             return Ok(());
         }
         self.buffer.forbid_edge_unchecked(a, b);
-        self.maybe_rebuild();
+        if self.maybe_rebuild() {
+            self.persist_after_rebuild()?;
+        }
         Ok(())
     }
 
@@ -217,6 +240,7 @@ impl DynamicOracle {
         }
         if self.baked.permit_vertex(v) {
             self.rebuild();
+            self.persist_after_rebuild()?;
             return Ok(());
         }
         Err(DynamicError::VertexNotDeleted { v })
@@ -237,6 +261,7 @@ impl DynamicOracle {
         }
         if self.baked.permit_edge(a, b) {
             self.rebuild();
+            self.persist_after_rebuild()?;
             return Ok(());
         }
         Err(DynamicError::EdgeNotDeleted { a, b })
@@ -258,18 +283,35 @@ impl DynamicOracle {
     ///
     /// # Panics
     ///
-    /// Panics if `s` or `t` is out of range for the original graph.
+    /// Panics if `s` or `t` is out of range for the original graph. Use
+    /// [`DynamicOracle::try_distance`] (which this routes through) to get
+    /// a typed error instead — the right entry point when the query ids
+    /// come from callers the service does not control.
     pub fn distance(&self, s: NodeId, t: NodeId) -> Dist {
-        assert!(
-            self.original.contains(s) && self.original.contains(t),
-            "query vertex out of range"
-        );
+        match self.try_distance(s, t) {
+            Ok(d) => d,
+            Err(e) => panic!("query vertex out of range: {e}"),
+        }
+    }
+
+    /// Strict variant of [`DynamicOracle::distance`]: rejects out-of-range
+    /// query vertices with a typed [`DynamicError`] instead of panicking,
+    /// matching the fallible update API (and the store serving path,
+    /// which must never abort on untrusted query input).
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::VertexOutOfRange`] when `s` or `t` is not a vertex
+    /// of the original graph.
+    pub fn try_distance(&self, s: NodeId, t: NodeId) -> Result<Dist, DynamicError> {
+        self.check_vertex(s)?;
+        self.check_vertex(t)?;
         // Deleted endpoints are unreachable by definition.
         let (Some(bs), Some(bt)) = (self.base.map(s), self.base.map(t)) else {
-            return Dist::INFINITE;
+            return Ok(Dist::INFINITE);
         };
         if self.buffer.is_vertex_faulty(s) || self.buffer.is_vertex_faulty(t) {
-            return Dist::INFINITE;
+            return Ok(Dist::INFINITE);
         }
         // Translate buffered faults into base-graph ids.
         let mut f = FaultSet::empty();
@@ -285,7 +327,7 @@ impl DynamicOracle {
                 }
             }
         }
-        self.oracle.distance(bs, bt, &f)
+        Ok(self.oracle.distance(bs, bt, &f))
     }
 
     /// Connectivity in the current graph.
@@ -293,10 +335,28 @@ impl DynamicOracle {
         self.distance(s, t).is_finite()
     }
 
-    fn maybe_rebuild(&mut self) {
+    fn maybe_rebuild(&mut self) -> bool {
         if self.buffer.len() > self.threshold {
             self.rebuild();
+            true
+        } else {
+            false
         }
+    }
+
+    /// Persists the current state to the attached store, if any, mapping
+    /// the failure into the update API's error type. The in-memory oracle
+    /// is already consistent when this runs; on error the store simply
+    /// still holds its previous generation.
+    fn persist_after_rebuild(&mut self) -> Result<(), DynamicError> {
+        let Some(dir) = self.store_dir.clone() else {
+            return Ok(());
+        };
+        self.save(&dir)
+            .map(|_| ())
+            .map_err(|e| DynamicError::Persist {
+                message: e.to_string(),
+            })
     }
 
     /// Folds the buffer into the baked set and rebuilds the labeling on the
@@ -322,6 +382,121 @@ impl DynamicOracle {
             self.oracle = ForbiddenSetOracle::with_params(&self.base.graph, params);
         }
         self.rebuilds += 1;
+    }
+
+    /// Persists the oracle's full state to the store at `dir` as a new
+    /// generation: the base labeling's segment plus a manifest recording
+    /// the baked fault set, the *buffered* fault set, and the rebuild
+    /// threshold — so a mid-churn [`DynamicOracle::open`] resumes
+    /// bit-identically, buffered deletions included. Older generations
+    /// are pruned after the manifest swap.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`StoreError`] on encoding or I/O failure; the store keeps
+    /// its previous generation in that case.
+    pub fn save(&self, dir: &Path) -> Result<StoreReport, StoreError> {
+        let encoded = self.oracle.encoded_labels()?;
+        store::write_generation(
+            dir,
+            self.oracle.params(),
+            store::graph_fingerprint(self.oracle.labeling().graph()),
+            &encoded,
+            &self.baked,
+            &self.buffer,
+            Some(self.threshold),
+        )
+    }
+
+    /// Warm-starts a dynamic oracle from the store at `dir`, previously
+    /// written by [`DynamicOracle::save`] (directly or via an attached
+    /// store). `g` must be the *original* graph: the baked fault set from
+    /// the manifest is re-applied to reconstruct the base subgraph, whose
+    /// fingerprint must match the segment's; labels then decode lazily
+    /// from the segment, so the rebuild cost is skipped. The returned
+    /// oracle keeps `dir` attached, so subsequent rebuilds persist new
+    /// generations.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`StoreError`] for every corruption, mismatch, or I/O
+    /// failure — never a panic on untrusted on-disk bytes.
+    pub fn open(dir: &Path, g: &Graph) -> Result<Self, StoreError> {
+        let manifest = store::read_manifest(dir)?;
+        let segment = Segment::read(&dir.join(&manifest.segment))?;
+        for v in manifest.baked.vertices().chain(manifest.buffer.vertices()) {
+            if !g.contains(v) {
+                return Err(StoreError::ManifestCorrupt {
+                    line: 0,
+                    message: format!(
+                        "fault vertex {v} out of range for a {}-vertex graph",
+                        g.num_vertices()
+                    ),
+                });
+            }
+        }
+        for e in manifest.baked.edges().chain(manifest.buffer.edges()) {
+            if !g.contains(e.lo()) || !g.contains(e.hi()) {
+                return Err(StoreError::ManifestCorrupt {
+                    line: 0,
+                    message: format!("fault edge ({}, {}) out of range", e.lo(), e.hi()),
+                });
+            }
+        }
+        if manifest.threshold == Some(0) {
+            return Err(StoreError::ManifestCorrupt {
+                line: 0,
+                message: "rebuild threshold must be positive".into(),
+            });
+        }
+        let base = subgraph::remove_faults(g, &manifest.baked);
+        let oracle = if base.graph.num_vertices() == 0 {
+            // The degenerate all-deleted state was saved over the 1-vertex
+            // placeholder graph; reconstruct the same placeholder.
+            let placeholder = fsdl_graph::GraphBuilder::new(1).build();
+            ForbiddenSetOracle::from_segment(&placeholder, Arc::new(segment))?
+        } else {
+            ForbiddenSetOracle::from_segment(&base.graph, Arc::new(segment))?
+        };
+        let epsilon = oracle.params().epsilon();
+        let threshold = manifest
+            .threshold
+            .unwrap_or_else(|| ((g.num_vertices() as f64).sqrt().ceil() as usize).max(1));
+        Ok(DynamicOracle {
+            original: g.clone(),
+            epsilon,
+            baked: manifest.baked,
+            buffer: manifest.buffer,
+            threshold,
+            base,
+            oracle,
+            rebuilds: 0,
+            store_dir: Some(dir.to_path_buf()),
+        })
+    }
+
+    /// Attaches a store directory and persists the current state to it
+    /// immediately. From then on every rebuild (threshold overflow or
+    /// baked restoration) is persisted as a new generation; a persist
+    /// failure surfaces from the triggering update as
+    /// [`DynamicError::Persist`] while the in-memory oracle stays
+    /// consistent. Explicit [`DynamicOracle::rebuild`] calls are
+    /// in-memory only; call [`DynamicOracle::save`] to checkpoint after
+    /// one.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`StoreError`] if the initial save fails (the store is
+    /// then *not* attached).
+    pub fn attach_store(&mut self, dir: &Path) -> Result<StoreReport, StoreError> {
+        let report = self.save(dir)?;
+        self.store_dir = Some(dir.to_path_buf());
+        Ok(report)
+    }
+
+    /// The attached store directory, if any.
+    pub fn store_dir(&self) -> Option<&Path> {
+        self.store_dir.as_deref()
     }
 }
 

@@ -23,6 +23,9 @@
 //! * [`ForbiddenSetOracle`] — the centralized `n ×` label table byproduct;
 //! * [`DynamicOracle`] — the fully-dynamic oracle byproduct (buffered
 //!   deletions, `√n` rebuild policy);
+//! * [`store`] — the on-disk label store: checksummed segment files plus
+//!   an atomically swapped manifest, so oracles warm-start from disk and
+//!   a crash mid-write can never be observed as a torn store;
 //! * [`failure_free`] — the simpler Section 2.1 overview scheme, used as a
 //!   baseline and a special case;
 //! * [`WeightedOracle`] — integer-weighted graphs via exact edge
@@ -58,6 +61,7 @@ pub mod failure_free;
 mod label;
 mod oracle;
 mod params;
+pub mod store;
 mod trace;
 mod weighted;
 
@@ -71,5 +75,6 @@ pub use failure_free::{query_failure_free, FailureFreeLabel, FailureFreeLabeling
 pub use label::{Label, LabelInvalid, LabelPoint, LabelStats, LevelLabel, RealEdge, VirtualEdge};
 pub use oracle::{ForbiddenSetOracle, OracleError};
 pub use params::SchemeParams;
+pub use store::{StoreError, StoreReport};
 pub use trace::{trace_query, trace_query_with, QueryTrace, TraceHop};
 pub use weighted::{WeightedFaults, WeightedOracle};

@@ -24,6 +24,7 @@
 //!   allocation-free decode fast path), and merges answers in input order,
 //!   so the batch output is bit-identical to a sequential loop.
 
+use std::path::Path;
 use std::sync::{Arc, OnceLock};
 
 use fsdl_graph::{Dist, FaultSet, Graph, NodeId};
@@ -32,6 +33,7 @@ use crate::builder::Labeling;
 use crate::decode::{self, DecodeScratch, QueryAnswer, QueryLabels};
 use crate::label::Label;
 use crate::params::SchemeParams;
+use crate::store::{self, Segment, StoreError, StoreReport};
 
 /// A malformed query handed to the strict oracle entry points
 /// ([`ForbiddenSetOracle::try_query`],
@@ -109,6 +111,9 @@ type FaultLabels = (Vec<Arc<Label>>, Vec<(Arc<Label>, Arc<Label>)>);
 pub struct ForbiddenSetOracle {
     labeling: Labeling,
     slots: Box<[OnceLock<Arc<Label>>]>,
+    /// When warm-started from a [`store`], labels decode lazily from this
+    /// segment instead of being recomputed; `None` for in-memory builds.
+    segment: Option<Arc<Segment>>,
 }
 
 impl ForbiddenSetOracle {
@@ -135,7 +140,105 @@ impl ForbiddenSetOracle {
         ForbiddenSetOracle {
             labeling,
             slots: (0..n).map(|_| OnceLock::new()).collect(),
+            segment: None,
         }
+    }
+
+    /// Warm-starts the oracle from the label store at `dir`, previously
+    /// written by [`ForbiddenSetOracle::save`] (or `fsdl build --store`).
+    /// The expensive per-vertex label construction is skipped entirely:
+    /// labels decode lazily from the segment into the arena, and the
+    /// answers are bit-identical to a fresh in-memory build.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`StoreError`] for every failure mode — missing or corrupt
+    /// manifest/segment, format version skew, a store built for a
+    /// different graph, or an invalid parameter schedule. Never panics on
+    /// untrusted on-disk bytes.
+    pub fn open(dir: &Path, g: &Graph) -> Result<Self, StoreError> {
+        let manifest = store::read_manifest(dir)?;
+        let segment = Segment::read(&dir.join(&manifest.segment))?;
+        Self::from_segment(g, Arc::new(segment))
+    }
+
+    /// Wraps an already-read segment around `g` (shared with
+    /// [`crate::DynamicOracle`]'s open path, which reads the segment
+    /// against a reconstructed base subgraph).
+    pub(crate) fn from_segment(g: &Graph, segment: Arc<Segment>) -> Result<Self, StoreError> {
+        let expected = store::graph_fingerprint(g);
+        let found = segment.graph_fingerprint();
+        if expected != found {
+            return Err(StoreError::GraphMismatch { expected, found });
+        }
+        if segment.num_labels() != g.num_vertices() {
+            return Err(StoreError::SegmentCorrupt {
+                path: segment.path().to_path_buf(),
+                message: format!(
+                    "segment holds {} labels for a {}-vertex graph",
+                    segment.num_labels(),
+                    g.num_vertices()
+                ),
+            });
+        }
+        let params = segment.params()?;
+        let labeling = Labeling::try_build(g, params).map_err(|e| StoreError::ParamsInvalid {
+            message: e.to_string(),
+        })?;
+        let n = g.num_vertices();
+        Ok(ForbiddenSetOracle {
+            labeling,
+            slots: (0..n).map(|_| OnceLock::new()).collect(),
+            segment: Some(segment),
+        })
+    }
+
+    /// Persists every label to the store at `dir` as a new generation:
+    /// segment written durably first (temp file + `fsync` + atomic
+    /// rename), manifest swapped second, older generations pruned last —
+    /// so a crash at any point leaves a previously published generation
+    /// openable. The write path is fallible end to end
+    /// ([`crate::codec::try_encode`], typed I/O errors); it never panics.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`StoreError`] on encoding or I/O failure.
+    pub fn save(&self, dir: &Path) -> Result<StoreReport, StoreError> {
+        let encoded = self.encoded_labels()?;
+        store::write_generation(
+            dir,
+            self.params(),
+            store::graph_fingerprint(self.labeling.graph()),
+            &encoded,
+            &FaultSet::empty(),
+            &FaultSet::empty(),
+            None,
+        )
+    }
+
+    /// Materializes (in parallel) and encodes every label, in vertex
+    /// order, through the fallible codec path.
+    pub(crate) fn encoded_labels(&self) -> Result<Vec<(Vec<u8>, usize)>, StoreError> {
+        self.prewarm();
+        let n = self.slots.len();
+        (0..n)
+            .map(|v| {
+                let label = self.label(NodeId::from_index(v));
+                let w = crate::codec::try_encode(&label, n)?;
+                Ok((w.as_bytes().to_vec(), w.len_bits()))
+            })
+            .collect()
+    }
+
+    /// Decodes `v`'s label from the attached segment, if any. Returns
+    /// `None` (so callers fall back to in-memory materialization — still
+    /// sound, merely slower) when there is no segment, the payload fails
+    /// decoding, or the decoded label is not actually `v`'s: on-disk
+    /// bytes are untrusted even after the segment checksum passed.
+    fn segment_label(&self, v: NodeId) -> Option<Label> {
+        let segment = self.segment.as_deref()?;
+        let label = segment.decode_label(v).ok()?;
+        (label.owner == v && label.validate().is_ok()).then_some(label)
     }
 
     /// The underlying labeling (marker side).
@@ -163,7 +266,12 @@ impl ForbiddenSetOracle {
             self.slots.len()
         );
         self.slots[v.index()]
-            .get_or_init(|| Arc::new(self.labeling.label_of(v)))
+            .get_or_init(|| {
+                Arc::new(
+                    self.segment_label(v)
+                        .unwrap_or_else(|| self.labeling.label_of(v)),
+                )
+            })
             .clone()
     }
 
@@ -189,8 +297,12 @@ impl ForbiddenSetOracle {
             fsdl_nets::parallel::resolve_workers(workers, n),
             || crate::builder::LabelScratch::new(n),
             |scratch, v| {
+                let id = NodeId::from_index(v);
                 self.slots[v].get_or_init(|| {
-                    Arc::new(self.labeling.label_of_with(NodeId::from_index(v), scratch))
+                    Arc::new(
+                        self.segment_label(id)
+                            .unwrap_or_else(|| self.labeling.label_of_with(id, scratch)),
+                    )
                 });
             },
         );

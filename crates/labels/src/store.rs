@@ -1,0 +1,872 @@
+//! On-disk, versioned label store with atomic snapshots.
+//!
+//! The labeling scheme's selling point is that labels are built once and
+//! then served cheaply — so the serialized label bytes themselves are the
+//! service's unit of storage. This module persists an oracle's label table
+//! as an immutable, checksummed **segment** file plus a tiny **manifest**
+//! naming the current generation, in the LSM tradition:
+//!
+//! * a segment is written to a temp file, `fsync`ed, and atomically
+//!   renamed into place; only then is the manifest (same protocol)
+//!   swapped to point at it — a crash between the two steps leaves the
+//!   previous generation fully openable, and a crash mid-write leaves
+//!   only an ignored temp file;
+//! * every segment carries a magic, a format version, the
+//!   [`SchemeParams`] fingerprint (`ε`, `c`, `n`), a graph fingerprint,
+//!   a per-label offset index, and a whole-file checksum layered over
+//!   the per-label checksums the codec already embeds;
+//! * old generations are pruned only *after* the manifest swap.
+//!
+//! Every byte read from disk is untrusted: parsing is fully fallible and
+//! surfaces a typed [`StoreError`] — never a panic, and (because label
+//! payloads are re-validated structurally on decode) never an unsound
+//! answer.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use fsdl_graph::{FaultSet, Graph, NodeId};
+
+use crate::codec::{self, CodecError};
+use crate::label::Label;
+use crate::params::SchemeParams;
+
+/// Magic bytes opening every segment file.
+pub const SEGMENT_MAGIC: [u8; 8] = *b"FSDLSEG1";
+/// Current segment format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// The manifest file name inside a store directory.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+/// Header line (format + version) opening every manifest.
+const MANIFEST_HEADER: &str = "fsdl-store 1";
+/// Prefix of in-flight temp files (ignored by readers, pruned by writers).
+const TMP_PREFIX: &str = ".tmp-";
+
+/// Fixed segment header length in bytes (magic, version, ε bits, `c`,
+/// `n`, graph fingerprint, payload length).
+const HEADER_BYTES: usize = 8 + 4 + 8 + 4 + 8 + 8 + 8;
+/// Bytes per index entry (byte offset + bit length).
+const INDEX_ENTRY_BYTES: usize = 16;
+/// Trailing whole-file checksum length in bytes.
+const CRC_BYTES: usize = 4;
+
+/// A typed error from the persistent label store. Every corruption,
+/// truncation, version skew, or mismatch observable from on-disk bytes
+/// maps to one of these variants — the store read path never panics.
+#[non_exhaustive]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// An OS-level I/O failure (permissions, missing directory, …).
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The OS error, stringified.
+        message: String,
+    },
+    /// The store directory has no manifest (not a store, or never
+    /// published).
+    ManifestMissing {
+        /// The expected manifest path.
+        path: PathBuf,
+    },
+    /// The manifest exists but does not parse or fails its checksum.
+    ManifestCorrupt {
+        /// 1-based line number of the offending line (0 = whole file).
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The manifest names a segment file that does not exist.
+    SegmentMissing {
+        /// The missing segment path.
+        path: PathBuf,
+    },
+    /// The segment file exists but is torn, truncated, bit-flipped, or
+    /// otherwise fails structural validation.
+    SegmentCorrupt {
+        /// The segment path.
+        path: PathBuf,
+        /// What went wrong.
+        message: String,
+    },
+    /// The segment was written by an unsupported format version.
+    VersionUnsupported {
+        /// The version found on disk.
+        found: u32,
+    },
+    /// The segment was built for a different graph than the one supplied
+    /// at open time (stale store, or the wrong directory).
+    GraphMismatch {
+        /// Fingerprint of the supplied graph.
+        expected: u64,
+        /// Fingerprint recorded in the segment.
+        found: u64,
+    },
+    /// The parameter schedule recorded in the segment is invalid
+    /// (non-positive ε, `c < 2`, `n == 0`, …).
+    ParamsInvalid {
+        /// What went wrong.
+        message: String,
+    },
+    /// A label payload failed to encode or decode.
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { path, message } => {
+                write!(f, "i/o error on {}: {message}", path.display())
+            }
+            StoreError::ManifestMissing { path } => {
+                write!(f, "no manifest at {}", path.display())
+            }
+            StoreError::ManifestCorrupt { line, message } => {
+                write!(f, "corrupt manifest (line {line}): {message}")
+            }
+            StoreError::SegmentMissing { path } => {
+                write!(f, "segment file missing: {}", path.display())
+            }
+            StoreError::SegmentCorrupt { path, message } => {
+                write!(f, "corrupt segment {}: {message}", path.display())
+            }
+            StoreError::VersionUnsupported { found } => {
+                write!(
+                    f,
+                    "segment format version {found} unsupported (this build reads {FORMAT_VERSION})"
+                )
+            }
+            StoreError::GraphMismatch { expected, found } => {
+                write!(
+                    f,
+                    "store was built for a different graph \
+                     (fingerprint {found:#018x}, expected {expected:#018x})"
+                )
+            }
+            StoreError::ParamsInvalid { message } => {
+                write!(f, "invalid parameter schedule in store: {message}")
+            }
+            StoreError::Codec(e) => write!(f, "label codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+fn io_err(path: &Path, e: &std::io::Error) -> StoreError {
+    StoreError::Io {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    }
+}
+
+/// 64-bit FNV-1a over a byte slice (the store's fingerprint primitive).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// 32-bit fold of [`fnv1a64`], used for the whole-file segment checksum
+/// and the manifest checksum line.
+fn fnv32(bytes: &[u8]) -> u32 {
+    let h = fnv1a64(bytes);
+    (h ^ (h >> 32)) as u32
+}
+
+/// Fingerprint of a graph's structure: FNV-1a over `n`, `m`, and every
+/// edge `(lo, hi)`. Two graphs with the same vertex count and edge set
+/// fingerprint identically; a store opened against a different graph is
+/// rejected with [`StoreError::GraphMismatch`].
+pub fn graph_fingerprint(g: &Graph) -> u64 {
+    let mut bytes = Vec::with_capacity(16 + g.num_edges() * 8);
+    bytes.extend_from_slice(&(g.num_vertices() as u64).to_le_bytes());
+    bytes.extend_from_slice(&(g.num_edges() as u64).to_le_bytes());
+    for e in g.edges() {
+        bytes.extend_from_slice(&e.lo().raw().to_le_bytes());
+        bytes.extend_from_slice(&e.hi().raw().to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+/// The file name of generation `g`'s segment.
+pub fn segment_file_name(generation: u64) -> String {
+    format!("seg-{generation}.fsl")
+}
+
+/// What a successful save reports back.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreReport {
+    /// The generation just published.
+    pub generation: u64,
+    /// Size of the published segment file in bytes.
+    pub segment_bytes: u64,
+    /// Number of labels in the segment.
+    pub labels: usize,
+}
+
+/// The parsed manifest: which generation is current, plus the dynamic
+/// oracle's fault state (empty for static stores).
+#[derive(Clone, Debug)]
+pub struct Manifest {
+    /// The current generation number.
+    pub generation: u64,
+    /// File name (relative to the store directory) of the current
+    /// segment.
+    pub segment: String,
+    /// Faults baked into the segment's labeling (original-graph ids);
+    /// empty for static oracles.
+    pub baked: FaultSet,
+    /// Faults buffered since the last rebuild (original-graph ids);
+    /// empty for static oracles.
+    pub buffer: FaultSet,
+    /// The dynamic oracle's rebuild threshold, when persisted.
+    pub threshold: Option<usize>,
+}
+
+impl Manifest {
+    /// A static-store manifest for generation `generation`.
+    pub fn static_store(generation: u64) -> Self {
+        Manifest {
+            generation,
+            segment: segment_file_name(generation),
+            baked: FaultSet::empty(),
+            buffer: FaultSet::empty(),
+            threshold: None,
+        }
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(MANIFEST_HEADER);
+        out.push('\n');
+        out.push_str(&format!("generation {}\n", self.generation));
+        out.push_str(&format!("segment {}\n", self.segment));
+        if let Some(t) = self.threshold {
+            out.push_str(&format!("threshold {t}\n"));
+        }
+        for v in self.baked.vertices() {
+            out.push_str(&format!("baked-v {}\n", v.raw()));
+        }
+        for e in self.baked.edges() {
+            out.push_str(&format!("baked-f {} {}\n", e.lo().raw(), e.hi().raw()));
+        }
+        for v in self.buffer.vertices() {
+            out.push_str(&format!("buffer-v {}\n", v.raw()));
+        }
+        for e in self.buffer.edges() {
+            out.push_str(&format!("buffer-f {} {}\n", e.lo().raw(), e.hi().raw()));
+        }
+        out.push_str(&format!("crc {:08x}\n", fnv32(out.as_bytes())));
+        out
+    }
+
+    fn parse(text: &str) -> Result<Self, StoreError> {
+        let corrupt = |line: usize, message: String| StoreError::ManifestCorrupt { line, message };
+        let mut generation: Option<u64> = None;
+        let mut segment: Option<String> = None;
+        let mut threshold: Option<usize> = None;
+        let mut baked = FaultSet::empty();
+        let mut buffer = FaultSet::empty();
+        let mut crc_seen = false;
+        let mut body_len = 0usize;
+        for (k, line) in text.lines().enumerate() {
+            let lineno = k + 1;
+            if crc_seen {
+                return Err(corrupt(lineno, "content after crc line".into()));
+            }
+            if k == 0 {
+                if line != MANIFEST_HEADER {
+                    return Err(corrupt(1, format!("bad header {line:?}")));
+                }
+                body_len += line.len() + 1;
+                continue;
+            }
+            let mut parts = line.split_ascii_whitespace();
+            let key = parts.next().unwrap_or("");
+            let parse_u64 = |s: Option<&str>| -> Result<u64, StoreError> {
+                s.ok_or_else(|| corrupt(lineno, format!("missing value for {key}")))?
+                    .parse::<u64>()
+                    .map_err(|e| corrupt(lineno, format!("bad number: {e}")))
+            };
+            let parse_node = |s: Option<&str>| -> Result<NodeId, StoreError> {
+                let raw = s
+                    .ok_or_else(|| corrupt(lineno, format!("missing id for {key}")))?
+                    .parse::<u32>()
+                    .map_err(|e| corrupt(lineno, format!("bad vertex id: {e}")))?;
+                Ok(NodeId::new(raw))
+            };
+            match key {
+                "generation" => generation = Some(parse_u64(parts.next())?),
+                "segment" => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| corrupt(lineno, "missing segment name".into()))?;
+                    if name.contains('/') || name.contains("..") {
+                        return Err(corrupt(lineno, format!("unsafe segment name {name:?}")));
+                    }
+                    segment = Some(name.to_string());
+                }
+                "threshold" => {
+                    let t = parse_u64(parts.next())?;
+                    threshold = Some(usize::try_from(t).map_err(|_| {
+                        corrupt(lineno, format!("threshold {t} too large for this platform"))
+                    })?);
+                }
+                "baked-v" => {
+                    baked.forbid_vertex(parse_node(parts.next())?);
+                }
+                "baked-f" => {
+                    let a = parse_node(parts.next())?;
+                    let b = parse_node(parts.next())?;
+                    baked.forbid_edge_unchecked(a, b);
+                }
+                "buffer-v" => {
+                    buffer.forbid_vertex(parse_node(parts.next())?);
+                }
+                "buffer-f" => {
+                    let a = parse_node(parts.next())?;
+                    let b = parse_node(parts.next())?;
+                    buffer.forbid_edge_unchecked(a, b);
+                }
+                "crc" => {
+                    let want = parts
+                        .next()
+                        .ok_or_else(|| corrupt(lineno, "missing crc value".into()))?;
+                    let want = u32::from_str_radix(want, 16)
+                        .map_err(|e| corrupt(lineno, format!("bad crc: {e}")))?;
+                    let got = fnv32(&text.as_bytes()[..body_len]);
+                    if want != got {
+                        return Err(corrupt(
+                            lineno,
+                            format!("checksum mismatch: recorded {want:08x}, computed {got:08x}"),
+                        ));
+                    }
+                    crc_seen = true;
+                }
+                other => return Err(corrupt(lineno, format!("unknown key {other:?}"))),
+            }
+            if parts.next().is_some() {
+                return Err(corrupt(lineno, format!("trailing garbage after {key}")));
+            }
+            body_len += line.len() + 1;
+        }
+        if !crc_seen {
+            return Err(corrupt(0, "missing crc line".into()));
+        }
+        let generation = generation.ok_or_else(|| corrupt(0, "missing generation".into()))?;
+        let segment = segment.ok_or_else(|| corrupt(0, "missing segment".into()))?;
+        Ok(Manifest {
+            generation,
+            segment,
+            baked,
+            buffer,
+            threshold,
+        })
+    }
+}
+
+/// Reads and validates the manifest of the store at `dir`.
+///
+/// # Errors
+///
+/// [`StoreError::ManifestMissing`] when there is none,
+/// [`StoreError::ManifestCorrupt`] when it fails to parse or checksum,
+/// [`StoreError::Io`] for OS-level failures.
+pub fn read_manifest(dir: &Path) -> Result<Manifest, StoreError> {
+    let path = dir.join(MANIFEST_NAME);
+    let text = match fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(StoreError::ManifestMissing { path });
+        }
+        Err(e) => return Err(io_err(&path, &e)),
+    };
+    Manifest::parse(&text)
+}
+
+/// Durably writes `bytes` to `dir/name` via temp file + `fsync` + atomic
+/// rename (+ directory `fsync`), so readers observe either the old file
+/// or the complete new one — never a torn write.
+fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+    let tmp = dir.join(format!("{TMP_PREFIX}{name}"));
+    let dst = dir.join(name);
+    let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, &e))?;
+    f.write_all(bytes).map_err(|e| io_err(&tmp, &e))?;
+    f.sync_all().map_err(|e| io_err(&tmp, &e))?;
+    drop(f);
+    fs::rename(&tmp, &dst).map_err(|e| io_err(&dst, &e))?;
+    if let Ok(d) = fs::File::open(dir) {
+        // Durability of the rename itself; non-fatal where unsupported.
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Atomically publishes `manifest` as `dir`'s current manifest. This is
+/// the commit point of the write protocol: call it only after the
+/// segment it names is durably in place.
+pub fn write_manifest(dir: &Path, manifest: &Manifest) -> Result<(), StoreError> {
+    write_atomic(dir, MANIFEST_NAME, manifest.render().as_bytes())
+}
+
+/// Serializes and durably writes the segment for `generation` (temp
+/// file, `fsync`, atomic rename), **without** touching the manifest —
+/// a crash (or a deliberate stop, as the crash-consistency tests do)
+/// after this call leaves the previous generation current and openable.
+///
+/// `encoded` holds each vertex's label encoding, in vertex order, as
+/// `(bytes, bit_len)` pairs produced by [`codec::try_encode`].
+///
+/// Returns the segment's size in bytes.
+pub fn write_segment(
+    dir: &Path,
+    generation: u64,
+    params: &SchemeParams,
+    graph_fingerprint: u64,
+    encoded: &[(Vec<u8>, usize)],
+) -> Result<u64, StoreError> {
+    let n = encoded.len();
+    let payload_len: usize = encoded.iter().map(|(b, _)| b.len()).sum();
+    let mut out =
+        Vec::with_capacity(HEADER_BYTES + n * INDEX_ENTRY_BYTES + payload_len + CRC_BYTES);
+    out.extend_from_slice(&SEGMENT_MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&params.epsilon().to_bits().to_le_bytes());
+    out.extend_from_slice(&params.c().to_le_bytes());
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    out.extend_from_slice(&graph_fingerprint.to_le_bytes());
+    out.extend_from_slice(&(payload_len as u64).to_le_bytes());
+    let mut offset = 0u64;
+    for (bytes, bit_len) in encoded {
+        out.extend_from_slice(&offset.to_le_bytes());
+        out.extend_from_slice(&(*bit_len as u64).to_le_bytes());
+        offset += bytes.len() as u64;
+    }
+    for (bytes, _) in encoded {
+        out.extend_from_slice(bytes);
+    }
+    out.extend_from_slice(&fnv32(&out).to_le_bytes());
+    let size = out.len() as u64;
+    write_atomic(dir, &segment_file_name(generation), &out)?;
+    Ok(size)
+}
+
+/// Best-effort removal of segment files other than `keep`'s, and of any
+/// stale temp files. Failures are ignored: pruning is an optimization,
+/// never a correctness requirement.
+pub fn prune_generations(dir: &Path, keep: u64) {
+    let keep_name = segment_file_name(keep);
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale_segment = name.starts_with("seg-") && name.ends_with(".fsl") && name != keep_name;
+        if stale_segment || name.starts_with(TMP_PREFIX) {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// The next free generation number for `dir`: one past the manifest's
+/// generation when a manifest exists, otherwise one past the largest
+/// generation named by any segment file lying around (so an interrupted
+/// first save never reuses its own torn temp numbers).
+pub fn next_generation(dir: &Path) -> u64 {
+    if let Ok(m) = read_manifest(dir) {
+        return m.generation + 1;
+    }
+    let mut max_seen = 0u64;
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(g) = name
+                .strip_prefix("seg-")
+                .and_then(|s| s.strip_suffix(".fsl"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                max_seen = max_seen.max(g);
+            }
+        }
+    }
+    max_seen + 1
+}
+
+/// Writes one complete generation: segment first (durable), then the
+/// manifest swap (the commit point), then pruning of older generations.
+/// The generation number is allocated with [`next_generation`].
+pub fn write_generation(
+    dir: &Path,
+    params: &SchemeParams,
+    graph_fingerprint: u64,
+    encoded: &[(Vec<u8>, usize)],
+    baked: &FaultSet,
+    buffer: &FaultSet,
+    threshold: Option<usize>,
+) -> Result<StoreReport, StoreError> {
+    fs::create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
+    let generation = next_generation(dir);
+    let segment_bytes = write_segment(dir, generation, params, graph_fingerprint, encoded)?;
+    let manifest = Manifest {
+        generation,
+        segment: segment_file_name(generation),
+        baked: baked.clone(),
+        buffer: buffer.clone(),
+        threshold,
+    };
+    write_manifest(dir, &manifest)?;
+    prune_generations(dir, generation);
+    Ok(StoreReport {
+        generation,
+        segment_bytes,
+        labels: encoded.len(),
+    })
+}
+
+/// One parsed, checksum-verified segment: the label payload plus the
+/// per-label offset index. Labels decode lazily ([`Segment::decode_label`])
+/// so opening a store is cheap and serving pays decode cost only for the
+/// labels it touches.
+#[derive(Debug)]
+pub struct Segment {
+    path: PathBuf,
+    n: usize,
+    epsilon: f64,
+    c: u32,
+    graph_fingerprint: u64,
+    /// Per-vertex `(byte offset into payload, bit length)`.
+    index: Vec<(usize, usize)>,
+    payload: Vec<u8>,
+}
+
+impl Segment {
+    /// Reads and structurally validates the segment at `path`: magic,
+    /// version, whole-file checksum, header consistency, and every index
+    /// entry (offsets and bit lengths must lie within the payload, so
+    /// later lazy decodes can never read out of bounds).
+    ///
+    /// # Errors
+    ///
+    /// A typed [`StoreError`]; this function never panics on any byte
+    /// sequence.
+    pub fn read(path: &Path) -> Result<Self, StoreError> {
+        let corrupt = |message: String| StoreError::SegmentCorrupt {
+            path: path.to_path_buf(),
+            message,
+        };
+        let bytes = match fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StoreError::SegmentMissing {
+                    path: path.to_path_buf(),
+                });
+            }
+            Err(e) => return Err(io_err(path, &e)),
+        };
+        if bytes.len() < HEADER_BYTES + CRC_BYTES {
+            return Err(corrupt(format!("file too short ({} bytes)", bytes.len())));
+        }
+        if bytes[..8] != SEGMENT_MAGIC {
+            return Err(corrupt("bad magic".into()));
+        }
+        let u32_at = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let u64_at = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+        let version = u32_at(8);
+        if version != FORMAT_VERSION {
+            return Err(StoreError::VersionUnsupported { found: version });
+        }
+        let body = &bytes[..bytes.len() - CRC_BYTES];
+        let recorded = u32_at(bytes.len() - CRC_BYTES);
+        let computed = fnv32(body);
+        if recorded != computed {
+            return Err(corrupt(format!(
+                "checksum mismatch: recorded {recorded:08x}, computed {computed:08x}"
+            )));
+        }
+        let epsilon = f64::from_bits(u64_at(12));
+        let c = u32_at(20);
+        let n_raw = u64_at(24);
+        let graph_fp = u64_at(32);
+        let payload_len_raw = u64_at(40);
+        let n = usize::try_from(n_raw)
+            .ok()
+            .filter(|&n| n > 0 && n <= u32::MAX as usize + 1)
+            .ok_or_else(|| corrupt(format!("implausible label count {n_raw}")))?;
+        let payload_len = usize::try_from(payload_len_raw)
+            .map_err(|_| corrupt(format!("implausible payload length {payload_len_raw}")))?;
+        let expected_len = HEADER_BYTES
+            .checked_add(
+                n.checked_mul(INDEX_ENTRY_BYTES)
+                    .ok_or_else(|| corrupt(format!("index size overflow for {n} labels")))?,
+            )
+            .and_then(|x| x.checked_add(payload_len))
+            .and_then(|x| x.checked_add(CRC_BYTES))
+            .ok_or_else(|| corrupt("file size overflow".into()))?;
+        if bytes.len() != expected_len {
+            return Err(corrupt(format!(
+                "file is {} bytes but the header implies {expected_len}",
+                bytes.len()
+            )));
+        }
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(StoreError::ParamsInvalid {
+                message: format!("epsilon {epsilon} is not positive finite"),
+            });
+        }
+        if !(2..=64).contains(&c) {
+            return Err(StoreError::ParamsInvalid {
+                message: format!("implausible parameter c = {c}"),
+            });
+        }
+        let index_end = HEADER_BYTES + n * INDEX_ENTRY_BYTES;
+        let mut index = Vec::with_capacity(n);
+        for k in 0..n {
+            let at = HEADER_BYTES + k * INDEX_ENTRY_BYTES;
+            let off = u64_at(at);
+            let bit_len = u64_at(at + 8);
+            let off = usize::try_from(off)
+                .map_err(|_| corrupt(format!("label {k}: offset {off} overflows")))?;
+            let bit_len = usize::try_from(bit_len)
+                .map_err(|_| corrupt(format!("label {k}: bit length {bit_len} overflows")))?;
+            let byte_len = bit_len.div_ceil(8);
+            let end = off
+                .checked_add(byte_len)
+                .ok_or_else(|| corrupt(format!("label {k}: extent overflows")))?;
+            if end > payload_len {
+                return Err(corrupt(format!(
+                    "label {k}: claims bytes {off}..{end} of a {payload_len}-byte payload"
+                )));
+            }
+            index.push((off, bit_len));
+        }
+        let payload = bytes[index_end..index_end + payload_len].to_vec();
+        Ok(Segment {
+            path: path.to_path_buf(),
+            n,
+            epsilon,
+            c,
+            graph_fingerprint: graph_fp,
+            index,
+            payload,
+        })
+    }
+
+    /// Number of labels stored.
+    pub fn num_labels(&self) -> usize {
+        self.n
+    }
+
+    /// The graph fingerprint recorded at write time.
+    pub fn graph_fingerprint(&self) -> u64 {
+        self.graph_fingerprint
+    }
+
+    /// Reconstructs the parameter schedule recorded in the header.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ParamsInvalid`] — although [`Segment::read`] already
+    /// pre-validated the fields, this re-checks so the function is safe
+    /// to call on any segment value.
+    pub fn params(&self) -> Result<SchemeParams, StoreError> {
+        if !(self.epsilon.is_finite() && self.epsilon > 0.0) || self.c < 2 || self.n == 0 {
+            return Err(StoreError::ParamsInvalid {
+                message: format!("epsilon = {}, c = {}, n = {}", self.epsilon, self.c, self.n),
+            });
+        }
+        Ok(SchemeParams::with_c(self.epsilon, self.c, self.n))
+    }
+
+    /// Decodes the label of `v` from the payload. Untrusted-input safe:
+    /// any malformed payload yields a [`CodecError`], never a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] when `v` is out of range for the segment or the
+    /// payload bits fail structural validation / checksum.
+    pub fn decode_label(&self, v: NodeId) -> Result<Label, CodecError> {
+        let Some(&(off, bit_len)) = self.index.get(v.index()) else {
+            return Err(CodecError::new(
+                0,
+                format!(
+                    "label index {} out of range for {} labels",
+                    v.index(),
+                    self.n
+                ),
+            ));
+        };
+        let bytes = &self.payload[off..off + bit_len.div_ceil(8)];
+        codec::decode(bytes, bit_len, self.n)
+    }
+
+    /// The file this segment was read from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let k = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("fsdl-store-unit-{tag}-{}-{k}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn manifest_roundtrip_with_faults() {
+        let mut baked = FaultSet::empty();
+        baked.forbid_vertex(NodeId::new(3));
+        baked.forbid_edge_unchecked(NodeId::new(1), NodeId::new(2));
+        let mut buffer = FaultSet::empty();
+        buffer.forbid_vertex(NodeId::new(7));
+        let m = Manifest {
+            generation: 5,
+            segment: segment_file_name(5),
+            baked,
+            buffer,
+            threshold: Some(9),
+        };
+        let parsed = Manifest::parse(&m.render()).unwrap();
+        assert_eq!(parsed.generation, 5);
+        assert_eq!(parsed.segment, "seg-5.fsl");
+        assert_eq!(parsed.threshold, Some(9));
+        assert!(parsed.baked.is_vertex_faulty(NodeId::new(3)));
+        assert!(parsed.baked.is_edge_faulty(NodeId::new(1), NodeId::new(2)));
+        assert!(parsed.buffer.is_vertex_faulty(NodeId::new(7)));
+    }
+
+    #[test]
+    fn manifest_rejects_tampering() {
+        let m = Manifest::static_store(2);
+        let good = m.render();
+        // Flip the generation without fixing the crc.
+        let bad = good.replace("generation 2", "generation 3");
+        assert!(matches!(
+            Manifest::parse(&bad),
+            Err(StoreError::ManifestCorrupt { .. })
+        ));
+        // Remove the crc line entirely.
+        let no_crc: String = good
+            .lines()
+            .filter(|l| !l.starts_with("crc"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(matches!(
+            Manifest::parse(&no_crc),
+            Err(StoreError::ManifestCorrupt { .. })
+        ));
+        // Unknown keys and unsafe segment names are rejected.
+        assert!(matches!(
+            Manifest::parse("fsdl-store 1\nwat 3\ncrc 0\n"),
+            Err(StoreError::ManifestCorrupt { .. })
+        ));
+        let evil = Manifest {
+            segment: "../outside.fsl".into(),
+            ..Manifest::static_store(1)
+        };
+        assert!(matches!(
+            Manifest::parse(&evil.render()),
+            Err(StoreError::ManifestCorrupt { .. })
+        ));
+        assert!(Manifest::parse("").is_err());
+        assert!(Manifest::parse("not a manifest\n").is_err());
+    }
+
+    #[test]
+    fn missing_manifest_is_typed() {
+        let dir = scratch_dir("missing");
+        assert!(matches!(
+            read_manifest(&dir),
+            Err(StoreError::ManifestMissing { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn next_generation_falls_back_to_segment_scan() {
+        let dir = scratch_dir("nextgen");
+        assert_eq!(next_generation(&dir), 1);
+        fs::write(dir.join(segment_file_name(4)), b"junk").unwrap();
+        fs::write(dir.join(".tmp-seg-9.fsl"), b"junk").unwrap();
+        assert_eq!(next_generation(&dir), 5);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_keeps_current_and_drops_the_rest() {
+        let dir = scratch_dir("prune");
+        for g in 1..=3u64 {
+            fs::write(dir.join(segment_file_name(g)), b"x").unwrap();
+        }
+        fs::write(dir.join(".tmp-seg-4.fsl"), b"x").unwrap();
+        fs::write(dir.join("MANIFEST"), b"x").unwrap();
+        prune_generations(&dir, 3);
+        assert!(dir.join(segment_file_name(3)).exists());
+        assert!(!dir.join(segment_file_name(2)).exists());
+        assert!(!dir.join(segment_file_name(1)).exists());
+        assert!(!dir.join(".tmp-seg-4.fsl").exists());
+        assert!(dir.join("MANIFEST").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segment_read_rejects_garbage_without_panicking() {
+        let dir = scratch_dir("garbage");
+        let path = dir.join("seg-1.fsl");
+        for junk in [
+            &b""[..],
+            &b"short"[..],
+            &[0u8; 64][..],
+            &b"FSDLSEG1then-what-exactly-is-this-supposed-to-be....."[..],
+        ] {
+            fs::write(&path, junk).unwrap();
+            let err = Segment::read(&path).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    StoreError::SegmentCorrupt { .. } | StoreError::VersionUnsupported { .. }
+                ),
+                "junk {junk:?} gave {err:?}"
+            );
+        }
+        assert!(matches!(
+            Segment::read(&dir.join("seg-404.fsl")),
+            Err(StoreError::SegmentMissing { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = StoreError::GraphMismatch {
+            expected: 1,
+            found: 2,
+        };
+        assert!(e.to_string().contains("different graph"));
+        let e = StoreError::VersionUnsupported { found: 9 };
+        assert!(e.to_string().contains('9'));
+        let e = StoreError::Codec(CodecError::new(3, "x"));
+        assert!(e.to_string().contains("codec"));
+    }
+}

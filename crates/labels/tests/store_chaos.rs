@@ -1,0 +1,223 @@
+//! Chaos tests for the on-disk label store: every corruption of segment
+//! or manifest bytes — random bit flips, truncations, garbage
+//! extensions, and hand-crafted adversarial patches — must surface as a
+//! typed [`StoreError`], never a panic, and a store that *does* open
+//! must answer queries exactly like the pristine one.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fsdl_graph::{generators, NodeId};
+use fsdl_labels::{corrupt, store, ForbiddenSetOracle, StoreError};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let k = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("fsdl-store-chaos-{tag}-{}-{k}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Mirrors the store's whole-file checksum (FNV-1a 64 folded to 32
+/// bits) so adversarial tests can patch bytes *and* fix the checksum,
+/// proving that semantic validation — not just the CRC — rejects lies.
+fn fnv32(bytes: &[u8]) -> u32 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h ^ (h >> 32)) as u32
+}
+
+/// Rewrites the trailing 4-byte checksum to match the (possibly
+/// tampered) body, so the mutation survives the CRC gate.
+fn refresh_crc(bytes: &mut [u8]) {
+    let body_len = bytes.len() - 4;
+    let crc = fnv32(&bytes[..body_len]);
+    bytes[body_len..].copy_from_slice(&crc.to_le_bytes());
+}
+
+fn build_store(tag: &str) -> (fsdl_graph::Graph, ForbiddenSetOracle, PathBuf) {
+    let g = generators::grid2d(5, 5);
+    let dir = scratch_dir(tag);
+    let oracle = ForbiddenSetOracle::new(&g, 1.0);
+    oracle.save(&dir).expect("save");
+    (g, oracle, dir)
+}
+
+/// The randomized sweep: hundreds of bit flips, truncations, and
+/// garbage extensions of the segment file. Every case either fails with
+/// a typed error or opens and answers the probe matrix exactly like the
+/// pristine store — the sweep itself asserts that; here we additionally
+/// require that the mutation schedule actually rejected a healthy
+/// majority (a sweep where everything "opened fine" would mean the
+/// mutations never landed).
+#[test]
+fn segment_corruption_sweep_never_panics_or_lies() {
+    let (g, _oracle, dir) = build_store("sweep");
+    let scratch = scratch_dir("sweep-scratch");
+    let n = g.num_vertices();
+    let probes: Vec<(NodeId, NodeId)> = (0..n)
+        .step_by(3)
+        .map(|s| (NodeId::from_index(s), NodeId::from_index((s * 7 + 1) % n)))
+        .collect();
+    let stats = corrupt::store_corruption_sweep(&dir, &scratch, &g, &probes, 240, 0x5eed);
+    assert_eq!(stats.attempted, 240);
+    assert_eq!(stats.attempted, stats.rejected + stats.opened_sound);
+    assert!(
+        stats.rejected > stats.attempted / 2,
+        "only {}/{} mutations rejected — schedule too gentle",
+        stats.rejected,
+        stats.attempted
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// Manifest-level failure modes all map to distinct typed errors.
+#[test]
+fn manifest_failure_modes_are_typed() {
+    let (g, _oracle, dir) = build_store("manifest");
+    let manifest_path = dir.join(store::MANIFEST_NAME);
+    let pristine = std::fs::read(&manifest_path).unwrap();
+
+    // Missing manifest: a directory that is not a store.
+    std::fs::remove_file(&manifest_path).unwrap();
+    assert!(matches!(
+        ForbiddenSetOracle::open(&dir, &g),
+        Err(StoreError::ManifestMissing { .. })
+    ));
+
+    // Garbage manifest.
+    std::fs::write(&manifest_path, b"not a manifest at all\n").unwrap();
+    assert!(matches!(
+        ForbiddenSetOracle::open(&dir, &g),
+        Err(StoreError::ManifestCorrupt { .. })
+    ));
+
+    // Truncated manifest (checksum line gone).
+    let cut = pristine.len() / 2;
+    std::fs::write(&manifest_path, &pristine[..cut]).unwrap();
+    assert!(matches!(
+        ForbiddenSetOracle::open(&dir, &g),
+        Err(StoreError::ManifestCorrupt { .. })
+    ));
+
+    // Manifest naming a generation whose segment is gone.
+    std::fs::write(&manifest_path, &pristine).unwrap();
+    let manifest = store::read_manifest(&dir).unwrap();
+    std::fs::remove_file(dir.join(&manifest.segment)).unwrap();
+    assert!(matches!(
+        ForbiddenSetOracle::open(&dir, &g),
+        Err(StoreError::SegmentMissing { .. })
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A future format version is refused up front — with the checksum
+/// fixed so the version gate itself, not the CRC, does the refusing.
+#[test]
+fn version_skew_is_refused() {
+    let (g, _oracle, dir) = build_store("version");
+    let seg_path = dir.join(&store::read_manifest(&dir).unwrap().segment);
+    let mut bytes = std::fs::read(&seg_path).unwrap();
+    bytes[8..12].copy_from_slice(&2u32.to_le_bytes()); // version field
+    refresh_crc(&mut bytes);
+    std::fs::write(&seg_path, &bytes).unwrap();
+    let err = ForbiddenSetOracle::open(&dir, &g).expect_err("future version must not open");
+    assert_eq!(err, StoreError::VersionUnsupported { found: 2 });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An index entry claiming a label extends past the payload is caught
+/// at open time (with a valid CRC), so lazy per-query decodes can never
+/// read out of bounds — the store-level face of the short-read fix.
+#[test]
+fn index_extent_lies_are_rejected_at_open() {
+    let (g, _oracle, dir) = build_store("extent");
+    let seg_path = dir.join(&store::read_manifest(&dir).unwrap().segment);
+    let pristine = std::fs::read(&seg_path).unwrap();
+
+    // Entry 0's bit length, at header + 8 bytes (after its offset word).
+    let mut bytes = pristine.clone();
+    bytes[56..64].copy_from_slice(&u64::MAX.to_le_bytes());
+    refresh_crc(&mut bytes);
+    std::fs::write(&seg_path, &bytes).unwrap();
+    assert!(matches!(
+        ForbiddenSetOracle::open(&dir, &g),
+        Err(StoreError::SegmentCorrupt { .. })
+    ));
+
+    // Entry 0's byte offset pushed past the payload.
+    let mut bytes = pristine.clone();
+    bytes[48..56].copy_from_slice(&(1u64 << 40).to_le_bytes());
+    refresh_crc(&mut bytes);
+    std::fs::write(&seg_path, &bytes).unwrap();
+    assert!(matches!(
+        ForbiddenSetOracle::open(&dir, &g),
+        Err(StoreError::SegmentCorrupt { .. })
+    ));
+
+    // Header lying about n (label count) no longer matches the file
+    // length — also caught before any decode.
+    let mut bytes = pristine;
+    bytes[24..32].copy_from_slice(&10_000u64.to_le_bytes());
+    refresh_crc(&mut bytes);
+    std::fs::write(&seg_path, &bytes).unwrap();
+    assert!(matches!(
+        ForbiddenSetOracle::open(&dir, &g),
+        Err(StoreError::SegmentCorrupt { .. })
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Truncation at every structurally interesting boundary — inside the
+/// magic, the header, the index, the payload, and the checksum — is a
+/// typed error, never a panic or an out-of-bounds read.
+#[test]
+fn truncation_at_every_boundary_is_typed() {
+    let (g, _oracle, dir) = build_store("truncate");
+    let seg_path = dir.join(&store::read_manifest(&dir).unwrap().segment);
+    let pristine = std::fs::read(&seg_path).unwrap();
+    let cuts = [
+        0,
+        4,                  // inside the magic
+        12,                 // inside the header
+        47,                 // one short of a full header
+        48 + 8,             // inside the first index entry
+        pristine.len() / 2, // inside the payload
+        pristine.len() - 1, // inside the checksum
+    ];
+    for &cut in &cuts {
+        std::fs::write(&seg_path, &pristine[..cut]).unwrap();
+        let err = ForbiddenSetOracle::open(&dir, &g).expect_err("truncated segment must not open");
+        assert!(
+            matches!(err, StoreError::SegmentCorrupt { .. }),
+            "cut at {cut}: unexpected error {err}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Mutation schedules are deterministic in their seed (so chaos
+/// failures reproduce) and cover all three mutation kinds.
+#[test]
+fn mutation_schedule_is_deterministic_and_diverse() {
+    let a = corrupt::store_mutation_schedule(1000, 30, 7);
+    let b = corrupt::store_mutation_schedule(1000, 30, 7);
+    assert_eq!(a, b);
+    let c = corrupt::store_mutation_schedule(1000, 30, 8);
+    assert_ne!(a, c);
+    let mut kinds = [false; 3];
+    for m in &a {
+        match m {
+            corrupt::StoreMutation::FlipByteBit { .. } => kinds[0] = true,
+            corrupt::StoreMutation::Truncate { .. } => kinds[1] = true,
+            corrupt::StoreMutation::Extend { .. } => kinds[2] = true,
+        }
+    }
+    assert_eq!(kinds, [true; 3]);
+}

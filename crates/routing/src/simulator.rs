@@ -143,9 +143,18 @@ impl Network {
     ///
     /// Panics if `g` is empty or `epsilon` is not positive finite.
     pub fn new(g: &Graph, epsilon: f64) -> Self {
+        Self::from_oracle(ForbiddenSetOracle::new(g, epsilon))
+    }
+
+    /// Wraps an existing oracle — notably one warm-started from a label
+    /// store via [`ForbiddenSetOracle::open`], so a network can begin
+    /// serving without rebuilding any labels. Routing tables are still
+    /// derived on demand from the (store-decoded or freshly built) labels.
+    pub fn from_oracle(oracle: ForbiddenSetOracle) -> Self {
+        let n = oracle.labeling().graph().num_vertices();
         Network {
-            oracle: ForbiddenSetOracle::new(g, epsilon),
-            tables: (0..g.num_vertices()).map(|_| OnceLock::new()).collect(),
+            oracle,
+            tables: (0..n).map(|_| OnceLock::new()).collect(),
         }
     }
 

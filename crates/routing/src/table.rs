@@ -62,15 +62,38 @@ impl RoutingTable {
     /// Bit-exact canonical encoding (owner id, entry count, then sorted
     /// delta-encoded target ids with fixed-width ports) — the honest form
     /// of the Theorem 2.7 table-size claim, mirroring the label codec.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the owner id or a port exceeds its declared field
+    /// width. Tables built by [`RoutingScheme`] for an `n`-vertex graph
+    /// of max degree `max_degree` always fit (owner `< n`, ports are
+    /// adjacency-list indices `< max_degree`); use
+    /// [`RoutingTable::try_encode`] when the table comes from anywhere
+    /// else.
     pub fn encode(&self, n: usize, max_degree: usize) -> fsdl_labels::codec::BitWriter {
+        self.try_encode(n, max_degree)
+            .expect("table fields fit the declared widths")
+    }
+
+    /// Fallible form of [`RoutingTable::encode`]: a typed error instead
+    /// of a panic when a field does not fit its width.
+    ///
+    /// # Errors
+    ///
+    /// Returns a codec error naming the offending field.
+    pub fn try_encode(
+        &self,
+        n: usize,
+        max_degree: usize,
+    ) -> Result<fsdl_labels::codec::BitWriter, fsdl_labels::codec::CodecError> {
         use fsdl_labels::codec::BitWriter;
         let id_w = ceil_log2(n).max(1);
         let port_w = ceil_log2(max_degree.max(2)).max(1);
         let mut entries: Vec<(NodeId, u32)> = self.ports.iter().map(|(&t, &p)| (t, p)).collect();
         entries.sort_unstable();
         let mut w = BitWriter::new();
-        w.write_bits(u64::from(self.owner.raw()), id_w)
-            .expect("owner id fits the id field");
+        w.write_bits(u64::from(self.owner.raw()), id_w)?;
         w.write_varint(entries.len() as u64);
         let mut prev = 0u64;
         for (k, (target, port)) in entries.iter().enumerate() {
@@ -78,13 +101,16 @@ impl RoutingTable {
             let delta = if k == 0 { id } else { id - prev };
             prev = id;
             w.write_varint(delta);
-            w.write_bits(u64::from(*port), port_w)
-                .expect("port fits the port field");
+            w.write_bits(u64::from(*port), port_w)?;
         }
-        w
+        Ok(w)
     }
 
-    /// Decodes a table written by [`RoutingTable::encode`].
+    /// Decodes a table written by [`RoutingTable::encode`]. The input is
+    /// untrusted (tables may arrive over the wire or from disk): every
+    /// failure mode — a byte slice shorter than the declared bit length,
+    /// truncation mid-entry, target ids overflowing or out of range —
+    /// surfaces as a typed codec error, never a panic.
     ///
     /// # Errors
     ///
@@ -95,18 +121,31 @@ impl RoutingTable {
         n: usize,
         max_degree: usize,
     ) -> Result<Self, fsdl_labels::codec::CodecError> {
-        use fsdl_labels::codec::BitReader;
+        use fsdl_labels::codec::{BitReader, CodecError};
         let id_w = ceil_log2(n).max(1);
         let port_w = ceil_log2(max_degree.max(2)).max(1);
-        let mut r = BitReader::new(bytes, bit_len);
+        let mut r = BitReader::try_new(bytes, bit_len)?;
         let owner = NodeId::new(r.read_bits(id_w)? as u32);
         let count = r.read_varint()? as usize;
-        let mut ports = HashMap::with_capacity(count);
+        let mut ports = HashMap::with_capacity(count.min(n));
         let mut prev = 0u64;
         for k in 0..count {
             let delta = r.read_varint()?;
-            let id = if k == 0 { delta } else { prev + delta };
+            let id = if k == 0 {
+                delta
+            } else {
+                prev.checked_add(delta).ok_or_else(|| CodecError {
+                    bit_offset: bit_len,
+                    message: format!("target id overflows at entry {k}"),
+                })?
+            };
             prev = id;
+            if id >= n as u64 {
+                return Err(CodecError {
+                    bit_offset: bit_len,
+                    message: format!("target id {id} out of range for {n} vertices at entry {k}"),
+                });
+            }
             let port = r.read_bits(port_w)? as u32;
             ports.insert(NodeId::new(id as u32), port);
         }
@@ -308,6 +347,45 @@ mod tests {
         assert_eq!(a, b);
         // Encoded size is in the same class as the formula accounting.
         assert!(w.len_bits() <= 2 * table.bits(36, max_deg) + 64);
+    }
+
+    #[test]
+    fn decode_of_short_or_malformed_bytes_is_a_typed_error() {
+        let g = generators::grid2d(6, 6);
+        let labeling = scheme_for(&g, 1.0);
+        let scheme = RoutingScheme::new(&labeling);
+        let table = scheme.table_of(NodeId::new(14));
+        let max_deg = g.max_degree();
+        let w = table.encode(36, max_deg);
+        // A byte slice shorter than the declared bit length must surface
+        // as a CodecError (the BitReader::try_new path), never a panic.
+        let short = &w.as_bytes()[..w.as_bytes().len() / 2];
+        assert!(RoutingTable::decode(short, w.len_bits(), 36, max_deg).is_err());
+        // Truncated bit lengths mid-stream fail too.
+        for cut in [1, 7, w.len_bits() / 3] {
+            assert!(RoutingTable::decode(w.as_bytes(), cut, 36, max_deg).is_err());
+        }
+        // All-ones junk decodes to huge varint deltas: out-of-range target
+        // ids must be rejected, not silently truncated into NodeIds.
+        let junk = vec![0xFFu8; 64];
+        assert!(RoutingTable::decode(&junk, 512, 36, max_deg).is_err());
+        assert!(RoutingTable::decode(&[], 0, 36, max_deg).is_err());
+    }
+
+    #[test]
+    fn try_encode_rejects_out_of_width_fields() {
+        let mut ports = HashMap::new();
+        ports.insert(NodeId::new(3), 9); // port 9 needs 4 bits
+        let t = RoutingTable {
+            owner: NodeId::new(40), // needs 6 bits
+            ports,
+        };
+        // n = 16 -> 4 id bits: owner 40 does not fit.
+        assert!(t.try_encode(16, 2).is_err());
+        // Wide enough ids but a 1-bit port field: port 9 does not fit.
+        assert!(t.try_encode(64, 2).is_err());
+        // Wide enough everywhere: fine.
+        assert!(t.try_encode(64, 16).is_ok());
     }
 
     #[test]
