@@ -24,6 +24,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_t13_throughput",
     "exp_t14_query_latency",
     "exp_t15_store",
+    "exp_t16_wal",
     "exp_f1_trace",
     "exp_f2_lowlevel",
 ];

@@ -1,0 +1,356 @@
+//! Experiment T16 — durable dynamic oracle: query availability during
+//! background rebuilds, plus WAL health.
+//!
+//! The serving contract under test: when the fault buffer crosses the
+//! rebuild threshold in [`RebuildMode::Background`], the next generation
+//! is built off the serving path — queries keep hitting the current
+//! `Arc`-swapped generation and never wait on the rebuild. The experiment
+//! measures query latency in two regimes:
+//!
+//! * **idle** — no rebuild in flight;
+//! * **in-flight** — a background rebuild is running (verified, not
+//!   assumed: every counted sample saw `rebuild_in_flight()` true), with
+//!   carry-over updates landing mid-rebuild.
+//!
+//! Acceptance gate, enforced in `--quick` too: in-flight p99 is at most
+//! 3x the idle p99 (with a small floor absorbing scheduler noise on
+//! microsecond-scale queries) and **zero** queries blocked on the
+//! rebuild (`blocked_on_rebuild == 0` — the counter increments only when
+//! a query finds the serving lock held while a build is computing, which
+//! the design makes structurally impossible). A durability smoke then
+//! drops the oracle, reopens the store, and asserts the fault set and
+//! probe answers survived.
+//!
+//! Results are printed and written to `BENCH_wal.json` (`--out PATH`
+//! redirects).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fsdl_graph::{generators, NodeId};
+use fsdl_labels::{DynamicConfig, DynamicOracle, RebuildMode};
+
+/// The p99-ratio acceptance bar.
+const MAX_P99_RATIO: f64 = 3.0;
+/// Floor (µs) for the idle p99 in the ratio: queries here run in
+/// microseconds, where scheduler jitter on a loaded CI box can exceed the
+/// query itself; the gate is about *not blocking on the rebuild*, not
+/// about sub-scheduler-quantum noise.
+const IDLE_FLOOR_US: f64 = 50.0;
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let k = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[k.min(sorted_us.len() - 1)]
+}
+
+/// Pacing gap between queries in both regimes. The bench models a
+/// serving workload (queries arrive, they are not an unbounded spin):
+/// a briefly-sleeping query thread wakes with low vruntime and preempts
+/// the CPU-bound build worker promptly, so the measured p99 reflects the
+/// serving path's lock behaviour rather than how long a fair-share
+/// scheduler lets a batch thread keep one core. Identical in the idle
+/// and in-flight regimes, so the ratio stays apples-to-apples.
+const PACING_GAP_US: u64 = 200;
+
+/// One timed query; returns latency in microseconds.
+fn timed_query(oracle: &DynamicOracle, s: NodeId, t: NodeId) -> f64 {
+    std::thread::sleep(std::time::Duration::from_micros(PACING_GAP_US));
+    let start = Instant::now();
+    let d = oracle.try_distance(s, t).expect("probe in range");
+    std::hint::black_box(d);
+    start.elapsed().as_secs_f64() * 1e6
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_wal.json")
+        .to_string();
+
+    println!("Experiment T16: query availability during background rebuilds (eps = 1)\n");
+
+    let side = if quick { 18 } else { 28 };
+    let g = generators::grid2d(side, side);
+    let n = g.num_vertices();
+    let threshold = 4;
+    let idle_samples = if quick { 2_000 } else { 8_000 };
+    let target_inflight = if quick { 500 } else { 2_000 };
+    let max_rounds = if quick { 12 } else { 20 };
+    // One query worker: on a single-core box every runnable thread adds
+    // one timeslice of fair-share delay to the measured p99, so the
+    // expected in-flight ratio is (query threads + build workers) / 1.
+    // One querier + one builder keeps the no-blocking measurement honest
+    // (~2x from CPU sharing) without manufacturing scheduler contention
+    // the gate is not about.
+    let query_threads = 1;
+
+    let dir = std::env::temp_dir().join(format!("fsdl-exp-t16-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut oracle = DynamicOracle::try_with_config(
+        &g,
+        DynamicConfig {
+            epsilon: 1.0,
+            threshold: Some(threshold),
+            mode: RebuildMode::Background,
+            rebuild_workers: 0, // cores - 1: one core stays with the serving path
+        },
+    )
+    .expect("valid config");
+    oracle.attach_store(&dir).expect("attach store");
+
+    // Probe pairs spread across the grid. The deletion script below only
+    // ever removes ids ≡ 0 (mod 3); probe endpoints dodge those so every
+    // sample pays the full decode cost in both regimes (a probe on a
+    // deleted endpoint short-circuits to INFINITE and would flatter the
+    // in-flight numbers).
+    let dodge = |v: usize| -> usize {
+        let v = v % n;
+        if v.is_multiple_of(3) {
+            if v + 1 < n {
+                v + 1
+            } else {
+                1
+            }
+        } else {
+            v
+        }
+    };
+    let probes: Vec<(NodeId, NodeId)> = (0..n)
+        .step_by(7)
+        .map(|k| {
+            let s = dodge(k);
+            let mut t = dodge((k * 13 + n / 2) % n);
+            if t == s {
+                t = dodge(t + 4);
+            }
+            (NodeId::from_index(s), NodeId::from_index(t))
+        })
+        .collect();
+
+    // ---- idle regime ----
+    let mut idle_us = Vec::with_capacity(idle_samples);
+    for k in 0..idle_samples {
+        let (s, t) = probes[k % probes.len()];
+        idle_us.push(timed_query(&oracle, s, t));
+    }
+
+    // ---- in-flight regime ----
+    // Each round deletes threshold + 1 fresh vertices (spawning a
+    // background rebuild), immediately lands two more updates mid-rebuild
+    // (the carry-over path), then hammers queries from worker threads for
+    // as long as the rebuild is verifiably in flight.
+    let mut inflight_us: Vec<f64> = Vec::new();
+    let mut next_victim = 0u32;
+    let mut rounds = 0usize;
+    let mut carry_over_seen = 0u64;
+    while inflight_us.len() < target_inflight && rounds < max_rounds {
+        rounds += 1;
+        for _ in 0..=threshold {
+            let v = NodeId::new(next_victim);
+            next_victim += 3;
+            match oracle.delete_vertex(v) {
+                Ok(()) | Err(fsdl_labels::DynamicError::RebuildFailed { .. }) => {}
+                Err(e) => panic!("update failed: {e}"),
+            }
+        }
+        // Carry-over updates: arrive while the build is computing.
+        for _ in 0..2 {
+            let v = NodeId::new(next_victim);
+            next_victim += 3;
+            match oracle.delete_vertex(v) {
+                Ok(()) | Err(fsdl_labels::DynamicError::RebuildFailed { .. }) => {}
+                Err(e) => panic!("update failed: {e}"),
+            }
+        }
+        let shared = &oracle;
+        let probes = &probes;
+        let round_samples: Vec<Vec<f64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..query_threads)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        let mut k = w * 17;
+                        while shared.rebuild_in_flight() {
+                            let (s, t) = probes[k % probes.len()];
+                            k += 1;
+                            let us = timed_query(shared, s, t);
+                            // Count the sample only if the rebuild was
+                            // still running when the query finished —
+                            // every counted latency truly overlapped.
+                            if shared.rebuild_in_flight() {
+                                local.push(us);
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
+        });
+        oracle.wait_for_rebuild();
+        carry_over_seen = carry_over_seen.max(oracle.stats().carry_over_depth);
+        inflight_us.extend(round_samples.into_iter().flatten());
+    }
+    assert!(
+        !inflight_us.is_empty(),
+        "no query ever overlapped a background rebuild — the in-flight regime was never measured"
+    );
+
+    // One tail update so the WAL-since-rotation counters are visibly live.
+    let v = NodeId::new(next_victim);
+    match oracle.delete_vertex(v) {
+        Ok(()) | Err(fsdl_labels::DynamicError::RebuildFailed { .. }) => {}
+        Err(e) => panic!("update failed: {e}"),
+    }
+    let stats = oracle.stats();
+
+    // ---- durability smoke: reopen and compare ----
+    let faults_before = oracle.current_faults();
+    let reference: Vec<_> = probes
+        .iter()
+        .take(40)
+        .map(|&(s, t)| oracle.try_distance(s, t).expect("probe"))
+        .collect();
+    drop(oracle);
+    let reopened = DynamicOracle::open(&dir, &g).expect("store reopens after churn");
+    assert_eq!(
+        reopened.current_faults(),
+        faults_before,
+        "fault set diverged across reopen"
+    );
+    for (&(s, t), expected) in probes.iter().take(40).zip(&reference) {
+        assert_eq!(
+            reopened.try_distance(s, t).expect("probe"),
+            *expected,
+            "answer diverged across reopen at {s}->{t}"
+        );
+    }
+    drop(reopened);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- report ----
+    idle_us.sort_by(f64::total_cmp);
+    inflight_us.sort_by(f64::total_cmp);
+    let idle_p50 = percentile(&idle_us, 0.50);
+    let idle_p99 = percentile(&idle_us, 0.99);
+    let inflight_p50 = percentile(&inflight_us, 0.50);
+    let inflight_p99 = percentile(&inflight_us, 0.99);
+    let ratio = inflight_p99 / idle_p99.max(IDLE_FLOOR_US);
+
+    println!("grid {side}x{side} (n = {n}), threshold {threshold}, {query_threads} query threads, {rounds} rebuild rounds\n");
+    println!("            samples      p50 us      p99 us");
+    println!(
+        "idle      {:>9}  {idle_p50:>10.1}  {idle_p99:>10.1}",
+        idle_us.len()
+    );
+    println!(
+        "in-flight {:>9}  {inflight_p50:>10.1}  {inflight_p99:>10.1}",
+        inflight_us.len()
+    );
+    println!();
+    println!(
+        "rebuilds: {} total, {} background, {} failed, last {:.1} ms",
+        stats.rebuilds, stats.background_rebuilds, stats.failed_rebuilds, stats.last_rebuild_ms
+    );
+    println!(
+        "wal: {} records / {} bytes since rotation; carry-over depth (max seen) {}",
+        stats.wal_records_since_rotation, stats.wal_bytes_since_rotation, carry_over_seen
+    );
+    println!(
+        "blocked on rebuild: {}, install-swap contended: {}",
+        stats.blocked_on_rebuild, stats.serving_swaps_contended
+    );
+
+    // ---- health assertions (the stats satellite rides the same gate) ----
+    assert!(
+        stats.background_rebuilds >= 1,
+        "no background rebuild ever installed"
+    );
+    assert!(
+        stats.last_rebuild_ms > 0.0,
+        "installed rebuilds must report a duration"
+    );
+    assert!(
+        stats.wal_records_since_rotation >= 1,
+        "the tail update must be visible in the WAL counters"
+    );
+
+    // ---- availability gate ----
+    let blocked = stats.blocked_on_rebuild;
+    let pass = ratio <= MAX_P99_RATIO && blocked == 0;
+
+    let mut artifact = String::from("{\n  \"experiment\": \"t16_wal\",\n");
+    let _ = writeln!(artifact, "  \"quick\": {quick},");
+    let _ = writeln!(artifact, "  \"n\": {n},");
+    let _ = writeln!(artifact, "  \"threshold\": {threshold},");
+    let _ = writeln!(artifact, "  \"rebuild_rounds\": {rounds},");
+    let _ = writeln!(artifact, "  \"idle_samples\": {},", idle_us.len());
+    let _ = writeln!(artifact, "  \"idle_p50_us\": {idle_p50:.2},");
+    let _ = writeln!(artifact, "  \"idle_p99_us\": {idle_p99:.2},");
+    let _ = writeln!(artifact, "  \"inflight_samples\": {},", inflight_us.len());
+    let _ = writeln!(artifact, "  \"inflight_p50_us\": {inflight_p50:.2},");
+    let _ = writeln!(artifact, "  \"inflight_p99_us\": {inflight_p99:.2},");
+    let _ = writeln!(artifact, "  \"p99_ratio\": {ratio:.3},");
+    let _ = writeln!(artifact, "  \"blocked_on_rebuild\": {blocked},");
+    let _ = writeln!(
+        artifact,
+        "  \"serving_swaps_contended\": {},",
+        stats.serving_swaps_contended
+    );
+    let _ = writeln!(
+        artifact,
+        "  \"background_rebuilds\": {},",
+        stats.background_rebuilds
+    );
+    let _ = writeln!(
+        artifact,
+        "  \"failed_rebuilds\": {},",
+        stats.failed_rebuilds
+    );
+    let _ = writeln!(
+        artifact,
+        "  \"last_rebuild_ms\": {:.3},",
+        stats.last_rebuild_ms
+    );
+    let _ = writeln!(artifact, "  \"carry_over_depth\": {carry_over_seen},");
+    let _ = writeln!(
+        artifact,
+        "  \"wal_records_since_rotation\": {},",
+        stats.wal_records_since_rotation
+    );
+    let _ = writeln!(artifact, "  \"durability_reopen_ok\": true,");
+    let _ = writeln!(
+        artifact,
+        "  \"gate\": {{\"max_p99_ratio\": {MAX_P99_RATIO}, \"idle_floor_us\": {IDLE_FLOOR_US}, \"pass\": {pass}}}"
+    );
+    artifact.push_str("}\n");
+    std::fs::write(&out_path, &artifact).expect("write BENCH_wal.json");
+    println!("\nwrote {out_path}");
+
+    println!("\nExpected shape: queries read one Arc snapshot behind a lock the");
+    println!("rebuild never takes, so the in-flight p99 tracks CPU contention from");
+    println!("the build workers (bounded by leaving one core free), not lock waits —");
+    println!("and blocked_on_rebuild stays exactly 0.");
+
+    assert!(
+        blocked == 0,
+        "availability gate: {blocked} queries blocked on the rebuild lock"
+    );
+    assert!(
+        ratio <= MAX_P99_RATIO,
+        "availability gate: in-flight p99 {inflight_p99:.1}us is {ratio:.2}x the idle p99 \
+         {idle_p99:.1}us (bar {MAX_P99_RATIO}x over a {IDLE_FLOOR_US}us floor)"
+    );
+    println!("\nacceptance: p99 ratio {ratio:.2}x <= {MAX_P99_RATIO}x, blocked-on-rebuild = 0");
+}

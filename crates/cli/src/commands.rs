@@ -9,7 +9,7 @@ use std::io::Write;
 use fsdl_baselines::ExactOracle;
 use fsdl_graph::doubling::{estimate_dimension, DoublingConfig};
 use fsdl_graph::{generators, io as gio, FaultSet, Graph, GraphStats, NodeId};
-use fsdl_labels::ForbiddenSetOracle;
+use fsdl_labels::{DynamicConfig, DynamicOracle, ForbiddenSetOracle, RebuildMode};
 use fsdl_routing::Network;
 
 use crate::args::{parse_edge_list, parse_vertex_list, ArgError, ParsedArgs};
@@ -23,7 +23,16 @@ USAGE:
       families: path N | cycle N | grid W H | king W H | grid3d X Y Z |
                 linf P D | halfgrid P D | tree ARITY DEPTH | udg N RADIUS |
                 er N PROB | hypercube D | road W H REMOVAL
-  fsdl stats <graph-file>
+  fsdl stats <graph-file> [--store DIR]
+      (--store also reports the dynamic oracle's rebuild/WAL health:
+       generation, fault counts, rebuilds, log bytes, replay totals)
+  fsdl update <graph-file> --store DIR [--eps E] [--threshold T]
+              [--background yes] [--delete v1,v2,...] [--delete-edge a-b,...]
+              [--restore v1,...] [--restore-edge a-b,...]
+      (opens the dynamic store at DIR — creating it on first use — and
+       applies the updates durably: each is written to the write-ahead
+       log before taking effect, so a crash mid-batch loses nothing
+       acknowledged; --background rebuilds off the serving path)
   fsdl label <graph-file> [--eps E] [--vertex V | --sample K | --threads P]
       (--threads P materializes every label with P parallel workers —
        0 = all cores — and reports exact totals instead of a sample)
@@ -56,6 +65,7 @@ pub fn run<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
     match args.command.as_str() {
         "gen" => cmd_gen(args, out),
         "stats" => cmd_stats(args, out),
+        "update" => cmd_update(args, out),
         "label" => cmd_label(args, out),
         "build" => cmd_build(args, out),
         "query" => cmd_query(args, out),
@@ -239,6 +249,119 @@ fn cmd_stats<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
             est.alpha, est.worst_cover, est.worst_case.0, est.worst_case.1
         ));
     }
+    if let Some(dir) = args.option("store") {
+        let oracle = DynamicOracle::open(std::path::Path::new(dir), &g)
+            .map_err(|e| ArgError(format!("cannot open store {dir}: {e}")))?;
+        text.push_str(&render_dynamic_stats(&oracle));
+    }
+    write_out(out, &text)
+}
+
+/// The service-health block shared by `stats --store` and `update`.
+fn render_dynamic_stats(oracle: &DynamicOracle) -> String {
+    let s = oracle.stats();
+    format!(
+        "dynamic:     generation {}, threshold {}, faults baked {} / buffered {}\n\
+         rebuilds:    {} total ({} background, {} failed), last {:.2} ms, in-flight: {}\n\
+         wal:         {} records / {} bytes since rotation; replayed {} records, \
+         truncated {} torn bytes\n\
+         health:      carry-over {}, blocked-on-rebuild {}, swap-contended {}\n",
+        s.store_generation,
+        s.threshold,
+        s.baked,
+        s.buffered,
+        s.rebuilds,
+        s.background_rebuilds,
+        s.failed_rebuilds,
+        s.last_rebuild_ms,
+        if s.rebuild_in_flight { "yes" } else { "no" },
+        s.wal_records_since_rotation,
+        s.wal_bytes_since_rotation,
+        s.replayed_records,
+        s.replay_truncated_bytes,
+        s.carry_over_depth,
+        s.blocked_on_rebuild,
+        s.serving_swaps_contended,
+    )
+}
+
+/// `fsdl update`: durable dynamic updates against a store directory. The
+/// store is created on first use (from `--eps`/`--threshold`) and opened —
+/// WAL replay included — afterwards, so killing this command at any point
+/// (see `FSDL_CRASH_POINT`) never loses an acknowledged update.
+fn cmd_update<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    let g = load_graph(args.positional(0, "graph-file")?)?;
+    let dir_raw = args.required("store")?;
+    let dir = std::path::Path::new(dir_raw);
+    let exists = dir.join(fsdl_labels::store::MANIFEST_NAME).exists();
+    let mut oracle = if exists {
+        if args.option("eps").is_some() || args.option("threshold").is_some() {
+            return Err(ArgError(
+                "--eps/--threshold conflict with an existing store (both are recorded in it)"
+                    .into(),
+            ));
+        }
+        DynamicOracle::open(dir, &g)
+            .map_err(|e| ArgError(format!("cannot open store {dir_raw}: {e}")))?
+    } else {
+        let eps: f64 = args.parse_option("eps", 1.0)?;
+        let threshold = match args.option("threshold") {
+            None => None,
+            Some(raw) => Some(
+                raw.parse::<usize>()
+                    .map_err(|_| ArgError(format!("invalid value '{raw}' for --threshold")))?,
+            ),
+        };
+        let mut oracle = DynamicOracle::try_with_config(
+            &g,
+            DynamicConfig {
+                epsilon: eps,
+                threshold,
+                ..DynamicConfig::default()
+            },
+        )
+        .map_err(|e| ArgError(e.to_string()))?;
+        oracle
+            .attach_store(dir)
+            .map_err(|e| ArgError(format!("cannot create store {dir_raw}: {e}")))?;
+        oracle
+    };
+    if args.option("background").is_some() {
+        oracle.set_rebuild_mode(RebuildMode::Background);
+    }
+    let bounds_check = |v: u32| -> Result<NodeId, ArgError> {
+        if (v as usize) < g.num_vertices() {
+            Ok(NodeId::new(v))
+        } else {
+            Err(ArgError(format!("vertex {v} out of range")))
+        }
+    };
+    let mut applied = 0usize;
+    let mut apply = |r: Result<(), fsdl_labels::DynamicError>| -> Result<(), ArgError> {
+        r.map_err(|e| ArgError(format!("update failed: {e}")))?;
+        applied += 1;
+        Ok(())
+    };
+    for v in parse_vertex_list(args.option("delete").unwrap_or(""))? {
+        apply(oracle.delete_vertex(bounds_check(v)?))?;
+    }
+    for (a, b) in parse_edge_list(args.option("delete-edge").unwrap_or(""))? {
+        apply(oracle.delete_edge(bounds_check(a)?, bounds_check(b)?))?;
+    }
+    for v in parse_vertex_list(args.option("restore").unwrap_or(""))? {
+        apply(oracle.restore_vertex(bounds_check(v)?))?;
+    }
+    for (a, b) in parse_edge_list(args.option("restore-edge").unwrap_or(""))? {
+        apply(oracle.restore_edge(bounds_check(a)?, bounds_check(b)?))?;
+    }
+    // Drain any background rebuild before reporting: the process is about
+    // to exit, and the install/persist must not be torn off mid-flight.
+    oracle.wait_for_rebuild();
+    let text = format!(
+        "applied {applied} durable update(s) to {dir_raw} ({} fault(s) active)\n{}",
+        oracle.current_faults().len(),
+        render_dynamic_stats(&oracle)
+    );
     write_out(out, &text)
 }
 
@@ -874,6 +997,86 @@ mod tests {
         let err =
             run_args(&["query", p, "--source", "0", "--target", "2", "--store", d]).unwrap_err();
         assert!(err.0.contains("cannot open store"), "{err}");
+    }
+
+    #[test]
+    fn update_creates_store_applies_durably_and_reports_health() {
+        let graph = temp_graph();
+        let store = TempStore::new();
+        let (p, d) = (graph.path(), store.path());
+        // First use creates the store and applies the batch.
+        let out = run_args(&[
+            "update",
+            p,
+            "--store",
+            d,
+            "--threshold",
+            "2",
+            "--delete",
+            "1,5",
+        ])
+        .unwrap();
+        assert!(out.contains("applied 2 durable update(s)"), "{out}");
+        assert!(out.contains("2 fault(s) active"), "{out}");
+        assert!(out.contains("wal:         2 records"), "{out}");
+        // A second invocation reopens (replaying the WAL), crosses the
+        // threshold, and rebuilds.
+        let out = run_args(&["update", p, "--store", d, "--delete", "8"]).unwrap();
+        assert!(out.contains("3 fault(s) active"), "{out}");
+        assert!(out.contains("rebuilds:    1 total"), "{out}");
+        // Restores round-trip too.
+        let out = run_args(&["update", p, "--store", d, "--restore", "1,5,8"]).unwrap();
+        assert!(out.contains("0 fault(s) active"), "{out}");
+        // stats --store renders the same health block.
+        let out = run_args(&["stats", p, "--store", d]).unwrap();
+        assert!(out.contains("dynamic:     generation"), "{out}");
+        assert!(out.contains("blocked-on-rebuild"), "{out}");
+    }
+
+    #[test]
+    fn update_rejects_bad_input_typed() {
+        let graph = temp_graph();
+        let store = TempStore::new();
+        let (p, d) = (graph.path(), store.path());
+        // Invalid threshold is the typed InvalidConfig, not a panic.
+        let err = run_args(&["update", p, "--store", d, "--threshold", "0"]).unwrap_err();
+        assert!(err.0.contains("threshold"), "{err}");
+        run_args(&["update", p, "--store", d, "--delete", "1"]).unwrap();
+        // Reconfiguring an existing store is rejected.
+        let err = run_args(&["update", p, "--store", d, "--eps", "0.5"]).unwrap_err();
+        assert!(err.0.contains("conflict"), "{err}");
+        // Out-of-range and not-an-edge surface the dynamic errors.
+        let err = run_args(&["update", p, "--store", d, "--delete", "99"]).unwrap_err();
+        assert!(err.0.contains("out of range"), "{err}");
+        let err = run_args(&["update", p, "--store", d, "--delete-edge", "0-2"]).unwrap_err();
+        assert!(err.0.contains("not an edge"), "{err}");
+        let err = run_args(&["update", p, "--store", d, "--restore", "7"]).unwrap_err();
+        assert!(err.0.contains("not currently deleted"), "{err}");
+    }
+
+    #[test]
+    fn update_background_mode_drains_before_exit() {
+        let graph = temp_graph();
+        let store = TempStore::new();
+        let (p, d) = (graph.path(), store.path());
+        let out = run_args(&[
+            "update",
+            p,
+            "--store",
+            d,
+            "--threshold",
+            "1",
+            "--background",
+            "yes",
+            "--delete",
+            "2,6,9",
+        ])
+        .unwrap();
+        assert!(out.contains("applied 3 durable update(s)"), "{out}");
+        assert!(out.contains("in-flight: no"), "{out}");
+        // The drained store reopens with all three faults intact.
+        let out = run_args(&["stats", p, "--store", d]).unwrap();
+        assert!(out.contains("dynamic:"), "{out}");
     }
 
     #[test]

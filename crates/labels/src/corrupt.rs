@@ -440,6 +440,122 @@ pub fn store_corruption_sweep(
     stats
 }
 
+/// Chaos sweep over the write-ahead log of a dynamic-oracle store: applies
+/// `count` scheduled corruptions of the current WAL file, each in a fresh
+/// copy of the store under `scratch`, and asserts the recovery contract:
+/// [`crate::DynamicOracle::open`] either fails with a typed error — never
+/// a panic — or recovers exactly a *prefix of the true update history*
+/// (the records surviving the scan must equal a prefix of the pristine
+/// log) and then answers every probe bit-identically to a reference
+/// oracle recovered from that same pristine prefix. Zero silent
+/// divergence: no corruption may smuggle in an update that never
+/// happened.
+///
+/// In [`StoreSweepStats`] terms, `rejected` counts typed open failures
+/// and `opened_sound` counts prefix recoveries that passed the
+/// bit-identity probes.
+///
+/// # Panics
+///
+/// Panics — naming the seed and the exact mutation — on any contract
+/// violation, and propagates recovery panics (the chaos tests treat
+/// either as failure). Also panics when the pristine store or WAL at
+/// `dir` is unreadable, since the sweep cannot run at all then.
+pub fn wal_corruption_sweep(
+    dir: &std::path::Path,
+    scratch: &std::path::Path,
+    g: &fsdl_graph::Graph,
+    probes: &[(NodeId, NodeId)],
+    count: usize,
+    seed: u64,
+) -> StoreSweepStats {
+    use crate::dynamic::DynamicOracle;
+    use crate::store;
+    use crate::wal;
+
+    let manifest = store::read_manifest(dir).expect("pristine store must have a manifest");
+    let segment_bytes =
+        std::fs::read(dir.join(&manifest.segment)).expect("pristine segment must be readable");
+    let manifest_bytes =
+        std::fs::read(dir.join(store::MANIFEST_NAME)).expect("manifest must be readable");
+    let wal_name = wal::wal_file_name(manifest.generation);
+    let wal_bytes = std::fs::read(dir.join(&wal_name)).expect("pristine WAL must be readable");
+    let pristine = wal::scan(&dir.join(&wal_name)).expect("pristine WAL must scan clean");
+    assert_eq!(pristine.truncated_bytes, 0, "pristine WAL has a torn tail");
+
+    // Lays a store copy down in `case` with the given WAL bytes.
+    let write_case = |case: &std::path::Path, wal: &[u8]| {
+        std::fs::create_dir_all(case).expect("scratch dir");
+        std::fs::write(case.join(store::MANIFEST_NAME), &manifest_bytes).expect("scratch io");
+        std::fs::write(case.join(&manifest.segment), &segment_bytes).expect("scratch io");
+        std::fs::write(case.join(&wal_name), wal).expect("scratch io");
+    };
+
+    let mut stats = StoreSweepStats::default();
+    for (idx, m) in store_mutation_schedule(wal_bytes.len(), count, seed)
+        .into_iter()
+        .enumerate()
+    {
+        let mutated = m.apply(&wal_bytes);
+        if mutated == wal_bytes {
+            continue;
+        }
+        stats.attempted += 1;
+        let case_dir = scratch.join(format!("wal-case-{idx}"));
+        write_case(&case_dir, &mutated);
+        // Scan before opening: open repairs the file in place (torn-tail
+        // truncation, possibly a recovery generation), so the forensic
+        // view of what survived the corruption must be taken first.
+        let scan = wal::scan(&case_dir.join(&wal_name));
+        match DynamicOracle::open(&case_dir, g) {
+            Err(_) => {
+                stats.rejected += 1;
+            }
+            Ok(oracle) => {
+                let scan = scan.unwrap_or_else(|e| {
+                    panic!(
+                        "wal sweep seed {seed:#x} mutation #{idx} {m:?}: open accepted a \
+                         WAL the scan rejects ({e})"
+                    )
+                });
+                let k = scan.records.len();
+                assert!(
+                    k <= pristine.records.len() && scan.records[..] == pristine.records[..k],
+                    "wal sweep seed {seed:#x} mutation #{idx} {m:?}: recovered records are \
+                     not a prefix of the true history"
+                );
+                // Reference: recover from the true history cut at the same
+                // prefix — answers must agree bit for bit.
+                let cut = k
+                    .checked_sub(1)
+                    .map_or(wal::WAL_HEADER_BYTES, |i| pristine.ends[i])
+                    as usize;
+                let ref_dir = scratch.join(format!("wal-ref-{idx}"));
+                write_case(&ref_dir, &wal_bytes[..cut]);
+                let reference = DynamicOracle::open(&ref_dir, g).unwrap_or_else(|e| {
+                    panic!(
+                        "wal sweep seed {seed:#x} mutation #{idx} {m:?}: the pristine \
+                         {k}-record prefix failed to open ({e})"
+                    )
+                });
+                for &(s, t) in probes {
+                    let got = oracle.try_distance(s, t);
+                    let expected = reference.try_distance(s, t);
+                    assert_eq!(
+                        got, expected,
+                        "wal sweep seed {seed:#x} mutation #{idx} {m:?}: recovered oracle \
+                         answered {s}->{t} differently from the {k}-record reference"
+                    );
+                }
+                let _ = std::fs::remove_dir_all(&ref_dir);
+                stats.opened_sound += 1;
+            }
+        }
+        let _ = std::fs::remove_dir_all(&case_dir);
+    }
+    stats
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,188 @@
+//! Deterministic crash-point injection for the durability test harness.
+//!
+//! The WAL and store write protocols are only trustworthy if every
+//! interleaving of "the process died *here*" has been exercised. This
+//! module names the interesting points ([`CrashPoint`]) and offers two
+//! injection modes:
+//!
+//! * **In-process** ([`arm`]): the next time the armed point is reached,
+//!   the write path returns a typed injected error instead of continuing.
+//!   The caller must treat the oracle as crashed — drop it and reopen
+//!   from the store; the on-disk bytes are exactly what a real crash at
+//!   that point would have left. Arming is one-shot and global (points
+//!   are reached from background threads too), so crash-matrix tests
+//!   iterate points sequentially.
+//! * **Out-of-process** (`FSDL_CRASH_POINT=<name>` in the environment):
+//!   reaching the named point calls [`std::process::abort`], which is how
+//!   the CI kill-and-recover round trip murders a real CLI process
+//!   mid-commit.
+//!
+//! Production builds pay one relaxed atomic load per point when nothing
+//! is armed and the environment variable is absent.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::OnceLock;
+
+/// A named point inside the WAL / store commit protocol where a crash can
+/// be injected. The order below follows one update's journey: WAL append,
+/// then (on a rebuild) segment write, manifest swap, and WAL rotation.
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Before any WAL bytes for the record are written: the update is
+    /// lost entirely, as if the caller never issued it.
+    BeforeWalAppend,
+    /// After a torn prefix of the record's bytes reached the file but
+    /// before the record was complete: recovery must truncate the tail.
+    MidWalAppend,
+    /// After the record is durably appended but before it is applied in
+    /// memory / acknowledged: recovery must replay it.
+    AfterWalAppend,
+    /// Before the rebuild's segment file is written.
+    BeforeSegmentWrite,
+    /// After the segment is durable but before the manifest swap (the
+    /// commit point): recovery must serve the previous generation.
+    BeforeManifestSwap,
+    /// Immediately after the manifest swap: the new generation is
+    /// committed, but pruning and WAL rotation have not happened.
+    AfterManifestSwap,
+    /// After pruning, before the fresh WAL for the new generation is
+    /// created.
+    BeforeWalRotate,
+    /// After the fresh WAL exists (rotation complete, ack pending).
+    AfterWalRotate,
+}
+
+/// Every crash point, in commit-protocol order (the crash-matrix tests
+/// iterate this).
+pub const ALL_CRASH_POINTS: [CrashPoint; 8] = [
+    CrashPoint::BeforeWalAppend,
+    CrashPoint::MidWalAppend,
+    CrashPoint::AfterWalAppend,
+    CrashPoint::BeforeSegmentWrite,
+    CrashPoint::BeforeManifestSwap,
+    CrashPoint::AfterManifestSwap,
+    CrashPoint::BeforeWalRotate,
+    CrashPoint::AfterWalRotate,
+];
+
+impl CrashPoint {
+    /// The stable name used by `FSDL_CRASH_POINT` and error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashPoint::BeforeWalAppend => "before-wal-append",
+            CrashPoint::MidWalAppend => "mid-wal-append",
+            CrashPoint::AfterWalAppend => "after-wal-append",
+            CrashPoint::BeforeSegmentWrite => "before-segment-write",
+            CrashPoint::BeforeManifestSwap => "before-manifest-swap",
+            CrashPoint::AfterManifestSwap => "after-manifest-swap",
+            CrashPoint::BeforeWalRotate => "before-wal-rotate",
+            CrashPoint::AfterWalRotate => "after-wal-rotate",
+        }
+    }
+
+    /// Parses a [`CrashPoint::name`] back into the point.
+    pub fn parse(name: &str) -> Option<CrashPoint> {
+        ALL_CRASH_POINTS.iter().copied().find(|p| p.name() == name)
+    }
+}
+
+impl std::fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// `ARMED` holds the armed point's index + 1 (0 = disarmed); `ACTIVE` is
+/// a cheap pre-filter so the disarmed fast path is one relaxed load.
+static ARMED: AtomicU32 = AtomicU32::new(0);
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn env_point() -> Option<CrashPoint> {
+    static CACHE: OnceLock<Option<CrashPoint>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("FSDL_CRASH_POINT")
+            .ok()
+            .as_deref()
+            .and_then(CrashPoint::parse)
+    })
+}
+
+fn index_of(point: CrashPoint) -> u32 {
+    ALL_CRASH_POINTS
+        .iter()
+        .position(|&p| p == point)
+        .map(|k| k as u32 + 1)
+        .unwrap_or(0)
+}
+
+/// Arms `point` for one-shot in-process injection: the next write-path
+/// visit to it fails with a typed injected error instead of continuing.
+/// Global state — crash-matrix tests must iterate points sequentially.
+pub fn arm(point: CrashPoint) {
+    ARMED.store(index_of(point), Ordering::SeqCst);
+    ACTIVE.store(true, Ordering::SeqCst);
+}
+
+/// Disarms any armed crash point.
+pub fn disarm() {
+    ARMED.store(0, Ordering::SeqCst);
+    ACTIVE.store(env_point().is_some(), Ordering::SeqCst);
+}
+
+/// Checks `point` against the armed state and the `FSDL_CRASH_POINT`
+/// environment variable. Returns `Err(point)` (after disarming — the
+/// injection is one-shot) when armed in-process, aborts the process when
+/// the environment names this point, and is a near-free no-op otherwise.
+pub(crate) fn fire(point: CrashPoint) -> Result<(), CrashPoint> {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        // Fast path; `ACTIVE` also covers the env mode (set on first use).
+        if env_point().is_some() {
+            ACTIVE.store(true, Ordering::SeqCst);
+        } else {
+            return Ok(());
+        }
+    }
+    if env_point() == Some(point) {
+        // The CI kill-and-recover harness: die exactly like a power cut.
+        std::process::abort();
+    }
+    let want = index_of(point);
+    if ARMED
+        .compare_exchange(want, 0, Ordering::SeqCst, Ordering::SeqCst)
+        .is_ok()
+    {
+        ACTIVE.store(env_point().is_some(), Ordering::SeqCst);
+        return Err(point);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for p in ALL_CRASH_POINTS {
+            assert_eq!(CrashPoint::parse(p.name()), Some(p), "{p}");
+        }
+        assert_eq!(CrashPoint::parse("nope"), None);
+    }
+
+    #[test]
+    fn arming_is_one_shot_and_point_specific() {
+        disarm();
+        assert_eq!(fire(CrashPoint::AfterWalAppend), Ok(()));
+        arm(CrashPoint::AfterWalAppend);
+        // A different point passes through untouched.
+        assert_eq!(fire(CrashPoint::BeforeWalAppend), Ok(()));
+        assert_eq!(
+            fire(CrashPoint::AfterWalAppend),
+            Err(CrashPoint::AfterWalAppend)
+        );
+        // One-shot: the second visit continues normally.
+        assert_eq!(fire(CrashPoint::AfterWalAppend), Ok(()));
+        disarm();
+    }
+}

@@ -11,17 +11,43 @@
 //!
 //! [`DynamicOracle`] implements deletions and re-insertions of vertices and
 //! edges of the original graph `G` (the supported update model: the live
-//! graph is always `G ∖ F` for the current buffer `F`).
+//! graph is always `G ∖ F` for the current buffer `F`), with two service
+//! qualities layered on top of the paper's algorithm:
+//!
+//! * **Durability.** With a store attached, every update is appended to a
+//!   checksummed, `fsync`'d write-ahead log ([`crate::wal`]) *before* it
+//!   is applied in memory, and [`DynamicOracle::open`] replays the log on
+//!   top of the last persisted generation — a crash between rebuilds no
+//!   longer loses buffered updates. Replay reproduces the exact fold
+//!   points (threshold crossings, baked restorations, explicit folds), so
+//!   the recovered oracle's baked/buffered split — and therefore its
+//!   labeling and its answers — is bit-identical to the pre-crash one in
+//!   [`RebuildMode::Blocking`].
+//! * **Availability.** In [`RebuildMode::Background`] the threshold
+//!   rebuild runs on a background thread while the current generation
+//!   keeps serving; queries only ever touch an `Arc` swap lock held for
+//!   `O(1)` per install, never the rebuild itself. Updates arriving
+//!   mid-rebuild go to the WAL plus a carry-over buffer. If the rebuild
+//!   fails (injected fault, persist error, panic), the oracle degrades
+//!   gracefully: the old generation keeps serving, the failure surfaces
+//!   as [`DynamicError::RebuildFailed`] on the next update, and retries
+//!   back off exponentially.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use fsdl_graph::subgraph::{self, Subgraph};
 use fsdl_graph::{Dist, FaultSet, Graph, NodeId};
 
+use crate::crash::{self, CrashPoint};
 use crate::oracle::ForbiddenSetOracle;
 use crate::params::SchemeParams;
 use crate::store::{self, Segment, StoreError, StoreReport};
+use crate::wal::{ReplayReport, Wal, WalError, WalRecord};
 
 /// Typed errors for [`DynamicOracle`] update operations.
 ///
@@ -66,6 +92,29 @@ pub enum DynamicError {
         /// The underlying [`crate::StoreError`], stringified.
         message: String,
     },
+    /// The constructor was handed an unusable configuration (zero
+    /// threshold, empty graph, non-positive or non-finite ε).
+    InvalidConfig {
+        /// What was wrong.
+        message: String,
+    },
+    /// Appending the update to the write-ahead log failed, so the update
+    /// was rejected *before* touching memory (durability would otherwise
+    /// silently lapse). Includes injected crash points, after which the
+    /// oracle must be treated as crashed — drop it and reopen.
+    Wal {
+        /// The underlying [`crate::WalError`], stringified.
+        message: String,
+    },
+    /// A background rebuild failed since the last update (build fault,
+    /// persist error, or panic). The update that received this error was
+    /// still applied; the oracle keeps serving the previous generation
+    /// with the decoder-side buffer and will retry the rebuild with
+    /// backoff.
+    RebuildFailed {
+        /// Why the rebuild failed.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for DynamicError {
@@ -86,14 +135,189 @@ impl std::fmt::Display for DynamicError {
             DynamicError::Persist { message } => {
                 write!(f, "rebuild succeeded but persisting it failed: {message}")
             }
+            DynamicError::InvalidConfig { message } => {
+                write!(f, "invalid dynamic oracle configuration: {message}")
+            }
+            DynamicError::Wal { message } => {
+                write!(
+                    f,
+                    "write-ahead log append failed (update rejected): {message}"
+                )
+            }
+            DynamicError::RebuildFailed { message } => {
+                write!(
+                    f,
+                    "background rebuild failed (still serving the previous \
+                     generation; will retry): {message}"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for DynamicError {}
 
+/// How threshold rebuilds are scheduled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RebuildMode {
+    /// Rebuild synchronously inside the triggering update (the paper's
+    /// model, and the default: update latency pays the rebuild, recovery
+    /// is bit-identical, rebuild counts are deterministic).
+    #[default]
+    Blocking,
+    /// Rebuild on a background thread while the current generation keeps
+    /// serving; the triggering update returns immediately.
+    Background,
+}
+
+/// Construction-time configuration for [`DynamicOracle::try_with_config`].
+#[derive(Clone, Debug)]
+pub struct DynamicConfig {
+    /// The scheme's precision `ε`.
+    pub epsilon: f64,
+    /// Rebuild threshold; `None` means the default `⌈√n⌉`.
+    pub threshold: Option<usize>,
+    /// Rebuild scheduling.
+    pub mode: RebuildMode,
+    /// Worker threads for background rebuilds; `0` means "all cores but
+    /// one" (leaving one for the serving path).
+    pub rebuild_workers: usize,
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        DynamicConfig {
+            epsilon: 1.0,
+            threshold: None,
+            mode: RebuildMode::Blocking,
+            rebuild_workers: 0,
+        }
+    }
+}
+
+/// Rebuild / WAL health counters, the service-facing view of the oracle
+/// (`fsdl stats --store`, `exp_t16_wal`'s availability gate).
+#[non_exhaustive]
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DynamicStats {
+    /// Total rebuilds installed (blocking + background).
+    pub rebuilds: u64,
+    /// Rebuilds installed by the background thread.
+    pub background_rebuilds: u64,
+    /// Background rebuilds that failed (build fault, persist error, or
+    /// panic) and were discarded.
+    pub failed_rebuilds: u64,
+    /// Wall-clock duration of the most recent installed rebuild, in
+    /// milliseconds (0 when none has run).
+    pub last_rebuild_ms: f64,
+    /// Whether a background rebuild is currently in flight.
+    pub rebuild_in_flight: bool,
+    /// Buffered (decoder-side) faults right now.
+    pub buffered: usize,
+    /// Faults baked into the serving labeling.
+    pub baked: usize,
+    /// The rebuild threshold.
+    pub threshold: usize,
+    /// Store generation currently persisted (0 = no store attached or
+    /// nothing persisted yet).
+    pub store_generation: u64,
+    /// WAL records appended or replayed since the last rotation.
+    pub wal_records_since_rotation: u64,
+    /// WAL bytes (past the header) since the last rotation.
+    pub wal_bytes_since_rotation: u64,
+    /// Buffered faults carried over across the most recent background
+    /// install (updates that arrived mid-rebuild).
+    pub carry_over_depth: u64,
+    /// Records replayed from the WAL by [`DynamicOracle::open`].
+    pub replayed_records: u64,
+    /// Torn-tail bytes truncated during that replay.
+    pub replay_truncated_bytes: u64,
+    /// Queries that blocked on the serving lock *while a background
+    /// build was running*. Structurally zero: the build holds its own
+    /// gate, never the serving lock — this counter is the availability
+    /// gate's witness.
+    pub blocked_on_rebuild: u64,
+    /// Queries that found the serving lock contended (colliding with an
+    /// `O(1)` install swap; sub-microsecond, and not rebuild-induced).
+    pub serving_swaps_contended: u64,
+}
+
+/// One immutable installed generation: the surviving graph the labeling
+/// was built on, the labeling itself, and the faults folded into it.
+#[derive(Debug)]
+struct GenerationState {
+    base: Subgraph,
+    oracle: ForbiddenSetOracle,
+    baked: FaultSet,
+}
+
+/// What queries read: the current generation plus the decoder-side
+/// buffer. Swapped atomically (behind a briefly-held write lock) on every
+/// update and install.
+#[derive(Debug)]
+struct ServingState {
+    generation: Arc<GenerationState>,
+    buffer: FaultSet,
+}
+
+/// Durable-commit state: everything an update must serialize on. Queries
+/// never touch this lock.
+#[derive(Debug)]
+struct CommitState {
+    store_dir: Option<PathBuf>,
+    wal: Option<Wal>,
+    /// Generation currently named by the manifest (0 = none yet).
+    generation: u64,
+}
+
+/// Background-rebuild control block.
+#[derive(Debug, Default)]
+struct RebuildCtl {
+    running: bool,
+    handle: Option<JoinHandle<()>>,
+    /// The buffer snapshot the in-flight rebuild is folding (restores of
+    /// these faults must drain the rebuild first).
+    fold: Option<FaultSet>,
+    /// A failure waiting to surface on the next update.
+    failure: Option<String>,
+    consecutive_failures: u32,
+    /// Earliest instant the next background attempt may start (backoff).
+    not_before: Option<Instant>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    rebuilds: AtomicU64,
+    background_rebuilds: AtomicU64,
+    failed_rebuilds: AtomicU64,
+    last_rebuild_nanos: AtomicU64,
+    carry_over_depth: AtomicU64,
+    blocked_on_rebuild: AtomicU64,
+    serving_swaps_contended: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    original: Graph,
+    epsilon: f64,
+    threshold: usize,
+    background: AtomicBool,
+    rebuild_workers: AtomicUsize,
+    /// True exactly while a background *build* is computing (cleared
+    /// before the install swap) — the availability gate's reference.
+    build_in_flight: AtomicBool,
+    serving: RwLock<Arc<ServingState>>,
+    commit: Mutex<CommitState>,
+    rebuild: Mutex<RebuildCtl>,
+    counters: Counters,
+    replay: Option<ReplayReport>,
+    inject_build_errors: AtomicUsize,
+    inject_build_panics: AtomicUsize,
+}
+
 /// A fully dynamic `(1+ε)` distance oracle over `G ∖ F` with buffered
-/// updates and periodic rebuilds.
+/// updates, periodic (optionally background) rebuilds, and write-ahead
+/// logged durability when a store is attached.
 ///
 /// # Examples
 ///
@@ -111,30 +335,226 @@ impl std::error::Error for DynamicError {}
 /// ```
 #[derive(Debug)]
 pub struct DynamicOracle {
-    original: Graph,
-    epsilon: f64,
-    /// Faults already folded into the current base labeling.
+    inner: Arc<Inner>,
+}
+
+/// Backoff after `failures` consecutive background failures: 10 ms
+/// doubling, capped at 1 s.
+fn backoff_after(failures: u32) -> Duration {
+    let ms = 10u64.saturating_mul(1u64 << failures.saturating_sub(1).min(10));
+    Duration::from_millis(ms.min(1_000))
+}
+
+/// Adds every fault of `extra` to `baked`.
+fn fold_into(baked: &mut FaultSet, extra: &FaultSet) {
+    for v in extra.vertices() {
+        baked.forbid_vertex(v);
+    }
+    for e in extra.edges() {
+        baked.forbid_edge_unchecked(e.lo(), e.hi());
+    }
+}
+
+/// The faults of `a` not present in `b` (the carry-over computation).
+fn fault_difference(a: &FaultSet, b: &FaultSet) -> FaultSet {
+    let mut out = FaultSet::empty();
+    for v in a.vertices() {
+        if !b.is_vertex_faulty(v) {
+            out.forbid_vertex(v);
+        }
+    }
+    for e in a.edges() {
+        if !b.is_edge_faulty(e.lo(), e.hi()) {
+            out.forbid_edge_unchecked(e.lo(), e.hi());
+        }
+    }
+    out
+}
+
+/// Builds the labeling for `original ∖ baked`. `prewarm_workers > 0`
+/// materializes every label eagerly on that many threads (the background
+/// path); `0` leaves labels lazy (the blocking path, where persistence
+/// prewarms anyway).
+fn build_generation(
+    original: &Graph,
     baked: FaultSet,
-    /// Faults buffered since the last rebuild (answered via the decoder).
-    buffer: FaultSet,
-    /// Rebuild when the buffer exceeds this many elements.
+    epsilon: f64,
+    prewarm_workers: usize,
+) -> GenerationState {
+    let base = subgraph::remove_faults(original, &baked);
+    let oracle = if base.graph.num_vertices() == 0 {
+        // Degenerate case: everything deleted; keep a 1-vertex placeholder
+        // graph (queries all return INFINITE via the mapping checks).
+        let placeholder = fsdl_graph::GraphBuilder::new(1).build();
+        ForbiddenSetOracle::with_params(&placeholder, SchemeParams::new(epsilon, 1))
+    } else {
+        let n = base.graph.num_vertices();
+        ForbiddenSetOracle::with_params(&base.graph, SchemeParams::new(epsilon, n))
+    };
+    if prewarm_workers > 0 {
+        oracle.prewarm_workers(prewarm_workers);
+    }
+    GenerationState {
+        base,
+        oracle,
+        baked,
+    }
+}
+
+fn fire_store(point: CrashPoint) -> Result<(), StoreError> {
+    crash::fire(point).map_err(|p| {
+        StoreError::Wal(WalError::Injected {
+            point: p.name().to_string(),
+        })
+    })
+}
+
+/// Creates the fresh WAL for `generation` and installs it in `commit`
+/// (the rotation step of the commit protocol — the stale log was already
+/// pruned by the manifest swap's post-commit cleanup).
+fn rotate_wal(commit: &mut CommitState, dir: &Path, generation: u64) -> Result<(), StoreError> {
+    fire_store(CrashPoint::BeforeWalRotate)?;
+    let wal = Wal::create(dir, generation)?;
+    fire_store(CrashPoint::AfterWalRotate)?;
+    commit.wal = Some(wal);
+    Ok(())
+}
+
+/// Persists `gen` + `buffer` as a new store generation and rotates the
+/// WAL. No-op without an attached store. On failure the store keeps its
+/// previous generation (and, if rotation itself failed, the WAL is
+/// marked unavailable so subsequent updates fail fast rather than
+/// silently losing durability).
+fn persist_and_rotate(
     threshold: usize,
-    /// The surviving graph the current labeling was built on, plus the id
-    /// mappings from original ids.
-    base: Subgraph,
-    oracle: ForbiddenSetOracle,
-    rebuilds: usize,
-    /// When attached ([`DynamicOracle::attach_store`]), every rebuild is
-    /// persisted here as a new store generation, LSM-style.
-    store_dir: Option<PathBuf>,
+    commit: &mut CommitState,
+    gen: &GenerationState,
+    buffer: &FaultSet,
+) -> Result<(), StoreError> {
+    let Some(dir) = commit.store_dir.clone() else {
+        return Ok(());
+    };
+    let encoded = gen.oracle.encoded_labels()?;
+    let report = store::write_generation(
+        &dir,
+        gen.oracle.params(),
+        store::graph_fingerprint(gen.oracle.labeling().graph()),
+        &encoded,
+        &gen.baked,
+        buffer,
+        Some(threshold),
+    )?;
+    // Past the manifest swap the old log is both stale and pruned: the
+    // new manifest snapshots the full fault state.
+    commit.wal = None;
+    rotate_wal(commit, &dir, report.generation)?;
+    commit.generation = report.generation;
+    Ok(())
+}
+
+/// The replay simulation: mirrors the live update path's fold rules over
+/// `(baked, buffer)` without building any labeling, so recovery lands on
+/// the exact pre-crash baked/buffered split.
+struct ReplaySim {
+    baked: FaultSet,
+    buffer: FaultSet,
+    /// Whether `baked` changed relative to the persisted segment (a
+    /// labeling rebuild + re-persist is then required).
+    dirty: bool,
+}
+
+impl ReplaySim {
+    fn fold(&mut self) {
+        if !self.buffer.is_empty() {
+            fold_into(&mut self.baked, &self.buffer);
+            self.buffer = FaultSet::empty();
+            self.dirty = true;
+        }
+    }
+
+    fn apply(
+        &mut self,
+        g: &Graph,
+        threshold: usize,
+        index: usize,
+        record: WalRecord,
+    ) -> Result<(), WalError> {
+        let invalid = |message: String| WalError::RecordInvalid { index, message };
+        let check = |v: NodeId| -> Result<(), WalError> {
+            if g.contains(v) {
+                Ok(())
+            } else {
+                Err(invalid(format!("vertex {v} out of range")))
+            }
+        };
+        match record {
+            WalRecord::DeleteVertex(v) => {
+                check(v)?;
+                if self.baked.is_vertex_faulty(v) || self.buffer.is_vertex_faulty(v) {
+                    return Err(invalid(format!("vertex {v} already deleted")));
+                }
+                self.buffer.forbid_vertex(v);
+                if self.buffer.len() > threshold {
+                    self.fold();
+                }
+            }
+            WalRecord::DeleteEdge(a, b) => {
+                check(a)?;
+                check(b)?;
+                if !g.has_edge(a, b) {
+                    return Err(invalid(format!("{{{a}, {b}}} is not an edge")));
+                }
+                if self.baked.is_edge_faulty(a, b) || self.buffer.is_edge_faulty(a, b) {
+                    return Err(invalid(format!("edge {{{a}, {b}}} already deleted")));
+                }
+                self.buffer.forbid_edge_unchecked(a, b);
+                if self.buffer.len() > threshold {
+                    self.fold();
+                }
+            }
+            WalRecord::RestoreVertex(v) => {
+                check(v)?;
+                if self.buffer.permit_vertex(v) {
+                    return Ok(());
+                }
+                if self.baked.permit_vertex(v) {
+                    // Live semantics: a baked restore rebuilds, folding
+                    // the buffer along the way.
+                    self.dirty = true;
+                    self.fold();
+                    return Ok(());
+                }
+                return Err(invalid(format!("vertex {v} is not deleted")));
+            }
+            WalRecord::RestoreEdge(a, b) => {
+                check(a)?;
+                check(b)?;
+                if self.buffer.permit_edge(a, b) {
+                    return Ok(());
+                }
+                if self.baked.permit_edge(a, b) {
+                    self.dirty = true;
+                    self.fold();
+                    return Ok(());
+                }
+                return Err(invalid(format!("edge {{{a}, {b}}} is not deleted")));
+            }
+            WalRecord::Fold => self.fold(),
+        }
+        Ok(())
+    }
 }
 
 impl DynamicOracle {
     /// Creates the oracle over `g` with precision `epsilon` and the default
     /// `⌈√n⌉` rebuild threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unusable configuration; [`DynamicOracle::try_new`] is
+    /// the typed-error variant.
     pub fn new(g: &Graph, epsilon: f64) -> Self {
-        let threshold = (g.num_vertices() as f64).sqrt().ceil() as usize;
-        Self::with_threshold(g, epsilon, threshold.max(1))
+        Self::try_new(g, epsilon).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Creates the oracle with an explicit rebuild threshold (the harness
@@ -142,45 +562,416 @@ impl DynamicOracle {
     ///
     /// # Panics
     ///
-    /// Panics if `threshold == 0`, `g` is empty, or `epsilon` is invalid.
+    /// Panics if `threshold == 0`, `g` is empty, or `epsilon` is invalid;
+    /// [`DynamicOracle::try_with_threshold`] is the typed-error variant.
     pub fn with_threshold(g: &Graph, epsilon: f64, threshold: usize) -> Self {
-        assert!(threshold > 0, "rebuild threshold must be positive");
-        let base = subgraph::remove_faults(g, &FaultSet::empty());
-        let params = SchemeParams::new(epsilon, base.graph.num_vertices());
-        let oracle = ForbiddenSetOracle::with_params(&base.graph, params);
-        DynamicOracle {
-            original: g.clone(),
-            epsilon,
-            baked: FaultSet::empty(),
-            buffer: FaultSet::empty(),
-            threshold,
-            base,
-            oracle,
-            rebuilds: 0,
-            store_dir: None,
+        Self::try_with_threshold(g, epsilon, threshold).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`DynamicOracle::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::InvalidConfig`] for an empty graph or an invalid
+    /// `epsilon`.
+    pub fn try_new(g: &Graph, epsilon: f64) -> Result<Self, DynamicError> {
+        Self::try_with_config(
+            g,
+            DynamicConfig {
+                epsilon,
+                ..DynamicConfig::default()
+            },
+        )
+    }
+
+    /// Fallible [`DynamicOracle::with_threshold`].
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::InvalidConfig`] when `threshold == 0`, `g` is
+    /// empty, or `epsilon` is not positive finite.
+    pub fn try_with_threshold(
+        g: &Graph,
+        epsilon: f64,
+        threshold: usize,
+    ) -> Result<Self, DynamicError> {
+        Self::try_with_config(
+            g,
+            DynamicConfig {
+                epsilon,
+                threshold: Some(threshold),
+                ..DynamicConfig::default()
+            },
+        )
+    }
+
+    /// Creates the oracle from a full [`DynamicConfig`] (rebuild mode,
+    /// worker count, threshold).
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::InvalidConfig`] for any unusable setting.
+    pub fn try_with_config(g: &Graph, config: DynamicConfig) -> Result<Self, DynamicError> {
+        let invalid = |message: String| DynamicError::InvalidConfig { message };
+        if g.num_vertices() == 0 {
+            return Err(invalid("the graph has no vertices".into()));
         }
+        if !(config.epsilon.is_finite() && config.epsilon > 0.0) {
+            return Err(invalid(format!(
+                "epsilon must be positive finite, got {}",
+                config.epsilon
+            )));
+        }
+        if config.threshold == Some(0) {
+            return Err(invalid("rebuild threshold must be positive".into()));
+        }
+        let threshold = config
+            .threshold
+            .unwrap_or_else(|| ((g.num_vertices() as f64).sqrt().ceil() as usize).max(1));
+        let generation = Arc::new(build_generation(g, FaultSet::empty(), config.epsilon, 0));
+        Ok(Self::assemble(
+            g.clone(),
+            config.epsilon,
+            threshold,
+            config.mode,
+            config.rebuild_workers,
+            generation,
+            FaultSet::empty(),
+            None,
+            None,
+            0,
+            None,
+        ))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        original: Graph,
+        epsilon: f64,
+        threshold: usize,
+        mode: RebuildMode,
+        rebuild_workers: usize,
+        generation: Arc<GenerationState>,
+        buffer: FaultSet,
+        store_dir: Option<PathBuf>,
+        wal: Option<Wal>,
+        store_generation: u64,
+        replay: Option<ReplayReport>,
+    ) -> Self {
+        DynamicOracle {
+            inner: Arc::new(Inner {
+                original,
+                epsilon,
+                threshold,
+                background: AtomicBool::new(mode == RebuildMode::Background),
+                rebuild_workers: AtomicUsize::new(rebuild_workers),
+                build_in_flight: AtomicBool::new(false),
+                serving: RwLock::new(Arc::new(ServingState { generation, buffer })),
+                commit: Mutex::new(CommitState {
+                    store_dir,
+                    wal,
+                    generation: store_generation,
+                }),
+                rebuild: Mutex::new(RebuildCtl::default()),
+                counters: Counters::default(),
+                replay,
+                inject_build_errors: AtomicUsize::new(0),
+                inject_build_panics: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    // ----- lock helpers (panic-free on poisoning: a poisoned thread must
+    // degrade, not cascade) -----
+
+    fn lock_commit(&self) -> MutexGuard<'_, CommitState> {
+        self.inner.commit.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_rebuild(&self) -> MutexGuard<'_, RebuildCtl> {
+        self.inner.rebuild.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The query path's snapshot: an `Arc` clone out of the serving lock.
+    /// Never touches the commit or rebuild locks — contention can only
+    /// come from an `O(1)` install swap, and is counted to prove it.
+    fn snapshot(&self) -> Arc<ServingState> {
+        match self.inner.serving.try_read() {
+            Ok(s) => Arc::clone(&s),
+            Err(std::sync::TryLockError::Poisoned(e)) => Arc::clone(&e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                let c = &self.inner.counters;
+                c.serving_swaps_contended.fetch_add(1, Ordering::Relaxed);
+                if self.inner.build_in_flight.load(Ordering::Relaxed) {
+                    c.blocked_on_rebuild.fetch_add(1, Ordering::Relaxed);
+                }
+                let guard = self.inner.serving.read().unwrap_or_else(|e| e.into_inner());
+                Arc::clone(&guard)
+            }
+        }
+    }
+
+    /// Publishes a new serving state (commit lock must be held by the
+    /// caller — updates and installs serialize there).
+    fn install(&self, generation: Arc<GenerationState>, buffer: FaultSet) {
+        let next = Arc::new(ServingState { generation, buffer });
+        let mut guard = self
+            .inner
+            .serving
+            .write()
+            .unwrap_or_else(|e| e.into_inner());
+        *guard = next;
     }
 
     /// Number of buffered (not yet baked) faults.
     pub fn buffered(&self) -> usize {
-        self.buffer.len()
+        self.snapshot().buffer.len()
     }
 
     /// Number of rebuilds performed so far.
     pub fn rebuilds(&self) -> usize {
-        self.rebuilds
+        self.inner.counters.rebuilds.load(Ordering::Relaxed) as usize
     }
 
     /// The current full fault set (baked + buffered).
     pub fn current_faults(&self) -> FaultSet {
-        let mut f = self.baked.clone();
-        for v in self.buffer.vertices() {
-            f.forbid_vertex(v);
-        }
-        for e in self.buffer.edges() {
-            f.forbid_edge_unchecked(e.lo(), e.hi());
-        }
+        let snap = self.snapshot();
+        let mut f = snap.generation.baked.clone();
+        fold_into(&mut f, &snap.buffer);
         f
+    }
+
+    /// Switches the rebuild scheduling mode (takes effect at the next
+    /// threshold crossing; an in-flight background rebuild finishes
+    /// regardless).
+    pub fn set_rebuild_mode(&mut self, mode: RebuildMode) {
+        self.inner
+            .background
+            .store(mode == RebuildMode::Background, Ordering::SeqCst);
+    }
+
+    /// The current rebuild scheduling mode.
+    pub fn rebuild_mode(&self) -> RebuildMode {
+        if self.inner.background.load(Ordering::SeqCst) {
+            RebuildMode::Background
+        } else {
+            RebuildMode::Blocking
+        }
+    }
+
+    /// Whether a background rebuild is currently in flight.
+    pub fn rebuild_in_flight(&self) -> bool {
+        self.lock_rebuild().running
+    }
+
+    /// Blocks until no background rebuild is in flight (returns
+    /// immediately when none is).
+    pub fn wait_for_rebuild(&self) {
+        loop {
+            let handle = {
+                let mut ctl = self.lock_rebuild();
+                if !ctl.running && ctl.handle.is_none() {
+                    return;
+                }
+                ctl.handle.take()
+            };
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+    }
+
+    /// Makes the next `n` background rebuild attempts fail with an
+    /// injected build fault (test/chaos hook for the degradation ladder).
+    pub fn inject_rebuild_errors(&self, n: usize) {
+        self.inner.inject_build_errors.store(n, Ordering::SeqCst);
+    }
+
+    /// Makes the next `n` background rebuild attempts panic (exercises
+    /// the poisoned-thread leg of the degradation ladder).
+    pub fn inject_rebuild_panics(&self, n: usize) {
+        self.inner.inject_build_panics.store(n, Ordering::SeqCst);
+    }
+
+    /// A point-in-time snapshot of the rebuild / WAL health counters.
+    pub fn stats(&self) -> DynamicStats {
+        let snap = self.snapshot();
+        let c = &self.inner.counters;
+        let (generation, wal_records, wal_bytes) = {
+            let commit = self.lock_commit();
+            match commit.wal.as_ref() {
+                Some(w) => (
+                    commit.generation,
+                    w.records_since_rotation(),
+                    w.bytes_since_rotation(),
+                ),
+                None => (commit.generation, 0, 0),
+            }
+        };
+        let (replayed_records, replay_truncated_bytes) = self
+            .inner
+            .replay
+            .as_ref()
+            .map_or((0, 0), |r| (r.records as u64, r.truncated_bytes));
+        DynamicStats {
+            rebuilds: c.rebuilds.load(Ordering::Relaxed),
+            background_rebuilds: c.background_rebuilds.load(Ordering::Relaxed),
+            failed_rebuilds: c.failed_rebuilds.load(Ordering::Relaxed),
+            last_rebuild_ms: c.last_rebuild_nanos.load(Ordering::Relaxed) as f64 / 1e6,
+            rebuild_in_flight: self.rebuild_in_flight(),
+            buffered: snap.buffer.len(),
+            baked: snap.generation.baked.len(),
+            threshold: self.inner.threshold,
+            store_generation: generation,
+            wal_records_since_rotation: wal_records,
+            wal_bytes_since_rotation: wal_bytes,
+            carry_over_depth: c.carry_over_depth.load(Ordering::Relaxed),
+            replayed_records,
+            replay_truncated_bytes,
+            blocked_on_rebuild: c.blocked_on_rebuild.load(Ordering::Relaxed),
+            serving_swaps_contended: c.serving_swaps_contended.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The WAL replay this oracle performed at [`DynamicOracle::open`]
+    /// time, if any.
+    pub fn wal_replay(&self) -> Option<&ReplayReport> {
+        self.inner.replay.as_ref()
+    }
+
+    fn check_vertex(&self, v: NodeId) -> Result<(), DynamicError> {
+        if self.inner.original.contains(v) {
+            Ok(())
+        } else {
+            Err(DynamicError::VertexOutOfRange {
+                v,
+                n: self.inner.original.num_vertices(),
+            })
+        }
+    }
+
+    /// Surfaces a background failure recorded since the last update, per
+    /// the degradation contract.
+    fn take_background_failure(&self) -> Result<(), DynamicError> {
+        let mut ctl = self.lock_rebuild();
+        match ctl.failure.take() {
+            Some(message) => Err(DynamicError::RebuildFailed { message }),
+            None => Ok(()),
+        }
+    }
+
+    /// Appends `record` to the WAL (the durability handshake: nothing is
+    /// applied in memory until this succeeds). No-op without a store.
+    fn wal_append(&self, commit: &mut CommitState, record: WalRecord) -> Result<(), DynamicError> {
+        if commit.store_dir.is_none() {
+            return Ok(());
+        }
+        match commit.wal.as_mut() {
+            Some(w) => w.append(record).map_err(|e| DynamicError::Wal {
+                message: e.to_string(),
+            }),
+            None => Err(DynamicError::Wal {
+                message: "log unavailable after a failed rotation; \
+                          re-attach the store to restore durability"
+                    .into(),
+            }),
+        }
+    }
+
+    /// Post-update step: trigger a rebuild when the buffer crossed the
+    /// threshold, then surface any pending background failure.
+    fn after_update(&self, mut commit: MutexGuard<'_, CommitState>) -> Result<(), DynamicError> {
+        let over = self.snapshot().buffer.len() > self.inner.threshold;
+        if over {
+            if self.inner.background.load(Ordering::SeqCst) {
+                self.spawn_background_rebuild();
+            } else {
+                self.blocking_fold_rebuild(&mut commit, None).map_err(|e| {
+                    DynamicError::Persist {
+                        message: e.to_string(),
+                    }
+                })?;
+            }
+        }
+        drop(commit);
+        self.take_background_failure()
+    }
+
+    /// Folds buffer (and optionally restores a baked fault) into a new
+    /// generation, installs it, and persists + rotates. Commit lock held
+    /// by the caller. Blocking-path workhorse; also the open-replay and
+    /// baked-restore path.
+    fn blocking_fold_rebuild(
+        &self,
+        commit: &mut CommitState,
+        restore_baked: Option<RestoreOp>,
+    ) -> Result<(), StoreError> {
+        let snap = self.snapshot();
+        let started = Instant::now();
+        let mut baked = snap.generation.baked.clone();
+        if let Some(op) = restore_baked {
+            match op {
+                RestoreOp::Vertex(v) => {
+                    baked.permit_vertex(v);
+                }
+                RestoreOp::Edge(a, b) => {
+                    baked.permit_edge(a, b);
+                }
+            }
+        }
+        fold_into(&mut baked, &snap.buffer);
+        let generation = Arc::new(build_generation(
+            &self.inner.original,
+            baked,
+            self.inner.epsilon,
+            0,
+        ));
+        self.install(Arc::clone(&generation), FaultSet::empty());
+        let c = &self.inner.counters;
+        c.rebuilds.fetch_add(1, Ordering::Relaxed);
+        c.last_rebuild_nanos
+            .store(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        persist_and_rotate(
+            self.inner.threshold,
+            commit,
+            &generation,
+            &FaultSet::empty(),
+        )
+    }
+
+    /// Spawns the background rebuild thread unless one is running or the
+    /// failure backoff is still cooling down. Commit lock held by the
+    /// caller (so the fold snapshot cannot race an install).
+    fn spawn_background_rebuild(&self) {
+        let mut ctl = self.lock_rebuild();
+        if ctl.running {
+            return;
+        }
+        if let Some(nb) = ctl.not_before {
+            if Instant::now() < nb {
+                return;
+            }
+        }
+        // Reap the previous thread's handle (it has already finished).
+        if let Some(h) = ctl.handle.take() {
+            let _ = h.join();
+        }
+        let snap = self.snapshot();
+        if snap.buffer.is_empty() {
+            return;
+        }
+        let fold = snap.buffer.clone();
+        let baked_start = snap.generation.baked.clone();
+        ctl.running = true;
+        ctl.fold = Some(fold.clone());
+        self.inner.build_in_flight.store(true, Ordering::SeqCst);
+        let inner = Arc::clone(&self.inner);
+        ctl.handle = Some(std::thread::spawn(move || {
+            background_rebuild(&inner, baked_start, fold);
+        }));
     }
 
     /// Deletes a vertex of `G` (`Ok` no-op if already deleted).
@@ -188,17 +979,23 @@ impl DynamicOracle {
     /// # Errors
     ///
     /// [`DynamicError::VertexOutOfRange`] when `v` is not a vertex of the
-    /// original graph.
+    /// original graph; [`DynamicError::Wal`] when the write-ahead append
+    /// failed (the update is then *not* applied); [`DynamicError::Persist`]
+    /// / [`DynamicError::RebuildFailed`] per the store contract (the
+    /// update *is* applied in memory).
     pub fn delete_vertex(&mut self, v: NodeId) -> Result<(), DynamicError> {
         self.check_vertex(v)?;
-        if self.baked.is_vertex_faulty(v) || self.buffer.is_vertex_faulty(v) {
-            return Ok(());
+        let mut commit = self.lock_commit();
+        let snap = self.snapshot();
+        if snap.generation.baked.is_vertex_faulty(v) || snap.buffer.is_vertex_faulty(v) {
+            drop(commit);
+            return self.take_background_failure();
         }
-        self.buffer.forbid_vertex(v);
-        if self.maybe_rebuild() {
-            self.persist_after_rebuild()?;
-        }
-        Ok(())
+        self.wal_append(&mut commit, WalRecord::DeleteVertex(v))?;
+        let mut buffer = snap.buffer.clone();
+        buffer.forbid_vertex(v);
+        self.install(Arc::clone(&snap.generation), buffer);
+        self.after_update(commit)
     }
 
     /// Deletes an edge of `G` (`Ok` no-op if already deleted).
@@ -207,41 +1004,68 @@ impl DynamicOracle {
     ///
     /// [`DynamicError::VertexOutOfRange`] for an out-of-range endpoint;
     /// [`DynamicError::NotAnEdge`] when `{a, b}` is not an edge of the
-    /// original graph.
+    /// original graph; plus the store-path errors of
+    /// [`DynamicOracle::delete_vertex`].
     pub fn delete_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), DynamicError> {
         self.check_vertex(a)?;
         self.check_vertex(b)?;
-        if !self.original.has_edge(a, b) {
+        if !self.inner.original.has_edge(a, b) {
             return Err(DynamicError::NotAnEdge { a, b });
         }
-        if self.baked.is_edge_faulty(a, b) || self.buffer.is_edge_faulty(a, b) {
-            return Ok(());
+        let mut commit = self.lock_commit();
+        let snap = self.snapshot();
+        if snap.generation.baked.is_edge_faulty(a, b) || snap.buffer.is_edge_faulty(a, b) {
+            drop(commit);
+            return self.take_background_failure();
         }
-        self.buffer.forbid_edge_unchecked(a, b);
-        if self.maybe_rebuild() {
-            self.persist_after_rebuild()?;
-        }
-        Ok(())
+        self.wal_append(&mut commit, WalRecord::DeleteEdge(a, b))?;
+        let mut buffer = snap.buffer.clone();
+        buffer.forbid_edge_unchecked(a, b);
+        self.install(Arc::clone(&snap.generation), buffer);
+        self.after_update(commit)
+    }
+
+    /// True when an in-flight background rebuild is folding this fault —
+    /// restoring it must drain the rebuild first (otherwise the install
+    /// would bake a fault the caller just restored).
+    fn fold_conflict(&self, check: impl Fn(&FaultSet) -> bool) -> bool {
+        let ctl = self.lock_rebuild();
+        ctl.running && ctl.fold.as_ref().is_some_and(&check)
     }
 
     /// Restores a previously deleted vertex of `G`. Restorations of baked
-    /// deletions force a rebuild (the labeling no longer matches).
+    /// deletions force a (blocking) rebuild — the labeling no longer
+    /// matches — draining any in-flight background rebuild first.
     ///
     /// # Errors
     ///
     /// [`DynamicError::VertexOutOfRange`] for an out-of-range id;
     /// [`DynamicError::VertexNotDeleted`] when `v` is not currently
-    /// deleted (previously a silent no-op — surfacing it catches
-    /// desynchronized callers).
+    /// deleted; plus the store-path errors of
+    /// [`DynamicOracle::delete_vertex`].
     pub fn restore_vertex(&mut self, v: NodeId) -> Result<(), DynamicError> {
         self.check_vertex(v)?;
-        if self.buffer.permit_vertex(v) {
-            return Ok(());
+        if self.fold_conflict(|f| f.is_vertex_faulty(v)) {
+            self.wait_for_rebuild();
         }
-        if self.baked.permit_vertex(v) {
-            self.rebuild();
-            self.persist_after_rebuild()?;
-            return Ok(());
+        let mut commit = self.lock_commit();
+        let snap = self.snapshot();
+        if snap.buffer.is_vertex_faulty(v) {
+            self.wal_append(&mut commit, WalRecord::RestoreVertex(v))?;
+            let mut buffer = snap.buffer.clone();
+            buffer.permit_vertex(v);
+            self.install(Arc::clone(&snap.generation), buffer);
+            drop(commit);
+            return self.take_background_failure();
+        }
+        if snap.generation.baked.is_vertex_faulty(v) {
+            self.wal_append(&mut commit, WalRecord::RestoreVertex(v))?;
+            self.blocking_fold_rebuild(&mut commit, Some(RestoreOp::Vertex(v)))
+                .map_err(|e| DynamicError::Persist {
+                    message: e.to_string(),
+                })?;
+            drop(commit);
+            return self.take_background_failure();
         }
         Err(DynamicError::VertexNotDeleted { v })
     }
@@ -252,30 +1076,34 @@ impl DynamicOracle {
     ///
     /// [`DynamicError::VertexOutOfRange`] for an out-of-range endpoint;
     /// [`DynamicError::EdgeNotDeleted`] when `{a, b}` is not currently
-    /// deleted.
+    /// deleted; plus the store-path errors of
+    /// [`DynamicOracle::delete_vertex`].
     pub fn restore_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), DynamicError> {
         self.check_vertex(a)?;
         self.check_vertex(b)?;
-        if self.buffer.permit_edge(a, b) {
-            return Ok(());
+        if self.fold_conflict(|f| f.is_edge_faulty(a, b)) {
+            self.wait_for_rebuild();
         }
-        if self.baked.permit_edge(a, b) {
-            self.rebuild();
-            self.persist_after_rebuild()?;
-            return Ok(());
+        let mut commit = self.lock_commit();
+        let snap = self.snapshot();
+        if snap.buffer.is_edge_faulty(a, b) {
+            self.wal_append(&mut commit, WalRecord::RestoreEdge(a, b))?;
+            let mut buffer = snap.buffer.clone();
+            buffer.permit_edge(a, b);
+            self.install(Arc::clone(&snap.generation), buffer);
+            drop(commit);
+            return self.take_background_failure();
+        }
+        if snap.generation.baked.is_edge_faulty(a, b) {
+            self.wal_append(&mut commit, WalRecord::RestoreEdge(a, b))?;
+            self.blocking_fold_rebuild(&mut commit, Some(RestoreOp::Edge(a, b)))
+                .map_err(|e| DynamicError::Persist {
+                    message: e.to_string(),
+                })?;
+            drop(commit);
+            return self.take_background_failure();
         }
         Err(DynamicError::EdgeNotDeleted { a, b })
-    }
-
-    fn check_vertex(&self, v: NodeId) -> Result<(), DynamicError> {
-        if self.original.contains(v) {
-            Ok(())
-        } else {
-            Err(DynamicError::VertexOutOfRange {
-                v,
-                n: self.original.num_vertices(),
-            })
-        }
     }
 
     /// The `(1+ε)`-approximate distance between `s` and `t` (original ids)
@@ -299,6 +1127,10 @@ impl DynamicOracle {
     /// matching the fallible update API (and the store serving path,
     /// which must never abort on untrusted query input).
     ///
+    /// This is the always-available path: it reads one `Arc` snapshot
+    /// from the serving lock and never waits on the commit or rebuild
+    /// locks, so an in-flight background rebuild cannot block it.
+    ///
     /// # Errors
     ///
     /// [`DynamicError::VertexOutOfRange`] when `s` or `t` is not a vertex
@@ -306,28 +1138,30 @@ impl DynamicOracle {
     pub fn try_distance(&self, s: NodeId, t: NodeId) -> Result<Dist, DynamicError> {
         self.check_vertex(s)?;
         self.check_vertex(t)?;
+        let snap = self.snapshot();
+        let gen = &snap.generation;
         // Deleted endpoints are unreachable by definition.
-        let (Some(bs), Some(bt)) = (self.base.map(s), self.base.map(t)) else {
+        let (Some(bs), Some(bt)) = (gen.base.map(s), gen.base.map(t)) else {
             return Ok(Dist::INFINITE);
         };
-        if self.buffer.is_vertex_faulty(s) || self.buffer.is_vertex_faulty(t) {
+        if snap.buffer.is_vertex_faulty(s) || snap.buffer.is_vertex_faulty(t) {
             return Ok(Dist::INFINITE);
         }
         // Translate buffered faults into base-graph ids.
         let mut f = FaultSet::empty();
-        for v in self.buffer.vertices() {
-            if let Some(bv) = self.base.map(v) {
+        for v in snap.buffer.vertices() {
+            if let Some(bv) = gen.base.map(v) {
                 f.forbid_vertex(bv);
             }
         }
-        for e in self.buffer.edges() {
-            if let (Some(a), Some(b)) = (self.base.map(e.lo()), self.base.map(e.hi())) {
-                if self.base.graph.has_edge(a, b) {
+        for e in snap.buffer.edges() {
+            if let (Some(a), Some(b)) = (gen.base.map(e.lo()), gen.base.map(e.hi())) {
+                if gen.base.graph.has_edge(a, b) {
                     f.forbid_edge_unchecked(a, b);
                 }
             }
         }
-        Ok(self.oracle.distance(bs, bt, &f))
+        Ok(gen.oracle.distance(bs, bt, &f))
     }
 
     /// Connectivity in the current graph.
@@ -335,53 +1169,36 @@ impl DynamicOracle {
         self.distance(s, t).is_finite()
     }
 
-    fn maybe_rebuild(&mut self) -> bool {
-        if self.buffer.len() > self.threshold {
-            self.rebuild();
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Persists the current state to the attached store, if any, mapping
-    /// the failure into the update API's error type. The in-memory oracle
-    /// is already consistent when this runs; on error the store simply
-    /// still holds its previous generation.
-    fn persist_after_rebuild(&mut self) -> Result<(), DynamicError> {
-        let Some(dir) = self.store_dir.clone() else {
-            return Ok(());
-        };
-        self.save(&dir)
-            .map(|_| ())
-            .map_err(|e| DynamicError::Persist {
-                message: e.to_string(),
-            })
-    }
-
-    /// Folds the buffer into the baked set and rebuilds the labeling on the
-    /// surviving graph.
+    /// Folds the buffer into the baked set and rebuilds the labeling on
+    /// the surviving graph, synchronously and in memory only (call
+    /// [`DynamicOracle::save`] to checkpoint). With a store attached, the
+    /// fold is still WAL-logged so a post-crash replay reproduces the
+    /// same baked/buffered split; a WAL failure here is recorded and
+    /// surfaces from the next update.
     pub fn rebuild(&mut self) {
-        for v in self.buffer.vertices().collect::<Vec<_>>() {
-            self.baked.forbid_vertex(v);
+        self.wait_for_rebuild();
+        let mut commit = self.lock_commit();
+        if commit.store_dir.is_some() {
+            if let Err(e) = self.wal_append(&mut commit, WalRecord::Fold) {
+                let mut ctl = self.lock_rebuild();
+                ctl.failure = Some(format!("logging an explicit fold failed: {e}"));
+            }
         }
-        for e in self.buffer.edges().collect::<Vec<_>>() {
-            self.baked.forbid_edge_unchecked(e.lo(), e.hi());
-        }
-        self.buffer = FaultSet::empty();
-        self.base = subgraph::remove_faults(&self.original, &self.baked);
-        let n = self.base.graph.num_vertices().max(1);
-        // Degenerate case: everything deleted; keep a 1-vertex placeholder
-        // graph (queries all return INFINITE via the mapping checks).
-        if self.base.graph.num_vertices() == 0 {
-            let placeholder = fsdl_graph::GraphBuilder::new(1).build();
-            let params = SchemeParams::new(self.epsilon, 1);
-            self.oracle = ForbiddenSetOracle::with_params(&placeholder, params);
-        } else {
-            let params = SchemeParams::new(self.epsilon, n);
-            self.oracle = ForbiddenSetOracle::with_params(&self.base.graph, params);
-        }
-        self.rebuilds += 1;
+        let snap = self.snapshot();
+        let started = Instant::now();
+        let mut baked = snap.generation.baked.clone();
+        fold_into(&mut baked, &snap.buffer);
+        let generation = Arc::new(build_generation(
+            &self.inner.original,
+            baked,
+            self.inner.epsilon,
+            0,
+        ));
+        self.install(generation, FaultSet::empty());
+        let c = &self.inner.counters;
+        c.rebuilds.fetch_add(1, Ordering::Relaxed);
+        c.last_rebuild_nanos
+            .store(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Persists the oracle's full state to the store at `dir` as a new
@@ -389,23 +1206,32 @@ impl DynamicOracle {
     /// the baked fault set, the *buffered* fault set, and the rebuild
     /// threshold — so a mid-churn [`DynamicOracle::open`] resumes
     /// bit-identically, buffered deletions included. Older generations
-    /// are pruned after the manifest swap.
+    /// are pruned after the manifest swap; when `dir` is the attached
+    /// store, the WAL is rotated too (the new manifest subsumes it).
     ///
     /// # Errors
     ///
     /// A typed [`StoreError`] on encoding or I/O failure; the store keeps
     /// its previous generation in that case.
     pub fn save(&self, dir: &Path) -> Result<StoreReport, StoreError> {
-        let encoded = self.oracle.encoded_labels()?;
-        store::write_generation(
+        let mut commit = self.lock_commit();
+        let snap = self.snapshot();
+        let encoded = snap.generation.oracle.encoded_labels()?;
+        let report = store::write_generation(
             dir,
-            self.oracle.params(),
-            store::graph_fingerprint(self.oracle.labeling().graph()),
+            snap.generation.oracle.params(),
+            store::graph_fingerprint(snap.generation.oracle.labeling().graph()),
             &encoded,
-            &self.baked,
-            &self.buffer,
-            Some(self.threshold),
-        )
+            &snap.generation.baked,
+            &snap.buffer,
+            Some(self.inner.threshold),
+        )?;
+        if commit.store_dir.as_deref() == Some(dir) {
+            commit.wal = None;
+            rotate_wal(&mut commit, dir, report.generation)?;
+            commit.generation = report.generation;
+        }
+        Ok(report)
     }
 
     /// Warm-starts a dynamic oracle from the store at `dir`, previously
@@ -413,9 +1239,16 @@ impl DynamicOracle {
     /// store). `g` must be the *original* graph: the baked fault set from
     /// the manifest is re-applied to reconstruct the base subgraph, whose
     /// fingerprint must match the segment's; labels then decode lazily
-    /// from the segment, so the rebuild cost is skipped. The returned
-    /// oracle keeps `dir` attached, so subsequent rebuilds persist new
-    /// generations.
+    /// from the segment, so the rebuild cost is skipped.
+    ///
+    /// Recovery work on top of that: stale WAL files, orphaned segments,
+    /// and `.tmp-` artifacts are pruned; the current generation's WAL is
+    /// replayed (torn tails truncated, corruption rejected with a typed
+    /// error); if the replay crossed a fold point, the labeling is
+    /// rebuilt and persisted as a fresh generation before serving. The
+    /// returned oracle keeps `dir` attached (WAL included), so subsequent
+    /// updates are durable. It starts in [`RebuildMode::Blocking`]; use
+    /// [`DynamicOracle::set_rebuild_mode`] to go non-blocking.
     ///
     /// # Errors
     ///
@@ -423,6 +1256,9 @@ impl DynamicOracle {
     /// failure — never a panic on untrusted on-disk bytes.
     pub fn open(dir: &Path, g: &Graph) -> Result<Self, StoreError> {
         let manifest = store::read_manifest(dir)?;
+        // A crash loop must not leak files: drop orphaned segments, stale
+        // WALs, and temp artifacts before anything else.
+        store::prune_generations(dir, manifest.generation);
         let segment = Segment::read(&dir.join(&manifest.segment))?;
         for v in manifest.baked.vertices().chain(manifest.buffer.vertices()) {
             if !g.contains(v) {
@@ -449,35 +1285,119 @@ impl DynamicOracle {
                 message: "rebuild threshold must be positive".into(),
             });
         }
-        let base = subgraph::remove_faults(g, &manifest.baked);
-        let oracle = if base.graph.num_vertices() == 0 {
-            // The degenerate all-deleted state was saved over the 1-vertex
-            // placeholder graph; reconstruct the same placeholder.
-            let placeholder = fsdl_graph::GraphBuilder::new(1).build();
-            ForbiddenSetOracle::from_segment(&placeholder, Arc::new(segment))?
-        } else {
-            ForbiddenSetOracle::from_segment(&base.graph, Arc::new(segment))?
-        };
-        let epsilon = oracle.params().epsilon();
         let threshold = manifest
             .threshold
             .unwrap_or_else(|| ((g.num_vertices() as f64).sqrt().ceil() as usize).max(1));
-        Ok(DynamicOracle {
-            original: g.clone(),
-            epsilon,
+        // Guard against wrong-graph opens before any replay writes: the
+        // segment must have been built on exactly `g ∖ baked`.
+        let base0 = subgraph::remove_faults(g, &manifest.baked);
+        let expected_fp = if base0.graph.num_vertices() == 0 {
+            store::graph_fingerprint(&fsdl_graph::GraphBuilder::new(1).build())
+        } else {
+            store::graph_fingerprint(&base0.graph)
+        };
+        if expected_fp != segment.graph_fingerprint() {
+            return Err(StoreError::GraphMismatch {
+                expected: expected_fp,
+                found: segment.graph_fingerprint(),
+            });
+        }
+        let epsilon = segment.params()?.epsilon();
+        // Replay the WAL (if one survived) over the manifest state.
+        let wal_path = dir.join(crate::wal::wal_file_name(manifest.generation));
+        let (wal, records, replay) = if wal_path.exists() {
+            let (w, records, replay) = Wal::open(dir, manifest.generation)?;
+            (w, records, replay)
+        } else {
+            (
+                Wal::create(dir, manifest.generation)?,
+                Vec::new(),
+                ReplayReport::default(),
+            )
+        };
+        let mut sim = ReplaySim {
             baked: manifest.baked,
             buffer: manifest.buffer,
-            threshold,
-            base,
-            oracle,
-            rebuilds: 0,
+            dirty: false,
+        };
+        for (index, record) in records.iter().enumerate() {
+            sim.apply(g, threshold, index, *record)?;
+        }
+        if !sim.dirty {
+            // The segment's labeling still matches the baked set; serve
+            // straight from it, keeping the WAL and its records.
+            let oracle = if base0.graph.num_vertices() == 0 {
+                let placeholder = fsdl_graph::GraphBuilder::new(1).build();
+                ForbiddenSetOracle::from_segment(&placeholder, Arc::new(segment))?
+            } else {
+                ForbiddenSetOracle::from_segment(&base0.graph, Arc::new(segment))?
+            };
+            let generation = Arc::new(GenerationState {
+                base: base0,
+                oracle,
+                baked: sim.baked,
+            });
+            return Ok(Self::assemble(
+                g.clone(),
+                epsilon,
+                threshold,
+                RebuildMode::Blocking,
+                0,
+                generation,
+                sim.buffer,
+                Some(dir.to_path_buf()),
+                Some(wal),
+                manifest.generation,
+                Some(replay),
+            ));
+        }
+        // The replay crossed a fold point: the persisted labeling is
+        // stale. Rebuild on the recovered baked set, persist it as a new
+        // generation, and rotate — all before serving, so a crash during
+        // recovery just replays again from the old manifest + WAL.
+        drop(wal);
+        let generation = Arc::new(build_generation(g, sim.baked, epsilon, 0));
+        let encoded = generation.oracle.encoded_labels()?;
+        let report = store::write_generation(
+            dir,
+            generation.oracle.params(),
+            store::graph_fingerprint(generation.oracle.labeling().graph()),
+            &encoded,
+            &generation.baked,
+            &sim.buffer,
+            Some(threshold),
+        )?;
+        let mut commit_stub = CommitState {
             store_dir: Some(dir.to_path_buf()),
-        })
+            wal: None,
+            generation: report.generation,
+        };
+        rotate_wal(&mut commit_stub, dir, report.generation)?;
+        let oracle = Self::assemble(
+            g.clone(),
+            epsilon,
+            threshold,
+            RebuildMode::Blocking,
+            0,
+            generation,
+            sim.buffer,
+            Some(dir.to_path_buf()),
+            commit_stub.wal,
+            report.generation,
+            Some(replay),
+        );
+        oracle
+            .inner
+            .counters
+            .rebuilds
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(oracle)
     }
 
     /// Attaches a store directory and persists the current state to it
-    /// immediately. From then on every rebuild (threshold overflow or
-    /// baked restoration) is persisted as a new generation; a persist
+    /// immediately (creating the write-ahead log that makes subsequent
+    /// updates durable). From then on every rebuild (threshold overflow
+    /// or baked restoration) is persisted as a new generation; a persist
     /// failure surfaces from the triggering update as
     /// [`DynamicError::Persist`] while the in-memory oracle stays
     /// consistent. Explicit [`DynamicOracle::rebuild`] calls are
@@ -486,18 +1406,143 @@ impl DynamicOracle {
     ///
     /// # Errors
     ///
-    /// A typed [`StoreError`] if the initial save fails (the store is
-    /// then *not* attached).
+    /// A typed [`StoreError`] if the initial save or WAL creation fails
+    /// (the store is then *not* attached).
     pub fn attach_store(&mut self, dir: &Path) -> Result<StoreReport, StoreError> {
-        let report = self.save(dir)?;
-        self.store_dir = Some(dir.to_path_buf());
+        self.wait_for_rebuild();
+        let mut commit = self.lock_commit();
+        let snap = self.snapshot();
+        let encoded = snap.generation.oracle.encoded_labels()?;
+        let report = store::write_generation(
+            dir,
+            snap.generation.oracle.params(),
+            store::graph_fingerprint(snap.generation.oracle.labeling().graph()),
+            &encoded,
+            &snap.generation.baked,
+            &snap.buffer,
+            Some(self.inner.threshold),
+        )?;
+        commit.wal = None;
+        if let Err(e) = rotate_wal(&mut commit, dir, report.generation) {
+            commit.store_dir = None;
+            return Err(e);
+        }
+        commit.store_dir = Some(dir.to_path_buf());
+        commit.generation = report.generation;
         Ok(report)
     }
 
     /// The attached store directory, if any.
-    pub fn store_dir(&self) -> Option<&Path> {
-        self.store_dir.as_deref()
+    pub fn store_dir(&self) -> Option<PathBuf> {
+        self.lock_commit().store_dir.clone()
     }
+}
+
+#[derive(Clone, Copy)]
+enum RestoreOp {
+    Vertex(NodeId),
+    Edge(NodeId, NodeId),
+}
+
+/// The background rebuild thread body: build the next generation off to
+/// the side, then (commit lock) persist, rotate, and install — or, on any
+/// failure, discard the work, record it for the next update, and back
+/// off. The serving path is untouched throughout except for the final
+/// `O(1)` install swap.
+fn background_rebuild(inner: &Arc<Inner>, baked_start: FaultSet, fold: FaultSet) {
+    let started = Instant::now();
+    let built: Result<GenerationState, String> = {
+        let take = |cell: &AtomicUsize| {
+            cell.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+        };
+        if take(&inner.inject_build_errors) {
+            Err("injected background build fault".into())
+        } else {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if take(&inner.inject_build_panics) {
+                    panic!("injected background build panic");
+                }
+                let mut baked = baked_start;
+                fold_into(&mut baked, &fold);
+                let requested = inner.rebuild_workers.load(Ordering::SeqCst);
+                let n = inner.original.num_vertices();
+                let workers = if requested == 0 {
+                    fsdl_nets::parallel::background_workers(n)
+                } else {
+                    fsdl_nets::parallel::resolve_workers(requested, n)
+                };
+                build_generation(&inner.original, baked, inner.epsilon, workers)
+            }));
+            match outcome {
+                Ok(gen) => Ok(gen),
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "background rebuild panicked".into());
+                    Err(format!("background rebuild panicked: {msg}"))
+                }
+            }
+        }
+    };
+    // The build phase is over (successful or not); from here only the
+    // O(1) commit/install steps remain, so queries observing contention
+    // past this point are not blocked "on the rebuild".
+    inner.build_in_flight.store(false, Ordering::SeqCst);
+
+    let outcome: Result<(), String> = match built {
+        Ok(gen) => {
+            let gen = Arc::new(gen);
+            let mut commit = inner.commit.lock().unwrap_or_else(|e| e.into_inner());
+            let snap = Arc::clone(&inner.serving.read().unwrap_or_else(|e| e.into_inner()));
+            // Updates that arrived mid-rebuild carry over to the new
+            // generation's decoder-side buffer.
+            let carry = fault_difference(&snap.buffer, &fold);
+            match persist_and_rotate(inner.threshold, &mut commit, &gen, &carry) {
+                Ok(()) => {
+                    {
+                        let next = Arc::new(ServingState {
+                            generation: gen,
+                            buffer: carry.clone(),
+                        });
+                        let mut guard = inner.serving.write().unwrap_or_else(|e| e.into_inner());
+                        *guard = next;
+                    }
+                    let c = &inner.counters;
+                    c.rebuilds.fetch_add(1, Ordering::Relaxed);
+                    c.background_rebuilds.fetch_add(1, Ordering::Relaxed);
+                    c.last_rebuild_nanos
+                        .store(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    c.carry_over_depth
+                        .store(carry.len() as u64, Ordering::Relaxed);
+                    Ok(())
+                }
+                Err(e) => Err(format!("persisting the rebuilt generation failed: {e}")),
+            }
+        }
+        Err(msg) => Err(msg),
+    };
+
+    let mut ctl = inner.rebuild.lock().unwrap_or_else(|e| e.into_inner());
+    match outcome {
+        Ok(()) => {
+            ctl.consecutive_failures = 0;
+            ctl.not_before = None;
+        }
+        Err(message) => {
+            inner
+                .counters
+                .failed_rebuilds
+                .fetch_add(1, Ordering::Relaxed);
+            ctl.consecutive_failures += 1;
+            ctl.not_before = Some(Instant::now() + backoff_after(ctl.consecutive_failures));
+            ctl.failure = Some(message);
+        }
+    }
+    ctl.fold = None;
+    ctl.running = false;
 }
 
 #[cfg(test)]
@@ -680,5 +1725,140 @@ mod tests {
         oracle.delete_vertex(NodeId::new(3)).unwrap();
         oracle.restore_vertex(NodeId::new(3)).unwrap();
         assert!(oracle.restore_vertex(NodeId::new(3)).is_err());
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        let g = generators::cycle(8);
+        assert!(matches!(
+            DynamicOracle::try_with_threshold(&g, 1.0, 0),
+            Err(DynamicError::InvalidConfig { .. })
+        ));
+        for eps in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                DynamicOracle::try_new(&g, eps),
+                Err(DynamicError::InvalidConfig { .. })
+            ));
+        }
+        let empty = fsdl_graph::GraphBuilder::new(0).build();
+        assert!(matches!(
+            DynamicOracle::try_new(&empty, 1.0),
+            Err(DynamicError::InvalidConfig { .. })
+        ));
+        // The panicking shims still panic, with the typed message.
+        let err = std::panic::catch_unwind(|| DynamicOracle::with_threshold(&g, 1.0, 0));
+        assert!(err.is_err());
+        // And a valid config still works.
+        assert!(DynamicOracle::try_with_threshold(&g, 1.0, 3).is_ok());
+    }
+
+    #[test]
+    fn background_rebuild_matches_blocking_answers() {
+        let g = generators::grid2d(6, 6);
+        let mut background = DynamicOracle::try_with_config(
+            &g,
+            DynamicConfig {
+                epsilon: 1.0,
+                threshold: Some(2),
+                mode: RebuildMode::Background,
+                rebuild_workers: 1,
+            },
+        )
+        .unwrap();
+        let mut faults = FaultSet::empty();
+        for v in [7u32, 14, 21, 28] {
+            background.delete_vertex(NodeId::new(v)).unwrap();
+            faults.forbid_vertex(NodeId::new(v));
+        }
+        background.wait_for_rebuild();
+        assert!(background.stats().background_rebuilds >= 1);
+        check_against_truth(&background, &g, &faults, 1.0);
+        // Restores still work after background installs.
+        background.restore_vertex(NodeId::new(7)).unwrap();
+        faults.permit_vertex(NodeId::new(7));
+        background.wait_for_rebuild();
+        check_against_truth(&background, &g, &faults, 1.0);
+    }
+
+    #[test]
+    fn injected_background_failure_degrades_and_recovers() {
+        let g = generators::grid2d(5, 5);
+        let mut oracle = DynamicOracle::try_with_config(
+            &g,
+            DynamicConfig {
+                epsilon: 1.0,
+                threshold: Some(1),
+                mode: RebuildMode::Background,
+                rebuild_workers: 1,
+            },
+        )
+        .unwrap();
+        oracle.inject_rebuild_errors(1);
+        oracle.delete_vertex(NodeId::new(6)).unwrap();
+        oracle.delete_vertex(NodeId::new(12)).unwrap(); // crosses threshold
+        oracle.wait_for_rebuild();
+        let stats = oracle.stats();
+        assert_eq!(stats.failed_rebuilds, 1);
+        assert_eq!(stats.background_rebuilds, 0);
+        // Old generation + buffer still serve correct answers.
+        let mut faults = FaultSet::empty();
+        faults.forbid_vertex(NodeId::new(6));
+        faults.forbid_vertex(NodeId::new(12));
+        check_against_truth(&oracle, &g, &faults, 1.0);
+        // The failure surfaces exactly once, on the next update.
+        let err = oracle.delete_vertex(NodeId::new(18)).unwrap_err();
+        assert!(matches!(err, DynamicError::RebuildFailed { .. }), "{err}");
+        faults.forbid_vertex(NodeId::new(18));
+        // After the backoff elapses, a later update retries and succeeds.
+        std::thread::sleep(backoff_after(1));
+        oracle.delete_vertex(NodeId::new(19)).unwrap();
+        faults.forbid_vertex(NodeId::new(19));
+        oracle.wait_for_rebuild();
+        assert_eq!(oracle.stats().background_rebuilds, 1);
+        check_against_truth(&oracle, &g, &faults, 1.0);
+    }
+
+    #[test]
+    fn injected_background_panic_is_contained() {
+        let g = generators::grid2d(4, 4);
+        let mut oracle = DynamicOracle::try_with_config(
+            &g,
+            DynamicConfig {
+                epsilon: 1.0,
+                threshold: Some(1),
+                mode: RebuildMode::Background,
+                rebuild_workers: 1,
+            },
+        )
+        .unwrap();
+        oracle.inject_rebuild_panics(1);
+        oracle.delete_vertex(NodeId::new(5)).unwrap();
+        oracle.delete_vertex(NodeId::new(10)).unwrap();
+        oracle.wait_for_rebuild();
+        assert_eq!(oracle.stats().failed_rebuilds, 1);
+        let err = oracle.delete_vertex(NodeId::new(3)).unwrap_err();
+        assert!(
+            matches!(err, DynamicError::RebuildFailed { message } if message.contains("panicked"))
+        );
+        // Still serving.
+        assert!(oracle.distance(NodeId::new(0), NodeId::new(15)).is_finite());
+    }
+
+    #[test]
+    fn stats_reflect_rebuilds() {
+        let g = generators::cycle(20);
+        let mut oracle = DynamicOracle::with_threshold(&g, 1.0, 1);
+        let s0 = oracle.stats();
+        assert_eq!(s0.rebuilds, 0);
+        assert_eq!(s0.threshold, 1);
+        assert_eq!(s0.blocked_on_rebuild, 0);
+        oracle.delete_vertex(NodeId::new(1)).unwrap();
+        oracle.delete_vertex(NodeId::new(2)).unwrap();
+        let s1 = oracle.stats();
+        assert_eq!(s1.rebuilds, 1);
+        assert!(s1.last_rebuild_ms > 0.0);
+        assert_eq!(s1.baked, 2);
+        assert_eq!(s1.buffered, 0);
+        assert_eq!(s1.store_generation, 0); // no store attached
     }
 }

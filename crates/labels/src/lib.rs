@@ -22,10 +22,13 @@
 //!   certificates + Dijkstra, touching nothing but labels;
 //! * [`ForbiddenSetOracle`] — the centralized `n ×` label table byproduct;
 //! * [`DynamicOracle`] — the fully-dynamic oracle byproduct (buffered
-//!   deletions, `√n` rebuild policy);
+//!   deletions, `√n` rebuild policy, optional background rebuilds);
 //! * [`store`] — the on-disk label store: checksummed segment files plus
 //!   an atomically swapped manifest, so oracles warm-start from disk and
 //!   a crash mid-write can never be observed as a torn store;
+//! * [`wal`] — the checksummed write-ahead log that makes dynamic updates
+//!   durable between store generations, with [`crash`] naming the
+//!   injectable crash points of the commit protocol;
 //! * [`failure_free`] — the simpler Section 2.1 overview scheme, used as a
 //!   baseline and a special case;
 //! * [`WeightedOracle`] — integer-weighted graphs via exact edge
@@ -55,6 +58,7 @@ pub mod audit;
 mod builder;
 pub mod codec;
 pub mod corrupt;
+pub mod crash;
 pub mod decode;
 mod dynamic;
 pub mod failure_free;
@@ -63,6 +67,7 @@ mod oracle;
 mod params;
 pub mod store;
 mod trace;
+pub mod wal;
 mod weighted;
 
 pub use builder::{BuildError, LabelScratch, Labeling, LabelingOptions, LevelReport};
@@ -70,11 +75,12 @@ pub use decode::{
     build_sketch, query, query_many, query_many_with_scratch, query_with, query_with_scratch,
     DecodeScratch, EdgeProvenance, QueryAnswer, QueryLabels, Sketch,
 };
-pub use dynamic::{DynamicError, DynamicOracle};
+pub use dynamic::{DynamicConfig, DynamicError, DynamicOracle, DynamicStats, RebuildMode};
 pub use failure_free::{query_failure_free, FailureFreeLabel, FailureFreeLabeling};
 pub use label::{Label, LabelInvalid, LabelPoint, LabelStats, LevelLabel, RealEdge, VirtualEdge};
 pub use oracle::{ForbiddenSetOracle, OracleError};
 pub use params::SchemeParams;
 pub use store::{StoreError, StoreReport};
 pub use trace::{trace_query, trace_query_with, QueryTrace, TraceHop};
+pub use wal::{ReplayReport, WalError, WalRecord};
 pub use weighted::{WeightedFaults, WeightedOracle};

@@ -29,8 +29,10 @@ use std::path::{Path, PathBuf};
 use fsdl_graph::{FaultSet, Graph, NodeId};
 
 use crate::codec::{self, CodecError};
+use crate::crash::{self, CrashPoint};
 use crate::label::Label;
 use crate::params::SchemeParams;
+use crate::wal::{self, WalError};
 
 /// Magic bytes opening every segment file.
 pub const SEGMENT_MAGIC: [u8; 8] = *b"FSDLSEG1";
@@ -111,6 +113,9 @@ pub enum StoreError {
     },
     /// A label payload failed to encode or decode.
     Codec(CodecError),
+    /// The write-ahead log accompanying a dynamic store failed (corrupt
+    /// record, torn header, generation skew, or an injected crash point).
+    Wal(WalError),
 }
 
 impl std::fmt::Display for StoreError {
@@ -148,6 +153,7 @@ impl std::fmt::Display for StoreError {
                 write!(f, "invalid parameter schedule in store: {message}")
             }
             StoreError::Codec(e) => write!(f, "label codec error: {e}"),
+            StoreError::Wal(e) => write!(f, "write-ahead log error: {e}"),
         }
     }
 }
@@ -158,6 +164,22 @@ impl From<CodecError> for StoreError {
     fn from(e: CodecError) -> Self {
         StoreError::Codec(e)
     }
+}
+
+impl From<WalError> for StoreError {
+    fn from(e: WalError) -> Self {
+        StoreError::Wal(e)
+    }
+}
+
+/// Maps an armed crash point firing at `point` into the store's error
+/// space (the on-disk state is then exactly a real crash's).
+fn fire(point: CrashPoint) -> Result<(), StoreError> {
+    crash::fire(point).map_err(|p| {
+        StoreError::Wal(WalError::Injected {
+            point: p.name().to_string(),
+        })
+    })
 }
 
 fn io_err(path: &Path, e: &std::io::Error) -> StoreError {
@@ -462,11 +484,14 @@ pub fn write_segment(
     Ok(size)
 }
 
-/// Best-effort removal of segment files other than `keep`'s, and of any
-/// stale temp files. Failures are ignored: pruning is an optimization,
-/// never a correctness requirement.
+/// Best-effort removal of segment and WAL files other than `keep`'s, and
+/// of any stale temp files. Failures are ignored: pruning is an
+/// optimization, never a correctness requirement. A WAL older than the
+/// current manifest is safe to drop because every manifest snapshots the
+/// full fault state — the log only ever carries updates newer than it.
 pub fn prune_generations(dir: &Path, keep: u64) {
     let keep_name = segment_file_name(keep);
+    let keep_wal = wal::wal_file_name(keep);
     let Ok(entries) = fs::read_dir(dir) else {
         return;
     };
@@ -474,7 +499,8 @@ pub fn prune_generations(dir: &Path, keep: u64) {
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
         let stale_segment = name.starts_with("seg-") && name.ends_with(".fsl") && name != keep_name;
-        if stale_segment || name.starts_with(TMP_PREFIX) {
+        let stale_wal = name.starts_with("wal-") && name.ends_with(".log") && name != keep_wal;
+        if stale_segment || stale_wal || name.starts_with(TMP_PREFIX) {
             let _ = fs::remove_file(entry.path());
         }
     }
@@ -519,6 +545,7 @@ pub fn write_generation(
 ) -> Result<StoreReport, StoreError> {
     fs::create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
     let generation = next_generation(dir);
+    fire(CrashPoint::BeforeSegmentWrite)?;
     let segment_bytes = write_segment(dir, generation, params, graph_fingerprint, encoded)?;
     let manifest = Manifest {
         generation,
@@ -527,7 +554,9 @@ pub fn write_generation(
         buffer: buffer.clone(),
         threshold,
     };
+    fire(CrashPoint::BeforeManifestSwap)?;
     write_manifest(dir, &manifest)?;
+    fire(CrashPoint::AfterManifestSwap)?;
     prune_generations(dir, generation);
     Ok(StoreReport {
         generation,
@@ -821,11 +850,15 @@ mod tests {
         }
         fs::write(dir.join(".tmp-seg-4.fsl"), b"x").unwrap();
         fs::write(dir.join("MANIFEST"), b"x").unwrap();
+        fs::write(dir.join(wal::wal_file_name(2)), b"x").unwrap();
+        fs::write(dir.join(wal::wal_file_name(3)), b"x").unwrap();
         prune_generations(&dir, 3);
         assert!(dir.join(segment_file_name(3)).exists());
         assert!(!dir.join(segment_file_name(2)).exists());
         assert!(!dir.join(segment_file_name(1)).exists());
         assert!(!dir.join(".tmp-seg-4.fsl").exists());
+        assert!(!dir.join(wal::wal_file_name(2)).exists());
+        assert!(dir.join(wal::wal_file_name(3)).exists());
         assert!(dir.join("MANIFEST").exists());
         let _ = fs::remove_dir_all(&dir);
     }

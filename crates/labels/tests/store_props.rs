@@ -307,7 +307,7 @@ fn attached_store_persists_each_rebuild_as_a_generation() {
     let mut oracle = DynamicOracle::with_threshold(&g, 1.0, 1);
     let report = oracle.attach_store(&dir).expect("attach saves");
     assert_eq!(report.generation, 1);
-    assert_eq!(oracle.store_dir(), Some(dir.as_path()));
+    assert_eq!(oracle.store_dir().as_deref(), Some(dir.as_path()));
 
     // Two deletions exceed the threshold: rebuild + persisted generation.
     oracle.delete_vertex(NodeId::new(1)).expect("delete");

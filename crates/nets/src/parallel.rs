@@ -24,6 +24,16 @@ pub fn default_workers(count: usize) -> usize {
         .min(count.max(1))
 }
 
+/// The worker count for *background* work that must not starve a serving
+/// foreground: `available_parallelism - 1` (one core stays free for the
+/// query path), never 0, capped by the job count.
+pub fn background_workers(count: usize) -> usize {
+    let avail = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    avail.saturating_sub(1).max(1).min(count.max(1))
+}
+
 /// Normalizes a user-facing worker-count argument: `0` means "use
 /// [`default_workers`]" (available parallelism), anything else is taken
 /// literally but capped by the job count (never below 1). Every
@@ -150,6 +160,17 @@ mod tests {
         assert_eq!(default_workers(0), 1);
         assert_eq!(default_workers(1), 1);
         assert!(default_workers(1000) >= 1);
+    }
+
+    #[test]
+    fn background_workers_leave_one_core_and_never_zero() {
+        assert_eq!(background_workers(0), 1);
+        assert_eq!(background_workers(1), 1);
+        let avail = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        assert_eq!(background_workers(1000), avail.saturating_sub(1).max(1));
+        assert!(background_workers(1000) <= default_workers(1000).max(1));
     }
 
     #[test]
