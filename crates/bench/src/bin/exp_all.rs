@@ -25,6 +25,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_t14_query_latency",
     "exp_t15_store",
     "exp_t16_wal",
+    "exp_t17_serve",
     "exp_f1_trace",
     "exp_f2_lowlevel",
 ];

@@ -1,0 +1,261 @@
+//! Experiment T17 — serving the oracle over the wire: correctness,
+//! saturation, and the protocol-hygiene gate.
+//!
+//! The labels are self-contained (a query needs only the `≤ 2 + |F|`
+//! labels it names), so the serving layer should add transport and
+//! nothing else. This experiment certifies that in three phases against
+//! an in-process `fsdl_server::Server` on a unix socket:
+//!
+//! 1. **Differential** — seeded queries (the exact generator
+//!    `fsdl-loadgen` replays, from `fsdl_bench::serveload`) are sent
+//!    over the wire and re-answered in-process via `query_batch`; every
+//!    field (distance, sketch sizes, witness path) must be
+//!    bit-identical. The wire is a codec, not an approximation.
+//! 2. **Saturation** — C connections hammer the server and we report
+//!    sustained QPS with p50/p99 round-trip latency.
+//! 3. **Gate** — zero protocol errors over the whole run, p99 under a
+//!    generous latency bar at the sustained QPS (the bar catches
+//!    pathological serialization — a worker pool that serializes on a
+//!    lock shows up as p99 exploding with connection count — not CI
+//!    box speed), and a graceful drain: shutdown leaves no socket file
+//!    and the report's counters reconcile with the client side.
+//!
+//! Results are printed and written to `BENCH_serve.json` (`--out PATH`
+//! redirects). `--quick` shrinks everything for CI.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use fsdl_bench::serveload::{percentile_us, Op, OpStream, WorkloadConfig};
+use fsdl_graph::{generators, NodeId};
+use fsdl_labels::ForbiddenSetOracle;
+use fsdl_routing::Network;
+use fsdl_server::{Client, Endpoint, ServeEngine, Server, ServerConfig, WireFaults};
+
+/// p99 round-trip bar (µs) for the saturation gate. Local unix-socket
+/// round trips for sub-millisecond decodes sit far below this on any
+/// healthy pool; a serialized pool blows past it as connections stack.
+const MAX_P99_US: f64 = 50_000.0;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_serve.json")
+        .to_string();
+
+    println!("Experiment T17: oracle serving over the wire (eps = 1)\n");
+
+    let side = if quick { 14 } else { 24 };
+    let seed: u64 = 0x717;
+    let g = generators::grid2d(side, side);
+    let n = g.num_vertices() as u32;
+    let oracle = ForbiddenSetOracle::new(&g, 1.0);
+    let net = Arc::new(Network::from_oracle(oracle));
+
+    let sock = std::env::temp_dir().join(format!("fsdl-exp-t17-{}.sock", std::process::id()));
+    let server = Server::bind(
+        &Endpoint::Unix(sock.clone()),
+        ServeEngine::Static(Arc::clone(&net)),
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let endpoint = server.local_endpoint().expect("endpoint");
+    let workers = server.resolved_workers();
+    let server_thread = std::thread::spawn(move || server.run());
+    println!("serving grid {side}x{side} (n = {n}) on {endpoint} with {workers} workers");
+
+    // ---- phase 1: differential ----
+    let diff_queries = if quick { 300 } else { 2_000 };
+    let config = WorkloadConfig::for_static(n, 0.8, 0.3, 4);
+    let mut stream = OpStream::new(seed, 0, config.clone());
+    let mut client =
+        Client::connect_with_retry(&endpoint, std::time::Duration::from_secs(10)).expect("connect");
+    let mut mismatches = 0usize;
+    let mut checked = 0usize;
+    while checked < diff_queries {
+        let Op::Query { s, t, faults } = stream.next_op() else {
+            continue;
+        };
+        let wire = client.query(s, t, faults.clone()).expect("wire query");
+        let local = net
+            .oracle()
+            .query(NodeId::new(s), NodeId::new(t), &faults.to_fault_set());
+        let identical = wire.distance == local.distance.raw()
+            && wire.sketch_vertices as usize == local.sketch_vertices
+            && wire.sketch_edges as usize == local.sketch_edges
+            && wire.path == local.path.iter().map(|v| v.raw()).collect::<Vec<_>>();
+        if !identical {
+            mismatches += 1;
+            if mismatches <= 3 {
+                eprintln!(
+                    "MISMATCH {s}->{t} |F|={}: wire {} vs local {}",
+                    faults.vertices.len(),
+                    wire.distance,
+                    local.distance.raw()
+                );
+            }
+        }
+        checked += 1;
+    }
+    println!("differential: {checked} seeded queries, {mismatches} mismatches");
+    assert_eq!(
+        mismatches, 0,
+        "wire answers must be bit-identical to in-process query_batch"
+    );
+
+    // The same tuples through a batch frame agree with query_batch.
+    let mut stream = OpStream::new(seed, 1, config);
+    let tuples: Vec<(u32, u32, WireFaults)> = std::iter::from_fn(|| Some(stream.next_op()))
+        .filter_map(|op| match op {
+            Op::Query { s, t, faults } => Some((s, t, faults)),
+            Op::Churn { .. } => None,
+        })
+        .take(if quick { 64 } else { 256 })
+        .collect();
+    let local_tuples: Vec<_> = tuples
+        .iter()
+        .map(|(s, t, f)| (NodeId::new(*s), NodeId::new(*t), f.to_fault_set()))
+        .collect();
+    let wire_items = client.batch(tuples).expect("batch");
+    let local_items = net.oracle().query_batch(&local_tuples);
+    for (k, (w, l)) in wire_items.iter().zip(&local_items).enumerate() {
+        assert_eq!(
+            (
+                w.distance,
+                w.sketch_vertices as usize,
+                w.sketch_edges as usize
+            ),
+            (l.distance.raw(), l.sketch_vertices, l.sketch_edges),
+            "batch item {k} diverged"
+        );
+    }
+    println!(
+        "batch differential: {} tuples, all identical",
+        wire_items.len()
+    );
+    drop(client);
+
+    // ---- phase 2: saturation ----
+    let conns = if quick { 2 } else { 8 };
+    let ops_per_conn = if quick { 500 } else { 4_000 };
+    let started = Instant::now();
+    let per_conn: Vec<(u64, Vec<f64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                let endpoint = endpoint.clone();
+                scope.spawn(move || {
+                    let mut client =
+                        Client::connect_with_retry(&endpoint, std::time::Duration::from_secs(10))
+                            .expect("connect");
+                    let mut stream = OpStream::new(
+                        seed ^ 0xB00B5,
+                        c as u64,
+                        WorkloadConfig::for_static(n, 0.8, 0.25, 4),
+                    );
+                    let mut latencies = Vec::with_capacity(ops_per_conn);
+                    let mut queries = 0u64;
+                    while (queries as usize) < ops_per_conn {
+                        let Op::Query { s, t, faults } = stream.next_op() else {
+                            continue;
+                        };
+                        let start = Instant::now();
+                        client.query(s, t, faults).expect("load query");
+                        latencies.push(start.elapsed().as_secs_f64() * 1e6);
+                        queries += 1;
+                    }
+                    (queries, latencies)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load connection"))
+            .collect()
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+    let load_queries: u64 = per_conn.iter().map(|(q, _)| q).sum();
+    let mut latencies: Vec<f64> = per_conn.into_iter().flat_map(|(_, l)| l).collect();
+    let qps = load_queries as f64 / wall_s.max(1e-9);
+    let p50 = percentile_us(&mut latencies, 0.50);
+    let p99 = percentile_us(&mut latencies, 0.99);
+    println!(
+        "\nsaturation: {conns} conns x {ops_per_conn} ops in {wall_s:.2}s -> \
+         {qps:.0} queries/s, p50 {p50:.1}us, p99 {p99:.1}us"
+    );
+
+    // ---- phase 3: drain and gate ----
+    let mut client =
+        Client::connect_with_retry(&endpoint, std::time::Duration::from_secs(10)).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.vertices as u32, n,
+        "stats frame must report the served graph"
+    );
+    client.shutdown().expect("shutdown");
+    let report = server_thread.join().expect("server thread must not panic");
+    assert!(!sock.exists(), "socket file must be gone after drain");
+
+    let expected_queries = checked as u64 + load_queries;
+    assert_eq!(
+        report.queries, expected_queries,
+        "server-side query count must reconcile with the client side"
+    );
+    assert_eq!(
+        report.batch_queries,
+        wire_items.len() as u64,
+        "server-side batch count must reconcile"
+    );
+    let protocol_errors = report.protocol_errors;
+    let pass = protocol_errors == 0 && p99 <= MAX_P99_US;
+
+    println!(
+        "drained: {} connections, {} queries ({} batched), {} protocol errors",
+        report.connections, report.queries, report.batch_queries, protocol_errors
+    );
+
+    let mut artifact = String::from("{\n  \"experiment\": \"t17_serve\",\n");
+    let _ = writeln!(artifact, "  \"quick\": {quick},");
+    let _ = writeln!(artifact, "  \"n\": {n},");
+    let _ = writeln!(artifact, "  \"workers\": {workers},");
+    let _ = writeln!(artifact, "  \"differential_queries\": {checked},");
+    let _ = writeln!(artifact, "  \"differential_mismatches\": {mismatches},");
+    let _ = writeln!(artifact, "  \"batch_tuples\": {},", wire_items.len());
+    let _ = writeln!(artifact, "  \"load_connections\": {conns},");
+    let _ = writeln!(artifact, "  \"load_queries\": {load_queries},");
+    let _ = writeln!(artifact, "  \"wall_s\": {wall_s:.3},");
+    let _ = writeln!(artifact, "  \"qps\": {qps:.1},");
+    let _ = writeln!(artifact, "  \"p50_us\": {p50:.2},");
+    let _ = writeln!(artifact, "  \"p99_us\": {p99:.2},");
+    let _ = writeln!(artifact, "  \"protocol_errors\": {protocol_errors},");
+    let _ = writeln!(artifact, "  \"drained_clean\": true,");
+    let _ = writeln!(
+        artifact,
+        "  \"gate\": {{\"max_p99_us\": {MAX_P99_US}, \"zero_protocol_errors\": true, \
+         \"pass\": {pass}}}"
+    );
+    artifact.push_str("}\n");
+    std::fs::write(&out_path, &artifact).expect("write BENCH_serve.json");
+    println!("\nwrote {out_path}");
+
+    println!("\nExpected shape: the wire adds a socket round trip to an unchanged");
+    println!("decode — bit-identical answers, QPS scaling with the worker pool, and");
+    println!("a p99 that tracks the decode cost, not lock contention.");
+
+    assert_eq!(
+        protocol_errors, 0,
+        "saturation gate: the run must be protocol-clean"
+    );
+    assert!(
+        p99 <= MAX_P99_US,
+        "saturation gate: p99 {p99:.0}us exceeds {MAX_P99_US:.0}us at {qps:.0} qps"
+    );
+    println!(
+        "\nacceptance: {qps:.0} qps with p99 {p99:.0}us <= {MAX_P99_US:.0}us, 0 protocol errors"
+    );
+}

@@ -16,5 +16,6 @@
 #![warn(missing_docs)]
 
 pub mod measure;
+pub mod serveload;
 pub mod tables;
 pub mod workloads;

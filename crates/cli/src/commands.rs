@@ -11,6 +11,7 @@ use fsdl_graph::doubling::{estimate_dimension, DoublingConfig};
 use fsdl_graph::{generators, io as gio, FaultSet, Graph, GraphStats, NodeId};
 use fsdl_labels::{DynamicConfig, DynamicOracle, ForbiddenSetOracle, RebuildMode};
 use fsdl_routing::Network;
+use fsdl_server::{Endpoint, ServeEngine, Server, ServerConfig};
 
 use crate::args::{parse_edge_list, parse_vertex_list, ArgError, ParsedArgs};
 
@@ -51,6 +52,14 @@ USAGE:
   fsdl trace <graph-file> --source S --target T [--eps E]
              [--forbid ...] [--forbid-edge ...]
   fsdl audit <graph-file> [--eps E] [--sample K]
+  fsdl serve <graph-file> --listen tcp:HOST:PORT|unix:PATH
+             [--eps E | --store DIR] [--dynamic yes] [--workers N]
+             [--threshold T] [--background yes]
+      (runs the oracle server until a shutdown frame arrives: query/
+       batch/route/update/stats over a length-prefixed binary protocol;
+       --dynamic serves the durable dynamic oracle at --store and
+       accepts update frames; --workers 0 = all cores minus the accept
+       thread)
   (query/route/batch/trace also accept --forbid-file FILE with
    \"v <id>\" / \"f <u> <v>\" lines)
   fsdl help
@@ -74,6 +83,7 @@ pub fn run<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
         "spanner" => cmd_spanner(args, out),
         "trace" => cmd_trace(args, out),
         "audit" => cmd_audit(args, out),
+        "serve" => cmd_serve(args, out),
         "help" | "--help" | "-h" => {
             write_out(out, USAGE)?;
             Ok(())
@@ -87,6 +97,26 @@ pub fn run<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
 fn write_out<W: Write>(out: &mut W, text: &str) -> Result<(), ArgError> {
     out.write_all(text.as_bytes())
         .map_err(|e| ArgError(format!("write failed: {e}")))
+}
+
+/// Parses `--eps`, rejecting values the scheme constructors would
+/// otherwise panic on (zero, negative, NaN, infinite).
+fn parse_eps(args: &ParsedArgs) -> Result<f64, ArgError> {
+    let eps: f64 = args.parse_option("eps", 1.0)?;
+    if !(eps.is_finite() && eps > 0.0) {
+        return Err(ArgError(format!(
+            "--eps must be a positive finite number (got {eps})"
+        )));
+    }
+    Ok(eps)
+}
+
+fn require(cond: bool, msg: impl Into<String>) -> Result<(), ArgError> {
+    if cond {
+        Ok(())
+    } else {
+        Err(ArgError(msg.into()))
+    }
 }
 
 fn load_graph(path: &str) -> Result<Graph, ArgError> {
@@ -146,7 +176,7 @@ fn oracle_from(args: &ParsedArgs, g: &Graph) -> Result<ForbiddenSetOracle, ArgEr
                 .map_err(|e| ArgError(format!("cannot open store {dir}: {e}")))
         }
         None => {
-            let eps: f64 = args.parse_option("eps", 1.0)?;
+            let eps: f64 = parse_eps(args)?;
             Ok(ForbiddenSetOracle::new(g, eps))
         }
     }
@@ -154,7 +184,7 @@ fn oracle_from(args: &ParsedArgs, g: &Graph) -> Result<ForbiddenSetOracle, ArgEr
 
 fn cmd_build<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
     let g = load_graph(args.positional(0, "graph-file")?)?;
-    let eps: f64 = args.parse_option("eps", 1.0)?;
+    let eps: f64 = parse_eps(args)?;
     let dir = args.required("store")?;
     let threads: usize = args.parse_option("threads", 0usize)?;
     let workers = fsdl_nets::parallel::resolve_workers(threads, g.num_vertices());
@@ -185,39 +215,113 @@ fn cmd_gen<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
             .parse()
             .map_err(|_| ArgError(format!("invalid <{name}>")))
     };
+    // Every constraint a generator would assert on is checked here first,
+    // so a bad parameter is a usage error (nonzero exit), never a panic.
     let g = match family {
-        "path" => generators::path(num(1, "N")?),
-        "cycle" => generators::cycle(num(1, "N")?),
-        "grid" => generators::grid2d(num(1, "W")?, num(2, "H")?),
-        "king" => generators::king_grid(num(1, "W")?, num(2, "H")?),
-        "grid3d" => generators::grid3d(num(1, "X")?, num(2, "Y")?, num(3, "Z")?),
-        "linf" => generators::grid_linf(num(1, "P")?, num(2, "D")?),
-        "halfgrid" => generators::half_grid(num(1, "P")?, num(2, "D")?),
-        "tree" => generators::balanced_tree(num(1, "ARITY")?, num(2, "DEPTH")?),
-        "hypercube" => generators::hypercube(num(1, "D")?),
+        "path" => {
+            let n = num(1, "N")?;
+            require(n >= 1, "path needs at least one vertex")?;
+            generators::path(n)
+        }
+        "cycle" => {
+            let n = num(1, "N")?;
+            require(n >= 3, "cycle needs at least three vertices")?;
+            generators::cycle(n)
+        }
+        "grid" => {
+            let (w, h) = (num(1, "W")?, num(2, "H")?);
+            require(w >= 1 && h >= 1, "grid dimensions must be positive")?;
+            generators::grid2d(w, h)
+        }
+        "king" => {
+            let (w, h) = (num(1, "W")?, num(2, "H")?);
+            require(w >= 1 && h >= 1, "grid dimensions must be positive")?;
+            generators::king_grid(w, h)
+        }
+        "grid3d" => {
+            let (x, y, z) = (num(1, "X")?, num(2, "Y")?, num(3, "Z")?);
+            require(
+                x >= 1 && y >= 1 && z >= 1,
+                "grid dimensions must be positive",
+            )?;
+            generators::grid3d(x, y, z)
+        }
+        "linf" | "halfgrid" => {
+            let (p, d) = (num(1, "P")?, num(2, "D")?);
+            require(p >= 2, "grid side P must be at least 2")?;
+            require(d >= 1, "grid dimension D must be at least 1")?;
+            let n = u32::try_from(d)
+                .ok()
+                .and_then(|d| p.checked_pow(d))
+                .ok_or_else(|| ArgError(format!("{p}^{d} vertices overflows")))?;
+            require(
+                n <= 100_000_000,
+                format!("{p}^{d} = {n} vertices is too large"),
+            )?;
+            if family == "linf" {
+                generators::grid_linf(p, d)
+            } else {
+                generators::half_grid(p, d)
+            }
+        }
+        "tree" => {
+            let (arity, depth) = (num(1, "ARITY")?, num(2, "DEPTH")?);
+            require(arity >= 1, "tree arity must be positive")?;
+            require(
+                depth <= 32 && arity.saturating_pow(depth.min(32) as u32) <= 100_000_000,
+                "tree is too large",
+            )?;
+            generators::balanced_tree(arity, depth)
+        }
+        "hypercube" => {
+            let d = num(1, "D")?;
+            require(
+                (1..=20).contains(&d),
+                "hypercube dimension must be in 1..=20",
+            )?;
+            generators::hypercube(d)
+        }
         "udg" => {
             let n = num(1, "N")?;
+            require(n >= 1, "graph needs at least one vertex")?;
             let r: f64 = args
                 .positional(2, "RADIUS")?
                 .parse()
                 .map_err(|_| ArgError("invalid <RADIUS>".into()))?;
+            require(
+                r.is_finite() && r > 0.0 && r <= 0.5,
+                "radius must be in (0, 0.5] on the unit torus",
+            )?;
             generators::random_geometric(n, r, seed)
         }
         "road" => {
             let w = num(1, "W")?;
             let h = num(2, "H")?;
+            require(
+                w >= 2 && h >= 2,
+                "road network needs a real grid (W, H >= 2)",
+            )?;
             let r: f64 = args
                 .positional(3, "REMOVAL")?
                 .parse()
                 .map_err(|_| ArgError("invalid <REMOVAL>".into()))?;
+            require(
+                r.is_finite() && (0.0..=0.5).contains(&r),
+                "removal rate must be in [0, 0.5]",
+            )?;
             generators::road_network(w, h, r, seed)
         }
         "er" => {
             let n = num(1, "N")?;
+            require(n >= 1, "graph needs at least one vertex")?;
             let p: f64 = args
                 .positional(2, "PROB")?
                 .parse()
                 .map_err(|_| ArgError("invalid <PROB>".into()))?;
+            require(
+                p.is_finite() && (0.0..=1.0).contains(&p),
+                "edge probability must be in [0, 1]",
+            )?;
             generators::erdos_renyi(n, p, seed)
         }
         other => return Err(ArgError(format!("unknown family '{other}'"))),
@@ -285,13 +389,14 @@ fn render_dynamic_stats(oracle: &DynamicOracle) -> String {
     )
 }
 
-/// `fsdl update`: durable dynamic updates against a store directory. The
-/// store is created on first use (from `--eps`/`--threshold`) and opened —
-/// WAL replay included — afterwards, so killing this command at any point
-/// (see `FSDL_CRASH_POINT`) never loses an acknowledged update.
-fn cmd_update<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
-    let g = load_graph(args.positional(0, "graph-file")?)?;
-    let dir_raw = args.required("store")?;
+/// Opens (or, on first use, creates from `--eps`/`--threshold`) the
+/// dynamic oracle at `dir_raw`, honoring `--background`. Shared by
+/// `update` and `serve --dynamic`.
+fn dynamic_oracle_from(
+    args: &ParsedArgs,
+    g: &Graph,
+    dir_raw: &str,
+) -> Result<DynamicOracle, ArgError> {
     let dir = std::path::Path::new(dir_raw);
     let exists = dir.join(fsdl_labels::store::MANIFEST_NAME).exists();
     let mut oracle = if exists {
@@ -301,10 +406,10 @@ fn cmd_update<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> 
                     .into(),
             ));
         }
-        DynamicOracle::open(dir, &g)
+        DynamicOracle::open(dir, g)
             .map_err(|e| ArgError(format!("cannot open store {dir_raw}: {e}")))?
     } else {
-        let eps: f64 = args.parse_option("eps", 1.0)?;
+        let eps: f64 = parse_eps(args)?;
         let threshold = match args.option("threshold") {
             None => None,
             Some(raw) => Some(
@@ -313,7 +418,7 @@ fn cmd_update<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> 
             ),
         };
         let mut oracle = DynamicOracle::try_with_config(
-            &g,
+            g,
             DynamicConfig {
                 epsilon: eps,
                 threshold,
@@ -329,6 +434,17 @@ fn cmd_update<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> 
     if args.option("background").is_some() {
         oracle.set_rebuild_mode(RebuildMode::Background);
     }
+    Ok(oracle)
+}
+
+/// `fsdl update`: durable dynamic updates against a store directory. The
+/// store is created on first use (from `--eps`/`--threshold`) and opened —
+/// WAL replay included — afterwards, so killing this command at any point
+/// (see `FSDL_CRASH_POINT`) never loses an acknowledged update.
+fn cmd_update<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    let g = load_graph(args.positional(0, "graph-file")?)?;
+    let dir_raw = args.required("store")?;
+    let mut oracle = dynamic_oracle_from(args, &g, dir_raw)?;
     let bounds_check = |v: u32| -> Result<NodeId, ArgError> {
         if (v as usize) < g.num_vertices() {
             Ok(NodeId::new(v))
@@ -367,7 +483,7 @@ fn cmd_update<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> 
 
 fn cmd_label<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
     let g = load_graph(args.positional(0, "graph-file")?)?;
-    let eps: f64 = args.parse_option("eps", 1.0)?;
+    let eps: f64 = parse_eps(args)?;
     let oracle = ForbiddenSetOracle::new(&g, eps);
     let n = g.num_vertices();
     let mut text = format!(
@@ -561,7 +677,7 @@ fn cmd_batch<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
 
 fn cmd_spanner<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
     let g = load_graph(args.positional(0, "graph-file")?)?;
-    let eps: f64 = args.parse_option("eps", 1.0)?;
+    let eps: f64 = parse_eps(args)?;
     let s = fsdl_nets::Spanner::build(&g, eps);
     let text = format!(
         "(1+{eps})-spanner: {} vertices, {} weighted edges ({}x the graph's {})
@@ -576,7 +692,7 @@ fn cmd_spanner<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError>
 
 fn cmd_trace<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
     let g = load_graph(args.positional(0, "graph-file")?)?;
-    let eps: f64 = args.parse_option("eps", 1.0)?;
+    let eps: f64 = parse_eps(args)?;
     let s: u32 = args.parse_required("source")?;
     let t: u32 = args.parse_required("target")?;
     for v in [s, t] {
@@ -623,7 +739,7 @@ fn cmd_trace<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
 
 fn cmd_audit<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
     let g = load_graph(args.positional(0, "graph-file")?)?;
-    let eps: f64 = args.parse_option("eps", 1.0)?;
+    let eps: f64 = parse_eps(args)?;
     let sample: usize = args.parse_option("sample", 6usize)?;
     let labeling =
         fsdl_labels::Labeling::try_build(&g, fsdl_labels::SchemeParams::new(eps, g.num_vertices()))
@@ -646,6 +762,79 @@ fn cmd_audit<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
         return Err(ArgError("audit found violations".into()));
     }
     write_out(out, &text)
+}
+
+/// Parses a `--listen` value: `tcp:HOST:PORT` or `unix:PATH`.
+fn parse_listen(raw: &str) -> Result<Endpoint, ArgError> {
+    if let Some(addr) = raw.strip_prefix("tcp:") {
+        if addr.is_empty() {
+            return Err(ArgError("empty TCP address in --listen".into()));
+        }
+        Ok(Endpoint::Tcp(addr.to_string()))
+    } else if let Some(path) = raw.strip_prefix("unix:") {
+        if path.is_empty() {
+            return Err(ArgError("empty socket path in --listen".into()));
+        }
+        Ok(Endpoint::Unix(std::path::PathBuf::from(path)))
+    } else {
+        Err(ArgError(format!(
+            "--listen must be tcp:HOST:PORT or unix:PATH (got '{raw}')"
+        )))
+    }
+}
+
+/// `fsdl serve`: the long-running oracle server. Blocks until a client
+/// sends a shutdown frame, then drains in-flight work (and, in dynamic
+/// mode, any background rebuild) and reports lifetime totals.
+fn cmd_serve<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    let g = load_graph(args.positional(0, "graph-file")?)?;
+    let endpoint = parse_listen(args.required("listen")?)?;
+    let workers: usize = args.parse_option("workers", 0usize)?;
+    let (engine, mode) = if args.option("dynamic").is_some() {
+        let dir = args.option("store").ok_or_else(|| {
+            ArgError("--dynamic requires --store DIR (the durable oracle lives there)".into())
+        })?;
+        let oracle = dynamic_oracle_from(args, &g, dir)?;
+        (ServeEngine::from_dynamic(oracle), "dynamic")
+    } else {
+        let net = Network::from_oracle(oracle_from(args, &g)?);
+        (ServeEngine::from_network(net), "static")
+    };
+    let server = Server::bind(
+        &endpoint,
+        engine,
+        ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| ArgError(format!("cannot bind {endpoint}: {e}")))?;
+    let bound = server
+        .local_endpoint()
+        .map_err(|e| ArgError(format!("cannot resolve bound endpoint: {e}")))?;
+    write_out(
+        out,
+        &format!(
+            "serving {bound} ({mode} oracle, {} workers); stop with a shutdown frame\n",
+            server.resolved_workers()
+        ),
+    )?;
+    out.flush()
+        .map_err(|e| ArgError(format!("write failed: {e}")))?;
+    let report = server.run();
+    write_out(
+        out,
+        &format!(
+            "server drained: {} connections, {} queries ({} batched), {} routes, \
+             {} updates, {} protocol errors\n",
+            report.connections,
+            report.queries,
+            report.batch_queries,
+            report.routes,
+            report.updates,
+            report.protocol_errors
+        ),
+    )
 }
 
 #[cfg(test)]
@@ -1094,5 +1283,159 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("not delivered"));
+    }
+
+    /// The panic sweep: every malformed input that used to trip an
+    /// assert deep in a constructor or generator must surface as a
+    /// typed `ArgError` instead.
+    #[test]
+    fn malformed_inputs_are_typed_errors_not_panics() {
+        let path = temp_graph();
+        let p = path.path();
+        // Epsilon values the scheme constructors assert on.
+        for eps in ["0", "-1", "nan", "inf", "not-a-number"] {
+            for cmd in ["label", "spanner", "audit"] {
+                let err = run_args(&[cmd, p, "--eps", eps])
+                    .expect_err(&format!("{cmd} --eps {eps} must be rejected"));
+                assert!(
+                    err.to_string().contains("eps") || err.to_string().contains("invalid"),
+                    "{cmd} --eps {eps}: {err}"
+                );
+            }
+            assert!(
+                run_args(&["query", p, "--source", "0", "--target", "1", "--eps", eps]).is_err()
+            );
+        }
+        // Generator parameters the generators assert on.
+        for bad in [
+            &["gen", "path", "0"][..],
+            &["gen", "cycle", "2"],
+            &["gen", "grid", "0", "4"],
+            &["gen", "king", "3", "0"],
+            &["gen", "grid3d", "0", "2", "2"],
+            &["gen", "linf", "1", "2"],
+            &["gen", "halfgrid", "2", "0"],
+            &["gen", "tree", "0", "3"],
+            &["gen", "hypercube", "21"],
+            &["gen", "hypercube", "0"],
+            &["gen", "udg", "0", "0.2"],
+            &["gen", "udg", "16", "0.9"],
+            &["gen", "udg", "16", "nan"],
+            &["gen", "er", "16", "1.5"],
+            &["gen", "er", "0", "0.5"],
+            &["gen", "road", "1", "5", "0.1"],
+            &["gen", "road", "5", "5", "0.9"],
+        ] {
+            assert!(run_args(bad).is_err(), "{bad:?} must be a typed error");
+        }
+        // Bad fault-file lines and a bad store dir.
+        let fault_file =
+            std::env::temp_dir().join(format!("fsdl-cli-badfaults-{}.txt", std::process::id()));
+        fs::write(&fault_file, "v not-a-number\n").unwrap();
+        let err = run_args(&[
+            "query",
+            p,
+            "--source",
+            "0",
+            "--target",
+            "1",
+            "--forbid-file",
+            fault_file.to_str().unwrap(),
+        ])
+        .expect_err("bad fault file must be rejected");
+        assert!(err.to_string().contains("cannot parse"), "{err}");
+        let _ = fs::remove_file(&fault_file);
+        assert!(run_args(&[
+            "query",
+            p,
+            "--source",
+            "0",
+            "--target",
+            "1",
+            "--store",
+            "/nonexistent/fsdl-store"
+        ])
+        .is_err());
+    }
+
+    /// A freshly-created store (no WAL records, zero rebuilds) must
+    /// still print the full health block, all zeros — not a panic or a
+    /// truncated report.
+    #[test]
+    fn stats_on_fresh_store_prints_zeroed_health_block() {
+        let path = temp_graph();
+        let store = TempStore::new();
+        // `update` with no update flags creates the store and applies 0 ops.
+        let out = run_args(&["update", path.path(), "--store", store.path()]).unwrap();
+        assert!(out.contains("applied 0 durable update(s)"), "{out}");
+        let out = run_args(&["stats", path.path(), "--store", store.path()]).unwrap();
+        assert!(
+            out.contains("dynamic:     generation 1, threshold"),
+            "{out}"
+        );
+        assert!(out.contains("faults baked 0 / buffered 0"), "{out}");
+        assert!(
+            out.contains("rebuilds:    0 total (0 background, 0 failed)"),
+            "{out}"
+        );
+        assert!(out.contains("wal:         0 records / 0 bytes"), "{out}");
+        assert!(
+            out.contains("replayed 0 records, truncated 0 torn bytes"),
+            "{out}"
+        );
+        assert!(
+            out.contains("carry-over 0, blocked-on-rebuild 0, swap-contended 0"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn serve_rejects_malformed_listen_and_missing_store() {
+        let path = temp_graph();
+        let p = path.path();
+        for listen in ["", "http://x", "tcp:", "unix:"] {
+            assert!(run_args(&["serve", p, "--listen", listen]).is_err());
+        }
+        let err = run_args(&[
+            "serve",
+            p,
+            "--listen",
+            "unix:/tmp/x.sock",
+            "--dynamic",
+            "yes",
+        ])
+        .expect_err("--dynamic without --store must be rejected");
+        assert!(err.to_string().contains("--store"), "{err}");
+    }
+
+    /// End-to-end over the real binary protocol: serve on a unix socket
+    /// from this process, query it with the typed client, shut it down.
+    #[test]
+    fn serve_answers_queries_and_drains_on_shutdown() {
+        let graph = TempGraph::new(&generators::grid2d(5, 4));
+        let sock = std::env::temp_dir().join(format!("fsdl-cli-serve-{}.sock", std::process::id()));
+        let listen = format!("unix:{}", sock.display());
+        let gpath = graph.path().to_string();
+        let server = std::thread::spawn(move || {
+            run_args(&["serve", &gpath, "--listen", &listen, "--workers", "2"])
+        });
+        let endpoint = Endpoint::Unix(sock.clone());
+        let mut client =
+            fsdl_server::Client::connect_with_retry(&endpoint, std::time::Duration::from_secs(10))
+                .expect("connect");
+        let reply = client
+            .query(0, 19, fsdl_server::WireFaults::default())
+            .expect("query");
+        assert!(
+            reply.distance >= 7,
+            "grid corner distance, got {}",
+            reply.distance
+        );
+        client.shutdown().expect("shutdown");
+        let out = server.join().expect("serve thread").expect("serve run");
+        assert!(out.contains("serving unix://"), "{out}");
+        assert!(out.contains("1 queries"), "{out}");
+        assert!(out.contains("0 protocol errors"), "{out}");
+        assert!(!sock.exists(), "socket removed after drain");
     }
 }

@@ -8,7 +8,21 @@ mod commands;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // `std::env::args()` panics on non-UTF-8 argv entries; collect them
+    // as OS strings and reject bad ones with a typed error instead.
+    let mut raw = Vec::new();
+    for os in std::env::args_os().skip(1) {
+        match os.into_string() {
+            Ok(s) => raw.push(s),
+            Err(bad) => {
+                eprintln!(
+                    "error: argument {:?} is not valid UTF-8",
+                    bad.to_string_lossy()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let parsed = match args::ParsedArgs::parse(raw) {
         Ok(p) => p,
         Err(e) => {

@@ -44,6 +44,7 @@ use fsdl_graph::subgraph::{self, Subgraph};
 use fsdl_graph::{Dist, FaultSet, Graph, NodeId};
 
 use crate::crash::{self, CrashPoint};
+use crate::decode::DecodeScratch;
 use crate::oracle::ForbiddenSetOracle;
 use crate::params::SchemeParams;
 use crate::store::{self, Segment, StoreError, StoreReport};
@@ -728,6 +729,13 @@ impl DynamicOracle {
         self.snapshot().buffer.len()
     }
 
+    /// Number of vertices of the original graph — the id space every
+    /// update and query uses, regardless of how many vertices the current
+    /// fault set has removed.
+    pub fn num_vertices(&self) -> usize {
+        self.inner.original.num_vertices()
+    }
+
     /// Number of rebuilds performed so far.
     pub fn rebuilds(&self) -> usize {
         self.inner.counters.rebuilds.load(Ordering::Relaxed) as usize
@@ -1136,6 +1144,25 @@ impl DynamicOracle {
     /// [`DynamicError::VertexOutOfRange`] when `s` or `t` is not a vertex
     /// of the original graph.
     pub fn try_distance(&self, s: NodeId, t: NodeId) -> Result<Dist, DynamicError> {
+        self.try_distance_with(s, t, &mut DecodeScratch::new())
+    }
+
+    /// [`DynamicOracle::try_distance`] with a caller-provided
+    /// [`DecodeScratch`] — the dynamic counterpart of
+    /// [`crate::ForbiddenSetOracle::try_query_with`], so a serving loop
+    /// (one connection, many requests) keeps the zero-allocation decode
+    /// fast path across the network hop. Same answer, bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::VertexOutOfRange`] when `s` or `t` is not a vertex
+    /// of the original graph.
+    pub fn try_distance_with(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        scratch: &mut DecodeScratch,
+    ) -> Result<Dist, DynamicError> {
         self.check_vertex(s)?;
         self.check_vertex(t)?;
         let snap = self.snapshot();
@@ -1161,7 +1188,7 @@ impl DynamicOracle {
                 }
             }
         }
-        Ok(gen.oracle.distance(bs, bt, &f))
+        Ok(gen.oracle.query_with(bs, bt, &f, scratch).distance)
     }
 
     /// Connectivity in the current graph.

@@ -384,6 +384,27 @@ impl ForbiddenSetOracle {
         Ok(self.query(s, t, faults))
     }
 
+    /// Strict variant of [`ForbiddenSetOracle::query_with`]: the typed
+    /// validation of [`ForbiddenSetOracle::try_query`] combined with the
+    /// caller-provided [`DecodeScratch`] of the zero-allocation fast path.
+    /// This is the network-serving hot path: a connection handler reuses
+    /// one scratch across every request it answers while untrusted query
+    /// input still gets a typed rejection, never a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`OracleError`] naming the first malformed element.
+    pub fn try_query_with(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        faults: &FaultSet,
+        scratch: &mut DecodeScratch,
+    ) -> Result<QueryAnswer, OracleError> {
+        self.validate(&[s, t], faults)?;
+        Ok(self.query_with(s, t, faults, scratch))
+    }
+
     /// [`ForbiddenSetOracle::query`] with a caller-provided
     /// [`DecodeScratch`] — the per-worker hot path of
     /// [`ForbiddenSetOracle::query_batch`], also usable directly by serving

@@ -366,6 +366,69 @@ fn open_prunes_tmp_artifacts_and_stale_wals() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Prune idempotence: `open` removes *stale* WALs, and only stale WALs.
+/// Repeated open/drop cycles with no intervening updates must leave the
+/// active `wal-*.log` in place, byte for byte, and keep replaying to the
+/// same answers — a prune pass that "cleans up" the live log would turn
+/// the next crash into silent fault loss.
+#[test]
+fn reopen_cycles_never_prune_the_active_wal() {
+    let _guard = harness_lock();
+    let g = generators::grid2d(5, 5);
+    let dir = scratch_dir("prune-idem");
+    // A high threshold keeps both updates buffered in the WAL: the live
+    // log is load-bearing state, not yet baked into a segment.
+    let mut oracle = DynamicOracle::try_with_threshold(&g, 1.0, 64).unwrap();
+    oracle.attach_store(&dir).expect("attach");
+    oracle.delete_vertex(NodeId::new(7)).unwrap();
+    oracle
+        .delete_edge(NodeId::new(12), NodeId::new(13))
+        .unwrap();
+    drop(oracle);
+
+    let store_listing = |dir: &PathBuf| -> Vec<(String, Vec<u8>)> {
+        let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| {
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    std::fs::read(e.path()).unwrap(),
+                )
+            })
+            .collect();
+        files.sort();
+        files
+    };
+    let baseline = store_listing(&dir);
+    assert!(
+        baseline.iter().any(|(name, bytes)| name.starts_with("wal-")
+            && name.ends_with(".log")
+            && !bytes.is_empty()),
+        "setup must leave a non-empty active WAL; store held {:?}",
+        baseline.iter().map(|(n, _)| n).collect::<Vec<_>>()
+    );
+
+    let reference = DynamicOracle::open(&dir, &g).expect("reference open");
+    assert_eq!(
+        reference.current_faults().len(),
+        2,
+        "one vertex + one edge fault must replay from the WAL"
+    );
+    for cycle in 0..4 {
+        let reopened = DynamicOracle::open(&dir, &g)
+            .unwrap_or_else(|e| panic!("open cycle {cycle} failed: {e}"));
+        assert_answers_identical(&reopened, &reference, &g, &format!("reopen cycle {cycle}"));
+        drop(reopened);
+        assert_eq!(
+            store_listing(&dir),
+            baseline,
+            "open/drop cycle {cycle} changed the store (active WAL pruned or rewritten)"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The typed-constructor satellite, exercised through the public API
 /// surface used by the CLI.
 #[test]

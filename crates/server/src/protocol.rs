@@ -1,0 +1,1131 @@
+//! The fsdl wire protocol: length-prefixed binary frames.
+//!
+//! Every message — request or response — travels as one frame:
+//!
+//! ```text
+//! frame   := len:u32le  payload[len]
+//! request := opcode:u8  body
+//! reply   := status:u8  body        (status 0 = ok, 1 = error)
+//! ```
+//!
+//! All integers are little-endian. Distances ride as raw `u32` with
+//! `u32::MAX` meaning [`Dist::INFINITE`] (exactly the in-memory sentinel,
+//! so a wire round trip is bit-identical). The protocol is deliberately
+//! positional and fixed-width — no self-describing tags — because the
+//! labels are self-contained and a query needs nothing but vertex ids.
+//!
+//! Decoding is total: any byte string either parses into a typed message
+//! or returns a [`WireError`]; it never panics and never reads past the
+//! frame (`decode` rejects trailing bytes, so a bit flip in a length
+//! field cannot silently desynchronize a connection).
+
+use std::io::{Read, Write};
+
+use fsdl_graph::{Dist, FaultSet, NodeId};
+
+/// Hard ceiling on a frame's payload length. A frame claiming more than
+/// this is a protocol error: the connection's framing can no longer be
+/// trusted (the length itself may be corrupt), so servers answer with a
+/// typed error and close that connection only.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Ceiling on the number of queries in one batch frame.
+pub const MAX_BATCH: u32 = 4096;
+
+/// Ceiling on per-query fault-set size on the wire (vertices and edges
+/// each). Far above any plausible `|F|`; exists so a corrupt count can't
+/// make the decoder loop for gigabytes.
+pub const MAX_WIRE_FAULTS: u16 = u16::MAX;
+
+/// Request opcodes (first payload byte).
+mod op {
+    pub const QUERY: u8 = 0x01;
+    pub const BATCH: u8 = 0x02;
+    pub const ROUTE: u8 = 0x03;
+    pub const UPDATE: u8 = 0x04;
+    pub const STATS: u8 = 0x05;
+    pub const SHUTDOWN: u8 = 0x06;
+}
+
+/// Reply status bytes.
+mod status {
+    pub const OK: u8 = 0x00;
+    pub const ERR: u8 = 0x01;
+}
+
+/// Typed error codes carried by error replies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The payload did not parse (truncated body, trailing bytes, bad
+    /// counts, bad UTF-8).
+    Malformed = 1,
+    /// The frame length exceeded [`MAX_FRAME`].
+    Oversized = 2,
+    /// Unknown opcode byte.
+    UnknownOpcode = 3,
+    /// The request parsed but names out-of-range vertices or non-edges.
+    BadRequest = 4,
+    /// The operation is not available in the server's mode (e.g. `update`
+    /// against a static oracle).
+    UnsupportedInMode = 5,
+    /// A dynamic update was rejected by the oracle (typed
+    /// `DynamicError`, relayed).
+    UpdateRejected = 6,
+    /// The server failed internally (never expected; present so a bug
+    /// surfaces as a reply, not a dropped connection).
+    Internal = 7,
+}
+
+impl ErrorCode {
+    fn from_u8(raw: u8) -> Option<ErrorCode> {
+        Some(match raw {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::Oversized,
+            3 => ErrorCode::UnknownOpcode,
+            4 => ErrorCode::BadRequest,
+            5 => ErrorCode::UnsupportedInMode,
+            6 => ErrorCode::UpdateRejected,
+            7 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::Oversized => "oversized",
+            ErrorCode::UnknownOpcode => "unknown-opcode",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::UnsupportedInMode => "unsupported-in-mode",
+            ErrorCode::UpdateRejected => "update-rejected",
+            ErrorCode::Internal => "internal",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Decode failures. Every variant is a *typed* rejection: the decoder
+/// consumed untrusted bytes and stopped, nothing panicked.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the field named here.
+    Truncated(&'static str),
+    /// Bytes remained after a complete message.
+    TrailingBytes(usize),
+    /// Unknown request opcode.
+    UnknownOpcode(u8),
+    /// Unknown reply status byte.
+    UnknownStatus(u8),
+    /// A count field exceeded its ceiling.
+    TooMany {
+        /// What was being counted.
+        what: &'static str,
+        /// The claimed count.
+        count: u64,
+        /// The ceiling it exceeded.
+        max: u64,
+    },
+    /// An embedded string was not UTF-8.
+    BadUtf8,
+    /// Unknown update-kind or route-status discriminant.
+    BadDiscriminant(&'static str, u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated(field) => write!(f, "payload truncated at {field}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing byte(s) after message"),
+            WireError::UnknownOpcode(b) => write!(f, "unknown opcode {b:#04x}"),
+            WireError::UnknownStatus(b) => write!(f, "unknown status {b:#04x}"),
+            WireError::TooMany { what, count, max } => {
+                write!(f, "{what} count {count} exceeds limit {max}")
+            }
+            WireError::BadUtf8 => write!(f, "embedded string is not UTF-8"),
+            WireError::BadDiscriminant(what, b) => {
+                write!(f, "unknown {what} discriminant {b:#04x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl WireError {
+    /// The error code a server should answer with for this decode failure.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            WireError::UnknownOpcode(_) => ErrorCode::UnknownOpcode,
+            _ => ErrorCode::Malformed,
+        }
+    }
+}
+
+/// A forbidden set as it rides the wire: raw vertex ids and edge pairs.
+/// Conversion to a validated [`FaultSet`] happens server-side against the
+/// actual graph (out-of-range ids become a typed [`ErrorCode::BadRequest`]
+/// reply, never a panic).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireFaults {
+    /// Forbidden vertex ids.
+    pub vertices: Vec<u32>,
+    /// Forbidden edges as unordered id pairs.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl WireFaults {
+    /// An empty forbidden set.
+    pub fn empty() -> Self {
+        WireFaults::default()
+    }
+
+    /// Builds wire faults from an in-memory [`FaultSet`].
+    pub fn from_fault_set(f: &FaultSet) -> Self {
+        WireFaults {
+            vertices: f.vertices().map(NodeId::raw).collect(),
+            edges: f.edges().map(|e| (e.lo().raw(), e.hi().raw())).collect(),
+        }
+    }
+
+    /// Whether no fault is named.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty() && self.edges.is_empty()
+    }
+
+    /// Converts to the in-memory representation without validation (the
+    /// oracle's `try_*` entry points do the validating).
+    pub fn to_fault_set(&self) -> FaultSet {
+        let mut f = FaultSet::from_vertices(self.vertices.iter().copied().map(NodeId::new));
+        for &(a, b) in &self.edges {
+            if a != b {
+                f.forbid_edge_unchecked(NodeId::new(a), NodeId::new(b));
+            }
+        }
+        f
+    }
+}
+
+/// A dynamic-oracle update operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// Delete a vertex.
+    DeleteVertex(u32),
+    /// Delete an edge.
+    DeleteEdge(u32, u32),
+    /// Restore a previously deleted vertex.
+    RestoreVertex(u32),
+    /// Restore a previously deleted edge.
+    RestoreEdge(u32, u32),
+}
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// One distance query with a per-query forbidden set.
+    Query {
+        /// Source vertex id.
+        s: u32,
+        /// Target vertex id.
+        t: u32,
+        /// Per-query forbidden set.
+        faults: WireFaults,
+    },
+    /// Many queries answered in one frame (server fans them over the
+    /// same decode path as `ForbiddenSetOracle::query_batch`).
+    Batch(Vec<(u32, u32, WireFaults)>),
+    /// Compute a route (static mode only).
+    Route {
+        /// Source vertex id.
+        s: u32,
+        /// Target vertex id.
+        t: u32,
+        /// Forbidden set known to the source.
+        faults: WireFaults,
+    },
+    /// A durable dynamic update (dynamic mode only).
+    Update(UpdateOp),
+    /// Server counters and identity.
+    Stats,
+    /// Graceful shutdown: drain in-flight requests, flush, exit.
+    Shutdown,
+}
+
+/// The reply to a [`Request::Query`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryReply {
+    /// `δ(s, t, F)` as raw bits (`u32::MAX` = infinite).
+    pub distance: u32,
+    /// Sketch-graph vertex count (0 in dynamic mode).
+    pub sketch_vertices: u32,
+    /// Admitted sketch edge count (0 in dynamic mode).
+    pub sketch_edges: u32,
+    /// Witness path (empty when unreachable or in dynamic mode).
+    pub path: Vec<u32>,
+}
+
+impl QueryReply {
+    /// The distance as a [`Dist`].
+    pub fn dist(&self) -> Dist {
+        if self.distance == u32::MAX {
+            Dist::INFINITE
+        } else {
+            Dist::new(self.distance)
+        }
+    }
+}
+
+/// One element of a batch reply (no witness path: batches are the
+/// throughput path, and the distance plus sketch sizes are the
+/// bit-identity witness).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchItem {
+    /// `δ(s, t, F)` as raw bits (`u32::MAX` = infinite).
+    pub distance: u32,
+    /// Sketch-graph vertex count.
+    pub sketch_vertices: u32,
+    /// Admitted sketch edge count.
+    pub sketch_edges: u32,
+}
+
+/// The reply to a [`Request::Route`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouteReply {
+    /// The packet was delivered.
+    Delivered {
+        /// Edges traversed.
+        hops: u32,
+        /// Header size in bits.
+        header_bits: u32,
+        /// Every vertex visited, `s` to `t` inclusive.
+        path: Vec<u32>,
+    },
+    /// Routing failed (relayed `RouteFailure` text).
+    Failed(String),
+}
+
+/// The reply to a [`Request::Stats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Vertices in the served graph (the query id space).
+    pub vertices: u64,
+    /// 0 = static oracle, 1 = dynamic oracle.
+    pub dynamic: u8,
+    /// Active faults (dynamic mode; 0 in static mode).
+    pub active_faults: u64,
+    /// Connections accepted so far.
+    pub connections: u64,
+    /// Single queries answered.
+    pub queries: u64,
+    /// Queries answered inside batch frames.
+    pub batch_queries: u64,
+    /// Routes computed.
+    pub routes: u64,
+    /// Updates applied.
+    pub updates: u64,
+    /// Protocol errors answered (malformed frames, bad requests).
+    pub protocol_errors: u64,
+}
+
+/// An error reply: the typed code plus a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ErrorReply {
+    /// The typed error code.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// A server reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to [`Request::Query`].
+    Query(QueryReply),
+    /// Answer to [`Request::Batch`].
+    Batch(Vec<BatchItem>),
+    /// Answer to [`Request::Route`].
+    Route(RouteReply),
+    /// Answer to [`Request::Update`]: active faults after the update.
+    Update {
+        /// Faults active after the update.
+        active_faults: u32,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats(StatsReply),
+    /// Acknowledgement of [`Request::Shutdown`] (sent before the server
+    /// begins draining).
+    Shutdown,
+    /// A typed error.
+    Error(ErrorReply),
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_faults(buf: &mut Vec<u8>, f: &WireFaults) {
+    debug_assert!(f.vertices.len() <= usize::from(MAX_WIRE_FAULTS));
+    debug_assert!(f.edges.len() <= usize::from(MAX_WIRE_FAULTS));
+    put_u16(buf, f.vertices.len() as u16);
+    put_u16(buf, f.edges.len() as u16);
+    for &v in &f.vertices {
+        put_u32(buf, v);
+    }
+    for &(a, b) in &f.edges {
+        put_u32(buf, a);
+        put_u32(buf, b);
+    }
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(usize::from(u16::MAX));
+    put_u16(buf, len as u16);
+    buf.extend_from_slice(&bytes[..len]);
+}
+
+fn put_ids(buf: &mut Vec<u8>, ids: &[u32]) {
+    put_u32(buf, ids.len() as u32);
+    for &v in ids {
+        put_u32(buf, v);
+    }
+}
+
+impl Request {
+    /// Appends this request's payload bytes to `buf` (no frame header).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Request::Query { s, t, faults } => {
+                buf.push(op::QUERY);
+                put_u32(buf, *s);
+                put_u32(buf, *t);
+                put_faults(buf, faults);
+            }
+            Request::Batch(queries) => {
+                buf.push(op::BATCH);
+                put_u32(buf, queries.len() as u32);
+                for (s, t, faults) in queries {
+                    put_u32(buf, *s);
+                    put_u32(buf, *t);
+                    put_faults(buf, faults);
+                }
+            }
+            Request::Route { s, t, faults } => {
+                buf.push(op::ROUTE);
+                put_u32(buf, *s);
+                put_u32(buf, *t);
+                put_faults(buf, faults);
+            }
+            Request::Update(update) => {
+                buf.push(op::UPDATE);
+                let (kind, a, b) = match *update {
+                    UpdateOp::DeleteVertex(v) => (0u8, v, 0),
+                    UpdateOp::DeleteEdge(a, b) => (1, a, b),
+                    UpdateOp::RestoreVertex(v) => (2, v, 0),
+                    UpdateOp::RestoreEdge(a, b) => (3, a, b),
+                };
+                buf.push(kind);
+                put_u32(buf, a);
+                put_u32(buf, b);
+            }
+            Request::Stats => buf.push(op::STATS),
+            Request::Shutdown => buf.push(op::SHUTDOWN),
+        }
+    }
+
+    /// Decodes a request payload (one whole frame, header stripped).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on any malformation; never panics.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut r = Reader::new(payload);
+        let opcode = r.u8("opcode")?;
+        let req = match opcode {
+            op::QUERY => {
+                let s = r.u32("query.s")?;
+                let t = r.u32("query.t")?;
+                let faults = r.faults()?;
+                Request::Query { s, t, faults }
+            }
+            op::BATCH => {
+                let count = r.u32("batch.count")?;
+                if count > MAX_BATCH {
+                    return Err(WireError::TooMany {
+                        what: "batch queries",
+                        count: u64::from(count),
+                        max: u64::from(MAX_BATCH),
+                    });
+                }
+                let mut queries = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let s = r.u32("batch.s")?;
+                    let t = r.u32("batch.t")?;
+                    let faults = r.faults()?;
+                    queries.push((s, t, faults));
+                }
+                Request::Batch(queries)
+            }
+            op::ROUTE => {
+                let s = r.u32("route.s")?;
+                let t = r.u32("route.t")?;
+                let faults = r.faults()?;
+                Request::Route { s, t, faults }
+            }
+            op::UPDATE => {
+                let kind = r.u8("update.kind")?;
+                let a = r.u32("update.a")?;
+                let b = r.u32("update.b")?;
+                let update = match kind {
+                    0 => UpdateOp::DeleteVertex(a),
+                    1 => UpdateOp::DeleteEdge(a, b),
+                    2 => UpdateOp::RestoreVertex(a),
+                    3 => UpdateOp::RestoreEdge(a, b),
+                    other => return Err(WireError::BadDiscriminant("update kind", other)),
+                };
+                Request::Update(update)
+            }
+            op::STATS => Request::Stats,
+            op::SHUTDOWN => Request::Shutdown,
+            other => return Err(WireError::UnknownOpcode(other)),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// The reply kind as a static name (for "wrong response kind"
+    /// diagnostics).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Response::Query(_) => "query",
+            Response::Batch(_) => "batch",
+            Response::Route(_) => "route",
+            Response::Update { .. } => "update",
+            Response::Stats(_) => "stats",
+            Response::Shutdown => "shutdown",
+            Response::Error(_) => "error",
+        }
+    }
+
+    /// Appends this reply's payload bytes to `buf` (no frame header).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Response::Query(q) => {
+                buf.push(status::OK);
+                buf.push(op::QUERY);
+                put_u32(buf, q.distance);
+                put_u32(buf, q.sketch_vertices);
+                put_u32(buf, q.sketch_edges);
+                put_ids(buf, &q.path);
+            }
+            Response::Batch(items) => {
+                buf.push(status::OK);
+                buf.push(op::BATCH);
+                put_u32(buf, items.len() as u32);
+                for item in items {
+                    put_u32(buf, item.distance);
+                    put_u32(buf, item.sketch_vertices);
+                    put_u32(buf, item.sketch_edges);
+                }
+            }
+            Response::Route(route) => {
+                buf.push(status::OK);
+                buf.push(op::ROUTE);
+                match route {
+                    RouteReply::Delivered {
+                        hops,
+                        header_bits,
+                        path,
+                    } => {
+                        buf.push(1);
+                        put_u32(buf, *hops);
+                        put_u32(buf, *header_bits);
+                        put_ids(buf, path);
+                    }
+                    RouteReply::Failed(reason) => {
+                        buf.push(0);
+                        put_str(buf, reason);
+                    }
+                }
+            }
+            Response::Update { active_faults } => {
+                buf.push(status::OK);
+                buf.push(op::UPDATE);
+                put_u32(buf, *active_faults);
+            }
+            Response::Stats(s) => {
+                buf.push(status::OK);
+                buf.push(op::STATS);
+                put_u64(buf, s.vertices);
+                buf.push(s.dynamic);
+                put_u64(buf, s.active_faults);
+                put_u64(buf, s.connections);
+                put_u64(buf, s.queries);
+                put_u64(buf, s.batch_queries);
+                put_u64(buf, s.routes);
+                put_u64(buf, s.updates);
+                put_u64(buf, s.protocol_errors);
+            }
+            Response::Shutdown => {
+                buf.push(status::OK);
+                buf.push(op::SHUTDOWN);
+            }
+            Response::Error(e) => {
+                buf.push(status::ERR);
+                buf.push(e.code as u8);
+                put_str(buf, &e.message);
+            }
+        }
+    }
+
+    /// Decodes a reply payload (one whole frame, header stripped).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on any malformation; never panics.
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let mut r = Reader::new(payload);
+        let st = r.u8("status")?;
+        let resp = match st {
+            status::OK => {
+                let opcode = r.u8("reply opcode")?;
+                match opcode {
+                    op::QUERY => {
+                        let distance = r.u32("reply.distance")?;
+                        let sketch_vertices = r.u32("reply.sketch_vertices")?;
+                        let sketch_edges = r.u32("reply.sketch_edges")?;
+                        let path = r.ids("reply.path")?;
+                        Response::Query(QueryReply {
+                            distance,
+                            sketch_vertices,
+                            sketch_edges,
+                            path,
+                        })
+                    }
+                    op::BATCH => {
+                        let count = r.u32("reply.batch.count")?;
+                        if count > MAX_BATCH {
+                            return Err(WireError::TooMany {
+                                what: "batch replies",
+                                count: u64::from(count),
+                                max: u64::from(MAX_BATCH),
+                            });
+                        }
+                        let mut items = Vec::with_capacity(count as usize);
+                        for _ in 0..count {
+                            items.push(BatchItem {
+                                distance: r.u32("reply.batch.distance")?,
+                                sketch_vertices: r.u32("reply.batch.sv")?,
+                                sketch_edges: r.u32("reply.batch.se")?,
+                            });
+                        }
+                        Response::Batch(items)
+                    }
+                    op::ROUTE => match r.u8("reply.route.delivered")? {
+                        1 => Response::Route(RouteReply::Delivered {
+                            hops: r.u32("reply.route.hops")?,
+                            header_bits: r.u32("reply.route.header_bits")?,
+                            path: r.ids("reply.route.path")?,
+                        }),
+                        0 => Response::Route(RouteReply::Failed(r.str("reply.route.reason")?)),
+                        other => {
+                            return Err(WireError::BadDiscriminant("route status", other));
+                        }
+                    },
+                    op::UPDATE => Response::Update {
+                        active_faults: r.u32("reply.update.active_faults")?,
+                    },
+                    op::STATS => Response::Stats(StatsReply {
+                        vertices: r.u64("reply.stats.vertices")?,
+                        dynamic: r.u8("reply.stats.dynamic")?,
+                        active_faults: r.u64("reply.stats.active_faults")?,
+                        connections: r.u64("reply.stats.connections")?,
+                        queries: r.u64("reply.stats.queries")?,
+                        batch_queries: r.u64("reply.stats.batch_queries")?,
+                        routes: r.u64("reply.stats.routes")?,
+                        updates: r.u64("reply.stats.updates")?,
+                        protocol_errors: r.u64("reply.stats.protocol_errors")?,
+                    }),
+                    op::SHUTDOWN => Response::Shutdown,
+                    other => return Err(WireError::UnknownOpcode(other)),
+                }
+            }
+            status::ERR => {
+                let raw = r.u8("error code")?;
+                let code =
+                    ErrorCode::from_u8(raw).ok_or(WireError::BadDiscriminant("error code", raw))?;
+                let message = r.str("error message")?;
+                Response::Error(ErrorReply { code, message })
+            }
+            other => return Err(WireError::UnknownStatus(other)),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+/// A bounds-checked positional reader over one frame payload.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, field: &'static str) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(WireError::Truncated(field))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, field: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, field)?[0])
+    }
+
+    fn u16(&mut self, field: &'static str) -> Result<u16, WireError> {
+        let b = self.take(2, field)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, field: &'static str) -> Result<u32, WireError> {
+        let b = self.take(4, field)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, field: &'static str) -> Result<u64, WireError> {
+        let b = self.take(8, field)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(b);
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    fn faults(&mut self) -> Result<WireFaults, WireError> {
+        let nv = self.u16("faults.vertex_count")?;
+        let ne = self.u16("faults.edge_count")?;
+        let mut vertices = Vec::with_capacity(usize::from(nv));
+        for _ in 0..nv {
+            vertices.push(self.u32("faults.vertex")?);
+        }
+        let mut edges = Vec::with_capacity(usize::from(ne));
+        for _ in 0..ne {
+            let a = self.u32("faults.edge.a")?;
+            let b = self.u32("faults.edge.b")?;
+            edges.push((a, b));
+        }
+        Ok(WireFaults { vertices, edges })
+    }
+
+    fn ids(&mut self, field: &'static str) -> Result<Vec<u32>, WireError> {
+        let count = self.u32(field)?;
+        // A path can never exceed the frame it rides in; reject early so a
+        // corrupt count cannot trigger a giant allocation.
+        let remaining = (self.bytes.len() - self.pos) / 4;
+        if count as usize > remaining {
+            return Err(WireError::Truncated(field));
+        }
+        let mut ids = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            ids.push(self.u32(field)?);
+        }
+        Ok(ids)
+    }
+
+    fn str(&mut self, field: &'static str) -> Result<String, WireError> {
+        let len = self.u16(field)?;
+        let bytes = self.take(usize::from(len), field)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| WireError::BadUtf8)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.bytes.len() - self.pos))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Frame-layer failures (distinct from payload-level [`WireError`]s:
+/// after a frame error the stream position is unreliable and the
+/// connection should close; after a payload error the next frame is still
+/// well delimited).
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed.
+    Io(std::io::Error),
+    /// The header announced a payload larger than `max`.
+    Oversized {
+        /// Claimed payload length.
+        len: u32,
+        /// The enforced ceiling.
+        max: u32,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "stream error: {e}"),
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// What [`read_frame`] observed.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete frame was read into the buffer.
+    Frame,
+    /// The peer closed the stream cleanly at a frame boundary.
+    Eof,
+}
+
+/// Writes one frame (header + payload) and flushes.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "payload exceeds u32 length",
+        )
+    })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame into `buf` (resized to the payload length). Blocking:
+/// assumes the stream has no read timeout. A clean EOF *before any header
+/// byte* is [`FrameRead::Eof`]; EOF mid-frame is an
+/// [`std::io::ErrorKind::UnexpectedEof`] I/O error.
+///
+/// # Errors
+///
+/// [`FrameError::Oversized`] when the header claims more than `max`
+/// bytes, [`FrameError::Io`] on stream failures.
+pub fn read_frame<R: Read>(
+    r: &mut R,
+    max: u32,
+    buf: &mut Vec<u8>,
+) -> Result<FrameRead, FrameError> {
+    let mut header = [0u8; 4];
+    // First header byte decides EOF-at-boundary vs truncated frame.
+    let mut got = 0usize;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) => {
+                if got == 0 {
+                    return Ok(FrameRead::Eof);
+                }
+                return Err(FrameError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "stream closed mid-header",
+                )));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(header);
+    if len > max {
+        return Err(FrameError::Oversized { len, max });
+    }
+    buf.resize(len as usize, 0);
+    r.read_exact(buf)?;
+    Ok(FrameRead::Frame)
+}
+
+/// Encodes `req` and writes it as one frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn send_request<W: Write>(w: &mut W, req: &Request, buf: &mut Vec<u8>) -> std::io::Result<()> {
+    buf.clear();
+    req.encode(buf);
+    write_frame(w, buf)
+}
+
+/// Encodes `resp` and writes it as one frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn send_response<W: Write>(
+    w: &mut W,
+    resp: &Response,
+    buf: &mut Vec<u8>,
+) -> std::io::Result<()> {
+    buf.clear();
+    resp.encode(buf);
+    write_frame(w, buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsdl_testkit::Rng;
+
+    fn roundtrip_request(req: &Request) {
+        let mut buf = Vec::new();
+        req.encode(&mut buf);
+        assert!(buf.len() <= MAX_FRAME as usize);
+        let back = Request::decode(&buf).expect("valid encoding decodes");
+        assert_eq!(&back, req);
+    }
+
+    fn roundtrip_response(resp: &Response) {
+        let mut buf = Vec::new();
+        resp.encode(&mut buf);
+        let back = Response::decode(&buf).expect("valid encoding decodes");
+        assert_eq!(&back, resp);
+    }
+
+    fn sample_faults(rng: &mut Rng) -> WireFaults {
+        let nv = rng.gen_range(0..4usize);
+        let ne = rng.gen_range(0..3usize);
+        WireFaults {
+            vertices: (0..nv).map(|_| rng.gen_range(0..1000u32)).collect(),
+            edges: (0..ne)
+                .map(|_| (rng.gen_range(0..1000u32), rng.gen_range(0..1000u32)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_request(&Request::Stats);
+        roundtrip_request(&Request::Shutdown);
+        roundtrip_request(&Request::Query {
+            s: 0,
+            t: u32::MAX,
+            faults: WireFaults::empty(),
+        });
+        roundtrip_request(&Request::Update(UpdateOp::DeleteEdge(3, 900)));
+        roundtrip_request(&Request::Update(UpdateOp::RestoreVertex(17)));
+        fsdl_testkit::check("request_roundtrip", 200, |rng| {
+            let faults = sample_faults(rng);
+            let req = match rng.gen_range(0..4u32) {
+                0 => Request::Query {
+                    s: rng.gen_range(0..500u32),
+                    t: rng.gen_range(0..500u32),
+                    faults,
+                },
+                1 => {
+                    let k = rng.gen_range(0..6usize);
+                    Request::Batch(
+                        (0..k)
+                            .map(|_| {
+                                (
+                                    rng.gen_range(0..500u32),
+                                    rng.gen_range(0..500u32),
+                                    sample_faults(rng),
+                                )
+                            })
+                            .collect(),
+                    )
+                }
+                2 => Request::Route {
+                    s: rng.gen_range(0..500u32),
+                    t: rng.gen_range(0..500u32),
+                    faults,
+                },
+                _ => Request::Update(match rng.gen_range(0..4u32) {
+                    0 => UpdateOp::DeleteVertex(rng.gen_range(0..500u32)),
+                    1 => UpdateOp::DeleteEdge(rng.gen_range(0..500u32), rng.gen_range(0..500u32)),
+                    2 => UpdateOp::RestoreVertex(rng.gen_range(0..500u32)),
+                    _ => UpdateOp::RestoreEdge(rng.gen_range(0..500u32), rng.gen_range(0..500u32)),
+                }),
+            };
+            roundtrip_request(&req);
+        });
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_response(&Response::Shutdown);
+        roundtrip_response(&Response::Update { active_faults: 42 });
+        roundtrip_response(&Response::Query(QueryReply {
+            distance: u32::MAX,
+            sketch_vertices: 0,
+            sketch_edges: 0,
+            path: vec![],
+        }));
+        roundtrip_response(&Response::Query(QueryReply {
+            distance: 12,
+            sketch_vertices: 40,
+            sketch_edges: 120,
+            path: vec![0, 5, 9, 12],
+        }));
+        roundtrip_response(&Response::Batch(vec![
+            BatchItem {
+                distance: 3,
+                sketch_vertices: 10,
+                sketch_edges: 20,
+            };
+            17
+        ]));
+        roundtrip_response(&Response::Route(RouteReply::Delivered {
+            hops: 6,
+            header_bits: 96,
+            path: vec![1, 2, 3],
+        }));
+        roundtrip_response(&Response::Route(RouteReply::Failed("unreachable".into())));
+        roundtrip_response(&Response::Stats(StatsReply {
+            vertices: 144,
+            dynamic: 1,
+            active_faults: 3,
+            connections: 9,
+            queries: 1000,
+            batch_queries: 4000,
+            routes: 7,
+            updates: 12,
+            protocol_errors: 2,
+        }));
+        roundtrip_response(&Response::Error(ErrorReply {
+            code: ErrorCode::UnsupportedInMode,
+            message: "route requires a static oracle".into(),
+        }));
+    }
+
+    /// Any mutation of a valid encoding must decode to a typed error or a
+    /// (different or equal) valid message — never panic. Mirrors the
+    /// `labels::corrupt` chaos discipline at the wire layer.
+    #[test]
+    fn mutated_payloads_never_panic() {
+        fsdl_testkit::check("mutated_request_payloads", 400, |rng| {
+            let mut buf = Vec::new();
+            Request::Query {
+                s: rng.gen_range(0..100u32),
+                t: rng.gen_range(0..100u32),
+                faults: sample_faults(rng),
+            }
+            .encode(&mut buf);
+            match rng.gen_range(0..3u32) {
+                0 => {
+                    // Bit flip.
+                    let k = rng.gen_range(0..buf.len());
+                    buf[k] ^= 1 << rng.gen_range(0..8u32);
+                }
+                1 => {
+                    // Truncate.
+                    let k = rng.gen_range(0..buf.len());
+                    buf.truncate(k);
+                }
+                _ => {
+                    // Splice garbage on the end.
+                    let extra = rng.gen_range(1..9usize);
+                    for _ in 0..extra {
+                        buf.push(rng.gen_range(0..=255u32) as u8);
+                    }
+                }
+            }
+            let _ = Request::decode(&buf);
+            let _ = Response::decode(&buf);
+        });
+    }
+
+    #[test]
+    fn batch_count_limit_is_enforced() {
+        let mut buf = vec![2u8]; // BATCH opcode
+        buf.extend_from_slice(&(MAX_BATCH + 1).to_le_bytes());
+        match Request::decode(&buf) {
+            Err(WireError::TooMany { what, .. }) => assert_eq!(what, "batch queries"),
+            other => panic!("expected TooMany, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = Vec::new();
+        Request::Stats.encode(&mut buf);
+        buf.push(0);
+        assert_eq!(Request::decode(&buf), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn framing_roundtrip_and_limits() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_frame(&mut cursor, MAX_FRAME, &mut buf).unwrap(),
+            FrameRead::Frame
+        ));
+        assert_eq!(buf, b"hello");
+        assert!(matches!(
+            read_frame(&mut cursor, MAX_FRAME, &mut buf).unwrap(),
+            FrameRead::Frame
+        ));
+        assert!(buf.is_empty());
+        assert!(matches!(
+            read_frame(&mut cursor, MAX_FRAME, &mut buf).unwrap(),
+            FrameRead::Eof
+        ));
+
+        // Oversized header is a typed frame error.
+        let mut oversized = std::io::Cursor::new((MAX_FRAME + 1).to_le_bytes().to_vec());
+        assert!(matches!(
+            read_frame(&mut oversized, MAX_FRAME, &mut buf),
+            Err(FrameError::Oversized { .. })
+        ));
+
+        // Truncated payload is UnexpectedEof.
+        let mut torn = Vec::new();
+        write_frame(&mut torn, b"full payload").unwrap();
+        torn.truncate(torn.len() - 4);
+        let mut cursor = std::io::Cursor::new(torn);
+        match read_frame(&mut cursor, MAX_FRAME, &mut buf) {
+            Err(FrameError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof);
+            }
+            other => panic!("expected truncated-payload error, got {other:?}"),
+        }
+    }
+}

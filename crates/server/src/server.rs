@@ -1,0 +1,778 @@
+//! The long-running oracle server: accept thread + worker pool.
+//!
+//! ## Threading model
+//!
+//! One accept thread (the caller of [`Server::run`]) polls a nonblocking
+//! listener and feeds accepted connections to a fixed pool of worker
+//! threads over a channel. Each worker owns one [`DecodeScratch`] for its
+//! entire lifetime and serves one connection at a time to completion, so
+//! the zero-allocation decode fast path survives the network hop: after a
+//! few requests every buffer a query needs is already warm.
+//!
+//! The pool size defaults to [`fsdl_nets::parallel::background_workers`]
+//! (available parallelism minus the accept thread, never below one) — the
+//! same reservation discipline the background rebuilder uses, asserted at
+//! startup so a misconfigured host can never end up with zero serving
+//! workers.
+//!
+//! ## Failure containment
+//!
+//! A malformed payload gets a typed [`Response::Error`] on the same
+//! connection and the connection keeps serving; a broken *frame* (length
+//! header past the cap, torn payload) gets a final typed error and closes
+//! only that connection. Nothing in the serving path panics on untrusted
+//! input — the decode layer is the panic-free path proven by the
+//! `labels::corrupt` harnesses.
+//!
+//! ## Shutdown
+//!
+//! A `shutdown` frame (or [`ShutdownHandle::signal`]) flips a shared
+//! flag. The accept loop stops accepting, workers finish their in-flight
+//! request, idle connections close at the next poll tick, and — in
+//! dynamic mode — the oracle drains any background rebuild before
+//! [`Server::run`] returns, so the WAL and store are consistent on exit.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::fs::FileTypeExt;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+use fsdl_graph::NodeId;
+use fsdl_labels::{DecodeScratch, DynamicOracle};
+use fsdl_routing::Network;
+
+use crate::protocol::{
+    self, BatchItem, ErrorCode, ErrorReply, FrameError, QueryReply, Request, Response, RouteReply,
+    StatsReply, UpdateOp, WireFaults,
+};
+
+/// Where a server listens or a client connects.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP socket address (`host:port`; port 0 binds an ephemeral port).
+    Tcp(String),
+    /// A unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp://{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix://{}", path.display()),
+        }
+    }
+}
+
+/// Server tunables.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads (0 = auto: available parallelism minus the accept
+    /// thread, never below 1).
+    pub workers: usize,
+    /// Frame payload ceiling in bytes.
+    pub max_frame: u32,
+    /// How often idle workers and the accept loop check the shutdown
+    /// flag.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 0,
+            max_frame: protocol::MAX_FRAME,
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// What the server serves from: a static oracle (wrapped in its routing
+/// network so `route` frames work) or a durable dynamic oracle.
+#[derive(Clone)]
+pub enum ServeEngine {
+    /// Immutable labels; `query`/`batch`/`route` with per-request
+    /// forbidden sets, `update` rejected as [`ErrorCode::UnsupportedInMode`].
+    Static(Arc<Network>),
+    /// A dynamic oracle: `update` applies durable updates, `query`
+    /// answers under the *current* fault set (per-query forbidden sets
+    /// are rejected — the dynamic oracle's fault set is server state).
+    Dynamic(Arc<RwLock<DynamicOracle>>),
+}
+
+impl ServeEngine {
+    /// Wraps a static oracle.
+    pub fn from_network(network: Network) -> Self {
+        ServeEngine::Static(Arc::new(network))
+    }
+
+    /// Wraps a dynamic oracle.
+    pub fn from_dynamic(oracle: DynamicOracle) -> Self {
+        ServeEngine::Dynamic(Arc::new(RwLock::new(oracle)))
+    }
+
+    fn vertices(&self) -> u64 {
+        match self {
+            ServeEngine::Static(net) => net.oracle().labeling().graph().num_vertices() as u64,
+            ServeEngine::Dynamic(dyn_oracle) => read_lock(dyn_oracle).num_vertices() as u64,
+        }
+    }
+}
+
+/// Recovers a read guard even if a writer panicked (the serving path must
+/// outlive any one request's failure).
+fn read_lock(lock: &RwLock<DynamicOracle>) -> std::sync::RwLockReadGuard<'_, DynamicOracle> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_lock(lock: &RwLock<DynamicOracle>) -> std::sync::RwLockWriteGuard<'_, DynamicOracle> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Shared atomic counters, snapshotted into [`StatsReply`] frames and the
+/// final [`ServeReport`].
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    queries: AtomicU64,
+    batch_queries: AtomicU64,
+    routes: AtomicU64,
+    updates: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// Totals for one [`Server::run`] lifetime.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Single queries answered.
+    pub queries: u64,
+    /// Queries answered inside batch frames.
+    pub batch_queries: u64,
+    /// Routes computed.
+    pub routes: u64,
+    /// Updates applied.
+    pub updates: u64,
+    /// Typed protocol errors answered.
+    pub protocol_errors: u64,
+}
+
+/// Signals a running server to drain and exit (the out-of-band
+/// alternative to a `shutdown` frame).
+#[derive(Clone, Debug)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    /// Requests shutdown; idempotent.
+    pub fn signal(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_signaled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+enum BoundListener {
+    Tcp(TcpListener),
+    Unix(UnixListener, PathBuf),
+}
+
+/// One accepted connection, unified over transports.
+enum Conn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(d),
+            Conn::Unix(s) => s.set_read_timeout(d),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: BoundListener,
+    engine: ServeEngine,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds a listener at `endpoint`. For unix endpoints a stale socket
+    /// file from a previous run is removed first; the file is removed
+    /// again when [`Server::run`] returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn bind(
+        endpoint: &Endpoint,
+        engine: ServeEngine,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = match endpoint {
+            Endpoint::Tcp(addr) => {
+                let l = TcpListener::bind(addr.as_str())?;
+                l.set_nonblocking(true)?;
+                BoundListener::Tcp(l)
+            }
+            Endpoint::Unix(path) => {
+                // A dead server leaves its socket file behind; binding over
+                // it is the expected restart path. Only ever remove sockets.
+                if let Ok(meta) = std::fs::symlink_metadata(path) {
+                    if meta.file_type().is_socket() {
+                        std::fs::remove_file(path)?;
+                    }
+                }
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                BoundListener::Unix(l, path.clone())
+            }
+        };
+        Ok(Server {
+            listener,
+            engine,
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The endpoint actually bound (resolves port 0 to the ephemeral
+    /// port, so tests can bind `127.0.0.1:0` and connect back).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures.
+    pub fn local_endpoint(&self) -> std::io::Result<Endpoint> {
+        Ok(match &self.listener {
+            BoundListener::Tcp(l) => {
+                let addr: SocketAddr = l.local_addr()?;
+                Endpoint::Tcp(addr.to_string())
+            }
+            BoundListener::Unix(_, path) => Endpoint::Unix(path.clone()),
+        })
+    }
+
+    /// A handle that can request shutdown from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.shutdown))
+    }
+
+    /// Resolves the worker-pool size for this config: `workers == 0`
+    /// reserves one core for the accept thread via
+    /// [`fsdl_nets::parallel::background_workers`]. Guaranteed `>= 1` on
+    /// every host, single-core included — asserted, because a zero-worker
+    /// pool would accept connections and serve nothing.
+    pub fn resolved_workers(&self) -> usize {
+        let workers = if self.config.workers == 0 {
+            // Cap irrelevant here (usize::MAX jobs): we want avail - 1.
+            fsdl_nets::parallel::background_workers(usize::MAX)
+        } else {
+            self.config.workers
+        };
+        assert!(
+            workers >= 1,
+            "server worker pool must keep at least one worker after reserving the accept thread"
+        );
+        workers
+    }
+
+    /// Runs the accept loop until shutdown, then drains and returns the
+    /// totals. Blocks the calling thread (spawn it for in-process use).
+    pub fn run(self) -> ServeReport {
+        let workers = self.resolved_workers();
+        let counters = Arc::new(Counters::default());
+        let shutdown = Arc::clone(&self.shutdown);
+        let (tx, rx): (Sender<Conn>, Receiver<Conn>) = std::sync::mpsc::channel();
+        let rx = Arc::new(Mutex::new(rx));
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let rx = Arc::clone(&rx);
+                let engine = self.engine.clone();
+                let counters = Arc::clone(&counters);
+                let shutdown = Arc::clone(&shutdown);
+                let config = self.config.clone();
+                scope.spawn(move || {
+                    // One scratch per worker, reused across every request
+                    // of every connection this worker ever serves.
+                    let mut scratch = DecodeScratch::new();
+                    loop {
+                        // Holding the recv lock only while waiting keeps
+                        // hand-off cheap; a closed channel means the
+                        // accept loop is gone and the queue is drained.
+                        let conn = {
+                            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+                            guard.recv_timeout(config.poll_interval)
+                        };
+                        match conn {
+                            Ok(conn) => {
+                                serve_connection(
+                                    conn,
+                                    &engine,
+                                    &counters,
+                                    &shutdown,
+                                    &config,
+                                    &mut scratch,
+                                );
+                            }
+                            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                                if shutdown.load(Ordering::SeqCst) {
+                                    break;
+                                }
+                            }
+                            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+                        }
+                    }
+                });
+            }
+
+            // Accept loop (this thread).
+            while !shutdown.load(Ordering::SeqCst) {
+                let accepted = match &self.listener {
+                    BoundListener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+                    BoundListener::Unix(l, _) => l.accept().map(|(s, _)| Conn::Unix(s)),
+                };
+                match accepted {
+                    Ok(conn) => {
+                        counters.connections.fetch_add(1, Ordering::Relaxed);
+                        if tx.send(conn).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(self.config.poll_interval);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        // Listener failure: drain and exit rather than
+                        // spinning on a dead socket.
+                        shutdown.store(true, Ordering::SeqCst);
+                    }
+                }
+            }
+            drop(tx); // lets idle workers exit once the queue drains
+        });
+
+        // Drain any background rebuild so the store and WAL are
+        // consistent before the process can exit.
+        if let ServeEngine::Dynamic(dyn_oracle) = &self.engine {
+            read_lock(dyn_oracle).wait_for_rebuild();
+        }
+        if let BoundListener::Unix(_, path) = &self.listener {
+            let _ = std::fs::remove_file(path);
+        }
+
+        ServeReport {
+            connections: counters.connections.load(Ordering::Relaxed),
+            queries: counters.queries.load(Ordering::Relaxed),
+            batch_queries: counters.batch_queries.load(Ordering::Relaxed),
+            routes: counters.routes.load(Ordering::Relaxed),
+            updates: counters.updates.load(Ordering::Relaxed),
+            protocol_errors: counters.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Serves one connection until EOF, a frame-layer error, or shutdown.
+fn serve_connection(
+    mut conn: Conn,
+    engine: &ServeEngine,
+    counters: &Counters,
+    shutdown: &AtomicBool,
+    config: &ServerConfig,
+    scratch: &mut DecodeScratch,
+) {
+    if conn.set_read_timeout(Some(config.poll_interval)).is_err() {
+        return;
+    }
+    let mut frame = Vec::new();
+    let mut out = Vec::new();
+    loop {
+        match read_frame_idle_aware(&mut conn, config.max_frame, &mut frame, shutdown) {
+            FramePoll::Frame => {}
+            FramePoll::Eof | FramePoll::Closed => return,
+            FramePoll::ShuttingDown => return,
+            FramePoll::Broken(err) => {
+                // The stream can no longer be re-synchronized (the length
+                // header itself is untrustworthy): answer with the typed
+                // error, then close this connection only.
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let reply = Response::Error(ErrorReply {
+                    code: ErrorCode::Oversized,
+                    message: err,
+                });
+                let _ = protocol::send_response(&mut conn, &reply, &mut out);
+                return;
+            }
+        }
+        let response = match Request::decode(&frame) {
+            Err(wire_err) => Response::Error(ErrorReply {
+                code: wire_err.code(),
+                message: wire_err.to_string(),
+            }),
+            Ok(request) => handle_request(request, engine, counters, scratch),
+        };
+        if matches!(response, Response::Error(_)) {
+            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let is_shutdown_ack = matches!(response, Response::Shutdown);
+        if protocol::send_response(&mut conn, &response, &mut out).is_err() {
+            return;
+        }
+        if is_shutdown_ack {
+            shutdown.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+/// Outcome of polling for one frame on a connection with a read timeout.
+enum FramePoll {
+    /// A complete frame is in the buffer.
+    Frame,
+    /// Clean EOF at a frame boundary.
+    Eof,
+    /// The stream died (reset, torn frame).
+    Closed,
+    /// Shutdown was signaled while the connection was idle.
+    ShuttingDown,
+    /// The frame layer is broken (oversized length); message for the
+    /// final typed reply.
+    Broken(String),
+}
+
+/// Reads one frame from a stream whose read timeout is the poll
+/// interval. A timeout *between* frames is idleness (check shutdown and
+/// keep waiting); a timeout *inside* a frame just retries the read — the
+/// frame is already in flight and the sender is trusted to finish it or
+/// die, either of which ends the wait.
+fn read_frame_idle_aware(
+    conn: &mut Conn,
+    max_frame: u32,
+    frame: &mut Vec<u8>,
+    shutdown: &AtomicBool,
+) -> FramePoll {
+    let mut header = [0u8; 4];
+    let mut got = 0usize;
+    while got < header.len() {
+        match conn.read(&mut header[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    FramePoll::Eof
+                } else {
+                    FramePoll::Closed
+                };
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if got == 0 && shutdown.load(Ordering::SeqCst) {
+                    return FramePoll::ShuttingDown;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return FramePoll::Closed,
+        }
+    }
+    let len = u32::from_le_bytes(header);
+    if len > max_frame {
+        return FramePoll::Broken(
+            FrameError::Oversized {
+                len,
+                max: max_frame,
+            }
+            .to_string(),
+        );
+    }
+    frame.resize(len as usize, 0);
+    let mut filled = 0usize;
+    while filled < frame.len() {
+        match conn.read(&mut frame[filled..]) {
+            Ok(0) => return FramePoll::Closed,
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return FramePoll::Closed,
+        }
+    }
+    FramePoll::Frame
+}
+
+fn error_reply(code: ErrorCode, message: impl Into<String>) -> Response {
+    Response::Error(ErrorReply {
+        code,
+        message: message.into(),
+    })
+}
+
+/// Dispatches one decoded request against the engine.
+fn handle_request(
+    request: Request,
+    engine: &ServeEngine,
+    counters: &Counters,
+    scratch: &mut DecodeScratch,
+) -> Response {
+    match request {
+        Request::Query { s, t, faults } => match engine {
+            ServeEngine::Static(net) => {
+                match net.oracle().try_query_with(
+                    NodeId::new(s),
+                    NodeId::new(t),
+                    &faults.to_fault_set(),
+                    scratch,
+                ) {
+                    Ok(answer) => {
+                        counters.queries.fetch_add(1, Ordering::Relaxed);
+                        Response::Query(QueryReply {
+                            distance: answer.distance.raw(),
+                            sketch_vertices: answer.sketch_vertices as u32,
+                            sketch_edges: answer.sketch_edges as u32,
+                            path: answer.path.iter().map(|v| v.raw()).collect(),
+                        })
+                    }
+                    Err(e) => error_reply(ErrorCode::BadRequest, e.to_string()),
+                }
+            }
+            ServeEngine::Dynamic(dyn_oracle) => {
+                if !faults.is_empty() {
+                    return error_reply(
+                        ErrorCode::UnsupportedInMode,
+                        "dynamic mode serves the oracle's current fault set; \
+                         send update frames instead of per-query faults",
+                    );
+                }
+                let guard = read_lock(dyn_oracle);
+                match guard.try_distance_with(NodeId::new(s), NodeId::new(t), scratch) {
+                    Ok(d) => {
+                        counters.queries.fetch_add(1, Ordering::Relaxed);
+                        Response::Query(QueryReply {
+                            distance: d.raw(),
+                            sketch_vertices: 0,
+                            sketch_edges: 0,
+                            path: Vec::new(),
+                        })
+                    }
+                    Err(e) => error_reply(ErrorCode::BadRequest, e.to_string()),
+                }
+            }
+        },
+        Request::Batch(queries) => match engine {
+            ServeEngine::Static(net) => {
+                let mut items = Vec::with_capacity(queries.len());
+                for (s, t, faults) in &queries {
+                    match net.oracle().try_query_with(
+                        NodeId::new(*s),
+                        NodeId::new(*t),
+                        &faults.to_fault_set(),
+                        scratch,
+                    ) {
+                        Ok(answer) => items.push(BatchItem {
+                            distance: answer.distance.raw(),
+                            sketch_vertices: answer.sketch_vertices as u32,
+                            sketch_edges: answer.sketch_edges as u32,
+                        }),
+                        Err(e) => {
+                            return error_reply(
+                                ErrorCode::BadRequest,
+                                format!("batch item {}: {e}", items.len()),
+                            );
+                        }
+                    }
+                }
+                counters
+                    .batch_queries
+                    .fetch_add(items.len() as u64, Ordering::Relaxed);
+                Response::Batch(items)
+            }
+            ServeEngine::Dynamic(dyn_oracle) => {
+                if queries.iter().any(|(_, _, f)| !f.is_empty()) {
+                    return error_reply(
+                        ErrorCode::UnsupportedInMode,
+                        "dynamic mode serves the oracle's current fault set; \
+                         send update frames instead of per-query faults",
+                    );
+                }
+                let guard = read_lock(dyn_oracle);
+                let mut items = Vec::with_capacity(queries.len());
+                for (s, t, _) in &queries {
+                    match guard.try_distance_with(NodeId::new(*s), NodeId::new(*t), scratch) {
+                        Ok(d) => items.push(BatchItem {
+                            distance: d.raw(),
+                            sketch_vertices: 0,
+                            sketch_edges: 0,
+                        }),
+                        Err(e) => {
+                            return error_reply(
+                                ErrorCode::BadRequest,
+                                format!("batch item {}: {e}", items.len()),
+                            );
+                        }
+                    }
+                }
+                counters
+                    .batch_queries
+                    .fetch_add(items.len() as u64, Ordering::Relaxed);
+                Response::Batch(items)
+            }
+        },
+        Request::Route { s, t, faults } => match engine {
+            ServeEngine::Static(net) => {
+                let g = net.oracle().labeling().graph();
+                if s as usize >= g.num_vertices() || t as usize >= g.num_vertices() {
+                    return error_reply(ErrorCode::BadRequest, "route endpoint out of range");
+                }
+                counters.routes.fetch_add(1, Ordering::Relaxed);
+                match net.route(NodeId::new(s), NodeId::new(t), &faults.to_fault_set()) {
+                    Ok(delivery) => Response::Route(RouteReply::Delivered {
+                        hops: delivery.hops as u32,
+                        header_bits: delivery.header_bits as u32,
+                        path: delivery.path.iter().map(|v| v.raw()).collect(),
+                    }),
+                    Err(failure) => Response::Route(RouteReply::Failed(failure.to_string())),
+                }
+            }
+            ServeEngine::Dynamic(_) => error_reply(
+                ErrorCode::UnsupportedInMode,
+                "route requires the static oracle (serve without --dynamic)",
+            ),
+        },
+        Request::Update(update) => match engine {
+            ServeEngine::Static(_) => error_reply(
+                ErrorCode::UnsupportedInMode,
+                "update requires a dynamic oracle (serve with --store and --dynamic)",
+            ),
+            ServeEngine::Dynamic(dyn_oracle) => {
+                let mut guard = write_lock(dyn_oracle);
+                let result = match update {
+                    UpdateOp::DeleteVertex(v) => guard.delete_vertex(NodeId::new(v)),
+                    UpdateOp::DeleteEdge(a, b) => guard.delete_edge(NodeId::new(a), NodeId::new(b)),
+                    UpdateOp::RestoreVertex(v) => guard.restore_vertex(NodeId::new(v)),
+                    UpdateOp::RestoreEdge(a, b) => {
+                        guard.restore_edge(NodeId::new(a), NodeId::new(b))
+                    }
+                };
+                match result {
+                    Ok(()) => {
+                        counters.updates.fetch_add(1, Ordering::Relaxed);
+                        Response::Update {
+                            active_faults: guard.current_faults().len() as u32,
+                        }
+                    }
+                    Err(e) => error_reply(ErrorCode::UpdateRejected, e.to_string()),
+                }
+            }
+        },
+        Request::Stats => {
+            let (dynamic, active_faults) = match engine {
+                ServeEngine::Static(_) => (0u8, 0u64),
+                ServeEngine::Dynamic(dyn_oracle) => {
+                    (1u8, read_lock(dyn_oracle).current_faults().len() as u64)
+                }
+            };
+            Response::Stats(StatsReply {
+                vertices: engine.vertices(),
+                dynamic,
+                active_faults,
+                connections: counters.connections.load(Ordering::Relaxed),
+                queries: counters.queries.load(Ordering::Relaxed),
+                batch_queries: counters.batch_queries.load(Ordering::Relaxed),
+                routes: counters.routes.load(Ordering::Relaxed),
+                updates: counters.updates.load(Ordering::Relaxed),
+                protocol_errors: counters.protocol_errors.load(Ordering::Relaxed),
+            })
+        }
+        Request::Shutdown => Response::Shutdown,
+    }
+}
+
+/// Builds wire faults from raw parts (loadgen convenience).
+pub fn wire_faults(vertices: Vec<u32>, edges: Vec<(u32, u32)>) -> WireFaults {
+    WireFaults { vertices, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolved_workers_is_at_least_one_everywhere() {
+        // Auto sizing must survive a single-core host: background_workers
+        // returns avail - 1 but never 0, and the assert in
+        // resolved_workers pins the contract.
+        let dir = std::env::temp_dir().join(format!("fsdl-srv-workers-{}", std::process::id()));
+        let g = fsdl_graph::generators::cycle(8);
+        let oracle = fsdl_labels::ForbiddenSetOracle::new(&g, 1.0);
+        let server = Server::bind(
+            &Endpoint::Unix(dir.with_extension("sock")),
+            ServeEngine::from_network(Network::from_oracle(oracle)),
+            ServerConfig::default(),
+        )
+        .expect("bind");
+        assert!(server.resolved_workers() >= 1);
+        let explicit = Server::bind(
+            &Endpoint::Unix(dir.with_extension("sock2")),
+            server.engine.clone(),
+            ServerConfig {
+                workers: 3,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        assert_eq!(explicit.resolved_workers(), 3);
+        let _ = std::fs::remove_file(dir.with_extension("sock"));
+        let _ = std::fs::remove_file(dir.with_extension("sock2"));
+    }
+
+    #[test]
+    fn endpoint_display() {
+        assert_eq!(
+            Endpoint::Tcp("127.0.0.1:4000".into()).to_string(),
+            "tcp://127.0.0.1:4000"
+        );
+        assert_eq!(
+            Endpoint::Unix(PathBuf::from("/tmp/x.sock")).to_string(),
+            "unix:///tmp/x.sock"
+        );
+    }
+}

@@ -1,0 +1,274 @@
+//! Protocol chaos: a live server fed truncated, oversized, bit-flipped,
+//! and garbage frames from hostile connections while a healthy client
+//! keeps querying. The contract under fire: every violation gets a typed
+//! error reply (or, for an untrustworthy frame layer, a typed reply then
+//! a close of that connection only), the healthy connection never
+//! notices, and nothing panics.
+
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use fsdl_graph::generators;
+use fsdl_labels::ForbiddenSetOracle;
+use fsdl_routing::Network;
+use fsdl_server::{
+    protocol, Client, Endpoint, Request, ServeEngine, Server, ServerConfig, WireFaults,
+};
+use fsdl_testkit::Rng;
+
+fn scratch_sock(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let k = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("fsdl-chaos-{tag}-{}-{k}.sock", std::process::id()))
+}
+
+fn spawn_server(sock: PathBuf) -> (Endpoint, std::thread::JoinHandle<fsdl_server::ServeReport>) {
+    let g = generators::grid2d(6, 6);
+    let oracle = ForbiddenSetOracle::new(&g, 0.5);
+    let server = Server::bind(
+        &Endpoint::Unix(sock),
+        ServeEngine::Static(Arc::new(Network::from_oracle(oracle))),
+        ServerConfig {
+            workers: 3,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let endpoint = server.local_endpoint().expect("endpoint");
+    let handle = std::thread::spawn(move || server.run());
+    (endpoint, handle)
+}
+
+fn connect_raw(endpoint: &Endpoint) -> UnixStream {
+    let Endpoint::Unix(path) = endpoint else {
+        panic!("chaos tests use unix sockets");
+    };
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        match UnixStream::connect(path) {
+            Ok(s) => return s,
+            Err(e) if std::time::Instant::now() >= deadline => panic!("connect: {e}"),
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Reads one reply frame; returns its payload, or `None` on EOF/error
+/// (a legal server response to a broken frame layer is a close).
+fn read_reply(stream: &mut UnixStream) -> Option<Vec<u8>> {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let mut header = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match stream.read(&mut header[got..]) {
+            Ok(0) => return None,
+            Ok(n) => got += n,
+            Err(_) => return None,
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match stream.read(&mut payload[filled..]) {
+            Ok(0) => return None,
+            Ok(n) => filled += n,
+            Err(_) => return None,
+        }
+    }
+    Some(payload)
+}
+
+/// Asserts a reply payload decodes as a typed error (status byte ERR and
+/// a well-formed error body).
+fn assert_typed_error(payload: &[u8]) {
+    let response = fsdl_server::Response::decode(payload).expect("reply must decode");
+    assert!(
+        matches!(response, fsdl_server::Response::Error(_)),
+        "expected a typed error reply, got {}",
+        response.kind_name()
+    );
+}
+
+fn encode_frame(request: &Request) -> Vec<u8> {
+    let mut payload = Vec::new();
+    request.encode(&mut payload);
+    let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+#[test]
+fn hostile_frames_get_typed_errors_while_healthy_traffic_flows() {
+    let (endpoint, handle) = spawn_server(scratch_sock("mixed"));
+
+    // The healthy client hammers queries on its own thread for the whole
+    // chaos run; any cross-connection damage shows up as a failure here.
+    let healthy_endpoint = endpoint.clone();
+    let healthy = std::thread::spawn(move || {
+        let mut client =
+            Client::connect_with_retry(&healthy_endpoint, Duration::from_secs(5)).expect("connect");
+        let mut rng = Rng::seed_from_u64(0xFEED);
+        for _ in 0..200 {
+            let s = rng.gen_range(0..36u32);
+            let t = rng.gen_range(0..36u32);
+            let reply = client.query(s, t, WireFaults::default()).expect("query");
+            assert!(reply.distance > 0 || s == t);
+        }
+    });
+
+    let mut typed_errors = 0u64;
+
+    // 1. Unknown opcode: typed reply, connection survives for a retry.
+    {
+        let mut s = connect_raw(&endpoint);
+        s.write_all(&[2, 0, 0, 0, 0xEE, 0x00]).expect("write");
+        let reply = read_reply(&mut s).expect("unknown opcode must get a reply");
+        assert_typed_error(&reply);
+        typed_errors += 1;
+        // Same connection, now a valid request: still served.
+        s.write_all(&encode_frame(&Request::Stats)).expect("write");
+        let reply = read_reply(&mut s).expect("connection must survive a typed error");
+        let decoded = fsdl_server::Response::decode(&reply).expect("decode");
+        assert!(matches!(decoded, fsdl_server::Response::Stats(_)));
+    }
+
+    // 2. Oversized length header: typed reply, then that connection (and
+    //    only that connection) closes.
+    {
+        let mut s = connect_raw(&endpoint);
+        s.write_all(&u32::MAX.to_le_bytes()).expect("write");
+        let reply = read_reply(&mut s).expect("oversized frame must get a final typed reply");
+        assert_typed_error(&reply);
+        typed_errors += 1;
+        assert!(
+            read_reply(&mut s).is_none(),
+            "an untrustworthy frame layer must close"
+        );
+    }
+
+    // 3. Truncated frame: header promises more than the client sends,
+    //    then the client disconnects. Server must just drop it.
+    {
+        let mut s = connect_raw(&endpoint);
+        s.write_all(&[100, 0, 0, 0, 0x01, 0x02]).expect("write");
+        drop(s);
+    }
+
+    // 4. Bit-flipped valid frames: every corruption decodes to a typed
+    //    error or happens to stay valid — never a panic, never a hang.
+    let mut rng = Rng::seed_from_u64(0xBAD);
+    for _ in 0..60 {
+        let mut frame = encode_frame(&Request::Query {
+            s: rng.gen_range(0..36u32),
+            t: rng.gen_range(0..36u32),
+            faults: WireFaults {
+                vertices: vec![rng.gen_range(0..36u32)],
+                edges: vec![(1, 2)],
+            },
+        });
+        // Flip a bit anywhere in the payload (not the length header, so
+        // the frame layer stays intact and the decoder sees the damage).
+        let payload_len = frame.len() - 4;
+        let byte = 4 + rng.gen_range(0..payload_len);
+        let bit = rng.gen_range(0..8usize);
+        frame[byte] ^= 1 << bit;
+        let mut s = connect_raw(&endpoint);
+        s.write_all(&frame).expect("write");
+        if let Some(reply) = read_reply(&mut s) {
+            let response = fsdl_server::Response::decode(&reply).expect("reply must decode");
+            if matches!(response, fsdl_server::Response::Error(_)) {
+                typed_errors += 1;
+            }
+        }
+    }
+
+    // 5. Pure garbage payload in a well-formed frame.
+    {
+        let mut garbage = vec![0u8; 64];
+        let mut rng = Rng::seed_from_u64(0x6A6B);
+        for b in garbage.iter_mut() {
+            *b = rng.gen_range(0..=255u32) as u8;
+        }
+        let mut frame = (garbage.len() as u32).to_le_bytes().to_vec();
+        frame.extend_from_slice(&garbage);
+        let mut s = connect_raw(&endpoint);
+        s.write_all(&frame).expect("write");
+        if let Some(reply) = read_reply(&mut s) {
+            // Opcode 0..=6 with garbage body may accidentally be valid;
+            // anything else must be a typed error. Either way it decoded.
+            let _ = fsdl_server::Response::decode(&reply).expect("reply must decode");
+        }
+    }
+
+    healthy.join().expect("healthy client must never fail");
+
+    let mut client =
+        Client::connect_with_retry(&endpoint, Duration::from_secs(5)).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.protocol_errors >= typed_errors,
+        "server must count the typed errors it answered ({} < {typed_errors})",
+        stats.protocol_errors
+    );
+    // Exactly 200 healthy queries ran; a few bit-flipped frames may have
+    // stayed valid (the flip landed in a vertex id) and been answered too.
+    assert!(stats.queries >= 200, "healthy traffic must be untouched");
+    client.shutdown().expect("shutdown");
+    let report = handle.join().expect("server thread must not panic");
+    assert!(report.protocol_errors >= typed_errors);
+}
+
+#[test]
+fn zero_length_and_empty_frames_are_typed_errors() {
+    let (endpoint, handle) = spawn_server(scratch_sock("empty"));
+    {
+        let mut s = connect_raw(&endpoint);
+        // Zero-length frame: no opcode at all.
+        s.write_all(&[0, 0, 0, 0]).expect("write");
+        let reply = read_reply(&mut s).expect("empty frame must get a reply");
+        assert_typed_error(&reply);
+    }
+    {
+        // A torn header (2 of 4 bytes) then EOF: silently dropped.
+        let mut s = connect_raw(&endpoint);
+        s.write_all(&[7, 0]).expect("write");
+        drop(s);
+    }
+    let mut client =
+        Client::connect_with_retry(&endpoint, Duration::from_secs(5)).expect("connect");
+    client.query(0, 35, WireFaults::default()).expect("query");
+    client.shutdown().expect("shutdown");
+    let report = handle.join().expect("server thread must not panic");
+    assert_eq!(report.queries, 1);
+    assert!(report.protocol_errors >= 1);
+}
+
+#[test]
+fn trailing_bytes_in_frame_are_rejected() {
+    let (endpoint, handle) = spawn_server(scratch_sock("trailing"));
+    let mut s = connect_raw(&endpoint);
+    let mut frame = encode_frame(&Request::Stats);
+    // Grow the payload by one byte and fix up the length header: the
+    // request now has trailing garbage the decoder must reject.
+    frame.push(0xAA);
+    let new_len = (frame.len() - 4) as u32;
+    frame[..4].copy_from_slice(&new_len.to_le_bytes());
+    s.write_all(&frame).expect("write");
+    let reply = read_reply(&mut s).expect("reply");
+    assert_typed_error(&reply);
+    drop(s);
+    let mut client =
+        Client::connect_with_retry(&endpoint, Duration::from_secs(5)).expect("connect");
+    client.shutdown().expect("shutdown");
+    let report = handle.join().expect("server thread must not panic");
+    assert!(report.protocol_errors >= 1);
+    // MAX_FRAME is the published cap the oversized test relies on.
+    const { assert!(protocol::MAX_FRAME >= 1 << 16) };
+}
