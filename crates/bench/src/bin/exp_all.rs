@@ -26,6 +26,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_t15_store",
     "exp_t16_wal",
     "exp_t17_serve",
+    "exp_t18_labelplane",
     "exp_f1_trace",
     "exp_f2_lowlevel",
 ];

@@ -9,7 +9,7 @@ use std::io::Write;
 use fsdl_baselines::ExactOracle;
 use fsdl_graph::doubling::{estimate_dimension, DoublingConfig};
 use fsdl_graph::{generators, io as gio, FaultSet, Graph, GraphStats, NodeId};
-use fsdl_labels::{DynamicConfig, DynamicOracle, ForbiddenSetOracle, RebuildMode};
+use fsdl_labels::{DynamicConfig, DynamicOracle, ForbiddenSetOracle, OpenMode, RebuildMode};
 use fsdl_routing::Network;
 use fsdl_server::{Endpoint, ServeEngine, Server, ServerConfig};
 
@@ -24,9 +24,10 @@ USAGE:
       families: path N | cycle N | grid W H | king W H | grid3d X Y Z |
                 linf P D | halfgrid P D | tree ARITY DEPTH | udg N RADIUS |
                 er N PROB | hypercube D | road W H REMOVAL
-  fsdl stats <graph-file> [--store DIR]
+  fsdl stats <graph-file> [--store DIR] [--open-mode eager|lazy]
       (--store also reports the dynamic oracle's rebuild/WAL health:
-       generation, fault counts, rebuilds, log bytes, replay totals)
+       generation, fault counts, rebuilds, log bytes, replay totals,
+       plus resident vs. on-disk label bytes for the serving generation)
   fsdl update <graph-file> --store DIR [--eps E] [--threshold T]
               [--background yes] [--delete v1,v2,...] [--delete-edge a-b,...]
               [--restore v1,...] [--restore-edge a-b,...]
@@ -41,25 +42,28 @@ USAGE:
       (materializes every label and persists them as an atomic store
        generation; later commands warm-start from it with --store)
   fsdl query <graph-file> --source S --target T [--eps E | --store DIR]
+             [--open-mode eager|lazy]
              [--forbid v1,v2,...] [--forbid-edge a-b,c-d,...] [--exact yes]
              [--repeat N]  (re-runs the decode N times reusing one scratch
               and reports the per-query latency)
   fsdl route <graph-file> --source S --target T [--eps E | --store DIR]
-             [--forbid ...] [--forbid-edge ...]
+             [--open-mode eager|lazy] [--forbid ...] [--forbid-edge ...]
   fsdl batch <graph-file> --source S --targets t1,t2,... [--eps E | --store DIR]
-             [--forbid ...] [--forbid-edge ...]
+             [--open-mode eager|lazy] [--forbid ...] [--forbid-edge ...]
   fsdl spanner <graph-file> [--eps E]
   fsdl trace <graph-file> --source S --target T [--eps E]
              [--forbid ...] [--forbid-edge ...]
   fsdl audit <graph-file> [--eps E] [--sample K]
   fsdl serve <graph-file> --listen tcp:HOST:PORT|unix:PATH
-             [--eps E | --store DIR] [--dynamic yes] [--workers N]
+             [--eps E | --store DIR] [--open-mode eager|lazy]
+             [--dynamic yes] [--workers N]
              [--threshold T] [--background yes]
       (runs the oracle server until a shutdown frame arrives: query/
        batch/route/update/stats over a length-prefixed binary protocol;
        --dynamic serves the durable dynamic oracle at --store and
        accepts update frames; --workers 0 = all cores minus the accept
-       thread)
+       thread; --open-mode lazy maps the store and decodes labels on
+       first touch instead of up front)
   (query/route/batch/trace also accept --forbid-file FILE with
    \"v <id>\" / \"f <u> <v>\" lines)
   fsdl help
@@ -161,6 +165,27 @@ fn faults_from(args: &ParsedArgs, g: &Graph) -> Result<FaultSet, ArgError> {
     Ok(f)
 }
 
+/// Parses `--open-mode {eager,lazy}` (default eager). The flag only
+/// makes sense alongside `--store`, so callers without one should use
+/// [`reject_open_mode_without_store`] first.
+fn open_mode_from(args: &ParsedArgs) -> Result<OpenMode, ArgError> {
+    match args.option("open-mode") {
+        None => Ok(OpenMode::default()),
+        Some(raw) => OpenMode::parse(raw).ok_or_else(|| {
+            ArgError(format!(
+                "invalid value '{raw}' for --open-mode (expected 'eager' or 'lazy')"
+            ))
+        }),
+    }
+}
+
+fn reject_open_mode_without_store(args: &ParsedArgs) -> Result<(), ArgError> {
+    require(
+        args.option("open-mode").is_none(),
+        "--open-mode requires --store DIR (it selects how the persisted labels are opened)",
+    )
+}
+
 /// The oracle for a serving command: opened from `--store DIR` (labels
 /// come from the persisted generation, `--eps` is baked into the store)
 /// or built fresh from the graph with `--eps`.
@@ -172,10 +197,12 @@ fn oracle_from(args: &ParsedArgs, g: &Graph) -> Result<ForbiddenSetOracle, ArgEr
                     "--eps conflicts with --store (epsilon is recorded in the store)".into(),
                 ));
             }
-            ForbiddenSetOracle::open(std::path::Path::new(dir), g)
+            let mode = open_mode_from(args)?;
+            ForbiddenSetOracle::open_with(std::path::Path::new(dir), g, mode)
                 .map_err(|e| ArgError(format!("cannot open store {dir}: {e}")))
         }
         None => {
+            reject_open_mode_without_store(args)?;
             let eps: f64 = parse_eps(args)?;
             Ok(ForbiddenSetOracle::new(g, eps))
         }
@@ -353,10 +380,14 @@ fn cmd_stats<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
             est.alpha, est.worst_cover, est.worst_case.0, est.worst_case.1
         ));
     }
-    if let Some(dir) = args.option("store") {
-        let oracle = DynamicOracle::open(std::path::Path::new(dir), &g)
-            .map_err(|e| ArgError(format!("cannot open store {dir}: {e}")))?;
-        text.push_str(&render_dynamic_stats(&oracle));
+    match args.option("store") {
+        Some(dir) => {
+            let mode = open_mode_from(args)?;
+            let oracle = DynamicOracle::open_with(std::path::Path::new(dir), &g, mode)
+                .map_err(|e| ArgError(format!("cannot open store {dir}: {e}")))?;
+            text.push_str(&render_dynamic_stats(&oracle));
+        }
+        None => reject_open_mode_without_store(args)?,
     }
     write_out(out, &text)
 }
@@ -366,6 +397,7 @@ fn render_dynamic_stats(oracle: &DynamicOracle) -> String {
     let s = oracle.stats();
     format!(
         "dynamic:     generation {}, threshold {}, faults baked {} / buffered {}\n\
+         labels:      {} resident ({} bytes) of {} on-disk bytes, open mode {}\n\
          rebuilds:    {} total ({} background, {} failed), last {:.2} ms, in-flight: {}\n\
          wal:         {} records / {} bytes since rotation; replayed {} records, \
          truncated {} torn bytes\n\
@@ -374,6 +406,10 @@ fn render_dynamic_stats(oracle: &DynamicOracle) -> String {
         s.threshold,
         s.baked,
         s.buffered,
+        s.resident_labels,
+        s.resident_label_bytes,
+        s.on_disk_label_bytes,
+        s.label_open_mode.map_or("in-memory", |m| m.name()),
         s.rebuilds,
         s.background_rebuilds,
         s.failed_rebuilds,
@@ -406,9 +442,13 @@ fn dynamic_oracle_from(
                     .into(),
             ));
         }
-        DynamicOracle::open(dir, g)
+        DynamicOracle::open_with(dir, g, open_mode_from(args)?)
             .map_err(|e| ArgError(format!("cannot open store {dir_raw}: {e}")))?
     } else {
+        require(
+            args.option("open-mode").is_none(),
+            "--open-mode applies to an existing store (this one is being created in memory)",
+        )?;
         let eps: f64 = parse_eps(args)?;
         let threshold = match args.option("threshold") {
             None => None,
@@ -1146,6 +1186,78 @@ mod tests {
         assert!(out.contains("delivered in 6 hops"), "{out}");
     }
 
+    /// `--open-mode lazy` must be output-identical to the default eager
+    /// open on every store-serving command, and `--open-mode` misuse is
+    /// a typed usage error.
+    #[test]
+    fn open_mode_lazy_round_trips_and_misuse_is_typed() {
+        let graph = temp_graph();
+        let store = TempStore::new();
+        let (p, d) = (graph.path(), store.path());
+        run_args(&["build", p, "--store", d]).unwrap();
+
+        let commands: Vec<Vec<&str>> = vec![
+            vec![
+                "query", p, "--source", "0", "--target", "2", "--forbid", "1", "--store", d,
+            ],
+            vec![
+                "batch",
+                p,
+                "--source",
+                "0",
+                "--targets",
+                "2,6",
+                "--store",
+                d,
+            ],
+            vec![
+                "route", p, "--source", "0", "--target", "6", "--forbid", "3", "--store", d,
+            ],
+        ];
+        for cmd in commands {
+            let eager = run_args(&cmd).unwrap();
+            for mode in ["eager", "lazy"] {
+                let mut with_mode = cmd.clone();
+                with_mode.extend(["--open-mode", mode]);
+                assert_eq!(
+                    eager,
+                    run_args(&with_mode).unwrap(),
+                    "{mode} diverged on {cmd:?}"
+                );
+            }
+        }
+
+        let err = run_args(&[
+            "query",
+            p,
+            "--source",
+            "0",
+            "--target",
+            "2",
+            "--store",
+            d,
+            "--open-mode",
+            "mapped",
+        ])
+        .unwrap_err();
+        assert!(
+            err.0.contains("invalid value 'mapped' for --open-mode"),
+            "{err}"
+        );
+        let err = run_args(&[
+            "query",
+            p,
+            "--source",
+            "0",
+            "--target",
+            "2",
+            "--open-mode",
+            "lazy",
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("--open-mode requires --store"), "{err}");
+    }
+
     #[test]
     fn store_misuse_is_a_typed_error() {
         let graph = temp_graph();
@@ -1387,6 +1499,41 @@ mod tests {
             out.contains("carry-over 0, blocked-on-rebuild 0, swap-contended 0"),
             "{out}"
         );
+    }
+
+    /// `stats --store` separates resident from on-disk label bytes and
+    /// names the open mode; nothing is resident right after either open
+    /// (labels decode on first touch in both modes).
+    #[test]
+    fn stats_reports_resident_vs_on_disk_label_bytes() {
+        let path = temp_graph();
+        let store = TempStore::new();
+        run_args(&["update", path.path(), "--store", store.path()]).unwrap();
+        let out = run_args(&["stats", path.path(), "--store", store.path()]).unwrap();
+        assert!(
+            out.contains("labels:      0 resident (0 bytes) of "),
+            "{out}"
+        );
+        assert!(out.contains("open mode eager"), "{out}");
+        let on_disk: u64 = out
+            .lines()
+            .find(|l| l.starts_with("labels:"))
+            .and_then(|l| l.split_whitespace().nth(6))
+            .and_then(|w| w.parse().ok())
+            .unwrap_or_else(|| panic!("no on-disk byte count in {out}"));
+        assert!(on_disk > 0, "{out}");
+        let out = run_args(&[
+            "stats",
+            path.path(),
+            "--store",
+            store.path(),
+            "--open-mode",
+            "lazy",
+        ])
+        .unwrap();
+        assert!(out.contains("open mode lazy"), "{out}");
+        let err = run_args(&["stats", path.path(), "--open-mode", "lazy"]).unwrap_err();
+        assert!(err.0.contains("--open-mode requires --store"), "{err}");
     }
 
     #[test]

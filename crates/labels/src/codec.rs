@@ -263,7 +263,8 @@ impl<'a> BitReader<'a> {
     ///
     /// # Errors
     ///
-    /// Returns a [`CodecError`] on truncation or overlong encodings.
+    /// Returns a [`CodecError`] on truncation or on encodings longer than
+    /// [`MAX_VARINT_GROUPS`] groups (10 bytes).
     pub fn read_varint(&mut self) -> Result<u64, CodecError> {
         // Fast path: one unaligned 16-byte load yields 64 usable bits
         // after the sub-byte shift — enough for 12 five-bit groups,
@@ -300,21 +301,142 @@ impl<'a> BitReader<'a> {
         }
         let mut value = 0u64;
         let mut shift = 0u32;
+        let mut groups = 0u32;
         loop {
             // One 5-bit read per group: continuation bit, then 4 value
             // bits — identical bit layout to the two-read formulation.
             let chunk = self.read_bits(5)?;
+            groups += 1;
+            if groups > MAX_VARINT_GROUPS {
+                // 16 groups carry 64 value bits — the whole u64 range —
+                // so a 17th group is corruption, not a longer value.
+                return Err(CodecError::new(
+                    self.pos,
+                    format!("varint exceeds {MAX_VARINT_GROUPS} groups (10 bytes)"),
+                ));
+            }
             let cont = chunk & 1;
             let group = chunk >> 1;
-            if shift >= 64 {
-                return Err(CodecError::new(self.pos, "varint overflow"));
-            }
             value |= group << shift;
-            shift += 4;
+            shift = (shift + 4).min(60);
             if cont == 0 {
                 return Ok(value);
             }
         }
+    }
+
+    /// Reads `count` varints into `out` (cleared first), decoding as many
+    /// as possible per 16-byte window load instead of reloading the
+    /// window for every varint. Bit-identical to `count` successive
+    /// [`BitReader::read_varint`] calls: same values, same final
+    /// position, and an error exactly when the sequential reads would
+    /// error (long varints and slice tails fall back to the per-varint
+    /// reader, so every edge case shares one implementation).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncation or overlong varints; `out`
+    /// then holds the values decoded before the failure.
+    pub fn read_varint_batch(
+        &mut self,
+        count: usize,
+        out: &mut Vec<u64>,
+    ) -> Result<(), CodecError> {
+        out.clear();
+        out.resize(count, 0);
+        let mut filled = 0usize;
+        while filled < count {
+            let byte = self.pos / 8;
+            let off = (self.pos % 8) as u32;
+            let Some(window) = self.bytes.get(byte..byte + 16) else {
+                // Too close to the end of the slice for a full window.
+                out.truncate(filled);
+                let v = self.read_varint()?;
+                out.push(v);
+                out.resize(count, 0);
+                filled += 1;
+                continue;
+            };
+            let word = u128::from_le_bytes(window.try_into().expect("16-byte window"));
+            let wide = (word >> off) as u64;
+            // 12 five-bit groups fit the 60-bit budget; `budget` caps it
+            // at the declared bit length so truncation is never read past.
+            let budget = (self.bit_len - self.pos).min(60);
+            // Bit 0 of every 5-bit group — the continuation bits. One
+            // `!wide & MASK` exposes every group that *ends* a varint up
+            // front, so the per-varint loop is just a shift and a
+            // `trailing_zeros` — no per-group branch, no window reload.
+            const CONT_MASK: u64 = 0x1084_2108_4210_8421;
+            // Set bits of `e` are the positions of every varint-ending
+            // group in the window; the loop walks them with `e &= e - 1`,
+            // so the only loop-carried dependency is one and+sub —
+            // everything else runs ahead out of order.
+            let mut e = !wide & CONT_MASK;
+            let dst = &mut out[..count];
+            let start = filled;
+            let mut begin = 0usize;
+            while filled < count && e != 0 {
+                // `tz` is the end group's bit position; the varint
+                // occupies [begin, tz + 5).
+                let tz = e.trailing_zeros() as usize;
+                if tz + 5 > budget {
+                    break;
+                }
+                let w = wide >> begin;
+                // Gather the 4 value bits of each group; the common one-,
+                // two-, and three-group cases are straight-line.
+                let value = match tz - begin {
+                    0 => (w >> 1) & 0xF,
+                    5 => ((w >> 1) & 0xF) | (((w >> 6) & 0xF) << 4),
+                    10 => ((w >> 1) & 0xF) | (((w >> 6) & 0xF) << 4) | (((w >> 11) & 0xF) << 8),
+                    span => {
+                        let mut v = 0u64;
+                        for k in 0..=span / 5 {
+                            v |= ((w >> (5 * k + 1)) & 0xF) << (4 * k);
+                        }
+                        v
+                    }
+                };
+                dst[filled] = value;
+                filled += 1;
+                begin = tz + 5;
+                e &= e - 1;
+            }
+            self.pos += begin;
+            if filled < count && filled == start {
+                // This varint cannot complete inside a fresh window: it
+                // is longer than 12 groups, truncated, or past the
+                // window — the per-varint reader resolves all three with
+                // its exact typed errors.
+                out.truncate(filled);
+                let v = self.read_varint()?;
+                out.push(v);
+                out.resize(count, 0);
+                filled += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Hard cap on varint length: 16 five-bit groups = 64 value bits = 10
+/// encoded bytes. Every `u64` fits in 16 groups, so anything longer is
+/// rejected as corruption with a typed [`CodecError`] instead of being
+/// caught only by downstream plausibility checks.
+pub const MAX_VARINT_GROUPS: u32 = 16;
+
+/// Reusable buffer for [`BitReader::read_varint_batch`], owned by the
+/// caller (threaded through `DecodeScratch` on the serving path) so the
+/// batched decode allocates nothing per label once warmed up.
+#[derive(Debug, Default)]
+pub struct VarintScratch {
+    buf: Vec<u64>,
+}
+
+impl VarintScratch {
+    /// An empty scratch; the buffer grows to the largest batch seen.
+    pub fn new() -> Self {
+        VarintScratch::default()
     }
 }
 
@@ -503,6 +625,70 @@ pub fn decode(bytes: &[u8], bit_len: usize, n: usize) -> Result<Label, CodecErro
     })
 }
 
+/// [`decode`] rebuilt on batched word-parallel varint reads: each level's
+/// point and edge streams are pulled with [`BitReader::read_varint_batch`]
+/// into the caller-owned [`VarintScratch`], then validated. Accepts
+/// exactly the inputs [`decode`] accepts and returns bit-identical
+/// labels (differentially asserted in the test suite); only the bit
+/// offset recorded in a [`CodecError`] may differ, because validation
+/// runs after the batch read instead of interleaved with it.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on truncated, malformed, corrupt, or
+/// oversized input — the same accept/reject set as [`decode`].
+pub fn decode_with(
+    bytes: &[u8],
+    bit_len: usize,
+    n: usize,
+    scratch: &mut VarintScratch,
+) -> Result<Label, CodecError> {
+    let w_id = id_width(n);
+    let mut r = BitReader::try_new(bytes, bit_len)?;
+    let owner_raw = r.read_bits(w_id)?;
+    if owner_raw >= n as u64 {
+        return Err(CodecError::new(
+            r.position(),
+            format!("owner id {owner_raw} out of range for n={n}"),
+        ));
+    }
+    let owner = NodeId::new(owner_raw as u32);
+    let owner_net_level = read_level(&mut r, "owner net level")?;
+    let first_level = read_level(&mut r, "first level")?;
+    let num_levels = r.read_varint()? as usize;
+    if num_levels as u64 > MAX_PLAUSIBLE_LEVEL {
+        return Err(CodecError::new(
+            r.position(),
+            format!("implausible level count {num_levels}"),
+        ));
+    }
+    let mut levels = Vec::with_capacity(num_levels);
+    for _ in 0..num_levels {
+        levels.push(decode_level_batched(&mut r, n, &mut scratch.buf)?);
+    }
+    let payload_bits = r.position();
+    let expected = prefix_checksum(bytes, payload_bits);
+    let stored = r.read_bits(CHECKSUM_BITS)? as u32;
+    if stored != expected {
+        return Err(CodecError::new(
+            payload_bits,
+            format!("checksum mismatch (stored {stored:#010x}, computed {expected:#010x})"),
+        ));
+    }
+    if r.remaining() != 0 {
+        return Err(CodecError::new(
+            r.position(),
+            format!("{} trailing bits after checksum", r.remaining()),
+        ));
+    }
+    Ok(Label {
+        owner,
+        owner_net_level,
+        first_level,
+        levels,
+    })
+}
+
 /// Reads a varint that must be a plausible net/scale level (`<= 64`).
 fn read_level(r: &mut BitReader<'_>, what: &str) -> Result<u32, CodecError> {
     let v = r.read_varint()?;
@@ -602,6 +788,118 @@ fn read_u32(r: &mut BitReader<'_>, what: &str) -> Result<u32, CodecError> {
     let v = r.read_varint()?;
     u32::try_from(v)
         .map_err(|_| CodecError::new(r.position(), format!("{what} {v} exceeds u32 range")))
+}
+
+/// [`decode_level`] on batched reads: each stream (points, virtual edges,
+/// real edges) is one `read_varint_batch` call into `buf`, validated
+/// afterwards with exactly the checks the sequential path applies —
+/// same accept set, same decoded values, possibly different error
+/// offsets on reject.
+fn decode_level_batched(
+    r: &mut BitReader<'_>,
+    n: usize,
+    buf: &mut Vec<u64>,
+) -> Result<LevelLabel, CodecError> {
+    const U32_MAX: u64 = u32::MAX as u64;
+    let num_points = read_count(r, 15, "point")?;
+    r.read_varint_batch(num_points * 3, buf)?;
+    // Delta-decode and build in one pass, folding every validity
+    // condition into flags checked after the scan — branch-light, and
+    // the buffer is walked once. Same accept/reject set as the
+    // sequential path; only the reported offset and message wording
+    // differ. (`prev` starting at 0 makes the first id `0 + delta`,
+    // which can never overflow, so no first-element special case.)
+    let mut prev = 0u64;
+    let mut overflow = false;
+    let mut bad_id = false;
+    let mut bad_dist = false;
+    let mut bad_level = false;
+    let points: Vec<LabelPoint> = buf
+        .chunks_exact(3)
+        .map(|c| {
+            let (id, o) = prev.overflowing_add(c[0]);
+            overflow |= o;
+            prev = id;
+            bad_id |= id >= n as u64;
+            bad_dist |= c[1] > U32_MAX;
+            bad_level |= c[2] > MAX_PLAUSIBLE_LEVEL;
+            LabelPoint {
+                vertex: NodeId::new(id as u32),
+                dist: c[1] as u32,
+                net_level: c[2] as u32,
+            }
+        })
+        .collect();
+    if overflow {
+        return Err(CodecError::new(r.position(), "point id delta overflows"));
+    }
+    if bad_id {
+        return Err(CodecError::new(
+            r.position(),
+            format!("point id out of range for n={n}"),
+        ));
+    }
+    if bad_dist {
+        return Err(CodecError::new(
+            r.position(),
+            "point distance exceeds u32 range",
+        ));
+    }
+    if bad_level {
+        return Err(CodecError::new(r.position(), "implausible point net level"));
+    }
+
+    // An endpoint must fit u32 *and* index into `points`; `>= bound`
+    // folds both checks into one compare.
+    let bound = (points.len() as u64).min(U32_MAX + 1);
+    let num_virtual = read_count(r, 15, "virtual edge")?;
+    r.read_varint_batch(num_virtual * 3, buf)?;
+    let mut bad = false;
+    let virtual_edges: Vec<VirtualEdge> = buf
+        .chunks_exact(3)
+        .map(|c| {
+            bad |= c[0] >= bound;
+            bad |= c[1] >= bound;
+            bad |= c[2] > U32_MAX;
+            VirtualEdge {
+                a: c[0] as u32,
+                b: c[1] as u32,
+                dist: c[2] as u32,
+            }
+        })
+        .collect();
+    if bad {
+        return Err(CodecError::new(
+            r.position(),
+            "virtual edge endpoint or distance out of range",
+        ));
+    }
+
+    let num_real = read_count(r, 10, "real edge")?;
+    r.read_varint_batch(num_real * 2, buf)?;
+    let mut bad = false;
+    let real_edges: Vec<RealEdge> = buf
+        .chunks_exact(2)
+        .map(|c| {
+            bad |= c[0] >= bound;
+            bad |= c[1] >= bound;
+            RealEdge {
+                a: c[0] as u32,
+                b: c[1] as u32,
+            }
+        })
+        .collect();
+    if bad {
+        return Err(CodecError::new(
+            r.position(),
+            "real edge index out of range",
+        ));
+    }
+    Ok(LevelLabel {
+        points,
+        virtual_edges,
+        real_edges,
+    })
 }
 
 #[cfg(test)]
@@ -869,5 +1167,133 @@ mod tests {
         let a = prefix_checksum(&[0u8; 4], 9);
         let b = prefix_checksum(&[0u8; 4], 10);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn varint_batch_matches_sequential_reads() {
+        fsdl_testkit::check("varint batch differential", 400, |rng| {
+            let count = rng.gen_range(0..40usize);
+            let mut w = BitWriter::new();
+            // Random leading misalignment so windows start mid-byte.
+            let lead = rng.gen_range(0..7u32);
+            w.write_bits(0, lead).unwrap();
+            let mut values = Vec::with_capacity(count);
+            for _ in 0..count {
+                // Mix tiny values (1 group) with full-range ones (up to
+                // 16 groups) so batches straddle window boundaries.
+                let v = match rng.gen_range(0..4u32) {
+                    0 => rng.gen_range(0..16u64),
+                    1 => rng.gen_range(0..4096u64),
+                    2 => rng.next_u64() & 0xFFFF_FFFF,
+                    _ => rng.next_u64(),
+                };
+                values.push(v);
+                w.write_varint(v);
+            }
+            let mut seq = BitReader::new(w.as_bytes(), w.len_bits());
+            seq.read_bits(lead).unwrap();
+            let mut batch = seq.clone();
+            let mut seq_vals = Vec::new();
+            for _ in 0..count {
+                seq_vals.push(seq.read_varint().unwrap());
+            }
+            let mut out = Vec::new();
+            batch.read_varint_batch(count, &mut out).unwrap();
+            assert_eq!(out, seq_vals);
+            assert_eq!(out, values);
+            assert_eq!(batch.position(), seq.position());
+        });
+    }
+
+    #[test]
+    fn varint_batch_truncation_matches_sequential() {
+        fsdl_testkit::check("varint batch truncation differential", 300, |rng| {
+            let count = rng.gen_range(1..20usize);
+            let mut w = BitWriter::new();
+            for _ in 0..count {
+                w.write_varint(rng.next_u64() >> rng.gen_range(0..64u32));
+            }
+            let cut = rng.gen_range(0..w.len_bits());
+            let mut seq = BitReader::new(w.as_bytes(), cut);
+            let mut batch = seq.clone();
+            let seq_result: Result<Vec<u64>, CodecError> =
+                (0..count).map(|_| seq.read_varint()).collect();
+            let mut out = Vec::new();
+            let batch_result = batch.read_varint_batch(count, &mut out);
+            match (seq_result, batch_result) {
+                (Ok(vals), Ok(())) => {
+                    assert_eq!(out, vals);
+                    assert_eq!(batch.position(), seq.position());
+                }
+                (Err(_), Err(_)) => {}
+                (s, b) => panic!("sequential {s:?} but batch {b:?} at cut {cut}"),
+            }
+        });
+    }
+
+    #[test]
+    fn varint_rejects_more_than_16_groups() {
+        // 17 all-continuation groups: a >10-byte varint must be a typed
+        // error, in the slow loop and through the batch reader alike.
+        let mut w = BitWriter::new();
+        for _ in 0..17 {
+            w.write_bits(0b00001, 5).unwrap(); // cont=1, group=0
+        }
+        w.write_bits(0, 5).unwrap(); // terminator, never reached
+        let mut r = BitReader::new(w.as_bytes(), w.len_bits());
+        let err = r.read_varint().unwrap_err();
+        assert!(err.message.contains("exceeds 16 groups"), "{err}");
+        let mut r = BitReader::new(w.as_bytes(), w.len_bits());
+        let mut out = Vec::new();
+        assert!(r.read_varint_batch(1, &mut out).is_err());
+        // 16 groups exactly (u64::MAX) is the legal maximum.
+        let mut w = BitWriter::new();
+        w.write_varint(u64::MAX);
+        assert_eq!(w.len_bits(), 16 * 5);
+        let mut r = BitReader::new(w.as_bytes(), w.len_bits());
+        assert_eq!(r.read_varint().unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn decode_with_matches_decode_on_valid_labels() {
+        let label = sample_label();
+        let w = encode(&label, 50);
+        let mut scratch = VarintScratch::new();
+        let batched = decode_with(w.as_bytes(), w.len_bits(), 50, &mut scratch).unwrap();
+        let sequential = decode(w.as_bytes(), w.len_bits(), 50).unwrap();
+        assert_eq!(batched, sequential);
+        assert_eq!(batched, label);
+    }
+
+    #[test]
+    fn decode_with_matches_decode_under_mutation() {
+        // Differential chaos: on every single-bit flip the batched and
+        // sequential decoders must agree on accept vs. reject (both are
+        // checksum-guarded, so in practice both reject).
+        let label = sample_label();
+        let w = encode(&label, 50);
+        let bits = w.len_bits();
+        let mut scratch = VarintScratch::new();
+        for flip in 0..bits {
+            let mut bytes = w.as_bytes().to_vec();
+            bytes[flip / 8] ^= 1 << (flip % 8);
+            let sequential = decode(&bytes, bits, 50);
+            let batched = decode_with(&bytes, bits, 50, &mut scratch);
+            match (&sequential, &batched) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "flip {flip}"),
+                (Err(_), Err(_)) => {}
+                _ => panic!("flip {flip}: sequential {sequential:?} vs batched {batched:?}"),
+            }
+        }
+        // Truncation sweep: same agreement at every declared length.
+        for cut in 0..bits {
+            let sequential = decode(w.as_bytes(), cut, 50);
+            let batched = decode_with(w.as_bytes(), cut, 50, &mut scratch);
+            assert_eq!(
+                sequential.is_ok(),
+                batched.is_ok(),
+                "cut {cut}: sequential {sequential:?} vs batched {batched:?}"
+            );
+        }
     }
 }

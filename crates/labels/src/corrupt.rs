@@ -29,6 +29,7 @@ use fsdl_testkit::Rng;
 use crate::codec;
 use crate::decode::{query, QueryLabels};
 use crate::oracle::ForbiddenSetOracle;
+use crate::store::OpenMode;
 
 /// One corruption applied to an encoded label bit string.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -393,6 +394,33 @@ pub fn store_corruption_sweep(
     count: usize,
     seed: u64,
 ) -> StoreSweepStats {
+    store_corruption_sweep_with(dir, scratch, g, probes, count, seed, OpenMode::Eager)
+}
+
+/// [`store_corruption_sweep`] with an explicit [`OpenMode`] for the
+/// corrupted copies.
+///
+/// Under [`OpenMode::Lazy`] the whole-file checksum is *not* verified at
+/// open, so payload corruptions routinely survive to first touch — the
+/// contract then leans on the per-label checksum and the oracle's
+/// recompute fallback: every probe must still answer bit-identically to
+/// the pristine (eagerly opened) store, and nothing may panic. The
+/// reference answers are always taken eagerly so the two modes are held
+/// to the same ground truth.
+///
+/// # Panics
+///
+/// Same contract as [`store_corruption_sweep`].
+#[allow(clippy::too_many_arguments)]
+pub fn store_corruption_sweep_with(
+    dir: &std::path::Path,
+    scratch: &std::path::Path,
+    g: &fsdl_graph::Graph,
+    probes: &[(NodeId, NodeId)],
+    count: usize,
+    seed: u64,
+    mode: OpenMode,
+) -> StoreSweepStats {
     use crate::store;
 
     let manifest = store::read_manifest(dir).expect("pristine store must have a manifest");
@@ -421,15 +449,17 @@ pub fn store_corruption_sweep(
         std::fs::create_dir_all(&case_dir).expect("scratch dir");
         std::fs::write(case_dir.join(store::MANIFEST_NAME), &manifest_bytes).expect("scratch io");
         std::fs::write(case_dir.join(&manifest.segment), &mutated).expect("scratch io");
-        match ForbiddenSetOracle::open(&case_dir, g) {
+        match ForbiddenSetOracle::open_with(&case_dir, g, mode) {
             Err(_) => stats.rejected += 1,
             Ok(oracle) => {
                 for (&(s, t), expected) in probes.iter().zip(&reference) {
                     let got = oracle.query(s, t, &empty);
                     assert_eq!(
-                        got, *expected,
-                        "store sweep seed {seed:#x} mutation #{idx} {m:?}: corrupted store \
-                         opened and answered {s}->{t} differently"
+                        got,
+                        *expected,
+                        "store sweep seed {seed:#x} mutation #{idx} {m:?} ({}): corrupted \
+                         store opened and answered {s}->{t} differently",
+                        mode.name()
                     );
                 }
                 stats.opened_sound += 1;

@@ -161,6 +161,9 @@ pub struct DecodeScratch {
     near_owner: Vec<u64>,
     /// Edge provenance, filled only when tracing asks for it.
     edge_info: HashMap<Edge, EdgeProvenance>,
+    /// Buffer for the batched word-parallel varint reader used when a
+    /// label is materialized from a segment on the query path.
+    varints: crate::codec::VarintScratch,
 }
 
 impl DecodeScratch {
@@ -189,6 +192,12 @@ impl DecodeScratch {
         self.near_points.clear();
         self.near_owner.clear();
         self.edge_info.clear();
+    }
+
+    /// The varint batch buffer, for materializing segment labels on the
+    /// query path without allocating per label.
+    pub(crate) fn varints_mut(&mut self) -> &mut crate::codec::VarintScratch {
+        &mut self.varints
     }
 
     /// Is `v` one of the forbidden vertices of the query just decoded?

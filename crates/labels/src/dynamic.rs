@@ -47,7 +47,7 @@ use crate::crash::{self, CrashPoint};
 use crate::decode::DecodeScratch;
 use crate::oracle::ForbiddenSetOracle;
 use crate::params::SchemeParams;
-use crate::store::{self, Segment, StoreError, StoreReport};
+use crate::store::{self, OpenMode, Segment, StoreError, StoreReport};
 use crate::wal::{ReplayReport, Wal, WalError, WalRecord};
 
 /// Typed errors for [`DynamicOracle`] update operations.
@@ -241,6 +241,17 @@ pub struct DynamicStats {
     /// Queries that found the serving lock contended (colliding with an
     /// `O(1)` install swap; sub-microsecond, and not rebuild-induced).
     pub serving_swaps_contended: u64,
+    /// Labels currently materialized in the serving generation's arena
+    /// (see [`crate::LabelPlaneStats`]).
+    pub resident_labels: u64,
+    /// Estimated heap bytes of those materialized labels.
+    pub resident_label_bytes: u64,
+    /// On-disk label payload bytes of the serving generation's segment
+    /// (0 when the generation was built in memory).
+    pub on_disk_label_bytes: u64,
+    /// How the serving generation's segment was opened; `None` for
+    /// in-memory generations.
+    pub label_open_mode: Option<OpenMode>,
 }
 
 /// One immutable installed generation: the surviving graph the labeling
@@ -824,6 +835,7 @@ impl DynamicOracle {
             .replay
             .as_ref()
             .map_or((0, 0), |r| (r.records as u64, r.truncated_bytes));
+        let plane = snap.generation.oracle.label_plane_stats();
         DynamicStats {
             rebuilds: c.rebuilds.load(Ordering::Relaxed),
             background_rebuilds: c.background_rebuilds.load(Ordering::Relaxed),
@@ -841,6 +853,10 @@ impl DynamicOracle {
             replay_truncated_bytes,
             blocked_on_rebuild: c.blocked_on_rebuild.load(Ordering::Relaxed),
             serving_swaps_contended: c.serving_swaps_contended.load(Ordering::Relaxed),
+            resident_labels: plane.resident_labels,
+            resident_label_bytes: plane.resident_label_bytes,
+            on_disk_label_bytes: plane.on_disk_label_bytes,
+            label_open_mode: plane.open_mode,
         }
     }
 
@@ -1282,11 +1298,25 @@ impl DynamicOracle {
     /// A typed [`StoreError`] for every corruption, mismatch, or I/O
     /// failure — never a panic on untrusted on-disk bytes.
     pub fn open(dir: &Path, g: &Graph) -> Result<Self, StoreError> {
+        Self::open_with(dir, g, OpenMode::Eager)
+    }
+
+    /// [`DynamicOracle::open`] with an explicit [`OpenMode`] for the
+    /// segment (see [`crate::ForbiddenSetOracle::open_with`]): under
+    /// [`OpenMode::Lazy`] the serving generation memory-maps the segment
+    /// and materializes labels at first touch, so a warm restart reaches
+    /// its first answer in O(touched labels). Rebuilt generations (fold
+    /// replay, threshold crossings) are in-memory and unaffected.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`StoreError`]; see [`DynamicOracle::open`].
+    pub fn open_with(dir: &Path, g: &Graph, mode: OpenMode) -> Result<Self, StoreError> {
         let manifest = store::read_manifest(dir)?;
         // A crash loop must not leak files: drop orphaned segments, stale
         // WALs, and temp artifacts before anything else.
         store::prune_generations(dir, manifest.generation);
-        let segment = Segment::read(&dir.join(&manifest.segment))?;
+        let segment = Segment::open(&dir.join(&manifest.segment), mode)?;
         for v in manifest.baked.vertices().chain(manifest.buffer.vertices()) {
             if !g.contains(v) {
                 return Err(StoreError::ManifestCorrupt {

@@ -1,0 +1,400 @@
+//! Byte-aligned group-varint label codec — the ablation arm.
+//!
+//! The canonical codec ([`crate::codec`]) is a bit-granular delta+varint
+//! format: 5-bit groups, unaligned, as small as the scheme knows how to
+//! be. The classic alternative from the integer-compression literature is
+//! **group varint**: values in groups of four, one tag byte holding four
+//! 2-bit length codes, then 1–4 little-endian payload bytes per value —
+//! byte-aligned throughout, so decoding is tag-dispatch plus unaligned
+//! loads, no bit shifting across byte boundaries.
+//!
+//! This module exists for the T18 codec ablation (`exp_t18_labelplane`):
+//! it encodes the *same* label field stream as the canonical codec
+//! (owner, levels, per-level delta-coded points and edge lists) so the
+//! two arms are byte-for-byte comparable on decode ns/label and
+//! bytes/label. It is **not** wired into the store format — the ablation
+//! decides whether it should be.
+//!
+//! Untrusted-input contract matches [`crate::codec::decode`]: typed
+//! [`CodecError`], never a panic, structural validation of every id and
+//! index.
+
+use fsdl_graph::NodeId;
+
+use crate::codec::CodecError;
+use crate::label::{Label, LabelPoint, LevelLabel, RealEdge, VirtualEdge};
+
+/// Upper bound on plausible net levels (mirrors the canonical codec).
+const MAX_PLAUSIBLE_LEVEL: u64 = 64;
+
+/// Append `values` as group varint: one tag byte per group of four, then
+/// each value's 1–4 little-endian bytes. A trailing partial group is
+/// padded with zero-length... no — zero *values*, which cost one byte
+/// each; the decoder knows the true count and ignores the pad slots.
+fn write_group(out: &mut Vec<u8>, values: &[u32]) {
+    for chunk in values.chunks(4) {
+        let mut group = [0u32; 4];
+        group[..chunk.len()].copy_from_slice(chunk);
+        let mut tag = 0u8;
+        let lens: Vec<u32> = group
+            .iter()
+            .map(|&v| {
+                if v < (1 << 8) {
+                    1
+                } else if v < (1 << 16) {
+                    2
+                } else if v < (1 << 24) {
+                    3
+                } else {
+                    4
+                }
+            })
+            .collect();
+        for (k, &len) in lens.iter().enumerate() {
+            tag |= ((len - 1) as u8) << (2 * k);
+        }
+        out.push(tag);
+        for (k, &v) in group.iter().enumerate() {
+            out.extend_from_slice(&v.to_le_bytes()[..lens[k] as usize]);
+        }
+    }
+}
+
+/// Cursor over group-varint bytes.
+struct GroupReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> GroupReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        GroupReader { bytes, pos: 0 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> CodecError {
+        CodecError::new(self.pos * 8, message)
+    }
+
+    /// Reads `count` values into `out` (cleared first).
+    fn read_group(&mut self, count: usize, out: &mut Vec<u32>) -> Result<(), CodecError> {
+        out.clear();
+        out.reserve(count);
+        let mut remaining = count;
+        while remaining > 0 {
+            let tag = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| self.err("group varint tag truncated"))?;
+            self.pos += 1;
+            let in_group = remaining.min(4);
+            for k in 0..4 {
+                let len = ((tag >> (2 * k)) & 0b11) as usize + 1;
+                let end = self.pos + len;
+                let slice = self
+                    .bytes
+                    .get(self.pos..end)
+                    .ok_or_else(|| self.err("group varint value truncated"))?;
+                if k < in_group {
+                    let mut buf = [0u8; 4];
+                    buf[..len].copy_from_slice(slice);
+                    out.push(u32::from_le_bytes(buf));
+                }
+                // Pad slots still consume their declared bytes so the
+                // stream stays aligned with the encoder's layout.
+                self.pos = end;
+            }
+            remaining -= in_group;
+        }
+        Ok(())
+    }
+
+    fn read_one(&mut self) -> Result<u32, CodecError> {
+        let mut one = Vec::with_capacity(1);
+        self.read_group(1, &mut one)?;
+        Ok(one[0])
+    }
+}
+
+/// Encodes `label` in the group-varint format. Field stream mirrors the
+/// canonical codec: owner, owner net level, first level, level count,
+/// then per level the point count + delta-coded point triples, virtual
+/// edge count + triples, real edge count + pairs.
+///
+/// # Errors
+///
+/// [`CodecError`] when a field exceeds `u32` range or `label.owner` is
+/// not a vertex of an `n`-vertex graph.
+pub fn encode(label: &Label, n: usize) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    if label.owner.index() >= n {
+        return Err(CodecError::new(
+            0,
+            format!("owner {} out of range for n={n}", label.owner),
+        ));
+    }
+    let fit = |v: usize| -> Result<u32, CodecError> {
+        u32::try_from(v).map_err(|_| CodecError::new(0, format!("field {v} exceeds u32 range")))
+    };
+    write_group(
+        &mut out,
+        &[
+            label.owner.raw(),
+            label.owner_net_level,
+            label.first_level,
+            fit(label.levels.len())?,
+        ],
+    );
+    // Each field stream gets its own group alignment (a count is its own
+    // one-value group) so the decoder — which must read a count before it
+    // knows how many values follow — sees the same group boundaries the
+    // encoder wrote.
+    let mut values = Vec::new();
+    for level in &label.levels {
+        write_group(&mut out, &[fit(level.points.len())?]);
+        values.clear();
+        let mut prev = 0u32;
+        for (k, p) in level.points.iter().enumerate() {
+            let id = p.vertex.raw();
+            let delta = if k == 0 { id } else { id - prev };
+            prev = id;
+            values.extend_from_slice(&[delta, p.dist, p.net_level]);
+        }
+        write_group(&mut out, &values);
+        write_group(&mut out, &[fit(level.virtual_edges.len())?]);
+        values.clear();
+        for e in &level.virtual_edges {
+            values.extend_from_slice(&[e.a, e.b, e.dist]);
+        }
+        write_group(&mut out, &values);
+        write_group(&mut out, &[fit(level.real_edges.len())?]);
+        values.clear();
+        for e in &level.real_edges {
+            values.extend_from_slice(&[e.a, e.b]);
+        }
+        write_group(&mut out, &values);
+    }
+    Ok(out)
+}
+
+/// Decodes a group-varint label written by [`encode`]. Untrusted-input
+/// safe: typed errors, bounded allocation, full structural validation.
+///
+/// # Errors
+///
+/// [`CodecError`] on truncated, malformed, or out-of-range input.
+pub fn decode(bytes: &[u8], n: usize) -> Result<Label, CodecError> {
+    let mut r = GroupReader::new(bytes);
+    let mut head = Vec::with_capacity(4);
+    r.read_group(4, &mut head)?;
+    let (owner_raw, owner_net_level, first_level, num_levels) =
+        (head[0], head[1], head[2], head[3]);
+    if owner_raw as usize >= n {
+        return Err(r.err(format!("owner id {owner_raw} out of range for n={n}")));
+    }
+    if u64::from(owner_net_level) > MAX_PLAUSIBLE_LEVEL
+        || u64::from(first_level) > MAX_PLAUSIBLE_LEVEL
+        || u64::from(num_levels) > MAX_PLAUSIBLE_LEVEL
+    {
+        return Err(r.err("implausible level field"));
+    }
+    let mut levels = Vec::with_capacity(num_levels as usize);
+    let mut buf = Vec::new();
+    for _ in 0..num_levels {
+        levels.push(decode_level(&mut r, n, &mut buf)?);
+    }
+    if r.pos != bytes.len() {
+        return Err(r.err(format!("{} trailing bytes", bytes.len() - r.pos)));
+    }
+    Ok(Label {
+        owner: NodeId::new(owner_raw),
+        owner_net_level,
+        first_level,
+        levels,
+    })
+}
+
+fn decode_level(
+    r: &mut GroupReader<'_>,
+    n: usize,
+    buf: &mut Vec<u32>,
+) -> Result<LevelLabel, CodecError> {
+    let read_count = |r: &mut GroupReader<'_>, per_elem: usize| -> Result<usize, CodecError> {
+        let v = r.read_one()? as usize;
+        // Each element costs at least one payload byte (plus amortized
+        // tag); reject counts the remaining bytes cannot possibly hold.
+        let cap = r.bytes.len().saturating_sub(r.pos) / per_elem.max(1);
+        if v > cap {
+            return Err(r.err(format!("count {v} exceeds remaining input ({cap})")));
+        }
+        Ok(v)
+    };
+    let num_points = read_count(r, 3)?;
+    r.read_group(num_points * 3, buf)?;
+    let mut points = Vec::with_capacity(num_points);
+    let mut prev = 0u32;
+    for k in 0..num_points {
+        let delta = buf[3 * k];
+        let id = if k == 0 {
+            delta
+        } else {
+            prev.checked_add(delta)
+                .ok_or_else(|| r.err("point id delta overflows"))?
+        };
+        prev = id;
+        if id as usize >= n {
+            return Err(r.err(format!("point id {id} out of range for n={n}")));
+        }
+        let net_level = buf[3 * k + 2];
+        if u64::from(net_level) > MAX_PLAUSIBLE_LEVEL {
+            return Err(r.err(format!("implausible point net level {net_level}")));
+        }
+        points.push(LabelPoint {
+            vertex: NodeId::new(id),
+            dist: buf[3 * k + 1],
+            net_level,
+        });
+    }
+    let num_virtual = read_count(r, 3)?;
+    r.read_group(num_virtual * 3, buf)?;
+    let mut virtual_edges = Vec::with_capacity(num_virtual);
+    for k in 0..num_virtual {
+        let (a, b, dist) = (buf[3 * k], buf[3 * k + 1], buf[3 * k + 2]);
+        if a as usize >= points.len() || b as usize >= points.len() {
+            return Err(r.err("virtual edge index out of range"));
+        }
+        virtual_edges.push(VirtualEdge { a, b, dist });
+    }
+    let num_real = read_count(r, 2)?;
+    r.read_group(num_real * 2, buf)?;
+    let mut real_edges = Vec::with_capacity(num_real);
+    for k in 0..num_real {
+        let (a, b) = (buf[2 * k], buf[2 * k + 1]);
+        if a as usize >= points.len() || b as usize >= points.len() {
+            return Err(r.err("real edge index out of range"));
+        }
+        real_edges.push(RealEdge { a, b });
+    }
+    Ok(LevelLabel {
+        points,
+        virtual_edges,
+        real_edges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_label() -> Label {
+        Label {
+            owner: NodeId::new(12),
+            owner_net_level: 2,
+            first_level: 3,
+            levels: vec![
+                LevelLabel {
+                    points: vec![
+                        LabelPoint {
+                            vertex: NodeId::new(3),
+                            dist: 9,
+                            net_level: 0,
+                        },
+                        LabelPoint {
+                            vertex: NodeId::new(12),
+                            dist: 0,
+                            net_level: 2,
+                        },
+                        LabelPoint {
+                            vertex: NodeId::new(40),
+                            dist: 70_000,
+                            net_level: 5,
+                        },
+                    ],
+                    virtual_edges: vec![VirtualEdge {
+                        a: 0,
+                        b: 2,
+                        dist: 30,
+                    }],
+                    real_edges: vec![RealEdge { a: 0, b: 1 }],
+                },
+                LevelLabel::default(),
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let label = sample_label();
+        let bytes = encode(&label, 50).unwrap();
+        assert_eq!(decode(&bytes, 50).unwrap(), label);
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_byte() {
+        let label = sample_label();
+        let bytes = encode(&label, 50).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut], 50).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_ids() {
+        let label = sample_label();
+        let bytes = encode(&label, 50).unwrap();
+        // Decoding for a smaller graph must reject the point ids.
+        assert!(decode(&bytes, 5).is_err());
+    }
+
+    #[test]
+    fn random_labels_roundtrip() {
+        fsdl_testkit::check("group varint roundtrip", 200, |rng| {
+            let n = rng.gen_range(2..500usize);
+            let num_points = rng.gen_range(0..20usize);
+            let mut ids: Vec<u32> = (0..num_points)
+                .map(|_| rng.gen_range(0..n as u32))
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            let points: Vec<LabelPoint> = ids
+                .iter()
+                .map(|&id| LabelPoint {
+                    vertex: NodeId::new(id),
+                    dist: rng.gen_range(0..1_000_000u32),
+                    net_level: rng.gen_range(0..64u32),
+                })
+                .collect();
+            let virtual_edges: Vec<VirtualEdge> = if points.is_empty() {
+                Vec::new()
+            } else {
+                (0..rng.gen_range(0..6usize))
+                    .map(|_| VirtualEdge {
+                        a: rng.gen_range(0..points.len() as u32),
+                        b: rng.gen_range(0..points.len() as u32),
+                        dist: rng.gen_range(0..u32::MAX),
+                    })
+                    .collect()
+            };
+            let label = Label {
+                owner: NodeId::new(rng.gen_range(0..n as u32)),
+                owner_net_level: rng.gen_range(0..64u32),
+                first_level: rng.gen_range(0..64u32),
+                levels: vec![LevelLabel {
+                    points,
+                    virtual_edges,
+                    real_edges: Vec::new(),
+                }],
+            };
+            let bytes = encode(&label, n).unwrap();
+            assert_eq!(decode(&bytes, n).unwrap(), label);
+        });
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        fsdl_testkit::check("group varint garbage", 300, |rng| {
+            let len = rng.gen_range(0..200usize);
+            let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            let _ = decode(&bytes, 100); // must return, never panic
+        });
+    }
+}

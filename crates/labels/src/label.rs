@@ -191,6 +191,23 @@ impl Label {
         s.levels = self.levels.len();
         s
     }
+
+    /// Estimated heap footprint of this materialized label in bytes:
+    /// the struct itself plus every level's point and edge vectors (by
+    /// length, not capacity — a stable estimate independent of allocator
+    /// growth policy). Used for resident-vs-on-disk accounting in
+    /// [`crate::LabelPlaneStats`].
+    pub fn resident_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let mut bytes = size_of::<Label>() as u64;
+        for l in &self.levels {
+            bytes += size_of::<LevelLabel>() as u64;
+            bytes += (l.points.len() * size_of::<LabelPoint>()) as u64;
+            bytes += (l.virtual_edges.len() * size_of::<VirtualEdge>()) as u64;
+            bytes += (l.real_edges.len() * size_of::<RealEdge>()) as u64;
+        }
+        bytes
+    }
 }
 
 /// Size statistics of a [`Label`] (see [`Label::stats`]).

@@ -62,6 +62,7 @@ pub mod crash;
 pub mod decode;
 mod dynamic;
 pub mod failure_free;
+pub mod groupvarint;
 mod label;
 mod oracle;
 mod params;
@@ -78,9 +79,9 @@ pub use decode::{
 pub use dynamic::{DynamicConfig, DynamicError, DynamicOracle, DynamicStats, RebuildMode};
 pub use failure_free::{query_failure_free, FailureFreeLabel, FailureFreeLabeling};
 pub use label::{Label, LabelInvalid, LabelPoint, LabelStats, LevelLabel, RealEdge, VirtualEdge};
-pub use oracle::{ForbiddenSetOracle, OracleError};
+pub use oracle::{ForbiddenSetOracle, LabelPlaneStats, OracleError};
 pub use params::SchemeParams;
-pub use store::{StoreError, StoreReport};
+pub use store::{OpenMode, StoreError, StoreReport};
 pub use trace::{trace_query, trace_query_with, QueryTrace, TraceHop};
 pub use wal::{ReplayReport, WalError, WalRecord};
 pub use weighted::{WeightedFaults, WeightedOracle};

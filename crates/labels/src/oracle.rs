@@ -30,10 +30,84 @@ use std::sync::{Arc, OnceLock};
 use fsdl_graph::{Dist, FaultSet, Graph, NodeId};
 
 use crate::builder::Labeling;
+use crate::codec::VarintScratch;
 use crate::decode::{self, DecodeScratch, QueryAnswer, QueryLabels};
 use crate::label::Label;
 use crate::params::SchemeParams;
-use crate::store::{self, Segment, StoreError, StoreReport};
+use crate::store::{self, OpenMode, Segment, StoreError, StoreReport};
+
+/// Label slots per arena cache line: a `OnceLock<Arc<Label>>` is 16
+/// bytes (one pointer plus the init state), so four fill a 64-byte line
+/// exactly on 64-bit targets.
+const SLOTS_PER_LINE: usize = 4;
+
+/// One cache line of label slots. Aligning groups to 64 bytes anchors
+/// the arena on a line boundary, so the line a slot lands on is a pure
+/// function of its vertex index — neighboring vertices (which queries
+/// touch together) share lines, and a slot never straddles two.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct SlotLine([OnceLock<Arc<Label>>; SLOTS_PER_LINE]);
+
+/// The lock-free label arena: `n` `OnceLock` slots in cache-aligned
+/// groups. Supports exactly what serving needs — indexed access and a
+/// residency scan.
+#[derive(Debug)]
+struct LabelArena {
+    lines: Box<[SlotLine]>,
+    len: usize,
+}
+
+impl LabelArena {
+    fn new(n: usize) -> Self {
+        LabelArena {
+            lines: (0..n.div_ceil(SLOTS_PER_LINE))
+                .map(|_| SlotLine::default())
+                .collect(),
+            len: n,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn slot(&self, k: usize) -> &OnceLock<Arc<Label>> {
+        &self.lines[k / SLOTS_PER_LINE].0[k % SLOTS_PER_LINE]
+    }
+
+    /// `(materialized labels, estimated heap bytes)` currently resident.
+    fn resident(&self) -> (u64, u64) {
+        let mut labels = 0u64;
+        let mut bytes = 0u64;
+        for k in 0..self.len {
+            if let Some(label) = self.slot(k).get() {
+                labels += 1;
+                bytes += label.resident_bytes();
+            }
+        }
+        (labels, bytes)
+    }
+}
+
+/// Residency snapshot of an oracle's label plane: how many labels are
+/// materialized in the arena (and their estimated heap footprint) versus
+/// the on-disk payload backing them. The lazy-open win — serving at
+/// O(touched labels) residency — is observable here and through
+/// `fsdl stats --store`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LabelPlaneStats {
+    /// Labels currently materialized in the arena.
+    pub resident_labels: u64,
+    /// Estimated heap bytes of the materialized labels.
+    pub resident_label_bytes: u64,
+    /// On-disk label payload bytes (0 for in-memory builds).
+    pub on_disk_label_bytes: u64,
+    /// How the backing segment was opened; `None` for in-memory builds.
+    pub open_mode: Option<OpenMode>,
+    /// True when the segment payload is served from a memory map.
+    pub mapped: bool,
+}
 
 /// A malformed query handed to the strict oracle entry points
 /// ([`ForbiddenSetOracle::try_query`],
@@ -110,7 +184,7 @@ type FaultLabels = (Vec<Arc<Label>>, Vec<(Arc<Label>, Arc<Label>)>);
 #[derive(Debug)]
 pub struct ForbiddenSetOracle {
     labeling: Labeling,
-    slots: Box<[OnceLock<Arc<Label>>]>,
+    slots: LabelArena,
     /// When warm-started from a [`store`], labels decode lazily from this
     /// segment instead of being recomputed; `None` for in-memory builds.
     segment: Option<Arc<Segment>>,
@@ -139,7 +213,7 @@ impl ForbiddenSetOracle {
         let n = labeling.graph().num_vertices();
         ForbiddenSetOracle {
             labeling,
-            slots: (0..n).map(|_| OnceLock::new()).collect(),
+            slots: LabelArena::new(n),
             segment: None,
         }
     }
@@ -150,6 +224,10 @@ impl ForbiddenSetOracle {
     /// labels decode lazily from the segment into the arena, and the
     /// answers are bit-identical to a fresh in-memory build.
     ///
+    /// Equivalent to [`ForbiddenSetOracle::open_with`] in
+    /// [`OpenMode::Eager`]: the whole segment is read and checksummed up
+    /// front.
+    ///
     /// # Errors
     ///
     /// A typed [`StoreError`] for every failure mode — missing or corrupt
@@ -157,8 +235,24 @@ impl ForbiddenSetOracle {
     /// different graph, or an invalid parameter schedule. Never panics on
     /// untrusted on-disk bytes.
     pub fn open(dir: &Path, g: &Graph) -> Result<Self, StoreError> {
+        Self::open_with(dir, g, OpenMode::Eager)
+    }
+
+    /// [`ForbiddenSetOracle::open`] with an explicit [`OpenMode`]. Under
+    /// [`OpenMode::Lazy`] the segment is memory-mapped (owned-read
+    /// fallback) and only its header + index are validated at open;
+    /// label payload bytes stay on disk until a query touches them, so
+    /// open-to-first-query cost is O(touched labels) instead of O(n).
+    /// Answers are bit-identical across modes: a label that fails its
+    /// first-touch validation is recomputed from the graph (the same
+    /// reject-or-sound fallback the eager path has always had).
+    ///
+    /// # Errors
+    ///
+    /// A typed [`StoreError`]; see [`ForbiddenSetOracle::open`].
+    pub fn open_with(dir: &Path, g: &Graph, mode: OpenMode) -> Result<Self, StoreError> {
         let manifest = store::read_manifest(dir)?;
-        let segment = Segment::read(&dir.join(&manifest.segment))?;
+        let segment = Segment::open(&dir.join(&manifest.segment), mode)?;
         Self::from_segment(g, Arc::new(segment))
     }
 
@@ -188,7 +282,7 @@ impl ForbiddenSetOracle {
         let n = g.num_vertices();
         Ok(ForbiddenSetOracle {
             labeling,
-            slots: (0..n).map(|_| OnceLock::new()).collect(),
+            slots: LabelArena::new(n),
             segment: Some(segment),
         })
     }
@@ -234,11 +328,28 @@ impl ForbiddenSetOracle {
     /// `None` (so callers fall back to in-memory materialization — still
     /// sound, merely slower) when there is no segment, the payload fails
     /// decoding, or the decoded label is not actually `v`'s: on-disk
-    /// bytes are untrusted even after the segment checksum passed.
-    fn segment_label(&self, v: NodeId) -> Option<Label> {
+    /// bytes are untrusted even after the segment checksum passed. Under
+    /// a lazy open this is the first-touch validation point: corrupt
+    /// payload bits surface as a typed decode failure here, never a
+    /// panic, and the fallback keeps the answer bit-identical.
+    fn segment_label(&self, v: NodeId, varints: &mut VarintScratch) -> Option<Label> {
         let segment = self.segment.as_deref()?;
-        let label = segment.decode_label(v).ok()?;
+        let label = segment.decode_label_with(v, varints).ok()?;
         (label.owner == v && label.validate().is_ok()).then_some(label)
+    }
+
+    /// Residency snapshot: materialized labels and bytes versus the
+    /// on-disk payload. The scan is O(n) over the arena but touches only
+    /// slot headers, not label contents.
+    pub fn label_plane_stats(&self) -> LabelPlaneStats {
+        let (resident_labels, resident_label_bytes) = self.slots.resident();
+        LabelPlaneStats {
+            resident_labels,
+            resident_label_bytes,
+            on_disk_label_bytes: self.segment.as_deref().map_or(0, Segment::payload_bytes),
+            open_mode: self.segment.as_deref().map(Segment::open_mode),
+            mapped: self.segment.as_deref().is_some_and(Segment::is_mapped),
+        }
     }
 
     /// The underlying labeling (marker side).
@@ -260,15 +371,28 @@ impl ForbiddenSetOracle {
     ///
     /// Panics if `v` is out of range.
     pub fn label(&self, v: NodeId) -> Arc<Label> {
+        self.label_scoped(v, &mut VarintScratch::new())
+    }
+
+    /// [`ForbiddenSetOracle::label`] with a caller-owned
+    /// [`DecodeScratch`]: first-touch materialization from a segment
+    /// reuses the scratch's varint batch buffer, keeping the serving
+    /// path allocation-free beyond the label itself.
+    pub fn label_with(&self, v: NodeId, scratch: &mut DecodeScratch) -> Arc<Label> {
+        self.label_scoped(v, scratch.varints_mut())
+    }
+
+    fn label_scoped(&self, v: NodeId, varints: &mut VarintScratch) -> Arc<Label> {
         assert!(
             v.index() < self.slots.len(),
             "{v} is out of range for a graph with {} vertices",
             self.slots.len()
         );
-        self.slots[v.index()]
+        self.slots
+            .slot(v.index())
             .get_or_init(|| {
                 Arc::new(
-                    self.segment_label(v)
+                    self.segment_label(v, varints)
                         .unwrap_or_else(|| self.labeling.label_of(v)),
                 )
             })
@@ -295,12 +419,12 @@ impl ForbiddenSetOracle {
         fsdl_nets::parallel::run_indexed_with(
             n,
             fsdl_nets::parallel::resolve_workers(workers, n),
-            || crate::builder::LabelScratch::new(n),
-            |scratch, v| {
+            || (crate::builder::LabelScratch::new(n), VarintScratch::new()),
+            |(scratch, varints), v| {
                 let id = NodeId::from_index(v);
-                self.slots[v].get_or_init(|| {
+                self.slots.slot(v).get_or_init(|| {
                     Arc::new(
-                        self.segment_label(id)
+                        self.segment_label(id, varints)
                             .unwrap_or_else(|| self.labeling.label_of_with(id, scratch)),
                     )
                 });
@@ -310,17 +434,22 @@ impl ForbiddenSetOracle {
 
     /// Collects the fault labels for the well-formed subset of `faults`
     /// (see the type-level docs on malformed fault sets).
-    fn fault_labels(&self, faults: &FaultSet) -> FaultLabels {
+    fn fault_labels(&self, faults: &FaultSet, varints: &mut VarintScratch) -> FaultLabels {
         let g = self.labeling.graph();
         let vertex_labels: Vec<Arc<Label>> = faults
             .vertices()
             .filter(|&f| g.contains(f))
-            .map(|f| self.label(f))
+            .map(|f| self.label_scoped(f, varints))
             .collect();
         let edge_labels: Vec<(Arc<Label>, Arc<Label>)> = faults
             .edges()
             .filter(|e| g.contains(e.lo()) && g.contains(e.hi()) && g.has_edge(e.lo(), e.hi()))
-            .map(|e| (self.label(e.lo()), self.label(e.hi())))
+            .map(|e| {
+                (
+                    self.label_scoped(e.lo(), varints),
+                    self.label_scoped(e.hi(), varints),
+                )
+            })
             .collect();
         (vertex_labels, edge_labels)
     }
@@ -417,9 +546,9 @@ impl ForbiddenSetOracle {
         faults: &FaultSet,
         scratch: &mut DecodeScratch,
     ) -> QueryAnswer {
-        let source = self.label(s);
-        let target = self.label(t);
-        let (vertex_labels, edge_labels) = self.fault_labels(faults);
+        let source = self.label_with(s, scratch);
+        let target = self.label_with(t, scratch);
+        let (vertex_labels, edge_labels) = self.fault_labels(faults, scratch.varints_mut());
         let query_labels = QueryLabels {
             fault_vertices: vertex_labels.iter().map(Arc::as_ref).collect(),
             fault_edges: edge_labels
@@ -496,9 +625,12 @@ impl ForbiddenSetOracle {
         faults: &FaultSet,
         scratch: &mut DecodeScratch,
     ) -> Vec<Dist> {
-        let source = self.label(s);
-        let target_labels: Vec<Arc<Label>> = targets.iter().map(|&t| self.label(t)).collect();
-        let (vertex_labels, edge_labels) = self.fault_labels(faults);
+        let source = self.label_with(s, scratch);
+        let target_labels: Vec<Arc<Label>> = targets
+            .iter()
+            .map(|&t| self.label_with(t, scratch))
+            .collect();
+        let (vertex_labels, edge_labels) = self.fault_labels(faults, scratch.varints_mut());
         let query_labels = QueryLabels {
             fault_vertices: vertex_labels.iter().map(Arc::as_ref).collect(),
             fault_edges: edge_labels

@@ -27,8 +27,9 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use fsdl_graph::{FaultSet, Graph, NodeId};
+use fsdl_mmap::{ByteSource, SourceKind};
 
-use crate::codec::{self, CodecError};
+use crate::codec::{self, CodecError, VarintScratch};
 use crate::crash::{self, CrashPoint};
 use crate::label::Label;
 use crate::params::SchemeParams;
@@ -36,8 +37,10 @@ use crate::wal::{self, WalError};
 
 /// Magic bytes opening every segment file.
 pub const SEGMENT_MAGIC: [u8; 8] = *b"FSDLSEG1";
-/// Current segment format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current segment format version. Version 2 adds a dedicated checksum
+/// over the header + offset index (between the index and the payload),
+/// so a lazy open can certify the index without faulting in the payload.
+pub const FORMAT_VERSION: u32 = 2;
 /// The manifest file name inside a store directory.
 pub const MANIFEST_NAME: &str = "MANIFEST";
 /// Header line (format + version) opening every manifest.
@@ -50,8 +53,50 @@ const TMP_PREFIX: &str = ".tmp-";
 const HEADER_BYTES: usize = 8 + 4 + 8 + 4 + 8 + 8 + 8;
 /// Bytes per index entry (byte offset + bit length).
 const INDEX_ENTRY_BYTES: usize = 16;
+/// Checksum over header + index, sitting between index and payload.
+const INDEX_CRC_BYTES: usize = 4;
 /// Trailing whole-file checksum length in bytes.
 const CRC_BYTES: usize = 4;
+
+/// How a segment's payload is brought into service at open time.
+///
+/// * [`OpenMode::Eager`] reads the whole file into an owned buffer and
+///   verifies the whole-file checksum before returning — the strongest
+///   up-front guarantee, at O(file size) open cost.
+/// * [`OpenMode::Lazy`] memory-maps the file (owned-read fallback on
+///   platforms or filesystems without mmap) and verifies only the header
+///   and the index checksum; label payload bytes are left on disk and
+///   validated per label — by the codec's embedded 32-bit checksum and
+///   structural checks — at first touch. Cold-start cost is O(touched
+///   labels), and a corrupted untouched label surfaces as a typed
+///   [`CodecError`] the first time it is decoded, never a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OpenMode {
+    /// Full read + whole-file checksum at open.
+    #[default]
+    Eager,
+    /// Zero-copy map; per-label validation deferred to first touch.
+    Lazy,
+}
+
+impl OpenMode {
+    /// Parses a CLI-style mode name.
+    pub fn parse(s: &str) -> Option<OpenMode> {
+        match s {
+            "eager" => Some(OpenMode::Eager),
+            "lazy" => Some(OpenMode::Lazy),
+            _ => None,
+        }
+    }
+
+    /// The CLI-style name (`eager` / `lazy`).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpenMode::Eager => "eager",
+            OpenMode::Lazy => "lazy",
+        }
+    }
+}
 
 /// A typed error from the persistent label store. Every corruption,
 /// truncation, version skew, or mismatch observable from on-disk bytes
@@ -460,8 +505,9 @@ pub fn write_segment(
 ) -> Result<u64, StoreError> {
     let n = encoded.len();
     let payload_len: usize = encoded.iter().map(|(b, _)| b.len()).sum();
-    let mut out =
-        Vec::with_capacity(HEADER_BYTES + n * INDEX_ENTRY_BYTES + payload_len + CRC_BYTES);
+    let mut out = Vec::with_capacity(
+        HEADER_BYTES + n * INDEX_ENTRY_BYTES + INDEX_CRC_BYTES + payload_len + CRC_BYTES,
+    );
     out.extend_from_slice(&SEGMENT_MAGIC);
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
     out.extend_from_slice(&params.epsilon().to_bits().to_le_bytes());
@@ -475,6 +521,9 @@ pub fn write_segment(
         out.extend_from_slice(&(*bit_len as u64).to_le_bytes());
         offset += bytes.len() as u64;
     }
+    // Index checksum: covers header + index so a lazy open can certify
+    // the offsets it will trust without reading the payload.
+    out.extend_from_slice(&fnv32(&out).to_le_bytes());
     for (bytes, _) in encoded {
         out.extend_from_slice(bytes);
     }
@@ -569,6 +618,12 @@ pub fn write_generation(
 /// per-label offset index. Labels decode lazily ([`Segment::decode_label`])
 /// so opening a store is cheap and serving pays decode cost only for the
 /// labels it touches.
+///
+/// The payload bytes live in a [`ByteSource`]: an owned buffer under
+/// [`OpenMode::Eager`], a read-only memory map (with an owned fallback)
+/// under [`OpenMode::Lazy`]. Either way [`Segment::decode_label`] reads
+/// the label's bits *in place* — the only copies made are the decoded
+/// [`Label`] structures themselves.
 #[derive(Debug)]
 pub struct Segment {
     path: PathBuf,
@@ -578,26 +633,52 @@ pub struct Segment {
     graph_fingerprint: u64,
     /// Per-vertex `(byte offset into payload, bit length)`.
     index: Vec<(usize, usize)>,
-    payload: Vec<u8>,
+    /// The whole segment file's bytes, mapped or owned.
+    source: Box<dyn ByteSource>,
+    /// Byte offset of the payload within `source`.
+    payload_start: usize,
+    /// Payload length in bytes (on-disk label bytes, excluding header,
+    /// index, and checksums).
+    payload_len: usize,
+    mode: OpenMode,
 }
 
 impl Segment {
-    /// Reads and structurally validates the segment at `path`: magic,
-    /// version, whole-file checksum, header consistency, and every index
-    /// entry (offsets and bit lengths must lie within the payload, so
-    /// later lazy decodes can never read out of bounds).
+    /// Eagerly reads and fully validates the segment at `path`
+    /// (equivalent to [`Segment::open`] with [`OpenMode::Eager`]).
     ///
     /// # Errors
     ///
     /// A typed [`StoreError`]; this function never panics on any byte
     /// sequence.
     pub fn read(path: &Path) -> Result<Self, StoreError> {
+        Segment::open(path, OpenMode::Eager)
+    }
+
+    /// Opens and structurally validates the segment at `path`: magic,
+    /// version, header consistency, the index checksum, and every index
+    /// entry (offsets and bit lengths must lie within the payload, so
+    /// later lazy decodes can never read out of bounds). Under
+    /// [`OpenMode::Eager`] the whole-file checksum is verified too; under
+    /// [`OpenMode::Lazy`] payload bytes are not touched at open — each
+    /// label's embedded checksum and structural validation run at first
+    /// decode instead.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`StoreError`]; this function never panics on any byte
+    /// sequence.
+    pub fn open(path: &Path, mode: OpenMode) -> Result<Self, StoreError> {
         let corrupt = |message: String| StoreError::SegmentCorrupt {
             path: path.to_path_buf(),
             message,
         };
-        let bytes = match fs::read(path) {
-            Ok(b) => b,
+        let opened = match mode {
+            OpenMode::Eager => fsdl_mmap::open_owned(path),
+            OpenMode::Lazy => fsdl_mmap::open(path),
+        };
+        let source = match opened {
+            Ok(s) => s,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 return Err(StoreError::SegmentMissing {
                     path: path.to_path_buf(),
@@ -605,7 +686,8 @@ impl Segment {
             }
             Err(e) => return Err(io_err(path, &e)),
         };
-        if bytes.len() < HEADER_BYTES + CRC_BYTES {
+        let bytes = source.as_bytes();
+        if bytes.len() < HEADER_BYTES + INDEX_CRC_BYTES + CRC_BYTES {
             return Err(corrupt(format!("file too short ({} bytes)", bytes.len())));
         }
         if bytes[..8] != SEGMENT_MAGIC {
@@ -616,14 +698,6 @@ impl Segment {
         let version = u32_at(8);
         if version != FORMAT_VERSION {
             return Err(StoreError::VersionUnsupported { found: version });
-        }
-        let body = &bytes[..bytes.len() - CRC_BYTES];
-        let recorded = u32_at(bytes.len() - CRC_BYTES);
-        let computed = fnv32(body);
-        if recorded != computed {
-            return Err(corrupt(format!(
-                "checksum mismatch: recorded {recorded:08x}, computed {computed:08x}"
-            )));
         }
         let epsilon = f64::from_bits(u64_at(12));
         let c = u32_at(20);
@@ -636,11 +710,14 @@ impl Segment {
             .ok_or_else(|| corrupt(format!("implausible label count {n_raw}")))?;
         let payload_len = usize::try_from(payload_len_raw)
             .map_err(|_| corrupt(format!("implausible payload length {payload_len_raw}")))?;
-        let expected_len = HEADER_BYTES
+        let index_end = HEADER_BYTES
             .checked_add(
                 n.checked_mul(INDEX_ENTRY_BYTES)
                     .ok_or_else(|| corrupt(format!("index size overflow for {n} labels")))?,
             )
+            .ok_or_else(|| corrupt("index size overflow".into()))?;
+        let expected_len = index_end
+            .checked_add(INDEX_CRC_BYTES)
             .and_then(|x| x.checked_add(payload_len))
             .and_then(|x| x.checked_add(CRC_BYTES))
             .ok_or_else(|| corrupt("file size overflow".into()))?;
@@ -649,6 +726,27 @@ impl Segment {
                 "file is {} bytes but the header implies {expected_len}",
                 bytes.len()
             )));
+        }
+        // The index checksum certifies header + index alone, so the lazy
+        // path can trust the offsets it serves from without faulting in
+        // the payload pages.
+        let recorded_index = u32_at(index_end);
+        let computed_index = fnv32(&bytes[..index_end]);
+        if recorded_index != computed_index {
+            return Err(corrupt(format!(
+                "index checksum mismatch: recorded {recorded_index:08x}, \
+                 computed {computed_index:08x}"
+            )));
+        }
+        if mode == OpenMode::Eager {
+            let body = &bytes[..bytes.len() - CRC_BYTES];
+            let recorded = u32_at(bytes.len() - CRC_BYTES);
+            let computed = fnv32(body);
+            if recorded != computed {
+                return Err(corrupt(format!(
+                    "checksum mismatch: recorded {recorded:08x}, computed {computed:08x}"
+                )));
+            }
         }
         if !(epsilon.is_finite() && epsilon > 0.0) {
             return Err(StoreError::ParamsInvalid {
@@ -660,7 +758,6 @@ impl Segment {
                 message: format!("implausible parameter c = {c}"),
             });
         }
-        let index_end = HEADER_BYTES + n * INDEX_ENTRY_BYTES;
         let mut index = Vec::with_capacity(n);
         for k in 0..n {
             let at = HEADER_BYTES + k * INDEX_ENTRY_BYTES;
@@ -681,7 +778,6 @@ impl Segment {
             }
             index.push((off, bit_len));
         }
-        let payload = bytes[index_end..index_end + payload_len].to_vec();
         Ok(Segment {
             path: path.to_path_buf(),
             n,
@@ -689,13 +785,42 @@ impl Segment {
             c,
             graph_fingerprint: graph_fp,
             index,
-            payload,
+            source,
+            payload_start: index_end + INDEX_CRC_BYTES,
+            payload_len,
+            mode,
         })
     }
 
     /// Number of labels stored.
     pub fn num_labels(&self) -> usize {
         self.n
+    }
+
+    /// The mode this segment was opened with.
+    pub fn open_mode(&self) -> OpenMode {
+        self.mode
+    }
+
+    /// True when the payload is served from a memory map rather than an
+    /// owned heap buffer.
+    pub fn is_mapped(&self) -> bool {
+        self.source.kind() == SourceKind::Mapped
+    }
+
+    /// On-disk label payload size in bytes (excluding header, index, and
+    /// checksums) — the denominator of resident-vs-on-disk accounting.
+    pub fn payload_bytes(&self) -> u64 {
+        self.payload_len as u64
+    }
+
+    /// Total size of the segment file in bytes.
+    pub fn file_bytes(&self) -> u64 {
+        self.source.as_bytes().len() as u64
+    }
+
+    fn payload(&self) -> &[u8] {
+        &self.source.as_bytes()[self.payload_start..self.payload_start + self.payload_len]
     }
 
     /// The graph fingerprint recorded at write time.
@@ -727,6 +852,24 @@ impl Segment {
     /// [`CodecError`] when `v` is out of range for the segment or the
     /// payload bits fail structural validation / checksum.
     pub fn decode_label(&self, v: NodeId) -> Result<Label, CodecError> {
+        let mut scratch = VarintScratch::new();
+        self.decode_label_with(v, &mut scratch)
+    }
+
+    /// [`Segment::decode_label`] with a caller-owned [`VarintScratch`],
+    /// keeping the hot serving path allocation-free across labels (the
+    /// batched word-parallel varint reader fills the scratch buffer in
+    /// place).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] when `v` is out of range for the segment or the
+    /// payload bits fail structural validation / checksum.
+    pub fn decode_label_with(
+        &self,
+        v: NodeId,
+        scratch: &mut VarintScratch,
+    ) -> Result<Label, CodecError> {
         let Some(&(off, bit_len)) = self.index.get(v.index()) else {
             return Err(CodecError::new(
                 0,
@@ -737,8 +880,8 @@ impl Segment {
                 ),
             ));
         };
-        let bytes = &self.payload[off..off + bit_len.div_ceil(8)];
-        codec::decode(bytes, bit_len, self.n)
+        let bytes = &self.payload()[off..off + bit_len.div_ceil(8)];
+        codec::decode_with(bytes, bit_len, self.n, scratch)
     }
 
     /// The file this segment was read from.

@@ -32,9 +32,20 @@ fn fnv32(bytes: &[u8]) -> u32 {
     (h ^ (h >> 32)) as u32
 }
 
-/// Rewrites the trailing 4-byte checksum to match the (possibly
-/// tampered) body, so the mutation survives the CRC gate.
+/// Rewrites both checksums — the index CRC after the index block and the
+/// trailing whole-file CRC — to match the (possibly tampered) body, so
+/// the mutation survives every CRC gate. The index CRC sits at
+/// `48 + n·16` with `n` read from the (possibly tampered) header; when a
+/// header lie pushes that position out of range the index CRC is left
+/// alone (the open fails on the length check before reading it).
 fn refresh_crc(bytes: &mut [u8]) {
+    let n = u64::from_le_bytes(bytes[24..32].try_into().unwrap()) as usize;
+    if let Some(index_end) = 48usize.checked_add(n.saturating_mul(16)) {
+        if index_end + 4 <= bytes.len() {
+            let crc = fnv32(&bytes[..index_end]);
+            bytes[index_end..index_end + 4].copy_from_slice(&crc.to_le_bytes());
+        }
+    }
     let body_len = bytes.len() - 4;
     let crc = fnv32(&bytes[..body_len]);
     bytes[body_len..].copy_from_slice(&crc.to_le_bytes());
@@ -72,6 +83,42 @@ fn segment_corruption_sweep_never_panics_or_lies() {
         "only {}/{} mutations rejected — schedule too gentle",
         stats.rejected,
         stats.attempted
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// The same sweep under a lazy open: the whole-file checksum gate is
+/// gone, so payload corruptions survive to first touch — the per-label
+/// checksum plus the oracle's recompute fallback must then keep every
+/// probe answer bit-identical to the pristine store's. More opens
+/// succeed than under eager (that is the point), but none may lie.
+#[test]
+fn lazy_segment_corruption_sweep_never_panics_or_lies() {
+    let (g, _oracle, dir) = build_store("lazy-sweep");
+    let scratch = scratch_dir("lazy-sweep-scratch");
+    let n = g.num_vertices();
+    let probes: Vec<(NodeId, NodeId)> = (0..n)
+        .step_by(3)
+        .map(|s| (NodeId::from_index(s), NodeId::from_index((s * 7 + 1) % n)))
+        .collect();
+    let stats = corrupt::store_corruption_sweep_with(
+        &dir,
+        &scratch,
+        &g,
+        &probes,
+        240,
+        0x5eed,
+        fsdl_labels::OpenMode::Lazy,
+    );
+    assert_eq!(stats.attempted, 240);
+    assert_eq!(stats.attempted, stats.rejected + stats.opened_sound);
+    // Payload flips (the bulk of the schedule) open fine under lazy and
+    // must have been served soundly via first-touch validation.
+    assert!(
+        stats.opened_sound > 0,
+        "no mutation survived to a lazy open — the sweep never exercised \
+         first-touch validation"
     );
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&scratch);
@@ -124,11 +171,11 @@ fn version_skew_is_refused() {
     let (g, _oracle, dir) = build_store("version");
     let seg_path = dir.join(&store::read_manifest(&dir).unwrap().segment);
     let mut bytes = std::fs::read(&seg_path).unwrap();
-    bytes[8..12].copy_from_slice(&2u32.to_le_bytes()); // version field
+    bytes[8..12].copy_from_slice(&7u32.to_le_bytes()); // version field
     refresh_crc(&mut bytes);
     std::fs::write(&seg_path, &bytes).unwrap();
     let err = ForbiddenSetOracle::open(&dir, &g).expect_err("future version must not open");
-    assert_eq!(err, StoreError::VersionUnsupported { found: 2 });
+    assert_eq!(err, StoreError::VersionUnsupported { found: 7 });
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -188,6 +235,7 @@ fn truncation_at_every_boundary_is_typed() {
         12,                 // inside the header
         47,                 // one short of a full header
         48 + 8,             // inside the first index entry
+        48 + 25 * 16 + 2,   // inside the index checksum (n = 25)
         pristine.len() / 2, // inside the payload
         pristine.len() - 1, // inside the checksum
     ];
