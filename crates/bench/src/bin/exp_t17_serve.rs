@@ -12,13 +12,22 @@
 //!    field (distance, sketch sizes, witness path) must be
 //!    bit-identical. The wire is a codec, not an approximation.
 //! 2. **Saturation** — C connections hammer the server and we report
-//!    sustained QPS with p50/p99 round-trip latency.
+//!    sustained QPS with p50/p99 round-trip latency; then the same
+//!    workload repeats behind a fleet of `100 x C` idle connections
+//!    (the many-mostly-idle-clients shape an oracle service actually
+//!    sees) and must hold ≥ 0.9x the no-idle QPS — the readiness-driven
+//!    reactor's whole claim is that idle sockets are free, where the
+//!    old connection-per-worker server starved outright.
 //! 3. **Gate** — zero protocol errors over the whole run, p99 under a
-//!    generous latency bar at the sustained QPS (the bar catches
-//!    pathological serialization — a worker pool that serializes on a
-//!    lock shows up as p99 exploding with connection count — not CI
-//!    box speed), and a graceful drain: shutdown leaves no socket file
-//!    and the report's counters reconcile with the client side.
+//!    fairness-aware latency bar at the sustained QPS: the reactor
+//!    round-robins connections, so the saturated mean round trip is
+//!    `conns / qps` (Little's law) and the bar is a small multiple of
+//!    that, with a 50ms floor (it catches pathological serialization —
+//!    a pool stuck on a lock shows up as p99 exploding past the
+//!    fair-queueing mean — not CI box speed), the idle-fleet QPS
+//!    ratio, and a graceful drain:
+//!    shutdown leaves no socket file and the report's counters
+//!    reconcile with the client side.
 //!
 //! Results are printed and written to `BENCH_serve.json` (`--out PATH`
 //! redirects). `--quick` shrinks everything for CI.
@@ -33,10 +42,72 @@ use fsdl_labels::ForbiddenSetOracle;
 use fsdl_routing::Network;
 use fsdl_server::{Client, Endpoint, ServeEngine, Server, ServerConfig, WireFaults};
 
-/// p99 round-trip bar (µs) for the saturation gate. Local unix-socket
-/// round trips for sub-millisecond decodes sit far below this on any
-/// healthy pool; a serialized pool blows past it as connections stack.
-const MAX_P99_US: f64 = 50_000.0;
+/// Fixed floor (µs) of the p99 round-trip bar for the saturation gate.
+/// Local unix-socket round trips for sub-millisecond decodes sit far
+/// below this on any healthy pool. The effective bar is
+/// `max(floor, P99_FAIRNESS_MULT * conns / qps)`: the reactor
+/// round-robins connections, so at saturation every round trip waits
+/// behind the other in-flight frames and the *mean* is `conns / qps`
+/// by Little's law (on a single-core host that exceeds any fixed bar
+/// once enough connections stack). The multiple still catches what the
+/// bar is for — a serialized or stalled pool, whose tail lands far
+/// beyond the fair-queueing mean — without gating on box speed.
+const MAX_P99_FLOOR_US: f64 = 50_000.0;
+
+/// Allowed p99 tail as a multiple of the fair-queueing mean round trip.
+const P99_FAIRNESS_MULT: f64 = 3.0;
+
+/// The idle-fleet gate: sustained QPS behind 100x idle connections must
+/// stay within 10% of the no-idle baseline (ROADMAP's bar). Idle
+/// sockets cost a readiness-driven server nothing but slab slots.
+const MIN_IDLE_QPS_RATIO: f64 = 0.9;
+
+/// One saturation run: `conns` connections each replay `ops_per_conn`
+/// seeded queries. Returns (total queries, per-query latencies µs, wall
+/// seconds).
+fn run_saturation(
+    endpoint: &Endpoint,
+    conns: usize,
+    ops_per_conn: usize,
+    n: u32,
+    seed: u64,
+) -> (u64, Vec<f64>, f64) {
+    let started = Instant::now();
+    let per_conn: Vec<(u64, Vec<f64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                let endpoint = endpoint.clone();
+                scope.spawn(move || {
+                    let mut client =
+                        Client::connect_with_retry(&endpoint, std::time::Duration::from_secs(10))
+                            .expect("connect");
+                    let mut stream =
+                        OpStream::new(seed, c as u64, WorkloadConfig::for_static(n, 0.8, 0.25, 4));
+                    let mut latencies = Vec::with_capacity(ops_per_conn);
+                    let mut queries = 0u64;
+                    while (queries as usize) < ops_per_conn {
+                        let Op::Query { s, t, faults } = stream.next_op() else {
+                            continue;
+                        };
+                        let start = Instant::now();
+                        client.query(s, t, faults).expect("load query");
+                        latencies.push(start.elapsed().as_secs_f64() * 1e6);
+                        queries += 1;
+                    }
+                    (queries, latencies)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load connection"))
+            .collect()
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+    let queries: u64 = per_conn.iter().map(|(q, _)| q).sum();
+    let latencies: Vec<f64> = per_conn.into_iter().flat_map(|(_, l)| l).collect();
+    (queries, latencies, wall_s)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -141,52 +212,48 @@ fn main() {
     );
     drop(client);
 
-    // ---- phase 2: saturation ----
+    // ---- phase 2: saturation, then the same load behind an idle fleet ----
     let conns = if quick { 2 } else { 8 };
     let ops_per_conn = if quick { 500 } else { 4_000 };
-    let started = Instant::now();
-    let per_conn: Vec<(u64, Vec<f64>)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..conns)
-            .map(|c| {
-                let endpoint = endpoint.clone();
-                scope.spawn(move || {
-                    let mut client =
-                        Client::connect_with_retry(&endpoint, std::time::Duration::from_secs(10))
-                            .expect("connect");
-                    let mut stream = OpStream::new(
-                        seed ^ 0xB00B5,
-                        c as u64,
-                        WorkloadConfig::for_static(n, 0.8, 0.25, 4),
-                    );
-                    let mut latencies = Vec::with_capacity(ops_per_conn);
-                    let mut queries = 0u64;
-                    while (queries as usize) < ops_per_conn {
-                        let Op::Query { s, t, faults } = stream.next_op() else {
-                            continue;
-                        };
-                        let start = Instant::now();
-                        client.query(s, t, faults).expect("load query");
-                        latencies.push(start.elapsed().as_secs_f64() * 1e6);
-                        queries += 1;
-                    }
-                    (queries, latencies)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("load connection"))
-            .collect()
-    });
-    let wall_s = started.elapsed().as_secs_f64();
-    let load_queries: u64 = per_conn.iter().map(|(q, _)| q).sum();
-    let mut latencies: Vec<f64> = per_conn.into_iter().flat_map(|(_, l)| l).collect();
+    let (load_queries, mut latencies, wall_s) =
+        run_saturation(&endpoint, conns, ops_per_conn, n, seed ^ 0xB00B5);
     let qps = load_queries as f64 / wall_s.max(1e-9);
     let p50 = percentile_us(&mut latencies, 0.50);
     let p99 = percentile_us(&mut latencies, 0.99);
+    let p99_bar_us = MAX_P99_FLOOR_US.max(P99_FAIRNESS_MULT * 1e6 * conns as f64 / qps.max(1e-9));
     println!(
         "\nsaturation: {conns} conns x {ops_per_conn} ops in {wall_s:.2}s -> \
-         {qps:.0} queries/s, p50 {p50:.1}us, p99 {p99:.1}us"
+         {qps:.0} queries/s, p50 {p50:.1}us, p99 {p99:.1}us (bar {p99_bar_us:.0}us)"
+    );
+
+    // 100x idle connections (clamped to the fd budget), then the
+    // identical workload again. The fleet never sends a byte; a
+    // readiness-driven server must not notice it.
+    let idle_target = conns * 100;
+    let idle_budget = match fsdl_reactor::fd_soft_limit() {
+        Some(limit) => (limit.saturating_sub(128) / 2) as usize,
+        None => 256,
+    };
+    let idle_count = idle_target.min(idle_budget);
+    if idle_count < idle_target {
+        println!("note: idle fleet clamped to {idle_count} by the fd soft limit");
+    }
+    let idle_fleet: Vec<Client> = (0..idle_count)
+        .map(|_| {
+            Client::connect_with_retry(&endpoint, std::time::Duration::from_secs(10))
+                .expect("idle connect")
+        })
+        .collect();
+    let (idle_queries, mut idle_latencies, idle_wall_s) =
+        run_saturation(&endpoint, conns, ops_per_conn, n, seed ^ 0x1D7E);
+    drop(idle_fleet);
+    let idle_qps = idle_queries as f64 / idle_wall_s.max(1e-9);
+    let idle_p99 = percentile_us(&mut idle_latencies, 0.99);
+    let qps_ratio = idle_qps / qps.max(1e-9);
+    println!(
+        "idle-fleet saturation: {conns} conns x {ops_per_conn} ops behind {idle_count} idle \
+         connections in {idle_wall_s:.2}s -> {idle_qps:.0} queries/s (ratio {qps_ratio:.3}), \
+         p99 {idle_p99:.1}us"
     );
 
     // ---- phase 3: drain and gate ----
@@ -201,7 +268,7 @@ fn main() {
     let report = server_thread.join().expect("server thread must not panic");
     assert!(!sock.exists(), "socket file must be gone after drain");
 
-    let expected_queries = checked as u64 + load_queries;
+    let expected_queries = checked as u64 + load_queries + idle_queries;
     assert_eq!(
         report.queries, expected_queries,
         "server-side query count must reconcile with the client side"
@@ -212,11 +279,19 @@ fn main() {
         "server-side batch count must reconcile"
     );
     let protocol_errors = report.protocol_errors;
-    let pass = protocol_errors == 0 && p99 <= MAX_P99_US;
+    let pass = protocol_errors == 0
+        && p99 <= p99_bar_us
+        && qps_ratio >= MIN_IDLE_QPS_RATIO
+        && report.deadline_closes == 0;
 
     println!(
-        "drained: {} connections, {} queries ({} batched), {} protocol errors",
-        report.connections, report.queries, report.batch_queries, protocol_errors
+        "drained: {} connections, {} queries ({} batched), {} protocol errors, \
+         {} deadline closes",
+        report.connections,
+        report.queries,
+        report.batch_queries,
+        protocol_errors,
+        report.deadline_closes
     );
 
     let mut artifact = String::from("{\n  \"experiment\": \"t17_serve\",\n");
@@ -232,12 +307,21 @@ fn main() {
     let _ = writeln!(artifact, "  \"qps\": {qps:.1},");
     let _ = writeln!(artifact, "  \"p50_us\": {p50:.2},");
     let _ = writeln!(artifact, "  \"p99_us\": {p99:.2},");
+    let _ = writeln!(artifact, "  \"idle_connections\": {idle_count},");
+    let _ = writeln!(artifact, "  \"idle_qps\": {idle_qps:.1},");
+    let _ = writeln!(artifact, "  \"idle_p99_us\": {idle_p99:.2},");
+    let _ = writeln!(artifact, "  \"idle_qps_ratio\": {qps_ratio:.4},");
     let _ = writeln!(artifact, "  \"protocol_errors\": {protocol_errors},");
+    let _ = writeln!(
+        artifact,
+        "  \"deadline_closes\": {},",
+        report.deadline_closes
+    );
     let _ = writeln!(artifact, "  \"drained_clean\": true,");
     let _ = writeln!(
         artifact,
-        "  \"gate\": {{\"max_p99_us\": {MAX_P99_US}, \"zero_protocol_errors\": true, \
-         \"pass\": {pass}}}"
+        "  \"gate\": {{\"max_p99_us\": {p99_bar_us:.0}, \"zero_protocol_errors\": true, \
+         \"min_idle_qps_ratio\": {MIN_IDLE_QPS_RATIO}, \"pass\": {pass}}}"
     );
     artifact.push_str("}\n");
     std::fs::write(&out_path, &artifact).expect("write BENCH_serve.json");
@@ -252,10 +336,22 @@ fn main() {
         "saturation gate: the run must be protocol-clean"
     );
     assert!(
-        p99 <= MAX_P99_US,
-        "saturation gate: p99 {p99:.0}us exceeds {MAX_P99_US:.0}us at {qps:.0} qps"
+        p99 <= p99_bar_us,
+        "saturation gate: p99 {p99:.0}us exceeds {p99_bar_us:.0}us at {qps:.0} qps \
+         ({conns} conns)"
+    );
+    assert!(
+        qps_ratio >= MIN_IDLE_QPS_RATIO,
+        "idle-fleet gate: {idle_qps:.0} qps behind {idle_count} idle connections is \
+         {qps_ratio:.3}x the {qps:.0} qps baseline (bar: {MIN_IDLE_QPS_RATIO})"
+    );
+    assert_eq!(
+        report.deadline_closes, 0,
+        "no connection in this run stalls mid-frame; deadline closes must be zero"
     );
     println!(
-        "\nacceptance: {qps:.0} qps with p99 {p99:.0}us <= {MAX_P99_US:.0}us, 0 protocol errors"
+        "\nacceptance: {qps:.0} qps with p99 {p99:.0}us <= {p99_bar_us:.0}us, \
+         {qps_ratio:.3}x QPS behind {idle_count} idle connections \
+         (bar {MIN_IDLE_QPS_RATIO}), 0 protocol errors"
     );
 }

@@ -3,7 +3,8 @@
 //! ```text
 //! fsdl-loadgen --connect unix:/tmp/fsdl.sock [--seed N] [--conns C]
 //!              [--ops N] [--zipf THETA] [--faults RATE] [--max-faults K]
-//!              [--churn RATE] [--batch SIZE] [--quick] [--shutdown yes]
+//!              [--churn RATE] [--batch SIZE] [--idle-conns I] [--quick]
+//!              [--shutdown yes]
 //! ```
 //!
 //! Each of the `C` connections replays its own deterministic operation
@@ -15,8 +16,12 @@
 //! Reports sustained QPS and p50/p99 latency; exits nonzero if any
 //! connection saw a protocol error or unexpected reply.
 //!
-//! `--shutdown yes` sends a shutdown frame after the run (for smoke
-//! tests that own the server); `--quick` shrinks the run for CI.
+//! `--idle-conns I` opens `I` extra connections that never send a byte
+//! and holds them for the whole run — the many-mostly-idle-clients shape
+//! an oracle service actually sees; a readiness-driven server must show
+//! no QPS difference (the count is clamped below the process's fd soft
+//! limit). `--shutdown yes` sends a shutdown frame after the run (for
+//! smoke tests that own the server); `--quick` shrinks the run for CI.
 
 use std::time::Instant;
 
@@ -33,6 +38,7 @@ struct Args {
     max_faults: usize,
     churn: f64,
     batch: usize,
+    idle_conns: usize,
     shutdown: bool,
 }
 
@@ -40,8 +46,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: fsdl-loadgen --connect tcp:HOST:PORT|unix:PATH [--seed N] \
          [--conns C] [--ops N] [--zipf THETA] [--faults RATE] \
-         [--max-faults K] [--churn RATE] [--batch SIZE] [--quick] \
-         [--shutdown yes]"
+         [--max-faults K] [--churn RATE] [--batch SIZE] [--idle-conns I] \
+         [--quick] [--shutdown yes]"
     );
     std::process::exit(2);
 }
@@ -57,6 +63,7 @@ fn parse_args() -> Args {
     let mut max_faults = 4usize;
     let mut churn = 0.0f64;
     let mut batch = 0usize;
+    let mut idle_conns = 0usize;
     let mut shutdown = false;
     let mut quick = false;
     let mut i = 0;
@@ -122,6 +129,11 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|_| usage())
             }
+            "--idle-conns" => {
+                idle_conns = value(&raw, &mut i, "--idle-conns")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
             "--shutdown" => shutdown = value(&raw, &mut i, "--shutdown") == "yes",
             "--quick" => quick = true,
             "--help" | "-h" => usage(),
@@ -135,6 +147,7 @@ fn parse_args() -> Args {
     if quick {
         conns = conns.min(2);
         ops = ops.min(400);
+        idle_conns = idle_conns.min(200);
     }
     let Some(connect) = connect else {
         eprintln!("error: --connect is required");
@@ -158,8 +171,37 @@ fn parse_args() -> Args {
         max_faults,
         churn,
         batch,
+        idle_conns,
         shutdown,
     }
+}
+
+/// Opens `requested` connections that never send a byte, clamped below
+/// the fd soft limit (each costs one fd here and one in the server,
+/// which usually shares the host). Returns the held-open sockets.
+fn open_idle_fleet(endpoint: &Endpoint, requested: usize) -> Vec<Client> {
+    let budget = match fsdl_reactor::fd_soft_limit() {
+        Some(limit) => (limit.saturating_sub(128) / 2) as usize,
+        None => 256,
+    };
+    let count = requested.min(budget);
+    if count < requested {
+        eprintln!(
+            "note: clamping --idle-conns {requested} to {count} \
+             (fd soft limit {budget} after reserve)"
+        );
+    }
+    let mut fleet = Vec::with_capacity(count);
+    for k in 0..count {
+        match Client::connect(endpoint) {
+            Ok(c) => fleet.push(c),
+            Err(e) => {
+                eprintln!("error: idle connection {k} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    fleet
 }
 
 struct ConnReport {
@@ -270,9 +312,14 @@ fn main() {
         std::process::exit(1);
     }
 
+    // The idle fleet connects BEFORE the workload threads: a
+    // worker-starving server would park its pool on these and never
+    // answer a single query below.
+    let idle_fleet = open_idle_fleet(&args.connect, args.idle_conns);
+
     println!(
         "fsdl-loadgen: {} conns x {} ops against {} (n = {n}, seed {}, zipf {}, \
-         faults {}, churn {}, batch {})",
+         faults {}, churn {}, batch {}, idle conns {})",
         args.conns,
         args.ops,
         args.connect,
@@ -280,7 +327,8 @@ fn main() {
         args.zipf,
         args.faults,
         args.churn,
-        args.batch
+        args.batch,
+        idle_fleet.len()
     );
 
     let started = Instant::now();
@@ -297,6 +345,8 @@ fn main() {
             .collect()
     });
     let wall_s = started.elapsed().as_secs_f64();
+    // The fleet stayed open for the whole measured window.
+    drop(idle_fleet);
 
     let mut total_ops = 0u64;
     let mut total_queries = 0u64;

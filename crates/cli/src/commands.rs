@@ -56,14 +56,15 @@ USAGE:
   fsdl audit <graph-file> [--eps E] [--sample K]
   fsdl serve <graph-file> --listen tcp:HOST:PORT|unix:PATH
              [--eps E | --store DIR] [--open-mode eager|lazy]
-             [--dynamic yes] [--workers N]
+             [--dynamic yes] [--workers N] [--frame-deadline-ms MS]
              [--threshold T] [--background yes]
       (runs the oracle server until a shutdown frame arrives: query/
        batch/route/update/stats over a length-prefixed binary protocol;
        --dynamic serves the durable dynamic oracle at --store and
-       accepts update frames; --workers 0 = all cores minus the accept
-       thread; --open-mode lazy maps the store and decodes labels on
-       first touch instead of up front)
+       accepts update frames; --workers 0 = all cores minus the event
+       loop; --frame-deadline-ms closes connections that stall mid-frame
+       [slow-loris protection, default 10000]; --open-mode lazy maps the
+       store and decodes labels on first touch instead of up front)
   (query/route/batch/trace also accept --forbid-file FILE with
    \"v <id>\" / \"f <u> <v>\" lines)
   fsdl help
@@ -830,6 +831,12 @@ fn cmd_serve<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
     let g = load_graph(args.positional(0, "graph-file")?)?;
     let endpoint = parse_listen(args.required("listen")?)?;
     let workers: usize = args.parse_option("workers", 0usize)?;
+    let frame_deadline_ms: u64 = args.parse_option("frame-deadline-ms", 10_000u64)?;
+    if frame_deadline_ms == 0 {
+        return Err(ArgError(
+            "--frame-deadline-ms must be positive (it is the slow-loris cutoff)".into(),
+        ));
+    }
     let (engine, mode) = if args.option("dynamic").is_some() {
         let dir = args.option("store").ok_or_else(|| {
             ArgError("--dynamic requires --store DIR (the durable oracle lives there)".into())
@@ -845,6 +852,7 @@ fn cmd_serve<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
         engine,
         ServerConfig {
             workers,
+            frame_deadline: std::time::Duration::from_millis(frame_deadline_ms),
             ..ServerConfig::default()
         },
     )
@@ -866,13 +874,14 @@ fn cmd_serve<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
         out,
         &format!(
             "server drained: {} connections, {} queries ({} batched), {} routes, \
-             {} updates, {} protocol errors\n",
+             {} updates, {} protocol errors, {} deadline closes\n",
             report.connections,
             report.queries,
             report.batch_queries,
             report.routes,
             report.updates,
-            report.protocol_errors
+            report.protocol_errors,
+            report.deadline_closes
         ),
     )
 }
@@ -1553,6 +1562,16 @@ mod tests {
         ])
         .expect_err("--dynamic without --store must be rejected");
         assert!(err.to_string().contains("--store"), "{err}");
+        let err = run_args(&[
+            "serve",
+            p,
+            "--listen",
+            "unix:/tmp/x.sock",
+            "--frame-deadline-ms",
+            "0",
+        ])
+        .expect_err("a zero frame deadline must be rejected");
+        assert!(err.to_string().contains("frame-deadline"), "{err}");
     }
 
     /// End-to-end over the real binary protocol: serve on a unix socket
@@ -1564,7 +1583,16 @@ mod tests {
         let listen = format!("unix:{}", sock.display());
         let gpath = graph.path().to_string();
         let server = std::thread::spawn(move || {
-            run_args(&["serve", &gpath, "--listen", &listen, "--workers", "2"])
+            run_args(&[
+                "serve",
+                &gpath,
+                "--listen",
+                &listen,
+                "--workers",
+                "2",
+                "--frame-deadline-ms",
+                "5000",
+            ])
         });
         let endpoint = Endpoint::Unix(sock.clone());
         let mut client =
@@ -1583,6 +1611,7 @@ mod tests {
         assert!(out.contains("serving unix://"), "{out}");
         assert!(out.contains("1 queries"), "{out}");
         assert!(out.contains("0 protocol errors"), "{out}");
+        assert!(out.contains("0 deadline closes"), "{out}");
         assert!(!sock.exists(), "socket removed after drain");
     }
 }

@@ -1,0 +1,722 @@
+//! Readiness notification for the fsdl serving layer.
+//!
+//! The server's event loop needs exactly one primitive: "which of these
+//! file descriptors can make progress right now?". On Linux that is
+//! `epoll` (O(ready) wakeups, no per-wait re-registration); everywhere
+//! else POSIX `poll(2)` does the same job with an O(registered) scan per
+//! wait. Both are reached straight through the raw C ABI — the workspace
+//! is hermetic, so no `libc` crate; `std` already links the platform
+//! libc and every symbol used here is POSIX (or, for epoll, a stable
+//! Linux syscall wrapper that has been in glibc/musl for two decades).
+//!
+//! Like `fsdl-mmap`, this crate is one of the two places in the
+//! workspace where `unsafe` is allowed to live; every consumer
+//! (including `fsdl-server`) keeps `forbid(unsafe_code)`. The unsafe
+//! surface is small and uniform: passing pointers to locally owned,
+//! correctly sized buffers into four syscalls.
+//!
+//! ## Semantics
+//!
+//! Registration is level-triggered on both backends: an fd that is
+//! readable keeps reporting readable until drained. Tokens are opaque
+//! `u64`s chosen by the caller and echoed back in [`Event`]s — the
+//! caller maps them to connections; the poller never interprets them.
+//! Closing an fd without deregistering it is a caller bug the poll
+//! backend surfaces as `POLLNVAL` ([`Event::error`]); always
+//! [`Poller::deregister`] first.
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// Which readiness directions a registration asks for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Write-only interest.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Both directions.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// The fd is readable (data, EOF, or a pending accept).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// The peer hung up or the fd is in an error state. The caller
+    /// should attempt a read — it will observe the EOF/error — and
+    /// close.
+    pub error: bool,
+}
+
+/// Which syscall family backs a [`Poller`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Linux `epoll` (the platform default on Linux).
+    Epoll,
+    /// POSIX `poll(2)` (the portable fallback, available everywhere).
+    Poll,
+}
+
+/// A readiness poller over registered file descriptors.
+pub struct Poller {
+    inner: Inner,
+}
+
+enum Inner {
+    #[cfg(target_os = "linux")]
+    Epoll(epoll::Epoll),
+    Poll(fallback::PollSet),
+}
+
+impl Poller {
+    /// Opens the platform-default poller: epoll on Linux, `poll(2)`
+    /// elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1` failure (fd exhaustion).
+    pub fn new() -> io::Result<Poller> {
+        #[cfg(target_os = "linux")]
+        {
+            Poller::with_backend(Backend::Epoll)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Poller::with_backend(Backend::Poll)
+        }
+    }
+
+    /// Opens a poller on a specific backend. [`Backend::Poll`] works on
+    /// every unix; [`Backend::Epoll`] only on Linux (elsewhere it is an
+    /// [`io::ErrorKind::Unsupported`] error).
+    ///
+    /// # Errors
+    ///
+    /// Backend unavailable on this platform, or fd exhaustion.
+    pub fn with_backend(backend: Backend) -> io::Result<Poller> {
+        match backend {
+            Backend::Epoll => {
+                #[cfg(target_os = "linux")]
+                {
+                    Ok(Poller {
+                        inner: Inner::Epoll(epoll::Epoll::new()?),
+                    })
+                }
+                #[cfg(not(target_os = "linux"))]
+                {
+                    Err(io::Error::new(
+                        io::ErrorKind::Unsupported,
+                        "epoll is Linux-only; use Backend::Poll",
+                    ))
+                }
+            }
+            Backend::Poll => Ok(Poller {
+                inner: Inner::Poll(fallback::PollSet::new()),
+            }),
+        }
+    }
+
+    /// The backend this poller runs on.
+    pub fn backend(&self) -> Backend {
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Epoll(_) => Backend::Epoll,
+            Inner::Poll(_) => Backend::Poll,
+        }
+    }
+
+    /// Registers `fd` with `token` and `interest`. The fd must stay open
+    /// until [`Poller::deregister`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failure; the poll backend rejects double
+    /// registration of the same fd.
+    pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match &mut self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Epoll(e) => e.ctl(epoll::CTL_ADD, fd, token, interest),
+            Inner::Poll(p) => p.register(fd, token, interest),
+        }
+    }
+
+    /// Changes an existing registration's token or interest.
+    ///
+    /// # Errors
+    ///
+    /// The fd is not registered, or `epoll_ctl` failed.
+    pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match &mut self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Epoll(e) => e.ctl(epoll::CTL_MOD, fd, token, interest),
+            Inner::Poll(p) => p.modify(fd, token, interest),
+        }
+    }
+
+    /// Removes `fd` from the poller. Call *before* closing the fd.
+    ///
+    /// # Errors
+    ///
+    /// The fd was not registered.
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match &mut self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Epoll(e) => e.ctl(epoll::CTL_DEL, fd, 0, Interest::READABLE),
+            Inner::Poll(p) => p.deregister(fd),
+        }
+    }
+
+    /// Blocks until at least one registered fd is ready or `timeout`
+    /// elapses (`None` = block indefinitely). Ready events are appended
+    /// to `events` (cleared first); returns how many. A signal
+    /// interruption returns `Ok(0)` — callers loop anyway.
+    ///
+    /// # Errors
+    ///
+    /// Propagates syscall failure (not `EINTR`).
+    pub fn wait(
+        &mut self,
+        events: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        events.clear();
+        let timeout_ms = timeout_to_ms(timeout);
+        match &mut self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Epoll(e) => e.wait(events, timeout_ms),
+            Inner::Poll(p) => p.wait(events, timeout_ms),
+        }
+    }
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller")
+            .field("backend", &self.backend())
+            .finish()
+    }
+}
+
+/// Converts an optional timeout to the millisecond convention both
+/// syscalls share (`-1` = infinite), rounding *up* so a sub-millisecond
+/// deadline never turns into a busy spin.
+fn timeout_to_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d
+                .as_millis()
+                .saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0));
+            i32::try_from(ms).unwrap_or(i32::MAX)
+        }
+    }
+}
+
+/// The process's soft limit on open file descriptors, if the kernel
+/// reports one. Idle-heavy tests and experiments use this to size their
+/// connection fleets below the ceiling instead of dying on `EMFILE`.
+pub fn fd_soft_limit() -> Option<u64> {
+    #[repr(C)]
+    struct Rlimit {
+        rlim_cur: u64,
+        rlim_max: u64,
+    }
+    #[cfg(target_os = "linux")]
+    const RLIMIT_NOFILE: std::os::raw::c_int = 7;
+    #[cfg(not(target_os = "linux"))]
+    const RLIMIT_NOFILE: std::os::raw::c_int = 8;
+    extern "C" {
+        fn getrlimit(resource: std::os::raw::c_int, rlim: *mut Rlimit) -> std::os::raw::c_int;
+    }
+    let mut lim = Rlimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    // SAFETY: `lim` is a valid, exclusively owned rlimit-shaped buffer
+    // for the duration of the call; getrlimit writes it or fails.
+    let rc = unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) };
+    if rc == 0 {
+        Some(lim.rlim_cur)
+    } else {
+        None
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod epoll {
+    //! The Linux fast path: one epoll instance per poller, O(ready)
+    //! wakeups regardless of how many idle connections are registered.
+
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::os::raw::c_int;
+
+    pub const CTL_ADD: c_int = 1;
+    pub const CTL_DEL: c_int = 2;
+    pub const CTL_MOD: c_int = 3;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+    /// Mirrors the kernel's `struct epoll_event`; packed on x86-64 only,
+    /// exactly as the kernel ABI declares it.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    /// Capacity of the per-wait event buffer. More ready fds than this
+    /// simply surface on the next wait (level-triggered), so the value
+    /// trades one syscall against stack churn, nothing else.
+    const WAIT_BATCH: usize = 256;
+
+    pub struct Epoll {
+        epfd: RawFd,
+        buf: Vec<EpollEvent>,
+    }
+
+    impl Epoll {
+        pub fn new() -> io::Result<Epoll> {
+            // SAFETY: no pointers; returns a fresh fd or -1.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Epoll {
+                epfd,
+                buf: vec![EpollEvent { events: 0, data: 0 }; WAIT_BATCH],
+            })
+        }
+
+        pub fn ctl(
+            &mut self,
+            op: c_int,
+            fd: RawFd,
+            token: u64,
+            interest: Interest,
+        ) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: interest_bits(interest),
+                data: token,
+            };
+            // SAFETY: `ev` is a valid epoll_event owned by this frame;
+            // for CTL_DEL the kernel ignores it (a non-null pointer is
+            // still passed for pre-2.6.9 compatibility).
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc == 0 {
+                Ok(())
+            } else {
+                Err(io::Error::last_os_error())
+            }
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+            // SAFETY: `buf` is a live, correctly sized EpollEvent array;
+            // the kernel writes at most `WAIT_BATCH` entries.
+            let rc = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    self.buf.as_mut_ptr(),
+                    self.buf.len() as c_int,
+                    timeout_ms,
+                )
+            };
+            if rc < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(err);
+            }
+            for raw in &self.buf[..rc as usize] {
+                let bits = raw.events;
+                out.push(Event {
+                    token: raw.data,
+                    readable: bits & (EPOLLIN | EPOLLHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    error: bits & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(rc as usize)
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            // SAFETY: `epfd` came from a successful epoll_create1 and is
+            // closed exactly once.
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+
+    fn interest_bits(interest: Interest) -> u32 {
+        let mut bits = 0;
+        if interest.readable {
+            bits |= EPOLLIN;
+        }
+        if interest.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+}
+
+mod fallback {
+    //! Portable `poll(2)`: the registration table lives in userspace and
+    //! the pollfd array is rebuilt per wait — O(registered) per call,
+    //! which is exactly why Linux gets epoll above.
+
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::os::raw::{c_int, c_short};
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+    const POLLNVAL: c_short = 0x020;
+
+    /// POSIX `struct pollfd` — identical layout on every unix.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    #[cfg(target_os = "linux")]
+    type NfdsT = std::os::raw::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    type NfdsT = std::os::raw::c_uint;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: c_int) -> c_int;
+    }
+
+    struct Registration {
+        fd: RawFd,
+        token: u64,
+        interest: Interest,
+    }
+
+    pub struct PollSet {
+        regs: Vec<Registration>,
+        buf: Vec<PollFd>,
+    }
+
+    impl PollSet {
+        pub fn new() -> PollSet {
+            PollSet {
+                regs: Vec::new(),
+                buf: Vec::new(),
+            }
+        }
+
+        pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            if self.regs.iter().any(|r| r.fd == fd) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            self.regs.push(Registration {
+                fd,
+                token,
+                interest,
+            });
+            Ok(())
+        }
+
+        pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let reg = self
+                .regs
+                .iter_mut()
+                .find(|r| r.fd == fd)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "fd not registered"))?;
+            reg.token = token;
+            reg.interest = interest;
+            Ok(())
+        }
+
+        pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            let before = self.regs.len();
+            self.regs.retain(|r| r.fd != fd);
+            if self.regs.len() == before {
+                return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+            }
+            Ok(())
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+            self.buf.clear();
+            for reg in &self.regs {
+                let mut events = 0;
+                if reg.interest.readable {
+                    events |= POLLIN;
+                }
+                if reg.interest.writable {
+                    events |= POLLOUT;
+                }
+                self.buf.push(PollFd {
+                    fd: reg.fd,
+                    events,
+                    revents: 0,
+                });
+            }
+            // SAFETY: `buf` is a live pollfd array of exactly `nfds`
+            // entries; poll only writes the `revents` fields.
+            let rc = unsafe { poll(self.buf.as_mut_ptr(), self.buf.len() as NfdsT, timeout_ms) };
+            if rc < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(err);
+            }
+            let mut n = 0;
+            for (pfd, reg) in self.buf.iter().zip(&self.regs) {
+                let got = pfd.revents;
+                if got == 0 {
+                    continue;
+                }
+                out.push(Event {
+                    token: reg.token,
+                    readable: got & (POLLIN | POLLHUP) != 0,
+                    writable: got & POLLOUT != 0,
+                    error: got & (POLLERR | POLLHUP | POLLNVAL) != 0,
+                });
+                n += 1;
+            }
+            Ok(n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::time::Instant;
+
+    fn backends() -> Vec<Backend> {
+        #[cfg(target_os = "linux")]
+        {
+            vec![Backend::Epoll, Backend::Poll]
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            vec![Backend::Poll]
+        }
+    }
+
+    fn pair() -> (UnixStream, UnixStream) {
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        a.set_nonblocking(true).expect("nonblocking");
+        b.set_nonblocking(true).expect("nonblocking");
+        (a, b)
+    }
+
+    #[test]
+    fn readable_only_when_data_is_pending() {
+        for backend in backends() {
+            let mut poller = Poller::with_backend(backend).expect("poller");
+            let (mut a, mut b) = pair();
+            poller
+                .register(a.as_raw_fd(), 7, Interest::READABLE)
+                .expect("register");
+
+            let mut events = Vec::new();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .expect("wait");
+            assert_eq!(n, 0, "{backend:?}: no data yet, no events");
+
+            b.write_all(b"ping").expect("write");
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .expect("wait");
+            assert_eq!(n, 1, "{backend:?}");
+            assert_eq!(events[0].token, 7);
+            assert!(events[0].readable);
+            assert!(!events[0].writable, "{backend:?}: read-only interest");
+
+            // Level-triggered: still readable until drained.
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(50)))
+                .expect("wait");
+            assert_eq!(n, 1, "{backend:?}: level-triggered readiness persists");
+            let mut buf = [0u8; 16];
+            let got = a.read(&mut buf).expect("read");
+            assert_eq!(&buf[..got], b"ping");
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .expect("wait");
+            assert_eq!(n, 0, "{backend:?}: drained fd goes quiet");
+        }
+    }
+
+    #[test]
+    fn writable_and_modify_and_deregister() {
+        for backend in backends() {
+            let mut poller = Poller::with_backend(backend).expect("poller");
+            let (a, _b) = pair();
+            poller
+                .register(a.as_raw_fd(), 1, Interest::WRITABLE)
+                .expect("register");
+            let mut events = Vec::new();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .expect("wait");
+            assert_eq!(n, 1, "{backend:?}: fresh socket is writable");
+            assert!(events[0].writable);
+
+            // Downgrade to read interest: writability stops reporting.
+            poller
+                .modify(a.as_raw_fd(), 2, Interest::READABLE)
+                .expect("modify");
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .expect("wait");
+            assert_eq!(n, 0, "{backend:?}: no reads pending after modify");
+
+            poller.deregister(a.as_raw_fd()).expect("deregister");
+            assert!(
+                poller.deregister(a.as_raw_fd()).is_err(),
+                "{backend:?}: double deregister is an error"
+            );
+        }
+    }
+
+    #[test]
+    fn hangup_reports_readable_so_callers_observe_eof() {
+        for backend in backends() {
+            let mut poller = Poller::with_backend(backend).expect("poller");
+            let (a, b) = pair();
+            poller
+                .register(a.as_raw_fd(), 3, Interest::READABLE)
+                .expect("register");
+            drop(b);
+            let mut events = Vec::new();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .expect("wait");
+            assert_eq!(n, 1, "{backend:?}");
+            assert!(
+                events[0].readable,
+                "{backend:?}: hangup must surface as readable (read -> 0)"
+            );
+        }
+    }
+
+    #[test]
+    fn interleaved_registrations_report_their_own_tokens() {
+        for backend in backends() {
+            let mut poller = Poller::with_backend(backend).expect("poller");
+            let (a1, mut b1) = pair();
+            let (a2, mut b2) = pair();
+            poller
+                .register(a1.as_raw_fd(), 10, Interest::READABLE)
+                .expect("register");
+            poller
+                .register(a2.as_raw_fd(), 20, Interest::READABLE)
+                .expect("register");
+            b2.write_all(b"x").expect("write");
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .expect("wait");
+            assert_eq!(events.len(), 1);
+            assert_eq!(events[0].token, 20, "{backend:?}: only conn 2 has data");
+            b1.write_all(b"y").expect("write");
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .expect("wait");
+            let mut tokens: Vec<u64> = events.iter().map(|e| e.token).collect();
+            tokens.sort_unstable();
+            assert_eq!(tokens, vec![10, 20], "{backend:?}: both now pending");
+        }
+    }
+
+    #[test]
+    fn timeout_rounds_up_not_down() {
+        // A 100µs timeout must not become 0ms (that would busy-spin).
+        assert_eq!(timeout_to_ms(Some(Duration::from_micros(100))), 1);
+        assert_eq!(timeout_to_ms(Some(Duration::from_millis(25))), 25);
+        assert_eq!(timeout_to_ms(Some(Duration::ZERO)), 0);
+        assert_eq!(timeout_to_ms(None), -1);
+
+        for backend in backends() {
+            let mut poller = Poller::with_backend(backend).expect("poller");
+            let (a, _b) = pair();
+            poller
+                .register(a.as_raw_fd(), 1, Interest::READABLE)
+                .expect("register");
+            let start = Instant::now();
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(30)))
+                .expect("wait");
+            let waited = start.elapsed();
+            assert!(
+                waited >= Duration::from_millis(25),
+                "{backend:?}: timeout honored (waited {waited:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn fd_limit_is_reported() {
+        let limit = fd_soft_limit().expect("every unix reports RLIMIT_NOFILE");
+        assert!(limit >= 64, "implausible fd limit {limit}");
+    }
+}

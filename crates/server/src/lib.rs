@@ -14,15 +14,19 @@
 //!   Every decode path is bounds-checked and panic-free on arbitrary
 //!   bytes; violations come back as typed [`protocol::ErrorReply`]
 //!   frames.
-//! - [`server`] — [`server::Server`]: one nonblocking accept thread
-//!   feeding a fixed worker pool (sized by
+//! - [`server`] — [`server::Server`]: one readiness-driven event loop
+//!   (raw `epoll` via `fsdl-reactor`, `poll(2)` off-Linux) owning every
+//!   nonblocking socket and its frame-reassembly/write buffers, so idle
+//!   and slow connections cost nothing; only *complete* frames reach
+//!   the fixed worker pool (sized by
 //!   [`fsdl_nets::parallel::background_workers`], never below one
 //!   worker), each worker reusing one
 //!   [`fsdl_labels::DecodeScratch`] so the PR-3 zero-allocation decode
 //!   fast path survives the network hop. Serves a static
 //!   [`fsdl_routing::Network`] or a durable
 //!   [`fsdl_labels::DynamicOracle`]; graceful shutdown drains in-flight
-//!   requests and any background rebuild.
+//!   requests and any background rebuild, and slow-loris clients are
+//!   cut by a per-connection frame deadline.
 //! - [`client`] — [`client::Client`]: a blocking connection with typed
 //!   helpers, used by the CLI, the load generator, and the tests.
 //!
@@ -57,7 +61,7 @@ pub mod server;
 
 pub use client::{Client, ClientError};
 pub use protocol::{
-    BatchItem, ErrorCode, ErrorReply, QueryReply, Request, Response, RouteReply, StatsReply,
-    UpdateOp, WireError, WireFaults, MAX_BATCH, MAX_FRAME,
+    BatchItem, ErrorCode, ErrorReply, FrameAssembler, FrameStep, QueryReply, Request, Response,
+    RouteReply, StatsReply, UpdateOp, WireError, WireFaults, WriteBuffer, MAX_BATCH, MAX_FRAME,
 };
 pub use server::{Endpoint, ServeEngine, ServeReport, Server, ServerConfig, ShutdownHandle};

@@ -75,6 +75,10 @@ pub enum ErrorCode {
     /// The server failed internally (never expected; present so a bug
     /// surfaces as a reply, not a dropped connection).
     Internal = 7,
+    /// The connection started a frame but did not finish it within the
+    /// server's frame-completion deadline (slow-loris protection); the
+    /// server sends this and closes the connection.
+    DeadlineExceeded = 8,
 }
 
 impl ErrorCode {
@@ -87,6 +91,7 @@ impl ErrorCode {
             5 => ErrorCode::UnsupportedInMode,
             6 => ErrorCode::UpdateRejected,
             7 => ErrorCode::Internal,
+            8 => ErrorCode::DeadlineExceeded,
             _ => return None,
         })
     }
@@ -102,6 +107,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::UnsupportedInMode => "unsupported-in-mode",
             ErrorCode::UpdateRejected => "update-rejected",
             ErrorCode::Internal => "internal",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
         };
         f.write_str(name)
     }
@@ -327,6 +333,9 @@ pub struct StatsReply {
     pub updates: u64,
     /// Protocol errors answered (malformed frames, bad requests).
     pub protocol_errors: u64,
+    /// Connections closed for stalling mid-frame past the server's
+    /// frame-completion deadline (slow-loris protection).
+    pub deadline_closes: u64,
 }
 
 /// An error reply: the typed code plus a human-readable message.
@@ -581,6 +590,7 @@ impl Response {
                 put_u64(buf, s.routes);
                 put_u64(buf, s.updates);
                 put_u64(buf, s.protocol_errors);
+                put_u64(buf, s.deadline_closes);
             }
             Response::Shutdown => {
                 buf.push(status::OK);
@@ -661,6 +671,7 @@ impl Response {
                         routes: r.u64("reply.stats.routes")?,
                         updates: r.u64("reply.stats.updates")?,
                         protocol_errors: r.u64("reply.stats.protocol_errors")?,
+                        deadline_closes: r.u64("reply.stats.deadline_closes")?,
                     }),
                     op::SHUTDOWN => Response::Shutdown,
                     other => return Err(WireError::UnknownOpcode(other)),
@@ -905,6 +916,191 @@ pub fn send_response<W: Write>(
     write_frame(w, buf)
 }
 
+/// One step of incremental frame extraction from a [`FrameAssembler`].
+#[derive(Debug)]
+pub enum FrameStep<'a> {
+    /// A complete frame payload (header already stripped). The borrow ends
+    /// before the next call to [`FrameAssembler::next_frame`]; callers that
+    /// need to keep it must copy.
+    Frame(&'a [u8]),
+    /// Not enough buffered bytes for a header + payload yet.
+    Incomplete,
+    /// The buffered header claims a payload larger than the limit. The
+    /// connection is unrecoverable (resynchronising on a length-prefixed
+    /// stream is impossible); the caller should answer with a typed error
+    /// and close.
+    Oversized {
+        /// The claimed payload length.
+        len: u32,
+        /// The enforced ceiling.
+        max: u32,
+    },
+}
+
+/// Reassembles length-prefixed frames from arbitrary read chunks.
+///
+/// A nonblocking socket hands the reactor whatever bytes the kernel has —
+/// half a header, three frames and a tail, anything. The assembler buffers
+/// raw bytes ([`FrameAssembler::read_from`]) and yields complete payloads
+/// ([`FrameAssembler::next_frame`]) without copying per frame: consumed
+/// frames advance a start cursor and the buffer is compacted only when it
+/// is fully drained (the common case after each readiness burst).
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameAssembler {
+    /// Creates an empty assembler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one `read` worth of bytes from `r`. Returns the byte count
+    /// (0 is EOF). `WouldBlock` is *propagated*, not swallowed: the caller
+    /// owns the read-until-blocked loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `r`, including `WouldBlock`.
+    pub fn read_from<R: Read>(&mut self, r: &mut R) -> std::io::Result<usize> {
+        // Read in reasonably large chunks so one readiness event drains
+        // several frames per syscall.
+        const CHUNK: usize = 16 * 1024;
+        let len = self.buf.len();
+        self.buf.resize(len + CHUNK, 0);
+        match r.read(&mut self.buf[len..]) {
+            Ok(n) => {
+                self.buf.truncate(len + n);
+                Ok(n)
+            }
+            Err(e) => {
+                self.buf.truncate(len);
+                Err(e)
+            }
+        }
+    }
+
+    /// Extracts the next complete frame, if the buffer holds one.
+    pub fn next_frame(&mut self, max: u32) -> FrameStep<'_> {
+        let pending = &self.buf[self.start..];
+        if pending.len() < 4 {
+            self.compact_if_drained();
+            return FrameStep::Incomplete;
+        }
+        let len = u32::from_le_bytes([pending[0], pending[1], pending[2], pending[3]]);
+        if len > max {
+            return FrameStep::Oversized { len, max };
+        }
+        let total = 4 + len as usize;
+        if pending.len() < total {
+            return FrameStep::Incomplete;
+        }
+        let frame_start = self.start + 4;
+        self.start += total;
+        FrameStep::Frame(&self.buf[frame_start..frame_start + len as usize])
+    }
+
+    /// Bytes buffered but not yet consumed as frames. Nonzero means a
+    /// partial (or not-yet-dispatched) frame is pending — the signal that
+    /// arms the slow-loris deadline.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    fn compact_if_drained(&mut self) {
+        if self.start > 0 && self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > 64 * 1024 {
+            // Pathological interleaving (many tiny frames followed by a
+            // long partial) could otherwise pin a large buffer forever.
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+/// A per-connection outgoing byte queue for nonblocking sockets.
+///
+/// [`write_frame`] assumes a blocking stream: `write_all` on a socket
+/// whose kernel buffer fills mid-frame would fail with `WouldBlock` and
+/// tear the frame. The reactor instead queues encoded frames here and
+/// flushes on writability; partial writes advance a cursor so the next
+/// flush resumes exactly where the kernel stopped.
+#[derive(Debug, Default)]
+pub struct WriteBuffer {
+    buf: Vec<u8>,
+    pos: usize,
+    scratch: Vec<u8>,
+}
+
+impl WriteBuffer {
+    /// Creates an empty write buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encodes `resp` and queues it as one frame (header + payload).
+    pub fn queue_response(&mut self, resp: &Response) {
+        self.scratch.clear();
+        resp.encode(&mut self.scratch);
+        let payload = std::mem::take(&mut self.scratch);
+        self.queue_frame(&payload);
+        self.scratch = payload;
+    }
+
+    /// Queues one already-encoded payload as a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` exceeds `u32::MAX` bytes; every encodable
+    /// [`Response`] is far below [`MAX_FRAME`].
+    pub fn queue_frame(&mut self, payload: &[u8]) {
+        let len = u32::try_from(payload.len()).expect("frame payloads fit in u32");
+        self.buf.extend_from_slice(&len.to_le_bytes());
+        self.buf.extend_from_slice(payload);
+    }
+
+    /// Writes as much queued data as the socket accepts. Returns `true`
+    /// when the queue drained, `false` when the socket blocked mid-queue
+    /// (the caller should watch for writability).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than `WouldBlock`/`Interrupted`; a
+    /// clean `Ok(0)` from `w` is reported as `WriteZero`.
+    pub fn flush<W: Write>(&mut self, w: &mut W) -> std::io::Result<bool> {
+        while self.pos < self.buf.len() {
+            match w.write(&self.buf[self.pos..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ));
+                }
+                Ok(n) => self.pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.pos = 0;
+        Ok(true)
+    }
+
+    /// Whether nothing is queued (the connection is write-quiescent).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1025,6 +1221,7 @@ mod tests {
             routes: 7,
             updates: 12,
             protocol_errors: 2,
+            deadline_closes: 1,
         }));
         roundtrip_response(&Response::Error(ErrorReply {
             code: ErrorCode::UnsupportedInMode,
@@ -1127,5 +1324,140 @@ mod tests {
             }
             other => panic!("expected truncated-payload error, got {other:?}"),
         }
+    }
+
+    /// Feeds `wire` to an assembler in chunks of `step` bytes and returns
+    /// every extracted frame payload.
+    fn reassemble(wire: &[u8], step: usize) -> Vec<Vec<u8>> {
+        let mut asm = FrameAssembler::new();
+        let mut frames = Vec::new();
+        for chunk in wire.chunks(step) {
+            let mut cursor = std::io::Cursor::new(chunk);
+            let n = asm.read_from(&mut cursor).unwrap();
+            assert_eq!(n, chunk.len());
+            loop {
+                match asm.next_frame(MAX_FRAME) {
+                    FrameStep::Frame(payload) => frames.push(payload.to_vec()),
+                    FrameStep::Incomplete => break,
+                    FrameStep::Oversized { .. } => panic!("unexpected oversize"),
+                }
+            }
+        }
+        assert_eq!(asm.buffered(), 0, "all bytes consumed as frames");
+        frames
+    }
+
+    #[test]
+    fn assembler_reassembles_frames_split_at_every_offset() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"alpha").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, &[0xAB; 300]).unwrap();
+        write_frame(&mut wire, b"omega").unwrap();
+        let want: Vec<Vec<u8>> = vec![
+            b"alpha".to_vec(),
+            Vec::new(),
+            vec![0xAB; 300],
+            b"omega".to_vec(),
+        ];
+        // Every chunk size, including 1-byte drip-feed across the header
+        // and payload boundaries, must yield the identical frame stream.
+        for step in 1..=wire.len() {
+            assert_eq!(reassemble(&wire, step), want, "chunk size {step}");
+        }
+    }
+
+    #[test]
+    fn assembler_reports_oversized_headers_without_consuming() {
+        let mut asm = FrameAssembler::new();
+        let wire = (MAX_FRAME + 1).to_le_bytes();
+        let mut cursor = std::io::Cursor::new(&wire[..]);
+        asm.read_from(&mut cursor).unwrap();
+        match asm.next_frame(MAX_FRAME) {
+            FrameStep::Oversized { len, max } => {
+                assert_eq!(len, MAX_FRAME + 1);
+                assert_eq!(max, MAX_FRAME);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        // The poisoned header stays buffered: the connection must close,
+        // not resynchronise.
+        assert_eq!(asm.buffered(), 4);
+    }
+
+    #[test]
+    fn assembler_propagates_would_block() {
+        struct Blocked;
+        impl std::io::Read for Blocked {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::ErrorKind::WouldBlock.into())
+            }
+        }
+        let mut asm = FrameAssembler::new();
+        let err = asm.read_from(&mut Blocked).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+        assert_eq!(asm.buffered(), 0);
+    }
+
+    /// A writer that accepts at most `cap` bytes per call and blocks
+    /// entirely every other call — the worst kernel send buffer.
+    struct Throttled {
+        accepted: Vec<u8>,
+        cap: usize,
+        turn: bool,
+    }
+
+    impl std::io::Write for Throttled {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.turn = !self.turn;
+            if !self.turn {
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            let n = data.len().min(self.cap);
+            self.accepted.extend_from_slice(&data[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_buffer_survives_would_block_mid_frame() {
+        let mut wb = WriteBuffer::new();
+        wb.queue_response(&Response::Update { active_faults: 7 });
+        wb.queue_frame(b"raw payload");
+        assert!(!wb.is_empty());
+
+        let mut sink = Throttled {
+            accepted: Vec::new(),
+            cap: 3,
+            turn: false,
+        };
+        let mut flushes = 0usize;
+        while !wb.flush(&mut sink).unwrap() {
+            flushes += 1;
+            assert!(flushes < 1000, "flush loop did not terminate");
+        }
+        assert!(wb.is_empty());
+
+        // The byte stream is identical to the blocking writer's.
+        let mut want = Vec::new();
+        send_response(
+            &mut want,
+            &Response::Update { active_faults: 7 },
+            &mut Vec::new(),
+        )
+        .unwrap();
+        write_frame(&mut want, b"raw payload").unwrap();
+        assert_eq!(sink.accepted, want);
+
+        // Queueing after a drain reuses the compacted buffer.
+        wb.queue_frame(b"again");
+        let mut plain = Vec::new();
+        assert!(wb.flush(&mut plain).unwrap());
+        let mut want = Vec::new();
+        write_frame(&mut want, b"again").unwrap();
+        assert_eq!(plain, want);
     }
 }

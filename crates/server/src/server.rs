@@ -1,54 +1,83 @@
-//! The long-running oracle server: accept thread + worker pool.
+//! The long-running oracle server: readiness-driven event loop + worker
+//! pool.
 //!
 //! ## Threading model
 //!
-//! One accept thread (the caller of [`Server::run`]) polls a nonblocking
-//! listener and feeds accepted connections to a fixed pool of worker
-//! threads over a channel. Each worker owns one [`DecodeScratch`] for its
-//! entire lifetime and serves one connection at a time to completion, so
-//! the zero-allocation decode fast path survives the network hop: after a
-//! few requests every buffer a query needs is already warm.
+//! One event loop (the caller of [`Server::run`]) owns *every* socket —
+//! the listener and all accepted connections, all nonblocking — through
+//! an [`fsdl_reactor::Poller`] (raw `epoll` on Linux, `poll(2)`
+//! elsewhere). Each connection carries a
+//! [`protocol::FrameAssembler`] that reassembles length-prefixed frames
+//! from whatever byte chunks the kernel delivers and a
+//! [`protocol::WriteBuffer`] that absorbs replies a full send buffer
+//! cannot take yet. Only *complete* request frames are handed to the
+//! worker pool, so a thousand idle keep-alive connections and a client
+//! that drips one header byte per second cost the workers nothing —
+//! the defect this design replaces parked one blocking worker per
+//! connection, so `workers + 1` idle clients starved all real traffic.
 //!
-//! The pool size defaults to [`fsdl_nets::parallel::background_workers`]
-//! (available parallelism minus the accept thread, never below one) — the
-//! same reservation discipline the background rebuilder uses, asserted at
-//! startup so a misconfigured host can never end up with zero serving
-//! workers.
+//! Workers receive complete frames over a channel, decode and dispatch
+//! them, and push the encoded reply to a completion queue, waking the
+//! event loop through a self-pipe. Each worker owns one
+//! [`DecodeScratch`] for its entire lifetime, so the zero-allocation
+//! decode fast path survives the network hop: after a few requests
+//! every buffer a query needs is already warm. The pool size defaults
+//! to [`fsdl_nets::parallel::background_workers`] (available
+//! parallelism minus the event-loop thread, never below one), asserted
+//! at startup so a misconfigured host can never end up with zero
+//! serving workers.
+//!
+//! ## Backpressure and buffer ownership
+//!
+//! All buffers live on the event-loop side; workers only ever see one
+//! owned frame at a time. A connection has at most one frame in flight:
+//! while a worker holds its frame the event loop stops watching the
+//! socket for readability, so a client that pipelines faster than the
+//! engine answers is throttled by TCP itself and buffer growth per
+//! connection is bounded by one readiness burst.
 //!
 //! ## Failure containment
 //!
 //! A malformed payload gets a typed [`Response::Error`] on the same
 //! connection and the connection keeps serving; a broken *frame* (length
-//! header past the cap, torn payload) gets a final typed error and closes
-//! only that connection. Nothing in the serving path panics on untrusted
-//! input — the decode layer is the panic-free path proven by the
-//! `labels::corrupt` harnesses.
+//! header past the cap) gets a final typed error and closes only that
+//! connection. A connection that starts a frame and stalls past
+//! [`ServerConfig::frame_deadline`] (a slow-loris client) gets a typed
+//! [`ErrorCode::DeadlineExceeded`] reply, one flush attempt, and a
+//! close, counted in [`ServeReport::deadline_closes`]. Nothing in the
+//! serving path panics on untrusted input — the decode layer is the
+//! panic-free path proven by the `labels::corrupt` harnesses.
 //!
 //! ## Shutdown
 //!
 //! A `shutdown` frame (or [`ShutdownHandle::signal`]) flips a shared
-//! flag. The accept loop stops accepting, workers finish their in-flight
-//! request, idle connections close at the next poll tick, and — in
-//! dynamic mode — the oracle drains any background rebuild before
-//! [`Server::run`] returns, so the WAL and store are consistent on exit.
+//! flag. The event loop deregisters the listener, stops dispatching
+//! buffered frames, lets in-flight requests finish and their replies
+//! flush, closes idle connections immediately, and force-closes
+//! stragglers after one frame deadline. In dynamic mode the oracle then
+//! drains any background rebuild before [`Server::run`] returns, so the
+//! WAL and store are consistent on exit.
 
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
 use std::os::unix::fs::FileTypeExt;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use fsdl_graph::NodeId;
 use fsdl_labels::{DecodeScratch, DynamicOracle};
+use fsdl_reactor::{Interest, Poller};
 use fsdl_routing::Network;
 
 use crate::protocol::{
-    self, BatchItem, ErrorCode, ErrorReply, FrameError, QueryReply, Request, Response, RouteReply,
-    StatsReply, UpdateOp, WireFaults,
+    self, BatchItem, ErrorCode, ErrorReply, FrameError, FrameStep, QueryReply, Request, Response,
+    RouteReply, StatsReply, UpdateOp, WireFaults,
 };
 
 /// Where a server listens or a client connects.
@@ -72,14 +101,19 @@ impl std::fmt::Display for Endpoint {
 /// Server tunables.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Worker threads (0 = auto: available parallelism minus the accept
-    /// thread, never below 1).
+    /// Worker threads (0 = auto: available parallelism minus the
+    /// event-loop thread, never below 1).
     pub workers: usize,
     /// Frame payload ceiling in bytes.
     pub max_frame: u32,
-    /// How often idle workers and the accept loop check the shutdown
-    /// flag.
+    /// Upper bound on how long the event loop sleeps when nothing is
+    /// ready — the latency ceiling for noticing an out-of-band
+    /// [`ShutdownHandle::signal`].
     pub poll_interval: Duration,
+    /// How long a connection may hold a *partial* frame before it is
+    /// closed as a slow-loris suspect; also the grace period stragglers
+    /// get to flush replies during shutdown drain.
+    pub frame_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +122,7 @@ impl Default for ServerConfig {
             workers: 0,
             max_frame: protocol::MAX_FRAME,
             poll_interval: Duration::from_millis(25),
+            frame_deadline: Duration::from_secs(10),
         }
     }
 }
@@ -144,6 +179,7 @@ struct Counters {
     routes: AtomicU64,
     updates: AtomicU64,
     protocol_errors: AtomicU64,
+    deadline_closes: AtomicU64,
 }
 
 /// Totals for one [`Server::run`] lifetime.
@@ -161,6 +197,9 @@ pub struct ServeReport {
     pub updates: u64,
     /// Typed protocol errors answered.
     pub protocol_errors: u64,
+    /// Connections closed for stalling mid-frame past the frame
+    /// deadline (slow-loris protection).
+    pub deadline_closes: u64,
 }
 
 /// Signals a running server to drain and exit (the out-of-band
@@ -185,6 +224,15 @@ enum BoundListener {
     Unix(UnixListener, PathBuf),
 }
 
+impl BoundListener {
+    fn as_raw_fd(&self) -> RawFd {
+        match self {
+            BoundListener::Tcp(l) => l.as_raw_fd(),
+            BoundListener::Unix(l, _) => l.as_raw_fd(),
+        }
+    }
+}
+
 /// One accepted connection, unified over transports.
 enum Conn {
     Tcp(TcpStream),
@@ -192,10 +240,19 @@ enum Conn {
 }
 
 impl Conn {
-    fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+    fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
         match self {
-            Conn::Tcp(s) => s.set_read_timeout(d),
-            Conn::Unix(s) => s.set_read_timeout(d),
+            Conn::Tcp(s) => s.set_nonblocking(nb),
+            Conn::Unix(s) => s.set_nonblocking(nb),
+        }
+    }
+}
+
+impl AsRawFd for Conn {
+    fn as_raw_fd(&self) -> RawFd {
+        match self {
+            Conn::Tcp(s) => s.as_raw_fd(),
+            Conn::Unix(s) => s.as_raw_fd(),
         }
     }
 }
@@ -225,22 +282,79 @@ impl Write for Conn {
     }
 }
 
+/// The poller token of the listener socket.
+const LISTENER_TOKEN: u64 = u64::MAX;
+/// The poller token of the worker-completion wake pipe.
+const WAKE_TOKEN: u64 = u64::MAX - 1;
+
+/// Per-connection state, owned by the event loop.
+struct Connection {
+    stream: Conn,
+    assembler: protocol::FrameAssembler,
+    write_buf: protocol::WriteBuffer,
+    /// `(generation << 32) | slot`: stale completions for a recycled
+    /// slot carry the old generation and are dropped.
+    token: u64,
+    /// A frame is at a worker; readability is not watched meanwhile.
+    in_flight: bool,
+    /// The peer sent EOF; buffered complete frames are still served.
+    peer_closed: bool,
+    /// Close as soon as the write buffer drains (fatal frame error,
+    /// deadline expiry, shutdown ack).
+    close_after_flush: bool,
+    /// Armed while a *partial* frame sits in the assembler; expiry is a
+    /// slow-loris close.
+    deadline: Option<Instant>,
+    /// The interest currently registered with the poller.
+    registered: Interest,
+}
+
+impl Connection {
+    /// The readiness this connection wants right now.
+    fn desired_interest(&self, draining: bool) -> Interest {
+        Interest {
+            readable: !self.in_flight && !self.close_after_flush && !self.peer_closed && !draining,
+            writable: !self.write_buf.is_empty(),
+        }
+    }
+}
+
+/// A complete request frame on its way to a worker.
+struct Job {
+    token: u64,
+    frame: Vec<u8>,
+}
+
+/// An encoded reply on its way back from a worker.
+struct Completion {
+    token: u64,
+    /// Encoded reply payload (frame header added by the write buffer).
+    payload: Vec<u8>,
+    /// The reply is the `shutdown` ack: flip the flag and close after
+    /// the ack flushes.
+    is_shutdown: bool,
+}
+
 /// A bound, not-yet-running server.
 pub struct Server {
     listener: BoundListener,
     engine: ServeEngine,
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
+    poller: Poller,
+    wake_rx: UnixStream,
+    wake_tx: Arc<UnixStream>,
 }
 
 impl Server {
-    /// Binds a listener at `endpoint`. For unix endpoints a stale socket
-    /// file from a previous run is removed first; the file is removed
-    /// again when [`Server::run`] returns.
+    /// Binds a listener at `endpoint` and sets up the reactor (poller +
+    /// worker wake pipe). For unix endpoints a stale socket file from a
+    /// previous run is removed first; the file is removed again when
+    /// [`Server::run`] returns.
     ///
     /// # Errors
     ///
-    /// Propagates bind errors.
+    /// Propagates bind and reactor-setup errors.
     pub fn bind(
         endpoint: &Endpoint,
         engine: ServeEngine,
@@ -265,11 +379,20 @@ impl Server {
                 BoundListener::Unix(l, path.clone())
             }
         };
+        let mut poller = Poller::new()?;
+        poller.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READABLE)?;
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+        poller.register(wake_rx.as_raw_fd(), WAKE_TOKEN, Interest::READABLE)?;
         Ok(Server {
             listener,
             engine,
             config,
             shutdown: Arc::new(AtomicBool::new(false)),
+            poller,
+            wake_rx,
+            wake_tx: Arc::new(wake_tx),
         })
     }
 
@@ -295,7 +418,7 @@ impl Server {
     }
 
     /// Resolves the worker-pool size for this config: `workers == 0`
-    /// reserves one core for the accept thread via
+    /// reserves one core for the event-loop thread via
     /// [`fsdl_nets::parallel::background_workers`]. Guaranteed `>= 1` on
     /// every host, single-core included — asserted, because a zero-worker
     /// pool would accept connections and serve nothing.
@@ -308,94 +431,106 @@ impl Server {
         };
         assert!(
             workers >= 1,
-            "server worker pool must keep at least one worker after reserving the accept thread"
+            "server worker pool must keep at least one worker after reserving the event loop"
         );
         workers
     }
 
-    /// Runs the accept loop until shutdown, then drains and returns the
+    /// Runs the event loop until shutdown, then drains and returns the
     /// totals. Blocks the calling thread (spawn it for in-process use).
     pub fn run(self) -> ServeReport {
         let workers = self.resolved_workers();
         let counters = Arc::new(Counters::default());
         let shutdown = Arc::clone(&self.shutdown);
-        let (tx, rx): (Sender<Conn>, Receiver<Conn>) = std::sync::mpsc::channel();
-        let rx = Arc::new(Mutex::new(rx));
+        let (job_tx, job_rx): (Sender<Job>, Receiver<Job>) = std::sync::mpsc::channel();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let completions: Arc<Mutex<VecDeque<Completion>>> = Arc::new(Mutex::new(VecDeque::new()));
+
+        let Server {
+            listener,
+            engine,
+            config,
+            poller,
+            wake_rx,
+            wake_tx,
+            ..
+        } = self;
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                let rx = Arc::clone(&rx);
-                let engine = self.engine.clone();
+                let job_rx = Arc::clone(&job_rx);
+                let engine = engine.clone();
                 let counters = Arc::clone(&counters);
-                let shutdown = Arc::clone(&shutdown);
-                let config = self.config.clone();
+                let completions = Arc::clone(&completions);
+                let wake_tx = Arc::clone(&wake_tx);
                 scope.spawn(move || {
                     // One scratch per worker, reused across every request
                     // of every connection this worker ever serves.
                     let mut scratch = DecodeScratch::new();
                     loop {
                         // Holding the recv lock only while waiting keeps
-                        // hand-off cheap; a closed channel means the
-                        // accept loop is gone and the queue is drained.
-                        let conn = {
-                            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
-                            guard.recv_timeout(config.poll_interval)
+                        // hand-off cheap; a closed channel means the event
+                        // loop is gone and the queue is drained.
+                        let job = {
+                            let guard = job_rx.lock().unwrap_or_else(|e| e.into_inner());
+                            guard.recv()
                         };
-                        match conn {
-                            Ok(conn) => {
-                                serve_connection(
-                                    conn,
-                                    &engine,
-                                    &counters,
-                                    &shutdown,
-                                    &config,
-                                    &mut scratch,
-                                );
+                        let Ok(job) = job else { break };
+                        let response = match Request::decode(&job.frame) {
+                            Err(wire_err) => Response::Error(ErrorReply {
+                                code: wire_err.code(),
+                                message: wire_err.to_string(),
+                            }),
+                            Ok(request) => {
+                                handle_request(request, &engine, &counters, &mut scratch)
                             }
-                            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
-                                if shutdown.load(Ordering::SeqCst) {
-                                    break;
-                                }
-                            }
-                            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+                        };
+                        if matches!(response, Response::Error(_)) {
+                            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
                         }
+                        let is_shutdown = matches!(response, Response::Shutdown);
+                        let mut payload = Vec::new();
+                        response.encode(&mut payload);
+                        completions
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push_back(Completion {
+                                token: job.token,
+                                payload,
+                                is_shutdown,
+                            });
+                        // A full pipe already guarantees a pending wakeup.
+                        let _ = (&*wake_tx).write(&[1]);
                     }
                 });
             }
 
-            // Accept loop (this thread).
-            while !shutdown.load(Ordering::SeqCst) {
-                let accepted = match &self.listener {
-                    BoundListener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
-                    BoundListener::Unix(l, _) => l.accept().map(|(s, _)| Conn::Unix(s)),
-                };
-                match accepted {
-                    Ok(conn) => {
-                        counters.connections.fetch_add(1, Ordering::Relaxed);
-                        if tx.send(conn).is_err() {
-                            break;
-                        }
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(self.config.poll_interval);
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                    Err(_) => {
-                        // Listener failure: drain and exit rather than
-                        // spinning on a dead socket.
-                        shutdown.store(true, Ordering::SeqCst);
-                    }
-                }
-            }
-            drop(tx); // lets idle workers exit once the queue drains
+            let mut reactor = EventLoop {
+                poller,
+                listener: &listener,
+                wake_rx: &wake_rx,
+                config: &config,
+                counters: &counters,
+                shutdown: &shutdown,
+                job_tx,
+                completions: &completions,
+                slab: Vec::new(),
+                free: Vec::new(),
+                next_generation: 0,
+                armed_deadlines: 0,
+                open: 0,
+            };
+            reactor.run();
+            // `job_tx` dropped with the event loop: workers drain the
+            // queue and exit, the scope joins them.
         });
 
         // Drain any background rebuild so the store and WAL are
         // consistent before the process can exit.
-        if let ServeEngine::Dynamic(dyn_oracle) = &self.engine {
+        if let ServeEngine::Dynamic(dyn_oracle) = &engine {
             read_lock(dyn_oracle).wait_for_rebuild();
         }
-        if let BoundListener::Unix(_, path) = &self.listener {
+        if let BoundListener::Unix(_, path) = &listener {
             let _ = std::fs::remove_file(path);
         }
 
@@ -406,137 +541,413 @@ impl Server {
             routes: counters.routes.load(Ordering::Relaxed),
             updates: counters.updates.load(Ordering::Relaxed),
             protocol_errors: counters.protocol_errors.load(Ordering::Relaxed),
+            deadline_closes: counters.deadline_closes.load(Ordering::Relaxed),
         }
     }
 }
 
-/// Serves one connection until EOF, a frame-layer error, or shutdown.
-fn serve_connection(
-    mut conn: Conn,
-    engine: &ServeEngine,
-    counters: &Counters,
-    shutdown: &AtomicBool,
-    config: &ServerConfig,
-    scratch: &mut DecodeScratch,
-) {
-    if conn.set_read_timeout(Some(config.poll_interval)).is_err() {
-        return;
-    }
-    let mut frame = Vec::new();
-    let mut out = Vec::new();
-    loop {
-        match read_frame_idle_aware(&mut conn, config.max_frame, &mut frame, shutdown) {
-            FramePoll::Frame => {}
-            FramePoll::Eof | FramePoll::Closed => return,
-            FramePoll::ShuttingDown => return,
-            FramePoll::Broken(err) => {
-                // The stream can no longer be re-synchronized (the length
-                // header itself is untrustworthy): answer with the typed
-                // error, then close this connection only.
-                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                let reply = Response::Error(ErrorReply {
-                    code: ErrorCode::Oversized,
-                    message: err,
-                });
-                let _ = protocol::send_response(&mut conn, &reply, &mut out);
-                return;
+/// The readiness-driven core of [`Server::run`]: owns the poller, the
+/// connection slab, and all per-connection buffers.
+struct EventLoop<'a> {
+    poller: Poller,
+    listener: &'a BoundListener,
+    wake_rx: &'a UnixStream,
+    config: &'a ServerConfig,
+    counters: &'a Counters,
+    shutdown: &'a AtomicBool,
+    job_tx: Sender<Job>,
+    completions: &'a Mutex<VecDeque<Completion>>,
+    /// Slot-indexed connections; tokens carry a generation so events and
+    /// completions for a recycled slot are recognized as stale.
+    slab: Vec<Option<Connection>>,
+    free: Vec<usize>,
+    next_generation: u32,
+    /// How many live connections have a frame deadline armed; deadline
+    /// scans are skipped entirely while this is zero, so idle fleets
+    /// cost nothing per tick.
+    armed_deadlines: usize,
+    open: usize,
+}
+
+impl EventLoop<'_> {
+    fn run(&mut self) {
+        let mut events = Vec::new();
+        let mut draining = false;
+        let mut drain_deadline = Instant::now();
+        loop {
+            if !draining && self.shutdown.load(Ordering::SeqCst) {
+                draining = true;
+                drain_deadline = Instant::now() + self.config.frame_deadline;
+                let _ = self.poller.deregister(self.listener.as_raw_fd());
+                self.close_quiescent();
             }
-        }
-        let response = match Request::decode(&frame) {
-            Err(wire_err) => Response::Error(ErrorReply {
-                code: wire_err.code(),
-                message: wire_err.to_string(),
-            }),
-            Ok(request) => handle_request(request, engine, counters, scratch),
-        };
-        if matches!(response, Response::Error(_)) {
-            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-        }
-        let is_shutdown_ack = matches!(response, Response::Shutdown);
-        if protocol::send_response(&mut conn, &response, &mut out).is_err() {
-            return;
-        }
-        if is_shutdown_ack {
-            shutdown.store(true, Ordering::SeqCst);
-            return;
-        }
-    }
-}
-
-/// Outcome of polling for one frame on a connection with a read timeout.
-enum FramePoll {
-    /// A complete frame is in the buffer.
-    Frame,
-    /// Clean EOF at a frame boundary.
-    Eof,
-    /// The stream died (reset, torn frame).
-    Closed,
-    /// Shutdown was signaled while the connection was idle.
-    ShuttingDown,
-    /// The frame layer is broken (oversized length); message for the
-    /// final typed reply.
-    Broken(String),
-}
-
-/// Reads one frame from a stream whose read timeout is the poll
-/// interval. A timeout *between* frames is idleness (check shutdown and
-/// keep waiting); a timeout *inside* a frame just retries the read — the
-/// frame is already in flight and the sender is trusted to finish it or
-/// die, either of which ends the wait.
-fn read_frame_idle_aware(
-    conn: &mut Conn,
-    max_frame: u32,
-    frame: &mut Vec<u8>,
-    shutdown: &AtomicBool,
-) -> FramePoll {
-    let mut header = [0u8; 4];
-    let mut got = 0usize;
-    while got < header.len() {
-        match conn.read(&mut header[got..]) {
-            Ok(0) => {
-                return if got == 0 {
-                    FramePoll::Eof
-                } else {
-                    FramePoll::Closed
-                };
-            }
-            Ok(n) => got += n,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if got == 0 && shutdown.load(Ordering::SeqCst) {
-                    return FramePoll::ShuttingDown;
+            if draining {
+                if self.open == 0 {
+                    break;
+                }
+                if Instant::now() >= drain_deadline {
+                    // Stragglers kept a reply unflushed or a worker busy
+                    // for a whole frame deadline; cut them loose.
+                    self.close_all();
+                    break;
                 }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => return FramePoll::Closed,
-        }
-    }
-    let len = u32::from_le_bytes(header);
-    if len > max_frame {
-        return FramePoll::Broken(
-            FrameError::Oversized {
-                len,
-                max: max_frame,
+
+            let timeout = self.wait_timeout(draining.then_some(drain_deadline));
+            if self.poller.wait(&mut events, Some(timeout)).is_err() {
+                // Poller failure is unrecoverable; drain like a listener
+                // death rather than spinning.
+                self.shutdown.store(true, Ordering::SeqCst);
+                continue;
             }
-            .to_string(),
-        );
-    }
-    frame.resize(len as usize, 0);
-    let mut filled = 0usize;
-    while filled < frame.len() {
-        match conn.read(&mut frame[filled..]) {
-            Ok(0) => return FramePoll::Closed,
-            Ok(n) => filled += n,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut
-                    || e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => return FramePoll::Closed,
+            for ev in &events {
+                match ev.token {
+                    LISTENER_TOKEN if !draining => self.accept_ready(),
+                    LISTENER_TOKEN => {}
+                    WAKE_TOKEN => self.drain_wake_pipe(),
+                    token => self.connection_ready(token, ev.writable, draining),
+                }
+            }
+            // Completions are drained every tick (not only on wake
+            // events): the wake byte can race the queue push, and a
+            // mutex peek is cheap.
+            self.drain_completions(draining);
+            if self.armed_deadlines > 0 && !draining {
+                self.expire_deadlines();
+            }
         }
     }
-    FramePoll::Frame
+
+    /// The poller timeout: the poll interval (shutdown-flag latency
+    /// ceiling), tightened to the nearest armed frame deadline or the
+    /// drain deadline.
+    fn wait_timeout(&self, drain_deadline: Option<Instant>) -> Duration {
+        let mut timeout = self.config.poll_interval;
+        let now = Instant::now();
+        if self.armed_deadlines > 0 {
+            for conn in self.slab.iter().flatten() {
+                if let Some(d) = conn.deadline {
+                    timeout = timeout.min(d.saturating_duration_since(now));
+                }
+            }
+        }
+        if let Some(d) = drain_deadline {
+            timeout = timeout.min(d.saturating_duration_since(now));
+        }
+        timeout
+    }
+
+    /// Accepts until the listener would block; each new connection is
+    /// made nonblocking and registered for readability.
+    fn accept_ready(&mut self) {
+        loop {
+            let accepted = match self.listener {
+                BoundListener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+                BoundListener::Unix(l, _) => l.accept().map(|(s, _)| Conn::Unix(s)),
+            };
+            match accepted {
+                Ok(conn) => {
+                    if conn.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    self.counters.connections.fetch_add(1, Ordering::Relaxed);
+                    self.insert_connection(conn);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    // Listener failure: drain and exit rather than
+                    // spinning on a dead socket.
+                    self.shutdown.store(true, Ordering::SeqCst);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn insert_connection(&mut self, conn: Conn) {
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.slab.push(None);
+            self.slab.len() - 1
+        });
+        self.next_generation = self.next_generation.wrapping_add(1);
+        let token = (u64::from(self.next_generation) << 32) | slot as u64;
+        let fd = conn.as_raw_fd();
+        let connection = Connection {
+            stream: conn,
+            assembler: protocol::FrameAssembler::new(),
+            write_buf: protocol::WriteBuffer::new(),
+            token,
+            in_flight: false,
+            peer_closed: false,
+            close_after_flush: false,
+            deadline: None,
+            registered: Interest::READABLE,
+        };
+        if self.poller.register(fd, token, Interest::READABLE).is_err() {
+            // Out of poller capacity (EMFILE-like): drop the connection;
+            // the slot goes back unused.
+            self.free.push(slot);
+            return;
+        }
+        self.slab[slot] = Some(connection);
+        self.open += 1;
+    }
+
+    /// Resolves a token to its slot, ignoring stale generations.
+    fn live_slot(&self, token: u64) -> Option<usize> {
+        let slot = (token & 0xFFFF_FFFF) as usize;
+        match self.slab.get(slot) {
+            Some(Some(conn)) if conn.token == token => Some(slot),
+            _ => None,
+        }
+    }
+
+    fn close(&mut self, slot: usize) {
+        if let Some(conn) = self.slab[slot].take() {
+            if conn.deadline.is_some() {
+                self.armed_deadlines -= 1;
+            }
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            self.free.push(slot);
+            self.open -= 1;
+            // `conn` drops here, closing the socket after deregistration.
+        }
+    }
+
+    /// Closes every connection with no frame at a worker and nothing
+    /// left to flush (the shutdown fast path).
+    fn close_quiescent(&mut self) {
+        for slot in 0..self.slab.len() {
+            let quiescent = matches!(
+                &self.slab[slot],
+                Some(conn) if !conn.in_flight && conn.write_buf.is_empty()
+            );
+            if quiescent {
+                self.close(slot);
+            }
+        }
+    }
+
+    fn close_all(&mut self) {
+        for slot in 0..self.slab.len() {
+            self.close(slot);
+        }
+    }
+
+    /// Empties the self-pipe; the bytes carry no payload, the
+    /// completions queue is the source of truth.
+    fn drain_wake_pipe(&mut self) {
+        let mut sink = [0u8; 256];
+        let mut pipe = self.wake_rx; // `&UnixStream` implements `Read`
+        loop {
+            match pipe.read(&mut sink) {
+                Ok(0) => break,
+                Ok(_) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => break, // WouldBlock: drained
+            }
+        }
+    }
+
+    /// Handles readiness on one connection: flush pending writes, read
+    /// until the socket blocks, then try to dispatch a frame.
+    fn connection_ready(&mut self, token: u64, writable: bool, draining: bool) {
+        let Some(slot) = self.live_slot(token) else {
+            return;
+        };
+        if writable && !self.flush(slot) {
+            return;
+        }
+        let conn = self.slab[slot].as_mut().expect("live slot");
+        if !conn.peer_closed && !conn.close_after_flush {
+            loop {
+                match conn.assembler.read_from(&mut conn.stream) {
+                    Ok(0) => {
+                        conn.peer_closed = true;
+                        break;
+                    }
+                    Ok(_) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        self.close(slot);
+                        return;
+                    }
+                }
+            }
+        }
+        self.pump(slot, draining);
+    }
+
+    /// Tries to move one buffered frame toward a worker and settles the
+    /// connection's deadline, interest, and close state.
+    fn pump(&mut self, slot: usize, draining: bool) {
+        let conn = self.slab[slot].as_mut().expect("live slot");
+        if !conn.in_flight && !conn.close_after_flush && !draining {
+            match conn.assembler.next_frame(self.config.max_frame) {
+                FrameStep::Frame(payload) => {
+                    let job = Job {
+                        token: conn.token,
+                        frame: payload.to_vec(),
+                    };
+                    conn.in_flight = true;
+                    self.disarm_deadline(slot);
+                    if self.job_tx.send(job).is_err() {
+                        // Workers are gone; only reachable mid-teardown.
+                        self.close(slot);
+                        return;
+                    }
+                }
+                FrameStep::Incomplete => {
+                    let conn = self.slab[slot].as_mut().expect("live slot");
+                    if conn.peer_closed {
+                        // Clean EOF at a boundary or a torn frame; either
+                        // way there is nothing left to serve.
+                        if conn.write_buf.is_empty() {
+                            self.close(slot);
+                        } else {
+                            conn.close_after_flush = true;
+                        }
+                        return;
+                    }
+                    if conn.assembler.buffered() > 0 {
+                        // A partial frame is pending and no worker owes
+                        // this connection a reply: the clock is on the
+                        // client. Armed once — progress does not reset
+                        // it, or a drip-feed would evade the deadline.
+                        if conn.deadline.is_none() {
+                            conn.deadline = Some(Instant::now() + self.config.frame_deadline);
+                            self.armed_deadlines += 1;
+                        }
+                    } else {
+                        self.disarm_deadline(slot);
+                    }
+                }
+                FrameStep::Oversized { len, max } => {
+                    // The length header itself is untrustworthy, so the
+                    // stream cannot be re-synchronized: typed error, then
+                    // close.
+                    self.counters
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    let message = FrameError::Oversized { len, max }.to_string();
+                    conn.write_buf.queue_response(&Response::Error(ErrorReply {
+                        code: ErrorCode::Oversized,
+                        message,
+                    }));
+                    conn.close_after_flush = true;
+                    self.disarm_deadline(slot);
+                }
+            }
+        } else if draining && !conn.in_flight && conn.write_buf.is_empty() {
+            self.close(slot);
+            return;
+        }
+        if !self.flush(slot) {
+            return;
+        }
+        self.update_interest(slot, draining);
+    }
+
+    fn disarm_deadline(&mut self, slot: usize) {
+        let conn = self.slab[slot].as_mut().expect("live slot");
+        if conn.deadline.take().is_some() {
+            self.armed_deadlines -= 1;
+        }
+    }
+
+    /// Flushes the write buffer; returns `false` when the connection was
+    /// closed (fatal write error, or close-after-flush completed).
+    fn flush(&mut self, slot: usize) -> bool {
+        let conn = self.slab[slot].as_mut().expect("live slot");
+        match conn.write_buf.flush(&mut conn.stream) {
+            Ok(true) => {
+                if conn.close_after_flush {
+                    self.close(slot);
+                    return false;
+                }
+                true
+            }
+            Ok(false) => true, // socket full; writable interest keeps it moving
+            Err(_) => {
+                self.close(slot);
+                false
+            }
+        }
+    }
+
+    /// Reconciles the poller registration with the connection's state.
+    fn update_interest(&mut self, slot: usize, draining: bool) {
+        let conn = self.slab[slot].as_mut().expect("live slot");
+        let desired = conn.desired_interest(draining);
+        if desired != conn.registered {
+            conn.registered = desired;
+            let fd = conn.stream.as_raw_fd();
+            let token = conn.token;
+            if self.poller.modify(fd, token, desired).is_err() {
+                self.close(slot);
+            }
+        }
+    }
+
+    /// Applies every queued worker reply to its connection.
+    fn drain_completions(&mut self, draining: bool) {
+        loop {
+            let completion = {
+                let mut queue = self.completions.lock().unwrap_or_else(|e| e.into_inner());
+                queue.pop_front()
+            };
+            let Some(completion) = completion else { break };
+            if completion.is_shutdown {
+                self.shutdown.store(true, Ordering::SeqCst);
+            }
+            let Some(slot) = self.live_slot(completion.token) else {
+                continue; // connection died while the worker was busy
+            };
+            let conn = self.slab[slot].as_mut().expect("live slot");
+            conn.in_flight = false;
+            conn.write_buf.queue_frame(&completion.payload);
+            if completion.is_shutdown || draining {
+                conn.close_after_flush = true;
+            }
+            // The reply is queued; pump flushes it and, outside a drain,
+            // dispatches the next buffered frame.
+            self.pump(slot, draining);
+        }
+    }
+
+    /// Closes every connection whose partial-frame deadline has passed:
+    /// typed reply, one flush attempt, close.
+    fn expire_deadlines(&mut self) {
+        let now = Instant::now();
+        for slot in 0..self.slab.len() {
+            let expired = matches!(
+                &self.slab[slot],
+                Some(conn) if conn.deadline.is_some_and(|d| d <= now)
+            );
+            if !expired {
+                continue;
+            }
+            self.counters
+                .deadline_closes
+                .fetch_add(1, Ordering::Relaxed);
+            self.disarm_deadline(slot);
+            let conn = self.slab[slot].as_mut().expect("live slot");
+            conn.write_buf.queue_response(&Response::Error(ErrorReply {
+                code: ErrorCode::DeadlineExceeded,
+                message: format!(
+                    "frame not completed within {:?}; closing",
+                    self.config.frame_deadline
+                ),
+            }));
+            // One courtesy flush; a stalled sender that also stopped
+            // reading does not get to park the reply here.
+            let conn = self.slab[slot].as_mut().expect("live slot");
+            let _ = conn.write_buf.flush(&mut conn.stream);
+            self.close(slot);
+        }
+    }
 }
 
 fn error_reply(code: ErrorCode, message: impl Into<String>) -> Response {
@@ -720,6 +1131,7 @@ fn handle_request(
                 routes: counters.routes.load(Ordering::Relaxed),
                 updates: counters.updates.load(Ordering::Relaxed),
                 protocol_errors: counters.protocol_errors.load(Ordering::Relaxed),
+                deadline_closes: counters.deadline_closes.load(Ordering::Relaxed),
             })
         }
         Request::Shutdown => Response::Shutdown,

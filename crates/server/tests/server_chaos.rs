@@ -250,6 +250,107 @@ fn zero_length_and_empty_frames_are_typed_errors() {
     assert!(report.protocol_errors >= 1);
 }
 
+/// The headline starvation scenario from the reactor rewrite: a fleet of
+/// ~1000 idle connections plus 10 slow-loris clients (header then stall)
+/// while a healthy client runs its full workload concurrently. Under the
+/// old connection-per-worker server the 3 workers would park on the
+/// first 3 idle connections and the healthy client would hang forever;
+/// under the reactor the idle fleet is free, the lorises are cut by the
+/// frame deadline, and healthy traffic finishes promptly.
+#[test]
+fn idle_fleet_and_slow_loris_leave_healthy_traffic_unaffected() {
+    let sock = scratch_sock("idlefleet");
+    let g = generators::grid2d(6, 6);
+    let oracle = ForbiddenSetOracle::new(&g, 0.5);
+    let server = Server::bind(
+        &Endpoint::Unix(sock),
+        ServeEngine::Static(Arc::new(Network::from_oracle(oracle))),
+        ServerConfig {
+            workers: 3,
+            frame_deadline: Duration::from_millis(500),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let endpoint = server.local_endpoint().expect("endpoint");
+    let handle = std::thread::spawn(move || server.run());
+
+    // Size the idle fleet to the fd budget: this process holds ~2 fds
+    // per connection-shaped thing plus the suite's own files. CI
+    // containers may run with a 1024 soft limit; never die on EMFILE.
+    let target = 1000usize;
+    let idle_count = match fsdl_reactor::fd_soft_limit() {
+        Some(limit) => target.min(((limit.saturating_sub(128)) / 2) as usize),
+        None => 256,
+    };
+    let idle: Vec<UnixStream> = (0..idle_count).map(|_| connect_raw(&endpoint)).collect();
+
+    // Ten slow-loris connections: a header promising 16 bytes, then 1
+    // byte of payload, then silence.
+    let mut lorises: Vec<UnixStream> = (0..10)
+        .map(|_| {
+            let mut s = connect_raw(&endpoint);
+            s.write_all(&16u32.to_le_bytes()).expect("loris header");
+            s.write_all(&[0x11]).expect("loris stall byte");
+            s
+        })
+        .collect();
+
+    // Healthy workload, launched after the full hostile fleet is in
+    // place. Under starvation this would block forever; the wall-clock
+    // bound below is the regression tripwire.
+    let start = std::time::Instant::now();
+    let healthy_endpoint = endpoint.clone();
+    let healthy = std::thread::spawn(move || {
+        let mut client =
+            Client::connect_with_retry(&healthy_endpoint, Duration::from_secs(5)).expect("connect");
+        let mut rng = Rng::seed_from_u64(0x1D1E);
+        for _ in 0..300 {
+            let s = rng.gen_range(0..36u32);
+            let t = rng.gen_range(0..36u32);
+            let reply = client.query(s, t, WireFaults::default()).expect("query");
+            assert!(reply.distance > 0 || s == t);
+        }
+    });
+    healthy.join().expect("healthy client must never fail");
+    let healthy_elapsed = start.elapsed();
+    assert!(
+        healthy_elapsed < Duration::from_secs(20),
+        "300 healthy queries behind {idle_count} idle + 10 loris connections \
+         took {healthy_elapsed:?}"
+    );
+
+    // Every loris gets its typed deadline reply and a close.
+    for (k, loris) in lorises.iter_mut().enumerate() {
+        let reply = read_reply(loris).unwrap_or_else(|| panic!("loris {k} got no typed reply"));
+        let decoded = fsdl_server::Response::decode(&reply).expect("decode");
+        let fsdl_server::Response::Error(err) = decoded else {
+            panic!(
+                "loris {k}: expected error reply, got {}",
+                decoded.kind_name()
+            );
+        };
+        assert_eq!(err.code, fsdl_server::ErrorCode::DeadlineExceeded);
+        assert!(read_reply(loris).is_none(), "loris {k} must be closed");
+    }
+
+    // The idle fleet stayed connected through it all and still serves.
+    drop(idle);
+    let mut client =
+        Client::connect_with_retry(&endpoint, Duration::from_secs(5)).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert!(stats.queries >= 300, "healthy traffic must be fully served");
+    assert_eq!(stats.deadline_closes, 10, "exactly the lorises were cut");
+    assert_eq!(
+        stats.protocol_errors, 0,
+        "no typed errors besides deadlines"
+    );
+    client.shutdown().expect("shutdown");
+    let report = handle.join().expect("server thread must not panic");
+    assert_eq!(report.deadline_closes, 10);
+    assert_eq!(report.connections as usize, idle_count + 10 + 2);
+}
+
 #[test]
 fn trailing_bytes_in_frame_are_rejected() {
     let (endpoint, handle) = spawn_server(scratch_sock("trailing"));
