@@ -27,6 +27,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_t16_wal",
     "exp_t17_serve",
     "exp_t18_labelplane",
+    "exp_t19_shard",
     "exp_f1_trace",
     "exp_f2_lowlevel",
 ];

@@ -230,10 +230,7 @@ fn main() {
     // identical workload again. The fleet never sends a byte; a
     // readiness-driven server must not notice it.
     let idle_target = conns * 100;
-    let idle_budget = match fsdl_reactor::fd_soft_limit() {
-        Some(limit) => (limit.saturating_sub(128) / 2) as usize,
-        None => 256,
-    };
+    let idle_budget = (fsdl_reactor::fd_soft_limit_or(640).saturating_sub(128) / 2) as usize;
     let idle_count = idle_target.min(idle_budget);
     if idle_count < idle_target {
         println!("note: idle fleet clamped to {idle_count} by the fd soft limit");

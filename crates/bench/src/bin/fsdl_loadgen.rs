@@ -180,10 +180,7 @@ fn parse_args() -> Args {
 /// the fd soft limit (each costs one fd here and one in the server,
 /// which usually shares the host). Returns the held-open sockets.
 fn open_idle_fleet(endpoint: &Endpoint, requested: usize) -> Vec<Client> {
-    let budget = match fsdl_reactor::fd_soft_limit() {
-        Some(limit) => (limit.saturating_sub(128) / 2) as usize,
-        None => 256,
-    };
+    let budget = (fsdl_reactor::fd_soft_limit_or(640).saturating_sub(128) / 2) as usize;
     let count = requested.min(budget);
     if count < requested {
         eprintln!(

@@ -9,9 +9,10 @@ use std::io::Write;
 use fsdl_baselines::ExactOracle;
 use fsdl_graph::doubling::{estimate_dimension, DoublingConfig};
 use fsdl_graph::{generators, io as gio, FaultSet, Graph, GraphStats, NodeId};
+use fsdl_labels::partition::{shard_dir_name, PartitionPlan, ShardStore};
 use fsdl_labels::{DynamicConfig, DynamicOracle, ForbiddenSetOracle, OpenMode, RebuildMode};
 use fsdl_routing::Network;
-use fsdl_server::{Endpoint, ServeEngine, Server, ServerConfig};
+use fsdl_server::{Endpoint, Router, RouterConfig, ServeEngine, Server, ServerConfig};
 
 use crate::args::{parse_edge_list, parse_vertex_list, ArgError, ParsedArgs};
 
@@ -64,7 +65,24 @@ USAGE:
        accepts update frames; --workers 0 = all cores minus the event
        loop; --frame-deadline-ms closes connections that stall mid-frame
        [slow-loris protection, default 10000]; --open-mode lazy maps the
-       store and decodes labels on first touch instead of up front)
+       store and decodes labels on first touch instead of up front;
+       --shards S runs the simulated multi-shard plane instead: the
+       label set is partitioned by net-hierarchy cell into S shard
+       stores under --shard-dir [default: a temp dir], S in-process
+       shard servers come up on unix sockets, and --listen serves the
+       scatter-gather router — answers are bit-identical to the
+       unsharded server)
+  fsdl shard <shard-dir> --listen tcp:HOST:PORT|unix:PATH
+             [--workers N] [--open-mode eager|lazy]
+      (serves one shard store written by `fsdl serve --shards` or
+       `fsdl_labels::partition::write_shard_stores`: label-fetch frames
+       only, queries belong to the router)
+  fsdl router --listen tcp:HOST:PORT|unix:PATH --plan FILE
+              --shards ep1,ep2,...  [--workers N] [--frame-deadline-ms MS]
+      (fronts a shard fleet: endpoints are comma-separated listen specs
+       in shard order, e.g. unix:/run/s0.sock,tcp:10.0.0.2:7070; the
+       router scatter-gathers labels and answers query/batch frames
+       bit-identically to a single-process oracle)
   (query/route/batch/trace also accept --forbid-file FILE with
    \"v <id>\" / \"f <u> <v>\" lines)
   fsdl help
@@ -89,6 +107,8 @@ pub fn run<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
         "trace" => cmd_trace(args, out),
         "audit" => cmd_audit(args, out),
         "serve" => cmd_serve(args, out),
+        "shard" => cmd_shard(args, out),
+        "router" => cmd_router(args, out),
         "help" | "--help" | "-h" => {
             write_out(out, USAGE)?;
             Ok(())
@@ -837,6 +857,15 @@ fn cmd_serve<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
             "--frame-deadline-ms must be positive (it is the slow-loris cutoff)".into(),
         ));
     }
+    let shards: u32 = args.parse_option("shards", 0u32)?;
+    if shards > 0 {
+        if args.option("dynamic").is_some() {
+            return Err(ArgError(
+                "--shards serves immutable shard stores; it cannot combine with --dynamic".into(),
+            ));
+        }
+        return cmd_serve_sharded(args, out, &g, &endpoint, shards, workers, frame_deadline_ms);
+    }
     let (engine, mode) = if args.option("dynamic").is_some() {
         let dir = args.option("store").ok_or_else(|| {
             ArgError("--dynamic requires --store DIR (the durable oracle lives there)".into())
@@ -881,6 +910,214 @@ fn cmd_serve<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
             report.routes,
             report.updates,
             report.protocol_errors,
+            report.deadline_closes
+        ),
+    )
+}
+
+/// `fsdl serve --shards S`: the simulated multi-shard plane on one
+/// machine. Partitions the label set by net-hierarchy cell, writes S
+/// shard stores, brings up S in-process shard servers on unix sockets,
+/// and serves the scatter-gather router at `--listen` until shutdown.
+fn cmd_serve_sharded<W: Write>(
+    args: &ParsedArgs,
+    out: &mut W,
+    g: &Graph,
+    endpoint: &Endpoint,
+    shards: u32,
+    workers: usize,
+    frame_deadline_ms: u64,
+) -> Result<(), ArgError> {
+    let oracle = oracle_from(args, g)?;
+    let plan = PartitionPlan::for_oracle(&oracle, shards);
+    let (dir, ephemeral) = match args.option("shard-dir") {
+        Some(d) => (std::path::PathBuf::from(d), false),
+        None => (
+            std::env::temp_dir().join(format!("fsdl-shards-{}", std::process::id())),
+            true,
+        ),
+    };
+    let reports = fsdl_labels::write_shard_stores(&oracle, &dir, &plan)
+        .map_err(|e| ArgError(format!("cannot write shard stores under {}: {e}", dir.display())))?;
+    drop(oracle); // the shards and router serve from disk, not this copy
+
+    let mut shard_endpoints = Vec::with_capacity(shards as usize);
+    let mut shard_handles = Vec::with_capacity(shards as usize);
+    for report in &reports {
+        let store = ShardStore::open(&dir.join(shard_dir_name(report.shard)))
+            .map_err(|e| ArgError(format!("cannot reopen shard {}: {e}", report.shard)))?;
+        let shard_ep = Endpoint::Unix(dir.join(format!("shard-{}.sock", report.shard)));
+        let server = Server::bind(
+            &shard_ep,
+            ServeEngine::from_shard(store),
+            ServerConfig {
+                // Label-fetch is a memcpy; one worker per shard keeps the
+                // simulated fleet from oversubscribing the host.
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .map_err(|e| ArgError(format!("cannot bind shard {}: {e}", report.shard)))?;
+        let handle = server.shutdown_handle();
+        shard_handles.push((std::thread::spawn(move || server.run()), handle));
+        shard_endpoints.push(shard_ep);
+    }
+
+    let router = Router::bind(
+        endpoint,
+        shard_endpoints,
+        plan,
+        RouterConfig {
+            workers,
+            frame_deadline: std::time::Duration::from_millis(frame_deadline_ms),
+            ..RouterConfig::default()
+        },
+    )
+    .map_err(|e| ArgError(format!("cannot bind router at {endpoint}: {e}")))?;
+    let bound = router
+        .local_endpoint()
+        .map_err(|e| ArgError(format!("cannot resolve bound endpoint: {e}")))?;
+    write_out(
+        out,
+        &format!(
+            "serving {bound} (router over {shards} shards under {}); \
+             stop with a shutdown frame\n",
+            dir.display()
+        ),
+    )?;
+    out.flush()
+        .map_err(|e| ArgError(format!("write failed: {e}")))?;
+    let report = router.run();
+
+    let mut fetches_served = 0u64;
+    for (thread, handle) in shard_handles {
+        handle.signal();
+        if let Ok(shard_report) = thread.join() {
+            fetches_served += shard_report.label_fetches;
+        }
+    }
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    write_out(
+        out,
+        &format!(
+            "router drained: {} connections, {} queries ({} batched), \
+             {} upstream fetches ({fetches_served} served), {} protocol errors, \
+             {} shard failures, {} deadline closes\n",
+            report.connections,
+            report.queries,
+            report.batch_queries,
+            report.upstream_fetches,
+            report.protocol_errors,
+            report.shard_failures,
+            report.deadline_closes
+        ),
+    )
+}
+
+/// `fsdl shard`: serves one shard store (label-fetch frames only).
+fn cmd_shard<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    let dir = std::path::PathBuf::from(args.positional(0, "shard-dir")?);
+    let endpoint = parse_listen(args.required("listen")?)?;
+    let workers: usize = args.parse_option("workers", 0usize)?;
+    let mode = open_mode_from(args)?;
+    let store = ShardStore::open_with(&dir, mode)
+        .map_err(|e| ArgError(format!("cannot open shard store at {}: {e}", dir.display())))?;
+    let identity = format!(
+        "shard {}/{} ({} of {} labels, generation {})",
+        store.shard(),
+        store.num_shards(),
+        store.num_labels(),
+        store.total_vertices(),
+        store.generation()
+    );
+    let server = Server::bind(
+        &endpoint,
+        ServeEngine::from_shard(store),
+        ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| ArgError(format!("cannot bind {endpoint}: {e}")))?;
+    let bound = server
+        .local_endpoint()
+        .map_err(|e| ArgError(format!("cannot resolve bound endpoint: {e}")))?;
+    write_out(out, &format!("serving {bound} ({identity})\n"))?;
+    out.flush()
+        .map_err(|e| ArgError(format!("write failed: {e}")))?;
+    let report = server.run();
+    write_out(
+        out,
+        &format!(
+            "shard drained: {} connections, {} label fetches, {} protocol errors\n",
+            report.connections, report.label_fetches, report.protocol_errors
+        ),
+    )
+}
+
+/// Parses the router's `--shards` value: comma-separated listen specs in
+/// shard order.
+fn parse_shard_endpoints(raw: &str) -> Result<Vec<Endpoint>, ArgError> {
+    let endpoints: Result<Vec<Endpoint>, ArgError> = raw
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(parse_listen)
+        .collect();
+    let endpoints = endpoints?;
+    if endpoints.is_empty() {
+        return Err(ArgError(
+            "--shards needs at least one endpoint (comma-separated, in shard order)".into(),
+        ));
+    }
+    Ok(endpoints)
+}
+
+/// `fsdl router`: fronts an already-running shard fleet.
+fn cmd_router<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    let endpoint = parse_listen(args.required("listen")?)?;
+    let plan_path = std::path::PathBuf::from(args.required("plan")?);
+    let shard_endpoints = parse_shard_endpoints(args.required("shards")?)?;
+    let workers: usize = args.parse_option("workers", 0usize)?;
+    let frame_deadline_ms: u64 = args.parse_option("frame-deadline-ms", 10_000u64)?;
+    if frame_deadline_ms == 0 {
+        return Err(ArgError(
+            "--frame-deadline-ms must be positive (it is the slow-loris cutoff)".into(),
+        ));
+    }
+    let plan = PartitionPlan::load(&plan_path)
+        .map_err(|e| ArgError(format!("cannot load plan {}: {e}", plan_path.display())))?;
+    let router = Router::bind(
+        &endpoint,
+        shard_endpoints,
+        plan,
+        RouterConfig {
+            workers,
+            frame_deadline: std::time::Duration::from_millis(frame_deadline_ms),
+            ..RouterConfig::default()
+        },
+    )
+    .map_err(|e| ArgError(format!("cannot bind router at {endpoint}: {e}")))?;
+    let bound = router
+        .local_endpoint()
+        .map_err(|e| ArgError(format!("cannot resolve bound endpoint: {e}")))?;
+    write_out(out, &format!("routing {bound}; stop with a shutdown frame\n"))?;
+    out.flush()
+        .map_err(|e| ArgError(format!("write failed: {e}")))?;
+    let report = router.run();
+    write_out(
+        out,
+        &format!(
+            "router drained: {} connections, {} queries ({} batched), \
+             {} upstream fetches, {} protocol errors, {} shard failures, \
+             {} deadline closes\n",
+            report.connections,
+            report.queries,
+            report.batch_queries,
+            report.upstream_fetches,
+            report.protocol_errors,
+            report.shard_failures,
             report.deadline_closes
         ),
     )
@@ -1613,5 +1850,101 @@ mod tests {
         assert!(out.contains("0 protocol errors"), "{out}");
         assert!(out.contains("0 deadline closes"), "{out}");
         assert!(!sock.exists(), "socket removed after drain");
+    }
+
+    #[test]
+    fn router_rejects_malformed_arguments() {
+        let err = run_args(&["router", "--plan", "/nope", "--shards", "unix:/tmp/a.sock"])
+            .expect_err("missing --listen");
+        assert!(err.to_string().contains("--listen"), "{err}");
+        let err = run_args(&[
+            "router",
+            "--listen",
+            "unix:/tmp/r.sock",
+            "--plan",
+            "/nope",
+            "--shards",
+            "",
+        ])
+        .expect_err("empty shard list");
+        assert!(err.to_string().contains("at least one endpoint"), "{err}");
+        let err = run_args(&[
+            "router",
+            "--listen",
+            "unix:/tmp/r.sock",
+            "--plan",
+            "/definitely/not/a/plan",
+            "--shards",
+            "unix:/tmp/a.sock",
+        ])
+        .expect_err("unreadable plan");
+        assert!(err.to_string().contains("cannot load plan"), "{err}");
+    }
+
+    #[test]
+    fn serve_rejects_shards_with_dynamic() {
+        let path = temp_graph();
+        let err = run_args(&[
+            "serve",
+            path.path(),
+            "--listen",
+            "unix:/tmp/x.sock",
+            "--shards",
+            "2",
+            "--dynamic",
+            "yes",
+            "--store",
+            "/tmp/nope",
+        ])
+        .expect_err("--shards with --dynamic must be rejected");
+        assert!(err.to_string().contains("--dynamic"), "{err}");
+    }
+
+    /// The whole simulated multi-shard plane, end to end: `serve
+    /// --shards 2` partitions and persists the labels, spawns the shard
+    /// fleet, and routes queries bit-identically to the local oracle.
+    #[test]
+    fn serve_sharded_answers_bit_identically() {
+        let g = generators::grid2d(5, 4);
+        let graph = TempGraph::new(&g);
+        let sock = std::env::temp_dir().join(format!(
+            "fsdl-cli-shard-serve-{}.sock",
+            std::process::id()
+        ));
+        let listen = format!("unix:{}", sock.display());
+        let gpath = graph.path().to_string();
+        let server = std::thread::spawn(move || {
+            run_args(&[
+                "serve", &gpath, "--listen", &listen, "--shards", "2", "--eps", "0.5",
+            ])
+        });
+        let endpoint = Endpoint::Unix(sock.clone());
+        let mut client =
+            fsdl_server::Client::connect_with_retry(&endpoint, std::time::Duration::from_secs(10))
+                .expect("connect");
+        let oracle = ForbiddenSetOracle::new(&g, 0.5);
+        let mut scratch = fsdl_labels::DecodeScratch::new();
+        for (s, t, forbid) in [(0u32, 19u32, vec![]), (0, 19, vec![9u32]), (3, 16, vec![8])] {
+            let faults = FaultSet::from_vertices(forbid.iter().copied().map(NodeId::new));
+            let expected =
+                oracle.query_with(NodeId::new(s), NodeId::new(t), &faults, &mut scratch);
+            let wire = fsdl_server::WireFaults {
+                vertices: forbid.clone(),
+                edges: vec![],
+            };
+            let reply = client.query(s, t, wire).expect("routed query");
+            assert_eq!(reply.distance, expected.distance.raw(), "distance {s}->{t}");
+            assert_eq!(
+                reply.path,
+                expected.path.iter().map(|v| v.raw()).collect::<Vec<_>>(),
+                "path {s}->{t}"
+            );
+        }
+        client.shutdown().expect("shutdown");
+        let out = server.join().expect("serve thread").expect("serve run");
+        assert!(out.contains("router over 2 shards"), "{out}");
+        assert!(out.contains("3 queries"), "{out}");
+        assert!(out.contains("0 protocol errors"), "{out}");
+        assert!(out.contains("0 shard failures"), "{out}");
     }
 }

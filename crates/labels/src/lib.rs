@@ -66,6 +66,7 @@ pub mod groupvarint;
 mod label;
 mod oracle;
 mod params;
+pub mod partition;
 pub mod store;
 mod trace;
 pub mod wal;
@@ -81,6 +82,9 @@ pub use failure_free::{query_failure_free, FailureFreeLabel, FailureFreeLabeling
 pub use label::{Label, LabelInvalid, LabelPoint, LabelStats, LevelLabel, RealEdge, VirtualEdge};
 pub use oracle::{ForbiddenSetOracle, LabelPlaneStats, OracleError};
 pub use params::SchemeParams;
+pub use partition::{
+    write_shard_stores, PartitionError, PartitionPlan, PartitionStrategy, ShardReport, ShardStore,
+};
 pub use store::{OpenMode, StoreError, StoreReport};
 pub use trace::{trace_query, trace_query_with, QueryTrace, TraceHop};
 pub use wal::{ReplayReport, WalError, WalRecord};

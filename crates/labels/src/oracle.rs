@@ -310,6 +310,27 @@ impl ForbiddenSetOracle {
         )
     }
 
+    /// Materializes and encodes the label of one vertex through the
+    /// fallible codec path — the canonical wire form a shard store
+    /// persists and a label-fetch reply carries. Deterministic: the same
+    /// oracle always yields the same bytes for `v`.
+    ///
+    /// # Errors
+    ///
+    /// Relays the codec's typed failure (never expected for in-range
+    /// vertices of a well-formed labeling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range (as [`ForbiddenSetOracle::query`]
+    /// does; range-check first when serving untrusted ids).
+    pub fn encoded_label(&self, v: NodeId) -> Result<(Vec<u8>, usize), StoreError> {
+        let n = self.slots.len();
+        let label = self.label(v);
+        let w = crate::codec::try_encode(&label, n)?;
+        Ok((w.as_bytes().to_vec(), w.len_bits()))
+    }
+
     /// Materializes (in parallel) and encodes every label, in vertex
     /// order, through the fallible codec path.
     pub(crate) fn encoded_labels(&self) -> Result<Vec<(Vec<u8>, usize)>, StoreError> {

@@ -246,7 +246,7 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 
 /// 32-bit fold of [`fnv1a64`], used for the whole-file segment checksum
 /// and the manifest checksum line.
-fn fnv32(bytes: &[u8]) -> u32 {
+pub(crate) fn fnv32(bytes: &[u8]) -> u32 {
     let h = fnv1a64(bytes);
     (h ^ (h >> 32)) as u32
 }
@@ -465,7 +465,7 @@ pub fn read_manifest(dir: &Path) -> Result<Manifest, StoreError> {
 /// Durably writes `bytes` to `dir/name` via temp file + `fsync` + atomic
 /// rename (+ directory `fsync`), so readers observe either the old file
 /// or the complete new one — never a torn write.
-fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+pub(crate) fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
     let tmp = dir.join(format!("{TMP_PREFIX}{name}"));
     let dst = dir.join(name);
     let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, &e))?;
@@ -882,6 +882,30 @@ impl Segment {
         };
         let bytes = &self.payload()[off..off + bit_len.div_ceil(8)];
         codec::decode_with(bytes, bit_len, self.n, scratch)
+    }
+
+    /// The raw encoded payload bytes and bit length of the `k`-th label,
+    /// or `None` when `k` is out of range. This is the sharded label
+    /// plane's serving primitive: a shard ships these bytes verbatim over
+    /// the wire and the router decodes them against the *global* vertex-id
+    /// space (a shard segment's own label count is its shard size, not the
+    /// graph's `n`, so [`Segment::decode_label`] would use the wrong id
+    /// width there).
+    pub fn encoded_label(&self, k: usize) -> Option<(&[u8], usize)> {
+        let &(off, bit_len) = self.index.get(k)?;
+        Some((&self.payload()[off..off + bit_len.div_ceil(8)], bit_len))
+    }
+
+    /// The `ε` recorded in the header (pre-validated positive finite at
+    /// open).
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The `c` parameter recorded in the header (pre-validated in
+    /// `2..=64` at open).
+    pub fn c(&self) -> u32 {
+        self.c
     }
 
     /// The file this segment was read from.

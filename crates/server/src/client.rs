@@ -13,8 +13,8 @@ use std::os::unix::net::UnixStream;
 use std::time::Duration;
 
 use crate::protocol::{
-    self, BatchItem, ErrorReply, FrameError, FrameRead, QueryReply, Request, Response, RouteReply,
-    StatsReply, UpdateOp, WireError, WireFaults,
+    self, BatchItem, ErrorReply, FrameError, FrameRead, LabelFetchReply, QueryReply, Request,
+    Response, RouteReply, StatsReply, UpdateOp, WireError, WireFaults,
 };
 use crate::server::Endpoint;
 
@@ -157,9 +157,17 @@ impl Client {
     /// is returned as `Ok(Response::Error(..))` here — the typed helpers
     /// convert it to [`ClientError::Server`].
     pub fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.roundtrip_with(request, protocol::MAX_FRAME)
+    }
+
+    /// `roundtrip` with an explicit reply-frame ceiling: label-plane
+    /// replies legitimately exceed [`protocol::MAX_FRAME`] (labels are
+    /// poly(1/eps, log n) bytes each), so `label_fetch` reads under the
+    /// larger [`protocol::MAX_LABEL_FRAME`] cap.
+    fn roundtrip_with(&mut self, request: &Request, max_frame: u32) -> Result<Response, ClientError> {
         protocol::send_request(&mut self.stream, request, &mut self.encode_buf)
             .map_err(ClientError::from)?;
-        match protocol::read_frame(&mut self.stream, protocol::MAX_FRAME, &mut self.frame_buf)? {
+        match protocol::read_frame(&mut self.stream, max_frame, &mut self.frame_buf)? {
             FrameRead::Eof => Err(ClientError::Closed),
             FrameRead::Frame => Ok(Response::decode(&self.frame_buf)?),
         }
@@ -238,6 +246,65 @@ impl Client {
             Response::Stats(s) => Ok(s),
             other => Err(other.kind_name()),
         })
+    }
+
+    /// Raw encoded labels by global vertex id (shard servers only). An
+    /// empty id list is the handshake form: the reply still carries the
+    /// shard's generation and decode parameters.
+    ///
+    /// Servers answer with the longest request prefix under their byte
+    /// budget (see [`protocol::LabelFetchReply`]); this helper
+    /// transparently re-requests the tail and returns the fully
+    /// assembled reply, erroring if the store's identity (generation or
+    /// decode parameters) changes between chunks.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn label_fetch(&mut self, vertices: Vec<u32>) -> Result<LabelFetchReply, ClientError> {
+        let mut remaining = vertices;
+        let mut assembled: Option<LabelFetchReply> = None;
+        loop {
+            let request = Request::LabelFetch {
+                vertices: remaining.clone(),
+            };
+            let reply = match self.roundtrip_with(&request, protocol::MAX_LABEL_FRAME)? {
+                Response::Error(e) => return Err(ClientError::Server(e)),
+                Response::LabelFetch(reply) => reply,
+                other => return Err(ClientError::Unexpected(other.kind_name())),
+            };
+            let served = reply.labels.len();
+            let is_prefix = served <= remaining.len()
+                && reply
+                    .labels
+                    .iter()
+                    .zip(&remaining)
+                    .all(|(lb, &v)| lb.vertex == v);
+            if !is_prefix || (served == 0 && !remaining.is_empty()) {
+                return Err(ClientError::Unexpected(
+                    "label-fetch reply was not a prefix of the request",
+                ));
+            }
+            match assembled.as_mut() {
+                None => assembled = Some(reply),
+                Some(acc) => {
+                    let same_identity = reply.generation == acc.generation
+                        && reply.epsilon_bits == acc.epsilon_bits
+                        && reply.c == acc.c
+                        && reply.vertices == acc.vertices;
+                    if !same_identity {
+                        return Err(ClientError::Unexpected(
+                            "label plane changed identity between fetch chunks",
+                        ));
+                    }
+                    acc.labels.extend(reply.labels);
+                }
+            }
+            remaining.drain(..served);
+            if remaining.is_empty() {
+                return Ok(assembled.take().expect("assembled reply"));
+            }
+        }
     }
 
     /// Asks the server to drain and exit; returns once acknowledged.

@@ -57,11 +57,14 @@
 
 pub mod client;
 pub mod protocol;
+pub mod router;
 pub mod server;
 
 pub use client::{Client, ClientError};
 pub use protocol::{
-    BatchItem, ErrorCode, ErrorReply, FrameAssembler, FrameStep, QueryReply, Request, Response,
-    RouteReply, StatsReply, UpdateOp, WireError, WireFaults, WriteBuffer, MAX_BATCH, MAX_FRAME,
+    BatchItem, ErrorCode, ErrorReply, FrameAssembler, FrameStep, LabelBytes, LabelFetchReply,
+    QueryReply, Request, Response, RouteReply, StatsReply, UpdateOp, WireError, WireFaults,
+    WriteBuffer, MAX_BATCH, MAX_FRAME, MAX_LABEL_FETCH,
 };
+pub use router::{Router, RouterConfig, RouterError, RouterReport};
 pub use server::{Endpoint, ServeEngine, ServeReport, Server, ServerConfig, ShutdownHandle};

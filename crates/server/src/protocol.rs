@@ -18,6 +18,32 @@
 //! or returns a [`WireError`]; it never panics and never reads past the
 //! frame (`decode` rejects trailing bytes, so a bit flip in a length
 //! field cannot silently desynchronize a connection).
+//!
+//! ## Saturation sentinel
+//!
+//! Several reply fields narrow in-memory `usize`/`u64` counters to `u32`
+//! on the wire (`sketch_vertices`, `sketch_edges`, `hops`, `header_bits`,
+//! `active_faults`). A value that does not fit is sent as **`u32::MAX`**,
+//! the saturation sentinel — a reader seeing `u32::MAX` in one of these
+//! fields must treat it as "at least 2³²−1", never as an exact count.
+//! (For `QueryReply::distance` the same bit pattern is the infinity
+//! sentinel, which is consistent: an unrepresentably large distance *is*
+//! effectively infinite.) Values below the sentinel are always exact.
+//!
+//! ## Label fetch
+//!
+//! The `label-fetch` op (0x07) is the shard-serving primitive: the router
+//! asks a shard for the **raw encoded label bytes** of a set of global
+//! vertex ids, and decodes them itself against the global id width. The
+//! reply carries the shard's store generation plus the decode parameters
+//! `(epsilon_bits, c, n)` so a router can validate shard agreement and
+//! reconstruct `SchemeParams` without filesystem access:
+//!
+//! ```text
+//! request  := 0x07 count:u32 vertex:u32 ...
+//! reply    := 0x00 0x07 generation:u64 epsilon_bits:u64 c:u32 n:u64
+//!             count:u32 (vertex:u32 bit_len:u32 bytes[ceil(bit_len/8)]) ...
+//! ```
 
 use std::io::{Read, Write};
 
@@ -37,6 +63,31 @@ pub const MAX_BATCH: u32 = 4096;
 /// make the decoder loop for gigabytes.
 pub const MAX_WIRE_FAULTS: u16 = u16::MAX;
 
+/// Ceiling on vertex ids in one label-fetch frame. A scatter-gather
+/// round fetches at most `2 + 2·|F|` labels per query, so this bounds a
+/// router's per-shard coalescing, not a client-visible limit.
+pub const MAX_LABEL_FETCH: u32 = 4096;
+
+/// Frame ceiling for *label-plane replies* (label-fetch responses read
+/// by routers and blocking clients). Encoded labels are `poly(1/eps,
+/// log n)` bytes and legitimately reach hundreds of kilobytes each on
+/// dense parameter settings, so a multi-label reply cannot live under
+/// [`MAX_FRAME`]; id counts bound nothing when the per-id payload is
+/// unbounded. Requests and all non-label replies stay under
+/// [`MAX_FRAME`] — this larger cap applies only where the reader
+/// expects label bytes, and still bounds what a corrupt length field
+/// can make a reader allocate.
+pub const MAX_LABEL_FRAME: u32 = 1 << 26;
+
+/// Soft byte budget on the encoded label bytes packed into one
+/// label-fetch reply. Servers answer with the longest *prefix* of the
+/// requested ids whose labels fit the budget — always at least one, so
+/// a fetch makes progress even when a single label exceeds the budget
+/// (one label must still fit [`MAX_LABEL_FRAME`], which is ~64x this).
+/// Readers that receive a short reply re-request the tail; see
+/// [`LabelFetchReply`].
+pub const LABEL_FETCH_BYTE_BUDGET: usize = 1 << 20;
+
 /// Request opcodes (first payload byte).
 mod op {
     pub const QUERY: u8 = 0x01;
@@ -45,6 +96,7 @@ mod op {
     pub const UPDATE: u8 = 0x04;
     pub const STATS: u8 = 0x05;
     pub const SHUTDOWN: u8 = 0x06;
+    pub const LABEL_FETCH: u8 = 0x07;
 }
 
 /// Reply status bytes.
@@ -79,6 +131,10 @@ pub enum ErrorCode {
     /// server's frame-completion deadline (slow-loris protection); the
     /// server sends this and closes the connection.
     DeadlineExceeded = 8,
+    /// A backend this request depends on is down (a router answering for
+    /// an unreachable shard). The request may succeed on retry once the
+    /// backend returns; the client connection stays open.
+    Unavailable = 9,
 }
 
 impl ErrorCode {
@@ -92,6 +148,7 @@ impl ErrorCode {
             6 => ErrorCode::UpdateRejected,
             7 => ErrorCode::Internal,
             8 => ErrorCode::DeadlineExceeded,
+            9 => ErrorCode::Unavailable,
             _ => return None,
         })
     }
@@ -108,6 +165,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::UpdateRejected => "update-rejected",
             ErrorCode::Internal => "internal",
             ErrorCode::DeadlineExceeded => "deadline-exceeded",
+            ErrorCode::Unavailable => "unavailable",
         };
         f.write_str(name)
     }
@@ -257,6 +315,13 @@ pub enum Request {
     Stats,
     /// Graceful shutdown: drain in-flight requests, flush, exit.
     Shutdown,
+    /// Raw encoded labels by global vertex id (shard mode; the router's
+    /// scatter-gather primitive). An empty id list is a valid handshake:
+    /// the reply still carries generation and decode parameters.
+    LabelFetch {
+        /// Global vertex ids to fetch, at most [`MAX_LABEL_FETCH`].
+        vertices: Vec<u32>,
+    },
 }
 
 /// The reply to a [`Request::Query`].
@@ -336,6 +401,46 @@ pub struct StatsReply {
     /// Connections closed for stalling mid-frame past the server's
     /// frame-completion deadline (slow-loris protection).
     pub deadline_closes: u64,
+    /// Label-fetch requests answered (shard mode; 0 elsewhere).
+    pub label_fetches: u64,
+}
+
+/// One raw encoded label in a label-fetch reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LabelBytes {
+    /// The global vertex id this label belongs to.
+    pub vertex: u32,
+    /// Payload length in bits (the codec needs the exact bit count; the
+    /// byte count on the wire is `bit_len.div_ceil(8)`).
+    pub bit_len: u32,
+    /// The encoded label, exactly as the store persists it.
+    pub bytes: Vec<u8>,
+}
+
+/// The reply to a [`Request::LabelFetch`]: raw labels plus everything a
+/// router needs to decode them and detect shard disagreement.
+///
+/// The reply may be **short**: servers pack labels under
+/// [`LABEL_FETCH_BYTE_BUDGET`] and answer with the longest prefix of
+/// the requested ids that fits (never fewer than one for a non-empty
+/// request). `labels` is always a prefix of the request, in request
+/// order; a reader seeing `labels.len()` below its request length must
+/// re-request the remaining suffix. A reply that is not a prefix —
+/// wrong ids, wrong order, or more labels than asked — is a protocol
+/// desynchronization.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LabelFetchReply {
+    /// The store generation these bytes were served from.
+    pub generation: u64,
+    /// `f64::to_bits` of the scheme's epsilon (bit-exact on the wire).
+    pub epsilon_bits: u64,
+    /// The scheme's `c` parameter.
+    pub c: u32,
+    /// The *global* vertex count — the id width labels decode against,
+    /// not this shard's label count.
+    pub vertices: u64,
+    /// The fetched labels, in request order.
+    pub labels: Vec<LabelBytes>,
 }
 
 /// An error reply: the typed code plus a human-readable message.
@@ -366,6 +471,8 @@ pub enum Response {
     /// Acknowledgement of [`Request::Shutdown`] (sent before the server
     /// begins draining).
     Shutdown,
+    /// Answer to [`Request::LabelFetch`].
+    LabelFetch(LabelFetchReply),
     /// A typed error.
     Error(ErrorReply),
 }
@@ -453,6 +560,10 @@ impl Request {
             }
             Request::Stats => buf.push(op::STATS),
             Request::Shutdown => buf.push(op::SHUTDOWN),
+            Request::LabelFetch { vertices } => {
+                buf.push(op::LABEL_FETCH);
+                put_ids(buf, vertices);
+            }
         }
     }
 
@@ -510,6 +621,17 @@ impl Request {
             }
             op::STATS => Request::Stats,
             op::SHUTDOWN => Request::Shutdown,
+            op::LABEL_FETCH => {
+                let vertices = r.ids("label_fetch.vertices")?;
+                if vertices.len() > MAX_LABEL_FETCH as usize {
+                    return Err(WireError::TooMany {
+                        what: "label-fetch vertices",
+                        count: vertices.len() as u64,
+                        max: u64::from(MAX_LABEL_FETCH),
+                    });
+                }
+                Request::LabelFetch { vertices }
+            }
             other => return Err(WireError::UnknownOpcode(other)),
         };
         r.finish()?;
@@ -528,6 +650,7 @@ impl Response {
             Response::Update { .. } => "update",
             Response::Stats(_) => "stats",
             Response::Shutdown => "shutdown",
+            Response::LabelFetch(_) => "label-fetch",
             Response::Error(_) => "error",
         }
     }
@@ -591,10 +714,30 @@ impl Response {
                 put_u64(buf, s.updates);
                 put_u64(buf, s.protocol_errors);
                 put_u64(buf, s.deadline_closes);
+                put_u64(buf, s.label_fetches);
             }
             Response::Shutdown => {
                 buf.push(status::OK);
                 buf.push(op::SHUTDOWN);
+            }
+            Response::LabelFetch(reply) => {
+                buf.push(status::OK);
+                buf.push(op::LABEL_FETCH);
+                put_u64(buf, reply.generation);
+                put_u64(buf, reply.epsilon_bits);
+                put_u32(buf, reply.c);
+                put_u64(buf, reply.vertices);
+                put_u32(buf, reply.labels.len() as u32);
+                for label in &reply.labels {
+                    debug_assert_eq!(
+                        label.bytes.len(),
+                        (label.bit_len as usize).div_ceil(8),
+                        "label byte count must match its bit length"
+                    );
+                    put_u32(buf, label.vertex);
+                    put_u32(buf, label.bit_len);
+                    buf.extend_from_slice(&label.bytes);
+                }
             }
             Response::Error(e) => {
                 buf.push(status::ERR);
@@ -672,8 +815,46 @@ impl Response {
                         updates: r.u64("reply.stats.updates")?,
                         protocol_errors: r.u64("reply.stats.protocol_errors")?,
                         deadline_closes: r.u64("reply.stats.deadline_closes")?,
+                        label_fetches: r.u64("reply.stats.label_fetches")?,
                     }),
                     op::SHUTDOWN => Response::Shutdown,
+                    op::LABEL_FETCH => {
+                        let generation = r.u64("reply.fetch.generation")?;
+                        let epsilon_bits = r.u64("reply.fetch.epsilon_bits")?;
+                        let c = r.u32("reply.fetch.c")?;
+                        let vertices = r.u64("reply.fetch.vertices")?;
+                        let count = r.u32("reply.fetch.count")?;
+                        if count > MAX_LABEL_FETCH {
+                            return Err(WireError::TooMany {
+                                what: "label-fetch labels",
+                                count: u64::from(count),
+                                max: u64::from(MAX_LABEL_FETCH),
+                            });
+                        }
+                        let mut labels = Vec::with_capacity(count as usize);
+                        for _ in 0..count {
+                            let vertex = r.u32("reply.fetch.vertex")?;
+                            let bit_len = r.u32("reply.fetch.bit_len")?;
+                            // take() bounds the byte count against the
+                            // frame, so a corrupt bit_len is Truncated,
+                            // not an allocation.
+                            let bytes = r
+                                .take((bit_len as usize).div_ceil(8), "reply.fetch.bytes")?
+                                .to_vec();
+                            labels.push(LabelBytes {
+                                vertex,
+                                bit_len,
+                                bytes,
+                            });
+                        }
+                        Response::LabelFetch(LabelFetchReply {
+                            generation,
+                            epsilon_bits,
+                            c,
+                            vertices,
+                            labels,
+                        })
+                    }
                     other => return Err(WireError::UnknownOpcode(other)),
                 }
             }
@@ -1143,9 +1324,13 @@ mod tests {
         });
         roundtrip_request(&Request::Update(UpdateOp::DeleteEdge(3, 900)));
         roundtrip_request(&Request::Update(UpdateOp::RestoreVertex(17)));
+        roundtrip_request(&Request::LabelFetch { vertices: vec![] });
+        roundtrip_request(&Request::LabelFetch {
+            vertices: vec![0, 7, u32::MAX],
+        });
         fsdl_testkit::check("request_roundtrip", 200, |rng| {
             let faults = sample_faults(rng);
-            let req = match rng.gen_range(0..4u32) {
+            let req = match rng.gen_range(0..5u32) {
                 0 => Request::Query {
                     s: rng.gen_range(0..500u32),
                     t: rng.gen_range(0..500u32),
@@ -1170,12 +1355,18 @@ mod tests {
                     t: rng.gen_range(0..500u32),
                     faults,
                 },
-                _ => Request::Update(match rng.gen_range(0..4u32) {
+                3 => Request::Update(match rng.gen_range(0..4u32) {
                     0 => UpdateOp::DeleteVertex(rng.gen_range(0..500u32)),
                     1 => UpdateOp::DeleteEdge(rng.gen_range(0..500u32), rng.gen_range(0..500u32)),
                     2 => UpdateOp::RestoreVertex(rng.gen_range(0..500u32)),
                     _ => UpdateOp::RestoreEdge(rng.gen_range(0..500u32), rng.gen_range(0..500u32)),
                 }),
+                _ => {
+                    let k = rng.gen_range(0..8usize);
+                    Request::LabelFetch {
+                        vertices: (0..k).map(|_| rng.gen_range(0..500u32)).collect(),
+                    }
+                }
             };
             roundtrip_request(&req);
         });
@@ -1222,6 +1413,25 @@ mod tests {
             updates: 12,
             protocol_errors: 2,
             deadline_closes: 1,
+            label_fetches: 5,
+        }));
+        roundtrip_response(&Response::LabelFetch(LabelFetchReply {
+            generation: 12,
+            epsilon_bits: 0.5f64.to_bits(),
+            c: 24,
+            vertices: 4096,
+            labels: vec![
+                LabelBytes {
+                    vertex: 7,
+                    bit_len: 19,
+                    bytes: vec![0xAB, 0xCD, 0x05],
+                },
+                LabelBytes {
+                    vertex: 4095,
+                    bit_len: 0,
+                    bytes: vec![],
+                },
+            ],
         }));
         roundtrip_response(&Response::Error(ErrorReply {
             code: ErrorCode::UnsupportedInMode,

@@ -1,0 +1,1653 @@
+//! Scatter-gather query router for sharded label stores.
+//!
+//! The paper's labels are *self-contained*: `δ(s, t, F)` needs only the
+//! labels of `s`, `t`, and the faulted elements — at most `2 + |F|`
+//! labels wherever they live. That makes horizontal sharding trivially
+//! sound: split the vertex set across shard servers (see
+//! [`fsdl_labels::partition`]), and a query touches at most `2 + |F|`
+//! shards. The router is the piece that reassembles the illusion of a
+//! single oracle:
+//!
+//! 1. **Accept** client `query` / `batch` frames on the same
+//!    readiness-driven reactor loop the single-process server uses —
+//!    one [`fsdl_reactor::Poller`] owns the listener, every client
+//!    socket, *and* every upstream shard socket.
+//! 2. **Scatter**: map each needed vertex id to its shard through the
+//!    [`PartitionPlan`], and send `label-fetch` frames over pooled
+//!    nonblocking upstream connections (chunked at
+//!    [`MAX_LABEL_FETCH`] ids per frame).
+//! 3. **Gather**: per-request join state counts outstanding chunks;
+//!    each upstream connection answers in FIFO order (the protocol is
+//!    strictly request/reply per connection), so replies are matched to
+//!    requests without ids on the wire.
+//! 4. **Decode + answer locally**: a worker pool decodes the gathered
+//!    raw labels with the per-worker [`DecodeScratch`] fast path and
+//!    runs [`fsdl_labels::query_with_scratch`] — the *same* entry point
+//!    the single-process server uses — so answers are bit-identical:
+//!    same distances, same sketch sizes, same witness paths.
+//!
+//! ## Token namespace
+//!
+//! The server's connection tokens are `(generation << 32) | slot`. The
+//! router shares one poller between client and upstream sockets, so it
+//! partitions the token space on bit 63: client tokens keep bit 63
+//! clear (the generation is masked to 31 bits), upstream tokens are
+//! `UPSTREAM_BIT | index` with a small fixed index. The reserved
+//! listener/wake tokens live at the top of the upstream half, far above
+//! any real upstream index.
+//!
+//! ## Failure semantics
+//!
+//! - A shard connection that errors or closes fails every request
+//!   waiting on it with [`ErrorCode::Unavailable`]; the router then
+//!   redials on a throttle, so a restarted shard heals without a router
+//!   restart.
+//! - A shard whose store generation changes mid-flight (it was
+//!   restarted onto a new build) also answers `Unavailable` — mixing
+//!   labels from different generations could silently combine two
+//!   different labelings, so the router refuses rather than guesses.
+//! - Validation the router cannot do (fault-*edge* membership in the
+//!   graph — the router holds no graph) is the one divergence from the
+//!   single-process server, which rejects such queries with
+//!   `BadRequest`. The router computes the (sound) answer with the
+//!   phantom edge simply ignored by decode. Endpoint and fault-vertex
+//!   range checks behave identically.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::Read;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::fs::FileTypeExt;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use fsdl_graph::NodeId;
+use fsdl_labels::codec::{self, VarintScratch};
+use fsdl_labels::partition::PartitionPlan;
+use fsdl_labels::{query_with_scratch, DecodeScratch, Label, QueryLabels, SchemeParams};
+use fsdl_reactor::{Interest, Poller};
+
+use crate::client::{Client, ClientError};
+use crate::protocol::{
+    self, BatchItem, ErrorCode, ErrorReply, FrameError, FrameStep, QueryReply, Request, Response,
+    StatsReply, WireFaults, MAX_FRAME, MAX_LABEL_FETCH, MAX_LABEL_FRAME,
+};
+use crate::server::{BoundListener, Conn, Endpoint, ShutdownHandle, LISTENER_TOKEN, WAKE_TOKEN};
+
+/// Upstream tokens set bit 63; client tokens never do (their generation
+/// is masked to 31 bits), so one poller can route both kinds.
+const UPSTREAM_BIT: u64 = 1 << 63;
+
+/// Composes the next client-connection token: a 31-bit generation in
+/// bits 32..63 (bit 63 stays clear — that half of the token space
+/// belongs to upstream sockets) over the slot index. The server-side
+/// `next_token` loop that dodges the reserved tokens is unnecessary
+/// here: [`LISTENER_TOKEN`] and [`WAKE_TOKEN`] both have bit 63 set, so
+/// no client token can collide with them by construction.
+fn client_token(next_generation: &mut u32, slot: usize) -> u64 {
+    *next_generation = next_generation.wrapping_add(1);
+    (u64::from(*next_generation & 0x7FFF_FFFF) << 32) | slot as u64
+}
+
+/// Router tunables.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Decode/compute worker threads (0 = auto, as in
+    /// [`crate::ServerConfig`]).
+    pub workers: usize,
+    /// Frame payload ceiling in bytes (client and upstream sides).
+    pub max_frame: u32,
+    /// Upper bound on how long the event loop sleeps when idle.
+    pub poll_interval: Duration,
+    /// Slow-loris deadline for client connections holding a partial
+    /// frame, and the shutdown drain grace period.
+    pub frame_deadline: Duration,
+    /// Upstream connections opened per shard (round-robined; min 1).
+    pub pool_per_shard: usize,
+    /// How long [`Router::bind`] waits for each shard to accept the
+    /// handshake `label-fetch` before giving up.
+    pub handshake_budget: Duration,
+    /// Minimum pause between redial attempts to a dead shard.
+    pub redial_interval: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            workers: 0,
+            max_frame: MAX_FRAME,
+            poll_interval: Duration::from_millis(25),
+            frame_deadline: Duration::from_secs(10),
+            pool_per_shard: 2,
+            handshake_budget: Duration::from_secs(10),
+            redial_interval: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Errors [`Router::bind`] can produce.
+#[derive(Debug)]
+pub enum RouterError {
+    /// Listener or reactor setup failed.
+    Io(std::io::Error),
+    /// A shard rejected or failed the handshake `label-fetch`.
+    Handshake {
+        /// The shard index that failed.
+        shard: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The partition plan and the shard fleet disagree (count, vertex
+    /// space, or decode parameters).
+    Plan(String),
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterError::Io(e) => write!(f, "router setup failed: {e}"),
+            RouterError::Handshake { shard, message } => {
+                write!(f, "shard {shard} handshake failed: {message}")
+            }
+            RouterError::Plan(msg) => write!(f, "partition plan mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+impl From<std::io::Error> for RouterError {
+    fn from(e: std::io::Error) -> Self {
+        RouterError::Io(e)
+    }
+}
+
+/// Totals from one [`Router::run`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RouterReport {
+    /// Client connections accepted.
+    pub connections: u64,
+    /// Single queries answered successfully.
+    pub queries: u64,
+    /// Queries answered inside batch frames.
+    pub batch_queries: u64,
+    /// `label-fetch` frames sent upstream.
+    pub upstream_fetches: u64,
+    /// Typed error replies sent to clients.
+    pub protocol_errors: u64,
+    /// Upstream connection failures (dial, mid-flight error, generation
+    /// change) that surfaced as `Unavailable` or triggered a redial.
+    pub shard_failures: u64,
+    /// Client connections closed for stalling mid-frame.
+    pub deadline_closes: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    queries: AtomicU64,
+    batch_queries: AtomicU64,
+    upstream_fetches: AtomicU64,
+    protocol_errors: AtomicU64,
+    shard_failures: AtomicU64,
+    deadline_closes: AtomicU64,
+}
+
+/// What one shard fleet member looks like after the handshake.
+#[derive(Clone, Debug)]
+struct ShardIdentity {
+    generation: u64,
+    epsilon_bits: u64,
+    c: u32,
+    vertices: u64,
+}
+
+/// A parsed client request the router can answer (everything else is
+/// rejected before join state is created).
+enum PlannedRequest {
+    Query {
+        s: u32,
+        t: u32,
+        faults: WireFaults,
+    },
+    Batch(Vec<(u32, u32, WireFaults)>),
+}
+
+/// Join state for one in-flight scatter-gather.
+struct Pending {
+    client: u64,
+    request: PlannedRequest,
+    /// vertex id -> (encoded bytes, bit length), filled as chunks land.
+    labels: HashMap<u32, (Vec<u8>, u32)>,
+    /// Chunks still unanswered.
+    outstanding: usize,
+    /// First failure, if any; the reply once everything lands.
+    failed: Option<ErrorReply>,
+}
+
+/// One pooled upstream connection to a shard.
+struct Upstream {
+    shard: usize,
+    endpoint: Endpoint,
+    conn: Option<Conn>,
+    assembler: protocol::FrameAssembler,
+    write_buf: protocol::WriteBuffer,
+    /// In-flight chunks in send order — the pending-request id plus the
+    /// ids that chunk asked for; the protocol is strict request/reply
+    /// per connection, so the front entry owns the next reply frame.
+    /// The requested ids are kept because a reply may be a short prefix
+    /// (the shard packs to its byte budget) and the tail must be
+    /// re-requested.
+    fifo: VecDeque<(u64, Vec<u32>)>,
+    registered: Interest,
+    last_attempt: Instant,
+}
+
+impl Upstream {
+    fn desired_interest(&self) -> Interest {
+        Interest {
+            readable: true,
+            writable: !self.write_buf.is_empty(),
+        }
+    }
+}
+
+/// Per-client-connection state (mirror of the server's `Connection`).
+struct ClientConn {
+    stream: Conn,
+    assembler: protocol::FrameAssembler,
+    write_buf: protocol::WriteBuffer,
+    token: u64,
+    /// A scatter-gather (or local compute) owes this connection a
+    /// reply; readability is not watched meanwhile.
+    in_flight: bool,
+    peer_closed: bool,
+    close_after_flush: bool,
+    deadline: Option<Instant>,
+    registered: Interest,
+}
+
+impl ClientConn {
+    fn desired_interest(&self, draining: bool) -> Interest {
+        Interest {
+            readable: !self.in_flight && !self.close_after_flush && !self.peer_closed && !draining,
+            writable: !self.write_buf.is_empty(),
+        }
+    }
+}
+
+/// A gathered request on its way to a decode worker.
+struct ComputeJob {
+    token: u64,
+    request: PlannedRequest,
+    labels: HashMap<u32, (Vec<u8>, u32)>,
+}
+
+/// An encoded reply on its way back from a worker.
+struct Completion {
+    token: u64,
+    payload: Vec<u8>,
+}
+
+fn connect_upstream(endpoint: &Endpoint) -> std::io::Result<Conn> {
+    Ok(match endpoint {
+        Endpoint::Tcp(addr) => Conn::Tcp(TcpStream::connect(addr.as_str())?),
+        Endpoint::Unix(path) => Conn::Unix(UnixStream::connect(path)?),
+    })
+}
+
+/// A bound, not-yet-running router.
+pub struct Router {
+    listener: BoundListener,
+    plan: PartitionPlan,
+    params: Arc<SchemeParams>,
+    expected_generation: Vec<u64>,
+    config: RouterConfig,
+    shutdown: Arc<AtomicBool>,
+    poller: Poller,
+    wake_rx: UnixStream,
+    wake_tx: Arc<UnixStream>,
+    upstreams: Vec<Upstream>,
+}
+
+impl Router {
+    /// Binds the client listener, handshakes every shard (learning and
+    /// cross-checking generation, epsilon, `c`, and the global vertex
+    /// count), and opens the upstream connection pool.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::Plan`] when the fleet disagrees with the plan or
+    /// itself; [`RouterError::Handshake`] when a shard cannot be
+    /// reached; [`RouterError::Io`] for listener/reactor failures.
+    pub fn bind(
+        endpoint: &Endpoint,
+        shard_endpoints: Vec<Endpoint>,
+        plan: PartitionPlan,
+        config: RouterConfig,
+    ) -> Result<Router, RouterError> {
+        if shard_endpoints.len() != plan.num_shards() as usize {
+            return Err(RouterError::Plan(format!(
+                "plan names {} shards but {} endpoints were given",
+                plan.num_shards(),
+                shard_endpoints.len()
+            )));
+        }
+        let identity = Router::handshake_fleet(&shard_endpoints, &config)?;
+        let n = identity[0].vertices;
+        if n != plan.num_vertices() as u64 {
+            return Err(RouterError::Plan(format!(
+                "shards serve {} vertices but the plan covers {}",
+                n,
+                plan.num_vertices()
+            )));
+        }
+        let epsilon = f64::from_bits(identity[0].epsilon_bits);
+        if !epsilon.is_finite() || epsilon <= 0.0 || n == 0 {
+            return Err(RouterError::Plan(format!(
+                "shards report unusable decode parameters (epsilon={epsilon}, n={n})"
+            )));
+        }
+        let params = Arc::new(SchemeParams::with_c(epsilon, identity[0].c, n as usize));
+
+        let listener = match endpoint {
+            Endpoint::Tcp(addr) => {
+                let l = TcpListener::bind(addr.as_str())?;
+                l.set_nonblocking(true)?;
+                BoundListener::Tcp(l)
+            }
+            Endpoint::Unix(path) => {
+                if let Ok(meta) = std::fs::symlink_metadata(path) {
+                    if meta.file_type().is_socket() {
+                        std::fs::remove_file(path)?;
+                    }
+                }
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                BoundListener::Unix(l, path.clone())
+            }
+        };
+        let mut poller = Poller::new()?;
+        poller.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READABLE)?;
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+        poller.register(wake_rx.as_raw_fd(), WAKE_TOKEN, Interest::READABLE)?;
+
+        // The pool: `pool_per_shard` connections per shard, registered
+        // under fixed `UPSTREAM_BIT | index` tokens. Indexes are stable
+        // for the router's lifetime; redials reuse them.
+        let pool = config.pool_per_shard.max(1);
+        let mut upstreams = Vec::with_capacity(shard_endpoints.len() * pool);
+        for (shard, ep) in shard_endpoints.iter().enumerate() {
+            for _ in 0..pool {
+                let idx = upstreams.len();
+                let token = UPSTREAM_BIT | idx as u64;
+                let conn = match connect_upstream(ep) {
+                    Ok(c) => {
+                        c.set_nonblocking(true)?;
+                        poller.register(c.as_raw_fd(), token, Interest::READABLE)?;
+                        Some(c)
+                    }
+                    // The handshake just succeeded, so a dial failure
+                    // here is a race with a shard restart; the redial
+                    // loop will heal it.
+                    Err(_) => None,
+                };
+                upstreams.push(Upstream {
+                    shard,
+                    endpoint: ep.clone(),
+                    conn,
+                    assembler: protocol::FrameAssembler::new(),
+                    write_buf: protocol::WriteBuffer::new(),
+                    fifo: VecDeque::new(),
+                    registered: Interest::READABLE,
+                    last_attempt: Instant::now(),
+                });
+            }
+        }
+
+        Ok(Router {
+            listener,
+            plan,
+            params,
+            expected_generation: identity.iter().map(|i| i.generation).collect(),
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            poller,
+            wake_rx,
+            wake_tx: Arc::new(wake_tx),
+            upstreams,
+        })
+    }
+
+    /// Blocking handshake with each shard: an empty `label-fetch` is the
+    /// identity probe (generation + decode parameters, no labels). All
+    /// shards must agree on everything but the generation.
+    fn handshake_fleet(
+        shard_endpoints: &[Endpoint],
+        config: &RouterConfig,
+    ) -> Result<Vec<ShardIdentity>, RouterError> {
+        let mut identity = Vec::with_capacity(shard_endpoints.len());
+        for (shard, ep) in shard_endpoints.iter().enumerate() {
+            let reply = Client::connect_with_retry(ep, config.handshake_budget)
+                .and_then(|mut c| c.label_fetch(Vec::new()))
+                .map_err(|e: ClientError| RouterError::Handshake {
+                    shard,
+                    message: e.to_string(),
+                })?;
+            identity.push(ShardIdentity {
+                generation: reply.generation,
+                epsilon_bits: reply.epsilon_bits,
+                c: reply.c,
+                vertices: reply.vertices,
+            });
+        }
+        let first = &identity[0];
+        for (shard, id) in identity.iter().enumerate() {
+            if (id.epsilon_bits, id.c, id.vertices)
+                != (first.epsilon_bits, first.c, first.vertices)
+            {
+                return Err(RouterError::Plan(format!(
+                    "shard {shard} disagrees with shard 0: \
+                     (epsilon_bits, c, n) = ({}, {}, {}) vs ({}, {}, {})",
+                    id.epsilon_bits,
+                    id.c,
+                    id.vertices,
+                    first.epsilon_bits,
+                    first.c,
+                    first.vertices
+                )));
+            }
+        }
+        Ok(identity)
+    }
+
+    /// The client endpoint actually bound (port 0 resolved).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures.
+    pub fn local_endpoint(&self) -> std::io::Result<Endpoint> {
+        Ok(match &self.listener {
+            BoundListener::Tcp(l) => {
+                let addr: SocketAddr = l.local_addr()?;
+                Endpoint::Tcp(addr.to_string())
+            }
+            BoundListener::Unix(_, path) => Endpoint::Unix(path.clone()),
+        })
+    }
+
+    /// A handle that can request shutdown from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle::new(Arc::clone(&self.shutdown))
+    }
+
+    /// Runs the router until shutdown; blocks the calling thread.
+    pub fn run(self) -> RouterReport {
+        let workers = if self.config.workers == 0 {
+            fsdl_nets::parallel::background_workers(usize::MAX)
+        } else {
+            self.config.workers
+        };
+        assert!(workers >= 1, "router worker pool must not be empty");
+        let counters = Arc::new(Counters::default());
+        let shutdown = Arc::clone(&self.shutdown);
+        let (job_tx, job_rx): (Sender<ComputeJob>, Receiver<ComputeJob>) =
+            std::sync::mpsc::channel();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let completions: Arc<Mutex<VecDeque<Completion>>> = Arc::new(Mutex::new(VecDeque::new()));
+
+        let Router {
+            listener,
+            plan,
+            params,
+            expected_generation,
+            config,
+            poller,
+            wake_rx,
+            wake_tx,
+            upstreams,
+            ..
+        } = self;
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let job_rx = Arc::clone(&job_rx);
+                let params = Arc::clone(&params);
+                let counters = Arc::clone(&counters);
+                let completions = Arc::clone(&completions);
+                let wake_tx = Arc::clone(&wake_tx);
+                scope.spawn(move || {
+                    let mut scratch = DecodeScratch::new();
+                    let mut varints = VarintScratch::new();
+                    loop {
+                        let job = {
+                            let guard = job_rx.lock().unwrap_or_else(|e| e.into_inner());
+                            guard.recv()
+                        };
+                        let Ok(job) = job else { break };
+                        let response =
+                            compute_answer(&job, &params, &counters, &mut scratch, &mut varints);
+                        if matches!(response, Response::Error(_)) {
+                            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let mut payload = Vec::new();
+                        response.encode(&mut payload);
+                        completions
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push_back(Completion {
+                                token: job.token,
+                                payload,
+                            });
+                        let _ = (&*wake_tx).write(&[1]);
+                    }
+                });
+            }
+
+            let mut reactor = RouterLoop {
+                poller,
+                listener: &listener,
+                wake_rx: &wake_rx,
+                config: &config,
+                counters: &counters,
+                shutdown: &shutdown,
+                job_tx,
+                completions: &completions,
+                plan: &plan,
+                expected_generation,
+                upstreams,
+                rr: vec![0; plan.num_shards() as usize],
+                pending: HashMap::new(),
+                next_pending: 0,
+                slab: Vec::new(),
+                free: Vec::new(),
+                next_generation: 0,
+                armed_deadlines: 0,
+                open: 0,
+            };
+            reactor.run();
+        });
+
+        if let BoundListener::Unix(_, path) = &listener {
+            let _ = std::fs::remove_file(path);
+        }
+
+        RouterReport {
+            connections: counters.connections.load(Ordering::Relaxed),
+            queries: counters.queries.load(Ordering::Relaxed),
+            batch_queries: counters.batch_queries.load(Ordering::Relaxed),
+            upstream_fetches: counters.upstream_fetches.load(Ordering::Relaxed),
+            protocol_errors: counters.protocol_errors.load(Ordering::Relaxed),
+            shard_failures: counters.shard_failures.load(Ordering::Relaxed),
+            deadline_closes: counters.deadline_closes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The readiness-driven core of [`Router::run`].
+struct RouterLoop<'a> {
+    poller: Poller,
+    listener: &'a BoundListener,
+    wake_rx: &'a UnixStream,
+    config: &'a RouterConfig,
+    counters: &'a Counters,
+    shutdown: &'a AtomicBool,
+    job_tx: Sender<ComputeJob>,
+    completions: &'a Mutex<VecDeque<Completion>>,
+    plan: &'a PartitionPlan,
+    expected_generation: Vec<u64>,
+    upstreams: Vec<Upstream>,
+    /// Round-robin cursor per shard over its pool slice.
+    rr: Vec<usize>,
+    /// In-flight scatter-gathers keyed by a never-recycled id — the
+    /// upstream FIFOs store these ids, so a finished or failed request
+    /// can never be confused with a later one.
+    pending: HashMap<u64, Pending>,
+    next_pending: u64,
+    slab: Vec<Option<ClientConn>>,
+    free: Vec<usize>,
+    next_generation: u32,
+    armed_deadlines: usize,
+    open: usize,
+}
+
+impl RouterLoop<'_> {
+    fn pool(&self) -> usize {
+        self.upstreams.len() / self.rr.len().max(1)
+    }
+
+    fn run(&mut self) {
+        let mut events = Vec::new();
+        let mut draining = false;
+        let mut drain_deadline = Instant::now();
+        loop {
+            if !draining && self.shutdown.load(Ordering::SeqCst) {
+                draining = true;
+                drain_deadline = Instant::now() + self.config.frame_deadline;
+                let _ = self.poller.deregister(self.listener.as_raw_fd());
+                self.close_quiescent();
+            }
+            if draining {
+                if self.open == 0 {
+                    break;
+                }
+                if Instant::now() >= drain_deadline {
+                    self.close_all_clients();
+                    break;
+                }
+            }
+
+            let timeout = self.wait_timeout(draining.then_some(drain_deadline));
+            if self.poller.wait(&mut events, Some(timeout)).is_err() {
+                self.shutdown.store(true, Ordering::SeqCst);
+                continue;
+            }
+            for ev in &events {
+                match ev.token {
+                    LISTENER_TOKEN if !draining => self.accept_ready(),
+                    LISTENER_TOKEN => {}
+                    WAKE_TOKEN => self.drain_wake_pipe(),
+                    token if token & UPSTREAM_BIT != 0 => {
+                        self.upstream_ready((token & !UPSTREAM_BIT) as usize, ev.writable);
+                    }
+                    token => self.client_ready(token, ev.writable, draining),
+                }
+            }
+            self.drain_completions(draining);
+            if self.armed_deadlines > 0 && !draining {
+                self.expire_deadlines();
+            }
+            if !draining {
+                self.redial_dead_upstreams();
+            }
+        }
+        // Drop the upstream pool explicitly so shard servers see clean
+        // EOFs before the router's report is assembled.
+        for up in &mut self.upstreams {
+            if let Some(conn) = up.conn.take() {
+                let _ = self.poller.deregister(conn.as_raw_fd());
+            }
+        }
+    }
+
+    fn wait_timeout(&self, drain_deadline: Option<Instant>) -> Duration {
+        let mut timeout = self.config.poll_interval;
+        let now = Instant::now();
+        if self.armed_deadlines > 0 {
+            for conn in self.slab.iter().flatten() {
+                if let Some(d) = conn.deadline {
+                    timeout = timeout.min(d.saturating_duration_since(now));
+                }
+            }
+        }
+        if let Some(d) = drain_deadline {
+            timeout = timeout.min(d.saturating_duration_since(now));
+        }
+        timeout
+    }
+
+    // ---- client side -------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            let accepted = match self.listener {
+                BoundListener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+                BoundListener::Unix(l, _) => l.accept().map(|(s, _)| Conn::Unix(s)),
+            };
+            match accepted {
+                Ok(conn) => {
+                    if conn.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    self.counters.connections.fetch_add(1, Ordering::Relaxed);
+                    self.insert_client(conn);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.shutdown.store(true, Ordering::SeqCst);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn insert_client(&mut self, conn: Conn) {
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.slab.push(None);
+            self.slab.len() - 1
+        });
+        let token = client_token(&mut self.next_generation, slot);
+        let fd = conn.as_raw_fd();
+        let connection = ClientConn {
+            stream: conn,
+            assembler: protocol::FrameAssembler::new(),
+            write_buf: protocol::WriteBuffer::new(),
+            token,
+            in_flight: false,
+            peer_closed: false,
+            close_after_flush: false,
+            deadline: None,
+            registered: Interest::READABLE,
+        };
+        if self.poller.register(fd, token, Interest::READABLE).is_err() {
+            self.free.push(slot);
+            return;
+        }
+        self.slab[slot] = Some(connection);
+        self.open += 1;
+    }
+
+    fn live_slot(&self, token: u64) -> Option<usize> {
+        let slot = (token & 0xFFFF_FFFF) as usize;
+        match self.slab.get(slot) {
+            Some(Some(conn)) if conn.token == token => Some(slot),
+            _ => None,
+        }
+    }
+
+    fn close_client(&mut self, slot: usize) {
+        if let Some(conn) = self.slab[slot].take() {
+            if conn.deadline.is_some() {
+                self.armed_deadlines -= 1;
+            }
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            self.free.push(slot);
+            self.open -= 1;
+        }
+    }
+
+    fn close_quiescent(&mut self) {
+        for slot in 0..self.slab.len() {
+            let quiescent = matches!(
+                &self.slab[slot],
+                Some(conn) if !conn.in_flight && conn.write_buf.is_empty()
+            );
+            if quiescent {
+                self.close_client(slot);
+            }
+        }
+    }
+
+    fn close_all_clients(&mut self) {
+        for slot in 0..self.slab.len() {
+            self.close_client(slot);
+        }
+    }
+
+    fn drain_wake_pipe(&mut self) {
+        let mut sink = [0u8; 256];
+        let mut pipe = self.wake_rx;
+        loop {
+            match pipe.read(&mut sink) {
+                Ok(0) => break,
+                Ok(_) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn client_ready(&mut self, token: u64, writable: bool, draining: bool) {
+        let Some(slot) = self.live_slot(token) else {
+            return;
+        };
+        if writable && !self.flush_client(slot) {
+            return;
+        }
+        let conn = self.slab[slot].as_mut().expect("live slot");
+        if !conn.peer_closed && !conn.close_after_flush {
+            loop {
+                match conn.assembler.read_from(&mut conn.stream) {
+                    Ok(0) => {
+                        conn.peer_closed = true;
+                        break;
+                    }
+                    Ok(_) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        self.close_client(slot);
+                        return;
+                    }
+                }
+            }
+        }
+        self.pump_client(slot, draining);
+    }
+
+    /// Moves buffered frames through the request pipeline and settles
+    /// the connection's deadline, interest, and close state. Locally
+    /// answerable frames (stats, errors) are served in a loop; a frame
+    /// that starts a scatter-gather sets `in_flight` and stops it.
+    fn pump_client(&mut self, slot: usize, draining: bool) {
+        loop {
+            let conn = self.slab[slot].as_mut().expect("live slot");
+            if conn.in_flight || conn.close_after_flush || draining {
+                break;
+            }
+            match conn.assembler.next_frame(self.config.max_frame) {
+                FrameStep::Frame(payload) => {
+                    let frame = payload.to_vec();
+                    self.disarm_deadline(slot);
+                    self.handle_client_frame(slot, &frame);
+                    // `handle_client_frame` may have closed the slot
+                    // (upstream dial storm is not a path here, but a
+                    // queued reply may have flushed a close).
+                    if self.slab[slot].is_none() {
+                        return;
+                    }
+                }
+                FrameStep::Incomplete => {
+                    let conn = self.slab[slot].as_mut().expect("live slot");
+                    if conn.peer_closed {
+                        if conn.write_buf.is_empty() && !conn.in_flight {
+                            self.close_client(slot);
+                        } else {
+                            conn.close_after_flush = true;
+                        }
+                        return;
+                    }
+                    if conn.assembler.buffered() > 0 {
+                        if conn.deadline.is_none() {
+                            conn.deadline = Some(Instant::now() + self.config.frame_deadline);
+                            self.armed_deadlines += 1;
+                        }
+                    } else {
+                        self.disarm_deadline(slot);
+                    }
+                    break;
+                }
+                FrameStep::Oversized { len, max } => {
+                    self.counters
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    let message = FrameError::Oversized { len, max }.to_string();
+                    conn.write_buf.queue_response(&Response::Error(ErrorReply {
+                        code: ErrorCode::Oversized,
+                        message,
+                    }));
+                    conn.close_after_flush = true;
+                    self.disarm_deadline(slot);
+                    break;
+                }
+            }
+        }
+        if self.slab[slot].is_none() || !self.flush_client(slot) {
+            return;
+        }
+        self.update_client_interest(slot, draining);
+    }
+
+    fn disarm_deadline(&mut self, slot: usize) {
+        let conn = self.slab[slot].as_mut().expect("live slot");
+        if conn.deadline.take().is_some() {
+            self.armed_deadlines -= 1;
+        }
+    }
+
+    fn flush_client(&mut self, slot: usize) -> bool {
+        let Some(conn) = self.slab[slot].as_mut() else {
+            return false;
+        };
+        match conn.write_buf.flush(&mut conn.stream) {
+            Ok(true) => {
+                if conn.close_after_flush {
+                    self.close_client(slot);
+                    return false;
+                }
+                true
+            }
+            Ok(false) => true,
+            Err(_) => {
+                self.close_client(slot);
+                false
+            }
+        }
+    }
+
+    fn update_client_interest(&mut self, slot: usize, draining: bool) {
+        let Some(conn) = self.slab[slot].as_mut() else {
+            return;
+        };
+        let desired = conn.desired_interest(draining);
+        if desired != conn.registered {
+            conn.registered = desired;
+            let fd = conn.stream.as_raw_fd();
+            let token = conn.token;
+            if self.poller.modify(fd, token, desired).is_err() {
+                self.close_client(slot);
+            }
+        }
+    }
+
+    /// Answers one decoded client frame: locally when possible,
+    /// otherwise by starting a scatter-gather.
+    fn handle_client_frame(&mut self, slot: usize, frame: &[u8]) {
+        let request = match Request::decode(frame) {
+            Ok(r) => r,
+            Err(wire_err) => {
+                self.reply_error(slot, wire_err.code(), wire_err.to_string());
+                return;
+            }
+        };
+        match request {
+            Request::Query { s, t, faults } => {
+                self.start_gather(slot, PlannedRequest::Query { s, t, faults });
+            }
+            Request::Batch(queries) => {
+                self.start_gather(slot, PlannedRequest::Batch(queries));
+            }
+            Request::Stats => {
+                let reply = Response::Stats(StatsReply {
+                    vertices: self.plan.num_vertices() as u64,
+                    dynamic: 0,
+                    active_faults: 0,
+                    connections: self.counters.connections.load(Ordering::Relaxed),
+                    queries: self.counters.queries.load(Ordering::Relaxed),
+                    batch_queries: self.counters.batch_queries.load(Ordering::Relaxed),
+                    routes: 0,
+                    updates: 0,
+                    protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
+                    deadline_closes: self.counters.deadline_closes.load(Ordering::Relaxed),
+                    label_fetches: self.counters.upstream_fetches.load(Ordering::Relaxed),
+                });
+                let conn = self.slab[slot].as_mut().expect("live slot");
+                conn.write_buf.queue_response(&reply);
+            }
+            Request::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                let conn = self.slab[slot].as_mut().expect("live slot");
+                conn.write_buf.queue_response(&Response::Shutdown);
+                conn.close_after_flush = true;
+            }
+            Request::Route { .. } => {
+                self.reply_error(
+                    slot,
+                    ErrorCode::UnsupportedInMode,
+                    "route requires a single-process static server; \
+                     the router serves distance queries only",
+                );
+            }
+            Request::Update(_) => {
+                self.reply_error(
+                    slot,
+                    ErrorCode::UnsupportedInMode,
+                    "update requires a dynamic oracle; the router fronts immutable shards",
+                );
+            }
+            Request::LabelFetch { .. } => {
+                self.reply_error(
+                    slot,
+                    ErrorCode::UnsupportedInMode,
+                    "label-fetch is the shard-facing op; send query or batch frames here",
+                );
+            }
+        }
+    }
+
+    fn reply_error(&mut self, slot: usize, code: ErrorCode, message: impl Into<String>) {
+        self.counters
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+        let conn = self.slab[slot].as_mut().expect("live slot");
+        conn.write_buf.queue_response(&Response::Error(ErrorReply {
+            code,
+            message: message.into(),
+        }));
+    }
+
+    /// Plans and launches one scatter-gather, or answers immediately
+    /// when validation fails or a needed shard has no live connection.
+    fn start_gather(&mut self, slot: usize, request: PlannedRequest) {
+        let n = self.plan.num_vertices();
+        let ids = needed_ids(&request);
+        if let Some(&bad) = ids.iter().find(|&&v| v as usize >= n) {
+            self.reply_error(
+                slot,
+                ErrorCode::BadRequest,
+                format!("vertex {bad} out of range for a graph of {n} vertices"),
+            );
+            return;
+        }
+        // Group the (sorted, deduped) ids by owning shard, then chunk
+        // each group at the wire cap.
+        let mut by_shard: HashMap<u32, Vec<u32>> = HashMap::new();
+        for &v in &ids {
+            by_shard
+                .entry(self.plan.shard_of(NodeId::new(v)))
+                .or_default()
+                .push(v);
+        }
+        // All needed shards must have a live connection before anything
+        // is enqueued — a half-scattered request would tie up upstream
+        // FIFO slots for a reply we already know we cannot assemble.
+        let mut routes: Vec<(usize, Vec<u32>)> = Vec::with_capacity(by_shard.len());
+        for (&shard, group) in &by_shard {
+            match self.pick_upstream(shard as usize) {
+                Some(_) => {
+                    for chunk in group.chunks(MAX_LABEL_FETCH as usize) {
+                        routes.push((shard as usize, chunk.to_vec()));
+                    }
+                }
+                None => {
+                    self.counters.shard_failures.fetch_add(1, Ordering::Relaxed);
+                    self.reply_error(
+                        slot,
+                        ErrorCode::Unavailable,
+                        format!("shard {shard} is unavailable"),
+                    );
+                    return;
+                }
+            }
+        }
+        let token = self.slab[slot].as_ref().expect("live slot").token;
+        let id = self.next_pending;
+        self.next_pending += 1;
+        self.pending.insert(
+            id,
+            Pending {
+                client: token,
+                request,
+                labels: HashMap::with_capacity(ids.len()),
+                outstanding: routes.len(),
+                failed: None,
+            },
+        );
+        self.slab[slot].as_mut().expect("live slot").in_flight = true;
+        for (shard, chunk) in routes {
+            let idx = self
+                .pick_upstream(shard)
+                .expect("liveness was checked before enqueueing");
+            self.counters
+                .upstream_fetches
+                .fetch_add(1, Ordering::Relaxed);
+            let mut payload = Vec::new();
+            Request::LabelFetch {
+                vertices: chunk.clone(),
+            }
+            .encode(&mut payload);
+            let up = &mut self.upstreams[idx];
+            up.write_buf.queue_frame(&payload);
+            up.fifo.push_back((id, chunk));
+            self.update_upstream_interest(idx);
+        }
+    }
+
+    /// Picks the next live connection in `shard`'s pool slice
+    /// (round-robin), or `None` when the whole slice is down.
+    fn pick_upstream(&mut self, shard: usize) -> Option<usize> {
+        let pool = self.pool();
+        let base = shard * pool;
+        for step in 0..pool {
+            let idx = base + (self.rr[shard] + step) % pool;
+            if self.upstreams[idx].conn.is_some() {
+                self.rr[shard] = (self.rr[shard] + step + 1) % pool;
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    // ---- upstream side ----------------------------------------------
+
+    fn upstream_ready(&mut self, idx: usize, writable: bool) {
+        if idx >= self.upstreams.len() {
+            return;
+        }
+        if writable && !self.flush_upstream(idx) {
+            return;
+        }
+        let up = &mut self.upstreams[idx];
+        let Some(conn) = up.conn.as_mut() else {
+            return;
+        };
+        let mut dead = false;
+        loop {
+            match up.assembler.read_from(conn) {
+                Ok(0) => {
+                    dead = true;
+                    break;
+                }
+                Ok(_) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        // Serve every complete reply frame that arrived, even when the
+        // connection died right after sending them. Label-plane replies
+        // read under the larger MAX_LABEL_FRAME cap: labels are
+        // poly(1/eps, log n) bytes each, so a legitimate multi-label
+        // reply can exceed the client-facing frame ceiling.
+        loop {
+            let frame = match self.upstreams[idx].assembler.next_frame(MAX_LABEL_FRAME) {
+                FrameStep::Frame(payload) => payload.to_vec(),
+                FrameStep::Incomplete => break,
+                FrameStep::Oversized { .. } => {
+                    dead = true;
+                    break;
+                }
+            };
+            if !self.absorb_upstream_frame(idx, &frame) {
+                dead = true;
+                break;
+            }
+        }
+        if dead {
+            self.fail_upstream(idx);
+        } else {
+            self.update_upstream_interest(idx);
+        }
+    }
+
+    /// Matches one upstream reply frame to the front of the FIFO and
+    /// folds it into the pending request. Returns `false` when the
+    /// stream is desynchronized and the connection must be dropped.
+    fn absorb_upstream_frame(&mut self, idx: usize, frame: &[u8]) -> bool {
+        let shard = self.upstreams[idx].shard;
+        let Some((pending_id, requested)) = self.upstreams[idx].fifo.pop_front() else {
+            // A reply nobody asked for: protocol desync.
+            return false;
+        };
+        let outcome = match Response::decode(frame) {
+            Ok(Response::LabelFetch(reply)) => {
+                if reply.generation != self.expected_generation[shard] {
+                    self.counters.shard_failures.fetch_add(1, Ordering::Relaxed);
+                    Err(ErrorReply {
+                        code: ErrorCode::Unavailable,
+                        message: format!(
+                            "shard {shard} changed store generation ({} -> {}) mid-flight",
+                            self.expected_generation[shard], reply.generation
+                        ),
+                    })
+                } else if reply.labels.len() > requested.len()
+                    || (reply.labels.is_empty() && !requested.is_empty())
+                    || reply
+                        .labels
+                        .iter()
+                        .zip(&requested)
+                        .any(|(lb, &v)| lb.vertex != v)
+                {
+                    // Replies must be a non-empty request prefix (short
+                    // when the shard packed to its byte budget): anything
+                    // else means the stream no longer lines up.
+                    Err(ErrorReply {
+                        code: ErrorCode::Internal,
+                        message: format!(
+                            "shard {shard} label-fetch reply was not a prefix of the request"
+                        ),
+                    })
+                } else {
+                    Ok(reply.labels)
+                }
+            }
+            Ok(Response::Error(e)) => Err(ErrorReply {
+                code: ErrorCode::Internal,
+                message: format!("shard {shard} rejected a label-fetch [{}]: {}", e.code, e.message),
+            }),
+            Ok(other) => Err(ErrorReply {
+                code: ErrorCode::Internal,
+                message: format!(
+                    "shard {shard} answered a label-fetch with {}",
+                    other.kind_name()
+                ),
+            }),
+            Err(wire_err) => Err(ErrorReply {
+                code: ErrorCode::Internal,
+                message: format!("shard {shard} sent an undecodable reply: {wire_err}"),
+            }),
+        };
+        let desynced = matches!(outcome, Err(ref e) if e.code == ErrorCode::Internal);
+        // When the pending was already failed and reaped (its other
+        // chunks died with another connection) there is nothing to fold
+        // and a short reply's tail is not worth fetching.
+        let mut short_tail: Option<Vec<u32>> = None;
+        let mut complete = false;
+        match outcome {
+            Ok(labels) => {
+                if let Some(pending) = self.pending.get_mut(&pending_id) {
+                    let served = labels.len();
+                    for lb in labels {
+                        pending.labels.insert(lb.vertex, (lb.bytes, lb.bit_len));
+                    }
+                    if served < requested.len() {
+                        short_tail = Some(requested[served..].to_vec());
+                    } else {
+                        pending.outstanding -= 1;
+                        complete = pending.outstanding == 0;
+                    }
+                }
+            }
+            Err(e) => {
+                if let Some(pending) = self.pending.get_mut(&pending_id) {
+                    pending.failed.get_or_insert(e);
+                    pending.outstanding -= 1;
+                    complete = pending.outstanding == 0;
+                }
+            }
+        }
+        if let Some(tail) = short_tail {
+            // Short reply: the shard packed to its byte budget. The
+            // chunk stays outstanding; re-request the unserved suffix on
+            // the same connection so FIFO order keeps holding.
+            self.counters
+                .upstream_fetches
+                .fetch_add(1, Ordering::Relaxed);
+            let mut payload = Vec::new();
+            Request::LabelFetch {
+                vertices: tail.clone(),
+            }
+            .encode(&mut payload);
+            let up = &mut self.upstreams[idx];
+            up.write_buf.queue_frame(&payload);
+            up.fifo.push_back((pending_id, tail));
+        }
+        if complete {
+            self.finish_pending(pending_id);
+        }
+        !desynced
+    }
+
+    /// A pending is fully gathered (or fully failed): hand it to a
+    /// worker or answer the client with the recorded failure.
+    fn finish_pending(&mut self, pending_id: u64) {
+        let Some(pending) = self.pending.remove(&pending_id) else {
+            return;
+        };
+        let Some(slot) = self.live_slot(pending.client) else {
+            return; // client left mid-gather; drop the work
+        };
+        match pending.failed {
+            Some(err) => {
+                self.counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let conn = self.slab[slot].as_mut().expect("live slot");
+                conn.in_flight = false;
+                conn.write_buf.queue_response(&Response::Error(err));
+                self.pump_client(slot, false);
+            }
+            None => {
+                let job = ComputeJob {
+                    token: pending.client,
+                    request: pending.request,
+                    labels: pending.labels,
+                };
+                if self.job_tx.send(job).is_err() {
+                    self.close_client(slot);
+                }
+            }
+        }
+    }
+
+    fn flush_upstream(&mut self, idx: usize) -> bool {
+        let up = &mut self.upstreams[idx];
+        let Some(conn) = up.conn.as_mut() else {
+            return false;
+        };
+        match up.write_buf.flush(conn) {
+            Ok(_) => true,
+            Err(_) => {
+                self.fail_upstream(idx);
+                false
+            }
+        }
+    }
+
+    fn update_upstream_interest(&mut self, idx: usize) {
+        let up = &mut self.upstreams[idx];
+        let Some(conn) = up.conn.as_ref() else {
+            return;
+        };
+        let desired = up.desired_interest();
+        if desired != up.registered {
+            up.registered = desired;
+            let fd = conn.as_raw_fd();
+            let token = UPSTREAM_BIT | idx as u64;
+            if self.poller.modify(fd, token, desired).is_err() {
+                self.fail_upstream(idx);
+            }
+        }
+    }
+
+    /// Tears down one upstream connection: every request waiting on its
+    /// FIFO fails with `Unavailable`, buffers reset, and the redial
+    /// throttle starts.
+    fn fail_upstream(&mut self, idx: usize) {
+        let shard = self.upstreams[idx].shard;
+        if let Some(conn) = self.upstreams[idx].conn.take() {
+            let _ = self.poller.deregister(conn.as_raw_fd());
+            self.counters.shard_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        let up = &mut self.upstreams[idx];
+        up.assembler = protocol::FrameAssembler::new();
+        up.write_buf = protocol::WriteBuffer::new();
+        up.last_attempt = Instant::now();
+        let orphans: Vec<(u64, Vec<u32>)> = up.fifo.drain(..).collect();
+        for (pending_id, _requested) in orphans {
+            let Some(pending) = self.pending.get_mut(&pending_id) else {
+                continue;
+            };
+            pending.failed.get_or_insert(ErrorReply {
+                code: ErrorCode::Unavailable,
+                message: format!("shard {shard} connection failed mid-request"),
+            });
+            pending.outstanding -= 1;
+            if pending.outstanding == 0 {
+                self.finish_pending(pending_id);
+            }
+        }
+    }
+
+    /// Redials dead upstream connections on a throttle. The connect is
+    /// blocking but local-fleet-fast; a dead host is bounded by the OS
+    /// connect timeout and the redial interval keeps it rare.
+    fn redial_dead_upstreams(&mut self) {
+        for idx in 0..self.upstreams.len() {
+            if self.upstreams[idx].conn.is_some()
+                || self.upstreams[idx].last_attempt.elapsed() < self.config.redial_interval
+            {
+                continue;
+            }
+            self.upstreams[idx].last_attempt = Instant::now();
+            let endpoint = self.upstreams[idx].endpoint.clone();
+            let Ok(conn) = connect_upstream(&endpoint) else {
+                continue;
+            };
+            if conn.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let token = UPSTREAM_BIT | idx as u64;
+            if self
+                .poller
+                .register(conn.as_raw_fd(), token, Interest::READABLE)
+                .is_err()
+            {
+                continue;
+            }
+            let up = &mut self.upstreams[idx];
+            up.conn = Some(conn);
+            up.registered = Interest::READABLE;
+        }
+    }
+
+    // ---- completions and deadlines ----------------------------------
+
+    fn drain_completions(&mut self, draining: bool) {
+        loop {
+            let completion = {
+                let mut queue = self.completions.lock().unwrap_or_else(|e| e.into_inner());
+                queue.pop_front()
+            };
+            let Some(completion) = completion else { break };
+            let Some(slot) = self.live_slot(completion.token) else {
+                continue;
+            };
+            let conn = self.slab[slot].as_mut().expect("live slot");
+            if !conn.in_flight {
+                continue; // stale completion for a recycled slot
+            }
+            conn.in_flight = false;
+            conn.write_buf.queue_frame(&completion.payload);
+            if draining {
+                conn.close_after_flush = true;
+            }
+            self.pump_client(slot, draining);
+        }
+    }
+
+    fn expire_deadlines(&mut self) {
+        let now = Instant::now();
+        for slot in 0..self.slab.len() {
+            let expired = matches!(
+                &self.slab[slot],
+                Some(conn) if conn.deadline.is_some_and(|d| d <= now)
+            );
+            if !expired {
+                continue;
+            }
+            self.counters
+                .deadline_closes
+                .fetch_add(1, Ordering::Relaxed);
+            self.disarm_deadline(slot);
+            let conn = self.slab[slot].as_mut().expect("live slot");
+            conn.write_buf.queue_response(&Response::Error(ErrorReply {
+                code: ErrorCode::DeadlineExceeded,
+                message: format!(
+                    "frame not completed within {:?}; closing",
+                    self.config.frame_deadline
+                ),
+            }));
+            let conn = self.slab[slot].as_mut().expect("live slot");
+            let _ = conn.write_buf.flush(&mut conn.stream);
+            self.close_client(slot);
+        }
+    }
+}
+
+/// Every vertex id a request's answer needs: endpoints plus the fault
+/// elements that survive [`WireFaults::to_fault_set`] (so a self-loop
+/// fault edge is dropped here exactly as the single-process server
+/// drops it). Sorted and deduplicated.
+fn needed_ids(request: &PlannedRequest) -> Vec<u32> {
+    let mut ids = Vec::new();
+    let mut push_query = |s: u32, t: u32, faults: &WireFaults| {
+        ids.push(s);
+        ids.push(t);
+        let fault_set = faults.to_fault_set();
+        ids.extend(fault_set.vertices().map(NodeId::raw));
+        for e in fault_set.edges() {
+            ids.push(e.lo().raw());
+            ids.push(e.hi().raw());
+        }
+    };
+    match request {
+        PlannedRequest::Query { s, t, faults } => push_query(*s, *t, faults),
+        PlannedRequest::Batch(items) => {
+            for (s, t, faults) in items {
+                push_query(*s, *t, faults);
+            }
+        }
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+/// Decodes every gathered label once, validating ownership and internal
+/// consistency — a shard that returns bytes for the wrong vertex or a
+/// corrupt label is a typed `Internal` error, never a wrong answer.
+fn decode_gathered(
+    labels: &HashMap<u32, (Vec<u8>, u32)>,
+    n: usize,
+    varints: &mut VarintScratch,
+) -> Result<HashMap<u32, Label>, Response> {
+    let mut decoded = HashMap::with_capacity(labels.len());
+    for (&v, (bytes, bit_len)) in labels {
+        let label = match codec::decode_with(bytes, *bit_len as usize, n, varints) {
+            Ok(l) => l,
+            Err(e) => {
+                return Err(Response::Error(ErrorReply {
+                    code: ErrorCode::Internal,
+                    message: format!("label for vertex {v} failed to decode: {e}"),
+                }));
+            }
+        };
+        if label.owner != NodeId::new(v) || label.validate().is_err() {
+            return Err(Response::Error(ErrorReply {
+                code: ErrorCode::Internal,
+                message: format!("shard returned an inconsistent label for vertex {v}"),
+            }));
+        }
+        decoded.insert(v, label);
+    }
+    Ok(decoded)
+}
+
+/// Answers one (s, t, F) against the decoded label map — the same
+/// [`query_with_scratch`] call, fed the same labels in the same
+/// [`QueryLabels`] order as the single-process server, so the answer is
+/// bit-identical.
+fn answer_one(
+    s: u32,
+    t: u32,
+    faults: &WireFaults,
+    decoded: &HashMap<u32, Label>,
+    params: &SchemeParams,
+    scratch: &mut DecodeScratch,
+) -> Result<fsdl_labels::QueryAnswer, Response> {
+    let missing = |v: u32| {
+        Response::Error(ErrorReply {
+            code: ErrorCode::Internal,
+            message: format!("gathered label set is missing vertex {v}"),
+        })
+    };
+    let source = decoded.get(&s).ok_or_else(|| missing(s))?;
+    let target = decoded.get(&t).ok_or_else(|| missing(t))?;
+    let fault_set = faults.to_fault_set();
+    let mut fault_vertices = Vec::with_capacity(fault_set.len());
+    for v in fault_set.vertices() {
+        fault_vertices.push(decoded.get(&v.raw()).ok_or_else(|| missing(v.raw()))?);
+    }
+    let mut fault_edges = Vec::new();
+    for e in fault_set.edges() {
+        let a = decoded
+            .get(&e.lo().raw())
+            .ok_or_else(|| missing(e.lo().raw()))?;
+        let b = decoded
+            .get(&e.hi().raw())
+            .ok_or_else(|| missing(e.hi().raw()))?;
+        fault_edges.push((a, b));
+    }
+    let query_labels = QueryLabels {
+        fault_vertices,
+        fault_edges,
+    };
+    Ok(query_with_scratch(
+        params,
+        source,
+        target,
+        &query_labels,
+        scratch,
+    ))
+}
+
+fn sat_u32(v: usize) -> u32 {
+    v.try_into().unwrap_or(u32::MAX)
+}
+
+/// The worker-side terminal: decode the gathered labels, answer every
+/// query in the frame, encode the reply.
+fn compute_answer(
+    job: &ComputeJob,
+    params: &SchemeParams,
+    counters: &Counters,
+    scratch: &mut DecodeScratch,
+    varints: &mut VarintScratch,
+) -> Response {
+    let decoded = match decode_gathered(&job.labels, params.n(), varints) {
+        Ok(d) => d,
+        Err(resp) => return resp,
+    };
+    match &job.request {
+        PlannedRequest::Query { s, t, faults } => {
+            match answer_one(*s, *t, faults, &decoded, params, scratch) {
+                Ok(answer) => {
+                    counters.queries.fetch_add(1, Ordering::Relaxed);
+                    Response::Query(QueryReply {
+                        distance: answer.distance.raw(),
+                        sketch_vertices: sat_u32(answer.sketch_vertices),
+                        sketch_edges: sat_u32(answer.sketch_edges),
+                        path: answer.path.iter().map(|v| v.raw()).collect(),
+                    })
+                }
+                Err(resp) => resp,
+            }
+        }
+        PlannedRequest::Batch(items) => {
+            let mut out = Vec::with_capacity(items.len());
+            for (s, t, faults) in items {
+                match answer_one(*s, *t, faults, &decoded, params, scratch) {
+                    Ok(answer) => out.push(BatchItem {
+                        distance: answer.distance.raw(),
+                        sketch_vertices: sat_u32(answer.sketch_vertices),
+                        sketch_edges: sat_u32(answer.sketch_edges),
+                    }),
+                    Err(resp) => return resp,
+                }
+            }
+            counters
+                .batch_queries
+                .fetch_add(out.len() as u64, Ordering::Relaxed);
+            Response::Batch(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_tokens_never_enter_the_upstream_namespace() {
+        // Even a wrapped generation at the highest slot keeps bit 63
+        // clear, so no client token can route to an upstream, the
+        // listener, or the wake pipe.
+        let mut generation = u32::MAX - 3;
+        for _ in 0..8 {
+            let token = client_token(&mut generation, 0xFFFF_FFFF);
+            assert_eq!(token & UPSTREAM_BIT, 0);
+            assert_ne!(token, LISTENER_TOKEN);
+            assert_ne!(token, WAKE_TOKEN);
+        }
+    }
+
+    #[test]
+    fn client_token_same_slot_reuse_always_differs() {
+        let mut generation = 0x7FFF_FFFE; // about to wrap the 31-bit mask
+        let first = client_token(&mut generation, 42);
+        let second = client_token(&mut generation, 42);
+        let third = client_token(&mut generation, 42);
+        assert_ne!(first, second);
+        assert_ne!(second, third);
+        assert_eq!(first & 0xFFFF_FFFF, 42);
+        assert_eq!(second & 0xFFFF_FFFF, 42);
+    }
+
+    #[test]
+    fn needed_ids_dedups_and_follows_fault_set_filtering() {
+        let faults = WireFaults {
+            vertices: vec![7, 3, 7],
+            edges: vec![(5, 5), (2, 9)], // (5,5) is a self-loop: dropped
+        };
+        let ids = needed_ids(&PlannedRequest::Query { s: 3, t: 9, faults });
+        assert_eq!(ids, vec![2, 3, 7, 9]);
+    }
+
+    #[test]
+    fn needed_ids_unions_batch_items() {
+        let items = vec![
+            (0, 1, WireFaults::empty()),
+            (
+                1,
+                2,
+                WireFaults {
+                    vertices: vec![4],
+                    edges: vec![],
+                },
+            ),
+        ];
+        let ids = needed_ids(&PlannedRequest::Batch(items));
+        assert_eq!(ids, vec![0, 1, 2, 4]);
+    }
+}

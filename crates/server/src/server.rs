@@ -71,13 +71,14 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use fsdl_graph::NodeId;
+use fsdl_labels::partition::ShardStore;
 use fsdl_labels::{DecodeScratch, DynamicOracle};
 use fsdl_reactor::{Interest, Poller};
 use fsdl_routing::Network;
 
 use crate::protocol::{
-    self, BatchItem, ErrorCode, ErrorReply, FrameError, FrameStep, QueryReply, Request, Response,
-    RouteReply, StatsReply, UpdateOp, WireFaults,
+    self, BatchItem, ErrorCode, ErrorReply, FrameError, FrameStep, LabelBytes, LabelFetchReply,
+    QueryReply, Request, Response, RouteReply, StatsReply, UpdateOp, WireFaults,
 };
 
 /// Where a server listens or a client connects.
@@ -114,6 +115,11 @@ pub struct ServerConfig {
     /// closed as a slow-loris suspect; also the grace period stragglers
     /// get to flush replies during shutdown drain.
     pub frame_deadline: Duration,
+    /// Soft byte budget on encoded label bytes per label-fetch reply:
+    /// replies carry the longest request prefix that fits (always at
+    /// least one label). Lowering it forces short replies, which tests
+    /// use to exercise tail re-requests on small graphs.
+    pub label_fetch_budget: usize,
 }
 
 impl Default for ServerConfig {
@@ -123,6 +129,7 @@ impl Default for ServerConfig {
             max_frame: protocol::MAX_FRAME,
             poll_interval: Duration::from_millis(25),
             frame_deadline: Duration::from_secs(10),
+            label_fetch_budget: protocol::LABEL_FETCH_BYTE_BUDGET,
         }
     }
 }
@@ -138,6 +145,10 @@ pub enum ServeEngine {
     /// answers under the *current* fault set (per-query forbidden sets
     /// are rejected — the dynamic oracle's fault set is server state).
     Dynamic(Arc<RwLock<DynamicOracle>>),
+    /// One shard of a partitioned label plane: serves only `label-fetch`
+    /// (raw encoded labels by global id) and `stats`/`shutdown`; queries
+    /// belong at the router, which holds the full partition plan.
+    Shard(Arc<ShardStore>),
 }
 
 impl ServeEngine {
@@ -151,10 +162,18 @@ impl ServeEngine {
         ServeEngine::Dynamic(Arc::new(RwLock::new(oracle)))
     }
 
+    /// Wraps one shard's store.
+    pub fn from_shard(store: ShardStore) -> Self {
+        ServeEngine::Shard(Arc::new(store))
+    }
+
     fn vertices(&self) -> u64 {
         match self {
             ServeEngine::Static(net) => net.oracle().labeling().graph().num_vertices() as u64,
             ServeEngine::Dynamic(dyn_oracle) => read_lock(dyn_oracle).num_vertices() as u64,
+            // The *global* id space: a shard answers for the whole graph's
+            // ids even though it holds a slice of the labels.
+            ServeEngine::Shard(store) => store.total_vertices(),
         }
     }
 }
@@ -180,6 +199,7 @@ struct Counters {
     updates: AtomicU64,
     protocol_errors: AtomicU64,
     deadline_closes: AtomicU64,
+    label_fetches: AtomicU64,
 }
 
 /// Totals for one [`Server::run`] lifetime.
@@ -200,6 +220,8 @@ pub struct ServeReport {
     /// Connections closed for stalling mid-frame past the frame
     /// deadline (slow-loris protection).
     pub deadline_closes: u64,
+    /// Label-fetch requests answered (shard mode).
+    pub label_fetches: u64,
 }
 
 /// Signals a running server to drain and exit (the out-of-band
@@ -208,6 +230,10 @@ pub struct ServeReport {
 pub struct ShutdownHandle(Arc<AtomicBool>);
 
 impl ShutdownHandle {
+    pub(crate) fn new(flag: Arc<AtomicBool>) -> ShutdownHandle {
+        ShutdownHandle(flag)
+    }
+
     /// Requests shutdown; idempotent.
     pub fn signal(&self) {
         self.0.store(true, Ordering::SeqCst);
@@ -219,13 +245,13 @@ impl ShutdownHandle {
     }
 }
 
-enum BoundListener {
+pub(crate) enum BoundListener {
     Tcp(TcpListener),
     Unix(UnixListener, PathBuf),
 }
 
 impl BoundListener {
-    fn as_raw_fd(&self) -> RawFd {
+    pub(crate) fn as_raw_fd(&self) -> RawFd {
         match self {
             BoundListener::Tcp(l) => l.as_raw_fd(),
             BoundListener::Unix(l, _) => l.as_raw_fd(),
@@ -234,13 +260,13 @@ impl BoundListener {
 }
 
 /// One accepted connection, unified over transports.
-enum Conn {
+pub(crate) enum Conn {
     Tcp(TcpStream),
     Unix(UnixStream),
 }
 
 impl Conn {
-    fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+    pub(crate) fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
         match self {
             Conn::Tcp(s) => s.set_nonblocking(nb),
             Conn::Unix(s) => s.set_nonblocking(nb),
@@ -283,9 +309,27 @@ impl Write for Conn {
 }
 
 /// The poller token of the listener socket.
-const LISTENER_TOKEN: u64 = u64::MAX;
+pub(crate) const LISTENER_TOKEN: u64 = u64::MAX;
 /// The poller token of the worker-completion wake pipe.
-const WAKE_TOKEN: u64 = u64::MAX - 1;
+pub(crate) const WAKE_TOKEN: u64 = u64::MAX - 1;
+
+/// Composes the next `(generation << 32) | slot` connection token,
+/// advancing (and wrapping) the generation counter. Skips any generation
+/// whose composed token would collide with [`LISTENER_TOKEN`] or
+/// [`WAKE_TOKEN`] — a wrapped generation at a very high slot index could
+/// otherwise mint a connection token the event loop routes to the
+/// listener or the wake pipe. Same-slot reuse always changes the token
+/// (the generation strictly advances), and distinct slots always differ
+/// in the low 32 bits, so a live connection can never be aliased.
+pub(crate) fn next_token(next_generation: &mut u32, slot: usize) -> u64 {
+    loop {
+        *next_generation = next_generation.wrapping_add(1);
+        let token = (u64::from(*next_generation) << 32) | slot as u64;
+        if token != LISTENER_TOKEN && token != WAKE_TOKEN {
+            return token;
+        }
+    }
+}
 
 /// Per-connection state, owned by the event loop.
 struct Connection {
@@ -456,6 +500,7 @@ impl Server {
             ..
         } = self;
 
+        let label_fetch_budget = config.label_fetch_budget;
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let job_rx = Arc::clone(&job_rx);
@@ -481,9 +526,13 @@ impl Server {
                                 code: wire_err.code(),
                                 message: wire_err.to_string(),
                             }),
-                            Ok(request) => {
-                                handle_request(request, &engine, &counters, &mut scratch)
-                            }
+                            Ok(request) => handle_request(
+                                request,
+                                &engine,
+                                &counters,
+                                &mut scratch,
+                                label_fetch_budget,
+                            ),
                         };
                         if matches!(response, Response::Error(_)) {
                             counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
@@ -542,6 +591,7 @@ impl Server {
             updates: counters.updates.load(Ordering::Relaxed),
             protocol_errors: counters.protocol_errors.load(Ordering::Relaxed),
             deadline_closes: counters.deadline_closes.load(Ordering::Relaxed),
+            label_fetches: counters.label_fetches.load(Ordering::Relaxed),
         }
     }
 }
@@ -670,8 +720,7 @@ impl EventLoop<'_> {
             self.slab.push(None);
             self.slab.len() - 1
         });
-        self.next_generation = self.next_generation.wrapping_add(1);
-        let token = (u64::from(self.next_generation) << 32) | slot as u64;
+        let token = next_token(&mut self.next_generation, slot);
         let fd = conn.as_raw_fd();
         let connection = Connection {
             stream: conn,
@@ -906,6 +955,12 @@ impl EventLoop<'_> {
                 continue; // connection died while the worker was busy
             };
             let conn = self.slab[slot].as_mut().expect("live slot");
+            if !conn.in_flight {
+                // A completion can only be owed to a connection with a
+                // frame at a worker; anything else is a stale token that
+                // survived a slot recycle through a generation wrap.
+                continue;
+            }
             conn.in_flight = false;
             conn.write_buf.queue_frame(&completion.payload);
             if completion.is_shutdown || draining {
@@ -957,12 +1012,20 @@ fn error_reply(code: ErrorCode, message: impl Into<String>) -> Response {
     })
 }
 
+/// Narrows a counter to its `u32` wire field, saturating to the
+/// `u32::MAX` sentinel (see the protocol module doc) instead of silently
+/// wrapping like a bare `as u32` cast would.
+fn sat_u32(v: usize) -> u32 {
+    v.try_into().unwrap_or(u32::MAX)
+}
+
 /// Dispatches one decoded request against the engine.
 fn handle_request(
     request: Request,
     engine: &ServeEngine,
     counters: &Counters,
     scratch: &mut DecodeScratch,
+    label_fetch_budget: usize,
 ) -> Response {
     match request {
         Request::Query { s, t, faults } => match engine {
@@ -977,8 +1040,8 @@ fn handle_request(
                         counters.queries.fetch_add(1, Ordering::Relaxed);
                         Response::Query(QueryReply {
                             distance: answer.distance.raw(),
-                            sketch_vertices: answer.sketch_vertices as u32,
-                            sketch_edges: answer.sketch_edges as u32,
+                            sketch_vertices: sat_u32(answer.sketch_vertices),
+                            sketch_edges: sat_u32(answer.sketch_edges),
                             path: answer.path.iter().map(|v| v.raw()).collect(),
                         })
                     }
@@ -1007,6 +1070,10 @@ fn handle_request(
                     Err(e) => error_reply(ErrorCode::BadRequest, e.to_string()),
                 }
             }
+            ServeEngine::Shard(_) => error_reply(
+                ErrorCode::UnsupportedInMode,
+                "a shard serves label-fetch only; send queries to the router",
+            ),
         },
         Request::Batch(queries) => match engine {
             ServeEngine::Static(net) => {
@@ -1020,8 +1087,8 @@ fn handle_request(
                     ) {
                         Ok(answer) => items.push(BatchItem {
                             distance: answer.distance.raw(),
-                            sketch_vertices: answer.sketch_vertices as u32,
-                            sketch_edges: answer.sketch_edges as u32,
+                            sketch_vertices: sat_u32(answer.sketch_vertices),
+                            sketch_edges: sat_u32(answer.sketch_edges),
                         }),
                         Err(e) => {
                             return error_reply(
@@ -1066,6 +1133,10 @@ fn handle_request(
                     .fetch_add(items.len() as u64, Ordering::Relaxed);
                 Response::Batch(items)
             }
+            ServeEngine::Shard(_) => error_reply(
+                ErrorCode::UnsupportedInMode,
+                "a shard serves label-fetch only; send queries to the router",
+            ),
         },
         Request::Route { s, t, faults } => match engine {
             ServeEngine::Static(net) => {
@@ -1076,20 +1147,20 @@ fn handle_request(
                 counters.routes.fetch_add(1, Ordering::Relaxed);
                 match net.route(NodeId::new(s), NodeId::new(t), &faults.to_fault_set()) {
                     Ok(delivery) => Response::Route(RouteReply::Delivered {
-                        hops: delivery.hops as u32,
-                        header_bits: delivery.header_bits as u32,
+                        hops: sat_u32(delivery.hops),
+                        header_bits: sat_u32(delivery.header_bits),
                         path: delivery.path.iter().map(|v| v.raw()).collect(),
                     }),
                     Err(failure) => Response::Route(RouteReply::Failed(failure.to_string())),
                 }
             }
-            ServeEngine::Dynamic(_) => error_reply(
+            ServeEngine::Dynamic(_) | ServeEngine::Shard(_) => error_reply(
                 ErrorCode::UnsupportedInMode,
                 "route requires the static oracle (serve without --dynamic)",
             ),
         },
         Request::Update(update) => match engine {
-            ServeEngine::Static(_) => error_reply(
+            ServeEngine::Static(_) | ServeEngine::Shard(_) => error_reply(
                 ErrorCode::UnsupportedInMode,
                 "update requires a dynamic oracle (serve with --store and --dynamic)",
             ),
@@ -1107,7 +1178,7 @@ fn handle_request(
                     Ok(()) => {
                         counters.updates.fetch_add(1, Ordering::Relaxed);
                         Response::Update {
-                            active_faults: guard.current_faults().len() as u32,
+                            active_faults: sat_u32(guard.current_faults().len()),
                         }
                     }
                     Err(e) => error_reply(ErrorCode::UpdateRejected, e.to_string()),
@@ -1116,7 +1187,7 @@ fn handle_request(
         },
         Request::Stats => {
             let (dynamic, active_faults) = match engine {
-                ServeEngine::Static(_) => (0u8, 0u64),
+                ServeEngine::Static(_) | ServeEngine::Shard(_) => (0u8, 0u64),
                 ServeEngine::Dynamic(dyn_oracle) => {
                     (1u8, read_lock(dyn_oracle).current_faults().len() as u64)
                 }
@@ -1132,9 +1203,98 @@ fn handle_request(
                 updates: counters.updates.load(Ordering::Relaxed),
                 protocol_errors: counters.protocol_errors.load(Ordering::Relaxed),
                 deadline_closes: counters.deadline_closes.load(Ordering::Relaxed),
+                label_fetches: counters.label_fetches.load(Ordering::Relaxed),
             })
         }
         Request::Shutdown => Response::Shutdown,
+        Request::LabelFetch { vertices } => match engine {
+            ServeEngine::Shard(store) => {
+                // Pack the longest request prefix under the byte budget
+                // (but never an empty reply for a non-empty request):
+                // labels are poly(1/eps, log n) bytes each, so an id
+                // count alone bounds nothing. The caller re-requests the
+                // unserved tail — see `LabelFetchReply`.
+                let mut labels = Vec::with_capacity(vertices.len());
+                let mut used = 0usize;
+                for &v in &vertices {
+                    let Some((bytes, bit_len)) = store.fetch(v) else {
+                        return error_reply(
+                            ErrorCode::BadRequest,
+                            format!(
+                                "shard {}/{} does not own vertex {v}",
+                                store.shard(),
+                                store.num_shards()
+                            ),
+                        );
+                    };
+                    if !labels.is_empty() && used.saturating_add(bytes.len()) > label_fetch_budget
+                    {
+                        break;
+                    }
+                    used += bytes.len();
+                    labels.push(LabelBytes {
+                        vertex: v,
+                        bit_len: sat_u32(bit_len),
+                        bytes: bytes.to_vec(),
+                    });
+                }
+                counters.label_fetches.fetch_add(1, Ordering::Relaxed);
+                let (epsilon_bits, c, n) = store.wire_params();
+                Response::LabelFetch(LabelFetchReply {
+                    generation: store.generation(),
+                    epsilon_bits,
+                    c,
+                    vertices: n,
+                    labels,
+                })
+            }
+            ServeEngine::Static(net) => {
+                // A single unsharded oracle is a valid 1-shard backend:
+                // the router's differential tests lean on this.
+                let oracle = net.oracle();
+                let n = oracle.labeling().graph().num_vertices();
+                let params = oracle.labeling().params();
+                let mut labels = Vec::with_capacity(vertices.len());
+                let mut used = 0usize;
+                for &v in &vertices {
+                    if v as usize >= n {
+                        return error_reply(
+                            ErrorCode::BadRequest,
+                            format!("vertex {v} out of range for n={n}"),
+                        );
+                    }
+                    match oracle.encoded_label(NodeId::new(v)) {
+                        Ok((bytes, bit_len)) => {
+                            if !labels.is_empty()
+                                && used.saturating_add(bytes.len()) > label_fetch_budget
+                            {
+                                break;
+                            }
+                            used += bytes.len();
+                            labels.push(LabelBytes {
+                                vertex: v,
+                                bit_len: sat_u32(bit_len),
+                                bytes,
+                            });
+                        }
+                        Err(e) => return error_reply(ErrorCode::Internal, e.to_string()),
+                    }
+                }
+                counters.label_fetches.fetch_add(1, Ordering::Relaxed);
+                Response::LabelFetch(LabelFetchReply {
+                    generation: 0,
+                    epsilon_bits: params.epsilon().to_bits(),
+                    c: params.c(),
+                    vertices: n as u64,
+                    labels,
+                })
+            }
+            ServeEngine::Dynamic(_) => error_reply(
+                ErrorCode::UnsupportedInMode,
+                "label-fetch serves immutable labels; the dynamic oracle re-encodes \
+                 across generations and cannot be sharded",
+            ),
+        },
     }
 }
 
@@ -1174,6 +1334,43 @@ mod tests {
         assert_eq!(explicit.resolved_workers(), 3);
         let _ = std::fs::remove_file(dir.with_extension("sock"));
         let _ = std::fs::remove_file(dir.with_extension("sock2"));
+    }
+
+    #[test]
+    fn wrapped_generation_never_aliases_reserved_tokens() {
+        // The only tokens live in the poller besides connections are the
+        // listener and the wake pipe. A generation wrap at the extreme
+        // slot indices would mint exactly those values without the guard.
+        for slot in [0xFFFF_FFFEusize, 0xFFFF_FFFF] {
+            let mut generation = u32::MAX - 1; // next_add lands on u32::MAX
+            let token = next_token(&mut generation, slot);
+            assert_ne!(token, LISTENER_TOKEN);
+            assert_ne!(token, WAKE_TOKEN);
+            // The guard advanced past the collision, not around it: the
+            // very next token is a normal one too.
+            let token2 = next_token(&mut generation, slot);
+            assert_ne!(token2, LISTENER_TOKEN);
+            assert_ne!(token2, WAKE_TOKEN);
+            assert_ne!(token, token2);
+        }
+    }
+
+    #[test]
+    fn wrapped_generation_never_aliases_a_live_connection() {
+        // Aliasing a *live* connection would need two equal tokens for
+        // the same slot from different generations. The generation
+        // strictly advances on every insert, so consecutive tokens for
+        // one slot differ even across the u32 wrap; different slots
+        // differ structurally in the low 32 bits.
+        let slot = 7usize;
+        let mut generation = u32::MAX; // wraps to 0 on the next insert
+        let before_wrap = next_token(&mut generation, slot);
+        let after_wrap = next_token(&mut generation, slot);
+        assert_ne!(before_wrap, after_wrap);
+        assert_eq!(before_wrap & 0xFFFF_FFFF, slot as u64);
+        assert_eq!(after_wrap & 0xFFFF_FFFF, slot as u64);
+        let other_slot = next_token(&mut generation, slot + 1);
+        assert_ne!(other_slot & 0xFFFF_FFFF, slot as u64);
     }
 
     #[test]

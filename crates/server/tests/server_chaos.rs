@@ -279,10 +279,8 @@ fn idle_fleet_and_slow_loris_leave_healthy_traffic_unaffected() {
     // per connection-shaped thing plus the suite's own files. CI
     // containers may run with a 1024 soft limit; never die on EMFILE.
     let target = 1000usize;
-    let idle_count = match fsdl_reactor::fd_soft_limit() {
-        Some(limit) => target.min(((limit.saturating_sub(128)) / 2) as usize),
-        None => 256,
-    };
+    let fd_limit = fsdl_reactor::fd_soft_limit_or(640);
+    let idle_count = target.min((fd_limit.saturating_sub(128) / 2) as usize);
     let idle: Vec<UnixStream> = (0..idle_count).map(|_| connect_raw(&endpoint)).collect();
 
     // Ten slow-loris connections: a header promising 16 bytes, then 1
